@@ -1,0 +1,34 @@
+"""Ablation: neighborhood-scoped validation vs whole-mapping revalidation.
+
+Section 1.2: "since we need to focus only on the neighborhood of schema
+changes, the containment tests are smaller than those to validate the
+whole mapping."  This ablation applies the same SMO twice: once with the
+paper's neighborhood validation (the SMO's own checks), once followed by
+a full Algorithm-1-of-[13] validation of the evolved mapping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import smo_suite
+from repro.compiler import validate_mapping
+from repro.incremental import IncrementalCompiler
+from repro.workloads.chain import entity_name
+
+COMPILER = IncrementalCompiler()
+
+
+def test_neighborhood_validation(benchmark, chain_model):
+    factory = smo_suite.aa_fk(entity_name(43), entity_name(44))
+    benchmark(lambda: COMPILER.apply(chain_model, factory(chain_model)))
+
+
+def test_whole_mapping_revalidation(benchmark, chain_model):
+    factory = smo_suite.aa_fk(entity_name(45), entity_name(46))
+
+    def revalidate_everything():
+        result = COMPILER.apply(chain_model, factory(chain_model))
+        validate_mapping(result.model.mapping, result.model.views)
+
+    benchmark.pedantic(revalidate_everything, rounds=2, iterations=1)

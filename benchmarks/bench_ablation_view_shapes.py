@@ -1,0 +1,76 @@
+"""Ablation: raw FOJ query views vs optimized LOJ/UNION ALL views.
+
+Section 6 suggests studying "the differences between these views for
+different types of mappings ... and their effect on query and update
+performance".  Here: view-generation cost with and without optimization,
+and the *evaluation* cost of reading a store state back through each
+shape (the stand-in for query performance on our in-memory engine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_mapping, generate_views, optimize_views
+from repro.edm import ClientState, Entity
+from repro.mapping import apply_query_views, apply_update_views
+from repro.workloads.paper_example import mapping_stage4
+
+
+@pytest.fixture(scope="module")
+def figure1_setup():
+    mapping = mapping_stage4()
+    views_raw = generate_views(mapping)
+    views_opt = optimize_views(mapping, views_raw)
+    state = ClientState(mapping.client_schema)
+    for ident in range(1, 40):
+        kind = ("Person", "Employee", "Customer")[ident % 3]
+        if kind == "Person":
+            state.add_entity("Persons", Entity.of("Person", Id=ident, Name="n"))
+        elif kind == "Employee":
+            state.add_entity(
+                "Persons", Entity.of("Employee", Id=ident, Name="n", Department="d")
+            )
+        else:
+            state.add_entity(
+                "Persons",
+                Entity.of("Customer", Id=ident, Name="n", CredScore=1, BillAddr="a"),
+            )
+    store = apply_update_views(views_raw, state, mapping.store_schema)
+    return mapping, views_raw, views_opt, store
+
+
+def test_generate_raw_views(benchmark):
+    mapping = mapping_stage4()
+    benchmark(lambda: generate_views(mapping))
+
+
+def test_generate_optimized_views(benchmark):
+    mapping = mapping_stage4()
+    benchmark(lambda: optimize_views(mapping, generate_views(mapping)))
+
+
+def test_read_through_raw_views(benchmark, figure1_setup):
+    mapping, views_raw, _, store = figure1_setup
+    benchmark(lambda: apply_query_views(views_raw, store, mapping.client_schema))
+
+
+def test_read_through_optimized_views(benchmark, figure1_setup):
+    mapping, _, views_opt, store = figure1_setup
+    benchmark(lambda: apply_query_views(views_opt, store, mapping.client_schema))
+
+
+def test_optimized_views_not_larger(benchmark, figure1_setup):
+    mapping, views_raw, views_opt, _ = figure1_setup
+
+    def sizes():
+        raw = sum(
+            1 for v in views_raw.query_views.values() for _ in v.query.walk()
+        )
+        opt = sum(
+            1 for v in views_opt.query_views.values() for _ in v.query.walk()
+        )
+        assert opt <= raw
+        return raw, opt
+
+    benchmark.pedantic(sizes, rounds=1, iterations=1)

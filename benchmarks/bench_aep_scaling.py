@@ -1,0 +1,40 @@
+"""AEP-np-TPT scaling: validation cost doubles with each extra split level.
+
+Section 4.2: "AEP-np-TPT tends to scale exponentially with n (linearly
+with the number of tables) since the compiler has to validate 2ⁿ new
+foreign key constraints, one for each new table."
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import smo_suite
+from repro.incremental import IncrementalCompiler
+from repro.workloads.chain import entity_name
+
+COMPILER = IncrementalCompiler()
+
+
+@pytest.mark.parametrize("n_splits", [1, 2, 3, 4])
+def test_aep_split_levels(benchmark, chain_model, n_splits):
+    factory = smo_suite.aep_tpt(entity_name(25), n_splits)
+    benchmark(lambda: COMPILER.apply(chain_model, factory(chain_model)))
+
+
+def test_aep_validation_check_count_doubles(benchmark, chain_model):
+    """2ⁿ tables ⇒ 2ⁿ foreign-key validations — checked structurally, not
+    just by wall clock."""
+
+    def run():
+        counts = []
+        for n_splits in (1, 2, 3):
+            smo = smo_suite.aep_tpt(entity_name(26), n_splits)(chain_model)
+            COMPILER.apply(chain_model, smo)
+            counts.append(smo.validation_checks)
+        assert counts == [2, 4, 8], counts
+        return counts
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""The NP-hard core in isolation: containment/cell-enumeration cost.
+
+Two sweeps over the machinery the compilers are built on:
+
+* store-cell enumeration vs the number of independent (nullable-column)
+  conditions on one table — doubling per condition, the engine behind
+  Figure 4's TPH curve;
+* canonical-state containment vs the number of association sources in the
+  update view being checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.conditions import IsNotNull
+from repro.budget import WorkBudget
+from repro.containment.spaces import StoreConditionSpace
+from repro.edm.types import INT
+from repro.relational.schema import Column, StoreSchema, Table
+
+
+def _wide_table(n_columns: int) -> StoreSchema:
+    columns = [Column("Id", INT, False)]
+    columns += [Column(f"c{i}", INT, True) for i in range(n_columns)]
+    return StoreSchema([Table("W", tuple(columns), ("Id",))])
+
+
+@pytest.mark.parametrize("n_conditions", [4, 8, 12])
+def test_store_cell_enumeration(benchmark, n_conditions):
+    store = _wide_table(n_conditions)
+    conditions = [IsNotNull(f"c{i}") for i in range(n_conditions)]
+
+    def enumerate_cells():
+        space = StoreConditionSpace(store, "W", conditions)
+        vectors = space.truth_vectors(conditions)
+        assert len(vectors) == 2 ** n_conditions
+        return len(vectors)
+
+    benchmark(enumerate_cells)
+
+
+@pytest.mark.parametrize("m", [1, 2, 3, 4])
+def test_containment_vs_association_sources(benchmark, m):
+    """FK-style containment where the checked update view joins more and
+    more association sources: one hub-and-rim TPH table at depth 1 and
+    fan-out *m* — canonical-state count grows exponentially with m."""
+    from repro.algebra.conditions import IsOf
+    from repro.algebra.queries import Col, ProjItem, Project, Select, SetScan
+    from repro.compiler import generate_views
+    from repro.containment.checker import check_containment
+    from repro.workloads.hub_rim import SET_NAME, TABLE_NAME, hub_rim_mapping
+
+    mapping = hub_rim_mapping(1, m, "TPH")
+    views = generate_views(mapping)
+    schema = mapping.client_schema
+
+    lhs = Project(
+        Select(SetScan(SET_NAME), IsOf("Hub1")),
+        (ProjItem("Id", Col("Id")),),
+    )
+    rhs = Project(
+        views.update_view(TABLE_NAME).query, (ProjItem("Id", Col("Id")),)
+    )
+
+    def check():
+        result = check_containment(lhs, rhs, schema)
+        assert result.holds
+        return result.states_checked
+
+    benchmark(check)

@@ -1,0 +1,51 @@
+"""Figure 10: SMO runtimes on the synthetic customer model.
+
+Same operation mix as Figure 9, anchored at types of the generated
+230-type-statistics model (scaled for the default run).  The
+figure-shaped table comes from ``python -m repro.bench.fig10``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import smo_suite
+from repro.bench.fig10 import suite_for
+from repro.compiler import compile_mapping
+from repro.errors import ValidationError
+from repro.incremental import IncrementalCompiler
+from repro.workloads.customer import customer_mapping
+
+COMPILER = IncrementalCompiler()
+SCALE = 0.15
+
+
+def _apply(model, factory):
+    try:
+        COMPILER.apply(model, factory(model))
+    except ValidationError:
+        pass
+
+
+def _suite():
+    return dict(suite_for(SCALE, seed=7))
+
+
+@pytest.mark.parametrize(
+    "label",
+    ["AE-TPT", "AE-TPC", "AE-TPH", "AA-FK", "AA-JT", "AP",
+     "AEP-1p-TPT", "AEP-2p-TPT", "AEP-3p-TPT"],
+)
+def test_fig10_smo(benchmark, customer_model, label):
+    factory = _suite()[label]
+    benchmark(_apply, customer_model, factory)
+
+
+def test_fig10_full_recompilation(benchmark, customer_model):
+    benchmark.pedantic(
+        lambda: compile_mapping(customer_mapping(scale=SCALE, seed=7)),
+        rounds=1,
+        iterations=1,
+    )

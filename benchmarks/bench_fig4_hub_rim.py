@@ -1,0 +1,57 @@
+"""Figure 4: full compilation time of the hub-and-rim model.
+
+Benchmarks a diagonal of the (N, M) grid for the TPH mapping (whose cost
+is exponential in N·M) and the same points for the TPT contrast mapping
+(Section 1.1: "if each entity type is mapped to a separate table, mapping
+compilation is under 0.2 seconds for all of the cases").
+
+The paper-shaped full sweep (with per-point budgets and censored points)
+is produced by ``python -m repro.bench.fig4``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_mapping
+from repro.workloads.hub_rim import hub_rim_mapping
+
+TPH_POINTS = [(1, 2), (1, 4), (2, 2), (2, 4), (3, 2)]
+TPT_POINTS = TPH_POINTS
+
+
+@pytest.mark.parametrize("n,m", TPH_POINTS)
+def test_fig4_tph_full_compile(benchmark, n, m):
+    mapping = hub_rim_mapping(n, m, "TPH")
+    benchmark.pedantic(
+        lambda: compile_mapping(hub_rim_mapping(n, m, "TPH")),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n,m", TPT_POINTS)
+def test_fig4_tpt_contrast(benchmark, n, m):
+    benchmark.pedantic(
+        lambda: compile_mapping(hub_rim_mapping(n, m, "TPT")),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fig4_shape_tph_dominates_tpt(benchmark):
+    """The claim under test: at equal (N, M), TPH full compilation costs a
+    multiple of TPT — the growth that motivates incremental compilation."""
+    import time
+
+    def run():
+        t0 = time.perf_counter()
+        compile_mapping(hub_rim_mapping(2, 4, "TPH"))
+        tph = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        compile_mapping(hub_rim_mapping(2, 4, "TPT"))
+        tpt = time.perf_counter() - t0
+        assert tph > tpt, f"expected TPH ({tph:.3f}s) slower than TPT ({tpt:.3f}s)"
+        return tph / tpt
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Benchmark: mapping reconstruction and the Section 6 order question.
+
+`reconstruct` + incremental `replay` vs a single full compilation of the
+same mapping — incremental replay does the same job (produce compiled
+views for the whole mapping) while validating one neighborhood at a time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_mapping
+from repro.modef import reconstruct, replay
+from repro.workloads import chain_mapping, hub_rim_mapping
+
+
+@pytest.mark.parametrize("n_types", [10, 20])
+def test_reconstruct_and_replay_chain(benchmark, n_types):
+    mapping = chain_mapping(n_types)
+
+    def run():
+        base, smos = reconstruct(mapping)
+        return replay(base, smos)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("n_types", [10, 20])
+def test_full_compile_chain_baseline(benchmark, n_types):
+    benchmark.pedantic(
+        lambda: compile_mapping(chain_mapping(n_types)), rounds=2, iterations=1
+    )
+
+
+def test_replay_hub_rim_tph(benchmark):
+    mapping = hub_rim_mapping(2, 2, "TPH")
+
+    def run():
+        base, smos = reconstruct(mapping)
+        return replay(base, smos)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

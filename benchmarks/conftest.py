@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to laptop-scale workload sizes; set ``REPRO_FULL=1``
+to run the published sizes (Figure 4's N≤5/M≤15 grid, the 1002-type
+chain, the 230-type customer model).  Results for EXPERIMENTS.md are
+produced by the ``python -m repro.bench.figN`` drivers, which print the
+paper-shaped tables; the pytest benchmarks here track representative
+points so regressions show up in CI-style runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fig10 import build_model as build_customer_model
+from repro.bench.fig9 import build_model as build_chain_model
+from repro.incremental import CompiledModel
+
+
+@pytest.fixture(scope="session")
+def chain_model() -> CompiledModel:
+    """A pre-compiled 60-type chain model (small but structurally faithful)."""
+    return build_chain_model(60)
+
+
+@pytest.fixture(scope="session")
+def customer_model() -> CompiledModel:
+    """A pre-compiled customer model at scale 0.15."""
+    return build_customer_model(0.15)

@@ -1,0 +1,105 @@
+"""The diff-driven workflow of Section 1.2.
+
+"A developer can simply edit the model and then invoke a tool that
+generates a sequence of SMOs from a diff of the old and new models."
+
+This example starts from a compiled blog-engine model, *edits the client
+schema directly* (as a developer would in a designer), diffs old vs new,
+lets the MoDEF layer infer mapping styles and generate the SMO sequence,
+and applies it incrementally.
+
+Run:  python examples/model_diff_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro.algebra.conditions import IsOf, TRUE
+from repro.compiler import compile_mapping
+from repro.edm import (
+    Attribute,
+    ClientSchemaBuilder,
+    ClientState,
+    Entity,
+    INT,
+    STRING,
+)
+from repro.incremental import CompiledModel, IncrementalCompiler
+from repro.mapping import Mapping, MappingFragment, check_roundtrip
+from repro.modef import infer_style, smos_from_diff
+from repro.relational import Column, StoreSchema, Table
+
+
+def initial_model() -> CompiledModel:
+    """A small blog engine: Post and Author, each 1:1 with a table."""
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Post", key=[("Id", INT)], attrs=[("Title", STRING)])
+        .entity("Author", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity_set("Posts", "Post")
+        .entity_set("Authors", "Author")
+        .build()
+    )
+    store = StoreSchema(
+        [
+            Table("PostT", (Column("Id", INT, False), Column("Title", STRING)), ("Id",)),
+            Table("AuthorT", (Column("Id", INT, False), Column("Name", STRING)), ("Id",)),
+        ]
+    )
+    mapping = Mapping(
+        schema,
+        store,
+        [
+            MappingFragment(
+                "Posts", False, IsOf("Post"), "PostT", TRUE,
+                (("Id", "Id"), ("Title", "Title")),
+            ),
+            MappingFragment(
+                "Authors", False, IsOf("Author"), "AuthorT", TRUE,
+                (("Id", "Id"), ("Name", "Name")),
+            ),
+        ],
+    )
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+def edited_schema():
+    """What the developer wants the model to look like afterwards."""
+    return (
+        ClientSchemaBuilder()
+        .entity("Post", key=[("Id", INT)], attrs=[("Title", STRING), ("Body", STRING)])
+        .entity("VideoPost", parent="Post", attrs=[("Url", STRING)])
+        .entity("Author", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity_set("Posts", "Post")
+        .entity_set("Authors", "Author")
+        .association("WrittenBy", "Post", "Author", mult1="*", mult2="0..1")
+        .build()
+    )
+
+
+def main() -> None:
+    model = initial_model()
+    target = edited_schema()
+
+    print("generating SMOs from the model diff ...")
+    smos = smos_from_diff(model, target)
+    compiler = IncrementalCompiler()
+    for result in compiler.apply_all(model, smos):
+        print(f"  {result}")
+        model = result.model
+
+    print("\ninferred mapping style around Post:", infer_style(model, "Post").style)
+    print("\nevolved store schema:")
+    print(model.store_schema)
+
+    state = ClientState(model.client_schema)
+    state.add_entity("Posts", Entity.of("Post", Id=1, Title="hello", Body="..."))
+    state.add_entity(
+        "Posts", Entity.of("VideoPost", Id=2, Title="clip", Body="...", Url="v.mp4")
+    )
+    state.add_entity("Authors", Entity.of("Author", Id=7, Name="ann"))
+    state.add_association("WrittenBy", (1,), (7,))
+    print(check_roundtrip(model.views, state, model.store_schema))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Recovering an SMO history from a finished mapping (Section 6).
+
+The paper closes by asking for "an algorithm that, given a schema and
+mapping, generates a sequence of SMOs that produces the same result".
+This example runs that algorithm on the Figure 1 mapping: the
+reconstructor recovers exactly the SMO sequence of the paper's worked
+Examples 1-7, replays it through the incremental compiler, and verifies
+the replayed views are semantically equivalent to a full compilation.
+
+Run:  python examples/reconstruct_mapping.py
+"""
+
+from __future__ import annotations
+
+from repro.compiler import generate_views
+from repro.mapping.equivalence import compare_views
+from repro.modef import reconstruct, replay
+from repro.workloads.paper_example import mapping_stage4
+
+
+def main() -> None:
+    mapping = mapping_stage4()
+    print("target mapping (Figure 1):")
+    for fragment in mapping.fragments:
+        print(f"  {fragment}")
+
+    base, smos = reconstruct(mapping)
+    print("\nreconstructed base (hierarchy roots only):")
+    for fragment in base.fragments:
+        print(f"  {fragment}")
+
+    print("\nrecovered SMO sequence (the paper's Examples 1-7):")
+    for smo in smos:
+        print(f"  {smo.describe()}")
+
+    print("\nreplaying through the incremental compiler ...")
+    model = replay(base, smos)
+
+    target_views = generate_views(mapping)
+    comparison = compare_views(mapping, target_views, model.views)
+    print(f"equivalence with a full compilation: {comparison}")
+
+    print("\norder sensitivity (the paper's follow-up question):")
+    reordered = [smos[1], smos[0], smos[2]]  # swap the sibling additions
+    model_b = replay(base.clone(), reordered)
+    comparison_b = compare_views(mapping, model.views, model_b.views)
+    print(f"  sibling SMOs swapped: {comparison_b}")
+    try:
+        replay(base.clone(), [smos[2], smos[0], smos[1]])
+        print("  association-first order unexpectedly succeeded")
+    except Exception as exc:  # precondition failure, by design
+        print(f"  association-first order refused: {type(exc).__name__}")
+
+
+if __name__ == "__main__":
+    main()

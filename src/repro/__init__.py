@@ -1,0 +1,37 @@
+"""repro — incremental object-to-relational mapping compilation.
+
+A complete reimplementation of Bernstein et al., "Incremental Mapping
+Compilation in an Object-to-Relational Mapping System" (SIGMOD 2013):
+the fragment-based mapping language, the full (baseline) mapping compiler
+with roundtripping validation, and the incremental compiler driven by
+schema modification operations (SMOs).
+
+Most applications need only the top-level re-exports below; see README.md
+for a tour and DESIGN.md for the architecture.
+"""
+
+from repro.budget import UnlimitedBudget, WorkBudget
+from repro.errors import (
+    CompilationBudgetExceeded,
+    EvaluationError,
+    MappingError,
+    ReproError,
+    SchemaError,
+    SmoError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationBudgetExceeded",
+    "EvaluationError",
+    "MappingError",
+    "ReproError",
+    "SchemaError",
+    "SmoError",
+    "UnlimitedBudget",
+    "ValidationError",
+    "WorkBudget",
+    "__version__",
+]

@@ -1,0 +1,303 @@
+"""Condition ASTs for the fragment and view languages.
+
+Section 2.1 defines client-side conditions ψ as AND-OR combinations of
+``IS OF E``, ``IS OF (ONLY E)``, ``A IS NULL``, ``A IS NOT NULL`` and
+``A θ c``; store-side conditions χ are the same minus the type atoms.
+We additionally support NOT (needed internally by cell enumeration and by
+the ``ch_p`` rewrite of Algorithm 2) and the constants TRUE/FALSE.
+
+All nodes are immutable and hashable so conditions can live inside view
+trees that are compared, cached and rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterator, Tuple
+
+from repro.errors import EvaluationError
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Condition:
+    """Base class for condition nodes."""
+
+    def atoms(self) -> Iterator["Condition"]:
+        """Yield every atomic condition in this tree (with duplicates)."""
+        yield self
+
+    def transform(self, fn: Callable[["Condition"], "Condition"]) -> "Condition":
+        """Rebuild the tree bottom-up, applying *fn* to every node.
+
+        *fn* receives each node after its children were transformed and
+        returns the replacement node (possibly the node itself).
+        """
+        return fn(self)
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "Condition") -> "Condition":
+        return and_(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return or_(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueCond(Condition):
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalseCond(Condition):
+    def __str__(self) -> str:
+        return "FALSE"
+
+
+TRUE = TrueCond()
+FALSE = FalseCond()
+
+
+@dataclass(frozen=True)
+class IsOf(Condition):
+    """``IS OF E``: satisfied by entities of type E and derived types."""
+
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"IS OF {self.type_name}"
+
+
+@dataclass(frozen=True)
+class IsOfOnly(Condition):
+    """``IS OF (ONLY E)``: satisfied by entities of exactly type E."""
+
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"IS OF (ONLY {self.type_name})"
+
+
+@dataclass(frozen=True)
+class IsNull(Condition):
+    attr: str
+
+    def __str__(self) -> str:
+        return f"{self.attr} IS NULL"
+
+
+@dataclass(frozen=True)
+class IsNotNull(Condition):
+    attr: str
+
+    def __str__(self) -> str:
+        return f"{self.attr} IS NOT NULL"
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``A θ c`` for a comparison operator θ and constant c.
+
+    Comparisons with NULL on the attribute side evaluate to false, matching
+    SQL's treatment under a WHERE clause.
+    """
+
+    attr: str
+    op: str
+    const: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise EvaluationError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.attr} {self.op} {self.const!r}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    operands: Tuple[Condition, ...]
+
+    def atoms(self) -> Iterator[Condition]:
+        for operand in self.operands:
+            yield from operand.atoms()
+
+    def transform(self, fn: Callable[[Condition], Condition]) -> Condition:
+        return fn(And(tuple(op.transform(fn) for op in self.operands)))
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    operands: Tuple[Condition, ...]
+
+    def atoms(self) -> Iterator[Condition]:
+        for operand in self.operands:
+            yield from operand.atoms()
+
+    def transform(self, fn: Callable[[Condition], Condition]) -> Condition:
+        return fn(Or(tuple(op.transform(fn) for op in self.operands)))
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    operand: Condition
+
+    def atoms(self) -> Iterator[Condition]:
+        yield from self.operand.atoms()
+
+    def transform(self, fn: Callable[[Condition], Condition]) -> Condition:
+        return fn(Not(self.operand.transform(fn)))
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors (light structural simplification at build time)
+# ---------------------------------------------------------------------------
+
+def and_(*operands: Condition) -> Condition:
+    """N-ary AND with flattening and TRUE/FALSE absorption."""
+    flat = []
+    for operand in operands:
+        if isinstance(operand, TrueCond):
+            continue
+        if isinstance(operand, FalseCond):
+            return FALSE
+        if isinstance(operand, And):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def or_(*operands: Condition) -> Condition:
+    """N-ary OR with flattening and TRUE/FALSE absorption."""
+    flat = []
+    for operand in operands:
+        if isinstance(operand, FalseCond):
+            continue
+        if isinstance(operand, TrueCond):
+            return TRUE
+        if isinstance(operand, Or):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def referenced_attrs(condition: Condition) -> FrozenSet[str]:
+    """Names of all attributes mentioned by null-test or comparison atoms."""
+    result = set()
+    for atom in condition.atoms():
+        if isinstance(atom, (IsNull, IsNotNull, Comparison)):
+            result.add(atom.attr)
+    return frozenset(result)
+
+
+def referenced_types(condition: Condition) -> FrozenSet[str]:
+    """Names of all entity types mentioned by type atoms."""
+    result = set()
+    for atom in condition.atoms():
+        if isinstance(atom, (IsOf, IsOfOnly)):
+            result.add(atom.type_name)
+    return frozenset(result)
+
+
+def has_type_atoms(condition: Condition) -> bool:
+    return bool(referenced_types(condition))
+
+
+class TupleContext:
+    """What a condition needs to evaluate: attribute lookup + type test.
+
+    Client tuples know their concrete type; store tuples do not (type atoms
+    over store tuples raise).  ``attr_value`` must raise KeyError for
+    attributes the tuple does not carry.
+    """
+
+    def attr_value(self, name: str) -> object:
+        raise NotImplementedError
+
+    def is_of(self, type_name: str, only: bool) -> bool:
+        raise NotImplementedError
+
+
+def evaluate_condition(condition: Condition, context: TupleContext) -> bool:
+    """Evaluate *condition* against a tuple context.
+
+    Attributes missing from the tuple make comparison and null-test atoms
+    false (the fragment language only mentions an attribute under a type
+    condition guaranteeing its presence, so this never changes fragment
+    semantics; it gives AND-OR combinations a total semantics).
+    """
+    if isinstance(condition, TrueCond):
+        return True
+    if isinstance(condition, FalseCond):
+        return False
+    if isinstance(condition, IsOf):
+        return context.is_of(condition.type_name, only=False)
+    if isinstance(condition, IsOfOnly):
+        return context.is_of(condition.type_name, only=True)
+    if isinstance(condition, IsNull):
+        try:
+            return context.attr_value(condition.attr) is None
+        except KeyError:
+            return False
+    if isinstance(condition, IsNotNull):
+        try:
+            return context.attr_value(condition.attr) is not None
+        except KeyError:
+            return False
+    if isinstance(condition, Comparison):
+        try:
+            value = context.attr_value(condition.attr)
+        except KeyError:
+            return False
+        if value is None:
+            return False
+        return _compare(value, condition.op, condition.const)
+    if isinstance(condition, And):
+        return all(evaluate_condition(op, context) for op in condition.operands)
+    if isinstance(condition, Or):
+        return any(evaluate_condition(op, context) for op in condition.operands)
+    if isinstance(condition, Not):
+        return not evaluate_condition(condition.operand, context)
+    raise EvaluationError(f"unknown condition node {condition!r}")
+
+
+def _compare(value: object, op: str, const: object) -> bool:
+    try:
+        if op == "=":
+            return value == const
+        if op == "!=":
+            return value != const
+        if op == "<":
+            return value < const  # type: ignore[operator]
+        if op == "<=":
+            return value <= const  # type: ignore[operator]
+        if op == ">":
+            return value > const  # type: ignore[operator]
+        if op == ">=":
+            return value >= const  # type: ignore[operator]
+    except TypeError as exc:
+        raise EvaluationError(f"cannot compare {value!r} {op} {const!r}") from exc
+    raise EvaluationError(f"unknown comparison operator {op!r}")

@@ -1,0 +1,180 @@
+"""Rendering queries, conditions and views as Entity-SQL-style text.
+
+The output follows the paper's notation (Figures 2 and 5): ``SELECT``
+blocks with ``IS OF`` predicates, ``CASE WHEN`` chains for entity
+constructors, ``NATURAL LEFT OUTER JOIN`` for the outer joins Algorithm 1
+produces.  The printer is for humans and golden tests; the parser in
+:mod:`repro.algebra.parser` reads a compatible fragment syntax back.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    Condition,
+    FalseCond,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Not,
+    Or,
+    TrueCond,
+)
+from repro.algebra.constructors import (
+    AssociationCtor,
+    Constructor,
+    EntityCtor,
+    IfCtor,
+    RowCtor,
+)
+from repro.algebra.queries import (
+    AssociationScan,
+    Col,
+    Const,
+    FullOuterJoin,
+    Join,
+    LeftOuterJoin,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+    UnionAll,
+)
+from repro.errors import EvaluationError
+
+_INDENT = "  "
+
+
+def condition_to_sql(condition: Condition) -> str:
+    if isinstance(condition, TrueCond):
+        return "TRUE"
+    if isinstance(condition, FalseCond):
+        return "FALSE"
+    if isinstance(condition, IsOf):
+        return f"IS OF {condition.type_name}"
+    if isinstance(condition, IsOfOnly):
+        return f"IS OF (ONLY {condition.type_name})"
+    if isinstance(condition, IsNull):
+        return f"{condition.attr} IS NULL"
+    if isinstance(condition, IsNotNull):
+        return f"{condition.attr} IS NOT NULL"
+    if isinstance(condition, Comparison):
+        return f"{condition.attr} {condition.op} {_literal(condition.const)}"
+    if isinstance(condition, And):
+        return "(" + " AND ".join(condition_to_sql(op) for op in condition.operands) + ")"
+    if isinstance(condition, Or):
+        return "(" + " OR ".join(condition_to_sql(op) for op in condition.operands) + ")"
+    if isinstance(condition, Not):
+        return f"NOT ({condition_to_sql(condition.operand)})"
+    raise EvaluationError(f"unknown condition node {condition!r}")
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "True"
+    if value is False:
+        return "False"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+def query_to_sql(query: Query, indent: int = 0) -> str:
+    """Render *query* as nested SELECT blocks."""
+    pad = _INDENT * indent
+    if isinstance(query, SetScan):
+        return f"{pad}{query.set_name}"
+    if isinstance(query, AssociationScan):
+        return f"{pad}{query.assoc_name}"
+    if isinstance(query, TableScan):
+        return f"{pad}{query.table_name}"
+    if isinstance(query, Project):
+        items = ", ".join(_item_sql(item) for item in query.items)
+        source, where = _peel_select(query.source)
+        lines = [f"{pad}SELECT {items}", f"{pad}FROM"]
+        lines.append(query_to_sql(source, indent + 1))
+        if where is not None:
+            lines.append(f"{pad}WHERE {condition_to_sql(where)}")
+        return "\n".join(lines)
+    if isinstance(query, Select):
+        lines = [f"{pad}SELECT *", f"{pad}FROM"]
+        lines.append(query_to_sql(query.source, indent + 1))
+        lines.append(f"{pad}WHERE {condition_to_sql(query.condition)}")
+        return "\n".join(lines)
+    if isinstance(query, Join):
+        return _binary_sql(query, "NATURAL JOIN", indent)
+    if isinstance(query, LeftOuterJoin):
+        return _binary_sql(query, "NATURAL LEFT OUTER JOIN", indent)
+    if isinstance(query, FullOuterJoin):
+        return _binary_sql(query, "NATURAL FULL OUTER JOIN", indent)
+    if isinstance(query, UnionAll):
+        blocks = [query_to_sql(branch, indent + 1) for branch in query.branches]
+        separator = f"\n{pad}UNION ALL\n"
+        return separator.join(f"{pad}(\n{block}\n{pad})" for block in blocks)
+    raise EvaluationError(f"unknown query node {query!r}")
+
+
+def _item_sql(item) -> str:
+    if isinstance(item.expr, Col):
+        if item.expr.name == item.output:
+            return item.output
+        return f"{item.expr.name} AS {item.output}"
+    return f"{_literal(item.expr.value)} AS {item.output}"
+
+
+def _peel_select(query: Query):
+    """Merge a directly-nested Select into the enclosing SELECT's WHERE."""
+    if isinstance(query, Select):
+        return query.source, query.condition
+    return query, None
+
+
+def _binary_sql(query, keyword: str, indent: int) -> str:
+    pad = _INDENT * indent
+    left = query_to_sql(query.left, indent + 1)
+    right = query_to_sql(query.right, indent + 1)
+    return f"{pad}(\n{left}\n{pad}) {keyword} (\n{right}\n{pad})"
+
+
+def constructor_to_sql(constructor: Constructor, indent: int = 0) -> str:
+    """Render a τ as a CASE WHEN chain (Figure 2 style)."""
+    pad = _INDENT * indent
+    branches: List[str] = []
+    node = constructor
+    while isinstance(node, IfCtor):
+        branches.append(
+            f"{pad}{_INDENT}WHEN {condition_to_sql(node.condition)} "
+            f"THEN {_ctor_call(node.then_ctor)}"
+        )
+        node = node.else_ctor
+    if not branches:
+        return f"{pad}{_ctor_call(node)}"
+    lines = [f"{pad}CASE"] + branches
+    lines.append(f"{pad}{_INDENT}ELSE {_ctor_call(node)}")
+    lines.append(f"{pad}END")
+    return "\n".join(lines)
+
+
+def _ctor_call(constructor: Constructor) -> str:
+    if isinstance(constructor, (EntityCtor, RowCtor, AssociationCtor)):
+        return str(constructor)
+    if isinstance(constructor, IfCtor):
+        return "(" + constructor_to_sql(constructor).replace("\n", " ") + ")"
+    raise EvaluationError(f"unknown constructor {constructor!r}")
+
+
+def view_to_sql(name: str, query: Query, constructor: Constructor) -> str:
+    """Render a complete ``(Q | τ)`` view definition."""
+    lines = [f"{name} =", "SELECT VALUE"]
+    lines.append(constructor_to_sql(constructor, indent=1))
+    lines.append("FROM (")
+    lines.append(query_to_sql(query, indent=1))
+    lines.append(")")
+    return "\n".join(lines)

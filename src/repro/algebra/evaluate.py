@@ -1,0 +1,294 @@
+"""Evaluation of queries and views over concrete states.
+
+Query views are evaluated over a :class:`StoreState`; update views over a
+:class:`ClientState`.  Evaluation is set-oriented and naive (nested-loop
+joins): it is only used on the small canonical states of the containment
+checker, on test instances, and by the empirical roundtrip oracle.
+
+Semantics notes:
+
+* Joins are natural, on the *static* shared output columns of the two
+  inputs.  Join columns with NULL on either side never match (SQL).
+* Left/full outer joins pad the missing side's static columns with NULL.
+* UNION ALL pads all branches to the union of their static columns with
+  NULL — the explicit ``CAST (NULL AS ...)`` padding of Figure 2, applied
+  implicitly.
+* An entity-set scan yields one tuple per entity carrying exactly the
+  attributes of its concrete type, plus a hidden type tag used by
+  ``IS OF`` atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.algebra.conditions import Condition, TupleContext, evaluate_condition
+from repro.algebra.queries import (
+    AssociationScan,
+    Const,
+    FullOuterJoin,
+    Join,
+    LeftOuterJoin,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+    UnionAll,
+)
+from repro.edm.instances import ClientState
+from repro.edm.schema import ClientSchema
+from repro.errors import EvaluationError
+from repro.relational.instances import StoreState
+from repro.relational.schema import StoreSchema
+
+TYPE_TAG = "__type__"
+
+RowDict = Dict[str, object]
+
+
+class EvaluationContext:
+    """Scan access + hierarchy knowledge for one side of the mapping."""
+
+    def scan_rows(self, leaf: Query) -> List[RowDict]:
+        raise NotImplementedError
+
+    def scan_columns(self, leaf: Query) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def is_subtype(self, concrete: str, ancestor: str) -> bool:
+        raise NotImplementedError
+
+
+class ClientContext(EvaluationContext):
+    """Evaluates client-side queries (update-view bodies) over a ClientState."""
+
+    def __init__(self, state: ClientState) -> None:
+        self.state = state
+        self.schema: ClientSchema = state.schema
+
+    def scan_rows(self, leaf: Query) -> List[RowDict]:
+        if isinstance(leaf, SetScan):
+            rows = []
+            for entity in self.state.entities(leaf.set_name):
+                row = dict(entity.values)
+                row[TYPE_TAG] = entity.concrete_type
+                rows.append(row)
+            return rows
+        if isinstance(leaf, AssociationScan):
+            association = self.schema.association(leaf.assoc_name)
+            key1 = self.schema.key_of(association.end1.entity_type)
+            key2 = self.schema.key_of(association.end2.entity_type)
+            names = association.qualified_key_attrs(key1, key2)
+            return [dict(zip(names, pair)) for pair in self.state.associations(leaf.assoc_name)]
+        raise EvaluationError(f"client context cannot scan {leaf!r}")
+
+    def scan_columns(self, leaf: Query) -> Tuple[str, ...]:
+        if isinstance(leaf, SetScan):
+            entity_set = self.schema.entity_set(leaf.set_name)
+            columns: List[str] = []
+            for type_name in self.schema.descendants_or_self(entity_set.root_type):
+                for attr in self.schema.attribute_names_of(type_name):
+                    if attr not in columns:
+                        columns.append(attr)
+            return tuple(columns)
+        if isinstance(leaf, AssociationScan):
+            association = self.schema.association(leaf.assoc_name)
+            key1 = self.schema.key_of(association.end1.entity_type)
+            key2 = self.schema.key_of(association.end2.entity_type)
+            return association.qualified_key_attrs(key1, key2)
+        raise EvaluationError(f"client context cannot scan {leaf!r}")
+
+    def is_subtype(self, concrete: str, ancestor: str) -> bool:
+        return ancestor in self.schema.ancestors_or_self(concrete)
+
+
+class StoreContext(EvaluationContext):
+    """Evaluates store-side queries (query-view bodies) over a StoreState."""
+
+    def __init__(self, state: StoreState) -> None:
+        self.state = state
+        self.schema: StoreSchema = state.schema
+
+    def scan_rows(self, leaf: Query) -> List[RowDict]:
+        if isinstance(leaf, TableScan):
+            return [dict(row) for row in self.state.rows(leaf.table_name)]
+        raise EvaluationError(f"store context cannot scan {leaf!r}")
+
+    def scan_columns(self, leaf: Query) -> Tuple[str, ...]:
+        if isinstance(leaf, TableScan):
+            return self.schema.table(leaf.table_name).column_names
+        raise EvaluationError(f"store context cannot scan {leaf!r}")
+
+    def is_subtype(self, concrete: str, ancestor: str) -> bool:
+        raise EvaluationError("IS OF atoms cannot be evaluated on store tuples")
+
+
+class _RowConditionContext(TupleContext):
+    def __init__(self, row: Mapping[str, object], context: EvaluationContext) -> None:
+        self._row = row
+        self._context = context
+
+    def attr_value(self, name: str) -> object:
+        if name not in self._row:
+            raise KeyError(name)
+        return self._row[name]
+
+    def is_of(self, type_name: str, only: bool) -> bool:
+        concrete = self._row.get(TYPE_TAG)
+        if concrete is None:
+            raise EvaluationError("tuple has no type tag; IS OF is client-side only")
+        if only:
+            return concrete == type_name
+        return self._context.is_subtype(str(concrete), type_name)
+
+
+def output_columns(query: Query, context: EvaluationContext) -> Tuple[str, ...]:
+    """Static output columns of *query* (excluding the hidden type tag)."""
+    if isinstance(query, (SetScan, AssociationScan, TableScan)):
+        return context.scan_columns(query)
+    if isinstance(query, Select):
+        return output_columns(query.source, context)
+    if isinstance(query, Project):
+        return query.output_names
+    if isinstance(query, (Join, LeftOuterJoin, FullOuterJoin)):
+        left = output_columns(query.left, context)
+        right = output_columns(query.right, context)
+        return left + tuple(c for c in right if c not in left)
+    if isinstance(query, UnionAll):
+        columns: List[str] = []
+        for branch in query.branches:
+            for column in output_columns(branch, context):
+                if column not in columns:
+                    columns.append(column)
+        return tuple(columns)
+    raise EvaluationError(f"unknown query node {query!r}")
+
+
+def evaluate_query(query: Query, context: EvaluationContext) -> List[RowDict]:
+    """Evaluate *query*, returning de-duplicated rows (set semantics)."""
+    rows = _evaluate(query, context)
+    seen = set()
+    unique: List[RowDict] = []
+    for row in rows:
+        key = tuple(sorted((k, v) for k, v in row.items() if k != TYPE_TAG))
+        if key not in seen:
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+def _evaluate(query: Query, context: EvaluationContext) -> List[RowDict]:
+    if isinstance(query, (SetScan, AssociationScan, TableScan)):
+        return context.scan_rows(query)
+
+    if isinstance(query, Select):
+        rows = _evaluate(query.source, context)
+        return [
+            row
+            for row in rows
+            if evaluate_condition(query.condition, _RowConditionContext(row, context))
+        ]
+
+    if isinstance(query, Project):
+        rows = _evaluate(query.source, context)
+        projected = []
+        for row in rows:
+            out: RowDict = {}
+            for item in query.items:
+                if isinstance(item.expr, Const):
+                    out[item.output] = item.expr.value
+                else:
+                    name = item.expr.name
+                    if name not in row:
+                        raise EvaluationError(
+                            f"projection references missing column {name!r} "
+                            f"(row has {sorted(k for k in row if k != TYPE_TAG)})"
+                        )
+                    out[item.output] = row[name]
+            projected.append(out)
+        return projected
+
+    if isinstance(query, Join):
+        return _join(query, context, left_outer=False, full_outer=False)
+    if isinstance(query, LeftOuterJoin):
+        return _join(query, context, left_outer=True, full_outer=False)
+    if isinstance(query, FullOuterJoin):
+        return _join(query, context, left_outer=True, full_outer=True)
+
+    if isinstance(query, UnionAll):
+        all_columns = output_columns(query, context)
+        rows: List[RowDict] = []
+        for branch in query.branches:
+            for row in _evaluate(branch, context):
+                padded = {column: row.get(column) for column in all_columns}
+                rows.append(padded)
+        return rows
+
+    raise EvaluationError(f"unknown query node {query!r}")
+
+
+def _join(query, context: EvaluationContext, left_outer: bool, full_outer: bool) -> List[RowDict]:
+    left_rows = _evaluate(query.left, context)
+    right_rows = _evaluate(query.right, context)
+    left_columns = output_columns(query.left, context)
+    right_columns = output_columns(query.right, context)
+    shared = tuple(c for c in left_columns if c in right_columns)
+    if query.on is not None:
+        join_columns = query.on
+        missing = [c for c in join_columns if c not in shared]
+        if missing:
+            raise EvaluationError(
+                f"join columns {missing} are not shared by both inputs"
+            )
+    else:
+        join_columns = shared
+    # shared columns that are not join columns are merged by COALESCE
+    coalesced = tuple(c for c in shared if c not in join_columns)
+    right_only = tuple(c for c in right_columns if c not in shared)
+    left_only = tuple(c for c in left_columns if c not in shared)
+
+    def join_key(row: RowDict) -> Optional[Tuple[object, ...]]:
+        values = tuple(row.get(c) for c in join_columns)
+        if any(v is None for v in values):
+            return None  # NULL never joins
+        return values
+
+    index: Dict[Tuple[object, ...], List[RowDict]] = {}
+    for row in right_rows:
+        key = join_key(row)
+        if key is not None:
+            index.setdefault(key, []).append(row)
+
+    result: List[RowDict] = []
+    matched_right: set = set()
+    for left_row in left_rows:
+        key = join_key(left_row)
+        matches = index.get(key, []) if key is not None else []
+        if matches:
+            for right_row in matches:
+                combined = {c: left_row.get(c) for c in left_columns}
+                for column in coalesced:
+                    if combined.get(column) is None:
+                        combined[column] = right_row.get(column)
+                for column in right_only:
+                    combined[column] = right_row.get(column)
+                result.append(combined)
+            matched_right.add(key)
+        elif left_outer:
+            combined = {c: left_row.get(c) for c in left_columns}
+            for column in right_only:
+                combined[column] = None
+            result.append(combined)
+    if full_outer:
+        for right_row in right_rows:
+            key = join_key(right_row)
+            if key is not None and key in matched_right:
+                continue
+            combined = {c: None for c in left_only}
+            for column in shared:
+                combined[column] = right_row.get(column)
+            for column in right_only:
+                combined[column] = right_row.get(column)
+            result.append(combined)
+    return result

@@ -1,0 +1,317 @@
+"""A parser for the paper's Entity-SQL fragment syntax (Figure 5).
+
+Mapping fragments in the paper are written as equations between two
+SELECT blocks::
+
+    SELECT p.Id, p.Name
+    FROM Persons p
+    WHERE p IS OF Person
+    =
+    SELECT Id, Name
+    FROM HR
+
+This module parses that syntax into :class:`MappingFragment` objects, so
+mappings can be authored as text.  Supported WHERE grammar (Section 2.1):
+
+    condition := disjunct (OR disjunct)*
+    disjunct  := conjunct (AND conjunct)*
+    conjunct  := NOT conjunct | '(' condition ')' | atom
+    atom      := [alias.] IS OF [(ONLY] Type [)]
+               | attr IS [NOT] NULL
+               | attr op literal          (op ∈ =, <>, !=, <, <=, >, >=)
+
+Literals: integers, single-quoted strings ('' escapes a quote), TRUE,
+FALSE, NULL.  The client side may prefix attributes with the FROM alias;
+the store side must not use IS OF atoms.  α→β correspondence is
+positional across the two SELECT lists, as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.algebra.conditions import (
+    Comparison,
+    Condition,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Not,
+    TRUE,
+    and_,
+    or_,
+)
+from repro.errors import MappingError
+from repro.mapping.fragments import MappingFragment
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>'(?:[^']|'')*')
+  | (?P<number>-?\d+)
+  | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<punct>[(),.])
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "IS", "OF", "ONLY", "NOT", "NULL",
+    "AND", "OR", "AS", "TRUE", "FALSE", "VALUE",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'string' | 'number' | 'op' | 'punct' | 'word' | 'kw'
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(text):
+        if text[index].isspace():
+            index += 1
+            continue
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise MappingError(f"cannot tokenize fragment text at {text[index:index+20]!r}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "word" and value.upper() in _KEYWORDS:
+            tokens.append(_Token("kw", value.upper(), index))
+        else:
+            tokens.append(_Token(kind, value, index))
+        index = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        position = self.index + offset
+        return self.tokens[position] if position < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise MappingError("unexpected end of fragment text")
+        self.index += 1
+        return token
+
+    def expect_kw(self, keyword: str) -> None:
+        token = self.next()
+        if token.kind != "kw" or token.text != keyword:
+            raise MappingError(f"expected {keyword}, got {token.text!r}")
+
+    def accept_kw(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "kw" and token.text == keyword:
+            self.index += 1
+            return True
+        return False
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "punct" and token.text == char:
+            self.index += 1
+            return True
+        return False
+
+    def expect_word(self) -> str:
+        token = self.next()
+        if token.kind != "word":
+            raise MappingError(f"expected identifier, got {token.text!r}")
+        return token.text
+
+    # -- grammar ---------------------------------------------------------
+    def parse_select_block(self, alias_allowed: bool):
+        """Returns (attributes, source, condition, alias)."""
+        self.expect_kw("SELECT")
+        self.accept_kw("VALUE")
+        attributes = [self._attr_ref()]
+        while self.accept_punct(","):
+            attributes.append(self._attr_ref())
+        self.expect_kw("FROM")
+        source = self.expect_word()
+        alias = None
+        token = self.peek()
+        if token is not None and token.kind == "word":
+            alias = self.next().text
+        condition: Condition = TRUE
+        if self.accept_kw("WHERE"):
+            condition = self._condition(alias)
+        attributes = [self._strip_alias(a, alias) for a in attributes]
+        return attributes, source, condition, alias
+
+    def _attr_ref(self) -> str:
+        name = self.expect_word()
+        while self.accept_punct("."):
+            name += "." + self.expect_word()
+        return name
+
+    def _strip_alias(self, attr: str, alias: Optional[str]) -> str:
+        if alias and attr.startswith(alias + "."):
+            return attr[len(alias) + 1 :]
+        return attr
+
+    def _condition(self, alias: Optional[str]) -> Condition:
+        left = self._conjunction(alias)
+        parts = [left]
+        while self.accept_kw("OR"):
+            parts.append(self._conjunction(alias))
+        return or_(*parts)
+
+    def _conjunction(self, alias: Optional[str]) -> Condition:
+        parts = [self._unary(alias)]
+        while self.accept_kw("AND"):
+            parts.append(self._unary(alias))
+        return and_(*parts)
+
+    def _unary(self, alias: Optional[str]) -> Condition:
+        if self.accept_kw("NOT"):
+            return Not(self._unary(alias))
+        if self.accept_punct("("):
+            inner = self._condition(alias)
+            if not self.accept_punct(")"):
+                raise MappingError("missing closing parenthesis in condition")
+            return inner
+        return self._atom(alias)
+
+    def _atom(self, alias: Optional[str]) -> Condition:
+        # "<alias> IS OF ..." or "<attr> IS [NOT] NULL" or "<attr> op lit"
+        token = self.peek()
+        if token is None:
+            raise MappingError("unexpected end of condition")
+        if token.kind == "kw" and token.text == "IS":
+            # bare "IS OF T" with no subject
+            return self._is_clause(None)
+        name = self._attr_ref()
+        name = self._strip_alias(name, alias)
+        token = self.peek()
+        if token is not None and token.kind == "kw" and token.text == "IS":
+            if name == (alias or ""):
+                return self._is_clause(None)
+            return self._is_clause(name)
+        operator = self.next()
+        if operator.kind != "op":
+            raise MappingError(f"expected comparison operator, got {operator.text!r}")
+        op = "!=" if operator.text == "<>" else operator.text
+        literal = self._literal()
+        return Comparison(name, op, literal)
+
+    def _is_clause(self, subject: Optional[str]) -> Condition:
+        self.expect_kw("IS")
+        if self.accept_kw("NOT"):
+            self.expect_kw("NULL")
+            if subject is None:
+                raise MappingError("IS NOT NULL needs an attribute")
+            return IsNotNull(subject)
+        if self.accept_kw("NULL"):
+            if subject is None:
+                raise MappingError("IS NULL needs an attribute")
+            return IsNull(subject)
+        self.expect_kw("OF")
+        if self.accept_punct("("):
+            self.expect_kw("ONLY")
+            type_name = self.expect_word()
+            if not self.accept_punct(")"):
+                raise MappingError("missing ')' after IS OF (ONLY ...)")
+            return IsOfOnly(type_name)
+        type_name = self.expect_word()
+        return IsOf(type_name)
+
+    def _literal(self):
+        token = self.next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            return int(token.text)
+        if token.kind == "kw" and token.text == "TRUE":
+            return True
+        if token.kind == "kw" and token.text == "FALSE":
+            return False
+        if token.kind == "kw" and token.text == "NULL":
+            return None
+        raise MappingError(f"expected literal, got {token.text!r}")
+
+
+def parse_fragment(text: str, is_association: bool = False) -> MappingFragment:
+    """Parse one ``SELECT ... = SELECT ...`` fragment equation."""
+    if "=" not in text:
+        raise MappingError("a fragment needs '=' between its two sides")
+    parser = _Parser(_tokenize(text))
+    client_attrs, client_source, client_condition, _ = parser.parse_select_block(
+        alias_allowed=True
+    )
+    token = parser.next()
+    if token.kind != "op" or token.text != "=":
+        raise MappingError(f"expected '=' between the two sides, got {token.text!r}")
+    store_cols, store_table, store_condition, _ = parser.parse_select_block(
+        alias_allowed=True
+    )
+    if parser.peek() is not None:
+        raise MappingError(f"trailing input after fragment: {parser.peek().text!r}")
+    if len(client_attrs) != len(store_cols):
+        raise MappingError(
+            f"the two sides project different arities: {client_attrs} vs {store_cols}"
+        )
+    from repro.algebra.conditions import referenced_types
+
+    if referenced_types(store_condition):
+        raise MappingError("store-side conditions cannot contain IS OF atoms")
+    return MappingFragment(
+        client_source=client_source,
+        is_association=is_association,
+        client_condition=client_condition,
+        store_table=store_table,
+        store_condition=store_condition,
+        attribute_map=tuple(zip(client_attrs, store_cols)),
+    )
+
+
+def parse_fragments(text: str) -> List[MappingFragment]:
+    """Parse a whole mapping: fragments separated by blank lines or ';'.
+
+    Lines starting with ``--`` are comments.  A fragment whose client
+    attributes are all role-qualified (``Role.Attr``) is treated as an
+    association fragment.
+    """
+    blocks: List[str] = []
+    current: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("--"):
+            continue
+        if not stripped or stripped == ";":
+            if current:
+                blocks.append("\n".join(current))
+                current = []
+            continue
+        current.append(line)
+    if current:
+        blocks.append("\n".join(current))
+
+    fragments = []
+    for block in blocks:
+        fragment = parse_fragment(block)
+        if fragment.alpha and all("." in attr for attr in fragment.alpha):
+            fragment = MappingFragment(
+                client_source=fragment.client_source,
+                is_association=True,
+                client_condition=fragment.client_condition,
+                store_table=fragment.store_table,
+                store_condition=fragment.store_condition,
+                attribute_map=fragment.attribute_map,
+            )
+        fragments.append(fragment)
+    return fragments

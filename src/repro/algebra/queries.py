@@ -1,0 +1,325 @@
+"""Query ASTs: project-select fragment queries and the extended view algebra.
+
+Fragment sides (Section 2.1) are pure project-select queries over a single
+entity set, association set, or table.  Compiled views additionally need
+natural joins, left/full outer joins and UNION ALL (see Figure 2 and
+Algorithms 1-2), plus computed constant columns such as ``true AS tE``
+(provenance flags) and ``CAST(NULL) AS BillAddr`` (padding).
+
+All nodes are immutable; joins are *natural* (on shared output column
+names), which is exactly what the paper's view-generation algorithms
+produce after their explicit renamings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.algebra.conditions import Condition, TRUE
+from repro.errors import EvaluationError
+
+
+# ---------------------------------------------------------------------------
+# Projection expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Col:
+    """Reference to an input column/attribute by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant output value (``true AS tE``, ``NULL AS BillAddr``)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if self.value is True:
+            return "True"
+        if self.value is False:
+            return "False"
+        return repr(self.value)
+
+
+CtorExpr = Union[Col, Const]
+
+
+@dataclass(frozen=True)
+class ProjItem:
+    """One output column of a projection: ``expr AS output``."""
+
+    output: str
+    expr: CtorExpr
+
+    def __str__(self) -> str:
+        if isinstance(self.expr, Col) and self.expr.name == self.output:
+            return self.output
+        return f"{self.expr} AS {self.output}"
+
+
+def items_from_names(names: Sequence[str]) -> Tuple[ProjItem, ...]:
+    """Identity projection items for the given column names."""
+    return tuple(ProjItem(name, Col(name)) for name in names)
+
+
+def items_from_renaming(renaming: Mapping[str, str]) -> Tuple[ProjItem, ...]:
+    """Items for ``π_{in AS out}``: keys are input names, values outputs."""
+    return tuple(ProjItem(out, Col(inp)) for inp, out in renaming.items())
+
+
+# ---------------------------------------------------------------------------
+# Query nodes
+# ---------------------------------------------------------------------------
+
+class Query:
+    """Base class for all query nodes."""
+
+    def children(self) -> Tuple["Query", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Query"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def transform_conditions(self, fn: Callable[[Condition], Condition]) -> "Query":
+        """Rebuild the query with *fn* applied to every Select condition tree."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SetScan(Query):
+    """Scan of an entity set; yields each entity's attributes + concrete type."""
+
+    set_name: str
+
+    def transform_conditions(self, fn):
+        return self
+
+    def __str__(self) -> str:
+        return self.set_name
+
+
+@dataclass(frozen=True)
+class AssociationScan(Query):
+    """Scan of an association set; yields role-qualified key attributes."""
+
+    assoc_name: str
+
+    def transform_conditions(self, fn):
+        return self
+
+    def __str__(self) -> str:
+        return self.assoc_name
+
+
+@dataclass(frozen=True)
+class TableScan(Query):
+    """Scan of a store table."""
+
+    table_name: str
+
+    def transform_conditions(self, fn):
+        return self
+
+    def __str__(self) -> str:
+        return self.table_name
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    source: Query
+    condition: Condition
+
+    def children(self):
+        return (self.source,)
+
+    def transform_conditions(self, fn):
+        return Select(self.source.transform_conditions(fn), self.condition.transform(fn))
+
+    def __str__(self) -> str:
+        return f"σ[{self.condition}]({self.source})"
+
+
+@dataclass(frozen=True)
+class Project(Query):
+    source: Query
+    items: Tuple[ProjItem, ...]
+
+    def __post_init__(self) -> None:
+        outputs = [item.output for item in self.items]
+        if len(outputs) != len(set(outputs)):
+            raise EvaluationError(f"duplicate output columns in projection: {outputs}")
+
+    def children(self):
+        return (self.source,)
+
+    def transform_conditions(self, fn):
+        return Project(self.source.transform_conditions(fn), self.items)
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        return tuple(item.output for item in self.items)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(item) for item in self.items)
+        return f"π[{rendered}]({self.source})"
+
+
+@dataclass(frozen=True)
+class Join(Query):
+    """Inner join.
+
+    ``on=None`` joins naturally (on all shared output column names);
+    ``on=(c1, ...)`` joins on exactly those columns, and any *other*
+    shared columns are merged by COALESCE(left, right) — the behaviour
+    view generation needs when several contributions expose the same
+    client attribute but a row only populates one of them.
+    """
+
+    left: Query
+    right: Query
+    on: Optional[Tuple[str, ...]] = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def transform_conditions(self, fn):
+        return Join(
+            self.left.transform_conditions(fn),
+            self.right.transform_conditions(fn),
+            self.on,
+        )
+
+    def __str__(self) -> str:
+        suffix = f" ON {','.join(self.on)}" if self.on else ""
+        return f"({self.left} ⋈{suffix} {self.right})"
+
+
+@dataclass(frozen=True)
+class LeftOuterJoin(Query):
+    """Left outer join; unmatched left rows pad right-only columns.
+    ``on`` semantics as for :class:`Join`."""
+
+    left: Query
+    right: Query
+    on: Optional[Tuple[str, ...]] = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def transform_conditions(self, fn):
+        return LeftOuterJoin(
+            self.left.transform_conditions(fn),
+            self.right.transform_conditions(fn),
+            self.on,
+        )
+
+    def __str__(self) -> str:
+        suffix = f" ON {','.join(self.on)}" if self.on else ""
+        return f"({self.left} ⟕{suffix} {self.right})"
+
+
+@dataclass(frozen=True)
+class FullOuterJoin(Query):
+    """Full outer join; used by partitioned entity query views.
+    ``on`` semantics as for :class:`Join`."""
+
+    left: Query
+    right: Query
+    on: Optional[Tuple[str, ...]] = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def transform_conditions(self, fn):
+        return FullOuterJoin(
+            self.left.transform_conditions(fn),
+            self.right.transform_conditions(fn),
+            self.on,
+        )
+
+    def __str__(self) -> str:
+        suffix = f" ON {','.join(self.on)}" if self.on else ""
+        return f"({self.left} ⟗{suffix} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnionAll(Query):
+    """Union of branches; narrower branches are padded with NULL columns,
+    mirroring the explicit ``CAST (NULL AS ...)`` padding of Figure 2."""
+
+    branches: Tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise EvaluationError("UnionAll needs at least two branches")
+
+    def children(self):
+        return self.branches
+
+    def transform_conditions(self, fn):
+        return UnionAll(tuple(b.transform_conditions(fn) for b in self.branches))
+
+    def __str__(self) -> str:
+        return "(" + " ∪ ".join(str(b) for b in self.branches) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def project_select(
+    source: Query,
+    condition: Condition = TRUE,
+    items: Sequence[ProjItem] = (),
+) -> Query:
+    """``π_items(σ_condition(source))`` with trivial parts elided."""
+    from repro.algebra.conditions import TrueCond
+
+    query: Query = source
+    if not isinstance(condition, TrueCond):
+        query = Select(query, condition)
+    if items:
+        query = Project(query, tuple(items))
+    return query
+
+
+def union_all(branches: Sequence[Query]) -> Query:
+    branches = tuple(branches)
+    if not branches:
+        raise EvaluationError("cannot union zero branches")
+    if len(branches) == 1:
+        return branches[0]
+    return UnionAll(branches)
+
+
+def leaf_sources(query: Query) -> Tuple[Query, ...]:
+    """All scan leaves of a query tree."""
+    return tuple(
+        node
+        for node in query.walk()
+        if isinstance(node, (SetScan, AssociationScan, TableScan))
+    )
+
+
+def scanned_names(query: Query) -> Tuple[str, ...]:
+    """Names of all scanned sets/associations/tables (with duplicates)."""
+    names: List[str] = []
+    for leaf in leaf_sources(query):
+        if isinstance(leaf, SetScan):
+            names.append(leaf.set_name)
+        elif isinstance(leaf, AssociationScan):
+            names.append(leaf.assoc_name)
+        else:
+            names.append(leaf.table_name)
+    return tuple(names)

@@ -1,0 +1,132 @@
+"""Condition rewrites used by the incremental algorithms.
+
+Algorithm 2 (and the fragment-adaptation step of Section 3.1.3) rewrites
+conditions when a new entity type ``E`` is added below ancestor ``P``:
+
+* every ``IS OF (ONLY P)`` becomes ``IS OF (ONLY P) ∨ IS OF E`` — entities
+  of the new type must keep flowing into views that stored exactly-P data,
+  because the non-α attributes of E are mapped "like P";
+* every ``IS OF F`` with F strictly between E and P is replaced by an
+  expression that *excludes* E entities (they are mapped elsewhere):
+
+      ⋁_{F' ∈ dp(F)} ( IS OF (ONLY F') ∨ ⋁_{F'' ∈ ch_p(F')} IS OF F'' )
+
+  where ``dp(F)`` are the descendants of F inside the between-set ``p`` and
+  ``ch_p(F')`` are the children of F' outside ``p ∪ {E}``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Set, Tuple
+
+from repro.algebra.conditions import (
+    Condition,
+    IsOf,
+    IsOfOnly,
+    or_,
+)
+from repro.algebra.queries import Query
+from repro.edm.schema import ClientSchema
+
+
+def widen_only_condition(parent: str, new_type: str) -> Callable[[Condition], Condition]:
+    """Node transformer: ``IS OF (ONLY parent)`` → ``... ∨ IS OF new_type``."""
+
+    def transformer(node: Condition) -> Condition:
+        if isinstance(node, IsOfOnly) and node.type_name == parent:
+            return or_(IsOfOnly(parent), IsOf(new_type))
+        return node
+
+    return transformer
+
+
+def exclude_new_entity_condition(
+    schema: ClientSchema,
+    between: Sequence[str],
+    new_type: str,
+) -> Callable[[Condition], Condition]:
+    """Node transformer implementing lines 10-15 of Algorithm 2.
+
+    *between* is the set ``p`` (proper ancestors of the new type that are
+    proper descendants of P).  Every ``IS OF F`` with ``F ∈ p`` is replaced
+    by the disjunction above, which covers exactly the old extension of
+    ``IS OF F`` minus entities of *new_type*.
+    """
+    between_set: Set[str] = set(between)
+
+    def replacement_for(type_name: str) -> Condition:
+        descendants_in_p: Tuple[str, ...] = tuple(
+            t for t in schema.descendants_or_self(type_name) if t in between_set
+        )
+        disjuncts = []
+        for inner in descendants_in_p:
+            disjuncts.append(IsOfOnly(inner))
+            for child in schema.children_of(inner):
+                if child not in between_set and child != new_type:
+                    disjuncts.append(IsOf(child))
+        return or_(*disjuncts)
+
+    def transformer(node: Condition) -> Condition:
+        if isinstance(node, IsOf) and node.type_name in between_set:
+            return replacement_for(node.type_name)
+        return node
+
+    return transformer
+
+
+def narrow_table_scans(query: Query, table_name: str, condition: Condition) -> Query:
+    """Wrap every scan of *table_name* in ``σ_condition`` (rebuilds the tree).
+
+    Used when a table is retrofitted with a discriminator column: views
+    that used to read the whole table must be narrowed to the rows that
+    still belong to them (``disc IS NULL``).
+    """
+    from repro.algebra.queries import (
+        FullOuterJoin,
+        Join,
+        LeftOuterJoin,
+        Project,
+        Select,
+        TableScan,
+        UnionAll,
+    )
+
+    def rebuild(node: Query) -> Query:
+        if isinstance(node, TableScan):
+            if node.table_name == table_name:
+                return Select(node, condition)
+            return node
+        if isinstance(node, Select):
+            return Select(rebuild(node.source), node.condition)
+        if isinstance(node, Project):
+            return Project(rebuild(node.source), node.items)
+        if isinstance(node, Join):
+            return Join(rebuild(node.left), rebuild(node.right), node.on)
+        if isinstance(node, LeftOuterJoin):
+            return LeftOuterJoin(rebuild(node.left), rebuild(node.right), node.on)
+        if isinstance(node, FullOuterJoin):
+            return FullOuterJoin(rebuild(node.left), rebuild(node.right), node.on)
+        if isinstance(node, UnionAll):
+            return UnionAll(tuple(rebuild(b) for b in node.branches))
+        return node
+
+    return rebuild(query)
+
+
+def rewrite_query(query: Query, *transformers: Callable[[Condition], Condition]) -> Query:
+    """Apply condition transformers (in order) to every Select in *query*."""
+    result = query
+    for transformer in transformers:
+        result = result.transform_conditions(transformer)
+    return result
+
+
+def compose_transformers(
+    *transformers: Callable[[Condition], Condition]
+) -> Callable[[Condition], Condition]:
+    def combined(node: Condition) -> Condition:
+        for transformer in transformers:
+            node = transformer(node)
+        return node
+
+    return combined

@@ -1,0 +1,62 @@
+"""Structural condition simplification.
+
+Purely syntactic: flattening, TRUE/FALSE absorption, duplicate-operand
+removal, double-negation elimination.  *Semantic* decisions (tautology,
+satisfiability, implication over the type hierarchy and attribute domains)
+live in :mod:`repro.containment` — the paper's tautology check for
+``AddEntityPart`` coverage (Section 3.3) needs domain knowledge, e.g. that
+``gender = M ∨ gender = F`` is a tautology because the domain is {M, F}.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algebra.conditions import (
+    And,
+    Condition,
+    FALSE,
+    FalseCond,
+    Not,
+    Or,
+    TRUE,
+    TrueCond,
+    and_,
+    or_,
+)
+
+
+def simplify(condition: Condition) -> Condition:
+    """Return a structurally simplified, semantically equivalent condition."""
+    if isinstance(condition, And):
+        operands = _dedup([simplify(op) for op in condition.operands])
+        if any(isinstance(op, FalseCond) for op in operands):
+            return FALSE
+        operands = [op for op in operands if not isinstance(op, TrueCond)]
+        return and_(*operands) if operands else TRUE
+    if isinstance(condition, Or):
+        operands = _dedup([simplify(op) for op in condition.operands])
+        if any(isinstance(op, TrueCond) for op in operands):
+            return TRUE
+        operands = [op for op in operands if not isinstance(op, FalseCond)]
+        return or_(*operands) if operands else FALSE
+    if isinstance(condition, Not):
+        inner = simplify(condition.operand)
+        if isinstance(inner, Not):
+            return inner.operand
+        if isinstance(inner, TrueCond):
+            return FALSE
+        if isinstance(inner, FalseCond):
+            return TRUE
+        return Not(inner)
+    return condition
+
+
+def _dedup(operands: List[Condition]) -> List[Condition]:
+    seen = set()
+    result = []
+    for operand in operands:
+        if operand not in seen:
+            seen.add(operand)
+            result.append(operand)
+    return result

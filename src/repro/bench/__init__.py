@@ -1,0 +1,31 @@
+"""Benchmark drivers: one module per paper figure, plus the harness.
+
+Run directly:
+
+    python -m repro.bench.fig4
+    python -m repro.bench.fig9
+    python -m repro.bench.fig10
+
+Environment knobs: REPRO_FULL=1 (published sizes), REPRO_BUDGET=<seconds>
+(per-point budget), REPRO_CHAIN_TYPES / REPRO_CUSTOMER_SCALE (overrides).
+"""
+
+from repro.bench.harness import (
+    Measurement,
+    full_scale,
+    measure,
+    point_budget,
+    print_matrix,
+    print_table,
+    speedup_summary,
+)
+
+__all__ = [
+    "Measurement",
+    "full_scale",
+    "measure",
+    "point_budget",
+    "print_matrix",
+    "print_table",
+    "speedup_summary",
+]

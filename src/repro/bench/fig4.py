@@ -1,0 +1,113 @@
+"""Figure 4: full compilation time of the "hub and rim" model.
+
+Sweeps the fan-out M for each spine depth N and full-compiles the TPH
+mapping at every grid point, with a per-point time budget (censored points
+are printed as ``>Xs``, as one must when re-running the figure's largest
+points — the paper's own top out near 10⁵ seconds).  Also runs the
+Section 1.1 contrast: the same client schema mapped table-per-type
+compiles quickly at every point.
+
+Default grid (laptop scale): N ∈ 1..3, M ∈ 1..6, 20 s budget.
+``REPRO_FULL=1`` extends to the paper's N ∈ 1..5, M ∈ 1..15.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.bench.harness import (
+    Measurement,
+    full_scale,
+    measure,
+    point_budget,
+    print_matrix,
+)
+from repro.compiler import compile_mapping
+from repro.workloads.hub_rim import hub_rim_mapping, type_count
+
+
+def default_grid() -> Tuple[Sequence[int], Sequence[int]]:
+    if full_scale():
+        return range(1, 6), range(1, 16)
+    return range(1, 4), range(1, 7)
+
+
+def run_point(n: int, m: int, style: str, budget_seconds: float) -> Measurement:
+    mapping = hub_rim_mapping(n, m, style)
+
+    def compile_it(budget):
+        compile_mapping(mapping, budget=budget)
+
+    return measure(
+        f"{style} N={n} M={m}",
+        compile_it,
+        budget_seconds=budget_seconds,
+        n=n,
+        m=m,
+        types=type_count(n, m),
+        style=style,
+    )
+
+
+def run(
+    ns: Optional[Sequence[int]] = None,
+    ms: Optional[Sequence[int]] = None,
+    budget_seconds: Optional[float] = None,
+) -> Dict[str, Dict[Tuple[int, int], Measurement]]:
+    """Run the full sweep; returns {'TPH': {...}, 'TPT': {...}} grids."""
+    default_ns, default_ms = default_grid()
+    ns = list(ns if ns is not None else default_ns)
+    ms = list(ms if ms is not None else default_ms)
+    budget = budget_seconds if budget_seconds is not None else point_budget(20.0)
+
+    results: Dict[str, Dict[Tuple[int, int], Measurement]] = {"TPH": {}, "TPT": {}}
+    for style in ("TPH", "TPT"):
+        censored_from: Dict[int, int] = {}
+        for n in ns:
+            for m in ms:
+                # once a row censors, larger M in the same row only gets
+                # slower; skip ahead and mark as censored.
+                if n in censored_from and m >= censored_from[n]:
+                    results[style][(n, m)] = Measurement(
+                        f"{style} N={n} M={m}",
+                        params={"n": n, "m": m},
+                        censored=True,
+                        budget_seconds=budget,
+                    )
+                    continue
+                point = run_point(n, m, style, budget)
+                results[style][(n, m)] = point
+                if point.censored:
+                    censored_from[n] = m
+    return results
+
+
+def main() -> None:
+    ns, ms = default_grid()
+    results = run()
+    print_matrix(
+        "Figure 4 — full compilation time, hub-and-rim mapped TPH "
+        "(one table + discriminator)",
+        list(ns),
+        list(ms),
+        results["TPH"],
+    )
+    print_matrix(
+        "Section 1.1 contrast — same schema mapped TPT "
+        "(each type its own table)",
+        list(ns),
+        list(ms),
+        results["TPT"],
+    )
+    tph_cells = [m for m in results["TPH"].values() if m.seconds is not None]
+    tpt_cells = [m for m in results["TPT"].values() if m.seconds is not None]
+    if tph_cells and tpt_cells:
+        print(
+            f"\n  max TPH time {max(m.seconds for m in tph_cells):.2f}s "
+            f"(+ {sum(1 for m in results['TPH'].values() if m.censored)} censored) "
+            f"vs max TPT time {max(m.seconds for m in tpt_cells):.2f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

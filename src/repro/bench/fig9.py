@@ -1,0 +1,106 @@
+"""Figure 9: SMO runtimes on the synthetic chain model vs full recompilation.
+
+Builds the chain model (Figure 8), compiles its views once as the starting
+point, then measures every SMO of the Section 4.2 operation mix applied
+*to the same pre-compiled model* — the interactive-development scenario —
+and a full recompilation of the model for the baseline bar.
+
+Default size 150 entity types (the full 1002 behind ``REPRO_FULL=1``);
+the full-compilation baseline respects the per-point budget and reports a
+censored lower bound if the budget trips.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.bench.harness import (
+    Measurement,
+    env_int,
+    full_scale,
+    measure,
+    point_budget,
+    print_table,
+    speedup_summary,
+)
+from repro.bench.smo_suite import standard_suite
+from repro.compiler import compile_mapping, generate_views
+from repro.incremental import CompiledModel, IncrementalCompiler
+from repro.workloads.chain import chain_mapping, entity_name
+
+
+def default_types() -> int:
+    if full_scale():
+        return 1002
+    return env_int("REPRO_CHAIN_TYPES", 150)
+
+
+def build_model(n_types: int) -> CompiledModel:
+    """The pre-compiled chain model (views generated, known valid)."""
+    mapping = chain_mapping(n_types)
+    return CompiledModel(mapping, generate_views(mapping))
+
+
+def suite_for(n_types: int, seed: int = 13):
+    """The operation mix, anchored at randomly chosen chain types."""
+    rng = random.Random(seed)
+    pick = lambda: entity_name(rng.randrange(2, n_types - 1))
+    pairs = [(pick(), pick()) for _ in range(4)]
+    pairs = [(a, b) for a, b in pairs if a != b] or [
+        (entity_name(2), entity_name(5))
+    ]
+    return standard_suite(
+        tpt_parent=pick(),
+        tph_parent=pick(),
+        assoc_pairs=pairs,
+        ap_target=pick(),
+        aep_parent=pick(),
+    )
+
+
+def run(
+    n_types: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
+    repeats: int = 3,
+    seed: int = 13,
+) -> Dict[str, object]:
+    n_types = n_types if n_types is not None else default_types()
+    budget = budget_seconds if budget_seconds is not None else point_budget(
+        1200.0 if full_scale() else 120.0
+    )
+    base = build_model(n_types)
+    compiler = IncrementalCompiler()
+
+    smo_measurements: List[Measurement] = []
+    for label, factory in suite_for(n_types, seed):
+        def apply_smo(work_budget, factory=factory):
+            compiler.budget = work_budget
+            compiler.apply(base, factory(base))
+
+        smo_measurements.append(
+            measure(label, apply_smo, budget_seconds=budget, repeats=repeats,
+                    n_types=n_types)
+        )
+
+    def full_compile(work_budget):
+        compile_mapping(chain_mapping(n_types), budget=work_budget)
+
+    full_measurement = measure(
+        "Full", full_compile, budget_seconds=budget, repeats=1, n_types=n_types
+    )
+    return {"smos": smo_measurements, "full": full_measurement, "n_types": n_types}
+
+
+def main() -> None:
+    results = run()
+    print_table(
+        f"Figure 9 — synthetic chain model ({results['n_types']} entity types)",
+        list(results["smos"]) + [results["full"]],
+    )
+    print("\n  speedup vs full recompilation:")
+    speedup_summary(results["full"], results["smos"])
+
+
+if __name__ == "__main__":
+    main()

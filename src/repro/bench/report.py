@@ -1,0 +1,110 @@
+"""One-shot experiment report: run every figure and write a markdown file.
+
+    python -m repro.bench.report [output.md]
+
+Runs Figures 4, 9 and 10 at the configured scale (`REPRO_FULL`,
+`REPRO_BUDGET`, ... as for the individual drivers) and writes a
+markdown report with the same tables the drivers print — the file to
+diff against `EXPERIMENTS.md` when revisiting the reproduction.
+"""
+
+from __future__ import annotations
+
+import io
+import platform
+import sys
+import time
+from typing import List
+
+from repro.bench import fig4, fig9, fig10
+from repro.bench.harness import (
+    full_scale,
+    print_matrix,
+    print_table,
+    speedup_summary,
+)
+
+
+def _section(out: List[str], title: str) -> None:
+    out.append(f"\n## {title}\n")
+
+
+def _capture(fn) -> str:
+    buffer = io.StringIO()
+    fn(lambda line="": buffer.write(str(line) + "\n"))
+    return buffer.getvalue()
+
+
+def generate_report() -> str:
+    out: List[str] = []
+    out.append("# Reproduction run report")
+    out.append("")
+    out.append(f"* python: {platform.python_version()} on {platform.platform()}")
+    out.append(f"* scale: {'published (REPRO_FULL=1)' if full_scale() else 'default (laptop)'}")
+    out.append(f"* started: {time.strftime('%Y-%m-%d %H:%M:%S')}")
+
+    _section(out, "Figure 4 — hub-and-rim full compilation")
+    ns, ms = fig4.default_grid()
+    results4 = fig4.run()
+    out.append("```")
+    out.append(
+        _capture(
+            lambda p: (
+                print_matrix("TPH", list(ns), list(ms), results4["TPH"], out=p),
+                print_matrix("TPT contrast", list(ns), list(ms), results4["TPT"], out=p),
+            )
+        )
+    )
+    out.append("```")
+
+    _section(out, "Figure 9 — chain model")
+    results9 = fig9.run()
+    out.append("```")
+    out.append(
+        _capture(
+            lambda p: (
+                print_table(
+                    f"chain ({results9['n_types']} types)",
+                    list(results9["smos"]) + [results9["full"]],
+                    out=p,
+                ),
+                speedup_summary(results9["full"], results9["smos"], out=p),
+            )
+        )
+    )
+    out.append("```")
+
+    _section(out, "Figure 10 — customer model")
+    results10 = fig10.run()
+    out.append("```")
+    out.append(
+        _capture(
+            lambda p: (
+                print_table(
+                    f"customer (scale {results10['scale']}, {results10['types']} types)",
+                    list(results10["smos"]) + [results10["full"]],
+                    out=p,
+                ),
+                speedup_summary(results10["full"], results10["smos"], out=p),
+            )
+        )
+    )
+    out.append("```")
+
+    out.append("\nSee EXPERIMENTS.md for the paper-vs-measured discussion.")
+    return "\n".join(out) + "\n"
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "results/report.md"
+    report = generate_report()
+    try:
+        with open(target, "w") as handle:
+            handle.write(report)
+        print(f"wrote {target}")
+    except OSError:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""The SMO suite of Section 4.2's experiments.
+
+Builds, for a given compiled model, the same operation mix Figures 9 and
+10 report: AE-TPT, AE-TPC, AE-TPH, AA-FK, AA-JT, AP, and AEP-np-TPT for
+n = 1..3 (entity sets horizontally partitioned across 2ⁿ tables, each
+vertically mapped TPT).  Factories are fresh per call so a suite can be
+re-applied to the same base model for repeated timing runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Sequence, Tuple
+
+from repro.algebra.conditions import Comparison, and_
+from repro.edm.types import Attribute, INT, STRING
+from repro.incremental import (
+    AddAssociationFK,
+    AddAssociationJT,
+    AddEntity,
+    AddEntityPart,
+    AddEntityTPH,
+    AddProperty,
+    CompiledModel,
+    Partition,
+    Smo,
+)
+from repro.modef.infer import primary_fragment_of, primary_table_of
+from repro.relational.schema import ForeignKey
+
+SmoFactory = Callable[[CompiledModel], Smo]
+
+_counter = itertools.count()
+
+
+def _fresh(prefix: str) -> str:
+    return f"{prefix}{next(_counter)}"
+
+
+def ae_tpt(parent: str) -> SmoFactory:
+    def factory(model: CompiledModel) -> Smo:
+        name = _fresh("NewTpt")
+        fragment = primary_fragment_of(model, parent)
+        key = model.client_schema.key_of(parent)
+        ref = tuple(fragment.maps_attr(k) or k for k in key)
+        return AddEntity.tpt(
+            model,
+            name,
+            parent,
+            [Attribute(f"{name}_x", STRING)],
+            f"T_{name}",
+            table_foreign_keys=[ForeignKey(tuple(key), fragment.store_table, ref)],
+        )
+
+    return factory
+
+
+def ae_tpc(parent: str) -> SmoFactory:
+    def factory(model: CompiledModel) -> Smo:
+        name = _fresh("NewTpc")
+        return AddEntity.tpc(
+            model, name, parent, [Attribute(f"{name}_x", STRING)], f"T_{name}"
+        )
+
+    return factory
+
+
+def ae_tph(parent: str, discriminator: str = "Disc") -> SmoFactory:
+    def factory(model: CompiledModel) -> Smo:
+        name = _fresh("NewTph")
+        table = primary_table_of(model, parent)
+        return AddEntityTPH.create(
+            model,
+            name,
+            parent,
+            [Attribute(f"{name}_x", STRING)],
+            table,
+            discriminator,
+            name,
+        )
+
+    return factory
+
+
+def aa_fk(end1: str, end2: str) -> SmoFactory:
+    def factory(model: CompiledModel) -> Smo:
+        name = _fresh("NewAssocFK")
+        fragment = primary_fragment_of(model, end1)
+        schema = model.client_schema
+        key1 = schema.key_of(end1)
+        key2 = schema.key_of(end2)
+        attr_map = {}
+        for k in key1:
+            attr_map[f"{name}_src.{k}"] = fragment.maps_attr(k) or k
+        fk_columns = []
+        for k in key2:
+            column = f"{name}_{k}"
+            attr_map[f"{name}_dst.{k}"] = column
+            fk_columns.append(column)
+        target = primary_fragment_of(model, end2)
+        ref = tuple(target.maps_attr(k) or k for k in key2)
+        return AddAssociationFK.create(
+            model,
+            name,
+            end1,
+            end2,
+            fragment.store_table,
+            attr_map,
+            mult1="*",
+            mult2="0..1",
+            role1=f"{name}_src",
+            role2=f"{name}_dst",
+            new_foreign_keys=[ForeignKey(tuple(fk_columns), target.store_table, ref)],
+        )
+
+    return factory
+
+
+def aa_jt(end1: str, end2: str) -> SmoFactory:
+    def factory(model: CompiledModel) -> Smo:
+        name = _fresh("NewAssocJT")
+        schema = model.client_schema
+        key1 = schema.key_of(end1)
+        key2 = schema.key_of(end2)
+        attr_map = {}
+        fks = []
+        for role, end, key in ((f"{name}_src", end1, key1), (f"{name}_dst", end2, key2)):
+            fragment = primary_fragment_of(model, end)
+            columns = []
+            for k in key:
+                column = f"{role}_{k}"
+                attr_map[f"{role}.{k}"] = column
+                columns.append(column)
+            ref = tuple(fragment.maps_attr(k) or k for k in key)
+            fks.append(ForeignKey(tuple(columns), fragment.store_table, ref))
+        return AddAssociationJT.create(
+            model,
+            name,
+            end1,
+            end2,
+            f"J_{name}",
+            attr_map,
+            table_foreign_keys=fks,
+            role1=f"{name}_src",
+            role2=f"{name}_dst",
+        )
+
+    return factory
+
+
+def ap(entity_type: str) -> SmoFactory:
+    def factory(model: CompiledModel) -> Smo:
+        name = _fresh("NewProp")
+        table = primary_table_of(model, entity_type)
+        return AddProperty(entity_type, Attribute(name, STRING), table, name)
+
+    return factory
+
+
+def aep_tpt(parent: str, n_splits: int) -> SmoFactory:
+    """AddEntityPart across 2ⁿ tables, each with a TPT-style foreign key."""
+
+    def factory(model: CompiledModel) -> Smo:
+        name = _fresh("NewPart")
+        fragment = primary_fragment_of(model, parent)
+        schema = model.client_schema
+        key = schema.key_of(parent)
+        ref = tuple(fragment.maps_attr(k) or k for k in key)
+        part_attr = f"{name}_band"
+        parts = 2 ** n_splits
+        partitions: List[Partition] = []
+        alpha = tuple(key) + (part_attr, f"{name}_x")
+        for index in range(parts):
+            low, high = index * 10, (index + 1) * 10
+            if index == 0:
+                condition = Comparison(part_attr, "<", high)
+            elif index == parts - 1:
+                condition = Comparison(part_attr, ">=", low)
+            else:
+                condition = and_(
+                    Comparison(part_attr, ">=", low),
+                    Comparison(part_attr, "<", high),
+                )
+            partitions.append(
+                Partition.of(
+                    alpha,
+                    condition,
+                    f"T_{name}_{index}",
+                    table_foreign_keys=[
+                        ForeignKey(tuple(key), fragment.store_table, ref)
+                    ],
+                )
+            )
+        smo = AddEntityPart(
+            name=name,
+            parent=parent,
+            new_attributes=(Attribute(part_attr, INT), Attribute(f"{name}_x", STRING)),
+            anchor=parent,
+            partitions=tuple(partitions),
+        )
+        smo.kind = f"AEP-{n_splits}p-TPT"
+        return smo
+
+    return factory
+
+
+def standard_suite(
+    tpt_parent: str,
+    tph_parent: str,
+    assoc_pairs: Sequence[Tuple[str, str]],
+    ap_target: str,
+    aep_parent: str,
+    aep_splits: Sequence[int] = (1, 2, 3),
+) -> List[Tuple[str, SmoFactory]]:
+    """The labelled operation mix of Figures 9 and 10."""
+    suite: List[Tuple[str, SmoFactory]] = [
+        ("AE-TPT", ae_tpt(tpt_parent)),
+        ("AE-TPC", ae_tpc(tpt_parent)),
+        ("AE-TPH", ae_tph(tph_parent)),
+    ]
+    pair_cycle = itertools.cycle(assoc_pairs)
+    suite.append(("AA-FK", aa_fk(*next(pair_cycle))))
+    suite.append(("AA-JT", aa_jt(*next(pair_cycle))))
+    suite.append(("AP", ap(ap_target)))
+    for n in aep_splits:
+        suite.append((f"AEP-{n}p-TPT", aep_tpt(aep_parent, n)))
+    return suite

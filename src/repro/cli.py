@@ -1,0 +1,180 @@
+"""Command-line interface.
+
+    python -m repro compile model.json -o compiled.json
+    python -m repro validate compiled.json
+    python -m repro views compiled.json [NAME]
+    python -m repro evolve compiled.json target-schema.json -o next.json
+    python -m repro bench {fig4,fig9,fig10}
+
+Model documents are the JSON format of :mod:`repro.msl`; ``fragments``
+may alternatively be a string of Figure-5 Entity-SQL fragment equations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.budget import WorkBudget
+from repro.compiler import compile_mapping
+from repro.errors import ReproError
+from repro.incremental import CompiledModel, IncrementalCompiler
+from repro.msl import (
+    client_schema_from_json,
+    dumps_model,
+    load_mapping,
+    load_model,
+)
+
+
+def _read_json(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _write(path: Optional[str], text: str) -> None:
+    if path is None or path == "-":
+        print(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    mapping = load_mapping(_read_json(args.model))
+    budget = WorkBudget(max_seconds=args.budget) if args.budget else None
+    result = compile_mapping(mapping, budget=budget, validate=not args.no_validate)
+    model = CompiledModel(mapping, result.views)
+    _write(args.output, dumps_model(model))
+    print(
+        f"compiled in {result.elapsed:.3f}s"
+        + (f" ({result.report})" if result.report else " (validation skipped)"),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.compiler import validate_mapping
+
+    model = load_model(_read_json(args.model))
+    budget = WorkBudget(max_seconds=args.budget) if args.budget else None
+    report = validate_mapping(model.mapping, model.views, budget)
+    print(f"mapping is valid: {report}")
+    return 0
+
+
+def cmd_views(args: argparse.Namespace) -> int:
+    model = load_model(_read_json(args.model))
+    views = model.views
+    if args.name:
+        if args.name in views.query_views:
+            print(views.query_view(args.name).to_sql())
+        elif args.name in views.update_views:
+            print(views.update_view(args.name).to_sql())
+        elif args.name in views.association_views:
+            print(views.association_view(args.name).to_sql())
+        else:
+            print(f"no view named {args.name!r}", file=sys.stderr)
+            return 1
+    else:
+        print(views.to_sql())
+    return 0
+
+
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.modef import smos_from_diff
+
+    model = load_model(_read_json(args.model))
+    target_document = _read_json(args.target)
+    target = client_schema_from_json(
+        target_document.get("clientSchema", target_document)
+    )
+    overrides = dict(
+        pair.split("=", 1) for pair in (args.style or [])
+    )
+    smos = smos_from_diff(model, target, style_overrides=overrides or None)
+    compiler = IncrementalCompiler(
+        budget=WorkBudget(max_seconds=args.budget) if args.budget else None
+    )
+    for result in compiler.apply_all(model, smos):
+        print(f"applied {result}", file=sys.stderr)
+        model = result.model
+    _write(args.output, dumps_model(model))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.figure == "fig4":
+        from repro.bench.fig4 import main as bench_main
+    elif args.figure == "fig9":
+        from repro.bench.fig9 import main as bench_main
+    else:
+        from repro.bench.fig10 import main as bench_main
+    bench_main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incremental object-to-relational mapping compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="full-compile a mapping document")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", default="-")
+    p.add_argument("--budget", type=float, default=None, help="seconds")
+    p.add_argument("--no-validate", action="store_true")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("validate", help="re-validate a compiled model")
+    p.add_argument("model")
+    p.add_argument("--budget", type=float, default=None)
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("views", help="print compiled views as Entity SQL")
+    p.add_argument("model")
+    p.add_argument("name", nargs="?", default=None)
+    p.set_defaults(fn=cmd_views)
+
+    p = sub.add_parser(
+        "evolve", help="diff against a target client schema and apply SMOs"
+    )
+    p.add_argument("model")
+    p.add_argument("target")
+    p.add_argument("-o", "--output", default="-")
+    p.add_argument(
+        "--style",
+        action="append",
+        metavar="TYPE=TPT|TPC|TPH",
+        help="force a mapping style for an added type",
+    )
+    p.add_argument("--budget", type=float, default=None)
+    p.set_defaults(fn=cmd_evolve)
+
+    p = sub.add_parser("bench", help="run a figure's benchmark driver")
+    p.add_argument("figure", choices=["fig4", "fig9", "fig10"])
+    p.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

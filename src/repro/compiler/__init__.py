@@ -1,0 +1,49 @@
+"""The full mapping compiler (baseline): analysis, view generation,
+validation (Algorithm 1 of [13] re-derived), orchestration."""
+
+from repro.compiler.analysis import (
+    SetAnalysis,
+    TypeCell,
+    check_coverage,
+    check_disambiguation,
+)
+from repro.compiler.full import CompilationResult, compile_mapping
+from repro.compiler.optimize import (
+    build_optimized_query_views_for_set,
+    optimize_views,
+)
+from repro.compiler.validation import (
+    ValidationReport,
+    check_all_foreign_keys,
+    check_foreign_key_preserved,
+    check_store_cells,
+    roundtrip_spotcheck,
+    validate_mapping,
+)
+from repro.compiler.viewgen import (
+    build_association_view,
+    build_query_views_for_set,
+    build_update_view,
+    generate_views,
+)
+
+__all__ = [
+    "CompilationResult",
+    "SetAnalysis",
+    "TypeCell",
+    "ValidationReport",
+    "build_association_view",
+    "build_optimized_query_views_for_set",
+    "build_query_views_for_set",
+    "build_update_view",
+    "check_all_foreign_keys",
+    "check_coverage",
+    "check_disambiguation",
+    "check_foreign_key_preserved",
+    "check_store_cells",
+    "compile_mapping",
+    "generate_views",
+    "optimize_views",
+    "roundtrip_spotcheck",
+    "validate_mapping",
+]

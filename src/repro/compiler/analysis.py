@@ -1,0 +1,230 @@
+"""Fragment analysis shared by the full compiler's view generation and
+validation.
+
+The central notions (re-derived from Melnik et al. [13]):
+
+* a fragment *applies* to a concrete type τ if its client condition is
+  satisfiable together with ``IS OF (ONLY τ)``;
+* the *client cells* of τ are the achievable truth vectors of the
+  (non-type) fragment conditions over τ's attribute space — one cell per
+  distinguishable class of τ-entities (e.g. age ≥ 18 vs age < 18 for a
+  partitioned mapping);
+* the *signature* of a (τ, cell) pair is the set of fragments that hold
+  on it; signatures drive both the CASE construction in query views and
+  the disambiguation check (two different (τ, cell) pairs with the same
+  signature cannot be told apart when reading the store).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.algebra.conditions import (
+    Comparison,
+    Condition,
+    IsOfOnly,
+    TRUE,
+    and_,
+)
+from repro.budget import WorkBudget
+from repro.containment.spaces import ClientConditionSpace
+from repro.edm.schema import ClientSchema
+from repro.errors import ValidationError
+from repro.mapping.fragments import Mapping, MappingFragment
+
+
+@dataclass(frozen=True)
+class TypeCell:
+    """One distinguishable class of entities of a concrete type.
+
+    ``condition`` is the conjunction of fragment-condition literals that
+    defines the cell (TRUE when the type has a single cell);
+    ``signature`` is the set of indices (into the entity-fragment list of
+    the set) of fragments that hold on the cell.
+    """
+
+    concrete_type: str
+    condition: Condition
+    signature: FrozenSet[int]
+
+
+class SetAnalysis:
+    """Analysis of the entity fragments of one entity set."""
+
+    def __init__(
+        self,
+        mapping: Mapping,
+        set_name: str,
+        budget: Optional[WorkBudget] = None,
+    ) -> None:
+        self.mapping = mapping
+        self.schema: ClientSchema = mapping.client_schema
+        self.set_name = set_name
+        self.fragments: Tuple[MappingFragment, ...] = mapping.fragments_for_set(set_name)
+        self.budget = budget
+        self._cells: Dict[str, Tuple[TypeCell, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def cells_for_type(self, type_name: str) -> Tuple[TypeCell, ...]:
+        """The client cells of *type_name* (cached)."""
+        if type_name not in self._cells:
+            self._cells[type_name] = self._compute_cells(type_name)
+        return self._cells[type_name]
+
+    def _compute_cells(self, type_name: str) -> Tuple[TypeCell, ...]:
+        conditions = [
+            and_(fragment.client_condition, IsOfOnly(type_name))
+            for fragment in self.fragments
+        ]
+        space = ClientConditionSpace(
+            self.schema, self.set_name, conditions, types=(type_name,)
+        )
+        vectors = space.truth_vectors(conditions, self.budget)
+        cells: List[TypeCell] = []
+        for vector, witness in sorted(vectors.items(), key=lambda kv: kv[0], reverse=True):
+            signature = frozenset(i for i, bit in enumerate(vector) if bit)
+            condition = self._cell_condition(vector)
+            cells.append(TypeCell(type_name, condition, signature))
+        return tuple(cells)
+
+    def _cell_condition(self, vector: Tuple[bool, ...]) -> Condition:
+        literals: List[Condition] = []
+        for index, bit in enumerate(vector):
+            if bit:
+                literals.append(self.fragments[index].client_condition)
+        return and_(*literals) if literals else TRUE
+
+    # ------------------------------------------------------------------
+    def applicable_fragment_indices(self, type_name: str) -> FrozenSet[int]:
+        """Indices of fragments applying to at least one τ-entity."""
+        result = set()
+        for cell in self.cells_for_type(type_name):
+            result |= cell.signature
+        return frozenset(result)
+
+    def all_cells(self) -> List[TypeCell]:
+        cells: List[TypeCell] = []
+        for type_name in self.schema.concrete_types_of_set(self.set_name):
+            cells.extend(self.cells_for_type(type_name))
+        return cells
+
+    # ------------------------------------------------------------------
+    def covered_attributes(self, cell: TypeCell) -> Dict[str, Optional[str]]:
+        """Map each attribute of the cell's type to how it is recovered.
+
+        Value is the attribute name when some applicable fragment projects
+        it, the string ``"=<const>"`` marker when the cell's condition pins
+        it to a constant, and ``None`` when the attribute is *not* covered
+        — a validation failure.
+        """
+        type_name = cell.concrete_type
+        attributes = self.schema.attribute_names_of(type_name)
+        coverage: Dict[str, Optional[str]] = {}
+        for attr in attributes:
+            mapped = any(
+                attr in self.fragments[i].alpha for i in cell.signature
+            )
+            if mapped:
+                coverage[attr] = attr
+                continue
+            pinned = self.pinned_value(cell, attr)
+            if pinned is not _UNPINNED:
+                coverage[attr] = f"={pinned!r}"
+            else:
+                coverage[attr] = None
+        return coverage
+
+    def pinned_value(self, cell: TypeCell, attr: str) -> object:
+        """The constant the cell's condition forces *attr* to, if any.
+
+        Decided semantically: collect the candidate constants mentioned for
+        *attr* (plus enum-domain values) and test whether the cell's
+        condition entails ``attr = c`` for exactly one of them.
+        """
+        attribute = self.schema.attribute_of(cell.concrete_type, attr)
+        candidates: List[object] = []
+        for fragment in self.fragments:
+            for atom in fragment.client_condition.atoms():
+                if isinstance(atom, Comparison) and atom.attr == attr and atom.op == "=":
+                    if atom.const not in candidates:
+                        candidates.append(atom.const)
+        if attribute.domain.values is not None:
+            for value in sorted(attribute.domain.values, key=repr):
+                if value not in candidates:
+                    candidates.append(value)
+        space = ClientConditionSpace(
+            self.schema,
+            self.set_name,
+            [cell.condition],
+            types=(cell.concrete_type,),
+        )
+        for candidate in candidates:
+            if space.implies(cell.condition, Comparison(attr, "=", candidate), self.budget):
+                return candidate
+        return _UNPINNED
+
+
+class _Unpinned:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unpinned>"
+
+
+_UNPINNED = _Unpinned()
+
+
+def is_unpinned(value: object) -> bool:
+    return value is _UNPINNED
+
+
+def check_coverage(analysis: SetAnalysis) -> None:
+    """Every attribute of every cell must be recoverable (lossless-ness).
+
+    This is the ⊇ direction of roundtripping: if an attribute of some
+    entity class is neither stored nor pinned by a condition, storing and
+    re-reading the entity loses it.
+    """
+    for cell in analysis.all_cells():
+        coverage = analysis.covered_attributes(cell)
+        missing = sorted(attr for attr, how in coverage.items() if how is None)
+        if missing:
+            raise ValidationError(
+                f"mapping does not roundtrip: attributes {missing} of type "
+                f"{cell.concrete_type!r} (cell {cell.condition}) are not covered "
+                f"by any mapping fragment",
+                check="coverage",
+            )
+
+
+def check_disambiguation(analysis: SetAnalysis) -> None:
+    """Distinct cells must have distinct fragment signatures.
+
+    If two (type, cell) classes activate exactly the same fragments, the
+    query views cannot decide which entity type to instantiate from the
+    stored data — the CASE reasoning of Section 1.1 has no sound branch.
+    Cells pinning different constants for the same unmapped attribute stay
+    distinguishable through their conditions, so only cells with equal
+    signatures *and* equal conditions collide.
+    """
+    seen: Dict[FrozenSet[int], TypeCell] = {}
+    for cell in analysis.all_cells():
+        if not cell.signature:
+            # entities matching no fragment are not stored at all; coverage
+            # rejects them when they have attributes, and empty-attribute
+            # types cannot exist (keys are attributes).
+            raise ValidationError(
+                f"entities of type {cell.concrete_type!r} matching no fragment "
+                f"cannot be stored (cell {cell.condition})",
+                check="coverage",
+            )
+        other = seen.get(cell.signature)
+        if other is not None and other.concrete_type != cell.concrete_type:
+            raise ValidationError(
+                "ambiguous mapping: types "
+                f"{other.concrete_type!r} and {cell.concrete_type!r} activate the "
+                f"same fragments {sorted(cell.signature)} and cannot be told apart "
+                "when reading the store",
+                check="disambiguation",
+            )
+        if other is None:
+            seen[cell.signature] = cell

@@ -1,0 +1,218 @@
+"""Query-view optimization (Section 6's comparative-study direction).
+
+The full compiler's raw query views are full outer joins of every fragment
+contribution with complete flag signatures in the CASE.  The paper notes
+the production compiler "can leverage schema constraints to reduce costly
+operations like full outer joins into cheaper operations, such as UNION
+ALL and left outer joins" and that the incremental compiler emits those
+shapes directly.  This module implements the reductions, so the full
+compiler can also produce Figure-2-shaped views:
+
+* **FOJ → LOJ**: if every entity matched by fragment *i* is also matched
+  by the fragments already joined (ψ_i implies their disjunction), no
+  right-padding can occur — a left outer join suffices;
+* **FOJ → UNION ALL**: fragments whose client conditions are disjoint
+  from everything joined so far never share rows — start a new UNION
+  branch instead of joining;
+* **CASE minimization**: a branch's positive flag tests drop fragments
+  implied by other positives, and its negative tests keep only flags that
+  distinguish the cell from signature-supersets — producing exactly the
+  ``WHEN _from1 AND NOT _from2`` guards of Figure 2.
+
+All reductions are justified by condition-space implication checks, so
+they are semantically safe; the equivalence tests verify optimized and
+raw views agree on canonical states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.conditions import (
+    Comparison,
+    Condition,
+    Not,
+    and_,
+    or_,
+)
+from repro.algebra.constructors import Constructor, IfCtor
+from repro.algebra.queries import (
+    LeftOuterJoin,
+    Query,
+    Select,
+    union_all,
+)
+from repro.budget import WorkBudget
+from repro.compiler.analysis import SetAnalysis, TypeCell
+from repro.compiler.viewgen import (
+    cell_constructor,
+    flag_name,
+    fragment_contribution,
+)
+from repro.containment.spaces import ClientConditionSpace
+from repro.mapping.fragments import Mapping
+from repro.mapping.views import CompiledViews, QueryView
+
+
+class _Group:
+    """One UNION branch: a left-outer-join chain of contributions."""
+
+    def __init__(self, query: Query, condition: Condition) -> None:
+        self.query = query
+        self.condition = condition  # disjunction of member fragments' ψ
+
+
+def build_optimized_query_views_for_set(
+    mapping: Mapping,
+    set_name: str,
+    analysis: Optional[SetAnalysis] = None,
+    budget: Optional[WorkBudget] = None,
+) -> Dict[str, QueryView]:
+    """Optimized query views for one entity set (LOJ/UNION ALL shapes)."""
+    schema = mapping.client_schema
+    if analysis is None:
+        analysis = SetAnalysis(mapping, set_name, budget)
+    fragments = analysis.fragments
+    if not fragments:
+        return {}
+    key = schema.key_of(schema.entity_set(set_name).root_type)
+    conditions = [f.client_condition for f in fragments]
+    space = ClientConditionSpace(schema, set_name, conditions)
+
+    # ------------------------------------------------------------------
+    # Assemble groups: LOJ within a group, UNION ALL across groups.
+    # ------------------------------------------------------------------
+    groups: List[_Group] = []
+    for index, fragment in enumerate(fragments):
+        contribution = fragment_contribution(fragment, index)
+        psi = fragment.client_condition
+        placed = False
+        for group in groups:
+            if space.implies(psi, group.condition, budget):
+                group.query = LeftOuterJoin(group.query, contribution, on=tuple(key))
+                group.condition = or_(group.condition, psi)
+                placed = True
+                break
+        if placed:
+            continue
+        overlapping = [
+            g for g in groups if space.satisfiable(and_(psi, g.condition), budget)
+        ]
+        if overlapping:
+            # Partial overlap: the fragment bridges the groups it touches,
+            # so they must all be merged into one full-outer-join group
+            # (rare for SMO-generated mappings).
+            from repro.algebra.queries import FullOuterJoin
+
+            merged = overlapping[0]
+            for other in overlapping[1:]:
+                merged.query = FullOuterJoin(merged.query, other.query, on=tuple(key))
+                merged.condition = or_(merged.condition, other.condition)
+                groups.remove(other)
+            merged.query = FullOuterJoin(merged.query, contribution, on=tuple(key))
+            merged.condition = or_(merged.condition, psi)
+        else:
+            groups.append(_Group(contribution, psi))
+
+    set_query: Query = union_all([g.query for g in groups])
+
+    # ------------------------------------------------------------------
+    # Minimized branch conditions per (type, cell).
+    # ------------------------------------------------------------------
+    all_cells = analysis.all_cells()
+    root = schema.entity_set(set_name).root_type
+    ordered_types = [
+        t
+        for t in reversed(schema.descendants_or_self(root))
+        if not schema.entity_type(t).abstract
+    ]
+    branches: List[Tuple[TypeCell, Condition, Constructor]] = []
+    for type_name in ordered_types:
+        for cell in analysis.cells_for_type(type_name):
+            condition = minimized_branch_condition(cell, all_cells, space, budget)
+            branches.append((cell, condition, cell_constructor(analysis, cell)))
+
+    views: Dict[str, QueryView] = {}
+    for entity_type in schema.descendants_or_self(root):
+        family = set(schema.descendants_or_self(entity_type))
+        relevant = [b for b in branches if b[0].concrete_type in family]
+        if not relevant:
+            continue
+        view_filter = or_(*[condition for _, condition, _ in relevant])
+        query: Query = Select(set_query, view_filter)
+        constructor: Constructor = relevant[-1][2]
+        for cell, condition, ctor in reversed(relevant[:-1]):
+            constructor = IfCtor(condition, ctor, constructor)
+        views[entity_type] = QueryView(entity_type, query, constructor)
+    return views
+
+
+def minimized_branch_condition(
+    cell: TypeCell,
+    all_cells: Sequence[TypeCell],
+    space: ClientConditionSpace,
+    budget: Optional[WorkBudget] = None,
+) -> Condition:
+    """The smallest flag test that identifies *cell* among *all_cells*.
+
+    Positive literals: the cell's signature minus fragments implied by
+    another kept positive (``IS OF Employee`` implies the widened HR
+    condition, so ``_from1`` alone suffices).  Negative literals: only
+    the flags that separate this cell from cells with strictly larger
+    signatures (Person needs ``NOT _from_Emp`` because Employee's
+    signature extends Person's).
+    """
+    fragments = space.conditions  # ψ in fragment order
+    signature = cell.signature
+
+    positives = set(signature)
+    for i in sorted(signature):
+        others = positives - {i}
+        if not others:
+            continue
+        implied = any(
+            space.implies(fragments[j], fragments[i], budget) for j in others
+        )
+        if implied:
+            positives.discard(i)
+
+    negatives = set()
+    for other in all_cells:
+        if other.signature > signature:
+            negatives |= other.signature - signature
+    # a negative is unnecessary if no remaining ambiguity: keep only the
+    # minimal distinguishing flags per superset cell
+    minimized_negatives = set()
+    for other in all_cells:
+        if other.signature > signature:
+            extra = other.signature - signature
+            if not (extra & minimized_negatives):
+                minimized_negatives.add(min(extra))
+
+    literals: List[Condition] = []
+    for index in sorted(positives):
+        literals.append(Comparison(flag_name(index), "=", True))
+    for index in sorted(minimized_negatives):
+        literals.append(Not(Comparison(flag_name(index), "=", True)))
+    return and_(*literals)
+
+
+def optimize_views(
+    mapping: Mapping,
+    views: CompiledViews,
+    budget: Optional[WorkBudget] = None,
+) -> CompiledViews:
+    """Replace every entity set's query views with optimized shapes.
+
+    Association and update views are untouched (they are already in their
+    cheap shapes).
+    """
+    optimized = views.clone()
+    for entity_set in mapping.client_schema.entity_sets:
+        if not mapping.fragments_for_set(entity_set.name):
+            continue
+        for view in build_optimized_query_views_for_set(
+            mapping, entity_set.name, budget=budget
+        ).values():
+            optimized.set_query_view(view)
+    return optimized

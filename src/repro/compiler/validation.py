@@ -1,0 +1,330 @@
+"""Full-mapping validation — our re-derivation of Algorithm 1 of [13].
+
+The five steps the paper enumerates in Section 1.2:
+
+1. the left sides of the fragments are one-to-one (structural
+   well-formedness, :meth:`Mapping.check_well_formed`);
+2-4. the update views preserve store integrity constraints — here:
+   per-type coverage, cell disambiguation, store-cell achievability, and
+   one containment check per foreign key between mapped tables;
+5. the composition of update and query views is the identity — checked on
+   canonical client states via the roundtrip oracle.
+
+Steps 3-5 are the exponential work the incremental compiler avoids: store
+cell enumeration is exponential in the number of independent store
+conditions per table (the hub-and-rim blow-up of Figure 4), and each
+containment / roundtrip check enumerates canonical states.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.conditions import IsNotNull, and_
+from repro.algebra.queries import ProjItem, Project, Query, Select, Col
+from repro.budget import WorkBudget, ensure_budget
+from repro.compiler.analysis import SetAnalysis, check_coverage, check_disambiguation
+from repro.compiler.viewgen import _produced_columns
+from repro.containment.checker import (
+    canonical_client_states,
+    check_containment,
+)
+from repro.containment.spaces import StoreConditionSpace
+from repro.errors import ValidationError
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.mapping.roundtrip import check_roundtrip
+from repro.mapping.views import CompiledViews
+
+
+@dataclass
+class ValidationReport:
+    """What a full validation did: counters for each class of work."""
+
+    coverage_checks: int = 0
+    store_cells: int = 0
+    containment_checks: int = 0
+    roundtrip_states: int = 0
+    elapsed: float = 0.0
+
+    def merge(self, other: "ValidationReport") -> None:
+        self.coverage_checks += other.coverage_checks
+        self.store_cells += other.store_cells
+        self.containment_checks += other.containment_checks
+        self.roundtrip_states += other.roundtrip_states
+        self.elapsed += other.elapsed
+
+    def __str__(self) -> str:
+        return (
+            f"ValidationReport(coverage={self.coverage_checks}, "
+            f"cells={self.store_cells}, containments={self.containment_checks}, "
+            f"roundtrip_states={self.roundtrip_states}, elapsed={self.elapsed:.3f}s)"
+        )
+
+
+def validate_mapping(
+    mapping: Mapping,
+    views: CompiledViews,
+    budget: Optional[WorkBudget] = None,
+    analyses: Optional[Dict[str, SetAnalysis]] = None,
+) -> ValidationReport:
+    """Run all five validation steps; raise ValidationError on failure."""
+    budget = ensure_budget(budget)
+    report = ValidationReport()
+    started = time.perf_counter()
+
+    # Step 1: structural well-formedness.
+    mapping.check_well_formed()
+
+    # Step 2: per-set coverage and disambiguation.
+    if analyses is None:
+        analyses = {}
+    for entity_set in mapping.client_schema.entity_sets:
+        if not mapping.fragments_for_set(entity_set.name):
+            continue
+        analysis = analyses.get(entity_set.name)
+        if analysis is None:
+            analysis = SetAnalysis(mapping, entity_set.name, budget)
+            analyses[entity_set.name] = analysis
+        check_coverage(analysis)
+        check_disambiguation(analysis)
+        report.coverage_checks += len(analysis.all_cells())
+
+    # Step 3: store-cell reasoning per table.
+    for table_name in mapping.mapped_tables():
+        report.store_cells += check_store_cells(mapping, table_name, analyses, budget)
+
+    # Step 4: foreign-key preservation.
+    report.containment_checks += check_all_foreign_keys(mapping, views, budget)
+
+    # Step 5: roundtrip identity on canonical states.
+    report.roundtrip_states += roundtrip_spotcheck(mapping, views, budget)
+
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Step 3: store cells
+# ---------------------------------------------------------------------------
+
+def check_store_cells(
+    mapping: Mapping,
+    table_name: str,
+    analyses: Dict[str, SetAnalysis],
+    budget: Optional[WorkBudget] = None,
+) -> int:
+    """Enumerate the achievable store cells of *table_name* and check that
+    every client cell projects onto an achievable store cell.
+
+    The cell count is exponential in the number of independent store
+    conditions on the table (e.g. nullable foreign-key columns used by
+    association fragments) — the full compiler's case-reasoning cost.
+    """
+    fragments = mapping.fragments_for_table(table_name)
+    conditions = [f.store_condition for f in fragments]
+    space = StoreConditionSpace(mapping.store_schema, table_name, conditions)
+    vectors = space.truth_vectors(conditions, budget)
+
+    # Positions of each set's entity fragments within the table fragments.
+    by_set: Dict[str, List[Tuple[int, MappingFragment]]] = {}
+    for position, fragment in enumerate(fragments):
+        if not fragment.is_association:
+            by_set.setdefault(fragment.client_source, []).append((position, fragment))
+
+    for set_name, positioned in by_set.items():
+        analysis = analyses.get(set_name)
+        if analysis is None:
+            analysis = SetAnalysis(mapping, set_name, budget)
+            analyses[set_name] = analysis
+        # position of each per-set fragment index within this table
+        table_position: Dict[int, int] = {}
+        for set_index, set_fragment in enumerate(analysis.fragments):
+            for position, table_fragment in enumerate(fragments):
+                if set_fragment is table_fragment:
+                    table_position[set_index] = position
+        for cell in analysis.all_cells():
+            constrained: Dict[int, bool] = {}
+            for set_index, position in table_position.items():
+                constrained[position] = set_index in cell.signature
+            if not any(constrained.values()):
+                continue  # this cell stores nothing in this table
+            achievable = any(
+                all(vector[pos] == bit for pos, bit in constrained.items())
+                for vector in vectors
+            )
+            if not achievable:
+                raise ValidationError(
+                    f"client cell of {cell.concrete_type!r} requires a row pattern "
+                    f"in table {table_name!r} that no store state can exhibit",
+                    check="store-cells",
+                )
+    return len(vectors)
+
+
+# ---------------------------------------------------------------------------
+# Step 4: foreign keys
+# ---------------------------------------------------------------------------
+
+def check_all_foreign_keys(
+    mapping: Mapping,
+    views: CompiledViews,
+    budget: Optional[WorkBudget] = None,
+    tables: Optional[Sequence[str]] = None,
+) -> int:
+    """One containment check per foreign key of every (selected) mapped table."""
+    checks = 0
+    table_names = tuple(tables) if tables is not None else mapping.mapped_tables()
+    for table_name in table_names:
+        table = mapping.store_schema.table(table_name)
+        for foreign_key in table.foreign_keys:
+            check_foreign_key_preserved(
+                mapping, views, table_name, foreign_key, budget
+            )
+            checks += 1
+    return checks
+
+
+def check_foreign_key_preserved(
+    mapping: Mapping,
+    views: CompiledViews,
+    table_name: str,
+    foreign_key,
+    budget: Optional[WorkBudget] = None,
+) -> None:
+    """Check ``π_β(Q_T) ⊆ π_γ(Q_S)`` on non-null β values (Section 1.1)."""
+    update_view = views.update_view(table_name)
+    produced = set(_produced_columns(update_view.query))
+    if not set(foreign_key.columns) <= produced:
+        return  # β columns are always NULL: the constraint holds vacuously
+
+    not_null = and_(*[IsNotNull(column) for column in foreign_key.columns])
+    lhs: Query = Project(
+        Select(update_view.query, not_null),
+        tuple(
+            ProjItem(gamma, Col(beta))
+            for beta, gamma in zip(foreign_key.columns, foreign_key.ref_columns)
+        ),
+    )
+
+    if not mapping.table_is_mapped(foreign_key.ref_table):
+        raise ValidationError(
+            f"foreign key {foreign_key} of {table_name!r} references the unmapped "
+            f"table {foreign_key.ref_table!r}; update views can never populate it",
+            check="fk-preservation",
+        )
+    target_view = views.update_view(foreign_key.ref_table)
+    rhs: Query = Project(
+        target_view.query,
+        tuple(ProjItem(gamma, Col(gamma)) for gamma in foreign_key.ref_columns),
+    )
+
+    result = check_containment(lhs, rhs, mapping.client_schema, budget)
+    if not result.holds:
+        raise ValidationError(
+            f"update views violate foreign key {foreign_key} of table "
+            f"{table_name!r}:\n{result.explain()}",
+            check="fk-preservation",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Step 5: roundtrip identity
+# ---------------------------------------------------------------------------
+
+def roundtrip_spotcheck(
+    mapping: Mapping,
+    views: CompiledViews,
+    budget: Optional[WorkBudget] = None,
+    set_names: Optional[Sequence[str]] = None,
+) -> int:
+    """Check ``Q(V(c)) = c`` on canonical states, one neighborhood at a time.
+
+    For each entity set, canonical states populate the set, the association
+    sets touching it, and their other endpoints; only the update views of
+    tables reachable through fragments and foreign keys are applied, so the
+    cost is local to the neighborhood times the (possibly exponential)
+    number of canonical states.
+    """
+    budget = ensure_budget(budget)
+    schema = mapping.client_schema
+    states_checked = 0
+    names = set_names if set_names is not None else [
+        s.name for s in schema.entity_sets if mapping.fragments_for_set(s.name)
+    ]
+    for set_name in names:
+        sets, assocs = _neighborhood_sources(mapping, set_name)
+        relevant = _relevant_views(mapping, views, sets, assocs)
+        conditions = [
+            f.client_condition
+            for name in sets
+            for f in mapping.fragments_for_set(name)
+        ]
+        for state in canonical_client_states(schema, sets, assocs, conditions, budget):
+            states_checked += 1
+            outcome = check_roundtrip(relevant, state, mapping.store_schema)
+            if not outcome.ok:
+                raise ValidationError(
+                    f"mapping does not roundtrip (neighborhood of {set_name!r}):\n"
+                    f"{outcome}",
+                    check="roundtrip",
+                )
+    return states_checked
+
+
+def _neighborhood_sources(
+    mapping: Mapping, set_name: str
+) -> Tuple[List[str], List[str]]:
+    schema = mapping.client_schema
+    sets = [set_name]
+    assocs: List[str] = []
+    for association in schema.associations:
+        if mapping.fragment_for_association(association.name) is None:
+            continue
+        if set_name in (association.entity_set1, association.entity_set2):
+            assocs.append(association.name)
+            for other in (association.entity_set1, association.entity_set2):
+                if other not in sets:
+                    sets.append(other)
+    return sets, assocs
+
+
+def _relevant_views(
+    mapping: Mapping,
+    views: CompiledViews,
+    sets: Sequence[str],
+    assocs: Sequence[str],
+) -> CompiledViews:
+    """Views needed to roundtrip a state populating only *sets*/*assocs*:
+    tables of their fragments, closed under foreign-key references."""
+    tables: Set[str] = set()
+    for set_name in sets:
+        for fragment in mapping.fragments_for_set(set_name):
+            tables.add(fragment.store_table)
+    for assoc_name in assocs:
+        fragment = mapping.fragment_for_association(assoc_name)
+        if fragment is not None:
+            tables.add(fragment.store_table)
+    # One FK hop so constraint checking has its targets populated.
+    # (No transitive closure: rows outside the neighborhood's tables can
+    # only carry NULL foreign keys, which are vacuously satisfied.)
+    for table_name in list(tables):
+        for foreign_key in mapping.store_schema.table(table_name).foreign_keys:
+            target = foreign_key.ref_table
+            if mapping.table_is_mapped(target):
+                tables.add(target)
+
+    schema = mapping.client_schema
+    relevant = CompiledViews()
+    for set_name in sets:
+        root = schema.entity_set(set_name).root_type
+        if root in views.query_views:
+            relevant.set_query_view(views.query_views[root])
+    for assoc_name in assocs:
+        if assoc_name in views.association_views:
+            relevant.set_association_view(views.association_views[assoc_name])
+    for table_name in tables:
+        if views.has_update_view(table_name):
+            relevant.set_update_view(views.update_view(table_name))
+    return relevant

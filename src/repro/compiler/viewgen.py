@@ -1,0 +1,377 @@
+"""View generation for the full mapping compiler.
+
+Re-derivation of the view-generation strategy of Melnik et al. [13] for
+our fragment language:
+
+* **Query views** — per entity set, build the full outer join of one
+  *contribution* per fragment (``π_{f(α) AS α, true AS _from_i}(σ_χ(T))``),
+  then a CASE constructor that decides, from the pattern of ``_from_i``
+  provenance flags, which concrete type (and which condition cell of it)
+  a joined row represents.  The paper's Figure 2 is the optimised shape of
+  exactly this construction; Section 6 notes the full compiler can reduce
+  full outer joins to left outer joins and UNION ALL — we keep the
+  unoptimised FOJ form, which is semantically equivalent (our tests check
+  equivalence with the incremental compiler's optimised views by
+  evaluation).
+* **Update views** — per table, UNION ALL of the entity-fragment
+  contributions (client → store renaming, with store-condition equality
+  pins materialised as constants, e.g. the TPH discriminator), left outer
+  joined with one contribution per association fragment (Section 3.2.1's
+  shape).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    Condition,
+    IsNotNull,
+    Not,
+    TrueCond,
+    and_,
+    or_,
+    referenced_attrs,
+)
+from repro.algebra.constructors import (
+    AssociationCtor,
+    Constructor,
+    EntityCtor,
+    IfCtor,
+    RowCtor,
+)
+from repro.algebra.queries import (
+    AssociationScan,
+    Col,
+    Const,
+    FullOuterJoin,
+    LeftOuterJoin,
+    ProjItem,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+    project_select,
+    union_all,
+)
+from repro.budget import WorkBudget
+from repro.compiler.analysis import SetAnalysis, TypeCell, is_unpinned
+from repro.containment.spaces import ClientConditionSpace
+from repro.edm.schema import ClientSchema
+from repro.errors import MappingError
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.mapping.views import AssociationView, CompiledViews, QueryView, UpdateView
+
+
+def flag_name(index: int) -> str:
+    """Provenance flag column for fragment *index* (Figure 2's ``_from1``)."""
+    return f"_from{index}"
+
+
+# ---------------------------------------------------------------------------
+# Query views
+# ---------------------------------------------------------------------------
+
+def fragment_contribution(fragment: MappingFragment, index: int) -> Query:
+    """``π_{f(α) AS α, true AS _from_i}(σ_χ(T))`` for one entity fragment."""
+    items = [ProjItem(attr, Col(column)) for attr, column in fragment.attribute_map]
+    items.append(ProjItem(flag_name(index), Const(True)))
+    return project_select(
+        TableScan(fragment.store_table), fragment.store_condition, tuple(items)
+    )
+
+
+def build_set_query(
+    fragments: Sequence[MappingFragment], key: Sequence[str]
+) -> Query:
+    """Full outer join of all fragment contributions of one entity set.
+
+    Joins are on the set's *key attributes* only; other shared client
+    attributes are merged by COALESCE (a row populates them in exactly one
+    contribution, or the values agree)."""
+    contributions = [
+        fragment_contribution(fragment, index)
+        for index, fragment in enumerate(fragments)
+    ]
+    query = contributions[0]
+    for contribution in contributions[1:]:
+        query = FullOuterJoin(query, contribution, on=tuple(key))
+    return query
+
+
+def branch_condition(signature: frozenset, fragment_count: int) -> Condition:
+    """Flag pattern identifying one (type, cell) class in the joined rows."""
+    literals: List[Condition] = []
+    for index in range(fragment_count):
+        test = Comparison(flag_name(index), "=", True)
+        literals.append(test if index in signature else Not(test))
+    return and_(*literals)
+
+
+def cell_constructor(analysis: SetAnalysis, cell: TypeCell) -> EntityCtor:
+    """Entity constructor for one cell: mapped attributes from columns,
+    condition-pinned attributes as constants."""
+    assignments: List[Tuple[str, object]] = []
+    for attr in analysis.schema.attribute_names_of(cell.concrete_type):
+        mapped = any(attr in analysis.fragments[i].alpha for i in cell.signature)
+        if mapped:
+            assignments.append((attr, Col(attr)))
+        else:
+            pinned = analysis.pinned_value(cell, attr)
+            if is_unpinned(pinned):
+                raise MappingError(
+                    f"attribute {attr!r} of {cell.concrete_type!r} is neither mapped "
+                    "nor pinned; run validation (coverage) before view generation"
+                )
+            assignments.append((attr, Const(pinned)))
+    return EntityCtor(cell.concrete_type, tuple(assignments))
+
+
+def build_query_views_for_set(
+    mapping: Mapping,
+    set_name: str,
+    analysis: Optional[SetAnalysis] = None,
+    budget: Optional[WorkBudget] = None,
+) -> Dict[str, QueryView]:
+    """Query views for every entity type of *set_name*'s hierarchy."""
+    schema = mapping.client_schema
+    if analysis is None:
+        analysis = SetAnalysis(mapping, set_name, budget)
+    fragments = analysis.fragments
+    if not fragments:
+        return {}
+    root_key = schema.key_of(schema.entity_set(set_name).root_type)
+    set_query = build_set_query(fragments, root_key)
+
+    # All (type, cell) branches in a stable order: leaf-most types first so
+    # the CASE tests the most specific signature first.
+    root = schema.entity_set(set_name).root_type
+    ordered_types = [
+        t
+        for t in reversed(schema.descendants_or_self(root))
+        if not schema.entity_type(t).abstract
+    ]
+    branches: List[Tuple[TypeCell, Condition, EntityCtor]] = []
+    for type_name in ordered_types:
+        for cell in analysis.cells_for_type(type_name):
+            condition = branch_condition(cell.signature, len(fragments))
+            branches.append((cell, condition, cell_constructor(analysis, cell)))
+
+    views: Dict[str, QueryView] = {}
+    for entity_type in schema.descendants_or_self(root):
+        family = set(schema.descendants_or_self(entity_type))
+        relevant = [b for b in branches if b[0].concrete_type in family]
+        if not relevant:
+            continue
+        view_filter = or_(*[condition for _, condition, _ in relevant])
+        query: Query = Select(set_query, view_filter)
+        constructor: Constructor = relevant[-1][2]
+        for cell, condition, ctor in reversed(relevant[:-1]):
+            constructor = IfCtor(condition, ctor, constructor)
+        views[entity_type] = QueryView(entity_type, query, constructor)
+    return views
+
+
+def build_association_view(
+    mapping: Mapping, fragment: MappingFragment
+) -> AssociationView:
+    """``(Q_A | τ_A)`` from the association's single fragment."""
+    items = tuple(ProjItem(attr, Col(column)) for attr, column in fragment.attribute_map)
+    query = project_select(
+        TableScan(fragment.store_table), fragment.store_condition, items
+    )
+    constructor = AssociationCtor.identity(fragment.client_source, fragment.alpha)
+    return AssociationView(fragment.client_source, query, constructor)
+
+
+# ---------------------------------------------------------------------------
+# Update views
+# ---------------------------------------------------------------------------
+
+def store_condition_pins(fragment: MappingFragment, mapping: Mapping) -> Dict[str, object]:
+    """Columns pinned to constants by the fragment's store condition.
+
+    Only conjunctively-entailed equality atoms pin (the TPH discriminator
+    ``disc = 'Employee'``).  A store-condition column that is neither
+    pinned nor mapped cannot be written back — the mapping is rejected.
+    """
+    pins: Dict[str, object] = {}
+    _collect_pins(fragment.store_condition, pins)
+    for column in referenced_attrs(fragment.store_condition):
+        if column in pins or fragment.maps_column(column) is not None:
+            continue
+        if isinstance(fragment.store_condition, TrueCond):
+            continue
+        if _column_only_not_null(fragment.store_condition, column):
+            continue
+        raise MappingError(
+            f"store condition of fragment on {fragment.store_table!r} constrains "
+            f"column {column!r} which is neither mapped nor pinned to a constant; "
+            "update views cannot be generated"
+        )
+    return pins
+
+
+def _collect_pins(condition: Condition, pins: Dict[str, object]) -> None:
+    from repro.algebra.conditions import IsNull
+
+    if isinstance(condition, Comparison) and condition.op == "=":
+        pins[condition.attr] = condition.const
+    elif isinstance(condition, IsNull):
+        pins[condition.attr] = None
+    elif isinstance(condition, And):
+        for operand in condition.operands:
+            _collect_pins(operand, pins)
+
+
+def _column_only_not_null(condition: Condition, column: str) -> bool:
+    """True when the only constraint on *column* is IS NOT NULL (the
+    association-fragment pattern: the joined key value satisfies it)."""
+    for atom in condition.atoms():
+        if isinstance(atom, IsNotNull) and atom.attr == column:
+            continue
+        if column in referenced_attrs(atom):
+            return False
+    return True
+
+
+def entity_update_contribution(
+    fragment: MappingFragment, mapping: Mapping
+) -> Tuple[Query, Tuple[str, ...]]:
+    """Client→store contribution of one entity fragment, with its columns."""
+    pins = store_condition_pins(fragment, mapping)
+    items = [ProjItem(column, Col(attr)) for attr, column in fragment.attribute_map]
+    for column, value in pins.items():
+        if fragment.maps_column(column) is None:
+            items.append(ProjItem(column, Const(value)))
+    query = project_select(
+        SetScan(fragment.client_source), fragment.client_condition, tuple(items)
+    )
+    return query, tuple(item.output for item in items)
+
+
+def association_update_contribution(
+    fragment: MappingFragment, mapping: Mapping
+) -> Tuple[Query, Tuple[str, ...]]:
+    """``π_{PK1 AS f(PK1), PK2 AS f(PK2)}(A)`` for one association fragment."""
+    items = tuple(ProjItem(column, Col(attr)) for attr, column in fragment.attribute_map)
+    query = Project(AssociationScan(fragment.client_source), items)
+    return query, tuple(item.output for item in items)
+
+
+def build_update_view(
+    mapping: Mapping,
+    table_name: str,
+    budget: Optional[WorkBudget] = None,
+) -> UpdateView:
+    """``(Q_T | τ_T)`` combining every fragment that maps into the table."""
+    fragments = mapping.fragments_for_table(table_name)
+    if not fragments:
+        raise MappingError(f"no fragments map into table {table_name!r}")
+    entity_fragments = [f for f in fragments if not f.is_association]
+    assoc_fragments = [f for f in fragments if f.is_association]
+
+    _check_entity_fragment_compatibility(mapping, table_name, entity_fragments, budget)
+
+    entity_queries = [
+        entity_update_contribution(fragment, mapping)[0]
+        for fragment in entity_fragments
+    ]
+    query: Optional[Query] = union_all(entity_queries) if entity_queries else None
+
+    table_key = mapping.store_schema.table(table_name).primary_key
+    for fragment in assoc_fragments:
+        contribution, _ = association_update_contribution(fragment, mapping)
+        if query is None:
+            query = contribution
+        else:
+            query = LeftOuterJoin(query, contribution, on=tuple(table_key))
+
+    assert query is not None
+    table = mapping.store_schema.table(table_name)
+    produced = set(_produced_columns(query))
+    assignments = tuple(
+        (column, Col(column) if column in produced else Const(None))
+        for column in table.column_names
+    )
+    return UpdateView(table_name, query, RowCtor(table_name, assignments))
+
+
+def _produced_columns(query: Query) -> Tuple[str, ...]:
+    """Static output columns of an update-view body (no context needed:
+    every leaf is wrapped in an explicit projection)."""
+    if isinstance(query, Project):
+        return query.output_names
+    if isinstance(query, Select):
+        return _produced_columns(query.source)
+    if isinstance(query, (LeftOuterJoin, FullOuterJoin)):
+        left = _produced_columns(query.left)
+        right = _produced_columns(query.right)
+        return left + tuple(c for c in right if c not in left)
+    if hasattr(query, "branches"):
+        columns: List[str] = []
+        for branch in query.branches:  # type: ignore[attr-defined]
+            for column in _produced_columns(branch):
+                if column not in columns:
+                    columns.append(column)
+        return tuple(columns)
+    raise MappingError(f"cannot determine produced columns of {query!r}")
+
+
+def _check_entity_fragment_compatibility(
+    mapping: Mapping,
+    table_name: str,
+    entity_fragments: Sequence[MappingFragment],
+    budget: Optional[WorkBudget],
+) -> None:
+    """Reject same-table entity fragments that can fire for the same entity
+    with different column sets — UNION ALL would split one row in two.
+
+    No paper scenario produces this shape; it is an explicit limitation.
+    """
+    for i, left in enumerate(entity_fragments):
+        for right in entity_fragments[i + 1 :]:
+            if left.client_source != right.client_source:
+                continue
+            if set(left.beta) == set(right.beta):
+                continue
+            space = ClientConditionSpace(
+                mapping.client_schema,
+                left.client_source,
+                [left.client_condition, right.client_condition],
+            )
+            overlap = and_(left.client_condition, right.client_condition)
+            if space.satisfiable(overlap, budget):
+                raise MappingError(
+                    f"unsupported mapping: fragments on table {table_name!r} with "
+                    "overlapping client conditions map different column sets"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Whole-mapping view generation
+# ---------------------------------------------------------------------------
+
+def generate_views(
+    mapping: Mapping, budget: Optional[WorkBudget] = None
+) -> CompiledViews:
+    """Generate all query, association and update views of *mapping*."""
+    views = CompiledViews()
+    analyses: Dict[str, SetAnalysis] = {}
+    for entity_set in mapping.client_schema.entity_sets:
+        if not mapping.fragments_for_set(entity_set.name):
+            continue
+        analysis = SetAnalysis(mapping, entity_set.name, budget)
+        analyses[entity_set.name] = analysis
+        for view in build_query_views_for_set(
+            mapping, entity_set.name, analysis, budget
+        ).values():
+            views.set_query_view(view)
+    for fragment in mapping.association_fragments():
+        views.set_association_view(build_association_view(mapping, fragment))
+    for table_name in mapping.mapped_tables():
+        views.set_update_view(build_update_view(mapping, table_name, budget))
+    return views

@@ -1,0 +1,28 @@
+"""Satisfiability, implication, tautology and query containment.
+
+This package is the NP-hard substrate of mapping validation: condition
+spaces decide condition-level questions by finite enumeration, and the
+CQC-style checker decides query containment by canonical-instance
+evaluation.
+"""
+
+from repro.containment.atoms import FRESH, collect_constants, value_candidates
+from repro.containment.checker import ContainmentResult, check_containment
+from repro.containment.spaces import (
+    Assignment,
+    ClientConditionSpace,
+    ConditionSpace,
+    StoreConditionSpace,
+)
+
+__all__ = [
+    "Assignment",
+    "ClientConditionSpace",
+    "ConditionSpace",
+    "ContainmentResult",
+    "FRESH",
+    "StoreConditionSpace",
+    "check_containment",
+    "collect_constants",
+    "value_candidates",
+]

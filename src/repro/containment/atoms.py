@@ -1,0 +1,92 @@
+"""Finite value candidates for deciding conditions over infinite domains.
+
+The fragment condition language compares attributes only against constants
+(``A θ c``), tests nullability, and tests type membership.  For such a
+language, satisfiability/implication/tautology over an infinite ordered
+domain can be decided by evaluating over a *finite* set of candidate
+values: the mentioned constants, values just below/between/above them, and
+NULL where permitted.  Finite (enum) domains contribute their actual
+values, which is what makes the Section 3.3 gender tautology
+``gender = M ∨ gender = F`` decidable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.algebra.conditions import Comparison, Condition, IsNotNull, IsNull
+from repro.edm.types import Domain
+
+#: Sentinel distinct from any user value, representing "a fresh value
+#: different from every mentioned constant" for equality-only domains.
+FRESH = "⁑fresh⁑"
+
+
+def collect_constants(conditions: Iterable[Condition]) -> dict:
+    """Map attribute name → sorted list of constants mentioned for it."""
+    constants: dict = {}
+    for condition in conditions:
+        for atom in condition.atoms():
+            if isinstance(atom, Comparison):
+                constants.setdefault(atom.attr, set()).add(atom.const)
+            elif isinstance(atom, (IsNull, IsNotNull)):
+                constants.setdefault(atom.attr, set())
+    return {attr: sorted(values, key=repr) for attr, values in constants.items()}
+
+
+def value_candidates(
+    domain: Domain, nullable: bool, constants: Sequence[object]
+) -> Tuple[object, ...]:
+    """A finite, sufficient set of candidate values for one attribute.
+
+    Sufficiency argument: every atom's truth value depends only on the
+    relation of the attribute value to the mentioned constants (equal,
+    between two adjacent ones, below all, above all) or on nullness; the
+    returned set realises every such region that the domain permits.
+    """
+    candidates: List[object] = []
+
+    if domain.values is not None:
+        candidates.extend(sorted(domain.values, key=repr))
+    elif domain.base in ("int", "decimal"):
+        numeric = sorted(c for c in constants if isinstance(c, (int, float)))
+        for constant in numeric:
+            for candidate in (constant - 1, constant, constant + 1):
+                if candidate not in candidates:
+                    candidates.append(candidate)
+        if not numeric:
+            candidates.append(0)
+        else:
+            low, high = numeric[0] - 2, numeric[-1] + 2
+            for candidate in (low, high):
+                if candidate not in candidates:
+                    candidates.append(candidate)
+            # midpoints between adjacent integer constants with a gap
+            for left, right in zip(numeric, numeric[1:]):
+                if isinstance(left, int) and isinstance(right, int) and right - left > 1:
+                    mid = left + (right - left) // 2
+                    if mid not in candidates:
+                        candidates.append(mid)
+    else:
+        # Equality-only comparable domains (strings, dates, bools):
+        # mentioned constants plus one fresh value. Ordered comparisons on
+        # strings are rare in mappings; we still include FRESH which sorts
+        # arbitrarily — tests for ordered string predicates use enum domains.
+        for constant in constants:
+            if constant not in candidates:
+                candidates.append(constant)
+        if domain.base == "bool":
+            for candidate in (True, False):
+                if candidate not in candidates:
+                    candidates.append(candidate)
+        else:
+            candidates.append(FRESH)
+
+    if nullable:
+        candidates.append(None)
+    return tuple(candidates)
+
+
+def default_value(domain: Domain) -> object:
+    """A fixed representative for attributes no condition mentions."""
+    return domain.sample_values()[0]

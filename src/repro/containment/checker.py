@@ -1,0 +1,314 @@
+"""CQC-style query containment over client states.
+
+Checks ``Q1 ⊆ Q2`` for client-side queries (the shape of every validation
+check in Sections 3.1.4 and 3.2, after unfolding update views) by
+enumerating *canonical client states* and evaluating both queries on each —
+the canonical-instance method of Farré et al.'s CQC [9], specialised to the
+fragment/view language:
+
+* every entity set scanned by either query contributes zero or one *center*
+  entity, sweeping concrete types and candidate values for every attribute
+  mentioned in a condition (plus a *partner* entity where a self-set
+  association needs one);
+* every association set scanned contributes either no tuple or one tuple
+  over a compatible pair of present entities;
+* states violating multiplicity lower bounds are skipped (containment must
+  hold on legal states only).
+
+For the language at hand (project-select with joins against associations,
+outer joins, unions, conditions over constants) one output row depends on
+one center entity and its incident association tuples, so these small
+states are sufficient: any counterexample state can be shrunk to one of
+the canonical states.  Worst-case cost is exponential in the number of
+sources and mentioned attributes — the NP-hardness the paper cites — and
+every state enumeration ticks the work budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.conditions import Condition
+from repro.algebra.evaluate import ClientContext, evaluate_query, output_columns
+from repro.algebra.queries import (
+    AssociationScan,
+    Query,
+    Select,
+    SetScan,
+    leaf_sources,
+)
+from repro.budget import WorkBudget, ensure_budget
+from repro.containment.atoms import collect_constants, default_value, value_candidates
+from repro.edm.instances import ClientState, Entity
+from repro.edm.schema import ClientSchema
+from repro.errors import EvaluationError, SchemaError
+
+
+@dataclass
+class ContainmentResult:
+    """Outcome of a containment check, with a counterexample on failure."""
+
+    holds: bool
+    counterexample: Optional[ClientState] = None
+    missing_row: Optional[Dict[str, object]] = None
+    states_checked: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def explain(self) -> str:
+        if self.holds:
+            return f"containment holds ({self.states_checked} canonical states)"
+        lines = [
+            "containment FAILS:",
+            f"  row {self.missing_row!r} produced by Q1 but not by Q2 on state:",
+        ]
+        if self.counterexample is not None:
+            lines.extend("  " + line for line in str(self.counterexample).splitlines())
+        return "\n".join(lines)
+
+
+def _conditions_of(query: Query) -> List[Condition]:
+    return [node.condition for node in query.walk() if isinstance(node, Select)]
+
+
+def _sources_of(queries: Sequence[Query]) -> Tuple[List[str], List[str]]:
+    sets: List[str] = []
+    assocs: List[str] = []
+    for query in queries:
+        for leaf in leaf_sources(query):
+            if isinstance(leaf, SetScan) and leaf.set_name not in sets:
+                sets.append(leaf.set_name)
+            elif isinstance(leaf, AssociationScan) and leaf.assoc_name not in assocs:
+                assocs.append(leaf.assoc_name)
+    return sets, assocs
+
+
+class _EntityCandidateFactory:
+    """Generates candidate entities for one entity set."""
+
+    def __init__(
+        self,
+        schema: ClientSchema,
+        set_name: str,
+        constants: Dict[str, List[object]],
+    ) -> None:
+        self.schema = schema
+        self.set_name = set_name
+        self.constants = constants
+        self.types = schema.concrete_types_of_set(set_name)
+
+    def candidates(self, key_seed: int, enumerate_attrs: bool) -> List[Entity]:
+        """All candidate entities; *key_seed* keeps keys distinct."""
+        result: List[Entity] = []
+        for type_name in self.types:
+            key = set(self.schema.key_of(type_name))
+            mentioned: List[str] = []
+            pools: List[Tuple[object, ...]] = []
+            base: Dict[str, object] = {}
+            for attribute in self.schema.attributes_of(type_name):
+                if attribute.name in key and attribute.name not in self.constants:
+                    base[attribute.name] = self._key_value(attribute, key_seed)
+                elif enumerate_attrs and attribute.name in self.constants:
+                    mentioned.append(attribute.name)
+                    pools.append(
+                        value_candidates(
+                            attribute.domain,
+                            attribute.nullable and attribute.name not in key,
+                            self.constants[attribute.name],
+                        )
+                    )
+                elif attribute.name in key:
+                    base[attribute.name] = self._key_value(attribute, key_seed)
+                else:
+                    base[attribute.name] = (
+                        None if attribute.nullable else default_value(attribute.domain)
+                    )
+            for combo in itertools.product(*pools):
+                values = dict(base)
+                values.update(zip(mentioned, combo))
+                result.append(Entity.of(type_name, **values))
+        return result
+
+    def _key_value(self, attribute, key_seed: int) -> object:
+        base = attribute.domain.base
+        if base in ("int", "decimal"):
+            return 900000 + key_seed
+        if attribute.domain.values is not None:
+            values = sorted(attribute.domain.values, key=repr)
+            return values[key_seed % len(values)]
+        return f"k{key_seed}"
+
+
+def _canonical_states(
+    schema: ClientSchema,
+    sets: Sequence[str],
+    assocs: Sequence[str],
+    constants: Dict[str, List[object]],
+    budget: WorkBudget,
+) -> Iterator[ClientState]:
+    """Enumerate the canonical states described in the module docstring."""
+    factories = {name: _EntityCandidateFactory(schema, name, constants) for name in sets}
+
+    per_set_options: List[List[Tuple[str, Tuple[Entity, ...]]]] = []
+    for index, set_name in enumerate(sets):
+        factory = factories[set_name]
+        options: List[Tuple[str, Tuple[Entity, ...]]] = [(set_name, ())]
+        centers = factory.candidates(key_seed=2 * index, enumerate_attrs=True)
+        for center in centers:
+            options.append((set_name, (center,)))
+        if _needs_partner(schema, set_name, assocs):
+            partners = factory.candidates(key_seed=2 * index + 1, enumerate_attrs=False)
+            for center in centers:
+                for partner in partners:
+                    options.append((set_name, (center, partner)))
+        per_set_options.append(options)
+
+    for combo in itertools.product(*per_set_options):
+        entities_by_set = {set_name: list(entities) for set_name, entities in combo}
+        assoc_option_pools: List[List[Optional[Tuple[str, Entity, Entity]]]] = []
+        for assoc_name in assocs:
+            association = schema.association(assoc_name)
+            pool: List[Optional[Tuple[str, Entity, Entity]]] = [None]
+            for e1 in entities_by_set.get(association.entity_set1, []):
+                if not _participates(schema, e1, association.end1.entity_type):
+                    continue
+                for e2 in entities_by_set.get(association.entity_set2, []):
+                    if e1 is e2:
+                        continue
+                    if not _participates(schema, e2, association.end2.entity_type):
+                        continue
+                    pool.append((assoc_name, e1, e2))
+            assoc_option_pools.append(pool)
+
+        for assoc_combo in itertools.product(*assoc_option_pools):
+            budget.tick()
+            state = ClientState(schema)
+            try:
+                for set_name, entity_list in entities_by_set.items():
+                    for entity in entity_list:
+                        state.add_entity(set_name, entity)
+                for option in assoc_combo:
+                    if option is None:
+                        continue
+                    assoc_name, e1, e2 = option
+                    association = schema.association(assoc_name)
+                    key1 = schema.key_of(association.end1.entity_type)
+                    key2 = schema.key_of(association.end2.entity_type)
+                    state.add_association(
+                        assoc_name, e1.key_tuple(key1), e2.key_tuple(key2)
+                    )
+            except SchemaError:
+                continue  # duplicate keys or multiplicity upper bound: skip
+            if not _satisfies_lower_bounds(schema, state):
+                continue
+            yield state
+
+
+def _needs_partner(schema: ClientSchema, set_name: str, assocs: Sequence[str]) -> bool:
+    """A second entity is needed iff some scanned association is self-set."""
+    for assoc_name in assocs:
+        association = schema.association(assoc_name)
+        if association.entity_set1 == set_name and association.entity_set2 == set_name:
+            return True
+    return False
+
+
+def _participates(schema: ClientSchema, entity: Entity, end_type: str) -> bool:
+    return end_type in schema.ancestors_or_self(entity.concrete_type)
+
+
+def _satisfies_lower_bounds(schema: ClientSchema, state: ClientState) -> bool:
+    """Check multiplicity-1 (required) ends on the canonical state."""
+    for association in schema.associations:
+        required1 = association.end1.multiplicity.value == "1"
+        required2 = association.end2.multiplicity.value == "1"
+        if not (required1 or required2):
+            continue
+        key1 = schema.key_of(association.end1.entity_type)
+        key2 = schema.key_of(association.end2.entity_type)
+        pairs = state.associations(association.name)
+        len1 = len(key1)
+        if required2:
+            # every entity participating at end1 needs a partner
+            for entity in state.entities(association.entity_set1):
+                if not _participates(schema, entity, association.end1.entity_type):
+                    continue
+                key = entity.key_tuple(key1)
+                if not any(pair[:len1] == key for pair in pairs):
+                    return False
+        if required1:
+            for entity in state.entities(association.entity_set2):
+                if not _participates(schema, entity, association.end2.entity_type):
+                    continue
+                key = entity.key_tuple(key2)
+                if not any(pair[len1:] == key for pair in pairs):
+                    return False
+    return True
+
+
+def canonical_client_states(
+    schema: ClientSchema,
+    sets: Sequence[str],
+    assocs: Sequence[str],
+    conditions: Sequence[Condition] = (),
+    budget: Optional[WorkBudget] = None,
+) -> Iterator[ClientState]:
+    """Public enumeration of canonical states over the given sources.
+
+    Used by the full compiler's roundtrip spot-check (step 5 of validation)
+    and by property tests.  *conditions* seed the per-attribute value
+    candidates.
+    """
+    budget = ensure_budget(budget)
+    constants = collect_constants(conditions)
+    yield from _canonical_states(schema, list(sets), list(assocs), constants, budget)
+
+
+def check_containment(
+    q1: Query,
+    q2: Query,
+    schema: ClientSchema,
+    budget: Optional[WorkBudget] = None,
+) -> ContainmentResult:
+    """Decide ``Q1 ⊆ Q2`` over all legal client states of *schema*.
+
+    Both queries must have the same static output columns (the validation
+    code aligns them with renaming projections, as the paper does with
+    ``π_{β AS γ}``).
+    """
+    budget = ensure_budget(budget)
+    sets, assocs = _sources_of([q1, q2])
+    conditions = _conditions_of(q1) + _conditions_of(q2)
+    constants = collect_constants(conditions)
+
+    probe_state = ClientState(schema)
+    probe = ClientContext(probe_state)
+    cols1 = set(output_columns(q1, probe))
+    cols2 = set(output_columns(q2, probe))
+    if cols1 != cols2:
+        raise EvaluationError(
+            f"containment requires aligned projections; got {sorted(cols1)} "
+            f"vs {sorted(cols2)}"
+        )
+
+    states_checked = 0
+    for state in _canonical_states(schema, sets, assocs, constants, budget):
+        states_checked += 1
+        context = ClientContext(state)
+        rows1 = evaluate_query(q1, context)
+        if not rows1:
+            continue
+        rows2 = evaluate_query(q2, context)
+        available = {tuple(sorted(row.items())) for row in rows2}
+        for row in rows1:
+            if tuple(sorted(row.items())) not in available:
+                return ContainmentResult(
+                    holds=False,
+                    counterexample=state,
+                    missing_row=row,
+                    states_checked=states_checked,
+                )
+    return ContainmentResult(holds=True, states_checked=states_checked)

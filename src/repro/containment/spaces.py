@@ -1,0 +1,266 @@
+"""Decision procedures for conditions over one source.
+
+A *condition space* fixes a source (a client entity set, a client entity
+type, or a store table) and a set of conditions of interest, derives finite
+value candidates for every mentioned attribute, and decides
+
+* satisfiability,
+* implication,
+* tautology (the Section 3.3 coverage check),
+* equivalence, and
+* the set of achievable truth vectors over a list of conditions — the
+  *cells* that drive the full compiler's case reasoning, whose count is
+  exponential in the number of independent conditions.  This is the
+  NP-hard core the paper circumvents incrementally.
+
+Complexity is the product of candidate-set sizes over mentioned
+attributes (times the number of concrete types on the client side); all
+enumeration loops tick a :class:`~repro.budget.WorkBudget`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.algebra.conditions import (
+    Condition,
+    Not,
+    TupleContext,
+    and_,
+    evaluate_condition,
+)
+from repro.budget import WorkBudget, ensure_budget
+from repro.containment.atoms import collect_constants, default_value, value_candidates
+from repro.edm.schema import ClientSchema
+from repro.errors import SchemaError
+from repro.relational.schema import StoreSchema
+
+
+class _AssignmentContext(TupleContext):
+    """Evaluates conditions over one symbolic assignment."""
+
+    def __init__(
+        self,
+        values: Dict[str, object],
+        concrete_type: Optional[str],
+        schema: Optional[ClientSchema],
+    ) -> None:
+        self._values = values
+        self._type = concrete_type
+        self._schema = schema
+
+    def attr_value(self, name: str) -> object:
+        if name not in self._values:
+            raise KeyError(name)
+        return self._values[name]
+
+    def is_of(self, type_name: str, only: bool) -> bool:
+        if self._type is None or self._schema is None:
+            raise SchemaError("type atoms are not allowed on store-side conditions")
+        if only:
+            return self._type == type_name
+        if not self._schema.has_entity_type(type_name):
+            return False
+        return type_name in self._schema.ancestors_or_self(self._type)
+
+
+class Assignment:
+    """One point of the space: optional concrete type + attribute values."""
+
+    __slots__ = ("concrete_type", "values", "_context")
+
+    def __init__(
+        self,
+        concrete_type: Optional[str],
+        values: Dict[str, object],
+        schema: Optional[ClientSchema],
+    ) -> None:
+        self.concrete_type = concrete_type
+        self.values = values
+        self._context = _AssignmentContext(values, concrete_type, schema)
+
+    def satisfies(self, condition: Condition) -> bool:
+        return evaluate_condition(condition, self._context)
+
+    def __repr__(self) -> str:
+        return f"Assignment({self.concrete_type}, {self.values})"
+
+
+class ConditionSpace:
+    """Base: finite assignment enumeration + decision procedures."""
+
+    def assignments(self, budget: Optional[WorkBudget] = None) -> Iterator[Assignment]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def satisfiable(
+        self, condition: Condition, budget: Optional[WorkBudget] = None
+    ) -> bool:
+        return self.witness(condition, budget) is not None
+
+    def witness(
+        self, condition: Condition, budget: Optional[WorkBudget] = None
+    ) -> Optional[Assignment]:
+        for assignment in self.assignments(budget):
+            if assignment.satisfies(condition):
+                return assignment
+        return None
+
+    def tautology(
+        self, condition: Condition, budget: Optional[WorkBudget] = None
+    ) -> bool:
+        return not self.satisfiable(Not(condition), budget)
+
+    def implies(
+        self,
+        premise: Condition,
+        conclusion: Condition,
+        budget: Optional[WorkBudget] = None,
+    ) -> bool:
+        return not self.satisfiable(and_(premise, Not(conclusion)), budget)
+
+    def equivalent(
+        self, left: Condition, right: Condition, budget: Optional[WorkBudget] = None
+    ) -> bool:
+        return self.implies(left, right, budget) and self.implies(right, left, budget)
+
+    def truth_vectors(
+        self,
+        conditions: Sequence[Condition],
+        budget: Optional[WorkBudget] = None,
+    ) -> Dict[Tuple[bool, ...], Assignment]:
+        """All achievable truth vectors over *conditions*, with witnesses.
+
+        This is the cell enumeration of the full compiler: for a table with
+        k fragments whose store conditions are independent (e.g. nullable
+        foreign-key columns from associations), up to 2^k vectors are
+        achievable and each assignment visit costs k evaluations.
+        """
+        vectors: Dict[Tuple[bool, ...], Assignment] = {}
+        for assignment in self.assignments(budget):
+            vector = tuple(assignment.satisfies(c) for c in conditions)
+            if vector not in vectors:
+                vectors[vector] = assignment
+        return vectors
+
+
+class StoreConditionSpace(ConditionSpace):
+    """Assignments over the columns of one store table."""
+
+    def __init__(
+        self,
+        store_schema: StoreSchema,
+        table_name: str,
+        conditions: Iterable[Condition],
+    ) -> None:
+        self.table = store_schema.table(table_name)
+        self.conditions = tuple(conditions)
+        constants = collect_constants(self.conditions)
+        self._mentioned: List[str] = [
+            c for c in self.table.column_names if c in constants
+        ]
+        self._candidates: Dict[str, Tuple[object, ...]] = {}
+        for column_name in self._mentioned:
+            column = self.table.column(column_name)
+            self._candidates[column_name] = value_candidates(
+                column.domain, column.nullable, constants[column_name]
+            )
+        self._defaults = {
+            c.name: (None if c.nullable else default_value(c.domain))
+            for c in self.table.columns
+            if c.name not in self._mentioned
+        }
+
+    def assignments(self, budget: Optional[WorkBudget] = None) -> Iterator[Assignment]:
+        budget = ensure_budget(budget)
+        pools = [self._candidates[name] for name in self._mentioned]
+        for combo in itertools.product(*pools):
+            budget.tick()
+            values = dict(self._defaults)
+            values.update(zip(self._mentioned, combo))
+            yield Assignment(None, values, None)
+
+
+class ClientConditionSpace(ConditionSpace):
+    """Assignments over the entities of one client entity set.
+
+    Enumerates (concrete type, attribute values) pairs.  Only attributes
+    mentioned by the conditions vary; an attribute is present in an
+    assignment exactly when the chosen concrete type has it.
+    """
+
+    def __init__(
+        self,
+        client_schema: ClientSchema,
+        set_name: str,
+        conditions: Iterable[Condition],
+        types: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.schema = client_schema
+        self.set_name = set_name
+        self.conditions = tuple(conditions)
+        if types is None:
+            self.types: Tuple[str, ...] = client_schema.concrete_types_of_set(set_name)
+        else:
+            self.types = tuple(types)
+        self._constants = collect_constants(self.conditions)
+
+    def _per_type_pools(
+        self, type_name: str
+    ) -> Tuple[List[str], List[Tuple[object, ...]], Dict[str, object]]:
+        mentioned: List[str] = []
+        pools: List[Tuple[object, ...]] = []
+        defaults: Dict[str, object] = {}
+        for attribute in self.schema.attributes_of(type_name):
+            if attribute.name in self._constants:
+                mentioned.append(attribute.name)
+                pools.append(
+                    value_candidates(
+                        attribute.domain, attribute.nullable, self._constants[attribute.name]
+                    )
+                )
+            else:
+                defaults[attribute.name] = (
+                    None if attribute.nullable else default_value(attribute.domain)
+                )
+        return mentioned, pools, defaults
+
+    def assignments(self, budget: Optional[WorkBudget] = None) -> Iterator[Assignment]:
+        budget = ensure_budget(budget)
+        for type_name in self.types:
+            mentioned, pools, defaults = self._per_type_pools(type_name)
+            for combo in itertools.product(*pools):
+                budget.tick()
+                values = dict(defaults)
+                values.update(zip(mentioned, combo))
+                yield Assignment(type_name, values, self.schema)
+
+    def assignments_for_type(
+        self, type_name: str, budget: Optional[WorkBudget] = None
+    ) -> Iterator[Assignment]:
+        budget = ensure_budget(budget)
+        mentioned, pools, defaults = self._per_type_pools(type_name)
+        for combo in itertools.product(*pools):
+            budget.tick()
+            values = dict(defaults)
+            values.update(zip(mentioned, combo))
+            yield Assignment(type_name, values, self.schema)
+
+    def tautology_for_type(
+        self,
+        type_name: str,
+        condition: Condition,
+        budget: Optional[WorkBudget] = None,
+    ) -> bool:
+        """Is *condition* true of every possible entity of *type_name*?
+
+        This is the AddEntityPart coverage check of Section 3.3: for the
+        Adult/Young partition it decides that ``age ≥ 18 ∨ age < 18`` is a
+        tautology, and for the gender example that
+        ``gender = M ∨ gender = F`` is one (via the enum domain).
+        """
+        for assignment in self.assignments_for_type(type_name, budget):
+            if not assignment.satisfies(condition):
+                return False
+        return True

@@ -1,0 +1,37 @@
+"""EDM-subset client model: entity types, associations, schemas, instances."""
+
+from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
+from repro.edm.builder import ClientSchemaBuilder
+from repro.edm.entity import EntitySet, EntityType
+from repro.edm.instances import ClientState, Entity
+from repro.edm.schema import ClientSchema
+from repro.edm.types import (
+    BOOL,
+    DATE,
+    DECIMAL,
+    INT,
+    STRING,
+    Attribute,
+    Domain,
+    enum_domain,
+)
+
+__all__ = [
+    "Attribute",
+    "AssociationEnd",
+    "AssociationSet",
+    "BOOL",
+    "ClientSchema",
+    "ClientSchemaBuilder",
+    "ClientState",
+    "DATE",
+    "DECIMAL",
+    "Domain",
+    "Entity",
+    "EntitySet",
+    "EntityType",
+    "INT",
+    "Multiplicity",
+    "STRING",
+    "enum_domain",
+]

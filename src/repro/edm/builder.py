@@ -1,0 +1,113 @@
+"""A fluent builder for client schemas.
+
+Keeps examples and workload generators readable::
+
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Employee", parent="Person", attrs=[("Department", STRING)])
+        .entity_set("Persons", "Person")
+        .association(
+            "Supports", "Customer", "Employee",
+            mult1="*", mult2="0..1", set1="Persons", set2="Persons",
+        )
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
+from repro.edm.entity import EntitySet, EntityType
+from repro.edm.schema import ClientSchema
+from repro.edm.types import Attribute, Domain, STRING
+
+AttrSpec = Union[Attribute, Tuple[str, Domain], Tuple[str, Domain, bool], str]
+
+_MULTIPLICITIES = {m.value: m for m in Multiplicity}
+
+
+def _as_attribute(spec: AttrSpec, nullable_default: bool = False) -> Attribute:
+    if isinstance(spec, Attribute):
+        return spec
+    if isinstance(spec, str):
+        return Attribute(spec, STRING, nullable_default)
+    if len(spec) == 2:
+        name, domain = spec
+        return Attribute(name, domain, nullable_default)
+    name, domain, nullable = spec
+    return Attribute(name, domain, nullable)
+
+
+def _as_multiplicity(value: Union[str, Multiplicity]) -> Multiplicity:
+    if isinstance(value, Multiplicity):
+        return value
+    return _MULTIPLICITIES[value]
+
+
+class ClientSchemaBuilder:
+    """Accumulates definitions, then :meth:`build` produces a ClientSchema.
+
+    ``entity`` with a ``key`` argument declares a hierarchy root and, unless
+    ``auto_set=False``, a same-named-plural entity set is *not* created —
+    sets are always explicit to keep the mapping story unambiguous.
+    """
+
+    def __init__(self) -> None:
+        self._schema = ClientSchema()
+
+    def entity(
+        self,
+        name: str,
+        parent: Optional[str] = None,
+        key: Sequence[AttrSpec] = (),
+        attrs: Sequence[AttrSpec] = (),
+        abstract: bool = False,
+    ) -> "ClientSchemaBuilder":
+        key_attrs = [_as_attribute(a) for a in key]
+        other_attrs = [_as_attribute(a) for a in attrs]
+        self._schema.add_entity_type(
+            EntityType(
+                name=name,
+                parent=parent,
+                attributes=tuple(key_attrs + other_attrs),
+                key=tuple(a.name for a in key_attrs),
+                abstract=abstract,
+            )
+        )
+        return self
+
+    def entity_set(self, name: str, root_type: str) -> "ClientSchemaBuilder":
+        self._schema.add_entity_set(EntitySet(name, root_type))
+        return self
+
+    def association(
+        self,
+        name: str,
+        type1: str,
+        type2: str,
+        mult1: Union[str, Multiplicity] = "*",
+        mult2: Union[str, Multiplicity] = "*",
+        set1: Optional[str] = None,
+        set2: Optional[str] = None,
+        role1: Optional[str] = None,
+        role2: Optional[str] = None,
+    ) -> "ClientSchemaBuilder":
+        entity_set1 = set1 if set1 is not None else self._schema.set_of_type(type1).name
+        entity_set2 = set2 if set2 is not None else self._schema.set_of_type(type2).name
+        self._schema.add_association(
+            AssociationSet(
+                name=name,
+                end1=AssociationEnd(type1, _as_multiplicity(mult1), role1),
+                end2=AssociationEnd(type2, _as_multiplicity(mult2), role2),
+                entity_set1=entity_set1,
+                entity_set2=entity_set2,
+            )
+        )
+        return self
+
+    def build(self) -> ClientSchema:
+        self._schema.validate()
+        return self._schema

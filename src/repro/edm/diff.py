@@ -1,0 +1,104 @@
+"""Model diff: abstract edits between two client schemas.
+
+Section 1.2: "a developer can simply edit the model and then invoke a tool
+that generates a sequence of SMOs from a diff of the old and new models.
+For example, the tool can generate drop-operations of all model elements
+that were deleted, and then generate add-operations for elements that were
+added."  This module computes the abstract edits; the MoDEF layer
+(:mod:`repro.modef`) turns them into concrete SMOs by inferring the
+surrounding mapping style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.edm.association import AssociationSet
+from repro.edm.schema import ClientSchema
+from repro.edm.types import Attribute
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class AddedEntityType:
+    name: str
+    parent: str
+    attributes: Tuple[Attribute, ...]
+
+
+@dataclass(frozen=True)
+class DroppedEntityType:
+    name: str
+
+
+@dataclass(frozen=True)
+class AddedAssociation:
+    association: AssociationSet
+
+
+@dataclass(frozen=True)
+class DroppedAssociation:
+    name: str
+
+
+@dataclass(frozen=True)
+class AddedAttribute:
+    entity_type: str
+    attribute: Attribute
+
+
+Edit = object
+
+
+def diff_client_schemas(old: ClientSchema, new: ClientSchema) -> List[Edit]:
+    """Ordered edits turning *old* into *new*: drops first, then adds.
+
+    Drops are emitted leaf-first and adds parent-first so that each edit is
+    applicable when reached.  Renames are not detected (a rename diffs as
+    drop + add, as in the paper's sketch).
+    """
+    edits: List[Edit] = []
+
+    old_types = {t.name for t in old.entity_types}
+    new_types = {t.name for t in new.entity_types}
+    old_assocs = {a.name for a in old.associations}
+    new_assocs = {a.name for a in new.associations}
+
+    for name in sorted(old_assocs - new_assocs):
+        edits.append(DroppedAssociation(name))
+
+    dropped = old_types - new_types
+    # leaf-first: sort by descending depth
+    for name in sorted(
+        dropped, key=lambda n: len(old.ancestors(n)), reverse=True
+    ):
+        edits.append(DroppedEntityType(name))
+
+    added = new_types - old_types
+    for name in sorted(added, key=lambda n: len(new.ancestors(n))):
+        entity_type = new.entity_type(name)
+        if entity_type.parent is None:
+            raise SchemaError(
+                f"diff cannot express a new hierarchy root ({name!r}); create "
+                "the root and its entity set directly"
+            )
+        edits.append(
+            AddedEntityType(name, entity_type.parent, entity_type.attributes)
+        )
+
+    for name in sorted(old_types & new_types):
+        old_own = {a.name: a for a in old.entity_type(name).attributes}
+        new_own = {a.name: a for a in new.entity_type(name).attributes}
+        for attr_name in sorted(set(new_own) - set(old_own)):
+            edits.append(AddedAttribute(name, new_own[attr_name]))
+        removed_attrs = set(old_own) - set(new_own)
+        if removed_attrs:
+            raise SchemaError(
+                f"diff cannot express attribute removal ({name}.{sorted(removed_attrs)})"
+            )
+
+    for name in sorted(new_assocs - old_assocs):
+        edits.append(AddedAssociation(new.association(name)))
+
+    return edits

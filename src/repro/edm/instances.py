@@ -1,0 +1,234 @@
+"""Client states: concrete instances of a client schema.
+
+A client state assigns to every entity set a set of entities (each with a
+concrete type and attribute values) and to every association set a set of
+key pairs.  States are the ``c`` in the paper's ``M ⊆ C × S``; the empirical
+roundtrip oracle compares ``Q(V(c))`` with ``c`` for equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.edm.schema import ClientSchema
+from repro.errors import EvaluationError, SchemaError
+
+
+@dataclass(frozen=True)
+class Entity:
+    """An entity instance: its concrete type and attribute values.
+
+    ``values`` must assign every attribute of the concrete type; nullable
+    attributes may be ``None``.  Entities are hashable so states can be
+    compared as sets.
+    """
+
+    concrete_type: str
+    values: Tuple[Tuple[str, object], ...]
+
+    @staticmethod
+    def of(concrete_type: str, **values: object) -> "Entity":
+        return Entity(concrete_type, tuple(sorted(values.items())))
+
+    @property
+    def value_map(self) -> Dict[str, object]:
+        return dict(self.values)
+
+    def __getitem__(self, attr: str) -> object:
+        for name, value in self.values:
+            if name == attr:
+                return value
+        raise EvaluationError(
+            f"entity of type {self.concrete_type!r} has no attribute {attr!r}"
+        )
+
+    def key_tuple(self, key: Tuple[str, ...]) -> Tuple[object, ...]:
+        return tuple(self[k] for k in key)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.values)
+        return f"{self.concrete_type}({rendered})"
+
+
+class ClientState:
+    """An instance of a :class:`ClientSchema`.
+
+    Entities are stored per entity set; associations per association set as
+    tuples of role-qualified key values.
+    """
+
+    def __init__(self, schema: ClientSchema) -> None:
+        self.schema = schema
+        # populated lazily: a 1000-set schema must not pay O(sets) per state
+        self._entities: Dict[str, List[Entity]] = {}
+        self._associations: Dict[str, List[Tuple[object, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add_entity(self, set_name: str, entity: Entity) -> Entity:
+        if set_name not in self._entities:
+            if not self.schema.has_entity_set(set_name):
+                raise SchemaError(f"unknown entity set {set_name!r}")
+            self._entities[set_name] = []
+        entity_set = self.schema.entity_set(set_name)
+        if entity.concrete_type not in self.schema.descendants_or_self(entity_set.root_type):
+            raise SchemaError(
+                f"type {entity.concrete_type!r} does not belong to set {set_name!r}"
+            )
+        if self.schema.entity_type(entity.concrete_type).abstract:
+            raise SchemaError(
+                f"cannot instantiate abstract type {entity.concrete_type!r}"
+            )
+        expected = set(self.schema.attribute_names_of(entity.concrete_type))
+        provided = {name for name, _ in entity.values}
+        if expected != provided:
+            raise SchemaError(
+                f"entity of {entity.concrete_type!r} must assign exactly {sorted(expected)}, "
+                f"got {sorted(provided)}"
+            )
+        for name, value in entity.values:
+            attribute = self.schema.attribute_of(entity.concrete_type, name)
+            if value is None:
+                if not attribute.nullable:
+                    raise SchemaError(
+                        f"attribute {name!r} of {entity.concrete_type!r} is not nullable"
+                    )
+            elif not attribute.domain.contains(value):
+                raise SchemaError(
+                    f"value {value!r} outside domain of {entity.concrete_type}.{name}"
+                )
+        key = self.schema.key_of(entity.concrete_type)
+        key_value = entity.key_tuple(key)
+        for existing in self._entities[set_name]:
+            if existing.key_tuple(key) == key_value:
+                raise SchemaError(
+                    f"duplicate key {key_value!r} in entity set {set_name!r}"
+                )
+        self._entities[set_name].append(entity)
+        return entity
+
+    def add_association(self, assoc_name: str, key1: Tuple[object, ...], key2: Tuple[object, ...]) -> None:
+        if assoc_name not in self._associations:
+            if not self.schema.has_association(assoc_name):
+                raise SchemaError(f"unknown association {assoc_name!r}")
+            self._associations[assoc_name] = []
+        association = self.schema.association(assoc_name)
+        end1_entity = self._find_by_key(association.entity_set1, key1)
+        end2_entity = self._find_by_key(association.entity_set2, key2)
+        if end1_entity is None or end2_entity is None:
+            raise SchemaError(
+                f"association {assoc_name!r} references missing entities {key1!r}/{key2!r}"
+            )
+        for end, entity in ((association.end1, end1_entity), (association.end2, end2_entity)):
+            if end.entity_type not in self.schema.ancestors_or_self(entity.concrete_type):
+                raise SchemaError(
+                    f"entity {entity} cannot participate as {end.role_name!r} "
+                    f"in association {assoc_name!r}"
+                )
+        pair = tuple(key1) + tuple(key2)
+        if pair in self._associations[assoc_name]:
+            raise SchemaError(f"duplicate association tuple {pair!r} in {assoc_name!r}")
+        self._check_multiplicity(association, key1, key2)
+        self._associations[assoc_name].append(pair)
+
+    def _check_multiplicity(self, association, key1, key2) -> None:
+        key1, key2 = tuple(key1), tuple(key2)
+        len1 = len(key1)
+        existing = self._associations.get(association.name, [])
+        if association.end2.multiplicity.at_most_one():
+            if any(pair[:len1] == key1 for pair in existing):
+                raise SchemaError(
+                    f"multiplicity {association.end2.multiplicity} violated on end "
+                    f"{association.end2.role_name!r} of {association.name!r}"
+                )
+        if association.end1.multiplicity.at_most_one():
+            if any(pair[len1:] == key2 for pair in existing):
+                raise SchemaError(
+                    f"multiplicity {association.end1.multiplicity} violated on end "
+                    f"{association.end1.role_name!r} of {association.name!r}"
+                )
+
+    def _find_by_key(self, set_name: str, key_value: Tuple[object, ...]) -> Optional[Entity]:
+        entity_set = self.schema.entity_set(set_name)
+        key = self.schema.key_of(entity_set.root_type)
+        for entity in self._entities.get(set_name, []):
+            if entity.key_tuple(key) == tuple(key_value):
+                return entity
+        return None
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def entities(self, set_name: str) -> Tuple[Entity, ...]:
+        if set_name not in self._entities:
+            if not self.schema.has_entity_set(set_name):
+                raise SchemaError(f"unknown entity set {set_name!r}")
+            return ()
+        return tuple(self._entities[set_name])
+
+    def associations(self, assoc_name: str) -> Tuple[Tuple[object, ...], ...]:
+        if assoc_name not in self._associations:
+            if not self.schema.has_association(assoc_name):
+                raise SchemaError(f"unknown association {assoc_name!r}")
+            return ()
+        return tuple(self._associations[assoc_name])
+
+    def entity_count(self) -> int:
+        return sum(len(v) for v in self._entities.values())
+
+    # ------------------------------------------------------------------
+    # Comparison / embedding
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, FrozenSet]:
+        """A canonical, comparison-friendly rendering of the state."""
+        result: Dict[str, FrozenSet] = {}
+        for set_name, entities in self._entities.items():
+            if entities:
+                result[f"set:{set_name}"] = frozenset(entities)
+        for assoc_name, pairs in self._associations.items():
+            if pairs:
+                result[f"assoc:{assoc_name}"] = frozenset(pairs)
+        return result
+
+    def equals(self, other: "ClientState") -> bool:
+        return self.snapshot() == other.snapshot()
+
+    def embed_into(self, schema: ClientSchema) -> "ClientState":
+        """The paper's ``f(c)``: the same state read under an evolved schema.
+
+        Shared components keep their contents; components new in *schema*
+        are empty.  Components of ``self`` missing from *schema* must be
+        empty, otherwise the embedding is undefined.
+        """
+        result = ClientState(schema)
+        for set_name, entities in self._entities.items():
+            if not schema.has_entity_set(set_name):
+                if entities:
+                    raise SchemaError(
+                        f"cannot embed: entity set {set_name!r} dropped but non-empty"
+                    )
+                continue
+            for entity in entities:
+                result.add_entity(set_name, entity)
+        for assoc_name, pairs in self._associations.items():
+            if not schema.has_association(assoc_name):
+                if pairs:
+                    raise SchemaError(
+                        f"cannot embed: association {assoc_name!r} dropped but non-empty"
+                    )
+                continue
+            association = schema.association(assoc_name)
+            key1_len = len(schema.key_of(association.end1.entity_type))
+            for pair in pairs:
+                result.add_association(assoc_name, pair[:key1_len], pair[key1_len:])
+        return result
+
+    def __str__(self) -> str:
+        lines = ["ClientState:"]
+        for set_name, entities in self._entities.items():
+            lines.append(f"  {set_name}: {[str(e) for e in entities]}")
+        for assoc_name, pairs in self._associations.items():
+            lines.append(f"  {assoc_name}: {pairs}")
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Attribute domains and attribute definitions for the EDM-subset client model.
+
+The paper's ``AddEntity`` SMO requires ``dom(A) ⊆ dom(f(A))`` for every mapped
+attribute (Section 3.1), so domains need a containment test.  We model a small
+domain algebra: primitive base types, optionally restricted to a finite set of
+values (used for discriminators and for the gender example in Section 3.3,
+where tautology checking must know that ``gender`` only takes values M and F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.errors import SchemaError
+
+#: Base types supported by the domain algebra.
+BASE_TYPES = ("int", "string", "bool", "decimal", "date")
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A value domain: a base type, optionally restricted to finite values.
+
+    ``Domain("string", frozenset({"M", "F"}))`` is the domain of the gender
+    attribute in Section 3.3.  An unrestricted domain has ``values=None``.
+    """
+
+    base: str
+    values: Optional[FrozenSet[object]] = None
+
+    def __post_init__(self) -> None:
+        if self.base not in BASE_TYPES:
+            raise SchemaError(f"unknown base type {self.base!r}; expected one of {BASE_TYPES}")
+        if self.values is not None and not self.values:
+            raise SchemaError("a restricted domain must have at least one value")
+
+    def is_subdomain_of(self, other: "Domain") -> bool:
+        """Return True if every value of this domain belongs to *other*.
+
+        This is the ``dom(A) ⊆ dom(f(A))`` test of Section 3.1.
+        """
+        if self.base != other.base:
+            return False
+        if other.values is None:
+            return True
+        if self.values is None:
+            return False
+        return self.values <= other.values
+
+    def contains(self, value: object) -> bool:
+        """Return True if *value* is a member of this domain (None excluded)."""
+        if value is None:
+            return False
+        if self.base == "int" and not isinstance(value, int):
+            return False
+        if self.base == "string" and not isinstance(value, str):
+            return False
+        if self.base == "bool" and not isinstance(value, bool):
+            return False
+        if self.values is not None and value not in self.values:
+            return False
+        return True
+
+    def sample_values(self) -> tuple:
+        """Return a few representative values, used by canonical instances."""
+        if self.values is not None:
+            return tuple(sorted(self.values, key=repr))
+        if self.base == "int":
+            return (0, 1, 2)
+        if self.base == "bool":
+            return (True, False)
+        if self.base == "decimal":
+            return (0, 1)
+        if self.base == "date":
+            return ("2013-06-22", "2013-06-23")
+        return ("a", "b")
+
+    def __str__(self) -> str:
+        if self.values is None:
+            return self.base
+        rendered = ", ".join(repr(v) for v in sorted(self.values, key=repr))
+        return f"{self.base}{{{rendered}}}"
+
+
+#: Convenience singletons for the common unrestricted domains.
+INT = Domain("int")
+STRING = Domain("string")
+BOOL = Domain("bool")
+DECIMAL = Domain("decimal")
+DATE = Domain("date")
+
+
+def enum_domain(*values: object, base: str = "string") -> Domain:
+    """Build a finite domain, e.g. ``enum_domain("M", "F")`` for gender."""
+    return Domain(base, frozenset(values))
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of an entity type.
+
+    ``nullable`` controls whether instances may carry ``None`` and whether
+    ``A IS NULL`` conditions are satisfiable for this attribute.
+    """
+
+    name: str
+    domain: Domain = field(default=STRING)
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid attribute name {self.name!r}")
+
+    def __str__(self) -> str:
+        suffix = "?" if self.nullable else ""
+        return f"{self.name}: {self.domain}{suffix}"

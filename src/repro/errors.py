@@ -1,0 +1,71 @@
+"""Exception taxonomy for the mapping-compilation system.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch a single base class. Validation failures carry enough
+structure to explain *which* check failed, mirroring how the paper's
+incremental compiler "undoes its changes ... and returns an exception"
+(Section 4.1).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A client or store schema definition is ill-formed.
+
+    Examples: duplicate type names, a key attribute declared on a derived
+    type, a foreign key referencing a missing table.
+    """
+
+
+class MappingError(ReproError):
+    """A mapping fragment is ill-formed.
+
+    Examples: the projected attributes do not include the key, the
+    attribute renaming function is not one-to-one, or a domain of a client
+    attribute is not contained in the domain of the store column it maps to.
+    """
+
+
+class ValidationError(ReproError):
+    """A mapping failed roundtripping validation.
+
+    Raised by both the full compiler and the incremental compiler when a
+    containment or coverage check fails.  The :attr:`check` attribute names
+    the failed check (e.g. ``"fk-preservation"``, ``"coverage"``), matching
+    the checks enumerated in Sections 3.1.4 and 3.2 of the paper.
+    """
+
+    def __init__(self, message: str, check: str = "validation") -> None:
+        super().__init__(message)
+        self.check = check
+
+
+class SmoError(ReproError):
+    """An SMO is inapplicable to the current model.
+
+    Examples: adding an entity type whose name already exists, mapping to a
+    table that is already mentioned in a fragment when the SMO requires a
+    fresh table, or referencing an ancestor that is not in the hierarchy.
+    """
+
+
+class EvaluationError(ReproError):
+    """A query or view could not be evaluated over an instance."""
+
+
+class CompilationBudgetExceeded(ReproError):
+    """Full compilation exceeded its configured work budget.
+
+    Full mapping compilation is exponential in the worst case (Section 1.1).
+    Benchmarks impose a budget per point; exceeding it raises this error so
+    the harness can record a censored measurement instead of hanging.
+    """
+
+    def __init__(self, message: str, elapsed: float | None = None) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed

@@ -1,0 +1,29 @@
+"""The incremental mapping compiler: SMO framework and SMOs (Section 3)."""
+
+from repro.incremental.add_association import AddAssociationFK, AddAssociationJT
+from repro.incremental.add_entity import AddEntity
+from repro.incremental.add_entity_part import AddEntityPart, Partition
+from repro.incremental.add_entity_tph import AddEntityTPH
+from repro.incremental.add_property import AddProperty
+from repro.incremental.drop_association import DropAssociation
+from repro.incremental.drop_entity import DropEntity
+from repro.incremental.model import CompiledModel
+from repro.incremental.refactor import RefactorAssociationToInheritance
+from repro.incremental.smo import IncrementalCompiler, IncrementalResult, Smo
+
+__all__ = [
+    "AddAssociationFK",
+    "AddAssociationJT",
+    "AddEntity",
+    "AddEntityPart",
+    "AddEntityTPH",
+    "AddProperty",
+    "CompiledModel",
+    "DropAssociation",
+    "DropEntity",
+    "IncrementalCompiler",
+    "IncrementalResult",
+    "Partition",
+    "RefactorAssociationToInheritance",
+    "Smo",
+]

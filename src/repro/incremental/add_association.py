@@ -1,0 +1,562 @@
+"""Adding associations: ``AddAssocFK`` (Section 3.2) and ``AddAssocJT``
+(Section 3.4, join-table mapping).
+
+``AddAssocFK(A, E1, E2, mult, T, f)`` maps a new association to a
+key/foreign-key column pair of an *existing* table T (the paper's running
+example maps ``Supports`` to the ``Eid`` column of ``Client``):
+
+* fragment:  ``π_{PK1,PK2}(A) = π_{f(PK1),f(PK2)}(σ_{f(PK2) IS NOT NULL}(T))``
+* query view: read the FK columns of T where non-null;
+* update view: ``Q_T := π_{att(T)∖f(PK2)}(Q_T⁻) ⟕ π_{...}(A)``;
+* validation: the three checks of Section 3.2.
+
+``AddAssocJT`` maps the association to a *fresh* join table, covering m:n
+associations; its update view is a plain projection of A and validation
+checks the join table's foreign keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.algebra.conditions import IsNotNull, IsOf, TRUE, and_
+from repro.algebra.constructors import AssociationCtor, RowCtor
+from repro.algebra.queries import (
+    AssociationScan,
+    Col,
+    Const,
+    LeftOuterJoin,
+    ProjItem,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+)
+from repro.budget import WorkBudget
+from repro.containment.checker import check_containment
+from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
+from repro.errors import SmoError, ValidationError
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.mapping.views import AssociationView, UpdateView
+from repro.relational.schema import Column, ForeignKey, Table
+
+
+def _resolve_multiplicity(value) -> Multiplicity:
+    if isinstance(value, Multiplicity):
+        return value
+    return {m.value: m for m in Multiplicity}[value]
+
+
+@dataclass
+class AddAssociationFK(Smo):
+    """``AddAssocFK(A, E1, E2, mult, T, f)`` of Section 3.2."""
+
+    name: str
+    end1_type: str
+    end2_type: str
+    mult1: Multiplicity
+    mult2: Multiplicity
+    table: str
+    #: f over qualified key attributes, e.g. (("Customer.Id", "Cid"), ...)
+    attr_map: Tuple[Tuple[str, str], ...]
+    role1: Optional[str] = None
+    role2: Optional[str] = None
+    #: foreign keys attached to T when f(PK2) columns are newly created
+    #: (store-side co-evolution, as MoDEF generates)
+    new_foreign_keys: Tuple[ForeignKey, ...] = ()
+    kind: str = "AA-FK"
+    validation_checks: int = field(default=0, compare=False)
+
+    @staticmethod
+    def create(
+        model: CompiledModel,
+        name: str,
+        end1_type: str,
+        end2_type: str,
+        table: str,
+        attr_map: Dict[str, str],
+        mult1="*",
+        mult2="0..1",
+        role1: Optional[str] = None,
+        role2: Optional[str] = None,
+        new_foreign_keys: Sequence[ForeignKey] = (),
+    ) -> "AddAssociationFK":
+        return AddAssociationFK(
+            name=name,
+            end1_type=end1_type,
+            end2_type=end2_type,
+            mult1=_resolve_multiplicity(mult1),
+            mult2=_resolve_multiplicity(mult2),
+            table=table,
+            attr_map=tuple(attr_map.items()),
+            role1=role1,
+            role2=role2,
+            new_foreign_keys=tuple(new_foreign_keys),
+        )
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.name}: {self.end1_type} -- {self.end2_type} -> {self.table})"
+
+    # ------------------------------------------------------------------
+    def _roles(self) -> Tuple[str, str]:
+        return (
+            self.role1 if self.role1 else self.end1_type,
+            self.role2 if self.role2 else self.end2_type,
+        )
+
+    def _qualified_keys(self, model: CompiledModel) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        schema = model.client_schema
+        role1, role2 = self._roles()
+        key1 = tuple(f"{role1}.{k}" for k in schema.key_of(self.end1_type))
+        key2 = tuple(f"{role2}.{k}" for k in schema.key_of(self.end2_type))
+        return key1, key2
+
+    def _f(self, attr: str) -> str:
+        for client_attr, column in self.attr_map:
+            if client_attr == attr:
+                return column
+        raise SmoError(f"attribute {attr!r} not covered by f in {self.describe()}")
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if schema.has_association(self.name):
+            raise SmoError(f"association {self.name!r} already exists")
+        for type_name in (self.end1_type, self.end2_type):
+            if not schema.has_entity_type(type_name):
+                raise SmoError(f"endpoint type {type_name!r} does not exist")
+            schema.set_of_type(type_name)
+        if self.mult2 is Multiplicity.MANY:
+            raise SmoError(
+                "AddAssocFK requires the E2 endpoint to have multiplicity 1 or "
+                "0..1; use AddAssociationJT for many-to-many associations"
+            )
+        if not model.mapping.table_is_mapped(self.table):
+            raise SmoError(
+                f"AddAssocFK requires table {self.table!r} to be previously "
+                "mentioned in mapping fragments"
+            )
+        table = model.store_schema.table(self.table)
+        key1, key2 = self._qualified_keys(model)
+        mapped = [a for a, _ in self.attr_map]
+        if sorted(mapped) != sorted(key1 + key2):
+            raise SmoError(
+                f"f must cover exactly PK1 ∪ PK2 = {sorted(key1 + key2)}"
+            )
+        columns = [c for _, c in self.attr_map]
+        if len(set(columns)) != len(columns):
+            raise SmoError("f must be 1-1")
+        f_key1 = tuple(self._f(a) for a in key1)
+        for column in f_key1:
+            if not table.has_column(column):
+                raise SmoError(f"table {self.table!r} has no column {column!r}")
+        if tuple(sorted(f_key1)) != tuple(sorted(table.primary_key)):
+            raise SmoError(
+                f"f(PK1) must be the primary key of {self.table!r} "
+                f"({table.primary_key}); got {f_key1}"
+            )
+        for attr in key2:
+            column_name = self._f(attr)
+            if table.has_column(column_name):
+                if not table.column(column_name).nullable:
+                    raise SmoError(
+                        f"f(PK2) column {column_name!r} must be nullable (absent "
+                        "associations are encoded as NULL)"
+                    )
+            # missing columns are created by evolve_schemas (MoDEF-style
+            # store co-evolution)
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        schema.add_association(
+            AssociationSet(
+                name=self.name,
+                end1=AssociationEnd(self.end1_type, self.mult1, self.role1),
+                end2=AssociationEnd(self.end2_type, self.mult2, self.role2),
+                entity_set1=schema.set_of_type(self.end1_type).name,
+                entity_set2=schema.set_of_type(self.end2_type).name,
+            )
+        )
+        self._add_missing_columns(model)
+
+    def _add_missing_columns(self, model: CompiledModel) -> None:
+        """Add f(PK2) columns (and any new foreign keys) to T if absent."""
+        schema = model.client_schema
+        table = model.store_schema.table(self.table)
+        key2_plain = schema.key_of(self.end2_type)
+        _, key2 = self._qualified_keys(model)
+        new_columns = []
+        for attr, plain in zip(key2, key2_plain):
+            column_name = self._f(attr)
+            if not table.has_column(column_name):
+                attribute = schema.attribute_of(self.end2_type, plain)
+                new_columns.append(Column(column_name, attribute.domain, nullable=True))
+        if not new_columns and not self.new_foreign_keys:
+            return
+        existing_fk_cols = {fk.columns for fk in table.foreign_keys}
+        added_fks = tuple(
+            fk for fk in self.new_foreign_keys if fk.columns not in existing_fk_cols
+        )
+        model.store_schema.replace_table(
+            Table(
+                table.name,
+                table.columns + tuple(new_columns),
+                table.primary_key,
+                table.foreign_keys + added_fks,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        """Σ := Σ⁻ ∪ {ϕ_A} — adaptation is just the new fragment."""
+        key1, key2 = self._qualified_keys(model)
+        not_null = and_(*[IsNotNull(self._f(a)) for a in key2])
+        model.mapping.add_fragment(
+            MappingFragment(
+                client_source=self.name,
+                is_association=True,
+                client_condition=TRUE,
+                store_table=self.table,
+                store_condition=not_null,
+                attribute_map=tuple(self.attr_map),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        """``Q_T := π_{att(T)∖f(PK2)}(Q_T⁻) ⟕ π_{PK AS f(PK)}(A)``."""
+        key1, key2 = self._qualified_keys(model)
+        f_key2 = {self._f(a) for a in key2}
+        old = model.views.update_view(self.table)
+
+        assoc_items = tuple(
+            ProjItem(self._f(attr), Col(attr)) for attr in key1 + key2
+        )
+        assoc_part: Query = Project(AssociationScan(self.name), assoc_items)
+        f_key1 = tuple(self._f(a) for a in key1)
+        query: Query = LeftOuterJoin(old.query, assoc_part, on=f_key1)
+
+        table = model.store_schema.table(self.table)
+        old_assignments = dict(old.constructor.assignments)
+        assignments = []
+        for column in table.column_names:
+            if column in f_key2:
+                assignments.append((column, Col(column)))
+            elif column in old_assignments:
+                assignments.append((column, old_assignments[column]))
+            else:
+                assignments.append((column, Const(None)))
+        model.views.set_update_view(
+            UpdateView(self.table, query, RowCtor(self.table, tuple(assignments)))
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        self.validation_checks = 0
+        schema = model.client_schema
+        mapping = model.mapping
+        key1, key2 = self._qualified_keys(model)
+
+        # Check 1: f(PK2) columns not previously used — inspect fragments.
+        for attr in key2:
+            column = self._f(attr)
+            for fragment in mapping.fragments_for_table(self.table):
+                if fragment.is_association and fragment.client_source == self.name:
+                    continue
+                if fragment.maps_column(column) is not None:
+                    raise ValidationError(
+                        f"column {self.table}.{column} already maps client data; "
+                        "it cannot also encode the new association",
+                        check="assoc-column-fresh",
+                    )
+
+        # Check 2: the E1 endpoint's keys fit the primary key of T.
+        # π_{PK1}(σ_{IS OF E1}(𝔼)) ⊆ π_{f(PK1) AS PK1}(Q_T⁻)
+        set1 = schema.set_of_type(self.end1_type).name
+        plain_key1 = schema.key_of(self.end1_type)
+        lhs = Project(
+            Select(SetScan(set1), IsOf(self.end1_type)),
+            tuple(ProjItem(q, Col(k)) for q, k in zip(key1, plain_key1)),
+        )
+        # Q_T⁻: the update view *before* this SMO adapted it — rebuild the
+        # pre-LOJ body by peeling the outer join we just added.
+        pre_query = self._pre_update_query(model)
+        rhs = Project(
+            pre_query,
+            tuple(ProjItem(q, Col(self._f(q))) for q in key1),
+        )
+        self.validation_checks += 1
+        result = check_containment(lhs, rhs, schema, budget)
+        if not result.holds:
+            raise ValidationError(
+                f"endpoint {self.end1_type!r} of {self.name!r} cannot be entirely "
+                f"mapped to the key of {self.table!r}\n{result.explain()}",
+                check="assoc-endpoint-key",
+            )
+
+        # Check 3: foreign keys from f(PK2) to another table.
+        table = model.store_schema.table(self.table)
+        f_key2 = tuple(self._f(a) for a in key2)
+        set2 = schema.set_of_type(self.end2_type).name
+        plain_key2 = schema.key_of(self.end2_type)
+        for foreign_key in table.foreign_keys:
+            if not set(foreign_key.columns) & set(f_key2):
+                continue
+            if not mapping.table_is_mapped(foreign_key.ref_table):
+                raise ValidationError(
+                    f"foreign key {foreign_key} references unmapped table "
+                    f"{foreign_key.ref_table!r}",
+                    check="fk-preservation",
+                )
+            target_view = model.views.update_view(foreign_key.ref_table)
+            column_for = dict(zip(foreign_key.columns, foreign_key.ref_columns))
+            projection = []
+            for attr, f_column in zip(key2, f_key2):
+                if f_column in column_for:
+                    plain = plain_key2[key2.index(attr)]
+                    projection.append((column_for[f_column], plain))
+            lhs3 = Project(
+                Select(SetScan(set2), IsOf(self.end2_type)),
+                tuple(ProjItem(out, Col(attr)) for out, attr in projection),
+            )
+            rhs3 = Project(
+                target_view.query,
+                tuple(ProjItem(out, Col(out)) for out, _ in projection),
+            )
+            self.validation_checks += 1
+            result = check_containment(lhs3, rhs3, schema, budget)
+            if not result.holds:
+                raise ValidationError(
+                    f"association {self.name!r} violates foreign key {foreign_key} "
+                    f"of {self.table!r}\n{result.explain()}",
+                    check="fk-preservation",
+                )
+
+    def _pre_update_query(self, model: CompiledModel) -> Query:
+        """The update-view body of T before adapt_update_views ran.
+
+        adapt_update_views wrapped the old body in ``old ⟕ π(A)``; peel it.
+        """
+        current = model.views.update_view(self.table).query
+        if isinstance(current, LeftOuterJoin):
+            return current.left
+        return current
+
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        """Existing query views are unaltered; add ``(Q_A | τ_A)``."""
+        key1, key2 = self._qualified_keys(model)
+        not_null = and_(*[IsNotNull(self._f(a)) for a in key2])
+        items = tuple(
+            ProjItem(attr, Col(self._f(attr))) for attr in key1 + key2
+        )
+        query: Query = Project(Select(TableScan(self.table), not_null), items)
+        model.views.set_association_view(
+            AssociationView(
+                self.name, query, AssociationCtor.identity(self.name, key1 + key2)
+            )
+        )
+
+
+@dataclass
+class AddAssociationJT(Smo):
+    """Map a new association to a fresh join table (Section 3.4).
+
+    Covers m:n associations.  The join table's columns are f(PK1) ∪ f(PK2);
+    its primary key is the full column set (each pair stored once).
+    Foreign keys passed in *table_foreign_keys* (typically f(PK1) → E1's key
+    table and f(PK2) → E2's) are validated with containment checks.
+    """
+
+    name: str
+    end1_type: str
+    end2_type: str
+    mult1: Multiplicity
+    mult2: Multiplicity
+    table: str
+    attr_map: Tuple[Tuple[str, str], ...]
+    table_foreign_keys: Tuple[ForeignKey, ...] = ()
+    role1: Optional[str] = None
+    role2: Optional[str] = None
+    kind: str = "AA-JT"
+    validation_checks: int = field(default=0, compare=False)
+
+    @staticmethod
+    def create(
+        model: CompiledModel,
+        name: str,
+        end1_type: str,
+        end2_type: str,
+        table: str,
+        attr_map: Dict[str, str],
+        mult1="*",
+        mult2="*",
+        table_foreign_keys: Sequence[ForeignKey] = (),
+        role1: Optional[str] = None,
+        role2: Optional[str] = None,
+    ) -> "AddAssociationJT":
+        return AddAssociationJT(
+            name=name,
+            end1_type=end1_type,
+            end2_type=end2_type,
+            mult1=_resolve_multiplicity(mult1),
+            mult2=_resolve_multiplicity(mult2),
+            table=table,
+            attr_map=tuple(attr_map.items()),
+            table_foreign_keys=tuple(table_foreign_keys),
+            role1=role1,
+            role2=role2,
+        )
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.name}: {self.end1_type} -- {self.end2_type} -> {self.table})"
+
+    def _roles(self) -> Tuple[str, str]:
+        return (
+            self.role1 if self.role1 else self.end1_type,
+            self.role2 if self.role2 else self.end2_type,
+        )
+
+    def _qualified_keys(self, model: CompiledModel):
+        schema = model.client_schema
+        role1, role2 = self._roles()
+        key1 = tuple(f"{role1}.{k}" for k in schema.key_of(self.end1_type))
+        key2 = tuple(f"{role2}.{k}" for k in schema.key_of(self.end2_type))
+        return key1, key2
+
+    def _f(self, attr: str) -> str:
+        for client_attr, column in self.attr_map:
+            if client_attr == attr:
+                return column
+        raise SmoError(f"attribute {attr!r} not covered by f in {self.describe()}")
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if schema.has_association(self.name):
+            raise SmoError(f"association {self.name!r} already exists")
+        for type_name in (self.end1_type, self.end2_type):
+            if not schema.has_entity_type(type_name):
+                raise SmoError(f"endpoint type {type_name!r} does not exist")
+            schema.set_of_type(type_name)
+        if model.mapping.table_is_mapped(self.table):
+            raise SmoError(
+                f"join table {self.table!r} is already mentioned in a fragment"
+            )
+        key1, key2 = self._qualified_keys(model)
+        mapped = sorted(a for a, _ in self.attr_map)
+        if mapped != sorted(key1 + key2):
+            raise SmoError(f"f must cover exactly PK1 ∪ PK2 = {sorted(key1 + key2)}")
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        schema.add_association(
+            AssociationSet(
+                name=self.name,
+                end1=AssociationEnd(self.end1_type, self.mult1, self.role1),
+                end2=AssociationEnd(self.end2_type, self.mult2, self.role2),
+                entity_set1=schema.set_of_type(self.end1_type).name,
+                entity_set2=schema.set_of_type(self.end2_type).name,
+            )
+        )
+        if not model.store_schema.has_table(self.table):
+            model.store_schema.add_table(self._build_table(model))
+
+    def _build_table(self, model: CompiledModel) -> Table:
+        schema = model.client_schema
+        key1, key2 = self._qualified_keys(model)
+        columns = []
+        for attr, column_name in self.attr_map:
+            plain = attr.split(".", 1)[1]
+            owner = self.end1_type if attr in key1 else self.end2_type
+            attribute = schema.attribute_of(owner, plain)
+            columns.append(Column(column_name, attribute.domain, nullable=False))
+        primary_key = tuple(self._f(a) for a in key1 + key2)
+        return Table(
+            self.table, tuple(columns), primary_key, tuple(self.table_foreign_keys)
+        )
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        model.mapping.add_fragment(
+            MappingFragment(
+                client_source=self.name,
+                is_association=True,
+                client_condition=TRUE,
+                store_table=self.table,
+                store_condition=TRUE,
+                attribute_map=tuple(self.attr_map),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        key1, key2 = self._qualified_keys(model)
+        items = tuple(ProjItem(self._f(a), Col(a)) for a in key1 + key2)
+        query: Query = Project(AssociationScan(self.name), items)
+        table = model.store_schema.table(self.table)
+        model.views.set_update_view(
+            UpdateView(self.table, query, RowCtor.identity(self.table, table.column_names))
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        self.validation_checks = 0
+        schema = model.client_schema
+        key1, key2 = self._qualified_keys(model)
+        table = model.store_schema.table(self.table)
+        for foreign_key in table.foreign_keys:
+            if not model.mapping.table_is_mapped(foreign_key.ref_table):
+                raise ValidationError(
+                    f"foreign key {foreign_key} of join table {self.table!r} "
+                    f"references unmapped table {foreign_key.ref_table!r}",
+                    check="fk-preservation",
+                )
+            # π_{PK_i AS γ}(σ_{IS OF E_i}(𝔼_i)) ⊆ π_γ(Q_ref)
+            for qualified_key, end_type in ((key1, self.end1_type), (key2, self.end2_type)):
+                f_cols = tuple(self._f(a) for a in qualified_key)
+                if set(f_cols) != set(foreign_key.columns):
+                    continue
+                column_for = dict(zip(foreign_key.columns, foreign_key.ref_columns))
+                set_name = schema.set_of_type(end_type).name
+                plain_keys = schema.key_of(end_type)
+                lhs = Project(
+                    Select(SetScan(set_name), IsOf(end_type)),
+                    tuple(
+                        ProjItem(column_for[f_col], Col(plain))
+                        for f_col, plain in zip(f_cols, plain_keys)
+                    ),
+                )
+                target_view = model.views.update_view(foreign_key.ref_table)
+                rhs = Project(
+                    target_view.query,
+                    tuple(
+                        ProjItem(gamma, Col(gamma))
+                        for gamma in foreign_key.ref_columns
+                    ),
+                )
+                self.validation_checks += 1
+                result = check_containment(lhs, rhs, schema, budget)
+                if not result.holds:
+                    raise ValidationError(
+                        f"join table {self.table!r} violates {foreign_key}\n"
+                        f"{result.explain()}",
+                        check="fk-preservation",
+                    )
+
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        key1, key2 = self._qualified_keys(model)
+        items = tuple(ProjItem(a, Col(self._f(a))) for a in key1 + key2)
+        query: Query = Project(TableScan(self.table), items)
+        model.views.set_association_view(
+            AssociationView(
+                self.name, query, AssociationCtor.identity(self.name, key1 + key2)
+            )
+        )

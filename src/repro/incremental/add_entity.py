@@ -1,0 +1,552 @@
+"""``AddEntity(E, E', α, P, T, f)`` — Section 3.1 (TPT/TPC and variations).
+
+Adds entity type E as a leaf under parent E'.  Attributes α (containing
+the primary key) map to fresh table T through the 1-1 function f; the
+remaining attributes of E are mapped "like P" for an ancestor P with
+``α ∪ att(P) = att(E)``.  TPT and TPC are the two special cases
+(Section 3.1): TPT takes α = non-inherited attributes ∪ PK with P = E',
+TPC takes α = att(E) with P = NIL.
+
+The four algorithms:
+
+* query views  — Algorithm 1 (left outer joins for ancestors of P, unions
+  for types strictly between E and P, provenance flag ``t_E``);
+* update views — Algorithm 2 (fresh view for T; the ``IS OF (ONLY P)`` and
+  ``IS OF F`` rewrites on every other view);
+* fragments    — Section 3.1.3 (same rewrites, then add ϕ_E);
+* validation   — Section 3.1.4 (containment checks 1-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.conditions import Comparison, IsNotNull, IsOf, and_
+from repro.algebra.constructors import EntityCtor, IfCtor, RowCtor
+from repro.algebra.queries import (
+    Col,
+    Const,
+    Join,
+    LeftOuterJoin,
+    ProjItem,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+    UnionAll,
+    scanned_names,
+)
+from repro.algebra.rewrite import (
+    exclude_new_entity_condition,
+    rewrite_query,
+    widen_only_condition,
+)
+from repro.budget import WorkBudget
+from repro.containment.checker import check_containment
+from repro.edm.entity import EntityType
+from repro.edm.types import Attribute
+from repro.errors import SmoError, ValidationError
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.mapping.views import QueryView, UpdateView
+from repro.relational.schema import Column, ForeignKey, Table
+
+
+def entity_flag(type_name: str) -> str:
+    """The fresh provenance attribute ``t_E`` of Algorithm 1."""
+    return f"_t{type_name}"
+
+
+@dataclass
+class AddEntity(Smo):
+    """The general AddEntity SMO of Section 3.1.
+
+    ``anchor`` is P (``None`` encodes NIL).  ``attr_map`` is f, given as
+    (client attribute, store column) pairs over exactly the attributes α.
+    When *table* does not exist in the store schema it is created with
+    columns f(α) (plus *table_foreign_keys*), which is how the benchmarks
+    emulate MoDEF's store-side co-evolution.
+    """
+
+    name: str
+    parent: str
+    new_attributes: Tuple[Attribute, ...]
+    alpha: Tuple[str, ...]
+    anchor: Optional[str]
+    table: str
+    attr_map: Tuple[Tuple[str, str], ...]
+    table_foreign_keys: Tuple[ForeignKey, ...] = ()
+    kind: str = "AE"
+    #: number of containment checks the last validation ran (for reports)
+    validation_checks: int = field(default=0, compare=False)
+
+    # ------------------------------------------------------------------
+    # Factories for the two standard strategies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def tpt(
+        model: CompiledModel,
+        name: str,
+        parent: str,
+        new_attributes: Sequence[Attribute],
+        table: str,
+        attr_map: Optional[Dict[str, str]] = None,
+        table_foreign_keys: Sequence[ForeignKey] = (),
+    ) -> "AddEntity":
+        """Table-per-type: α = (att(E) ∖ att(E')) ∪ PK_E, P = E'."""
+        schema = model.client_schema
+        key = schema.key_of(parent)
+        alpha = tuple(key) + tuple(
+            a.name for a in new_attributes if a.name not in key
+        )
+        mapping = _resolve_attr_map(alpha, attr_map)
+        smo = AddEntity(
+            name=name,
+            parent=parent,
+            new_attributes=tuple(new_attributes),
+            alpha=alpha,
+            anchor=parent,
+            table=table,
+            attr_map=mapping,
+            table_foreign_keys=tuple(table_foreign_keys),
+        )
+        smo.kind = "AE-TPT"
+        return smo
+
+    @staticmethod
+    def tpc(
+        model: CompiledModel,
+        name: str,
+        parent: str,
+        new_attributes: Sequence[Attribute],
+        table: str,
+        attr_map: Optional[Dict[str, str]] = None,
+        table_foreign_keys: Sequence[ForeignKey] = (),
+    ) -> "AddEntity":
+        """Table-per-concrete-type: α = att(E), P = NIL."""
+        schema = model.client_schema
+        inherited = schema.attribute_names_of(parent)
+        alpha = tuple(inherited) + tuple(a.name for a in new_attributes)
+        mapping = _resolve_attr_map(alpha, attr_map)
+        smo = AddEntity(
+            name=name,
+            parent=parent,
+            new_attributes=tuple(new_attributes),
+            alpha=alpha,
+            anchor=None,
+            table=table,
+            attr_map=mapping,
+            table_foreign_keys=tuple(table_foreign_keys),
+        )
+        smo.kind = "AE-TPC"
+        return smo
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.name} under {self.parent} -> {self.table})"
+
+    # ------------------------------------------------------------------
+    # Derived facts
+    # ------------------------------------------------------------------
+    def _entity_set(self, model: CompiledModel) -> str:
+        return model.client_schema.set_of_type(self.parent).name
+
+    def _full_attributes(self, model: CompiledModel) -> Tuple[str, ...]:
+        inherited = model.client_schema.attribute_names_of(self.parent)
+        return tuple(inherited) + tuple(
+            a.name for a in self.new_attributes if a.name not in inherited
+        )
+
+    def _between(self, model: CompiledModel) -> Tuple[str, ...]:
+        """The set ``p``: proper ancestors of E, proper descendants of P.
+
+        Computed on the evolved schema (E exists); equals the ancestors of
+        E' up to (and excluding) P, plus E' itself when E' ≠ P.
+        """
+        return model.client_schema.types_strictly_between(self.name, self.anchor)
+
+    def _f(self, attr: str) -> str:
+        for client_attr, column in self.attr_map:
+            if client_attr == attr:
+                return column
+        raise SmoError(f"attribute {attr!r} is not in α of {self.describe()}")
+
+    # ------------------------------------------------------------------
+    # Preconditions
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if schema.has_entity_type(self.name):
+            raise SmoError(f"entity type {self.name!r} already exists")
+        if not schema.has_entity_type(self.parent):
+            raise SmoError(f"parent {self.parent!r} does not exist")
+        schema.set_of_type(self.parent)  # parent must live in some entity set
+
+        inherited = set(schema.attribute_names_of(self.parent))
+        own = [a.name for a in self.new_attributes]
+        if len(own) != len(set(own)):
+            raise SmoError(f"duplicate new attributes on {self.name!r}")
+        clash = inherited & set(own)
+        if clash:
+            raise SmoError(f"new attributes {sorted(clash)} shadow inherited ones")
+
+        full = set(inherited) | set(own)
+        key = set(schema.key_of(self.parent))
+        if not key <= set(self.alpha):
+            raise SmoError(f"α must contain the primary key {sorted(key)}")
+        if not set(self.alpha) <= full:
+            raise SmoError(f"α contains attributes outside att({self.name})")
+
+        if self.anchor is not None:
+            if self.anchor not in schema.ancestors_or_self(self.parent):
+                raise SmoError(
+                    f"P = {self.anchor!r} is not an ancestor of {self.name!r}"
+                )
+            anchored = set(schema.attribute_names_of(self.anchor))
+        else:
+            anchored = set()
+        if set(self.alpha) | anchored != full:
+            missing = full - (set(self.alpha) | anchored)
+            raise SmoError(
+                f"α ∪ att(P) must equal att(E); attributes {sorted(missing)} "
+                "are covered by neither"
+            )
+
+        mapped = [a for a, _ in self.attr_map]
+        columns = [c for _, c in self.attr_map]
+        if sorted(mapped) != sorted(self.alpha) or len(set(columns)) != len(columns):
+            raise SmoError("attr_map must be a 1-1 function over exactly α")
+
+        if model.mapping.table_is_mapped(self.table):
+            raise SmoError(
+                f"table {self.table!r} is already mentioned in a mapping fragment"
+            )
+        if model.store_schema.has_table(self.table):
+            self._check_existing_table(model)
+
+    def _check_existing_table(self, model: CompiledModel) -> None:
+        table = model.store_schema.table(self.table)
+        schema = model.client_schema
+        key = schema.key_of(self.parent)
+        mapped_key_columns = tuple(self._f(k) for k in key)
+        if tuple(sorted(mapped_key_columns)) != tuple(sorted(table.primary_key)):
+            raise SmoError(
+                f"f must map the primary key of {self.name!r} onto the primary "
+                f"key of {self.table!r}"
+            )
+        attr_domains = {a.name: a.domain for a in self.new_attributes}
+        for ancestor_attr in schema.attributes_of(self.parent):
+            attr_domains.setdefault(ancestor_attr.name, ancestor_attr.domain)
+        for attr, column_name in self.attr_map:
+            if not table.has_column(column_name):
+                raise SmoError(f"table {self.table!r} has no column {column_name!r}")
+            if not attr_domains[attr].is_subdomain_of(table.column(column_name).domain):
+                raise SmoError(
+                    f"dom({attr}) is not contained in dom({self.table}.{column_name})"
+                )
+        mapped_columns = {c for _, c in self.attr_map}
+        for column in table.columns:
+            if column.name not in mapped_columns and not column.nullable:
+                raise SmoError(
+                    f"unmapped column {self.table}.{column.name} must be nullable"
+                )
+
+    # ------------------------------------------------------------------
+    # Schema evolution
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        model.client_schema.add_entity_type(
+            EntityType(
+                name=self.name,
+                parent=self.parent,
+                attributes=tuple(self.new_attributes),
+            )
+        )
+        if not model.store_schema.has_table(self.table):
+            model.store_schema.add_table(self._build_table(model))
+
+    def _build_table(self, model: CompiledModel) -> Table:
+        schema = model.client_schema
+        key = set(schema.key_of(self.name))
+        columns = []
+        for attr, column_name in self.attr_map:
+            attribute = schema.attribute_of(self.name, attr)
+            columns.append(
+                Column(
+                    column_name,
+                    attribute.domain,
+                    nullable=attribute.nullable and attr not in key,
+                )
+            )
+        primary_key = tuple(self._f(k) for k in schema.key_of(self.name))
+        return Table(
+            self.table, tuple(columns), primary_key, tuple(self.table_foreign_keys)
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm of Section 3.1.3: adapt mapping fragments
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        between = self._between(model)
+        transformers = []
+        if self.anchor is not None:
+            transformers.append(widen_only_condition(self.anchor, self.name))
+        if between:
+            transformers.append(
+                exclude_new_entity_condition(schema, between, self.name)
+            )
+
+        adapted: List[MappingFragment] = []
+        for fragment in model.mapping.fragments:
+            if not fragment.is_association and fragment.client_source == set_name:
+                condition = fragment.client_condition
+                for transformer in transformers:
+                    condition = condition.transform(transformer)
+                adapted.append(fragment.with_client_condition(condition))
+            else:
+                adapted.append(fragment)
+        adapted.append(self._new_fragment(model))
+        model.mapping.replace_fragments(adapted)
+
+    def _new_fragment(self, model: CompiledModel) -> MappingFragment:
+        """ϕ_E of Eq. (2): π_α(σ_{IS OF E}(𝔼)) = π_{f(α)}(T)."""
+        from repro.algebra.conditions import TRUE
+
+        return MappingFragment(
+            client_source=self._entity_set(model),
+            is_association=False,
+            client_condition=IsOf(self.name),
+            store_table=self.table,
+            store_condition=TRUE,
+            attribute_map=tuple(self.attr_map),
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: update views
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        between = self._between(model)
+        table = model.store_schema.table(self.table)
+
+        # Lines 2-3: the fresh view for T, padding unmapped columns.
+        items: List[ProjItem] = [
+            ProjItem(column, Col(attr)) for attr, column in self.attr_map
+        ]
+        mapped_columns = {c for _, c in self.attr_map}
+        for column in table.columns:
+            if column.name not in mapped_columns:
+                items.append(ProjItem(column.name, Const(None)))
+        new_query: Query = Project(
+            Select(SetScan(set_name), IsOf(self.name)), tuple(items)
+        )
+        model.views.set_update_view(
+            UpdateView(
+                self.table,
+                new_query,
+                RowCtor.identity(self.table, table.column_names),
+            )
+        )
+
+        # Lines 4-17: rewrite the conditions of every other update view
+        # that ranges over this entity set.
+        transformers = []
+        if self.anchor is not None:
+            transformers.append(widen_only_condition(self.anchor, self.name))
+        if between:
+            transformers.append(
+                exclude_new_entity_condition(schema, between, self.name)
+            )
+        if not transformers:
+            return
+        for table_name, view in list(model.views.update_views.items()):
+            if table_name == self.table:
+                continue
+            if set_name not in scanned_names(view.query):
+                continue
+            rewritten = rewrite_query(view.query, *transformers)
+            if rewritten is not view.query:
+                model.views.set_update_view(
+                    UpdateView(table_name, rewritten, view.constructor)
+                )
+
+    # ------------------------------------------------------------------
+    # Section 3.1.4: validation
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        self.validation_checks = 0
+        schema = model.client_schema
+        between = set(self._between(model))
+
+        # Checks 1 and 2: associations anchored at a type between E and P.
+        for association in schema.associations:
+            fragment = model.mapping.fragment_for_association(association.name)
+            if fragment is None:
+                continue
+            for end, key_owner in (
+                (association.end1, association.end1.entity_type),
+                (association.end2, association.end2.entity_type),
+            ):
+                if key_owner not in between:
+                    continue
+                self._check_association_endpoint(
+                    model, association.name, fragment, end, budget
+                )
+
+        # Check 3: foreign keys of T touching mapped columns.
+        mapped_columns = {c for _, c in self.attr_map}
+        table = model.store_schema.table(self.table)
+        for foreign_key in table.foreign_keys:
+            if not set(foreign_key.columns) & mapped_columns:
+                continue
+            self._check_foreign_key(model, self.table, foreign_key, budget)
+
+    def _check_association_endpoint(
+        self, model, assoc_name, fragment, end, budget
+    ) -> None:
+        """Checks 1 and 2 for one association endpoint F ∈ p."""
+        schema = model.client_schema
+        key = schema.key_of(end.entity_type)
+        qualified = tuple(f"{end.role_name}.{k}" for k in key)
+        beta = []
+        for attr in qualified:
+            column = fragment.maps_attr(attr)
+            if column is None:
+                raise ValidationError(
+                    f"association fragment of {assoc_name!r} does not map {attr!r}",
+                    check="assoc-endpoint",
+                )
+            beta.append(column)
+
+        table_name = fragment.store_table
+        update_view = model.views.update_view(table_name)
+
+        # Check 1: π_{PK_F AS β}(A) ⊆ π_β(Q_R)
+        from repro.algebra.queries import AssociationScan
+
+        lhs = Project(
+            AssociationScan(assoc_name),
+            tuple(ProjItem(b, Col(q)) for q, b in zip(qualified, beta)),
+        )
+        rhs = Project(
+            update_view.query, tuple(ProjItem(b, Col(b)) for b in beta)
+        )
+        self.validation_checks += 1
+        result = check_containment(lhs, rhs, schema, budget)
+        if not result.holds:
+            raise ValidationError(
+                f"adding {self.name!r} breaks association {assoc_name!r}: keys of "
+                f"new-entity participants cannot be stored in {table_name!r}\n"
+                f"{result.explain()}",
+                check="assoc-storage",
+            )
+
+        # Check 2: foreign keys of R overlapping β.
+        table = model.store_schema.table(table_name)
+        for foreign_key in table.foreign_keys:
+            if not set(foreign_key.columns) & set(beta):
+                continue
+            self._check_foreign_key(model, table_name, foreign_key, budget)
+
+    def _check_foreign_key(self, model, table_name, foreign_key, budget) -> None:
+        """The containment ``π_{β AS β'}(Q_T) ⊆ π_{β'}(Q_{T'})`` (check 3)."""
+        if not model.mapping.table_is_mapped(foreign_key.ref_table):
+            raise ValidationError(
+                f"foreign key {foreign_key} of {table_name!r} references the "
+                f"unmapped table {foreign_key.ref_table!r}",
+                check="fk-preservation",
+            )
+        update_view = model.views.update_view(table_name)
+        target_view = model.views.update_view(foreign_key.ref_table)
+        not_null = and_(*[IsNotNull(c) for c in foreign_key.columns])
+        lhs = Project(
+            Select(update_view.query, not_null),
+            tuple(
+                ProjItem(gamma, Col(beta))
+                for beta, gamma in zip(foreign_key.columns, foreign_key.ref_columns)
+            ),
+        )
+        rhs = Project(
+            target_view.query,
+            tuple(ProjItem(g, Col(g)) for g in foreign_key.ref_columns),
+        )
+        self.validation_checks += 1
+        result = check_containment(lhs, rhs, model.client_schema, budget)
+        if not result.holds:
+            raise ValidationError(
+                f"adding {self.name!r} violates foreign key {foreign_key} of "
+                f"table {table_name!r}\n{result.explain()}",
+                check="fk-preservation",
+            )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: query views
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        flag = entity_flag(self.name)
+        full_attrs = schema.attribute_names_of(self.name)
+
+        plain_items = tuple(ProjItem(a, Col(c)) for a, c in self.attr_map)
+        flag_items = plain_items + (ProjItem(flag, Const(True)),)
+        right_plain: Query = Project(TableScan(self.table), plain_items)
+        right_flagged: Query = Project(TableScan(self.table), flag_items)
+
+        tau_e = EntityCtor.identity(self.name, full_attrs)  # line 3
+
+        old_views = dict(model.views.query_views)
+
+        if self.anchor is None:  # lines 4-6
+            new_e_query: Query = right_plain
+            aux: Query = right_flagged
+            ancestors_of_p: Tuple[str, ...] = ()
+        else:  # lines 7-9
+            anchor_view = old_views.get(self.anchor)
+            if anchor_view is None:
+                raise SmoError(
+                    f"no pre-existing query view for anchor {self.anchor!r}"
+                )
+            key = tuple(schema.key_of(self.name))
+            new_e_query = Join(anchor_view.query, right_plain, on=key)
+            aux = Join(anchor_view.query, right_flagged, on=key)
+            ancestors_of_p = schema.ancestors_or_self(self.anchor)  # line 11
+
+        model.views.set_query_view(QueryView(self.name, new_e_query, tau_e))
+
+        flag_test = Comparison(flag, "=", True)
+
+        # Lines 12-15: ancestors of P — left outer join with the new table.
+        key = tuple(schema.key_of(self.parent))
+        for ancestor in ancestors_of_p:
+            old = old_views.get(ancestor)
+            if old is None:
+                continue
+            query = LeftOuterJoin(old.query, right_flagged, on=key)
+            constructor = IfCtor(flag_test, tau_e, old.constructor)
+            model.views.set_query_view(QueryView(ancestor, query, constructor))
+
+        # Lines 16-20: types strictly between E and P — union with Qaux.
+        for middle in self._between(model):
+            old = old_views.get(middle)
+            if old is None:
+                continue
+            query = UnionAll((old.query, aux))
+            constructor = IfCtor(flag_test, tau_e, old.constructor)
+            model.views.set_query_view(QueryView(middle, query, constructor))
+        # Line 21-23: every other view is unchanged.
+
+
+def _resolve_attr_map(
+    alpha: Sequence[str], attr_map: Optional[Dict[str, str]]
+) -> Tuple[Tuple[str, str], ...]:
+    if attr_map is None:
+        return tuple((a, a) for a in alpha)
+    missing = [a for a in alpha if a not in attr_map]
+    if missing:
+        raise SmoError(f"attr_map does not cover attributes {missing}")
+    return tuple((a, attr_map[a]) for a in alpha)

@@ -1,0 +1,539 @@
+"""``AddEntityPart(E, E', P, Γ)`` — partitioned entity addition
+(Section 3.3).
+
+Γ is a set of tuples (α_i, ψ_i, T_i, f_i): entities of the new type E are
+horizontally partitioned by the client-side conditions ψ_i, each partition
+vertically mapped through f_i into its own table T_i.  The Adult/Young and
+Men/Women/Name examples of Section 3.3 are instances.  ``AddEntity`` is
+the special case Γ = {(α, TRUE, T, f)}.
+
+Key differences from AddEntity:
+
+* coverage is checked by the *tautology test*: for every attribute A of E
+  not covered through the anchor P, the disjunction of the ψ_i that map A
+  (either A ∈ α_i or ψ_i pins A = c) must be a tautology over att(E) — an
+  NP-hard test decided by the condition-space machinery, e.g.
+  ``age ≥ 18 ∨ age < 18`` and ``gender = M ∨ gender = F``;
+* the query view for E is the natural *full outer join* of all the T_i
+  contributions (joined with Q_P⁻ when P ≠ NIL), with one constructor
+  branch per satisfiable partition cell, pinned attributes materialised
+  as constants;
+* validation runs one foreign-key check per new table — the source of the
+  2ⁿ growth of AEP-np-TPT in Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.conditions import (
+    Comparison,
+    Condition,
+    IsOf,
+    Not,
+    TRUE,
+    and_,
+    or_,
+)
+from repro.algebra.constructors import Constructor, EntityCtor, IfCtor, RowCtor
+from repro.algebra.queries import (
+    Col,
+    Const,
+    FullOuterJoin,
+    Join,
+    LeftOuterJoin,
+    ProjItem,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+    UnionAll,
+    scanned_names,
+)
+from repro.algebra.rewrite import (
+    exclude_new_entity_condition,
+    rewrite_query,
+    widen_only_condition,
+)
+from repro.budget import WorkBudget
+from repro.containment.spaces import ClientConditionSpace
+from repro.edm.entity import EntityType
+from repro.edm.types import Attribute
+from repro.errors import SmoError, ValidationError
+from repro.incremental.checks import (
+    check_association_endpoint_storable,
+    check_fk_preserved,
+)
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.mapping.views import QueryView, UpdateView
+from repro.relational.schema import Column, ForeignKey, Table
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One (α_i, ψ_i, T_i, f_i) tuple of Γ."""
+
+    alpha: Tuple[str, ...]
+    condition: Condition
+    table: str
+    attr_map: Tuple[Tuple[str, str], ...]
+    table_foreign_keys: Tuple[ForeignKey, ...] = ()
+
+    def f(self, attr: str) -> str:
+        for client_attr, column in self.attr_map:
+            if client_attr == attr:
+                return column
+        raise SmoError(f"attribute {attr!r} not in α of partition on {self.table!r}")
+
+    @staticmethod
+    def of(
+        alpha: Sequence[str],
+        condition: Condition,
+        table: str,
+        attr_map: Optional[Dict[str, str]] = None,
+        table_foreign_keys: Sequence[ForeignKey] = (),
+    ) -> "Partition":
+        if attr_map is None:
+            attr_map = {a: a for a in alpha}
+        missing = [a for a in alpha if a not in attr_map]
+        if missing:
+            raise SmoError(f"attr_map does not cover {missing}")
+        return Partition(
+            tuple(alpha),
+            condition,
+            table,
+            tuple((a, attr_map[a]) for a in alpha),
+            tuple(table_foreign_keys),
+        )
+
+
+def partition_flag(type_name: str, index: int) -> str:
+    return f"_t{type_name}_{index}"
+
+
+@dataclass
+class AddEntityPart(Smo):
+    """The partitioned AddEntity SMO of Section 3.3."""
+
+    name: str
+    parent: str
+    new_attributes: Tuple[Attribute, ...]
+    anchor: Optional[str]
+    partitions: Tuple[Partition, ...]
+    kind: str = "AEP"
+    validation_checks: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        self.kind = f"AEP-{len(self.partitions)}p"
+
+    def describe(self) -> str:
+        tables = ", ".join(p.table for p in self.partitions)
+        return f"{self.kind}({self.name} under {self.parent} -> [{tables}])"
+
+    # ------------------------------------------------------------------
+    def _entity_set(self, model: CompiledModel) -> str:
+        return model.client_schema.set_of_type(self.parent).name
+
+    def _between(self, model: CompiledModel) -> Tuple[str, ...]:
+        return model.client_schema.types_strictly_between(self.name, self.anchor)
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if schema.has_entity_type(self.name):
+            raise SmoError(f"entity type {self.name!r} already exists")
+        if not schema.has_entity_type(self.parent):
+            raise SmoError(f"parent {self.parent!r} does not exist")
+        schema.set_of_type(self.parent)
+        if not self.partitions:
+            raise SmoError("Γ must contain at least one partition")
+
+        inherited = set(schema.attribute_names_of(self.parent))
+        own = [a.name for a in self.new_attributes]
+        clash = inherited & set(own)
+        if clash:
+            raise SmoError(f"new attributes {sorted(clash)} shadow inherited ones")
+        full = inherited | set(own)
+        key = set(schema.key_of(self.parent))
+
+        if self.anchor is not None and self.anchor not in schema.ancestors_or_self(
+            self.parent
+        ):
+            raise SmoError(f"P = {self.anchor!r} is not an ancestor of {self.name!r}")
+
+        tables_seen: Set[str] = set()
+        for partition in self.partitions:
+            if not key <= set(partition.alpha):
+                raise SmoError(
+                    f"every α_i must contain the primary key {sorted(key)}"
+                )
+            if not set(partition.alpha) <= full:
+                raise SmoError("α_i contains attributes outside att(E)")
+            if partition.table in tables_seen:
+                raise SmoError(f"table {partition.table!r} used by two partitions")
+            tables_seen.add(partition.table)
+            if model.mapping.table_is_mapped(partition.table):
+                raise SmoError(
+                    f"table {partition.table!r} is already mentioned in a fragment"
+                )
+            # ψ_i must be satisfiable (checked over att(E)'s value space);
+            # because E does not exist yet we validate after evolution, in
+            # validate(); here we only reject the syntactically absurd.
+            columns = [c for _, c in partition.attr_map]
+            if len(set(columns)) != len(columns):
+                raise SmoError(f"f on {partition.table!r} is not 1-1")
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        schema.add_entity_type(
+            EntityType(
+                name=self.name,
+                parent=self.parent,
+                attributes=tuple(self.new_attributes),
+            )
+        )
+        key = set(schema.key_of(self.name))
+        for partition in self.partitions:
+            if model.store_schema.has_table(partition.table):
+                continue
+            columns = []
+            for attr, column_name in partition.attr_map:
+                attribute = schema.attribute_of(self.name, attr)
+                columns.append(
+                    Column(
+                        column_name,
+                        attribute.domain,
+                        nullable=attribute.nullable and attr not in key,
+                    )
+                )
+            primary_key = tuple(
+                partition.f(k) for k in schema.key_of(self.name)
+            )
+            model.store_schema.add_table(
+                Table(
+                    partition.table,
+                    tuple(columns),
+                    primary_key,
+                    partition.table_foreign_keys,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        between = self._between(model)
+        transformers = []
+        if self.anchor is not None:
+            transformers.append(widen_only_condition(self.anchor, self.name))
+        if between:
+            transformers.append(
+                exclude_new_entity_condition(schema, between, self.name)
+            )
+        adapted: List[MappingFragment] = []
+        for fragment in model.mapping.fragments:
+            if not fragment.is_association and fragment.client_source == set_name:
+                condition = fragment.client_condition
+                for transformer in transformers:
+                    condition = condition.transform(transformer)
+                adapted.append(fragment.with_client_condition(condition))
+            else:
+                adapted.append(fragment)
+        for partition in self.partitions:
+            adapted.append(
+                MappingFragment(
+                    client_source=set_name,
+                    is_association=False,
+                    client_condition=and_(IsOf(self.name), partition.condition),
+                    store_table=partition.table,
+                    store_condition=TRUE,
+                    attribute_map=tuple(partition.attr_map),
+                )
+            )
+        model.mapping.replace_fragments(adapted)
+
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        between = self._between(model)
+
+        for partition in self.partitions:
+            table = model.store_schema.table(partition.table)
+            items: List[ProjItem] = [
+                ProjItem(column, Col(attr)) for attr, column in partition.attr_map
+            ]
+            mapped = {c for _, c in partition.attr_map}
+            for column in table.columns:
+                if column.name not in mapped:
+                    items.append(ProjItem(column.name, Const(None)))
+            query: Query = Project(
+                Select(SetScan(set_name), and_(IsOf(self.name), partition.condition)),
+                tuple(items),
+            )
+            model.views.set_update_view(
+                UpdateView(
+                    partition.table,
+                    query,
+                    RowCtor.identity(partition.table, table.column_names),
+                )
+            )
+
+        transformers = []
+        if self.anchor is not None:
+            transformers.append(widen_only_condition(self.anchor, self.name))
+        if between:
+            transformers.append(
+                exclude_new_entity_condition(schema, between, self.name)
+            )
+        if not transformers:
+            return
+        new_tables = {p.table for p in self.partitions}
+        for table_name, view in list(model.views.update_views.items()):
+            if table_name in new_tables:
+                continue
+            if set_name not in scanned_names(view.query):
+                continue
+            rewritten = rewrite_query(view.query, *transformers)
+            if rewritten is not view.query:
+                model.views.set_update_view(
+                    UpdateView(table_name, rewritten, view.constructor)
+                )
+
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        self.validation_checks = 0
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+
+        # ψ_i satisfiability (promised by the SMO definition).
+        conditions = [p.condition for p in self.partitions]
+        space = ClientConditionSpace(
+            schema, set_name, conditions + [IsOf(self.name)], types=(self.name,)
+        )
+        for partition in self.partitions:
+            if not space.satisfiable(partition.condition, budget):
+                raise ValidationError(
+                    f"partition condition {partition.condition} is unsatisfiable",
+                    check="partition-satisfiable",
+                )
+
+        # Coverage: Section 3.3's tautology test per attribute.
+        anchored = (
+            set(schema.attribute_names_of(self.anchor)) if self.anchor else set()
+        )
+        for attr in schema.attribute_names_of(self.name):
+            if attr in anchored:
+                continue
+            selected: List[Condition] = []
+            for partition in self.partitions:
+                if attr in partition.alpha:
+                    selected.append(partition.condition)
+                elif self._pins(schema, set_name, partition.condition, attr, budget):
+                    selected.append(partition.condition)
+            if not selected:
+                raise ValidationError(
+                    f"attribute {attr!r} of {self.name!r} is mapped by no "
+                    "partition and not covered through P",
+                    check="coverage",
+                )
+            disjunction = or_(*selected)
+            if not space.tautology_for_type(self.name, disjunction, budget):
+                raise ValidationError(
+                    f"partitions do not cover attribute {attr!r} of "
+                    f"{self.name!r}: {disjunction} is not a tautology",
+                    check="coverage",
+                )
+
+        # Association-endpoint checks for types strictly between E and P.
+        between = set(self._between(model))
+        for association in schema.associations:
+            fragment = model.mapping.fragment_for_association(association.name)
+            if fragment is None:
+                continue
+            for end in association.ends:
+                if end.entity_type in between:
+                    self.validation_checks += check_association_endpoint_storable(
+                        model, association.name, fragment, end, budget
+                    )
+
+        # One foreign-key check per new table (the 2ⁿ cost of AEP-np-TPT).
+        for partition in self.partitions:
+            table = model.store_schema.table(partition.table)
+            mapped = {c for _, c in partition.attr_map}
+            for foreign_key in table.foreign_keys:
+                if set(foreign_key.columns) & mapped:
+                    self.validation_checks += check_fk_preserved(
+                        model, partition.table, foreign_key, budget
+                    )
+
+    def _pins(self, schema, set_name, condition, attr, budget) -> bool:
+        """Does ψ_i logically pin attr to a constant (A = c consequence)?"""
+        attribute = schema.attribute_of(self.name, attr)
+        candidates: List[object] = []
+        for atom in condition.atoms():
+            if isinstance(atom, Comparison) and atom.attr == attr and atom.op == "=":
+                candidates.append(atom.const)
+        if attribute.domain.values is not None:
+            candidates.extend(sorted(attribute.domain.values, key=repr))
+        space = ClientConditionSpace(
+            schema, set_name, [condition], types=(self.name,)
+        )
+        for candidate in candidates:
+            if space.implies(condition, Comparison(attr, "=", candidate), budget):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        full_attrs = schema.attribute_names_of(self.name)
+
+        # The FOJ block over all partition tables, each branch flagged.
+        block: Optional[Query] = None
+        for index, partition in enumerate(self.partitions):
+            items = tuple(
+                ProjItem(attr, Col(column)) for attr, column in partition.attr_map
+            ) + (ProjItem(partition_flag(self.name, index), Const(True)),)
+            branch: Query = Project(TableScan(partition.table), items)
+            key = tuple(schema.key_of(self.name))
+            block = branch if block is None else FullOuterJoin(block, branch, on=key)
+        assert block is not None
+        key = tuple(schema.key_of(self.name))
+
+        old_views = dict(model.views.query_views)
+        if self.anchor is None:
+            e_query: Query = block
+        else:
+            anchor_view = old_views.get(self.anchor)
+            if anchor_view is None:
+                raise SmoError(f"no query view for anchor {self.anchor!r}")
+            e_query = Join(anchor_view.query, block, on=key)
+
+        # Constructor: one branch per satisfiable partition cell.
+        cells = self._partition_cells(model)
+        tau_e = self._cell_chain(model, cells, else_ctor=None)
+        model.views.set_query_view(QueryView(self.name, e_query, tau_e))
+
+        any_flag = or_(
+            *[
+                Comparison(partition_flag(self.name, i), "=", True)
+                for i in range(len(self.partitions))
+            ]
+        )
+
+        if self.anchor is not None:
+            for ancestor in schema.ancestors_or_self(self.anchor):
+                old = old_views.get(ancestor)
+                if old is None:
+                    continue
+                query = LeftOuterJoin(old.query, block, on=key)
+                constructor = self._cell_chain(model, cells, else_ctor=old.constructor)
+                model.views.set_query_view(QueryView(ancestor, query, constructor))
+
+        for middle in self._between(model):
+            old = old_views.get(middle)
+            if old is None:
+                continue
+            query = UnionAll((old.query, e_query))
+            constructor = self._cell_chain(model, cells, else_ctor=old.constructor)
+            model.views.set_query_view(QueryView(middle, query, constructor))
+
+    def _partition_cells(self, model: CompiledModel):
+        """Satisfiable truth vectors over the partition conditions."""
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        conditions = [p.condition for p in self.partitions]
+        space = ClientConditionSpace(schema, set_name, conditions, types=(self.name,))
+        vectors = space.truth_vectors(conditions)
+        return [
+            vector
+            for vector in sorted(vectors, reverse=True)
+            if any(vector)
+        ]
+
+    def _cell_chain(
+        self, model: CompiledModel, cells, else_ctor: Optional[Constructor]
+    ) -> Constructor:
+        """IfCtor chain: one branch per partition cell; `else_ctor` used as
+        the final fallback (pre-existing constructor for ancestors)."""
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        full_attrs = schema.attribute_names_of(self.name)
+        anchored = (
+            set(schema.attribute_names_of(self.anchor)) if self.anchor else set()
+        )
+
+        branches: List[Tuple[Condition, EntityCtor]] = []
+        for vector in cells:
+            flag_literals: List[Condition] = []
+            for index in range(len(self.partitions)):
+                test = Comparison(partition_flag(self.name, index), "=", True)
+                flag_literals.append(test if vector[index] else Not(test))
+            branch_condition = and_(*flag_literals)
+
+            cell_condition = and_(
+                *[
+                    self.partitions[i].condition
+                    for i in range(len(self.partitions))
+                    if vector[i]
+                ]
+            )
+            assignments: List[Tuple[str, object]] = []
+            for attr in full_attrs:
+                covered = any(
+                    vector[i] and attr in self.partitions[i].alpha
+                    for i in range(len(self.partitions))
+                )
+                if covered or attr in anchored:
+                    assignments.append((attr, Col(attr)))
+                else:
+                    pinned = self._pinned_constant(
+                        model, set_name, cell_condition, attr
+                    )
+                    assignments.append((attr, Const(pinned)))
+            branches.append(
+                (branch_condition, EntityCtor(self.name, tuple(assignments)))
+            )
+
+        if else_ctor is None:
+            constructor: Constructor = branches[-1][1]
+            remaining = branches[:-1]
+        else:
+            constructor = else_ctor
+            remaining = branches
+        for condition, ctor in reversed(remaining):
+            constructor = IfCtor(condition, ctor, constructor)
+        return constructor
+
+    def _pinned_constant(self, model, set_name, cell_condition, attr) -> object:
+        schema = model.client_schema
+        attribute = schema.attribute_of(self.name, attr)
+        candidates: List[object] = []
+        for partition in self.partitions:
+            for atom in partition.condition.atoms():
+                if (
+                    isinstance(atom, Comparison)
+                    and atom.attr == attr
+                    and atom.op == "="
+                ):
+                    candidates.append(atom.const)
+        if attribute.domain.values is not None:
+            candidates.extend(sorted(attribute.domain.values, key=repr))
+        space = ClientConditionSpace(
+            schema, set_name, [cell_condition], types=(self.name,)
+        )
+        for candidate in candidates:
+            if space.implies(cell_condition, Comparison(attr, "=", candidate)):
+                return candidate
+        raise ValidationError(
+            f"attribute {attr!r} of {self.name!r} is neither stored nor pinned "
+            f"in cell {cell_condition}",
+            check="coverage",
+        )

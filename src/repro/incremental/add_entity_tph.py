@@ -1,0 +1,418 @@
+"""``AddEntityTPH`` — add an entity type to a table-per-hierarchy mapping
+(Section 3.4).
+
+All entities of the hierarchy live in one table T; a discriminator column
+identifies each row's type.  Adding E:
+
+* fragment: ``π_{att(E)}(σ_{IS OF E}(𝔼)) = π_{f(att(E))}(σ_{disc = c_E}(T))``;
+* query views: Q_E selects the ``disc = c_E`` rows; each proper ancestor's
+  view is unioned with a flagged copy of Q_E; others unchanged;
+* update view of T: rewrite ``IS OF E'`` to ``IS OF (ONLY E')`` (E' is the
+  parent — its rows must no longer swallow the new type's entities), then
+  union with a select-project over the new type that pins the
+  discriminator constant;
+* validation: the discriminator value must be fresh (a containment-style
+  satisfiability test against every existing store condition on T), plus
+  foreign-key checks for newly mapped columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.conditions import (
+    Comparison,
+    Condition,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    and_,
+)
+from repro.algebra.constructors import EntityCtor, IfCtor, RowCtor
+from repro.algebra.queries import (
+    Col,
+    Const,
+    ProjItem,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+    UnionAll,
+    scanned_names,
+)
+from repro.algebra.rewrite import narrow_table_scans, rewrite_query
+from repro.budget import WorkBudget
+from repro.containment.checker import check_containment
+from repro.containment.spaces import StoreConditionSpace
+from repro.edm.entity import EntityType
+from repro.edm.types import Attribute, INT, STRING
+from repro.errors import SmoError, ValidationError
+from repro.incremental.add_entity import entity_flag
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.mapping.views import QueryView, UpdateView
+from repro.relational.schema import Column, Table
+
+
+def narrow_parent_condition(parent: str):
+    """Node transformer: ``IS OF parent`` → ``IS OF (ONLY parent)``.
+
+    The paper's TPH adaptation: the parent's fragment/update-view branch
+    must stop covering entities of the (new) derived type, whose rows get
+    their own discriminator value.
+    """
+
+    def transformer(node: Condition) -> Condition:
+        if isinstance(node, IsOf) and node.type_name == parent:
+            return IsOfOnly(parent)
+        return node
+
+    return transformer
+
+
+@dataclass
+class AddEntityTPH(Smo):
+    """Add entity type E to the hierarchy's single TPH table."""
+
+    name: str
+    parent: str
+    new_attributes: Tuple[Attribute, ...]
+    table: str
+    discriminator_column: str
+    discriminator_value: object
+    #: f over att(E); new attributes may map to new (created) columns
+    attr_map: Tuple[Tuple[str, str], ...]
+    kind: str = "AE-TPH"
+    validation_checks: int = field(default=0, compare=False)
+
+    @staticmethod
+    def create(
+        model: CompiledModel,
+        name: str,
+        parent: str,
+        new_attributes: Sequence[Attribute],
+        table: str,
+        discriminator_column: str,
+        discriminator_value: object,
+        attr_map: Optional[Dict[str, str]] = None,
+    ) -> "AddEntityTPH":
+        schema = model.client_schema
+        full = tuple(schema.attribute_names_of(parent)) + tuple(
+            a.name for a in new_attributes
+        )
+        if attr_map is None:
+            attr_map = {a: a for a in full}
+        missing = [a for a in full if a not in attr_map]
+        if missing:
+            raise SmoError(f"attr_map does not cover attributes {missing}")
+        return AddEntityTPH(
+            name=name,
+            parent=parent,
+            new_attributes=tuple(new_attributes),
+            table=table,
+            discriminator_column=discriminator_column,
+            discriminator_value=discriminator_value,
+            attr_map=tuple((a, attr_map[a]) for a in full),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}({self.name} under {self.parent} -> {self.table}"
+            f"[{self.discriminator_column}={self.discriminator_value!r}])"
+        )
+
+    # ------------------------------------------------------------------
+    def _entity_set(self, model: CompiledModel) -> str:
+        return model.client_schema.set_of_type(self.parent).name
+
+    def _f(self, attr: str) -> str:
+        for client_attr, column in self.attr_map:
+            if client_attr == attr:
+                return column
+        raise SmoError(f"attribute {attr!r} not covered by f in {self.describe()}")
+
+    def _disc_condition(self) -> Condition:
+        return Comparison(self.discriminator_column, "=", self.discriminator_value)
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if schema.has_entity_type(self.name):
+            raise SmoError(f"entity type {self.name!r} already exists")
+        if not schema.has_entity_type(self.parent):
+            raise SmoError(f"parent {self.parent!r} does not exist")
+        schema.set_of_type(self.parent)
+
+        if not model.mapping.table_is_mapped(self.table):
+            raise SmoError(
+                f"AddEntityTPH requires {self.table!r} to be the hierarchy's "
+                "existing TPH table"
+            )
+        parent_fragments = [
+            f
+            for f in model.mapping.fragments_for_set(self._entity_set(model))
+            if f.store_table == self.table
+        ]
+        if not parent_fragments:
+            raise SmoError(
+                f"table {self.table!r} stores no fragment of this hierarchy"
+            )
+        table = model.store_schema.table(self.table)
+        if table.has_column(self.discriminator_column):
+            disc_domain = table.column(self.discriminator_column).domain
+            if not disc_domain.contains(self.discriminator_value):
+                raise SmoError(
+                    f"discriminator value {self.discriminator_value!r} outside the "
+                    f"domain of {self.table}.{self.discriminator_column}"
+                )
+        # a missing discriminator column is created by evolve_schemas: the
+        # table is converted to TPH, existing rows keeping disc = NULL
+        # inherited attributes must map to the same columns the parent uses
+        for attr in model.client_schema.attribute_names_of(self.parent):
+            column = self._f(attr)
+            inherited_column = None
+            for fragment in parent_fragments:
+                inherited_column = fragment.maps_attr(attr)
+                if inherited_column is not None:
+                    break
+            if inherited_column is not None and inherited_column != column:
+                raise SmoError(
+                    f"attribute {attr!r} must map to column {inherited_column!r} "
+                    f"as in the parent's fragment, not {column!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        model.client_schema.add_entity_type(
+            EntityType(
+                name=self.name,
+                parent=self.parent,
+                attributes=tuple(self.new_attributes),
+            )
+        )
+        # create columns for new attributes when missing (nullable: other
+        # types' rows do not carry them)
+        table = model.store_schema.table(self.table)
+        new_columns: List[Column] = []
+        self._initialized_disc = not table.has_column(self.discriminator_column)
+        if self._initialized_disc:
+            disc_domain = (
+                INT if isinstance(self.discriminator_value, int) else STRING
+            )
+            new_columns.append(
+                Column(self.discriminator_column, disc_domain, nullable=True)
+            )
+        domains = {a.name: a.domain for a in self.new_attributes}
+        for attribute in self.new_attributes:
+            column_name = self._f(attribute.name)
+            if not table.has_column(column_name):
+                new_columns.append(Column(column_name, domains[attribute.name], True))
+        if new_columns:
+            model.store_schema.replace_table(
+                Table(
+                    table.name,
+                    table.columns + tuple(new_columns),
+                    table.primary_key,
+                    table.foreign_keys,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        from dataclasses import replace as dc_replace
+
+        set_name = self._entity_set(model)
+        transformer = narrow_parent_condition(self.parent)
+        adapted: List[MappingFragment] = []
+        for fragment in model.mapping.fragments:
+            if not fragment.is_association and fragment.client_source == set_name:
+                revised = fragment.with_client_condition(
+                    fragment.client_condition.transform(transformer)
+                )
+                if self._initialized_disc and fragment.store_table == self.table:
+                    # pre-existing rows keep disc = NULL
+                    revised = dc_replace(
+                        revised,
+                        store_condition=and_(
+                            revised.store_condition,
+                            IsNull(self.discriminator_column),
+                        ),
+                    )
+                adapted.append(revised)
+            else:
+                adapted.append(fragment)
+        adapted.append(
+            MappingFragment(
+                client_source=set_name,
+                is_association=False,
+                client_condition=IsOf(self.name),
+                store_table=self.table,
+                store_condition=self._disc_condition(),
+                attribute_map=tuple(self.attr_map),
+            )
+        )
+        model.mapping.replace_fragments(adapted)
+
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        set_name = self._entity_set(model)
+        table = model.store_schema.table(self.table)
+        transformer = narrow_parent_condition(self.parent)
+
+        # New branch: select E entities, pin the discriminator constant.
+        items: List[ProjItem] = [
+            ProjItem(column, Col(attr)) for attr, column in self.attr_map
+        ]
+        items.append(ProjItem(self.discriminator_column, Const(self.discriminator_value)))
+        branch: Query = Project(
+            Select(SetScan(set_name), IsOf(self.name)), tuple(items)
+        )
+
+        old = model.views.update_view(self.table)
+        rewritten = rewrite_query(old.query, transformer)
+        query: Query = UnionAll((rewritten, branch))
+
+        produced = set(item.output for item in items)
+        old_assignments = dict(old.constructor.assignments)
+        assignments = []
+        for column in table.column_names:
+            if column in old_assignments and not (
+                old_assignments[column] == Const(None) and column in produced
+            ):
+                assignments.append((column, old_assignments[column]))
+            elif column in produced:
+                assignments.append((column, Col(column)))
+            else:
+                assignments.append((column, Const(None)))
+        model.views.set_update_view(
+            UpdateView(self.table, query, RowCtor(self.table, tuple(assignments)))
+        )
+
+        # Other update views over this set: the IS OF E' narrowing applies
+        # everywhere the parent's extent is read.
+        for table_name, view in list(model.views.update_views.items()):
+            if table_name == self.table:
+                continue
+            if set_name not in scanned_names(view.query):
+                continue
+            rewritten = rewrite_query(view.query, transformer)
+            if rewritten is not view.query:
+                model.views.set_update_view(
+                    UpdateView(table_name, rewritten, view.constructor)
+                )
+
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        self.validation_checks = 0
+        mapping = model.mapping
+
+        # Discriminator freshness: no existing entity fragment on T may be
+        # satisfiable together with disc = c_E.
+        disc = self._disc_condition()
+        others = [
+            f
+            for f in mapping.fragments_for_table(self.table)
+            if not f.is_association
+            and not (
+                f.client_source == self._entity_set(model)
+                and f.client_condition == IsOf(self.name)
+            )
+        ]
+        conditions = [f.store_condition for f in others] + [disc]
+        space = StoreConditionSpace(model.store_schema, self.table, conditions)
+        for fragment in others:
+            self.validation_checks += 1
+            if space.satisfiable(and_(fragment.store_condition, disc), budget):
+                raise ValidationError(
+                    f"discriminator value {self.discriminator_value!r} is not "
+                    f"fresh: rows of fragment {fragment} would be misread as "
+                    f"{self.name!r} entities",
+                    check="discriminator",
+                )
+
+        # Foreign keys of T touching newly mapped columns.
+        new_columns = {
+            self._f(a.name) for a in self.new_attributes
+        } | {self.discriminator_column}
+        table = model.store_schema.table(self.table)
+        for foreign_key in table.foreign_keys:
+            if not set(foreign_key.columns) & new_columns:
+                continue
+            self._check_foreign_key(model, foreign_key, budget)
+
+    def _check_foreign_key(self, model, foreign_key, budget) -> None:
+        if not model.mapping.table_is_mapped(foreign_key.ref_table):
+            raise ValidationError(
+                f"foreign key {foreign_key} references unmapped table "
+                f"{foreign_key.ref_table!r}",
+                check="fk-preservation",
+            )
+        update_view = model.views.update_view(self.table)
+        target_view = model.views.update_view(foreign_key.ref_table)
+        not_null = and_(*[IsNotNull(c) for c in foreign_key.columns])
+        lhs = Project(
+            Select(update_view.query, not_null),
+            tuple(
+                ProjItem(gamma, Col(beta))
+                for beta, gamma in zip(foreign_key.columns, foreign_key.ref_columns)
+            ),
+        )
+        rhs = Project(
+            target_view.query,
+            tuple(ProjItem(g, Col(g)) for g in foreign_key.ref_columns),
+        )
+        self.validation_checks += 1
+        result = check_containment(lhs, rhs, model.client_schema, budget)
+        if not result.holds:
+            raise ValidationError(
+                f"adding {self.name!r} violates {foreign_key} of {self.table!r}\n"
+                f"{result.explain()}",
+                check="fk-preservation",
+            )
+
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        flag = entity_flag(self.name)
+        full_attrs = schema.attribute_names_of(self.name)
+
+        plain_items = tuple(ProjItem(a, Col(self._f(a))) for a in full_attrs)
+        new_e_query: Query = Project(
+            Select(TableScan(self.table), self._disc_condition()), plain_items
+        )
+        flagged: Query = Project(
+            Select(TableScan(self.table), self._disc_condition()),
+            plain_items + (ProjItem(flag, Const(True)),),
+        )
+        tau_e = EntityCtor.identity(self.name, full_attrs)
+        model.views.set_query_view(QueryView(self.name, new_e_query, tau_e))
+
+        flag_test = Comparison(flag, "=", True)
+        old_views = dict(model.views.query_views)
+        if self._initialized_disc:
+            narrowed = {}
+            hierarchy = set(schema.descendants_or_self(schema.root_of(self.name)))
+            for type_name, view in old_views.items():
+                if type_name not in hierarchy:
+                    continue
+                narrowed_query = narrow_table_scans(
+                    view.query, self.table, IsNull(self.discriminator_column)
+                )
+                if narrowed_query is not view.query:
+                    narrowed[type_name] = QueryView(
+                        type_name, narrowed_query, view.constructor
+                    )
+            for type_name, view in narrowed.items():
+                model.views.set_query_view(view)
+                old_views[type_name] = view
+        for ancestor in schema.ancestors(self.name):
+            old = old_views.get(ancestor)
+            if old is None:
+                continue
+            query = UnionAll((old.query, flagged))
+            constructor = IfCtor(flag_test, tau_e, old.constructor)
+            model.views.set_query_view(QueryView(ancestor, query, constructor))

@@ -1,0 +1,225 @@
+"""``AddProperty`` — add an attribute to an existing entity type
+(Section 3.4).
+
+The SMO maps the new property either to a table where the type's
+attributes are already mapped (extending that fragment) or to a completely
+new table (a vertical split: a new fragment over the type's key plus the
+new attribute).  As the paper notes, query views must be reconstructed
+"not only for E but also for descendants of E": the new attribute extends
+``att(F)`` for every descendant F, and every constructor instantiating E
+or a descendant must populate it.
+
+Implementation note.  The paper only sketches this SMO.  We adapt the
+fragments literally and then *regenerate* the affected views with the
+compiler's generators — but only for the touched entity set and the
+touched tables, so the work (and the validation, which stays scoped to
+the new column's foreign keys) remains proportional to the neighborhood
+of the change, which is what makes the SMO incremental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.algebra.conditions import IsOf, TRUE
+from repro.budget import WorkBudget
+from repro.compiler.analysis import SetAnalysis, check_coverage, check_disambiguation
+from repro.compiler.viewgen import build_query_views_for_set, build_update_view
+from repro.containment.spaces import ClientConditionSpace
+from repro.edm.types import Attribute
+from repro.errors import SmoError
+from repro.incremental.checks import check_fk_preserved
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.relational.schema import Column, ForeignKey, Table
+
+
+@dataclass
+class AddProperty(Smo):
+    """Add attribute *attribute* to entity type *entity_type*.
+
+    ``table``/``column`` name the target storage.  If *table* already has a
+    fragment that exactly covers the type (its condition implies
+    ``IS OF entity_type``), that fragment is extended; otherwise a new
+    fragment over (key, new attribute) is created — with a fresh table if
+    *table* does not exist yet.
+    """
+
+    entity_type: str
+    attribute: Attribute
+    table: str
+    column: Optional[str] = None
+    table_foreign_keys: Tuple[ForeignKey, ...] = ()
+    kind: str = "AP"
+    validation_checks: int = field(default=0, compare=False)
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}({self.entity_type}.{self.attribute.name} -> "
+            f"{self.table}.{self.column or self.attribute.name})"
+        )
+
+    # ------------------------------------------------------------------
+    def _column(self) -> str:
+        return self.column if self.column else self.attribute.name
+
+    def _entity_set(self, model: CompiledModel) -> str:
+        return model.client_schema.set_of_type(self.entity_type).name
+
+    def _extendable_fragments(self, model: CompiledModel) -> list:
+        """Fragments on *table* whose extent lies inside ``IS OF type``.
+
+        Each one is extended with the new attribute: in TPT this is the
+        type's own fragment; in TPH it is the fragment of the type *and*
+        of every descendant (each stores its own rows in the hierarchy
+        table, and all of them now carry the new attribute).
+        """
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        result = []
+        for fragment in model.mapping.fragments_for_set(set_name):
+            if fragment.store_table != self.table:
+                continue
+            space = ClientConditionSpace(
+                schema, set_name, [fragment.client_condition, IsOf(self.entity_type)]
+            )
+            if space.implies(fragment.client_condition, IsOf(self.entity_type)):
+                result.append(fragment)
+        return result
+
+    def _covers_type(self, model: CompiledModel, fragments) -> bool:
+        """Do the extendable fragments jointly cover every E entity?"""
+        if not fragments:
+            return False
+        from repro.algebra.conditions import or_
+
+        schema = model.client_schema
+        set_name = self._entity_set(model)
+        disjunction = or_(*[f.client_condition for f in fragments])
+        space = ClientConditionSpace(
+            schema, set_name, [disjunction, IsOf(self.entity_type)]
+        )
+        return space.implies(IsOf(self.entity_type), disjunction)
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if not schema.has_entity_type(self.entity_type):
+            raise SmoError(f"entity type {self.entity_type!r} does not exist")
+        schema.set_of_type(self.entity_type)
+        taken = set(schema.attribute_names_of(self.entity_type))
+        for descendant in schema.descendants(self.entity_type):
+            taken.update(schema.entity_type(descendant).own_attribute_names)
+        if self.attribute.name in taken:
+            raise SmoError(
+                f"attribute {self.attribute.name!r} already exists on the "
+                f"hierarchy of {self.entity_type!r}"
+            )
+        if model.store_schema.has_table(self.table):
+            table = model.store_schema.table(self.table)
+            if table.has_column(self._column()):
+                raise SmoError(
+                    f"column {self.table}.{self._column()} already exists"
+                )
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        schema.add_attribute(self.entity_type, self.attribute)
+        if model.store_schema.has_table(self.table):
+            table = model.store_schema.table(self.table)
+            model.store_schema.replace_table(
+                Table(
+                    table.name,
+                    table.columns + (Column(self._column(), self.attribute.domain, True),),
+                    table.primary_key,
+                    table.foreign_keys,
+                )
+            )
+        else:
+            key = schema.key_of(self.entity_type)
+            key_columns = tuple(
+                Column(k, schema.attribute_of(self.entity_type, k).domain, False)
+                for k in key
+            )
+            model.store_schema.add_table(
+                Table(
+                    self.table,
+                    key_columns
+                    + (Column(self._column(), self.attribute.domain, self.attribute.nullable),),
+                    tuple(key),
+                    tuple(self.table_foreign_keys),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        extendable = self._extendable_fragments(model)
+        if extendable and self._covers_type(model, extendable):
+            targets = set(map(id, extendable))
+            fragments = []
+            for fragment in model.mapping.fragments:
+                if id(fragment) in targets:
+                    fragments.append(
+                        MappingFragment(
+                            client_source=fragment.client_source,
+                            is_association=fragment.is_association,
+                            client_condition=fragment.client_condition,
+                            store_table=fragment.store_table,
+                            store_condition=fragment.store_condition,
+                            attribute_map=fragment.attribute_map
+                            + ((self.attribute.name, self._column()),),
+                        )
+                    )
+                else:
+                    fragments.append(fragment)
+            model.mapping.replace_fragments(fragments)
+            return
+        # Vertical split: a new fragment over (key, attribute) on the table.
+        schema = model.client_schema
+        key = schema.key_of(self.entity_type)
+        model.mapping.add_fragment(
+            MappingFragment(
+                client_source=self._entity_set(model),
+                is_association=False,
+                client_condition=IsOf(self.entity_type),
+                store_table=self.table,
+                store_condition=TRUE,
+                attribute_map=tuple((k, k) for k in key)
+                + ((self.attribute.name, self._column()),),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        """Regenerate the update view of the touched table only."""
+        model.views.set_update_view(build_update_view(model.mapping, self.table))
+
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        self.validation_checks = 0
+        analysis = SetAnalysis(model.mapping, self._entity_set(model), budget)
+        check_coverage(analysis)
+        check_disambiguation(analysis)
+        table = model.store_schema.table(self.table)
+        for foreign_key in table.foreign_keys:
+            if self._column() in foreign_key.columns or not model.store_schema.has_table(
+                self.table
+            ):
+                self.validation_checks += check_fk_preserved(
+                    model, self.table, foreign_key, budget
+                )
+            elif set(foreign_key.columns) <= set(table.primary_key):
+                # new table: its key FK must also be checked
+                self.validation_checks += check_fk_preserved(
+                    model, self.table, foreign_key, budget
+                )
+
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        """Regenerate the query views of the touched entity set only."""
+        set_name = self._entity_set(model)
+        for view in build_query_views_for_set(model.mapping, set_name).values():
+            model.views.set_query_view(view)

@@ -1,0 +1,116 @@
+"""Shared containment checks used by several SMO validators.
+
+These are the building blocks of Sections 3.1.4 and 3.2: a foreign-key
+preservation check between two update views, and the association-endpoint
+check for types strictly between a new entity type and its anchor P.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.conditions import IsNotNull, and_
+from repro.algebra.queries import AssociationScan, Col, ProjItem, Project, Select
+from repro.budget import WorkBudget
+from repro.containment.checker import check_containment
+from repro.errors import ValidationError
+from repro.incremental.model import CompiledModel
+from repro.mapping.fragments import MappingFragment
+
+
+def check_fk_preserved(
+    model: CompiledModel,
+    table_name: str,
+    foreign_key,
+    budget: Optional[WorkBudget],
+    context: str = "",
+) -> int:
+    """``π_{β AS β'}(σ_{β NOT NULL}(Q_T)) ⊆ π_{β'}(Q_{T'})`` or raise.
+
+    Returns the number of containment checks run (always 1 unless the
+    check is vacuous because β is never produced)."""
+    from repro.compiler.viewgen import _produced_columns
+
+    mapping = model.mapping
+    update_view_early = model.views.update_view(table_name)
+    if not set(foreign_key.columns) <= set(_produced_columns(update_view_early.query)):
+        return 0  # β columns are always NULL: the constraint holds vacuously
+    if not mapping.table_is_mapped(foreign_key.ref_table):
+        raise ValidationError(
+            f"foreign key {foreign_key} of {table_name!r} references the "
+            f"unmapped table {foreign_key.ref_table!r}{context}",
+            check="fk-preservation",
+        )
+    update_view = model.views.update_view(table_name)
+    target_view = model.views.update_view(foreign_key.ref_table)
+    not_null = and_(*[IsNotNull(c) for c in foreign_key.columns])
+    lhs = Project(
+        Select(update_view.query, not_null),
+        tuple(
+            ProjItem(gamma, Col(beta))
+            for beta, gamma in zip(foreign_key.columns, foreign_key.ref_columns)
+        ),
+    )
+    rhs = Project(
+        target_view.query,
+        tuple(ProjItem(g, Col(g)) for g in foreign_key.ref_columns),
+    )
+    result = check_containment(lhs, rhs, mapping.client_schema, budget)
+    if not result.holds:
+        raise ValidationError(
+            f"update views violate foreign key {foreign_key} of table "
+            f"{table_name!r}{context}\n{result.explain()}",
+            check="fk-preservation",
+        )
+    return 1
+
+
+def check_association_endpoint_storable(
+    model: CompiledModel,
+    assoc_name: str,
+    fragment: MappingFragment,
+    end,
+    budget: Optional[WorkBudget],
+    context: str = "",
+) -> int:
+    """Check 1 of Section 3.1.4: ``π_{PK_F AS β}(A) ⊆ π_β(Q_R)``.
+
+    F is the endpoint type (in ``p``), R the table the association maps
+    to, β the columns storing F's keys.  Returns the number of containment
+    checks run, including any foreign-key re-checks on overlapping β.
+    """
+    schema = model.client_schema
+    key = schema.key_of(end.entity_type)
+    qualified = tuple(f"{end.role_name}.{k}" for k in key)
+    beta = []
+    for attr in qualified:
+        column = fragment.maps_attr(attr)
+        if column is None:
+            raise ValidationError(
+                f"association fragment of {assoc_name!r} does not map {attr!r}",
+                check="assoc-endpoint",
+            )
+        beta.append(column)
+
+    table_name = fragment.store_table
+    update_view = model.views.update_view(table_name)
+    lhs = Project(
+        AssociationScan(assoc_name),
+        tuple(ProjItem(b, Col(q)) for q, b in zip(qualified, beta)),
+    )
+    rhs = Project(update_view.query, tuple(ProjItem(b, Col(b)) for b in beta))
+    checks = 1
+    result = check_containment(lhs, rhs, schema, budget)
+    if not result.holds:
+        raise ValidationError(
+            f"keys of new-entity participants in association {assoc_name!r} "
+            f"cannot be stored in {table_name!r}{context}\n{result.explain()}",
+            check="assoc-storage",
+        )
+
+    # Check 2: foreign keys of R overlapping β.
+    table = model.store_schema.table(table_name)
+    for foreign_key in table.foreign_keys:
+        if set(foreign_key.columns) & set(beta):
+            checks += check_fk_preserved(model, table_name, foreign_key, budget, context)
+    return checks

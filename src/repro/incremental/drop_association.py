@@ -1,0 +1,82 @@
+"""``DropAssociation`` — remove an association set and its mapping.
+
+The inverse of AddAssocFK / AddAssocJT.  For an FK-mapped association the
+update view of the carrying table is regenerated from the surviving
+fragments (table-local work) so the f(PK2) columns go back to NULL
+padding; for a join-table association the table simply loses its update
+view (the table itself stays in the store schema).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.budget import WorkBudget
+from repro.compiler.viewgen import build_update_view
+from repro.errors import SmoError
+from repro.incremental.checks import check_fk_preserved
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+
+
+@dataclass
+class DropAssociation(Smo):
+    """Drop association set *name* and all its mapping references."""
+
+    name: str
+    kind: str = "DA"
+    validation_checks: int = field(default=0, compare=False)
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.name})"
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        if not model.client_schema.has_association(self.name):
+            raise SmoError(f"association {self.name!r} does not exist")
+        if model.mapping.fragment_for_association(self.name) is None:
+            raise SmoError(f"association {self.name!r} is not mapped")
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        self._fragment = model.mapping.fragment_for_association(self.name)
+        model.client_schema.drop_association(self.name)
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        model.mapping.replace_fragments(
+            [f for f in model.mapping.fragments if f is not self._fragment]
+        )
+
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        table_name = self._fragment.store_table
+        if model.mapping.fragments_for_table(table_name):
+            model.views.set_update_view(build_update_view(model.mapping, table_name))
+        else:
+            model.views.drop_update_view(table_name)
+
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        """Foreign keys into the orphaned join table must stay satisfiable."""
+        self.validation_checks = 0
+        table_name = self._fragment.store_table
+        if model.mapping.table_is_mapped(table_name):
+            return
+        for table in model.store_schema.tables:
+            if not model.mapping.table_is_mapped(table.name):
+                continue
+            for foreign_key in table.foreign_keys:
+                if foreign_key.ref_table == table_name:
+                    self.validation_checks += check_fk_preserved(
+                        model,
+                        table.name,
+                        foreign_key,
+                        budget,
+                        context=f" after dropping {self.name!r}",
+                    )
+
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        model.views.drop_association_view(self.name)

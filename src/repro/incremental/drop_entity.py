@@ -1,0 +1,160 @@
+"""``DropEntity`` — remove a leaf entity type (Section 3.4).
+
+"We need to eliminate all references to E from mapping fragments and
+views."  For a leaf type the references are: the fragment(s) added for E,
+``IS OF E`` disjuncts introduced by earlier adaptations (e.g.
+``IS OF (ONLY P) ∨ IS OF E``), the E-branches of ancestors' query views,
+and the update views of E's tables.
+
+Fragments and update views are rewritten literally (type atoms for E
+become FALSE, then structural simplification removes them; fragments with
+unsatisfiable conditions are deleted).  Ancestors' query views contain
+E-branches woven through joins, unions and constructor chains, so they
+are regenerated for the affected entity set — still neighborhood-scoped
+work.  Tables that stored only E data stay in the store schema (dropping
+persistent data is not a compiler decision) but lose their update views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.algebra.conditions import (
+    Condition,
+    FALSE,
+    FalseCond,
+    IsOf,
+    IsOfOnly,
+)
+from repro.algebra.queries import scanned_names
+from repro.algebra.simplify import simplify
+from repro.budget import WorkBudget
+from repro.compiler.viewgen import build_query_views_for_set
+from repro.containment.spaces import ClientConditionSpace
+from repro.errors import SmoError
+from repro.incremental.checks import check_fk_preserved
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.mapping.views import UpdateView
+
+
+def erase_type_condition(type_name: str):
+    """Node transformer: atoms mentioning *type_name* become FALSE."""
+
+    def transformer(node: Condition) -> Condition:
+        if isinstance(node, (IsOf, IsOfOnly)) and node.type_name == type_name:
+            return FALSE
+        return node
+
+    return transformer
+
+
+@dataclass
+class DropEntity(Smo):
+    """Drop leaf entity type *name* and all its mapping references."""
+
+    name: str
+    kind: str = "DE"
+    validation_checks: int = field(default=0, compare=False)
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.name})"
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if not schema.has_entity_type(self.name):
+            raise SmoError(f"entity type {self.name!r} does not exist")
+        if schema.children_of(self.name):
+            raise SmoError(
+                f"{self.name!r} is not a leaf; drop its subtypes first"
+            )
+        if schema.entity_type(self.name).parent is None:
+            raise SmoError(
+                "dropping a hierarchy root would drop its entity set; "
+                "not supported by this SMO"
+            )
+        for association in schema.associations:
+            if self.name in (
+                association.end1.entity_type,
+                association.end2.entity_type,
+            ):
+                raise SmoError(
+                    f"association {association.name!r} references {self.name!r}; "
+                    "drop it first"
+                )
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        self._set_name = model.client_schema.set_of_type(self.name).name
+        model.client_schema.drop_entity_type(self.name)
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        transformer = erase_type_condition(self.name)
+        kept: List[MappingFragment] = []
+        self._orphaned_tables: Set[str] = set()
+        schema = model.client_schema
+        for fragment in model.mapping.fragments:
+            if fragment.is_association or fragment.client_source != self._set_name:
+                kept.append(fragment)
+                continue
+            condition = simplify(fragment.client_condition.transform(transformer))
+            if isinstance(condition, FalseCond):
+                self._orphaned_tables.add(fragment.store_table)
+                continue
+            space = ClientConditionSpace(schema, self._set_name, [condition])
+            if not space.satisfiable(condition):
+                self._orphaned_tables.add(fragment.store_table)
+                continue
+            kept.append(fragment.with_client_condition(condition))
+        surviving = {f.store_table for f in kept}
+        self._orphaned_tables -= surviving
+        model.mapping.replace_fragments(kept)
+
+    # ------------------------------------------------------------------
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        transformer = erase_type_condition(self.name)
+        for table_name, view in list(model.views.update_views.items()):
+            if table_name in self._orphaned_tables:
+                model.views.drop_update_view(table_name)
+                continue
+            if self._set_name not in scanned_names(view.query):
+                continue
+            rewritten = view.query.transform_conditions(
+                lambda c: simplify(c.transform(transformer))
+            )
+            if rewritten is not view.query:
+                model.views.set_update_view(
+                    UpdateView(table_name, rewritten, view.constructor)
+                )
+
+    # ------------------------------------------------------------------
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        """Check foreign keys pointing *into* tables that lost their data.
+
+        A mapped table R with a foreign key into an orphaned table would
+        dangle for every non-null value, so such references are rejected.
+        Other constraints only lose rows and stay satisfied.
+        """
+        self.validation_checks = 0
+        for table in model.store_schema.tables:
+            if not model.mapping.table_is_mapped(table.name):
+                continue
+            for foreign_key in table.foreign_keys:
+                if foreign_key.ref_table in self._orphaned_tables:
+                    self.validation_checks += check_fk_preserved(
+                        model,
+                        table.name,
+                        foreign_key,
+                        budget,
+                        context=f" after dropping {self.name!r}",
+                    )
+
+    # ------------------------------------------------------------------
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        model.views.drop_query_view(self.name)
+        for view in build_query_views_for_set(model.mapping, self._set_name).values():
+            model.views.set_query_view(view)

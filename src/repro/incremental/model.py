@@ -1,0 +1,43 @@
+"""The compiled model an incremental compilation evolves.
+
+Figure 7: the incremental compiler's input is the pre-evolved model
+(client schema, store schema, mapping fragments) *plus* the query and
+update views previously compiled for it.  :class:`CompiledModel` bundles
+the two; SMOs evolve a clone and the original is never mutated, which
+gives the abort-and-undo behaviour of Section 4.1 for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edm.schema import ClientSchema
+from repro.mapping.fragments import Mapping
+from repro.mapping.views import CompiledViews
+from repro.relational.schema import StoreSchema
+
+
+@dataclass
+class CompiledModel:
+    """A mapping together with its compiled query and update views."""
+
+    mapping: Mapping
+    views: CompiledViews
+
+    @property
+    def client_schema(self) -> ClientSchema:
+        return self.mapping.client_schema
+
+    @property
+    def store_schema(self) -> StoreSchema:
+        return self.mapping.store_schema
+
+    def clone(self) -> "CompiledModel":
+        return CompiledModel(self.mapping.clone(), self.views.clone())
+
+    def __str__(self) -> str:
+        return (
+            f"CompiledModel({len(self.mapping.fragments)} fragments, "
+            f"{len(self.views.query_views)} query views, "
+            f"{len(self.views.update_views)} update views)"
+        )

@@ -1,0 +1,237 @@
+"""``RefactorAssociationToInheritance`` — Section 3.4's refactoring SMO.
+
+Given an association A with cardinality 1 — 0..1 between E1 and E2 (every
+E2 has exactly one E1; every E1 has at most one E2), delete A and make E2
+a derived type of E1: an entity that was the pair (e1, e2) becomes a
+single E2-typed entity carrying e1's and e2's attribute values.
+
+Restrictions (the paper leaves the general case open):
+
+* E2 is a hierarchy root, a leaf, alone in its entity set, touched by no
+  other association;
+* E2 is mapped by a single fragment into table T2, and A is FK-mapped into
+  T2 (``f(PK2) = PK(T2)``, link columns hold E1's key).
+
+Store evolution re-keys T2: the link columns (which after the refactoring
+hold the merged entity's E1-key, one row per E2-typed entity) become the
+primary key; E2's old key columns stay as ordinary attribute storage.
+
+After removing E2's old artifacts, the remainder of the work *is* an
+``AddEntity(E2, E1, α, P=E1, T2, f)`` with α = PK_{E1} ∪ att_old(E2) — the
+SMO delegates to AddEntity's four algorithms, which also gives the paper's
+observation that query views of E1's ancestors are adapted and (since E2
+is a leaf) no descendant transformation arises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.algebra.conditions import IsNotNull
+from repro.budget import WorkBudget
+from repro.edm.association import Multiplicity
+from repro.edm.types import Attribute
+from repro.errors import SmoError
+from repro.incremental.add_entity import AddEntity
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.relational.schema import Column, Table
+
+
+@dataclass
+class RefactorAssociationToInheritance(Smo):
+    """Delete association *assoc_name* and derive E2 from E1."""
+
+    assoc_name: str
+    kind: str = "RF"
+    validation_checks: int = field(default=0, compare=False)
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.assoc_name} -> inheritance)"
+
+    # ------------------------------------------------------------------
+    def _parts(self, model: CompiledModel):
+        schema = model.client_schema
+        association = schema.association(self.assoc_name)
+        ends = {end.multiplicity: end for end in association.ends}
+        one_end = next(
+            (e for e in association.ends if e.multiplicity is Multiplicity.ONE), None
+        )
+        opt_end = next(
+            (e for e in association.ends if e.multiplicity is Multiplicity.ZERO_OR_ONE),
+            None,
+        )
+        if one_end is None or opt_end is None:
+            raise SmoError(
+                f"refactoring needs cardinality 1 — 0..1; {self.assoc_name!r} has "
+                f"{association.end1.multiplicity} — {association.end2.multiplicity}"
+            )
+        # E1 is the required end's type (every E2 has exactly one E1);
+        # E2 is the optional end's type.
+        return association, one_end.entity_type, opt_end.entity_type
+
+    # ------------------------------------------------------------------
+    def check_preconditions(self, model: CompiledModel) -> None:
+        schema = model.client_schema
+        if not schema.has_association(self.assoc_name):
+            raise SmoError(f"association {self.assoc_name!r} does not exist")
+        association, e1, e2 = self._parts(model)
+
+        if schema.entity_type(e2).parent is not None or schema.children_of(e2):
+            raise SmoError(f"E2 = {e2!r} must be a root leaf type")
+        e2_set = schema.set_of_type(e2)
+        if len(schema.descendants_or_self(e2_set.root_type)) != 1:
+            raise SmoError(f"E2 = {e2!r} must be alone in its entity set")
+        for other in schema.associations:
+            if other.name == self.assoc_name:
+                continue
+            if e2 in (other.end1.entity_type, other.end2.entity_type):
+                raise SmoError(
+                    f"association {other.name!r} also references {e2!r}"
+                )
+        clash = set(schema.attribute_names_of(e1)) & set(
+            schema.attribute_names_of(e2)
+        )
+        if clash:
+            raise SmoError(
+                f"attributes {sorted(clash)} exist on both {e1!r} and {e2!r}; "
+                "rename before refactoring"
+            )
+
+        fragment_a = model.mapping.fragment_for_association(self.assoc_name)
+        if fragment_a is None:
+            raise SmoError(f"association {self.assoc_name!r} is not mapped")
+        e2_fragments = [
+            f
+            for f in model.mapping.fragments_for_set(e2_set.name)
+        ]
+        if len(e2_fragments) != 1:
+            raise SmoError(
+                f"E2 = {e2!r} must be mapped by exactly one fragment, found "
+                f"{len(e2_fragments)}"
+            )
+        if e2_fragments[0].store_table != fragment_a.store_table:
+            raise SmoError(
+                f"the association must be FK-mapped into E2's table "
+                f"{e2_fragments[0].store_table!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def _plan(self, model: CompiledModel):
+        """Compute the delegated AddEntity before any mutation."""
+        schema = model.client_schema
+        association, e1, e2 = self._parts(model)
+        fragment_a = model.mapping.fragment_for_association(self.assoc_name)
+        e2_set = schema.set_of_type(e2)
+        e2_fragment = model.mapping.fragments_for_set(e2_set.name)[0]
+        table2 = e2_fragment.store_table
+
+        e1_key = schema.key_of(e1)
+        e1_role = association.end_for_role(
+            association.end1.role_name
+            if association.end1.entity_type == e1
+            else association.end2.role_name
+        ).role_name
+        # link columns: where A stored E1's key in T2
+        link_columns = {}
+        for k in e1_key:
+            qualified = f"{e1_role}.{k}"
+            column = fragment_a.maps_attr(qualified)
+            if column is None:
+                raise SmoError(
+                    f"association fragment does not map {qualified!r} into "
+                    f"{table2!r}"
+                )
+            link_columns[k] = column
+
+        old_attributes = list(schema.attributes_of(e2))
+        attr_map: Dict[str, str] = dict(link_columns)
+        for attribute in old_attributes:
+            column = e2_fragment.maps_attr(attribute.name)
+            if column is None:
+                raise SmoError(
+                    f"attribute {attribute.name!r} of {e2!r} is not mapped in "
+                    f"{table2!r}"
+                )
+            attr_map[attribute.name] = column
+
+        return {
+            "e1": e1,
+            "e2": e2,
+            "e2_set": e2_set.name,
+            "table2": table2,
+            "e2_fragment": e2_fragment,
+            "old_attributes": tuple(old_attributes),
+            "attr_map": attr_map,
+            "link_columns": link_columns,
+            "e1_key": e1_key,
+        }
+
+    # ------------------------------------------------------------------
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        plan = self._plan(model)
+        self._planned = plan
+        schema = model.client_schema
+
+        # Drop the association and E2's old identity.
+        schema.drop_association(self.assoc_name)
+        schema.drop_entity_type(plan["e2"])  # also removes its entity set
+
+        # Re-key T2: link columns become the primary key.
+        table = model.store_schema.table(plan["table2"])
+        new_pk = tuple(plan["link_columns"][k] for k in plan["e1_key"])
+        columns = tuple(
+            Column(c.name, c.domain, nullable=False if c.name in new_pk else c.nullable)
+            for c in table.columns
+        )
+        model.store_schema.replace_table(
+            Table(table.name, columns, new_pk, table.foreign_keys)
+        )
+
+        # Delegate the re-addition of E2 as a derived type to AddEntity.
+        new_attributes = tuple(
+            Attribute(a.name, a.domain, a.nullable) for a in plan["old_attributes"]
+        )
+        alpha = tuple(plan["e1_key"]) + tuple(a.name for a in new_attributes)
+        self._delegate = AddEntity(
+            name=plan["e2"],
+            parent=plan["e1"],
+            new_attributes=new_attributes,
+            alpha=alpha,
+            anchor=plan["e1"],
+            table=plan["table2"],
+            attr_map=tuple((a, plan["attr_map"][a]) for a in alpha),
+        )
+        self._delegate.kind = self.kind
+
+        # Remove E2's old artifacts from mapping and views so AddEntity's
+        # "fresh table" precondition holds.
+        fragments = [
+            f
+            for f in model.mapping.fragments
+            if f is not plan["e2_fragment"]
+            and not (f.is_association and f.client_source == self.assoc_name)
+        ]
+        model.mapping.replace_fragments(fragments)
+        model.views.drop_query_view(plan["e2"])
+        model.views.drop_association_view(self.assoc_name)
+        model.views.drop_update_view(plan["table2"])
+
+        self._delegate.check_preconditions(model)
+        self._delegate.evolve_schemas(model)
+
+    # ------------------------------------------------------------------
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        self._delegate.adapt_fragments(model)
+
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        self._delegate.adapt_update_views(model)
+
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        self._delegate.validate(model, budget)
+        self.validation_checks = self._delegate.validation_checks
+
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        self._delegate.adapt_query_views(model)

@@ -1,0 +1,103 @@
+"""The SMO framework: schema modification operations and their compiler.
+
+Section 1.2: "Our solution template for incremental compilation is
+comprised of four new algorithms for each type of SMO": adapt/create query
+views, adapt/create update views, adapt the mapping fragments, and
+validate.  Every SMO subclass implements those four hooks plus schema
+evolution and precondition checking; :class:`IncrementalCompiler` runs
+them in the order of Figure 7 (change schemas & mappings → modify update
+views → validate → modify query views) and aborts without side effects
+when validation fails.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.budget import WorkBudget
+from repro.errors import ValidationError
+from repro.incremental.model import CompiledModel
+
+
+class Smo:
+    """Base class for schema modification operations."""
+
+    #: Short mnemonic used in benchmark reports (e.g. ``"AE-TPT"``).
+    kind: str = "SMO"
+
+    # The four algorithms of Section 1.2 plus preconditions and schema
+    # evolution. They run against a private clone, so they may mutate
+    # freely.
+    def check_preconditions(self, model: CompiledModel) -> None:
+        raise NotImplementedError
+
+    def evolve_schemas(self, model: CompiledModel) -> None:
+        raise NotImplementedError
+
+    def adapt_fragments(self, model: CompiledModel) -> None:
+        raise NotImplementedError
+
+    def adapt_update_views(self, model: CompiledModel) -> None:
+        raise NotImplementedError
+
+    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+        raise NotImplementedError
+
+    def adapt_query_views(self, model: CompiledModel) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.kind}"
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of one incremental compilation step."""
+
+    model: CompiledModel
+    smo: Smo
+    elapsed: float
+    containment_checks: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.smo.describe()}: {self.elapsed * 1000:.2f} ms"
+
+
+class IncrementalCompiler:
+    """Applies SMOs to compiled models, incrementally (Figure 7).
+
+    The compiler never mutates its input: each :meth:`apply` works on a
+    clone and returns the evolved model.  When validation fails, the clone
+    is discarded and the ValidationError propagates — the pre-evolved
+    model is untouched, which is the "undoes its changes ... and returns
+    an exception" behaviour of Section 4.1.
+    """
+
+    def __init__(self, budget: Optional[WorkBudget] = None) -> None:
+        self.budget = budget
+
+    def apply(self, model: CompiledModel, smo: Smo) -> IncrementalResult:
+        started = time.perf_counter()
+        smo.check_preconditions(model)
+        evolved = model.clone()
+        smo.evolve_schemas(evolved)
+        smo.adapt_fragments(evolved)
+        smo.adapt_update_views(evolved)
+        smo.validate(evolved, self.budget)
+        smo.adapt_query_views(evolved)
+        elapsed = time.perf_counter() - started
+        return IncrementalResult(model=evolved, smo=smo, elapsed=elapsed)
+
+    def apply_all(
+        self, model: CompiledModel, smos: Sequence[Smo]
+    ) -> List[IncrementalResult]:
+        """Apply a sequence of SMOs (e.g. generated from a model diff)."""
+        results: List[IncrementalResult] = []
+        current = model
+        for smo in smos:
+            result = self.apply(current, smo)
+            results.append(result)
+            current = result.model
+        return results

@@ -1,0 +1,31 @@
+"""Mapping fragments, compiled views, semantics and the roundtrip oracle."""
+
+from repro.mapping.equivalence import ViewComparison, compare_views, structural_sizes
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.mapping.roundtrip import (
+    RoundtripReport,
+    apply_query_views,
+    apply_update_views,
+    check_roundtrip,
+)
+from repro.mapping.semantics import fragment_satisfied, in_mapping, unsatisfied_fragments
+from repro.mapping.views import AssociationView, CompiledViews, QueryView, UpdateView
+
+__all__ = [
+    "AssociationView",
+    "CompiledViews",
+    "Mapping",
+    "MappingFragment",
+    "QueryView",
+    "RoundtripReport",
+    "UpdateView",
+    "ViewComparison",
+    "apply_query_views",
+    "apply_update_views",
+    "check_roundtrip",
+    "compare_views",
+    "fragment_satisfied",
+    "in_mapping",
+    "structural_sizes",
+    "unsatisfied_fragments",
+]

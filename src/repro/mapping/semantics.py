@@ -1,0 +1,47 @@
+"""Instance-level mapping semantics.
+
+Section 2.1: a set Σ of fragments defines the mapping
+``M = {(c, s) | Q_C(c) = Q_S(s) for every fragment Q_C = Q_S ∈ Σ}``.
+This module decides membership of a concrete pair (c, s) in M — the
+ground-truth semantics against which the compilers are tested.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from repro.algebra.evaluate import ClientContext, StoreContext, evaluate_query
+from repro.edm.instances import ClientState
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.relational.instances import StoreState
+
+
+def _rows_as_set(rows: List[dict]) -> FrozenSet[Tuple[Tuple[str, object], ...]]:
+    return frozenset(tuple(sorted(row.items())) for row in rows)
+
+
+def fragment_satisfied(
+    fragment: MappingFragment, client_state: ClientState, store_state: StoreState
+) -> bool:
+    """True if ``Q_C(c) = Q_S(s)`` for this fragment."""
+    client_rows = evaluate_query(fragment.client_query(), ClientContext(client_state))
+    store_rows = evaluate_query(fragment.store_query(), StoreContext(store_state))
+    return _rows_as_set(client_rows) == _rows_as_set(store_rows)
+
+
+def unsatisfied_fragments(
+    mapping: Mapping, client_state: ClientState, store_state: StoreState
+) -> List[MappingFragment]:
+    """The fragments a pair (c, s) violates; empty means (c, s) ∈ M."""
+    return [
+        fragment
+        for fragment in mapping.fragments
+        if not fragment_satisfied(fragment, client_state, store_state)
+    ]
+
+
+def in_mapping(
+    mapping: Mapping, client_state: ClientState, store_state: StoreState
+) -> bool:
+    """Decide ``(c, s) ∈ M`` by checking every fragment equation."""
+    return not unsatisfied_fragments(mapping, client_state, store_state)

@@ -1,0 +1,35 @@
+"""MoDEF-style mapping-style inference and diff-driven SMO generation."""
+
+from repro.modef.generate import smos_from_diff
+from repro.modef.reconstruct import (
+    ReconstructionError,
+    reconstruct,
+    replay,
+    verify_reconstruction,
+)
+from repro.modef.infer import (
+    StyleInference,
+    TPC,
+    TPH,
+    TPT,
+    generate_add_entity,
+    infer_style,
+    primary_fragment_of,
+    primary_table_of,
+)
+
+__all__ = [
+    "ReconstructionError",
+    "StyleInference",
+    "TPC",
+    "TPH",
+    "TPT",
+    "generate_add_entity",
+    "infer_style",
+    "primary_fragment_of",
+    "primary_table_of",
+    "reconstruct",
+    "replay",
+    "smos_from_diff",
+    "verify_reconstruction",
+]

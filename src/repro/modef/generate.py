@@ -1,0 +1,227 @@
+"""Turning model diffs into SMO sequences (Section 1.2 / 4.1).
+
+``smos_from_diff(model, target_schema)`` diffs the model's client schema
+against the edited target, infers the surrounding mapping style for every
+addition (MoDEF), and returns the SMO sequence — drops first, then adds —
+that the incremental compiler can apply with ``apply_all``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.edm.association import Multiplicity
+from repro.edm.diff import (
+    AddedAssociation,
+    AddedAttribute,
+    AddedEntityType,
+    DroppedAssociation,
+    DroppedEntityType,
+    diff_client_schemas,
+)
+from repro.edm.schema import ClientSchema
+from repro.errors import SmoError
+from repro.incremental.add_association import AddAssociationFK, AddAssociationJT
+from repro.incremental.add_property import AddProperty
+from repro.incremental.drop_association import DropAssociation
+from repro.incremental.drop_entity import DropEntity
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.modef.infer import (
+    generate_add_entity,
+    primary_fragment_of,
+    primary_table_of,
+)
+from repro.relational.schema import ForeignKey
+
+
+def smos_from_diff(
+    model: CompiledModel,
+    target_schema: ClientSchema,
+    style_overrides: Optional[Dict[str, str]] = None,
+) -> List[Smo]:
+    """SMOs turning *model*'s client schema into *target_schema*.
+
+    *style_overrides* may force a mapping style per added entity type
+    (``{"Customer": "TPC"}``); otherwise MoDEF inference decides.
+    """
+    overrides = style_overrides or {}
+    edits = diff_client_schemas(model.client_schema, target_schema)
+    smos: List[Smo] = []
+    # The inference for later adds must see earlier adds, so we track the
+    # names of types added so far and resolve their styles against the
+    # *override-or-inferred* style of their parent chain.  Fragment-level
+    # inference still runs against the original model — additions deeper
+    # than one level inherit the override of their nearest added ancestor.
+    pending_styles: Dict[str, Optional[str]] = {}
+
+    for edit in edits:
+        if isinstance(edit, DroppedAssociation):
+            smos.append(DropAssociation(edit.name))
+        elif isinstance(edit, DroppedEntityType):
+            smos.append(DropEntity(edit.name))
+        elif isinstance(edit, AddedEntityType):
+            style = overrides.get(edit.name)
+            if style is None:
+                style = pending_styles.get(edit.parent)
+            pending_styles[edit.name] = style
+            smos.append(
+                _DeferredAddEntity(edit.name, edit.parent, edit.attributes, style)
+            )
+        elif isinstance(edit, AddedAttribute):
+            smos.append(_DeferredAddProperty(edit.entity_type, edit.attribute))
+        elif isinstance(edit, AddedAssociation):
+            smos.append(_DeferredAddAssociation(edit.association))
+        else:  # pragma: no cover - diff produces only the above
+            raise SmoError(f"unsupported edit {edit!r}")
+    return smos
+
+
+class _Deferred(Smo):
+    """An SMO whose concrete parameters depend on the model state at
+    application time (tables created by earlier SMOs in the sequence).
+
+    The concrete SMO is resolved in check_preconditions — the first hook
+    the compiler calls — and every later hook delegates to it.
+    """
+
+    def _resolve(self, model: CompiledModel) -> Smo:
+        raise NotImplementedError
+
+    def check_preconditions(self, model: CompiledModel) -> None:
+        self._smo = self._resolve(model)
+        self.kind = self._smo.kind
+        self._smo.check_preconditions(model)
+
+    def evolve_schemas(self, model):
+        self._smo.evolve_schemas(model)
+
+    def adapt_fragments(self, model):
+        self._smo.adapt_fragments(model)
+
+    def adapt_update_views(self, model):
+        self._smo.adapt_update_views(model)
+
+    def validate(self, model, budget):
+        self._smo.validate(model, budget)
+        self.validation_checks = getattr(self._smo, "validation_checks", 0)
+
+    def adapt_query_views(self, model):
+        self._smo.adapt_query_views(model)
+
+    def describe(self) -> str:
+        if hasattr(self, "_smo"):
+            return self._smo.describe()
+        return super().describe()
+
+
+class _DeferredAddEntity(_Deferred):
+    kind = "AE"
+
+    def __init__(self, name, parent, attributes, style):
+        self.name = name
+        self.parent = parent
+        self.attributes = attributes
+        self.style = style
+
+    def _resolve(self, model: CompiledModel) -> Smo:
+        return generate_add_entity(
+            model, self.name, self.parent, self.attributes, style=self.style
+        )
+
+
+class _DeferredAddProperty(_Deferred):
+    kind = "AP"
+
+    def __init__(self, entity_type, attribute):
+        self.entity_type = entity_type
+        self.attribute = attribute
+
+    def _resolve(self, model: CompiledModel) -> Smo:
+        table = primary_table_of(model, self.entity_type)
+        return AddProperty(self.entity_type, self.attribute, table)
+
+
+class _DeferredAddAssociation(_Deferred):
+    kind = "AA"
+
+    def __init__(self, association):
+        self.association = association
+
+    def _resolve(self, model: CompiledModel) -> Smo:
+        association = self.association
+        schema = model.client_schema
+        if (
+            association.end2.multiplicity is not Multiplicity.MANY
+            or association.end1.multiplicity is not Multiplicity.MANY
+        ):
+            # FK-mappable: orient so the at-most-one end is end2.
+            if association.end2.multiplicity is Multiplicity.MANY:
+                end1, end2 = association.end2, association.end1
+            else:
+                end1, end2 = association.end1, association.end2
+            e1_fragment = primary_fragment_of(model, end1.entity_type)
+            table = e1_fragment.store_table
+            key1 = schema.key_of(end1.entity_type)
+            key2 = schema.key_of(end2.entity_type)
+            attr_map = {}
+            for k in key1:
+                column = e1_fragment.maps_attr(k)
+                if column is None:
+                    raise SmoError(
+                        f"cannot FK-map {association.name!r}: key attribute "
+                        f"{k!r} of {end1.entity_type!r} is unmapped"
+                    )
+                attr_map[f"{end1.role_name}.{k}"] = column
+            fk_columns = []
+            for k in key2:
+                column = f"{association.name}_{k}"
+                attr_map[f"{end2.role_name}.{k}"] = column
+                fk_columns.append(column)
+            target_fragment = primary_fragment_of(model, end2.entity_type)
+            ref_columns = tuple(
+                target_fragment.maps_attr(k) or k for k in key2
+            )
+            foreign_keys = (
+                ForeignKey(tuple(fk_columns), target_fragment.store_table, ref_columns),
+            )
+            return AddAssociationFK.create(
+                model,
+                association.name,
+                end1.entity_type,
+                end2.entity_type,
+                table,
+                attr_map,
+                mult1=end1.multiplicity,
+                mult2=end2.multiplicity,
+                role1=end1.role,
+                role2=end2.role,
+                new_foreign_keys=foreign_keys,
+            )
+        # many-to-many: a join table named after the association.
+        key1 = schema.key_of(association.end1.entity_type)
+        key2 = schema.key_of(association.end2.entity_type)
+        attr_map = {}
+        fks = []
+        for end, key in ((association.end1, key1), (association.end2, key2)):
+            fragment = primary_fragment_of(model, end.entity_type)
+            columns = []
+            for k in key:
+                column = f"{end.role_name}_{k}"
+                attr_map[f"{end.role_name}.{k}"] = column
+                columns.append(column)
+            ref_columns = tuple(fragment.maps_attr(k) or k for k in key)
+            fks.append(ForeignKey(tuple(columns), fragment.store_table, ref_columns))
+        return AddAssociationJT.create(
+            model,
+            association.name,
+            association.end1.entity_type,
+            association.end2.entity_type,
+            association.name,
+            attr_map,
+            mult1=association.end1.multiplicity,
+            mult2=association.end2.multiplicity,
+            table_foreign_keys=fks,
+            role1=association.end1.role,
+            role2=association.end2.role,
+        )

@@ -1,0 +1,199 @@
+"""MoDEF-style mapping-style inference (Section 4.1, [16]).
+
+"To determine appropriate changes to the store model and mapping
+fragments, we use the MoDEF system.  It examines existing mapping
+fragments in the neighborhood of the changes to determine its mapping
+style: TPC, TPT, or TPH.  It then generates an SMO that is consistent
+with that mapping style."
+
+This module reimplements that inference over our fragment language:
+
+* **TPH** — the whole hierarchy maps into one table whose fragments pin a
+  common discriminator column to distinct constants;
+* **TPC** — each concrete type's fragment maps *all* its attributes
+  (inherited included) into its own table;
+* **TPT** — each type's fragment maps only its non-inherited attributes
+  plus the key, joined to ancestors' tables through the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.algebra.conditions import Comparison
+from repro.edm.types import Attribute
+from repro.errors import SmoError
+from repro.incremental.add_entity import AddEntity
+from repro.incremental.add_entity_tph import AddEntityTPH
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import Smo
+from repro.mapping.fragments import MappingFragment
+from repro.relational.schema import ForeignKey
+
+TPT = "TPT"
+TPC = "TPC"
+TPH = "TPH"
+
+
+@dataclass(frozen=True)
+class StyleInference:
+    """Outcome of inspecting the neighborhood of a hierarchy."""
+
+    style: str
+    #: TPH only: the shared table and discriminator column
+    tph_table: Optional[str] = None
+    discriminator_column: Optional[str] = None
+
+
+def primary_fragment_of(model: CompiledModel, type_name: str) -> MappingFragment:
+    """The fragment that stores *type_name*'s own data.
+
+    Chosen as the fragment of the type's entity set whose condition
+    mentions the type (``IS OF type`` / ``IS OF (ONLY type)`` possibly
+    inside the adapted disjunctions) and, among those, the one mapping the
+    most of the type's own attributes.
+    """
+    schema = model.client_schema
+    set_name = schema.set_of_type(type_name).name
+    own = set(schema.entity_type(type_name).own_attribute_names) or set(
+        schema.key_of(type_name)
+    )
+    best: Optional[MappingFragment] = None
+    best_score = -1
+    from repro.algebra.conditions import referenced_types
+
+    for fragment in model.mapping.fragments_for_set(set_name):
+        if type_name not in referenced_types(fragment.client_condition):
+            continue
+        score = sum(1 for a, _ in fragment.attribute_map if a in own)
+        if score > best_score:
+            best, best_score = fragment, score
+    if best is None:
+        raise SmoError(f"no fragment stores data of type {type_name!r}")
+    return best
+
+
+def primary_table_of(model: CompiledModel, type_name: str) -> str:
+    return primary_fragment_of(model, type_name).store_table
+
+
+def infer_style(model: CompiledModel, anchor_type: str) -> StyleInference:
+    """Infer the mapping style of *anchor_type*'s hierarchy neighborhood."""
+    schema = model.client_schema
+    set_name = schema.set_of_type(anchor_type).name
+    root = schema.entity_set(set_name).root_type
+    hierarchy = schema.descendants_or_self(root)
+    fragments = model.mapping.fragments_for_set(set_name)
+    if not fragments:
+        raise SmoError(f"hierarchy of {anchor_type!r} is unmapped")
+
+    tables = {f.store_table for f in fragments}
+    if len(tables) == 1:
+        table = next(iter(tables))
+        disc = _common_discriminator(fragments)
+        if disc is not None:
+            return StyleInference(TPH, tph_table=table, discriminator_column=disc)
+
+    # TPC: the anchor's fragment maps every attribute of the anchor type.
+    try:
+        fragment = primary_fragment_of(model, anchor_type)
+    except SmoError:
+        fragment = None
+    if fragment is not None:
+        mapped = {a for a, _ in fragment.attribute_map}
+        if mapped >= set(schema.attribute_names_of(anchor_type)) and len(hierarchy) > 1:
+            # every attribute (inherited included) in one table → TPC,
+            # unless that is simply a root type with nothing inherited.
+            if schema.entity_type(anchor_type).parent is not None or len(tables) > 1:
+                inherited = set(schema.attribute_names_of(anchor_type)) - set(
+                    schema.entity_type(anchor_type).own_attribute_names
+                )
+                if inherited and inherited <= mapped:
+                    return StyleInference(TPC)
+
+    return StyleInference(TPT)
+
+
+def _common_discriminator(fragments: Sequence[MappingFragment]) -> Optional[str]:
+    """A column every entity fragment pins to a distinct constant."""
+    pins: List[Dict[str, object]] = []
+    for fragment in fragments:
+        if fragment.is_association:
+            continue
+        fragment_pins: Dict[str, object] = {}
+        _collect_equality_pins(fragment.store_condition, fragment_pins)
+        pins.append(fragment_pins)
+    if not pins:
+        return None
+    candidates = set(pins[0])
+    for fragment_pins in pins[1:]:
+        candidates &= set(fragment_pins)
+    for column in sorted(candidates):
+        values = [fragment_pins[column] for fragment_pins in pins]
+        if len(set(map(repr, values))) == len(values):
+            return column
+    return None
+
+
+def _collect_equality_pins(condition, pins: Dict[str, object]) -> None:
+    from repro.algebra.conditions import And
+
+    if isinstance(condition, Comparison) and condition.op == "=":
+        pins[condition.attr] = condition.const
+    elif isinstance(condition, And):
+        for operand in condition.operands:
+            _collect_equality_pins(operand, pins)
+
+
+def generate_add_entity(
+    model: CompiledModel,
+    name: str,
+    parent: str,
+    new_attributes: Sequence[Attribute],
+    style: Optional[str] = None,
+    table: Optional[str] = None,
+) -> Smo:
+    """Generate the AddEntity SMO consistent with the inferred style.
+
+    * TPT: a fresh table named after the type, with a foreign key from its
+      key columns to the parent's primary table (the store co-evolution
+      the paper's experiments describe);
+    * TPC: a fresh table holding all attributes;
+    * TPH: an AddEntityTPH into the hierarchy table, discriminator value =
+      the type name.
+    """
+    inference = (
+        StyleInference(style) if style in (TPT, TPC) else
+        infer_style(model, parent) if style is None else None
+    )
+    if style == TPH or (inference is not None and inference.style == TPH):
+        if inference is None or inference.style != TPH:
+            inference = infer_style(model, parent)
+        if inference.style != TPH:
+            raise SmoError(
+                f"requested TPH but hierarchy of {parent!r} is not TPH-mapped"
+            )
+        return AddEntityTPH.create(
+            model,
+            name,
+            parent,
+            new_attributes,
+            inference.tph_table or "",
+            inference.discriminator_column or "",
+            name,
+        )
+    assert inference is not None
+    table_name = table if table else name
+    if inference.style == TPC:
+        return AddEntity.tpc(model, name, parent, new_attributes, table_name)
+    # TPT: foreign key from the new table's key to the parent's table.
+    schema = model.client_schema
+    key = schema.key_of(parent)
+    parent_table = primary_table_of(model, parent)
+    parent_fragment = primary_fragment_of(model, parent)
+    ref_columns = tuple(parent_fragment.maps_attr(k) or k for k in key)
+    foreign_keys = (ForeignKey(tuple(key), parent_table, ref_columns),)
+    return AddEntity.tpt(
+        model, name, parent, new_attributes, table_name, table_foreign_keys=foreign_keys
+    )

@@ -1,0 +1,281 @@
+"""Reconstructing a mapping as an SMO sequence (Section 6's open problem).
+
+"Ideally, it should be accompanied by an algorithm that, given a schema
+and mapping, generates a sequence of SMOs that produces the same result."
+
+For the SMO-expressible subset of the mapping language — hierarchies
+mapped TPT/TPC/TPH (or mixtures, one primary fragment per type) with
+FK- or join-table-mapped associations — this module implements that
+algorithm:
+
+1. the *base* model keeps each hierarchy root with its primary fragment
+   (SMOs add leaves, never roots);
+2. every non-root type becomes an ``AddEntity``/``AddEntityTPH``,
+   classified from its primary fragment's shape (same table as an
+   ancestor + discriminator pin ⇒ TPH; α = att(E) ⇒ TPC; otherwise the
+   general AddEntity with the anchor P derived from α);
+3. every association becomes ``AddAssociationFK`` (its table also stores
+   entity data) or ``AddAssociationJT`` (standalone table).
+
+``reconstruct`` returns the base mapping plus the SMO sequence;
+``verify_reconstruction`` replays it through the incremental compiler and
+checks semantic equivalence with the target (compiled-view comparison on
+canonical states).  The paper's order-sensitivity question ("Does it
+matter which sequence it chooses?") is explored by the accompanying
+benchmark, which permutes valid orders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.conditions import Comparison, Condition, IsNull, And
+from repro.compiler import compile_mapping, generate_views
+from repro.edm.schema import ClientSchema
+from repro.edm.types import Attribute
+from repro.errors import SmoError
+from repro.incremental.add_association import AddAssociationFK, AddAssociationJT
+from repro.incremental.add_entity import AddEntity
+from repro.incremental.add_entity_tph import AddEntityTPH
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import IncrementalCompiler, Smo
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.relational.schema import StoreSchema, Table
+
+
+class ReconstructionError(SmoError):
+    """The mapping is outside the SMO-expressible subset."""
+
+
+def _primary_fragment(
+    mapping: Mapping, set_name: str, type_name: str
+) -> MappingFragment:
+    """The fragment storing *type_name*'s own data (most own-attrs mapped)."""
+    from repro.algebra.conditions import referenced_types
+
+    schema = mapping.client_schema
+    own = set(schema.entity_type(type_name).own_attribute_names) or set(
+        schema.key_of(type_name)
+    )
+    best, best_score = None, -1
+    for fragment in mapping.fragments_for_set(set_name):
+        if type_name not in referenced_types(fragment.client_condition):
+            continue
+        score = sum(1 for a, _ in fragment.attribute_map if a in own)
+        if score > best_score:
+            best, best_score = fragment, score
+    if best is None:
+        raise ReconstructionError(
+            f"type {type_name!r} has no fragment mentioning it; not "
+            "SMO-expressible"
+        )
+    return best
+
+
+def _discriminator_pin(condition: Condition) -> Optional[Tuple[str, object]]:
+    """The single equality pin of a TPH store condition, if that is all."""
+    if isinstance(condition, Comparison) and condition.op == "=":
+        return (condition.attr, condition.const)
+    if isinstance(condition, And):
+        pins = [
+            op for op in condition.operands
+            if isinstance(op, Comparison) and op.op == "="
+        ]
+        if len(pins) == 1 and all(
+            isinstance(op, (Comparison, IsNull)) for op in condition.operands
+        ):
+            return (pins[0].attr, pins[0].const)
+    return None
+
+
+def reconstruct(mapping: Mapping) -> Tuple[Mapping, List[Smo]]:
+    """Split *mapping* into a roots-only base plus an SMO sequence."""
+    schema = mapping.client_schema
+    store = mapping.store_schema
+
+    base_fragments: List[MappingFragment] = []
+    smos: List[Smo] = []
+    base_tables: Dict[str, Table] = {}
+    base_schema = ClientSchema()
+
+    # Base: hierarchy roots, their sets and their primary fragments.
+    for entity_set in schema.entity_sets:
+        root = schema.entity_set(entity_set.name).root_type
+        base_schema.add_entity_type(schema.entity_type(root))
+        from repro.edm.entity import EntitySet
+
+        base_schema.add_entity_set(EntitySet(entity_set.name, root))
+        if not mapping.fragments_for_set(entity_set.name):
+            continue
+        fragment = _primary_fragment(mapping, entity_set.name, root)
+        # the root fragment must cover the root alone in the base model:
+        # reconstruct its pristine condition
+        from repro.algebra.conditions import IsOf
+
+        base_fragments.append(
+            MappingFragment(
+                client_source=entity_set.name,
+                is_association=False,
+                client_condition=IsOf(root),
+                store_table=fragment.store_table,
+                store_condition=fragment.store_condition,
+                attribute_map=tuple(
+                    (a, c)
+                    for a, c in fragment.attribute_map
+                    if a in schema.attribute_names_of(root)
+                ),
+            )
+        )
+        base_tables[fragment.store_table] = store.table(fragment.store_table)
+
+    base_store = StoreSchema(
+        [_strip_foreign_keys(t, base_tables) for t in base_tables.values()]
+    )
+    base_mapping = Mapping(base_schema, base_store, base_fragments)
+
+    # Entities: breadth-first, so parents exist when children are added.
+    for entity_set in schema.entity_sets:
+        root = schema.entity_set(entity_set.name).root_type
+        for type_name in schema.descendants(root):
+            smos.append(_entity_smo(mapping, entity_set.name, type_name))
+
+    # Associations.
+    for association in schema.associations:
+        fragment = mapping.fragment_for_association(association.name)
+        if fragment is None:
+            continue
+        smos.append(_association_smo(mapping, association, fragment))
+
+    return base_mapping, smos
+
+
+def _strip_foreign_keys(table: Table, kept: Dict[str, Table]) -> Table:
+    """Drop FKs referencing tables outside the base (added back by SMOs)."""
+    fks = tuple(fk for fk in table.foreign_keys if fk.ref_table in kept)
+    return Table(table.name, table.columns, table.primary_key, fks)
+
+
+def _entity_smo(mapping: Mapping, set_name: str, type_name: str) -> Smo:
+    schema = mapping.client_schema
+    entity_type = schema.entity_type(type_name)
+    parent = entity_type.parent
+    assert parent is not None
+    fragment = _primary_fragment(mapping, set_name, type_name)
+    parent_fragment = _primary_fragment(mapping, set_name, parent)
+    new_attributes = tuple(entity_type.attributes)
+
+    # TPH: same table as the parent's primary fragment + a discriminator pin
+    pin = _discriminator_pin(fragment.store_condition)
+    if fragment.store_table == parent_fragment.store_table and pin is not None:
+        column, value = pin
+        smo = AddEntityTPH(
+            name=type_name,
+            parent=parent,
+            new_attributes=new_attributes,
+            table=fragment.store_table,
+            discriminator_column=column,
+            discriminator_value=value,
+            attr_map=tuple(fragment.attribute_map),
+        )
+        return smo
+
+    alpha = fragment.alpha
+    full = set(schema.attribute_names_of(type_name))
+    if set(alpha) == full:
+        anchor: Optional[str] = None  # TPC
+    else:
+        # nearest ancestor whose attributes fill the gap
+        anchor = None
+        for candidate in schema.ancestors(type_name):
+            if set(alpha) | set(schema.attribute_names_of(candidate)) == full:
+                anchor = candidate
+                break
+        if anchor is None:
+            raise ReconstructionError(
+                f"type {type_name!r}: α ∪ att(P) covers att(E) for no ancestor "
+                "P; not SMO-expressible"
+            )
+    table = mapping.store_schema.table(fragment.store_table)
+    # only FKs over the columns this SMO creates; association columns (and
+    # their FKs) are re-attached by the association SMOs that own them
+    mapped_columns = {c for _, c in fragment.attribute_map}
+    foreign_keys = tuple(
+        fk for fk in table.foreign_keys if set(fk.columns) <= mapped_columns
+    )
+    return AddEntity(
+        name=type_name,
+        parent=parent,
+        new_attributes=new_attributes,
+        alpha=tuple(alpha),
+        anchor=anchor,
+        table=fragment.store_table,
+        attr_map=tuple(fragment.attribute_map),
+        table_foreign_keys=foreign_keys,
+    )
+
+
+def _association_smo(mapping: Mapping, association, fragment: MappingFragment) -> Smo:
+    table_name = fragment.store_table
+    entity_fragments = [
+        f
+        for f in mapping.fragments_for_table(table_name)
+        if not f.is_association
+    ]
+    attr_map = {a: c for a, c in fragment.attribute_map}
+    table = mapping.store_schema.table(table_name)
+    if entity_fragments:
+        return AddAssociationFK(
+            name=association.name,
+            end1_type=association.end1.entity_type,
+            end2_type=association.end2.entity_type,
+            mult1=association.end1.multiplicity,
+            mult2=association.end2.multiplicity,
+            table=table_name,
+            attr_map=tuple(attr_map.items()),
+            role1=association.end1.role,
+            role2=association.end2.role,
+            new_foreign_keys=tuple(table.foreign_keys),
+        )
+    return AddAssociationJT(
+        name=association.name,
+        end1_type=association.end1.entity_type,
+        end2_type=association.end2.entity_type,
+        mult1=association.end1.multiplicity,
+        mult2=association.end2.multiplicity,
+        table=table_name,
+        attr_map=tuple(attr_map.items()),
+        table_foreign_keys=tuple(table.foreign_keys),
+        role1=association.end1.role,
+        role2=association.end2.role,
+    )
+
+
+def replay(
+    base_mapping: Mapping, smos: List[Smo]
+) -> CompiledModel:
+    """Compile the base and apply the SMO sequence incrementally."""
+    base = CompiledModel(base_mapping, generate_views(base_mapping))
+    compiler = IncrementalCompiler()
+    model = base
+    for smo in smos:
+        model = compiler.apply(model, smo).model
+    return model
+
+
+def verify_reconstruction(mapping: Mapping) -> CompiledModel:
+    """Reconstruct, replay, and check semantic equivalence with the target.
+
+    Returns the replayed model; raises on any divergence.
+    """
+    from repro.mapping.equivalence import compare_views
+
+    base_mapping, smos = reconstruct(mapping)
+    replayed = replay(base_mapping, smos)
+
+    target_views = generate_views(mapping)
+    comparison = compare_views(mapping, target_views, replayed.views)
+    if not comparison.equivalent:
+        raise ReconstructionError(
+            f"replayed mapping diverges from the target: {comparison}"
+        )
+    return replayed

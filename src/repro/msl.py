@@ -1,0 +1,553 @@
+"""Model persistence: serialize schemas, mappings and compiled views.
+
+Entity Framework keeps the three definitions in CSDL/SSDL/MSL files and
+the compiled query/update views in a generated source file; the paper's
+standalone compiler reads all of them as its input (Section 4.1, Figure
+7).  This module provides the same workflow for this library with one
+JSON document:
+
+    document = save_model(model)          # CompiledModel -> dict
+    text = dumps_model(model)             # ... or a JSON string
+    model = load_model(document)          # and back
+
+Every AST (conditions, queries, constructors) round-trips exactly, so an
+incremental compilation session can stop, persist, and resume later —
+the interactive-development loop the paper optimises.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    Condition,
+    FALSE,
+    FalseCond,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Not,
+    Or,
+    TRUE,
+    TrueCond,
+)
+from repro.algebra.constructors import (
+    AssociationCtor,
+    Constructor,
+    EntityCtor,
+    IfCtor,
+    RowCtor,
+)
+from repro.algebra.queries import (
+    AssociationScan,
+    Col,
+    Const,
+    CtorExpr,
+    FullOuterJoin,
+    Join,
+    LeftOuterJoin,
+    ProjItem,
+    Project,
+    Query,
+    Select,
+    SetScan,
+    TableScan,
+    UnionAll,
+)
+from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
+from repro.edm.entity import EntitySet, EntityType
+from repro.edm.schema import ClientSchema
+from repro.edm.types import Attribute, Domain
+from repro.errors import MappingError
+from repro.incremental.model import CompiledModel
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.mapping.views import AssociationView, CompiledViews, QueryView, UpdateView
+from repro.relational.schema import Column, ForeignKey, StoreSchema, Table
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Domains / attributes
+# ---------------------------------------------------------------------------
+
+def _domain_to_json(domain: Domain) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"base": domain.base}
+    if domain.values is not None:
+        data["values"] = sorted(domain.values, key=repr)
+    return data
+
+
+def _domain_from_json(data: Dict[str, Any]) -> Domain:
+    values = data.get("values")
+    return Domain(data["base"], frozenset(values) if values is not None else None)
+
+
+def _attribute_to_json(attribute: Attribute) -> Dict[str, Any]:
+    return {
+        "name": attribute.name,
+        "domain": _domain_to_json(attribute.domain),
+        "nullable": attribute.nullable,
+    }
+
+
+def _attribute_from_json(data: Dict[str, Any]) -> Attribute:
+    return Attribute(data["name"], _domain_from_json(data["domain"]), data["nullable"])
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+def condition_to_json(condition: Condition) -> Any:
+    if isinstance(condition, TrueCond):
+        return True
+    if isinstance(condition, FalseCond):
+        return False
+    if isinstance(condition, IsOf):
+        return {"isOf": condition.type_name}
+    if isinstance(condition, IsOfOnly):
+        return {"isOfOnly": condition.type_name}
+    if isinstance(condition, IsNull):
+        return {"isNull": condition.attr}
+    if isinstance(condition, IsNotNull):
+        return {"isNotNull": condition.attr}
+    if isinstance(condition, Comparison):
+        return {"cmp": [condition.attr, condition.op, condition.const]}
+    if isinstance(condition, And):
+        return {"and": [condition_to_json(o) for o in condition.operands]}
+    if isinstance(condition, Or):
+        return {"or": [condition_to_json(o) for o in condition.operands]}
+    if isinstance(condition, Not):
+        return {"not": condition_to_json(condition.operand)}
+    raise MappingError(f"cannot serialize condition {condition!r}")
+
+
+def condition_from_json(data: Any) -> Condition:
+    if data is True:
+        return TRUE
+    if data is False:
+        return FALSE
+    if "isOf" in data:
+        return IsOf(data["isOf"])
+    if "isOfOnly" in data:
+        return IsOfOnly(data["isOfOnly"])
+    if "isNull" in data:
+        return IsNull(data["isNull"])
+    if "isNotNull" in data:
+        return IsNotNull(data["isNotNull"])
+    if "cmp" in data:
+        attr, op, const = data["cmp"]
+        return Comparison(attr, op, const)
+    if "and" in data:
+        return And(tuple(condition_from_json(o) for o in data["and"]))
+    if "or" in data:
+        return Or(tuple(condition_from_json(o) for o in data["or"]))
+    if "not" in data:
+        return Not(condition_from_json(data["not"]))
+    raise MappingError(f"cannot deserialize condition {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+def _expr_to_json(expr: CtorExpr) -> Any:
+    if isinstance(expr, Col):
+        return {"col": expr.name}
+    return {"const": expr.value}
+
+
+def _expr_from_json(data: Any) -> CtorExpr:
+    if "col" in data:
+        return Col(data["col"])
+    return Const(data["const"])
+
+
+def _items_to_json(items) -> List[Any]:
+    return [[item.output, _expr_to_json(item.expr)] for item in items]
+
+
+def _items_from_json(data) -> tuple:
+    return tuple(ProjItem(output, _expr_from_json(expr)) for output, expr in data)
+
+
+def query_to_json(query: Query) -> Dict[str, Any]:
+    if isinstance(query, SetScan):
+        return {"setScan": query.set_name}
+    if isinstance(query, AssociationScan):
+        return {"assocScan": query.assoc_name}
+    if isinstance(query, TableScan):
+        return {"tableScan": query.table_name}
+    if isinstance(query, Select):
+        return {
+            "select": query_to_json(query.source),
+            "where": condition_to_json(query.condition),
+        }
+    if isinstance(query, Project):
+        return {
+            "project": query_to_json(query.source),
+            "items": _items_to_json(query.items),
+        }
+    if isinstance(query, (Join, LeftOuterJoin, FullOuterJoin)):
+        kind = {Join: "join", LeftOuterJoin: "louter", FullOuterJoin: "fouter"}[
+            type(query)
+        ]
+        data = {
+            kind: [query_to_json(query.left), query_to_json(query.right)],
+        }
+        if query.on is not None:
+            data["on"] = list(query.on)
+        return data
+    if isinstance(query, UnionAll):
+        return {"unionAll": [query_to_json(b) for b in query.branches]}
+    raise MappingError(f"cannot serialize query {query!r}")
+
+
+def query_from_json(data: Dict[str, Any]) -> Query:
+    if "setScan" in data:
+        return SetScan(data["setScan"])
+    if "assocScan" in data:
+        return AssociationScan(data["assocScan"])
+    if "tableScan" in data:
+        return TableScan(data["tableScan"])
+    if "select" in data:
+        return Select(query_from_json(data["select"]), condition_from_json(data["where"]))
+    if "project" in data:
+        return Project(query_from_json(data["project"]), _items_from_json(data["items"]))
+    for kind, cls in (("join", Join), ("louter", LeftOuterJoin), ("fouter", FullOuterJoin)):
+        if kind in data:
+            left, right = data[kind]
+            on = tuple(data["on"]) if "on" in data else None
+            return cls(query_from_json(left), query_from_json(right), on)
+    if "unionAll" in data:
+        return UnionAll(tuple(query_from_json(b) for b in data["unionAll"]))
+    raise MappingError(f"cannot deserialize query {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+def constructor_to_json(constructor: Constructor) -> Dict[str, Any]:
+    if isinstance(constructor, EntityCtor):
+        return {
+            "entity": constructor.type_name,
+            "assign": [[a, _expr_to_json(e)] for a, e in constructor.assignments],
+        }
+    if isinstance(constructor, RowCtor):
+        return {
+            "row": constructor.table_name,
+            "assign": [[a, _expr_to_json(e)] for a, e in constructor.assignments],
+        }
+    if isinstance(constructor, AssociationCtor):
+        return {
+            "assoc": constructor.assoc_name,
+            "assign": [[a, _expr_to_json(e)] for a, e in constructor.assignments],
+        }
+    if isinstance(constructor, IfCtor):
+        return {
+            "if": condition_to_json(constructor.condition),
+            "then": constructor_to_json(constructor.then_ctor),
+            "else": constructor_to_json(constructor.else_ctor),
+        }
+    raise MappingError(f"cannot serialize constructor {constructor!r}")
+
+
+def constructor_from_json(data: Dict[str, Any]) -> Constructor:
+    def assignments(raw):
+        return tuple((a, _expr_from_json(e)) for a, e in raw)
+
+    if "entity" in data:
+        return EntityCtor(data["entity"], assignments(data["assign"]))
+    if "row" in data:
+        return RowCtor(data["row"], assignments(data["assign"]))
+    if "assoc" in data:
+        return AssociationCtor(data["assoc"], assignments(data["assign"]))
+    if "if" in data:
+        return IfCtor(
+            condition_from_json(data["if"]),
+            constructor_from_json(data["then"]),
+            constructor_from_json(data["else"]),
+        )
+    raise MappingError(f"cannot deserialize constructor {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# Schemas (CSDL / SSDL analogues)
+# ---------------------------------------------------------------------------
+
+def client_schema_to_json(schema: ClientSchema) -> Dict[str, Any]:
+    types = []
+    for entity_type in schema.entity_types:
+        types.append(
+            {
+                "name": entity_type.name,
+                "parent": entity_type.parent,
+                "attributes": [_attribute_to_json(a) for a in entity_type.attributes],
+                "key": list(entity_type.key),
+                "abstract": entity_type.abstract,
+            }
+        )
+    sets = [
+        {"name": s.name, "rootType": s.root_type} for s in schema.entity_sets
+    ]
+    associations = []
+    for association in schema.associations:
+        associations.append(
+            {
+                "name": association.name,
+                "end1": _end_to_json(association.end1),
+                "end2": _end_to_json(association.end2),
+                "set1": association.entity_set1,
+                "set2": association.entity_set2,
+            }
+        )
+    return {"entityTypes": types, "entitySets": sets, "associations": associations}
+
+
+def _end_to_json(end: AssociationEnd) -> Dict[str, Any]:
+    return {
+        "type": end.entity_type,
+        "multiplicity": end.multiplicity.value,
+        "role": end.role,
+    }
+
+
+def _end_from_json(data: Dict[str, Any]) -> AssociationEnd:
+    return AssociationEnd(
+        data["type"],
+        {m.value: m for m in Multiplicity}[data["multiplicity"]],
+        data.get("role"),
+    )
+
+
+def client_schema_from_json(data: Dict[str, Any]) -> ClientSchema:
+    schema = ClientSchema()
+    pending = list(data["entityTypes"])
+    # parents must exist before children; iterate until fixpoint
+    while pending:
+        progressed = False
+        remaining = []
+        for entry in pending:
+            if entry["parent"] is None or schema.has_entity_type(entry["parent"]):
+                schema.add_entity_type(
+                    EntityType(
+                        name=entry["name"],
+                        parent=entry["parent"],
+                        attributes=tuple(
+                            _attribute_from_json(a) for a in entry["attributes"]
+                        ),
+                        key=tuple(entry["key"]),
+                        abstract=entry["abstract"],
+                    )
+                )
+                progressed = True
+            else:
+                remaining.append(entry)
+        if not progressed:
+            raise MappingError("entity types reference unknown parents")
+        pending = remaining
+    for entry in data["entitySets"]:
+        schema.add_entity_set(EntitySet(entry["name"], entry["rootType"]))
+    for entry in data["associations"]:
+        schema.add_association(
+            AssociationSet(
+                name=entry["name"],
+                end1=_end_from_json(entry["end1"]),
+                end2=_end_from_json(entry["end2"]),
+                entity_set1=entry["set1"],
+                entity_set2=entry["set2"],
+            )
+        )
+    return schema
+
+
+def store_schema_to_json(schema: StoreSchema) -> Dict[str, Any]:
+    tables = []
+    for table in schema.tables:
+        tables.append(
+            {
+                "name": table.name,
+                "columns": [
+                    {
+                        "name": c.name,
+                        "domain": _domain_to_json(c.domain),
+                        "nullable": c.nullable,
+                    }
+                    for c in table.columns
+                ],
+                "primaryKey": list(table.primary_key),
+                "foreignKeys": [
+                    {
+                        "columns": list(fk.columns),
+                        "refTable": fk.ref_table,
+                        "refColumns": list(fk.ref_columns),
+                    }
+                    for fk in table.foreign_keys
+                ],
+            }
+        )
+    return {"tables": tables}
+
+
+def store_schema_from_json(data: Dict[str, Any]) -> StoreSchema:
+    tables = []
+    for entry in data["tables"]:
+        tables.append(
+            Table(
+                entry["name"],
+                tuple(
+                    Column(c["name"], _domain_from_json(c["domain"]), c["nullable"])
+                    for c in entry["columns"]
+                ),
+                tuple(entry["primaryKey"]),
+                tuple(
+                    ForeignKey(
+                        tuple(fk["columns"]), fk["refTable"], tuple(fk["refColumns"])
+                    )
+                    for fk in entry["foreignKeys"]
+                ),
+            )
+        )
+    return StoreSchema(tables)
+
+
+# ---------------------------------------------------------------------------
+# Mapping (MSL analogue) and views
+# ---------------------------------------------------------------------------
+
+def fragment_to_json(fragment: MappingFragment) -> Dict[str, Any]:
+    return {
+        "source": fragment.client_source,
+        "isAssociation": fragment.is_association,
+        "clientCondition": condition_to_json(fragment.client_condition),
+        "table": fragment.store_table,
+        "storeCondition": condition_to_json(fragment.store_condition),
+        "attributeMap": [list(pair) for pair in fragment.attribute_map],
+    }
+
+
+def fragment_from_json(data: Dict[str, Any]) -> MappingFragment:
+    return MappingFragment(
+        client_source=data["source"],
+        is_association=data["isAssociation"],
+        client_condition=condition_from_json(data["clientCondition"]),
+        store_table=data["table"],
+        store_condition=condition_from_json(data["storeCondition"]),
+        attribute_map=tuple((a, b) for a, b in data["attributeMap"]),
+    )
+
+
+def views_to_json(views: CompiledViews) -> Dict[str, Any]:
+    return {
+        "queryViews": [
+            {
+                "entityType": v.entity_type,
+                "query": query_to_json(v.query),
+                "constructor": constructor_to_json(v.constructor),
+            }
+            for v in views.query_views.values()
+        ],
+        "associationViews": [
+            {
+                "association": v.assoc_name,
+                "query": query_to_json(v.query),
+                "constructor": constructor_to_json(v.constructor),
+            }
+            for v in views.association_views.values()
+        ],
+        "updateViews": [
+            {
+                "table": v.table_name,
+                "query": query_to_json(v.query),
+                "constructor": constructor_to_json(v.constructor),
+            }
+            for v in views.update_views.values()
+        ],
+    }
+
+
+def views_from_json(data: Dict[str, Any]) -> CompiledViews:
+    views = CompiledViews()
+    for entry in data["queryViews"]:
+        views.set_query_view(
+            QueryView(
+                entry["entityType"],
+                query_from_json(entry["query"]),
+                constructor_from_json(entry["constructor"]),
+            )
+        )
+    for entry in data["associationViews"]:
+        constructor = constructor_from_json(entry["constructor"])
+        views.set_association_view(
+            AssociationView(entry["association"], query_from_json(entry["query"]),
+                            constructor)
+        )
+    for entry in data["updateViews"]:
+        views.set_update_view(
+            UpdateView(
+                entry["table"],
+                query_from_json(entry["query"]),
+                constructor_from_json(entry["constructor"]),
+            )
+        )
+    return views
+
+
+# ---------------------------------------------------------------------------
+# Whole models
+# ---------------------------------------------------------------------------
+
+def save_model(model: CompiledModel) -> Dict[str, Any]:
+    """CompiledModel → a JSON-serializable document."""
+    return {
+        "format": FORMAT_VERSION,
+        "clientSchema": client_schema_to_json(model.client_schema),
+        "storeSchema": store_schema_to_json(model.store_schema),
+        "fragments": [fragment_to_json(f) for f in model.mapping.fragments],
+        "views": views_to_json(model.views),
+    }
+
+
+def load_mapping(data: Dict[str, Any]) -> Mapping:
+    """Load schemas + fragments only (a not-yet-compiled document)."""
+    if data.get("format") != FORMAT_VERSION:
+        raise MappingError(
+            f"unsupported model format {data.get('format')!r}; expected "
+            f"{FORMAT_VERSION}"
+        )
+    client_schema = client_schema_from_json(data["clientSchema"])
+    store_schema = store_schema_from_json(data["storeSchema"])
+    fragments: List[MappingFragment] = []
+    raw_fragments = data.get("fragments", [])
+    if isinstance(raw_fragments, str):
+        # fragments may be authored in the Figure 5 Entity-SQL syntax
+        from repro.algebra.parser import parse_fragments
+
+        fragments = parse_fragments(raw_fragments)
+    else:
+        fragments = [fragment_from_json(f) for f in raw_fragments]
+    return Mapping(client_schema, store_schema, fragments)
+
+
+def load_model(data: Dict[str, Any]) -> CompiledModel:
+    """The inverse of :func:`save_model` (validates the format version)."""
+    mapping = load_mapping(data)
+    if "views" not in data:
+        raise MappingError(
+            "document has no compiled views; run `python -m repro compile` first"
+        )
+    return CompiledModel(mapping, views_from_json(data["views"]))
+
+
+def dumps_model(model: CompiledModel, indent: Optional[int] = 2) -> str:
+    return json.dumps(save_model(model), indent=indent, sort_keys=True)
+
+
+def loads_model(text: str) -> CompiledModel:
+    return load_model(json.loads(text))

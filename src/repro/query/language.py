@@ -1,0 +1,86 @@
+"""A small client-level query language over entity sets.
+
+Section 1.1: "A common way for an ORM to support query translation is to
+express the mapping as a view definition ... A query over the
+object-oriented schema can be implemented by view unfolding, which
+replaces view references in the query by the view definition."
+
+:class:`EntityQuery` is the object-side query: an entity set, a condition
+in the fragment condition language (type atoms included), and an optional
+projection.  It can be executed directly against a :class:`ClientState`
+(the reference semantics) or translated to a store-level query by
+:mod:`repro.query.unfold` and executed against the relational data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.conditions import Condition, TRUE, evaluate_condition
+from repro.edm.instances import ClientState, Entity
+from repro.edm.schema import ClientSchema
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class EntityQuery:
+    """``SELECT [projection] FROM set_name WHERE condition``.
+
+    ``projection=None`` returns whole entities; otherwise rows (dicts) of
+    the named attributes.  An attribute may be absent for some matching
+    entities (it belongs to a subtype); those entities contribute NULL,
+    like Entity SQL's TREAT-less projection over a heterogeneous set.
+    """
+
+    set_name: str
+    condition: Condition = TRUE
+    projection: Optional[Tuple[str, ...]] = None
+
+    def __str__(self) -> str:
+        projected = ", ".join(self.projection) if self.projection else "*"
+        return f"SELECT {projected} FROM {self.set_name} WHERE {self.condition}"
+
+
+class _EntityContext:
+    def __init__(self, entity: Entity, schema: ClientSchema) -> None:
+        self.entity = entity
+        self.schema = schema
+
+    def attr_value(self, name: str):
+        try:
+            return self.entity[name]
+        except EvaluationError:
+            raise KeyError(name)
+
+    def is_of(self, type_name: str, only: bool) -> bool:
+        if only:
+            return self.entity.concrete_type == type_name
+        return type_name in self.schema.ancestors_or_self(self.entity.concrete_type)
+
+
+def execute_on_client(
+    query: EntityQuery, state: ClientState
+) -> List[object]:
+    """The reference semantics: evaluate the query on the client state.
+
+    Returns entities (projection=None) or attribute-row dicts.
+    """
+    schema = state.schema
+    matching = [
+        entity
+        for entity in state.entities(query.set_name)
+        if evaluate_condition(query.condition, _EntityContext(entity, schema))
+    ]
+    if query.projection is None:
+        return matching
+    rows: List[Dict[str, object]] = []
+    for entity in matching:
+        row: Dict[str, object] = {}
+        for attr in query.projection:
+            try:
+                row[attr] = entity[attr]
+            except EvaluationError:
+                row[attr] = None  # attribute of a different subtype
+        rows.append(row)
+    return rows

@@ -1,0 +1,36 @@
+"""Relational store model: tables, constraints, instances."""
+
+from repro.relational.constraints import (
+    ConstraintViolation,
+    check_all,
+    check_foreign_keys,
+    check_primary_keys,
+    is_consistent,
+)
+from repro.relational.instances import (
+    Row,
+    StoreState,
+    make_row,
+    row_from_mapping,
+    row_map,
+    row_value,
+)
+from repro.relational.schema import Column, ForeignKey, StoreSchema, Table
+
+__all__ = [
+    "Column",
+    "ConstraintViolation",
+    "ForeignKey",
+    "Row",
+    "StoreSchema",
+    "StoreState",
+    "Table",
+    "check_all",
+    "check_foreign_keys",
+    "check_primary_keys",
+    "is_consistent",
+    "make_row",
+    "row_from_mapping",
+    "row_map",
+    "row_value",
+]

@@ -1,0 +1,81 @@
+"""Runtime checking of key and foreign-key constraints on store states.
+
+The compilers check constraint *preservation* symbolically (via query
+containment); this module checks constraints on concrete states.  The two
+must agree: if a mapping validates, then every store state produced by its
+update views from a legal client state satisfies all constraints.  Property
+tests enforce that agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.relational.instances import StoreState, row_value
+from repro.relational.schema import Table
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One violated constraint, with a human-readable description."""
+
+    table: str
+    kind: str  # "primary-key" | "foreign-key" | "not-null"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.table}: {self.detail}"
+
+
+def check_primary_keys(state: StoreState) -> List[ConstraintViolation]:
+    violations: List[ConstraintViolation] = []
+    for table in state.populated_tables():
+        seen = {}
+        for row in state.rows(table.name):
+            key = tuple(row_value(row, c) for c in table.primary_key)
+            if any(v is None for v in key):
+                violations.append(
+                    ConstraintViolation(table.name, "not-null", f"null in key {key!r}")
+                )
+                continue
+            if key in seen and seen[key] != row:
+                violations.append(
+                    ConstraintViolation(
+                        table.name, "primary-key", f"duplicate key {key!r}"
+                    )
+                )
+            seen[key] = row
+    return violations
+
+
+def check_foreign_keys(state: StoreState) -> List[ConstraintViolation]:
+    violations: List[ConstraintViolation] = []
+    for table in state.populated_tables():
+        for foreign_key in table.foreign_keys:
+            target_keys = {
+                tuple(row_value(r, c) for c in foreign_key.ref_columns)
+                for r in state.rows(foreign_key.ref_table)
+            }
+            for row in state.rows(table.name):
+                value = tuple(row_value(row, c) for c in foreign_key.columns)
+                if any(v is None for v in value):
+                    continue  # null foreign keys are vacuously satisfied
+                if value not in target_keys:
+                    violations.append(
+                        ConstraintViolation(
+                            table.name,
+                            "foreign-key",
+                            f"{foreign_key} dangles for value {value!r}",
+                        )
+                    )
+    return violations
+
+
+def check_all(state: StoreState) -> List[ConstraintViolation]:
+    """All primary-key and foreign-key violations of *state*."""
+    return check_primary_keys(state) + check_foreign_keys(state)
+
+
+def is_consistent(state: StoreState) -> bool:
+    return not check_all(state)

@@ -1,0 +1,108 @@
+"""Store states: concrete table contents for a store schema.
+
+Rows are immutable mappings from column name to value.  Update views emit
+rows; constraint checking (`repro.relational.constraints`) then verifies
+keys and foreign keys — the runtime counterpart of the compiler's symbolic
+constraint-preservation checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.schema import StoreSchema, Table
+
+Row = Tuple[Tuple[str, object], ...]
+
+
+def make_row(**values: object) -> Row:
+    """Build a canonical (sorted, hashable) row."""
+    return tuple(sorted(values.items()))
+
+
+def row_from_mapping(values: Mapping[str, object]) -> Row:
+    return tuple(sorted(values.items()))
+
+
+def row_value(row: Row, column: str) -> object:
+    for name, value in row:
+        if name == column:
+            return value
+    raise EvaluationError(f"row has no column {column!r}: {row}")
+
+
+def row_map(row: Row) -> Dict[str, object]:
+    return dict(row)
+
+
+class StoreState:
+    """An instance of a :class:`StoreSchema`: a bag of rows per table.
+
+    Rows are de-duplicated (set semantics): the view language projects keys
+    everywhere, so duplicates never carry information.
+    """
+
+    def __init__(self, schema: StoreSchema) -> None:
+        self.schema = schema
+        # populated lazily: large store schemas must not pay O(tables)
+        self._rows: Dict[str, List[Row]] = {}
+
+    def add_row(self, table_name: str, row: Mapping[str, object] | Row) -> Row:
+        if table_name not in self._rows:
+            if not self.schema.has_table(table_name):
+                raise SchemaError(f"unknown table {table_name!r}")
+            self._rows[table_name] = []
+        table = self.schema.table(table_name)
+        canonical = row_from_mapping(row) if isinstance(row, Mapping) else row
+        provided = {name for name, _ in canonical}
+        expected = set(table.column_names)
+        if provided != expected:
+            raise SchemaError(
+                f"row for {table_name!r} must assign exactly {sorted(expected)}, "
+                f"got {sorted(provided)}"
+            )
+        for name, value in canonical:
+            column = table.column(name)
+            if value is None:
+                if not column.nullable:
+                    raise SchemaError(
+                        f"column {name!r} of {table_name!r} is not nullable"
+                    )
+            elif not column.domain.contains(value):
+                raise SchemaError(
+                    f"value {value!r} outside domain of {table_name}.{name}"
+                )
+        if canonical not in self._rows[table_name]:
+            self._rows[table_name].append(canonical)
+        return canonical
+
+    def rows(self, table_name: str) -> Tuple[Row, ...]:
+        if table_name not in self._rows:
+            if not self.schema.has_table(table_name):
+                raise SchemaError(f"unknown table {table_name!r}")
+            return ()
+        return tuple(self._rows[table_name])
+
+    def populated_tables(self):
+        """Tables with at least one row (lazy states: only these can
+        violate constraints)."""
+        return tuple(
+            self.schema.table(name) for name, rows in self._rows.items() if rows
+        )
+
+    def row_count(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def snapshot(self) -> Dict[str, FrozenSet[Row]]:
+        return {name: frozenset(rows) for name, rows in self._rows.items() if rows}
+
+    def equals(self, other: "StoreState") -> bool:
+        return self.snapshot() == other.snapshot()
+
+    def __str__(self) -> str:
+        lines = ["StoreState:"]
+        for table_name, rows in self._rows.items():
+            if rows:
+                lines.append(f"  {table_name}: {[dict(r) for r in rows]}")
+        return "\n".join(lines)

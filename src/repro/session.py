@@ -1,0 +1,141 @@
+"""An ORM-style session over a compiled model.
+
+Everything the compilers produce comes together here, the way a
+downstream application would use it:
+
+* **queries** run against the relational data through view unfolding
+  (Section 1.1's query translation);
+* **SaveChanges** translates object-level modifications into the minimal
+  store delta through the update views (Section 1.1's update
+  translation), with store constraints checked before anything is
+  applied;
+* **schema evolution** applies an SMO through the incremental compiler
+  and *migrates the stored data* — by construction, reading the old data
+  through the old query views and storing it through the new update
+  views is exactly the semantics-preserving migration, because both
+  mappings agree on all pre-existing client states (the Section 2.3
+  soundness restriction).
+
+Example::
+
+    session = OrmSession.create(model)
+    with session.edit() as state:
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="ann"))
+    session.query(EntityQuery("Persons"))
+    session.evolve(AddEntity.tpt(...))      # schema + data migrate together
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List
+
+from repro.edm.instances import ClientState, Entity
+from repro.errors import ValidationError
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import IncrementalCompiler, Smo
+from repro.mapping.roundtrip import apply_query_views, apply_update_views
+from repro.query.dml import StoreDelta, apply_delta, diff_store_states
+from repro.query.language import EntityQuery
+from repro.query.unfold import unfold
+from repro.relational.constraints import check_all
+from repro.relational.instances import StoreState
+
+
+class OrmSession:
+    """A compiled model plus the relational data it maps."""
+
+    def __init__(self, model: CompiledModel, store_state: StoreState) -> None:
+        self.model = model
+        self.store_state = store_state
+        self._compiler = IncrementalCompiler()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def create(model: CompiledModel) -> "OrmSession":
+        """A session over an empty database."""
+        return OrmSession(model, StoreState(model.store_schema))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> ClientState:
+        """Materialise the whole object view of the database (Q)."""
+        return apply_query_views(
+            self.model.views, self.store_state, self.model.client_schema
+        )
+
+    def query(self, query: EntityQuery) -> List[object]:
+        """Answer an object query from the relational data alone."""
+        unfolded = unfold(query, self.model.views, self.model.client_schema)
+        return unfolded.run(self.store_state)
+
+    def explain(self, query: EntityQuery) -> str:
+        """The store-level plan a query unfolds to (Entity-SQL text)."""
+        return unfold(query, self.model.views, self.model.client_schema).to_sql()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(self, new_state: ClientState) -> StoreDelta:
+        """SaveChanges: persist *new_state* as the object view.
+
+        Computes the minimal row delta (via the update views), verifies
+        the resulting store state satisfies all constraints, applies it,
+        and returns the delta.  On a constraint violation nothing is
+        applied.
+        """
+        target = apply_update_views(
+            self.model.views, new_state, self.model.store_schema
+        )
+        violations = check_all(target)
+        if violations:
+            detail = "; ".join(str(v) for v in violations[:5])
+            raise ValidationError(
+                f"update would violate store constraints: {detail}",
+                check="save-changes",
+            )
+        delta = diff_store_states(self.store_state, target)
+        self.store_state = apply_delta(self.store_state, delta)
+        return delta
+
+    @contextmanager
+    def edit(self) -> Iterator[ClientState]:
+        """Edit the object view in place and save on exit::
+
+            with session.edit() as state:
+                state.add_entity("Persons", Entity.of("Person", Id=1, ...))
+        """
+        state = self.load()
+        yield state
+        self.save(state)
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+    def evolve(self, smo: Smo) -> StoreDelta:
+        """Apply an SMO incrementally and migrate the stored data.
+
+        Migration = read the data through the *old* query views, embed
+        the resulting client state into the evolved schema (the paper's
+        ``f(c)``), and store it through the *new* update views.  The
+        soundness restriction of Section 2.3 guarantees this changes
+        nothing for pre-existing data.
+        """
+        old_client = self.load()
+        result = self._compiler.apply(self.model, smo)
+        evolved = result.model
+        migrated_client = old_client.embed_into(evolved.client_schema)
+        new_store = apply_update_views(
+            evolved.views, migrated_client, evolved.store_schema
+        )
+        delta = diff_store_states(self.store_state, new_store)
+        self.model = evolved
+        self.store_state = new_store
+        return delta
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return (
+            f"OrmSession({self.model}, {self.store_state.row_count()} rows)"
+        )

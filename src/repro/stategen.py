@@ -1,0 +1,151 @@
+"""Random legal client states for any client schema.
+
+Used by fuzz/property tests and by the examples: given a schema and a
+seed, produce a :class:`ClientState` that respects domains, nullability,
+key uniqueness and association multiplicities.  Generation is structured
+so that every concrete type and association gets a chance to appear.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.edm.instances import ClientState, Entity
+from repro.edm.schema import ClientSchema
+from repro.edm.types import Attribute, Domain
+from repro.errors import SchemaError
+
+
+def random_value(domain: Domain, rng: random.Random) -> object:
+    if domain.values is not None:
+        return rng.choice(sorted(domain.values, key=repr))
+    if domain.base in ("int", "decimal"):
+        return rng.randrange(0, 1000)
+    if domain.base == "bool":
+        return rng.choice([True, False])
+    if domain.base == "date":
+        return f"2013-{rng.randrange(1, 13):02d}-{rng.randrange(1, 28):02d}"
+    return "s" + str(rng.randrange(0, 1000))
+
+
+def random_attribute_value(
+    attribute: Attribute, rng: random.Random, allow_null: bool = True
+) -> object:
+    if attribute.nullable and allow_null and rng.random() < 0.25:
+        return None
+    return random_value(attribute.domain, rng)
+
+
+def random_entity(
+    schema: ClientSchema,
+    concrete_type: str,
+    key_values: Dict[str, object],
+    rng: random.Random,
+) -> Entity:
+    values: Dict[str, object] = {}
+    for attribute in schema.attributes_of(concrete_type):
+        if attribute.name in key_values:
+            values[attribute.name] = key_values[attribute.name]
+        else:
+            values[attribute.name] = random_attribute_value(attribute, rng)
+    return Entity.of(concrete_type, **values)
+
+
+def random_client_state(
+    schema: ClientSchema,
+    seed: int = 0,
+    entities_per_set: int = 6,
+    association_probability: float = 0.6,
+    set_names: Optional[List[str]] = None,
+) -> ClientState:
+    """A random legal state: entities in every (selected) set, association
+    tuples wherever compatible pairs exist.
+
+    Multiplicity upper bounds are respected by construction; required (1)
+    ends are satisfied where possible by pairing every entity of the
+    constrained end.
+    """
+    rng = random.Random(seed)
+    state = ClientState(schema)
+    next_key = [1]
+
+    targets = set_names if set_names is not None else [
+        s.name for s in schema.entity_sets
+    ]
+    for set_name in targets:
+        concrete = schema.concrete_types_of_set(set_name)
+        if not concrete:
+            continue
+        for _ in range(entities_per_set):
+            concrete_type = rng.choice(concrete)
+            key = schema.key_of(concrete_type)
+            key_values = {}
+            for key_attr in key:
+                attribute = schema.attribute_of(concrete_type, key_attr)
+                if attribute.domain.base in ("int", "decimal"):
+                    key_values[key_attr] = next_key[0]
+                else:
+                    key_values[key_attr] = f"k{next_key[0]}"
+                next_key[0] += 1
+            state.add_entity(
+                set_name, random_entity(schema, concrete_type, key_values, rng)
+            )
+
+    for association in schema.associations:
+        if association.entity_set1 not in targets:
+            continue
+        if association.entity_set2 not in targets:
+            continue
+        key1 = schema.key_of(association.end1.entity_type)
+        key2 = schema.key_of(association.end2.entity_type)
+        candidates1 = [
+            e
+            for e in state.entities(association.entity_set1)
+            if association.end1.entity_type
+            in schema.ancestors_or_self(e.concrete_type)
+        ]
+        candidates2 = [
+            e
+            for e in state.entities(association.entity_set2)
+            if association.end2.entity_type
+            in schema.ancestors_or_self(e.concrete_type)
+        ]
+        rng.shuffle(candidates1)
+        rng.shuffle(candidates2)
+        required1 = association.end1.multiplicity.value == "1"
+        required2 = association.end2.multiplicity.value == "1"
+        for e1 in candidates1:
+            if not candidates2:
+                break
+            must_link = required2  # every end1 entity needs a partner
+            if not must_link and rng.random() > association_probability:
+                continue
+            e2 = rng.choice(candidates2)
+            if e1 is e2:
+                continue
+            try:
+                state.add_association(
+                    association.name, e1.key_tuple(key1), e2.key_tuple(key2)
+                )
+            except SchemaError:
+                continue  # multiplicity upper bound hit; skip
+        if required1:
+            # every end2 entity needs an end1 partner
+            linked2 = {
+                pair[len(key1):] for pair in state.associations(association.name)
+            }
+            for e2 in candidates2:
+                if e2.key_tuple(key2) in linked2:
+                    continue
+                for e1 in candidates1:
+                    if e1 is e2:
+                        continue
+                    try:
+                        state.add_association(
+                            association.name, e1.key_tuple(key1), e2.key_tuple(key2)
+                        )
+                        break
+                    except SchemaError:
+                        continue
+    return state

@@ -1,0 +1,21 @@
+"""Workload generators: paper example, hub-and-rim, chain, customer model."""
+
+from repro.workloads.paper_example import (
+    mapping_stage1,
+    mapping_stage2,
+    mapping_stage3,
+    mapping_stage4,
+)
+
+__all__ = [
+    "mapping_stage1",
+    "mapping_stage2",
+    "mapping_stage3",
+    "mapping_stage4",
+]
+
+from repro.workloads.chain import chain_mapping
+from repro.workloads.customer import customer_mapping
+from repro.workloads.hub_rim import hub_rim_mapping
+
+__all__ += ["chain_mapping", "customer_mapping", "hub_rim_mapping"]

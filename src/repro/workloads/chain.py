@@ -1,0 +1,136 @@
+"""The synthetic chain model of Figure 8.
+
+1002 entity types with no inheritance, each with attributes Id,
+EntityAtt2, EntityAtt3, EntityAtt4; each entity type is related by two
+associations to the next entity type in the chain.  Mapping fragments are
+simple one-to-one: each entity type has its own table, and each
+association is mapped to a key/foreign-key relationship (two nullable FK
+columns in the upstream type's table).
+
+Deviation noted in EXPERIMENTS.md: Figure 8 draws multiplicities 1—0..1
+and 1—*; we use 0..1 lower bounds throughout because a required (1) end
+would make every local validation state depend on the whole 1002-link
+chain, which neither EF nor this reproduction treats as a *local* check —
+compile costs are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algebra.conditions import IsNotNull, IsOf, TRUE
+from repro.edm.builder import ClientSchemaBuilder
+from repro.edm.schema import ClientSchema
+from repro.edm.types import INT, STRING
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.relational.schema import Column, ForeignKey, StoreSchema, Table
+
+DEFAULT_TYPES = 1002
+
+
+def entity_name(index: int) -> str:
+    return f"Entity{index}"
+
+
+def set_name(index: int) -> str:
+    return f"Entities{index}"
+
+
+def table_name(index: int) -> str:
+    return f"T{index}"
+
+
+def first_assoc(index: int) -> str:
+    return f"A{index}a"
+
+
+def second_assoc(index: int) -> str:
+    return f"A{index}b"
+
+
+def build_client_schema(n_types: int = DEFAULT_TYPES) -> ClientSchema:
+    builder = ClientSchemaBuilder()
+    for index in range(1, n_types + 1):
+        builder.entity(
+            entity_name(index),
+            key=[("Id", INT)],
+            attrs=[("EntityAtt2", STRING), ("EntityAtt3", STRING), ("EntityAtt4", STRING)],
+        )
+        builder.entity_set(set_name(index), entity_name(index))
+    for index in range(1, n_types):
+        builder.association(
+            first_assoc(index),
+            entity_name(index),
+            entity_name(index + 1),
+            mult1="*",
+            mult2="0..1",
+        )
+        builder.association(
+            second_assoc(index),
+            entity_name(index),
+            entity_name(index + 1),
+            mult1="0..1",
+            mult2="0..1",
+        )
+    return builder.build()
+
+
+def chain_mapping(n_types: int = DEFAULT_TYPES) -> Mapping:
+    """The fully 1:1 mapped chain model."""
+    schema = build_client_schema(n_types)
+    tables: List[Table] = []
+    fragments: List[MappingFragment] = []
+    for index in range(1, n_types + 1):
+        columns = [
+            Column("Id", INT, False),
+            Column("EntityAtt2", STRING, True),
+            Column("EntityAtt3", STRING, True),
+            Column("EntityAtt4", STRING, True),
+        ]
+        foreign_keys = []
+        if index < n_types:
+            columns.append(Column("NextA", INT, True))
+            columns.append(Column("NextB", INT, True))
+            foreign_keys.append(
+                ForeignKey(("NextA",), table_name(index + 1), ("Id",))
+            )
+            foreign_keys.append(
+                ForeignKey(("NextB",), table_name(index + 1), ("Id",))
+            )
+        tables.append(
+            Table(table_name(index), tuple(columns), ("Id",), tuple(foreign_keys))
+        )
+        fragments.append(
+            MappingFragment(
+                client_source=set_name(index),
+                is_association=False,
+                client_condition=IsOf(entity_name(index)),
+                store_table=table_name(index),
+                store_condition=TRUE,
+                attribute_map=(
+                    ("Id", "Id"),
+                    ("EntityAtt2", "EntityAtt2"),
+                    ("EntityAtt3", "EntityAtt3"),
+                    ("EntityAtt4", "EntityAtt4"),
+                ),
+            )
+        )
+    for index in range(1, n_types):
+        for assoc, column in (
+            (first_assoc(index), "NextA"),
+            (second_assoc(index), "NextB"),
+        ):
+            fragments.append(
+                MappingFragment(
+                    client_source=assoc,
+                    is_association=True,
+                    client_condition=TRUE,
+                    store_table=table_name(index),
+                    store_condition=IsNotNull(column),
+                    attribute_map=(
+                        (f"{entity_name(index)}.Id", "Id"),
+                        (f"{entity_name(index + 1)}.Id", column),
+                    ),
+                )
+            )
+    return Mapping(schema, StoreSchema(tables), fragments)

@@ -1,0 +1,218 @@
+"""A synthetic stand-in for the paper's real customer model (Section 4.2).
+
+The paper reports only shape statistics of the (confidential) model:
+230 entity types over 18 non-trivial hierarchies, the deepest with four
+levels and the largest with 95 entity types; hierarchies mapped TPT or
+TPH; associations mapped to non-junction tables (FK columns in entity
+tables).  A full EF compilation took 8 hours.
+
+``customer_mapping(scale=1.0, seed=7)`` generates a deterministic model
+matching those statistics (``scale`` shrinks every hierarchy
+proportionally for laptop-budget benchmarking; scale=1.0 is the published
+size, enabled by REPRO_FULL=1 in the benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.conditions import Comparison, IsNotNull, IsOf, IsOfOnly, TRUE
+from repro.edm.builder import ClientSchemaBuilder
+from repro.edm.schema import ClientSchema
+from repro.edm.types import INT, STRING
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.relational.schema import Column, ForeignKey, StoreSchema, Table
+
+#: hierarchy sizes: 18 non-trivial (>= 2 types) + singleton roots = 230.
+HIERARCHY_SIZES = (95, 20, 15, 12, 10, 8, 8, 6, 5, 5, 4, 4, 3, 3, 3, 2, 2, 2)
+SINGLETONS = 230 - sum(HIERARCHY_SIZES)  # 23 trivial hierarchies
+MAX_DEPTH = 4
+ASSOCIATION_COUNT = 60
+
+
+@dataclass
+class HierarchySpec:
+    """One generated hierarchy: its types, parents and mapping style."""
+
+    index: int
+    style: str  # "TPT" | "TPH"
+    types: List[str]
+    parents: Dict[str, Optional[str]]
+
+
+def _scaled_sizes(scale: float) -> List[int]:
+    sizes = [max(2, int(round(s * scale))) for s in HIERARCHY_SIZES]
+    singletons = max(1, int(round(SINGLETONS * scale)))
+    return sizes + [1] * singletons
+
+
+def _build_hierarchies(scale: float, rng: random.Random) -> List[HierarchySpec]:
+    specs: List[HierarchySpec] = []
+    for h_index, size in enumerate(_scaled_sizes(scale)):
+        # alternate styles; the largest hierarchy is TPH (the paper's
+        # slow-compile culprit), singletons trivially TPT.
+        if size == 1:
+            style = "TPT"
+        elif h_index == 0:
+            style = "TPH"
+        else:
+            style = "TPH" if h_index % 2 == 1 else "TPT"
+        types = [f"H{h_index}T{i}" for i in range(size)]
+        parents: Dict[str, Optional[str]] = {types[0]: None}
+        depth: Dict[str, int] = {types[0]: 1}
+        for type_name in types[1:]:
+            candidates = [t for t in parents if depth[t] < MAX_DEPTH]
+            parent = rng.choice(candidates)
+            parents[type_name] = parent
+            depth[type_name] = depth[parent] + 1
+        specs.append(HierarchySpec(h_index, style, types, parents))
+    return specs
+
+
+def customer_mapping(
+    scale: float = 1.0,
+    seed: int = 7,
+    association_count: Optional[int] = None,
+    max_assocs_per_table: int = 4,
+) -> Mapping:
+    """Generate the customer-like model at the given scale."""
+    rng = random.Random(seed)
+    specs = _build_hierarchies(scale, rng)
+
+    builder = ClientSchemaBuilder()
+    for spec in specs:
+        for type_name in spec.types:
+            parent = spec.parents[type_name]
+            if parent is None:
+                builder.entity(
+                    type_name,
+                    key=[("Id", INT)],
+                    attrs=[(f"{type_name}_a", STRING), (f"{type_name}_b", STRING)],
+                )
+            else:
+                builder.entity(
+                    type_name, parent=parent, attrs=[(f"{type_name}_a", STRING)]
+                )
+        builder.entity_set(f"Set{spec.index}", spec.types[0])
+
+    # associations between random types of random hierarchies, FK-mapped
+    # into the end1 type's primary table (non-junction tables).
+    wanted = association_count
+    if wanted is None:
+        wanted = max(4, int(round(ASSOCIATION_COUNT * scale)))
+    planned: List[Tuple[str, str, str]] = []
+    fk_load: Dict[str, int] = {}
+    attempts = 0
+    while len(planned) < wanted and attempts < wanted * 20:
+        attempts += 1
+        spec1, spec2 = rng.choice(specs), rng.choice(specs)
+        t1, t2 = rng.choice(spec1.types), rng.choice(spec2.types)
+        if t1 == t2:
+            continue
+        table_key = _primary_table(specs, t1)
+        if fk_load.get(table_key, 0) >= max_assocs_per_table:
+            continue
+        name = f"Assoc{len(planned)}"
+        planned.append((name, t1, t2))
+        fk_load[table_key] = fk_load.get(table_key, 0) + 1
+        builder.association(
+            name, t1, t2, mult1="*", mult2="0..1", role1=f"{name}_src", role2=f"{name}_dst"
+        )
+    schema = builder.build()
+
+    tables: Dict[str, Dict] = {}
+    fragments: List[MappingFragment] = []
+
+    for spec in specs:
+        if spec.style == "TPH":
+            _tph_fragments(schema, spec, tables, fragments)
+        else:
+            _tpt_fragments(schema, spec, tables, fragments)
+
+    for name, t1, t2 in planned:
+        table_key = _primary_table(specs, t1)
+        column = f"{name}_fk"
+        tables[table_key]["columns"].append(Column(column, INT, True))
+        target = _primary_table(specs, t2)
+        tables[table_key]["fks"].append(ForeignKey((column,), target, ("Id",)))
+        fragments.append(
+            MappingFragment(
+                client_source=name,
+                is_association=True,
+                client_condition=TRUE,
+                store_table=table_key,
+                store_condition=IsNotNull(column),
+                attribute_map=(
+                    (f"{name}_src.Id", "Id"),
+                    (f"{name}_dst.Id", column),
+                ),
+            )
+        )
+
+    store = StoreSchema(
+        [
+            Table(name, tuple(spec["columns"]), ("Id",), tuple(spec["fks"]))
+            for name, spec in tables.items()
+        ]
+    )
+    return Mapping(schema, store, fragments)
+
+
+def _primary_table(specs: List[HierarchySpec], type_name: str) -> str:
+    for spec in specs:
+        if type_name in spec.types:
+            if spec.style == "TPH":
+                return f"Tab{spec.index}"
+            return f"Tab{spec.index}_{type_name}"
+    raise KeyError(type_name)
+
+
+def _tph_fragments(schema, spec, tables, fragments) -> None:
+    table = f"Tab{spec.index}"
+    columns = [Column("Id", INT, False), Column("Disc", STRING, False)]
+    for type_name in spec.types:
+        for attr in schema.entity_type(type_name).own_attribute_names:
+            if attr != "Id":
+                columns.append(Column(attr, STRING, True))
+    tables[table] = {"columns": columns, "fks": []}
+    for type_name in spec.types:
+        attr_map = tuple((a, a) for a in schema.attribute_names_of(type_name))
+        fragments.append(
+            MappingFragment(
+                client_source=f"Set{spec.index}",
+                is_association=False,
+                client_condition=IsOfOnly(type_name),
+                store_table=table,
+                store_condition=Comparison("Disc", "=", type_name),
+                attribute_map=attr_map,
+            )
+        )
+
+
+def _tpt_fragments(schema, spec, tables, fragments) -> None:
+    for type_name in spec.types:
+        table = f"Tab{spec.index}_{type_name}"
+        own = [
+            a
+            for a in schema.entity_type(type_name).own_attribute_names
+            if a != "Id"
+        ]
+        columns = [Column("Id", INT, False)]
+        columns.extend(Column(a, STRING, True) for a in own)
+        fks = []
+        parent = spec.parents[type_name]
+        if parent is not None:
+            fks.append(ForeignKey(("Id",), f"Tab{spec.index}_{parent}", ("Id",)))
+        tables[table] = {"columns": columns, "fks": fks}
+        fragments.append(
+            MappingFragment(
+                client_source=f"Set{spec.index}",
+                is_association=False,
+                client_condition=IsOf(type_name),
+                store_table=table,
+                store_condition=TRUE,
+                attribute_map=tuple((a, a) for a in ["Id"] + own),
+            )
+        )

@@ -1,0 +1,205 @@
+"""The paper's running example (Figures 1 and 5).
+
+Client schema: ``Person(Id, Name)`` with derived ``Employee(Department)``
+(mapped TPT to table ``Emp``) and ``Customer(CredScore, BillAddr)``
+(mapped TPC to table ``Client``), entity set ``Persons``, association
+``Supports`` between Customer and Employee (multiplicity ``* — 0..1``)
+mapped to the ``Eid`` foreign-key column of ``Client``.
+
+Builders return progressively evolved stages so tests can replay
+Examples 1-7:
+
+* stage 1 — only ``Person`` mapped to ``HR`` (Example 1, Σ1);
+* stage 2 — plus ``Employee`` TPT to ``Emp`` (Σ2);
+* stage 3 — plus ``Customer`` TPC to ``Client`` (Σ3);
+* stage 4 — plus the ``Supports`` association (Σ4, the full Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.algebra.conditions import IsNotNull, IsOf, IsOfOnly, TRUE, or_
+from repro.edm.builder import ClientSchemaBuilder
+from repro.edm.schema import ClientSchema
+from repro.edm.types import INT, STRING
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.relational.schema import Column, ForeignKey, StoreSchema, Table
+
+
+def client_schema_stage1() -> ClientSchema:
+    return (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity_set("Persons", "Person")
+        .build()
+    )
+
+
+def client_schema_stage2() -> ClientSchema:
+    return (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Employee", parent="Person", attrs=[("Department", STRING)])
+        .entity_set("Persons", "Person")
+        .build()
+    )
+
+
+def client_schema_stage3() -> ClientSchema:
+    return (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Employee", parent="Person", attrs=[("Department", STRING)])
+        .entity(
+            "Customer",
+            parent="Person",
+            attrs=[("CredScore", INT), ("BillAddr", STRING)],
+        )
+        .entity_set("Persons", "Person")
+        .build()
+    )
+
+
+def client_schema_stage4() -> ClientSchema:
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Employee", parent="Person", attrs=[("Department", STRING)])
+        .entity(
+            "Customer",
+            parent="Person",
+            attrs=[("CredScore", INT), ("BillAddr", STRING)],
+        )
+        .entity_set("Persons", "Person")
+        .association("Supports", "Customer", "Employee", mult1="*", mult2="0..1")
+        .build()
+    )
+    return schema
+
+
+def store_schema(stage: int = 4) -> StoreSchema:
+    """HR / Emp / Client tables (Figure 1 right-hand side)."""
+    tables = [
+        Table("HR", (Column("Id", INT, False), Column("Name", STRING)), ("Id",))
+    ]
+    if stage >= 2:
+        tables.append(
+            Table(
+                "Emp",
+                (Column("Id", INT, False), Column("Dept", STRING)),
+                ("Id",),
+                (ForeignKey(("Id",), "HR", ("Id",)),),
+            )
+        )
+    if stage >= 3:
+        client_fks: Tuple[ForeignKey, ...] = ()
+        if stage >= 2:
+            client_fks = (ForeignKey(("Eid",), "Emp", ("Id",)),)
+        tables.append(
+            Table(
+                "Client",
+                (
+                    Column("Cid", INT, False),
+                    Column("Eid", INT, True),
+                    Column("Name", STRING),
+                    Column("Score", INT, True),
+                    Column("Addr", STRING, True),
+                ),
+                ("Cid",),
+                client_fks,
+            )
+        )
+    return StoreSchema(tables)
+
+
+def fragment_phi1() -> MappingFragment:
+    """ϕ1 of Example 1: all Persons (and derived) into HR."""
+    return MappingFragment(
+        client_source="Persons",
+        is_association=False,
+        client_condition=IsOf("Person"),
+        store_table="HR",
+        store_condition=TRUE,
+        attribute_map=(("Id", "Id"), ("Name", "Name")),
+    )
+
+
+def fragment_phi1_adapted() -> MappingFragment:
+    """ϕ′1 of Example 5: Customers no longer flow into HR."""
+    return MappingFragment(
+        client_source="Persons",
+        is_association=False,
+        client_condition=or_(IsOfOnly("Person"), IsOf("Employee")),
+        store_table="HR",
+        store_condition=TRUE,
+        attribute_map=(("Id", "Id"), ("Name", "Name")),
+    )
+
+
+def fragment_phi2() -> MappingFragment:
+    """ϕ2: Employee's own attributes TPT into Emp."""
+    return MappingFragment(
+        client_source="Persons",
+        is_association=False,
+        client_condition=IsOf("Employee"),
+        store_table="Emp",
+        store_condition=TRUE,
+        attribute_map=(("Id", "Id"), ("Department", "Dept")),
+    )
+
+
+def fragment_phi3() -> MappingFragment:
+    """ϕ3: Customer TPC into Client."""
+    return MappingFragment(
+        client_source="Persons",
+        is_association=False,
+        client_condition=IsOf("Customer"),
+        store_table="Client",
+        store_condition=TRUE,
+        attribute_map=(
+            ("Id", "Cid"),
+            ("Name", "Name"),
+            ("CredScore", "Score"),
+            ("BillAddr", "Addr"),
+        ),
+    )
+
+
+def fragment_phi4() -> MappingFragment:
+    """ϕ4 of Example 7: Supports mapped to the Eid FK column of Client."""
+    return MappingFragment(
+        client_source="Supports",
+        is_association=True,
+        client_condition=TRUE,
+        store_table="Client",
+        store_condition=IsNotNull("Eid"),
+        attribute_map=(("Customer.Id", "Cid"), ("Employee.Id", "Eid")),
+    )
+
+
+def mapping_stage1() -> Mapping:
+    return Mapping(client_schema_stage1(), store_schema(1), [fragment_phi1()])
+
+
+def mapping_stage2() -> Mapping:
+    return Mapping(
+        client_schema_stage2(), store_schema(2), [fragment_phi1(), fragment_phi2()]
+    )
+
+
+def mapping_stage3() -> Mapping:
+    return Mapping(
+        client_schema_stage3(),
+        store_schema(3),
+        [fragment_phi1_adapted(), fragment_phi2(), fragment_phi3()],
+    )
+
+
+def mapping_stage4() -> Mapping:
+    """Σ4 — the complete Figure 1 mapping."""
+    return Mapping(
+        client_schema_stage4(),
+        store_schema(4),
+        [fragment_phi1_adapted(), fragment_phi2(), fragment_phi3(), fragment_phi4()],
+    )

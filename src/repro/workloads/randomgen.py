@@ -1,0 +1,198 @@
+"""Random SMO-expressible mappings, for fuzzing the compilers themselves.
+
+Generates a seeded random client schema (several hierarchies with random
+shapes), picks a mapping style per hierarchy (TPT / TPC / TPH), sprinkles
+FK- and join-table-mapped associations, and emits the complete
+:class:`Mapping`.  Together with :mod:`repro.stategen` this closes the
+fuzzing loop: random mapping → compile → random states → roundtrip.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.conditions import Comparison, IsNotNull, IsOf, IsOfOnly, TRUE
+from repro.edm.builder import ClientSchemaBuilder
+from repro.edm.schema import ClientSchema
+from repro.edm.types import INT, STRING
+from repro.mapping.fragments import Mapping, MappingFragment
+from repro.relational.schema import Column, ForeignKey, StoreSchema, Table
+
+STYLES = ("TPT", "TPC", "TPH")
+
+
+def random_mapping(
+    seed: int = 0,
+    hierarchies: int = 3,
+    max_types_per_hierarchy: int = 5,
+    max_depth: int = 3,
+    associations: int = 3,
+    attrs_per_type: int = 2,
+) -> Mapping:
+    """A random, valid, SMO-expressible mapping."""
+    rng = random.Random(seed)
+    builder = ClientSchemaBuilder()
+
+    specs: List[Dict] = []
+    for h in range(hierarchies):
+        size = rng.randrange(1, max_types_per_hierarchy + 1)
+        style = rng.choice(STYLES) if size > 1 else "TPT"
+        types = [f"H{h}T{i}" for i in range(size)]
+        parents: Dict[str, Optional[str]] = {types[0]: None}
+        depth = {types[0]: 1}
+        for name in types[1:]:
+            candidates = [t for t in parents if depth[t] < max_depth]
+            parent = rng.choice(candidates)
+            parents[name] = parent
+            depth[name] = depth[parent] + 1
+        specs.append({"types": types, "parents": parents, "style": style, "h": h})
+
+    for spec in specs:
+        for name in spec["types"]:
+            attrs = [(f"{name}a{i}", STRING) for i in range(attrs_per_type)]
+            if spec["parents"][name] is None:
+                builder.entity(name, key=[("Id", INT)], attrs=attrs)
+            else:
+                builder.entity(name, parent=spec["parents"][name], attrs=attrs)
+        builder.entity_set(f"Set{spec['h']}", spec["types"][0])
+
+    # associations between random types; FK-mapped into end1's primary
+    # table or into a join table, alternating.  An endpoint type is only
+    # eligible if its primary table covers its whole subtree's keys: always
+    # true for TPT and TPH, but for TPC only when the type is a leaf —
+    # otherwise the association would be a Figure 6 violation by
+    # construction (the validator rejects such mappings, as it should).
+    def endpoint_ok(spec, type_name: str) -> bool:
+        if spec["style"] != "TPC":
+            return True
+        return not any(
+            spec["parents"].get(other) == type_name for other in spec["types"]
+        )
+
+    planned: List[Tuple[str, str, str, bool]] = []
+    fk_used: Dict[str, int] = {}
+    attempts = 0
+    while len(planned) < associations and attempts < associations * 20:
+        attempts += 1
+        s1, s2 = rng.choice(specs), rng.choice(specs)
+        t1, t2 = rng.choice(s1["types"]), rng.choice(s2["types"])
+        if t1 == t2:
+            continue
+        if not endpoint_ok(s1, t1) or not endpoint_ok(s2, t2):
+            continue
+        join_table = rng.random() < 0.4
+        if not join_table:
+            table = _primary_table(specs, t1)
+            if fk_used.get(table, 0) >= 3:
+                continue
+            fk_used[table] = fk_used.get(table, 0) + 1
+        name = f"A{len(planned)}"
+        planned.append((name, t1, t2, join_table))
+        builder.association(
+            name, t1, t2, mult1="*", mult2="0..1",
+            role1=f"{name}s", role2=f"{name}d",
+        )
+    schema = builder.build()
+
+    tables: Dict[str, Dict] = {}
+    fragments: List[MappingFragment] = []
+    for spec in specs:
+        _hierarchy_fragments(schema, spec, tables, fragments)
+
+    for name, t1, t2, join_table in planned:
+        target_table = _primary_table(specs, t2)
+        if join_table:
+            jt = f"J_{name}"
+            source_table = _primary_table(specs, t1)
+            tables[jt] = {
+                "columns": [Column("SrcId", INT, False), Column("DstId", INT, False)],
+                "pk": ("SrcId",),
+                "fks": [
+                    ForeignKey(("SrcId",), source_table, ("Id",)),
+                    ForeignKey(("DstId",), target_table, ("Id",)),
+                ],
+            }
+            fragments.append(
+                MappingFragment(
+                    name, True, TRUE, jt, TRUE,
+                    ((f"{name}s.Id", "SrcId"), (f"{name}d.Id", "DstId")),
+                )
+            )
+        else:
+            table = _primary_table(specs, t1)
+            column = f"{name}_fk"
+            tables[table]["columns"].append(Column(column, INT, True))
+            tables[table]["fks"].append(ForeignKey((column,), target_table, ("Id",)))
+            fragments.append(
+                MappingFragment(
+                    name, True, TRUE, table, IsNotNull(column),
+                    ((f"{name}s.Id", "Id"), (f"{name}d.Id", column)),
+                )
+            )
+
+    store = StoreSchema(
+        [
+            Table(name, tuple(d["columns"]), d.get("pk", ("Id",)), tuple(d["fks"]))
+            for name, d in tables.items()
+        ]
+    )
+    return Mapping(schema, store, fragments)
+
+
+def _primary_table(specs, type_name: str) -> str:
+    for spec in specs:
+        if type_name in spec["types"]:
+            if spec["style"] == "TPH":
+                return f"T{spec['h']}"
+            return f"T{spec['h']}_{type_name}"
+    raise KeyError(type_name)
+
+
+def _hierarchy_fragments(schema: ClientSchema, spec, tables, fragments) -> None:
+    style = spec["style"]
+    if style == "TPH":
+        table = f"T{spec['h']}"
+        columns = [Column("Id", INT, False), Column("D", STRING, False)]
+        for name in spec["types"]:
+            for attr in schema.entity_type(name).own_attribute_names:
+                if attr != "Id":
+                    columns.append(Column(attr, STRING, True))
+        tables[table] = {"columns": columns, "fks": []}
+        for name in spec["types"]:
+            fragments.append(
+                MappingFragment(
+                    f"Set{spec['h']}", False, IsOfOnly(name), table,
+                    Comparison("D", "=", name),
+                    tuple((a, a) for a in schema.attribute_names_of(name)),
+                )
+            )
+        return
+    for name in spec["types"]:
+        table = f"T{spec['h']}_{name}"
+        parent = spec["parents"][name]
+        if style == "TPC" and parent is not None:
+            alpha = list(schema.attribute_names_of(name))
+            fks: List[ForeignKey] = []
+        else:
+            own = [a for a in schema.entity_type(name).own_attribute_names]
+            alpha = ["Id"] + [a for a in own if a != "Id"]
+            fks = (
+                [ForeignKey(("Id",), f"T{spec['h']}_{parent}", ("Id",))]
+                if parent is not None
+                else []
+            )
+        columns = [Column("Id", INT, False)]
+        columns.extend(Column(a, STRING, True) for a in alpha if a != "Id")
+        tables[table] = {"columns": columns, "fks": fks}
+        condition = IsOf(name)
+        if style == "TPC":
+            # TPC siblings are disjoint: every type keeps exactly its own
+            # entities (and descendants map their own copies)
+            condition = IsOfOnly(name) if schema.children_of(name) else IsOf(name)
+        fragments.append(
+            MappingFragment(
+                f"Set{spec['h']}", False, condition, table, TRUE,
+                tuple((a, a) for a in alpha),
+            )
+        )

@@ -1,0 +1,128 @@
+"""Shared fixtures: the paper's running example at each evolution stage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, ClientState, Entity, INT, STRING
+from repro.incremental import (
+    AddAssociationFK,
+    AddEntity,
+    CompiledModel,
+    IncrementalCompiler,
+)
+from repro.relational import ForeignKey
+from repro.workloads.paper_example import (
+    mapping_stage1,
+    mapping_stage2,
+    mapping_stage3,
+    mapping_stage4,
+)
+
+
+@pytest.fixture
+def stage1_mapping():
+    return mapping_stage1()
+
+
+@pytest.fixture
+def stage2_mapping():
+    return mapping_stage2()
+
+
+@pytest.fixture
+def stage3_mapping():
+    return mapping_stage3()
+
+
+@pytest.fixture
+def stage4_mapping():
+    return mapping_stage4()
+
+
+@pytest.fixture
+def stage4_compiled(stage4_mapping):
+    """Fully compiled Figure 1 model."""
+    result = compile_mapping(stage4_mapping)
+    return CompiledModel(stage4_mapping, result.views)
+
+
+@pytest.fixture
+def stage1_compiled(stage1_mapping):
+    result = compile_mapping(stage1_mapping)
+    return CompiledModel(stage1_mapping, result.views)
+
+
+def employee_smo(model: CompiledModel) -> AddEntity:
+    """Example 1's SMO: AddEntity(Employee, Person, (Id, Department),
+    Person, Emp, f_E)."""
+    return AddEntity.tpt(
+        model,
+        "Employee",
+        "Person",
+        [Attribute("Department", STRING)],
+        "Emp",
+        attr_map={"Id": "Id", "Department": "Dept"},
+        table_foreign_keys=[ForeignKey(("Id",), "HR", ("Id",))],
+    )
+
+
+def customer_smo(model: CompiledModel) -> AddEntity:
+    """Example 4's SMO: AddEntity(Customer, Person, (Id, Name, CredScore,
+    BillAddr), NIL, Client, f_C)."""
+    return AddEntity.tpc(
+        model,
+        "Customer",
+        "Person",
+        [Attribute("CredScore", INT), Attribute("BillAddr", STRING)],
+        "Client",
+        attr_map={"Id": "Cid", "Name": "Name", "CredScore": "Score", "BillAddr": "Addr"},
+    )
+
+
+def supports_smo(model: CompiledModel) -> AddAssociationFK:
+    """Example 7's SMO: AddAssocFK(Supports, Customer, Employee,
+    [* — 0..1], Client, f_S)."""
+    return AddAssociationFK.create(
+        model,
+        "Supports",
+        "Customer",
+        "Employee",
+        "Client",
+        {"Customer.Id": "Cid", "Employee.Id": "Eid"},
+        mult1="*",
+        mult2="0..1",
+        new_foreign_keys=[ForeignKey(("Eid",), "Emp", ("Id",))],
+    )
+
+
+@pytest.fixture
+def incrementally_evolved(stage1_compiled):
+    """Stage-1 model evolved through Examples 1-7 by the incremental
+    compiler: AddEntity(Employee) → AddEntity(Customer) → AddAssocFK."""
+    compiler = IncrementalCompiler()
+    model = stage1_compiled
+    model = compiler.apply(model, employee_smo(model)).model
+    model = compiler.apply(model, customer_smo(model)).model
+    model = compiler.apply(model, supports_smo(model)).model
+    return model
+
+
+def figure1_state(schema) -> ClientState:
+    """A representative client state over the Figure 1 schema."""
+    state = ClientState(schema)
+    state.add_entity("Persons", Entity.of("Person", Id=1, Name="ann"))
+    state.add_entity(
+        "Persons", Entity.of("Employee", Id=2, Name="bob", Department="HR")
+    )
+    state.add_entity(
+        "Persons",
+        Entity.of("Customer", Id=3, Name="cid", CredScore=700, BillAddr="x"),
+    )
+    state.add_entity(
+        "Persons",
+        Entity.of("Customer", Id=4, Name="dee", CredScore=650, BillAddr="y"),
+    )
+    state.add_association("Supports", (3,), (2,))
+    return state

@@ -1,0 +1,29 @@
+QueryView[Person] =
+SELECT VALUE
+  CASE
+    WHEN _from2 = True THEN Customer(Id, Name, CredScore, BillAddr)
+    WHEN _from1 = True THEN Employee(Id, Name, Department)
+    ELSE Person(Id, Name)
+  END
+FROM (
+  SELECT *
+  FROM
+    (
+      (
+        SELECT Id, Name, True AS _from0
+        FROM
+          HR
+      ) NATURAL LEFT OUTER JOIN (
+        SELECT Id, Dept AS Department, True AS _from1
+        FROM
+          Emp
+      )
+    )
+    UNION ALL
+    (
+      SELECT Cid AS Id, Name, Score AS CredScore, Addr AS BillAddr, True AS _from2
+      FROM
+        Client
+    )
+  WHERE (_from2 = True OR _from1 = True OR (_from0 = True AND NOT (_from1 = True)))
+)

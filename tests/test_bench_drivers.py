@@ -1,0 +1,63 @@
+"""Tests: the figure drivers produce well-formed results on tiny inputs."""
+
+import pytest
+
+from repro.bench import fig4, fig9, fig10
+from repro.bench.harness import Measurement
+
+
+class TestFig4Driver:
+    def test_tiny_grid(self):
+        results = fig4.run(ns=[1], ms=[1, 2], budget_seconds=30)
+        assert set(results) == {"TPH", "TPT"}
+        for style in ("TPH", "TPT"):
+            assert set(results[style]) == {(1, 1), (1, 2)}
+            for measurement in results[style].values():
+                assert measurement.seconds is not None
+
+    def test_censoring_short_circuits_row(self):
+        """Once a row censors, larger M is marked censored without running.
+
+        The budget must be small but large enough that its (strided)
+        wall-clock check actually fires inside the first point's work."""
+        results = fig4.run(ns=[2], ms=[4, 5, 6], budget_seconds=0.05)
+        row = results["TPH"]
+        assert row[(2, 4)].censored
+        assert row[(2, 6)].censored
+
+    def test_point_runner(self):
+        point = fig4.run_point(1, 1, "TPT", budget_seconds=30)
+        assert point.params["types"] == 2
+
+
+class TestFig9Driver:
+    def test_small_run(self):
+        results = fig9.run(n_types=12, budget_seconds=120, repeats=1)
+        labels = [m.label for m in results["smos"]]
+        assert labels == [
+            "AE-TPT", "AE-TPC", "AE-TPH", "AA-FK", "AA-JT", "AP",
+            "AEP-1p-TPT", "AEP-2p-TPT", "AEP-3p-TPT",
+        ]
+        assert isinstance(results["full"], Measurement)
+        assert results["full"].seconds is not None
+        # every SMO beats the full compile
+        for m in results["smos"]:
+            assert m.seconds is not None
+            assert m.seconds < results["full"].seconds
+
+    def test_build_model(self):
+        model = fig9.build_model(5)
+        assert len(model.client_schema.entity_sets) == 5
+        assert model.views.query_views
+
+
+class TestFig10Driver:
+    def test_small_run(self):
+        results = fig10.run(scale=0.1, budget_seconds=120, repeats=1)
+        assert len(results["smos"]) == 9
+        assert results["full"].seconds is not None
+        assert results["types"] > 10
+
+    def test_suite_anchors_resolve(self):
+        suite = fig10.suite_for(0.1, seed=7)
+        assert len(suite) == 9

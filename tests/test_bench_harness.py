@@ -1,0 +1,126 @@
+"""Unit tests: the benchmark harness (measurement, censoring, rendering)."""
+
+import pytest
+
+from repro.bench.harness import (
+    Measurement,
+    env_flag,
+    env_float,
+    env_int,
+    measure,
+    print_matrix,
+    print_table,
+    speedup_summary,
+)
+from repro.errors import CompilationBudgetExceeded, SmoError, ValidationError
+
+
+class TestMeasure:
+    def test_records_minimum_of_repeats(self):
+        calls = []
+
+        def fn(budget):
+            calls.append(1)
+
+        result = measure("x", fn, repeats=3)
+        assert len(calls) == 3
+        assert result.seconds is not None
+        assert len(result.extra["times"]) == 3
+        assert result.seconds == min(result.extra["times"])
+
+    def test_budget_censoring(self):
+        def fn(budget):
+            budget.tick(10**9)
+
+        # the budget's wall-clock check strides; force with tiny max_seconds
+        def slow(budget):
+            raise CompilationBudgetExceeded("out of budget")
+
+        result = measure("x", slow, budget_seconds=0.001)
+        assert result.censored
+        assert ">" in result.cell()
+
+    def test_validation_failure_still_timed(self):
+        """The paper's AddEntityTPC rows: a rejected SMO is a timed run."""
+
+        def fn(budget):
+            raise ValidationError("nope")
+
+        result = measure("x", fn, repeats=2)
+        assert result.validation_failed
+        assert result.seconds is not None
+        assert result.cell().endswith("!")
+
+    def test_other_errors_recorded(self):
+        def fn(budget):
+            raise SmoError("bad input")
+
+        result = measure("x", fn)
+        assert result.error
+        assert result.cell() == "err"
+
+    def test_params_kept(self):
+        result = measure("x", lambda b: None, n=3, style="TPT")
+        assert result.params == {"n": 3, "style": "TPT"}
+
+
+class TestRendering:
+    def test_cell_formats(self):
+        assert Measurement("a", seconds=0.0012).cell() == "1.2ms"
+        assert Measurement("a", seconds=2.5).cell() == "2.5s"
+        assert Measurement("a", seconds=250.0).cell() == "250s"
+        assert Measurement("a").cell() == "-"
+        assert (
+            Measurement("a", censored=True, budget_seconds=20.0).cell() == ">20s"
+        )
+
+    def test_print_table(self):
+        lines = []
+        print_table(
+            "t",
+            [Measurement("alpha", seconds=0.01, params={"k": 1})],
+            out=lines.append,
+        )
+        assert any("alpha" in line for line in lines)
+
+    def test_print_matrix(self):
+        lines = []
+        cells = {(1, 1): Measurement("x", seconds=0.5)}
+        print_matrix("m", [1], [1, 2], cells, out=lines.append)
+        assert any("500.0ms" in line for line in lines)
+        assert any("-" in line for line in lines)  # missing cell
+
+    def test_speedup_summary(self):
+        lines = []
+        full = Measurement("Full", seconds=10.0)
+        speedup_summary(
+            full, [Measurement("AE", seconds=0.01)], out=lines.append
+        )
+        assert any("1,000x" in line for line in lines)
+
+    def test_speedup_summary_censored_baseline(self):
+        lines = []
+        full = Measurement("Full", censored=True, budget_seconds=100.0)
+        speedup_summary(full, [Measurement("AE", seconds=0.1)], out=lines.append)
+        assert any(">" in line for line in lines)
+
+
+class TestEnvKnobs:
+    def test_env_flag(self, monkeypatch):
+        monkeypatch.setenv("X_FLAG", "1")
+        assert env_flag("X_FLAG")
+        monkeypatch.setenv("X_FLAG", "false")
+        assert not env_flag("X_FLAG")
+        monkeypatch.delenv("X_FLAG")
+        assert not env_flag("X_FLAG")
+        assert env_flag("X_FLAG", default=True)
+
+    def test_env_float_and_int(self, monkeypatch):
+        monkeypatch.setenv("X_F", "2.5")
+        assert env_float("X_F", 1.0) == 2.5
+        monkeypatch.setenv("X_F", "junk")
+        assert env_float("X_F", 1.0) == 1.0
+        monkeypatch.setenv("X_I", "7")
+        assert env_int("X_I", 3) == 7
+        monkeypatch.setenv("X_I", "junk")
+        assert env_int("X_I", 3) == 3

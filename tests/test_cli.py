@@ -1,0 +1,115 @@
+"""Integration tests: the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.msl import FORMAT_VERSION, client_schema_to_json, save_model, store_schema_to_json
+from repro.workloads.paper_example import (
+    client_schema_stage4,
+    mapping_stage4,
+    store_schema,
+)
+
+
+@pytest.fixture
+def mapping_document(tmp_path):
+    """A not-yet-compiled document with Figure-5-syntax fragments."""
+    document = {
+        "format": FORMAT_VERSION,
+        "clientSchema": client_schema_to_json(client_schema_stage4()),
+        "storeSchema": store_schema_to_json(store_schema(4)),
+        "fragments": """
+            SELECT p.Id, p.Name
+            FROM Persons p
+            WHERE p IS OF (ONLY Person) OR p IS OF Employee
+            =
+            SELECT Id, Name
+            FROM HR
+
+            SELECT e.Id, e.Department
+            FROM Persons e
+            WHERE e IS OF Employee
+            =
+            SELECT Id, Dept
+            FROM Emp
+
+            SELECT c.Id, c.Name, c.CredScore, c.BillAddr
+            FROM Persons c
+            WHERE c IS OF Customer
+            =
+            SELECT Cid, Name, Score, Addr
+            FROM Client
+
+            SELECT s.Customer.Id, s.Employee.Id
+            FROM Supports s
+            =
+            SELECT Cid, Eid
+            FROM Client
+            WHERE Eid IS NOT NULL
+        """,
+    }
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps(document))
+    return path
+
+
+def test_compile_command(mapping_document, tmp_path, capsys):
+    out = tmp_path / "compiled.json"
+    assert main(["compile", str(mapping_document), "-o", str(out)]) == 0
+    document = json.loads(out.read_text())
+    assert document["views"]["queryViews"]
+
+
+def test_compile_then_validate(mapping_document, tmp_path):
+    out = tmp_path / "compiled.json"
+    main(["compile", str(mapping_document), "-o", str(out)])
+    assert main(["validate", str(out)]) == 0
+
+
+def test_views_command(mapping_document, tmp_path, capsys):
+    out = tmp_path / "compiled.json"
+    main(["compile", str(mapping_document), "-o", str(out)])
+    capsys.readouterr()
+    assert main(["views", str(out), "Person"]) == 0
+    text = capsys.readouterr().out
+    assert "QueryView[Person]" in text
+    assert main(["views", str(out), "Nope"]) == 1
+
+
+def test_views_all(mapping_document, tmp_path, capsys):
+    out = tmp_path / "compiled.json"
+    main(["compile", str(mapping_document), "-o", str(out)])
+    capsys.readouterr()
+    assert main(["views", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "UpdateView[Client]" in text
+
+
+def test_evolve_command(tmp_path, stage1_compiled):
+    model_path = tmp_path / "model.json"
+    model_path.write_text(json.dumps(save_model(stage1_compiled)))
+    target_path = tmp_path / "target.json"
+    target_path.write_text(
+        json.dumps({"clientSchema": client_schema_to_json(client_schema_stage4())})
+    )
+    out = tmp_path / "evolved.json"
+    code = main(
+        [
+            "evolve", str(model_path), str(target_path),
+            "-o", str(out), "--style", "Customer=TPC",
+        ]
+    )
+    assert code == 0
+    document = json.loads(out.read_text())
+    names = {t["name"] for t in document["clientSchema"]["entityTypes"]}
+    assert {"Person", "Employee", "Customer"} <= names
+
+
+def test_missing_file_reports_error(capsys):
+    assert main(["validate", "/no/such/file.json"]) == 2
+
+
+def test_uncompiled_document_rejected_by_views(mapping_document):
+    assert main(["views", str(mapping_document)]) == 2

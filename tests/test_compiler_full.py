@@ -1,0 +1,258 @@
+"""Integration tests: the full mapping compiler (analysis, viewgen,
+validation) on valid and deliberately broken mappings."""
+
+import pytest
+
+from repro.algebra import (
+    Comparison,
+    IsNotNull,
+    IsOf,
+    IsOfOnly,
+    TRUE,
+    or_,
+)
+from repro.budget import WorkBudget
+from repro.compiler import (
+    SetAnalysis,
+    build_update_view,
+    check_coverage,
+    check_disambiguation,
+    compile_mapping,
+    generate_views,
+    validate_mapping,
+)
+from repro.edm import ClientSchemaBuilder, ClientState, Entity, INT, STRING
+from repro.errors import (
+    CompilationBudgetExceeded,
+    MappingError,
+    ValidationError,
+)
+from repro.mapping import Mapping, MappingFragment, check_roundtrip
+from repro.relational import Column, ForeignKey, StoreSchema, Table
+from repro.workloads.paper_example import mapping_stage3, mapping_stage4
+
+from tests.conftest import figure1_state
+
+
+class TestAnalysis:
+    def test_cells_and_signatures_stage4(self, stage4_mapping):
+        analysis = SetAnalysis(stage4_mapping, "Persons")
+        # fragment order: phi1' (HR), phi2 (Emp), phi3 (Client)
+        by_type = {c.concrete_type: c for c in analysis.all_cells()}
+        assert by_type["Person"].signature == frozenset({0})
+        assert by_type["Employee"].signature == frozenset({0, 1})
+        assert by_type["Customer"].signature == frozenset({2})
+
+    def test_coverage_passes(self, stage4_mapping):
+        analysis = SetAnalysis(stage4_mapping, "Persons")
+        check_coverage(analysis)
+        check_disambiguation(analysis)
+
+    def test_coverage_detects_unmapped_attribute(self):
+        """A fragment set that never stores Employee.Department loses data."""
+        mapping = mapping_stage3()
+        mapping.replace_fragments([mapping.fragments[0], mapping.fragments[2]])
+        analysis = SetAnalysis(mapping, "Persons")
+        with pytest.raises(ValidationError) as err:
+            check_coverage(analysis)
+        assert err.value.check == "coverage"
+        assert "Department" in str(err.value)
+
+    def test_disambiguation_detects_identical_signatures(self):
+        """Two sibling types mapped by identical fragments cannot be told
+        apart when reading the store."""
+        schema = (
+            ClientSchemaBuilder()
+            .entity("P", key=[("Id", INT)])
+            .entity("A", parent="P")
+            .entity("B", parent="P")
+            .entity_set("Ps", "P")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table("T", (Column("Id", INT, False),), ("Id",)),
+                Table("T2", (Column("Id", INT, False),), ("Id",)),
+            ]
+        )
+        # A and B both activate exactly the T2 fragment: identical
+        # signatures, distinct types — ambiguous.
+        mapping = Mapping(
+            schema,
+            store,
+            [
+                MappingFragment("Ps", False, IsOfOnly("P"), "T", TRUE, (("Id", "Id"),)),
+                MappingFragment("Ps", False, or_(IsOfOnly("A"), IsOfOnly("B")),
+                                "T2", TRUE, (("Id", "Id"),)),
+            ],
+        )
+        analysis = SetAnalysis(mapping, "Ps")
+        with pytest.raises(ValidationError) as err:
+            check_disambiguation(analysis)
+        assert err.value.check == "disambiguation"
+
+    def test_uncovered_type_rejected(self):
+        """Entities matching no fragment cannot be stored at all."""
+        schema = (
+            ClientSchemaBuilder()
+            .entity("P", key=[("Id", INT)])
+            .entity("A", parent="P")
+            .entity_set("Ps", "P")
+            .build()
+        )
+        store = StoreSchema([Table("T", (Column("Id", INT, False),), ("Id",))])
+        mapping = Mapping(
+            schema, store,
+            [MappingFragment("Ps", False, IsOfOnly("P"), "T", TRUE, (("Id", "Id"),))],
+        )
+        analysis = SetAnalysis(mapping, "Ps")
+        with pytest.raises(ValidationError):
+            check_disambiguation(analysis)
+
+
+class TestViewGeneration:
+    def test_update_view_pads_unmapped_columns(self, stage4_mapping):
+        view = build_update_view(stage4_mapping, "HR")
+        assert view.table_name == "HR"
+
+    def test_update_view_requires_fragments(self, stage4_mapping):
+        with pytest.raises(MappingError):
+            build_update_view(stage4_mapping, "NoSuchTable")
+
+    def test_tph_discriminator_pinned_in_update_view(self):
+        """The TPH discriminator constant is written back by update views."""
+        from repro.workloads.hub_rim import hub_rim_mapping
+
+        mapping = hub_rim_mapping(1, 1, "TPH")
+        views = generate_views(mapping)
+        view = views.update_view("Big")
+        rendered = view.to_sql()
+        assert "'Hub1' AS Disc" in rendered
+
+    def test_uninvertible_store_condition_rejected(self):
+        schema = (
+            ClientSchemaBuilder()
+            .entity("P", key=[("Id", INT)])
+            .entity_set("Ps", "P")
+            .build()
+        )
+        store = StoreSchema(
+            [Table("T", (Column("Id", INT, False), Column("V", INT, True)), ("Id",))]
+        )
+        mapping = Mapping(
+            schema, store,
+            [MappingFragment("Ps", False, IsOf("P"), "T",
+                             Comparison("V", ">", 5), (("Id", "Id"),))],
+        )
+        with pytest.raises(MappingError):
+            generate_views(mapping)
+
+    def test_query_views_for_all_types(self, stage4_mapping):
+        views = generate_views(stage4_mapping)
+        assert set(views.query_views) == {"Person", "Employee", "Customer"}
+        assert set(views.association_views) == {"Supports"}
+        assert set(views.update_views) == {"HR", "Emp", "Client"}
+
+
+class TestFullCompilation:
+    def test_stage4_compiles_and_roundtrips(self, stage4_mapping):
+        result = compile_mapping(stage4_mapping)
+        state = figure1_state(stage4_mapping.client_schema)
+        assert check_roundtrip(result.views, state, stage4_mapping.store_schema).ok
+
+    def test_validation_can_be_skipped(self, stage4_mapping):
+        result = compile_mapping(stage4_mapping, validate=False)
+        assert result.report is None
+        assert result.views.query_views
+
+    def test_budget_enforced(self):
+        from repro.workloads.hub_rim import hub_rim_mapping
+
+        mapping = hub_rim_mapping(2, 4, "TPH")
+        with pytest.raises(CompilationBudgetExceeded):
+            compile_mapping(mapping, budget=WorkBudget(max_steps=500))
+
+    def test_fk_violation_detected(self):
+        """TPC sibling bypassing the parent table violates the FK from the
+        child table (a full-compile-level Figure 6)."""
+        schema = (
+            ClientSchemaBuilder()
+            .entity("P", key=[("Id", INT)], attrs=[("N", STRING)])
+            .entity("E", parent="P", attrs=[("D", STRING)])
+            .entity_set("Ps", "P")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table("Root", (Column("Id", INT, False), Column("N", STRING)), ("Id",)),
+                Table(
+                    "Sub",
+                    (Column("Id", INT, False), Column("D", STRING)),
+                    ("Id",),
+                    (ForeignKey(("Id",), "Root", ("Id",)),),
+                ),
+            ]
+        )
+        # E mapped TPC into Sub (keys NOT flowing into Root) while Sub has
+        # a foreign key into Root: invalid.
+        mapping = Mapping(
+            schema,
+            store,
+            [
+                MappingFragment("Ps", False, IsOfOnly("P"), "Root", TRUE,
+                                (("Id", "Id"), ("N", "N"))),
+                MappingFragment("Ps", False, IsOf("E"), "Sub", TRUE,
+                                (("Id", "Id"), ("D", "D"))),
+            ],
+        )
+        # E.N is not covered by any fragment -> make Sub store it too?
+        # keep N mapped through Root for ONLY P; E entities lose N -> the
+        # coverage check fires first. Map N in Sub as well so the FK check
+        # is what fails.
+        mapping.replace_fragments(
+            [
+                MappingFragment("Ps", False, IsOfOnly("P"), "Root", TRUE,
+                                (("Id", "Id"), ("N", "N"))),
+                MappingFragment("Ps", False, IsOf("E"), "Sub", TRUE,
+                                (("Id", "Id"), ("D", "D"), ("N", "D2"))),
+            ]
+        )
+        store2 = StoreSchema(
+            [
+                Table("Root", (Column("Id", INT, False), Column("N", STRING)), ("Id",)),
+                Table(
+                    "Sub",
+                    (
+                        Column("Id", INT, False),
+                        Column("D", STRING),
+                        Column("D2", STRING),
+                    ),
+                    ("Id",),
+                    (ForeignKey(("Id",), "Root", ("Id",)),),
+                ),
+            ]
+        )
+        mapping = Mapping(schema, store2, mapping.fragments)
+        with pytest.raises(ValidationError) as err:
+            compile_mapping(mapping)
+        assert err.value.check in ("fk-preservation", "roundtrip")
+
+    def test_workloads_all_compile(self):
+        from repro.workloads import chain_mapping, customer_mapping, hub_rim_mapping
+
+        for mapping in (
+            chain_mapping(6),
+            hub_rim_mapping(2, 2, "TPH"),
+            hub_rim_mapping(2, 2, "TPT"),
+            customer_mapping(scale=0.05),
+        ):
+            result = compile_mapping(mapping)
+            assert result.report is not None
+
+    def test_validation_report_counts(self, stage4_mapping):
+        result = compile_mapping(stage4_mapping)
+        report = result.report
+        assert report.coverage_checks >= 3
+        assert report.containment_checks >= 2
+        assert report.roundtrip_states > 0
+        assert report.store_cells >= 3

@@ -1,0 +1,165 @@
+"""Unit tests: condition AST, smart constructors, evaluation."""
+
+import pytest
+
+from repro.algebra.conditions import (
+    And,
+    Comparison,
+    FALSE,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Not,
+    Or,
+    TRUE,
+    and_,
+    evaluate_condition,
+    or_,
+    referenced_attrs,
+    referenced_types,
+)
+from repro.errors import EvaluationError
+
+
+class _Ctx:
+    """Minimal tuple context for evaluation tests."""
+
+    def __init__(self, values, concrete="T", ancestors=("T",)):
+        self.values = values
+        self.concrete = concrete
+        self.ancestors = ancestors
+
+    def attr_value(self, name):
+        if name not in self.values:
+            raise KeyError(name)
+        return self.values[name]
+
+    def is_of(self, type_name, only):
+        if only:
+            return type_name == self.concrete
+        return type_name in self.ancestors
+
+
+class TestSmartConstructors:
+    def test_and_flattens(self):
+        c = and_(Comparison("a", "=", 1), and_(Comparison("b", "=", 2), TRUE))
+        assert isinstance(c, And)
+        assert len(c.operands) == 2
+
+    def test_and_false_absorbs(self):
+        assert and_(Comparison("a", "=", 1), FALSE) is FALSE
+
+    def test_and_empty_is_true(self):
+        assert and_() is TRUE
+
+    def test_or_flattens(self):
+        c = or_(Comparison("a", "=", 1), or_(Comparison("b", "=", 2)))
+        assert isinstance(c, Or)
+        assert len(c.operands) == 2
+
+    def test_or_true_absorbs(self):
+        assert or_(Comparison("a", "=", 1), TRUE) is TRUE
+
+    def test_or_empty_is_false(self):
+        assert or_() is FALSE
+
+    def test_single_operand_unwrapped(self):
+        atom = Comparison("a", "=", 1)
+        assert and_(atom) is atom
+        assert or_(atom) is atom
+
+    def test_operators(self):
+        atom = Comparison("a", "=", 1)
+        assert isinstance(atom & IsNull("b"), And)
+        assert isinstance(atom | IsNull("b"), Or)
+        assert isinstance(~atom, Not)
+
+
+class TestIntrospection:
+    def test_referenced_attrs(self):
+        c = and_(Comparison("a", "=", 1), or_(IsNull("b"), IsNotNull("c")), IsOf("T"))
+        assert referenced_attrs(c) == frozenset({"a", "b", "c"})
+
+    def test_referenced_types(self):
+        c = or_(IsOf("A"), IsOfOnly("B"))
+        assert referenced_types(c) == frozenset({"A", "B"})
+
+    def test_atoms_iterates_leaves(self):
+        c = and_(Comparison("a", "=", 1), Not(IsNull("b")))
+        atoms = list(c.atoms())
+        assert Comparison("a", "=", 1) in atoms
+        assert IsNull("b") in atoms
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(EvaluationError):
+            Comparison("a", "~", 1)
+
+
+class TestEvaluation:
+    def test_comparisons(self):
+        ctx = _Ctx({"a": 5})
+        assert evaluate_condition(Comparison("a", "=", 5), ctx)
+        assert evaluate_condition(Comparison("a", "!=", 4), ctx)
+        assert evaluate_condition(Comparison("a", "<", 6), ctx)
+        assert evaluate_condition(Comparison("a", "<=", 5), ctx)
+        assert evaluate_condition(Comparison("a", ">", 4), ctx)
+        assert evaluate_condition(Comparison("a", ">=", 5), ctx)
+        assert not evaluate_condition(Comparison("a", "=", 6), ctx)
+
+    def test_null_comparison_is_false(self):
+        ctx = _Ctx({"a": None})
+        assert not evaluate_condition(Comparison("a", "=", None), ctx)
+        assert not evaluate_condition(Comparison("a", "<", 5), ctx)
+
+    def test_null_tests(self):
+        ctx = _Ctx({"a": None, "b": 1})
+        assert evaluate_condition(IsNull("a"), ctx)
+        assert not evaluate_condition(IsNull("b"), ctx)
+        assert evaluate_condition(IsNotNull("b"), ctx)
+
+    def test_missing_attribute_atoms_false(self):
+        """Attributes a tuple lacks make the atom false — the semantics the
+        heterogeneous entity-set scan relies on."""
+        ctx = _Ctx({})
+        assert not evaluate_condition(Comparison("zz", "=", 1), ctx)
+        assert not evaluate_condition(IsNull("zz"), ctx)
+        assert not evaluate_condition(IsNotNull("zz"), ctx)
+
+    def test_type_atoms(self):
+        ctx = _Ctx({}, concrete="Employee", ancestors=("Employee", "Person"))
+        assert evaluate_condition(IsOf("Person"), ctx)
+        assert evaluate_condition(IsOf("Employee"), ctx)
+        assert evaluate_condition(IsOfOnly("Employee"), ctx)
+        assert not evaluate_condition(IsOfOnly("Person"), ctx)
+
+    def test_and_or_not(self):
+        ctx = _Ctx({"a": 1})
+        c = and_(Comparison("a", "=", 1), or_(IsNull("a"), Comparison("a", "<", 2)))
+        assert evaluate_condition(c, ctx)
+        assert not evaluate_condition(Not(c), ctx)
+
+    def test_incomparable_types_raise(self):
+        ctx = _Ctx({"a": "text"})
+        with pytest.raises(EvaluationError):
+            evaluate_condition(Comparison("a", "<", 5), ctx)
+
+    def test_true_false(self):
+        ctx = _Ctx({})
+        assert evaluate_condition(TRUE, ctx)
+        assert not evaluate_condition(FALSE, ctx)
+
+
+class TestTransform:
+    def test_transform_rebuilds_bottom_up(self):
+        c = and_(IsOfOnly("P"), or_(IsOf("Q"), IsNull("a")))
+
+        def widen(node):
+            if node == IsOfOnly("P"):
+                return or_(IsOfOnly("P"), IsOf("E"))
+            return node
+
+        result = c.transform(widen)
+        assert IsOf("E") in list(result.atoms())
+        # original untouched (immutability)
+        assert IsOf("E") not in list(c.atoms())

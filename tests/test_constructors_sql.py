@@ -1,0 +1,128 @@
+"""Unit tests: τ constructors and the Entity-SQL printer."""
+
+import pytest
+
+from repro.algebra import (
+    AssociationCtor,
+    Col,
+    Comparison,
+    Const,
+    EntityCtor,
+    IfCtor,
+    IsNotNull,
+    IsOf,
+    IsOfOnly,
+    ProjItem,
+    Project,
+    RowCtor,
+    Select,
+    TableScan,
+    condition_to_sql,
+    constructor_to_sql,
+    query_to_sql,
+    view_to_sql,
+)
+from repro.errors import EvaluationError
+
+
+class TestEntityCtor:
+    def test_identity(self):
+        ctor = EntityCtor.identity("E", ["a", "b"])
+        entity = ctor.construct({"a": 1, "b": 2, "extra": 9})
+        assert entity.concrete_type == "E"
+        assert entity["a"] == 1 and entity["b"] == 2
+
+    def test_constant_assignment(self):
+        ctor = EntityCtor("E", (("a", Col("a")), ("g", Const("M"))))
+        entity = ctor.construct({"a": 1})
+        assert entity["g"] == "M"
+
+    def test_missing_column_raises(self):
+        ctor = EntityCtor.identity("E", ["a"])
+        with pytest.raises(EvaluationError):
+            ctor.construct({"b": 1})
+
+    def test_constructed_types(self):
+        assert EntityCtor.identity("E", []).constructed_types() == ("E",)
+
+
+class TestIfCtor:
+    def _chain(self):
+        return IfCtor(
+            Comparison("t1", "=", True),
+            EntityCtor.identity("A", ["k"]),
+            IfCtor(
+                Comparison("t2", "=", True),
+                EntityCtor.identity("B", ["k"]),
+                EntityCtor.identity("C", ["k"]),
+            ),
+        )
+
+    def test_branch_selection(self):
+        chain = self._chain()
+        assert chain.construct({"k": 1, "t1": True}).concrete_type == "A"
+        assert chain.construct({"k": 1, "t1": None, "t2": True}).concrete_type == "B"
+        assert chain.construct({"k": 1}).concrete_type == "C"
+
+    def test_null_flag_falls_through(self):
+        """NULL flags (padded by outer joins) select the else branch —
+        Figure 2's `_from2 IS NOT NULL` guard, built into our semantics."""
+        chain = self._chain()
+        assert chain.construct({"k": 1, "t1": None, "t2": None}).concrete_type == "C"
+
+    def test_constructed_types(self):
+        assert set(self._chain().constructed_types()) == {"A", "B", "C"}
+
+    def test_type_atom_in_ctor_condition_rejected(self):
+        bad = IfCtor(IsOf("X"), EntityCtor.identity("A", []), EntityCtor.identity("B", []))
+        with pytest.raises(EvaluationError):
+            bad.construct({})
+
+
+class TestRowAndAssociationCtor:
+    def test_row_ctor(self):
+        ctor = RowCtor("T", (("a", Col("x")), ("b", Const(None))))
+        assert ctor.construct({"x": 7}) == {"a": 7, "b": None}
+
+    def test_association_ctor_order_and_map(self):
+        ctor = AssociationCtor.identity("A", ["p.Id", "q.Id"])
+        row = {"p.Id": 1, "q.Id": 2}
+        assert ctor.construct(row) == (1, 2)
+        assert ctor.construct_map(row) == {"p.Id": 1, "q.Id": 2}
+
+
+class TestPrinter:
+    def test_condition_rendering(self):
+        c = IsOfOnly("Person") | IsOf("Employee")
+        text = condition_to_sql(c)
+        assert "IS OF (ONLY Person)" in text
+        assert "IS OF Employee" in text
+
+    def test_literal_rendering(self):
+        assert "NULL" in condition_to_sql(Comparison("a", "=", None))
+        assert "'it''s'" in condition_to_sql(Comparison("a", "=", "it's"))
+
+    def test_query_rendering_merges_select_into_where(self):
+        q = Project(
+            Select(TableScan("HR"), IsNotNull("Id")),
+            (ProjItem("Id", Col("Id")),),
+        )
+        text = query_to_sql(q)
+        assert text.splitlines()[0] == "SELECT Id"
+        assert "WHERE Id IS NOT NULL" in text
+
+    def test_case_chain_rendering(self):
+        ctor = IfCtor(
+            Comparison("t", "=", True),
+            EntityCtor.identity("A", ["k"]),
+            EntityCtor.identity("B", ["k"]),
+        )
+        text = constructor_to_sql(ctor)
+        assert "CASE" in text and "WHEN" in text and "ELSE" in text
+
+    def test_view_rendering(self):
+        text = view_to_sql(
+            "V", TableScan("T"), EntityCtor.identity("E", ["a"])
+        )
+        assert text.startswith("V =")
+        assert "SELECT VALUE" in text

@@ -1,0 +1,279 @@
+"""Unit tests: condition spaces and the CQC-style containment checker."""
+
+import pytest
+
+from repro.algebra import (
+    AssociationScan,
+    Col,
+    Comparison,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    LeftOuterJoin,
+    Not,
+    ProjItem,
+    Project,
+    Select,
+    SetScan,
+    and_,
+    or_,
+)
+from repro.budget import WorkBudget
+from repro.containment import (
+    ClientConditionSpace,
+    StoreConditionSpace,
+    check_containment,
+    value_candidates,
+)
+from repro.containment.checker import canonical_client_states
+from repro.edm import ClientSchemaBuilder, INT, STRING, enum_domain
+from repro.edm.types import Domain
+from repro.errors import CompilationBudgetExceeded, EvaluationError
+from repro.relational import Column, StoreSchema, Table
+
+
+@pytest.fixture
+def schema():
+    return (
+        ClientSchemaBuilder()
+        .entity("P", key=[("Id", INT)], attrs=[("Age", INT), ("G", enum_domain("M", "F"))])
+        .entity("E", parent="P", attrs=[("Dept", STRING)])
+        .entity("C", parent="P", attrs=[("Score", INT)])
+        .entity_set("Ps", "P")
+        .association("L", "C", "E", mult1="*", mult2="0..1")
+        .build()
+    )
+
+
+class TestValueCandidates:
+    def test_int_boundaries(self):
+        candidates = value_candidates(INT, False, [18])
+        assert {17, 18, 19} <= set(candidates)
+        assert None not in candidates
+
+    def test_nullable_adds_none(self):
+        assert None in value_candidates(INT, True, [1])
+
+    def test_enum_uses_domain_values(self):
+        candidates = value_candidates(enum_domain("M", "F"), False, ["M"])
+        assert set(candidates) == {"F", "M"}
+
+    def test_string_gets_fresh_value(self):
+        candidates = value_candidates(STRING, False, ["x"])
+        assert "x" in candidates and len(candidates) >= 2
+
+    def test_gap_midpoint_included(self):
+        candidates = value_candidates(INT, False, [0, 100])
+        assert any(10 < c < 90 for c in candidates)
+
+
+class TestClientConditionSpace:
+    def test_satisfiable_type_condition(self, schema):
+        space = ClientConditionSpace(schema, "Ps", [IsOf("E")])
+        assert space.satisfiable(IsOf("E"))
+        assert space.satisfiable(IsOfOnly("P"))
+        assert not space.satisfiable(and_(IsOfOnly("P"), IsOf("E")))
+
+    def test_implication_over_hierarchy(self, schema):
+        space = ClientConditionSpace(schema, "Ps", [IsOf("E"), IsOf("P")])
+        assert space.implies(IsOf("E"), IsOf("P"))
+        assert not space.implies(IsOf("P"), IsOf("E"))
+
+    def test_implication_with_attributes(self, schema):
+        conditions = [Comparison("Age", ">=", 18), Comparison("Age", ">=", 21)]
+        space = ClientConditionSpace(schema, "Ps", conditions)
+        assert space.implies(Comparison("Age", ">=", 21), Comparison("Age", ">=", 18))
+        assert not space.implies(Comparison("Age", ">=", 18), Comparison("Age", ">=", 21))
+
+    def test_tautology_over_enum_domain(self, schema):
+        space = ClientConditionSpace(
+            schema, "Ps", [Comparison("G", "=", "M"), Comparison("G", "=", "F")]
+        )
+        assert space.tautology(or_(Comparison("G", "=", "M"), Comparison("G", "=", "F")))
+        assert not space.tautology(Comparison("G", "=", "M"))
+
+    def test_tautology_for_type(self, schema):
+        space = ClientConditionSpace(
+            schema, "Ps", [Comparison("Age", ">=", 18), Comparison("Age", "<", 18)]
+        )
+        taut = or_(Comparison("Age", ">=", 18), Comparison("Age", "<", 18))
+        assert space.tautology_for_type("P", taut)
+        assert not space.tautology_for_type("P", Comparison("Age", ">=", 18))
+
+    def test_equivalent(self, schema):
+        space = ClientConditionSpace(
+            schema, "Ps", [Comparison("Age", "<", 18), Comparison("Age", ">=", 18)]
+        )
+        assert space.equivalent(
+            Not(Comparison("Age", "<", 18)), Comparison("Age", ">=", 18)
+        )
+
+    def test_truth_vectors(self, schema):
+        conditions = [IsOf("E"), IsOf("C")]
+        space = ClientConditionSpace(schema, "Ps", conditions)
+        vectors = set(space.truth_vectors(conditions))
+        # E and C are disjoint subtrees: (T,T) unachievable
+        assert vectors == {(False, False), (True, False), (False, True)}
+
+    def test_budget_trips(self, schema):
+        conditions = [Comparison("Age", "=", i) for i in range(8)]
+        space = ClientConditionSpace(schema, "Ps", conditions)
+        with pytest.raises(CompilationBudgetExceeded):
+            space.truth_vectors(conditions, WorkBudget(max_steps=3))
+
+
+class TestStoreConditionSpace:
+    def _store(self):
+        return StoreSchema(
+            [
+                Table(
+                    "T",
+                    (
+                        Column("Id", INT, False),
+                        Column("D", enum_domain("a", "b"), False),
+                        Column("F1", INT, True),
+                        Column("F2", INT, True),
+                    ),
+                    ("Id",),
+                )
+            ]
+        )
+
+    def test_discriminator_exclusive(self):
+        store = self._store()
+        conditions = [Comparison("D", "=", "a"), Comparison("D", "=", "b")]
+        space = StoreConditionSpace(store, "T", conditions)
+        vectors = set(space.truth_vectors(conditions))
+        assert (True, True) not in vectors
+        assert (True, False) in vectors and (False, True) in vectors
+
+    def test_independent_not_nulls_give_all_vectors(self):
+        """The exponential engine of Figure 4: k independent nullable
+        columns achieve all 2^k truth vectors."""
+        store = self._store()
+        conditions = [IsNotNull("F1"), IsNotNull("F2")]
+        space = StoreConditionSpace(store, "T", conditions)
+        assert len(space.truth_vectors(conditions)) == 4
+
+    def test_type_atoms_rejected_on_store_side(self):
+        store = self._store()
+        space = StoreConditionSpace(store, "T", [IsOf("X")])
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            space.satisfiable(IsOf("X"))
+
+    def test_null_and_not_null_exclusive(self):
+        store = self._store()
+        space = StoreConditionSpace(store, "T", [IsNull("F1"), IsNotNull("F1")])
+        assert not space.satisfiable(and_(IsNull("F1"), IsNotNull("F1")))
+
+
+class TestCheckContainment:
+    def test_subtype_containment(self, schema):
+        lhs = Project(Select(SetScan("Ps"), IsOf("E")), (ProjItem("Id", Col("Id")),))
+        rhs = Project(Select(SetScan("Ps"), IsOf("P")), (ProjItem("Id", Col("Id")),))
+        assert check_containment(lhs, rhs, schema).holds
+
+    def test_counterexample_produced(self, schema):
+        lhs = Project(Select(SetScan("Ps"), IsOf("P")), (ProjItem("Id", Col("Id")),))
+        rhs = Project(Select(SetScan("Ps"), IsOf("E")), (ProjItem("Id", Col("Id")),))
+        result = check_containment(lhs, rhs, schema)
+        assert not result.holds
+        assert result.counterexample is not None
+        assert result.missing_row is not None
+        assert "FAILS" in result.explain()
+
+    def test_attribute_condition_containment(self, schema):
+        lhs = Project(
+            Select(SetScan("Ps"), Comparison("Age", ">=", 21)),
+            (ProjItem("Id", Col("Id")),),
+        )
+        rhs = Project(
+            Select(SetScan("Ps"), Comparison("Age", ">=", 18)),
+            (ProjItem("Id", Col("Id")),),
+        )
+        assert check_containment(lhs, rhs, schema).holds
+        assert not check_containment(rhs, lhs, schema).holds
+
+    def test_boundary_value_sensitivity(self, schema):
+        """>= 18 vs > 18 differ exactly at the boundary value."""
+        lhs = Project(
+            Select(SetScan("Ps"), Comparison("Age", ">=", 18)),
+            (ProjItem("Id", Col("Id")),),
+        )
+        rhs = Project(
+            Select(SetScan("Ps"), Comparison("Age", ">", 18)),
+            (ProjItem("Id", Col("Id")),),
+        )
+        result = check_containment(lhs, rhs, schema)
+        assert not result.holds
+
+    def test_association_membership(self, schema):
+        """π keys of an association are contained in the participating
+        types' key sets (associations reference existing entities)."""
+        lhs = Project(AssociationScan("L"), (ProjItem("Id", Col("E.Id")),))
+        rhs = Project(Select(SetScan("Ps"), IsOf("E")), (ProjItem("Id", Col("Id")),))
+        assert check_containment(lhs, rhs, schema).holds
+
+    def test_association_not_contained_in_sibling(self, schema):
+        lhs = Project(AssociationScan("L"), (ProjItem("Id", Col("E.Id")),))
+        rhs = Project(Select(SetScan("Ps"), IsOf("C")), (ProjItem("Id", Col("Id")),))
+        assert not check_containment(lhs, rhs, schema).holds
+
+    def test_louter_join_rhs(self, schema):
+        """Containment into an update-view-shaped rhs with an outer join."""
+        rhs_body = LeftOuterJoin(
+            Project(
+                Select(SetScan("Ps"), IsOf("C")),
+                (ProjItem("Cid", Col("Id")),),
+            ),
+            Project(
+                AssociationScan("L"),
+                (ProjItem("Cid", Col("C.Id")), ProjItem("Eid", Col("E.Id"))),
+            ),
+            on=("Cid",),
+        )
+        lhs = Project(
+            Select(SetScan("Ps"), IsOf("C")), (ProjItem("Cid", Col("Id")),)
+        )
+        rhs = Project(rhs_body, (ProjItem("Cid", Col("Cid")),))
+        assert check_containment(lhs, rhs, schema).holds
+
+    def test_misaligned_projections_rejected(self, schema):
+        lhs = Project(SetScan("Ps"), (ProjItem("Id", Col("Id")),))
+        rhs = Project(SetScan("Ps"), (ProjItem("Other", Col("Id")),))
+        with pytest.raises(EvaluationError):
+            check_containment(lhs, rhs, schema)
+
+    def test_budget_enforced(self, schema):
+        lhs = Project(Select(SetScan("Ps"), IsOf("E")), (ProjItem("Id", Col("Id")),))
+        rhs = Project(Select(SetScan("Ps"), IsOf("P")), (ProjItem("Id", Col("Id")),))
+        with pytest.raises(CompilationBudgetExceeded):
+            check_containment(lhs, rhs, schema, WorkBudget(max_steps=2))
+
+
+class TestCanonicalStates:
+    def test_states_are_legal(self, schema):
+        for state in canonical_client_states(schema, ["Ps"], ["L"]):
+            for entity in state.entities("Ps"):
+                pass  # add_entity already validated
+        assert True
+
+    def test_required_end_filtering(self):
+        """With a required (1) end, states violating the lower bound are
+        not generated."""
+        schema = (
+            ClientSchemaBuilder()
+            .entity("A", key=[("Id", INT)])
+            .entity("B", key=[("Id", INT)])
+            .entity_set("As", "A")
+            .entity_set("Bs", "B")
+            .association("R", "A", "B", mult1="1", mult2="0..1")
+            .build()
+        )
+        # end1 mult 1: every B needs exactly one A partner
+        for state in canonical_client_states(schema, ["As", "Bs"], ["R"]):
+            for b in state.entities("Bs"):
+                assert state.associations("R"), "B without required partner generated"

@@ -1,0 +1,172 @@
+"""Unit tests: client states (entities, associations, embedding)."""
+
+import pytest
+
+from repro.edm import ClientSchemaBuilder, ClientState, Entity, INT, STRING
+from repro.errors import SchemaError
+
+from tests.test_edm_schema import small_hierarchy
+
+
+@pytest.fixture
+def schema():
+    schema = small_hierarchy()
+    schema2 = schema.clone()
+    return schema2
+
+
+@pytest.fixture
+def schema_with_assoc():
+    return (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Employee", parent="Person", attrs=[("Dept", STRING)])
+        .entity("Customer", parent="Person", attrs=[("Score", INT)])
+        .entity_set("Persons", "Person")
+        .association("Supports", "Customer", "Employee", mult1="*", mult2="0..1")
+        .build()
+    )
+
+
+class TestAddEntity:
+    def test_basic(self, schema):
+        state = ClientState(schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        assert len(state.entities("Persons")) == 1
+
+    def test_unknown_set_rejected(self, schema):
+        state = ClientState(schema)
+        with pytest.raises(SchemaError):
+            state.add_entity("Nope", Entity.of("Person", Id=1, Name="a"))
+
+    def test_type_outside_hierarchy_rejected(self, schema_with_assoc):
+        state = ClientState(schema_with_assoc)
+        with pytest.raises(SchemaError):
+            state.add_entity("Persons", Entity.of("Table", Id=1))
+
+    def test_missing_attribute_rejected(self, schema):
+        state = ClientState(schema)
+        with pytest.raises(SchemaError):
+            state.add_entity("Persons", Entity.of("Person", Id=1))
+
+    def test_extra_attribute_rejected(self, schema):
+        state = ClientState(schema)
+        with pytest.raises(SchemaError):
+            state.add_entity("Persons", Entity.of("Person", Id=1, Name="a", X=2))
+
+    def test_null_in_non_nullable_rejected(self, schema):
+        state = ClientState(schema)
+        with pytest.raises(SchemaError):
+            state.add_entity("Persons", Entity.of("Person", Id=1, Name=None))
+
+    def test_domain_violation_rejected(self, schema):
+        state = ClientState(schema)
+        with pytest.raises(SchemaError):
+            state.add_entity("Persons", Entity.of("Person", Id="one", Name="a"))
+
+    def test_duplicate_key_rejected_across_types(self, schema):
+        state = ClientState(schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        with pytest.raises(SchemaError):
+            state.add_entity(
+                "Persons", Entity.of("Employee", Id=1, Name="b", Dept="x")
+            )
+
+
+class TestAssociations:
+    def _populated(self, schema_with_assoc):
+        state = ClientState(schema_with_assoc)
+        state.add_entity(
+            "Persons", Entity.of("Employee", Id=1, Name="e", Dept="d")
+        )
+        state.add_entity(
+            "Persons", Entity.of("Customer", Id=2, Name="c", Score=5)
+        )
+        state.add_entity(
+            "Persons", Entity.of("Customer", Id=3, Name="c2", Score=6)
+        )
+        return state
+
+    def test_add(self, schema_with_assoc):
+        state = self._populated(schema_with_assoc)
+        state.add_association("Supports", (2,), (1,))
+        assert state.associations("Supports") == ((2, 1),)
+
+    def test_missing_entities_rejected(self, schema_with_assoc):
+        state = self._populated(schema_with_assoc)
+        with pytest.raises(SchemaError):
+            state.add_association("Supports", (99,), (1,))
+
+    def test_wrong_end_type_rejected(self, schema_with_assoc):
+        state = self._populated(schema_with_assoc)
+        # entity 1 is an Employee, cannot play the Customer end
+        with pytest.raises(SchemaError):
+            state.add_association("Supports", (1,), (2,))
+
+    def test_multiplicity_upper_bound_enforced(self, schema_with_assoc):
+        state = self._populated(schema_with_assoc)
+        state.add_association("Supports", (2,), (1,))
+        # Customer 2 already supported by an employee (end2 is 0..1)
+        with pytest.raises(SchemaError):
+            state.add_association("Supports", (2,), (1,))
+
+    def test_many_end_allows_sharing(self, schema_with_assoc):
+        state = self._populated(schema_with_assoc)
+        state.add_association("Supports", (2,), (1,))
+        state.add_association("Supports", (3,), (1,))  # end1 is *, fine
+        assert len(state.associations("Supports")) == 2
+
+
+class TestComparisonAndEmbedding:
+    def test_equals_ignores_insertion_order(self, schema):
+        a = ClientState(schema)
+        b = ClientState(schema)
+        a.add_entity("Persons", Entity.of("Person", Id=1, Name="x"))
+        a.add_entity("Persons", Entity.of("Person", Id=2, Name="y"))
+        b.add_entity("Persons", Entity.of("Person", Id=2, Name="y"))
+        b.add_entity("Persons", Entity.of("Person", Id=1, Name="x"))
+        assert a.equals(b)
+
+    def test_not_equals_on_value_change(self, schema):
+        a = ClientState(schema)
+        b = ClientState(schema)
+        a.add_entity("Persons", Entity.of("Person", Id=1, Name="x"))
+        b.add_entity("Persons", Entity.of("Person", Id=1, Name="Y"))
+        assert not a.equals(b)
+
+    def test_embed_into_evolved_schema(self, schema):
+        """The paper's f(c): same contents, new components empty."""
+        state = ClientState(schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="x"))
+        evolved = schema.clone()
+        from repro.edm import Attribute
+        from repro.edm.entity import EntityType
+
+        evolved.add_entity_type(
+            EntityType("Robot", parent="Person", attributes=(Attribute("Os"),))
+        )
+        embedded = state.embed_into(evolved)
+        assert embedded.entities("Persons") == state.entities("Persons")
+
+    def test_embed_rejects_dropped_nonempty_component(self, schema_with_assoc):
+        state = ClientState(schema_with_assoc)
+        state.add_entity("Persons", Entity.of("Employee", Id=1, Name="e", Dept="d"))
+        state.add_entity("Persons", Entity.of("Customer", Id=2, Name="c", Score=1))
+        state.add_association("Supports", (2,), (1,))
+        target = schema_with_assoc.clone()
+        target.drop_association("Supports")
+        with pytest.raises(SchemaError):
+            state.embed_into(target)
+
+    def test_entity_value_access(self):
+        entity = Entity.of("T", a=1, b=None)
+        assert entity["a"] == 1
+        assert entity["b"] is None
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            entity["missing"]
+
+    def test_key_tuple(self):
+        entity = Entity.of("T", a=1, b=2)
+        assert entity.key_tuple(("b", "a")) == (2, 1)

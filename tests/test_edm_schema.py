@@ -1,0 +1,246 @@
+"""Unit tests: entity types, entity sets and client schemas."""
+
+import pytest
+
+from repro.edm import (
+    Attribute,
+    AssociationEnd,
+    AssociationSet,
+    ClientSchemaBuilder,
+    EntitySet,
+    EntityType,
+    INT,
+    Multiplicity,
+    STRING,
+)
+from repro.edm.schema import ClientSchema
+from repro.errors import SchemaError
+
+
+def small_hierarchy() -> ClientSchema:
+    """Person ← Employee ← Manager; Person ← Customer."""
+    return (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Employee", parent="Person", attrs=[("Dept", STRING)])
+        .entity("Manager", parent="Employee", attrs=[("Level", INT)])
+        .entity("Customer", parent="Person", attrs=[("Score", INT)])
+        .entity_set("Persons", "Person")
+        .build()
+    )
+
+
+class TestEntityType:
+    def test_root_requires_key(self):
+        with pytest.raises(SchemaError):
+            EntityType("X", attributes=(Attribute("a"),))
+
+    def test_key_must_be_own_attribute(self):
+        with pytest.raises(SchemaError):
+            EntityType("X", attributes=(Attribute("a"),), key=("b",))
+
+    def test_key_attribute_not_nullable(self):
+        with pytest.raises(SchemaError):
+            EntityType("X", attributes=(Attribute("a", INT, True),), key=("a",))
+
+    def test_derived_cannot_redeclare_key(self):
+        with pytest.raises(SchemaError):
+            EntityType("Y", parent="X", attributes=(Attribute("b", INT),), key=("b",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            EntityType(
+                "X", attributes=(Attribute("a", INT), Attribute("a", INT)), key=("a",)
+            )
+
+
+class TestHierarchyNavigation:
+    def test_ancestors_nearest_first(self):
+        schema = small_hierarchy()
+        assert schema.ancestors("Manager") == ("Employee", "Person")
+        assert schema.ancestors("Person") == ()
+
+    def test_descendants(self):
+        schema = small_hierarchy()
+        assert set(schema.descendants("Person")) == {"Employee", "Manager", "Customer"}
+        assert schema.descendants("Manager") == ()
+
+    def test_root_of(self):
+        schema = small_hierarchy()
+        assert schema.root_of("Manager") == "Person"
+        assert schema.root_of("Person") == "Person"
+
+    def test_types_strictly_between(self):
+        schema = small_hierarchy()
+        # p of Algorithm 1: proper ancestors of Manager below Person
+        assert schema.types_strictly_between("Manager", "Person") == ("Employee",)
+        # anchored at the parent: empty
+        assert schema.types_strictly_between("Manager", "Employee") == ()
+        # NIL anchor: every proper ancestor
+        assert schema.types_strictly_between("Manager", None) == ("Employee", "Person")
+
+    def test_types_strictly_between_bad_anchor(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.types_strictly_between("Manager", "Customer")
+
+    def test_attributes_include_inherited(self):
+        schema = small_hierarchy()
+        assert schema.attribute_names_of("Manager") == ("Id", "Name", "Dept", "Level")
+
+    def test_key_inherited(self):
+        schema = small_hierarchy()
+        assert schema.key_of("Manager") == ("Id",)
+
+    def test_declaring_type(self):
+        schema = small_hierarchy()
+        assert schema.declaring_type("Manager", "Name") == "Person"
+        assert schema.declaring_type("Manager", "Level") == "Manager"
+
+    def test_concrete_types_skip_abstract(self):
+        schema = (
+            ClientSchemaBuilder()
+            .entity("Shape", key=[("Id", INT)], abstract=True)
+            .entity("Circle", parent="Shape", attrs=[("R", INT)])
+            .entity_set("Shapes", "Shape")
+            .build()
+        )
+        assert schema.concrete_types_of_set("Shapes") == ("Circle",)
+
+
+class TestSchemaMutation:
+    def test_duplicate_type_rejected(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.add_entity_type(EntityType("Person", key=("Id",),
+                                              attributes=(Attribute("Id", INT),)))
+
+    def test_unknown_parent_rejected(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.add_entity_type(EntityType("X", parent="Nope"))
+
+    def test_attribute_shadowing_rejected(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.add_entity_type(
+                EntityType("X", parent="Person", attributes=(Attribute("Name"),))
+            )
+
+    def test_drop_leaf(self):
+        schema = small_hierarchy()
+        schema.drop_entity_type("Manager")
+        assert not schema.has_entity_type("Manager")
+        assert schema.children_of("Employee") == ()
+
+    def test_drop_non_leaf_rejected(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.drop_entity_type("Employee")
+
+    def test_drop_with_association_rejected(self):
+        schema = small_hierarchy()
+        schema.add_association(
+            AssociationSet(
+                "A",
+                AssociationEnd("Customer", Multiplicity.MANY),
+                AssociationEnd("Manager", Multiplicity.ZERO_OR_ONE),
+                "Persons",
+                "Persons",
+            )
+        )
+        with pytest.raises(SchemaError):
+            schema.drop_entity_type("Manager")
+
+    def test_add_attribute(self):
+        schema = small_hierarchy()
+        schema.add_attribute("Employee", Attribute("Title", STRING))
+        assert "Title" in schema.attribute_names_of("Manager")
+        assert "Title" not in schema.attribute_names_of("Customer")
+
+    def test_add_attribute_descendant_clash_rejected(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.add_attribute("Employee", Attribute("Level"))
+
+    def test_clone_is_independent(self):
+        schema = small_hierarchy()
+        copy = schema.clone()
+        copy.add_attribute("Person", Attribute("Extra"))
+        assert "Extra" not in schema.attribute_names_of("Person")
+        assert "Extra" in copy.attribute_names_of("Person")
+
+
+class TestEntitySets:
+    def test_set_must_root_at_hierarchy_root(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.add_entity_set(EntitySet("Emps", "Employee"))
+
+    def test_set_of_type(self):
+        schema = small_hierarchy()
+        assert schema.set_of_type("Manager").name == "Persons"
+
+
+class TestAssociations:
+    def test_self_association_needs_roles(self):
+        with pytest.raises(SchemaError):
+            AssociationSet(
+                "Boss",
+                AssociationEnd("Employee", Multiplicity.MANY),
+                AssociationEnd("Employee", Multiplicity.ZERO_OR_ONE),
+                "Persons",
+                "Persons",
+            )
+
+    def test_self_association_with_roles(self):
+        association = AssociationSet(
+            "Boss",
+            AssociationEnd("Employee", Multiplicity.MANY, role="worker"),
+            AssociationEnd("Employee", Multiplicity.ZERO_OR_ONE, role="boss"),
+            "Persons",
+            "Persons",
+        )
+        assert association.end_for_role("boss").role == "boss"
+        assert association.qualified_key_attrs(("Id",), ("Id",)) == (
+            "worker.Id",
+            "boss.Id",
+        )
+
+    def test_association_unknown_type_rejected(self):
+        schema = small_hierarchy()
+        with pytest.raises(SchemaError):
+            schema.add_association(
+                AssociationSet(
+                    "A",
+                    AssociationEnd("Nope", Multiplicity.MANY),
+                    AssociationEnd("Person", Multiplicity.MANY),
+                    "Persons",
+                    "Persons",
+                )
+            )
+
+    def test_association_type_outside_set_hierarchy_rejected(self):
+        schema = (
+            ClientSchemaBuilder()
+            .entity("A", key=[("Id", INT)])
+            .entity("B", key=[("Id", INT)])
+            .entity_set("As", "A")
+            .entity_set("Bs", "B")
+            .build()
+        )
+        with pytest.raises(SchemaError):
+            schema.add_association(
+                AssociationSet(
+                    "X",
+                    AssociationEnd("A", Multiplicity.MANY),
+                    AssociationEnd("B", Multiplicity.MANY),
+                    "Bs",  # wrong set for A
+                    "Bs",
+                )
+            )
+
+    def test_multiplicity_at_most_one(self):
+        assert Multiplicity.ONE.at_most_one()
+        assert Multiplicity.ZERO_OR_ONE.at_most_one()
+        assert not Multiplicity.MANY.at_most_one()

@@ -1,0 +1,88 @@
+"""Unit tests: domains and attributes (repro.edm.types)."""
+
+import pytest
+
+from repro.edm.types import (
+    Attribute,
+    BOOL,
+    Domain,
+    INT,
+    STRING,
+    enum_domain,
+)
+from repro.errors import SchemaError
+
+
+class TestDomain:
+    def test_unknown_base_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain("float128")
+
+    def test_empty_restriction_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain("string", frozenset())
+
+    def test_unrestricted_contains_values_of_base(self):
+        assert INT.contains(42)
+        assert not INT.contains("42")
+        assert STRING.contains("x")
+        assert not STRING.contains(1)
+
+    def test_none_is_never_contained(self):
+        assert not INT.contains(None)
+        assert not enum_domain("a").contains(None)
+
+    def test_bool_domain(self):
+        assert BOOL.contains(True)
+        assert not BOOL.contains("True")
+
+    def test_enum_restriction(self):
+        gender = enum_domain("M", "F")
+        assert gender.contains("M")
+        assert not gender.contains("X")
+
+    def test_subdomain_reflexive(self):
+        assert INT.is_subdomain_of(INT)
+        assert enum_domain("M", "F").is_subdomain_of(enum_domain("M", "F"))
+
+    def test_enum_is_subdomain_of_unrestricted(self):
+        assert enum_domain("M", "F").is_subdomain_of(STRING)
+
+    def test_unrestricted_not_subdomain_of_enum(self):
+        assert not STRING.is_subdomain_of(enum_domain("M", "F"))
+
+    def test_enum_subset(self):
+        assert enum_domain("M").is_subdomain_of(enum_domain("M", "F"))
+        assert not enum_domain("M", "X").is_subdomain_of(enum_domain("M", "F"))
+
+    def test_different_bases_never_subdomains(self):
+        assert not INT.is_subdomain_of(STRING)
+
+    def test_sample_values_within_domain(self):
+        for domain in (INT, STRING, BOOL, enum_domain(1, 2, base="int")):
+            for value in domain.sample_values():
+                assert domain.contains(value)
+
+    def test_str_rendering(self):
+        assert str(INT) == "int"
+        assert "M" in str(enum_domain("M", "F"))
+
+
+class TestAttribute:
+    def test_valid_names(self):
+        Attribute("Name")
+        Attribute("a_b_c", INT)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+        with pytest.raises(SchemaError):
+            Attribute("has space")
+
+    def test_defaults(self):
+        attribute = Attribute("Name")
+        assert attribute.domain == STRING
+        assert not attribute.nullable
+
+    def test_nullable_rendering(self):
+        assert str(Attribute("x", INT, True)).endswith("?")

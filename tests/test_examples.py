@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion and prints the
+expected landmarks."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def _run(path: str, capsys, argv=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("examples/quickstart.py", capsys)
+    assert "roundtrip OK" in out
+    assert "QueryView[Person]" in out
+    assert "UNION ALL" in out  # the Figure 2 shape
+
+
+def test_schema_evolution_session(capsys):
+    out = _run("examples/schema_evolution_session.py", capsys, argv=["0.1"])
+    assert "incrementally" in out
+    assert "speedup" in out
+    assert "REJECTED" not in out
+
+
+def test_model_diff_workflow(capsys):
+    out = _run("examples/model_diff_workflow.py", capsys)
+    assert "roundtrip OK" in out
+    assert "AE-TPT" in out or "inferred" in out
+
+
+def test_partitioned_storage(capsys):
+    out = _run("examples/partitioned_storage.py", capsys)
+    assert "tautology" in out
+    assert "rejected as expected" in out
+    assert out.count("roundtrip OK") >= 2
+
+
+def test_orm_application(capsys):
+    out = _run("examples/orm_application.py", capsys)
+    assert "roundtrip OK" in out
+    assert "bugs tracked" in out
+    assert "big task" in out
+
+
+def test_reconstruct_mapping(capsys):
+    out = _run("examples/reconstruct_mapping.py", capsys)
+    assert "recovered SMO sequence" in out
+    assert "views equivalent" in out
+    assert "refused" in out

@@ -1,0 +1,161 @@
+"""Unit tests: the SMO framework (Figure 7 pipeline), abort semantics,
+budgets, and the roundtrip oracle's failure diagnostics."""
+
+import pytest
+
+from repro.budget import UnlimitedBudget, WorkBudget, ensure_budget
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, ClientState, Entity, INT, STRING
+from repro.errors import CompilationBudgetExceeded, ValidationError
+from repro.incremental import (
+    AddEntity,
+    CompiledModel,
+    IncrementalCompiler,
+    IncrementalResult,
+)
+from repro.mapping import CompiledViews, check_roundtrip
+from repro.relational import ForeignKey
+
+from tests.conftest import customer_smo, employee_smo, figure1_state, supports_smo
+
+
+class TestPipeline:
+    def test_apply_returns_new_model(self, stage1_compiled):
+        compiler = IncrementalCompiler()
+        result = compiler.apply(stage1_compiled, employee_smo(stage1_compiled))
+        assert result.model is not stage1_compiled
+        assert not stage1_compiled.client_schema.has_entity_type("Employee")
+        assert result.model.client_schema.has_entity_type("Employee")
+
+    def test_apply_all_chains(self, stage1_compiled):
+        compiler = IncrementalCompiler()
+        results = compiler.apply_all(
+            stage1_compiled,
+            [employee_smo(stage1_compiled)],
+        )
+        assert len(results) == 1
+        assert isinstance(results[0], IncrementalResult)
+        assert results[0].elapsed > 0
+
+    def test_result_str(self, stage1_compiled):
+        compiler = IncrementalCompiler()
+        result = compiler.apply(stage1_compiled, employee_smo(stage1_compiled))
+        assert "ms" in str(result)
+
+    def test_budget_propagates_to_validation(self, stage1_compiled):
+        compiler = IncrementalCompiler(budget=WorkBudget(max_steps=1))
+        with pytest.raises(CompilationBudgetExceeded):
+            compiler.apply(stage1_compiled, employee_smo(stage1_compiled))
+        # and the input model is untouched even on budget aborts
+        assert not stage1_compiled.client_schema.has_entity_type("Employee")
+
+
+class TestBudget:
+    def test_step_budget(self):
+        budget = WorkBudget(max_steps=10)
+        for _ in range(10):
+            budget.tick()
+        with pytest.raises(CompilationBudgetExceeded):
+            budget.tick()
+
+    def test_unlimited_budget_never_trips(self):
+        budget = UnlimitedBudget()
+        budget.tick(10**9)
+        assert budget.steps == 10**9
+
+    def test_ensure_budget(self):
+        assert isinstance(ensure_budget(None), UnlimitedBudget)
+        concrete = WorkBudget(max_steps=5)
+        assert ensure_budget(concrete) is concrete
+
+    def test_elapsed_grows(self):
+        budget = WorkBudget()
+        assert budget.elapsed >= 0
+
+
+class TestCompiledModel:
+    def test_clone_deep_enough(self, stage4_compiled):
+        copy = stage4_compiled.clone()
+        copy.mapping.replace_fragments([])
+        copy.views.drop_query_view("Person")
+        assert stage4_compiled.mapping.fragments
+        assert "Person" in stage4_compiled.views.query_views
+
+    def test_str(self, stage4_compiled):
+        text = str(stage4_compiled)
+        assert "fragments" in text and "query views" in text
+
+
+class TestCompiledViewsContainer:
+    def test_lookup_errors(self, stage4_compiled):
+        from repro.errors import MappingError
+
+        views = stage4_compiled.views
+        with pytest.raises(MappingError):
+            views.query_view("Nope")
+        with pytest.raises(MappingError):
+            views.update_view("Nope")
+        with pytest.raises(MappingError):
+            views.association_view("Nope")
+
+    def test_to_sql_renders_everything(self, stage4_compiled):
+        text = stage4_compiled.views.to_sql()
+        assert "QueryView[Person]" in text
+        assert "UpdateView[Client]" in text
+        assert "QueryView[Supports]" in text
+
+    def test_drop_is_idempotent(self, stage4_compiled):
+        views = stage4_compiled.views.clone()
+        views.drop_query_view("Person")
+        views.drop_query_view("Person")
+        assert "Person" not in views.query_views
+
+
+class TestRoundtripDiagnostics:
+    def test_missing_update_view_reported(self, stage4_compiled):
+        views = stage4_compiled.views.clone()
+        views.drop_update_view("Client")
+        state = figure1_state(stage4_compiled.client_schema)
+        report = check_roundtrip(views, state, stage4_compiled.store_schema)
+        assert not report.ok
+        # losing Client data means customers and the association disappear
+        assert "lost" in report.error or "failed" in report.error
+
+    def test_inconsistent_store_reported(self, stage4_compiled):
+        """Dropping the Emp update view leaves Client.Eid dangling."""
+        views = stage4_compiled.views.clone()
+        views.drop_update_view("Emp")
+        state = figure1_state(stage4_compiled.client_schema)
+        report = check_roundtrip(views, state, stage4_compiled.store_schema)
+        assert not report.ok
+        assert report.store_violations
+
+    def test_report_str(self, stage4_compiled):
+        state = figure1_state(stage4_compiled.client_schema)
+        report = check_roundtrip(
+            stage4_compiled.views, state, stage4_compiled.store_schema
+        )
+        assert str(report) == "roundtrip OK"
+
+
+class TestValidationFailureRollback:
+    def test_partial_work_discarded(self, incrementally_evolved):
+        """A failing SMO must leave no trace: schemas, fragments, views."""
+        from repro.incremental import AddEntity
+
+        before_fragments = list(incrementally_evolved.mapping.fragments)
+        before_tables = {t.name for t in incrementally_evolved.store_schema.tables}
+        smo = AddEntity.tpc(
+            incrementally_evolved,
+            "Vip",
+            "Customer",
+            [Attribute("Tier", STRING)],
+            "VipT",
+        )
+        # TPC under Customer while Supports stores Customer keys in Client:
+        # the Figure 6 violation.
+        with pytest.raises(ValidationError):
+            IncrementalCompiler().apply(incrementally_evolved, smo)
+        assert list(incrementally_evolved.mapping.fragments) == before_fragments
+        assert {t.name for t in incrementally_evolved.store_schema.tables} == before_tables
+        assert not incrementally_evolved.client_schema.has_entity_type("Vip")

@@ -1,0 +1,197 @@
+"""Adversarial integration scenarios across the whole stack.
+
+Long SMO chains, self-associations, overlapping α ∩ att(P) regions,
+mixed-style hierarchies — each scenario must roundtrip, agree with a full
+recompilation of its evolved mapping, and keep its data through an
+OrmSession.
+"""
+
+import pytest
+
+from repro.algebra import Comparison, IsOf
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, ClientState, Entity, INT, STRING
+from repro.incremental import (
+    AddAssociationFK,
+    AddEntity,
+    AddEntityTPH,
+    AddProperty,
+    CompiledModel,
+    IncrementalCompiler,
+)
+from repro.mapping import check_roundtrip
+from repro.mapping.equivalence import compare_views
+from repro.query import EntityQuery
+from repro.relational import ForeignKey
+from repro.session import OrmSession
+from repro.stategen import random_client_state
+from repro.workloads.paper_example import mapping_stage1
+
+COMPILER = IncrementalCompiler()
+
+
+def _assert_agrees_with_full(model, seeds=range(4)):
+    """Evolved incremental views ≡ full recompilation, plus fuzzing."""
+    full = compile_mapping(model.mapping.clone())
+    comparison = compare_views(model.mapping, model.views, full.views)
+    assert comparison.equivalent, str(comparison)
+    for seed in seeds:
+        state = random_client_state(model.client_schema, seed=seed,
+                                    entities_per_set=4)
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+
+
+class TestSelfAssociation:
+    def test_manager_relation_on_employees(self, stage1_compiled):
+        """A self-set association (Employee manages Employee) through the
+        role machinery, FK-mapped into the Emp table."""
+        model = COMPILER.apply(
+            stage1_compiled,
+            AddEntity.tpt(
+                stage1_compiled, "Employee", "Person",
+                [Attribute("Department", STRING)], "Emp",
+                attr_map={"Id": "Id", "Department": "Dept"},
+                table_foreign_keys=[ForeignKey(("Id",), "HR", ("Id",))],
+            ),
+        ).model
+        smo = AddAssociationFK.create(
+            model, "Manages", "Employee", "Employee", "Emp",
+            {"worker.Id": "Id", "boss.Id": "BossId"},
+            mult1="*", mult2="0..1", role1="worker", role2="boss",
+            new_foreign_keys=[ForeignKey(("BossId",), "Emp", ("Id",))],
+        )
+        model = COMPILER.apply(model, smo).model
+
+        state = ClientState(model.client_schema)
+        state.add_entity("Persons", Entity.of("Employee", Id=1, Name="a", Department="x"))
+        state.add_entity("Persons", Entity.of("Employee", Id=2, Name="b", Department="x"))
+        state.add_entity("Persons", Entity.of("Employee", Id=3, Name="c", Department="y"))
+        state.add_association("Manages", (1,), (2,))
+        state.add_association("Manages", (3,), (2,))  # boss end is 0..1 per worker
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+        _assert_agrees_with_full(model)
+
+
+class TestOverlappingAnchorRegion:
+    def test_alpha_overlaps_anchor_attributes(self, stage1_compiled):
+        """α ∩ att(P) beyond the key: Name stored both in HR (via P) and in
+        the new table — values must agree and roundtrip."""
+        smo = AddEntity(
+            name="Contact", parent="Person",
+            new_attributes=(Attribute("Phone", STRING),),
+            alpha=("Id", "Name", "Phone"),   # Name also covered by P = Person
+            anchor="Person",
+            table="Contacts",
+            attr_map=(("Id", "Id"), ("Name", "Name"), ("Phone", "Phone")),
+        )
+        model = COMPILER.apply(stage1_compiled, smo).model
+        state = ClientState(model.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="p"))
+        state.add_entity("Persons", Entity.of("Contact", Id=2, Name="q", Phone="555"))
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+        # both tables carry the contact's name
+        from repro.mapping import apply_update_views
+
+        store = apply_update_views(model.views, state, model.store_schema)
+        hr_names = {dict(r)["Name"] for r in store.rows("HR")}
+        contact_names = {dict(r)["Name"] for r in store.rows("Contacts")}
+        assert "q" in hr_names and "q" in contact_names
+        _assert_agrees_with_full(model)
+
+
+class TestLongEvolutionChain:
+    def test_ten_step_session(self, stage1_compiled):
+        """A long mixed SMO chain stays consistent at every step."""
+        session = OrmSession.create(stage1_compiled)
+        with session.edit() as state:
+            state.add_entity("Persons", Entity.of("Person", Id=1, Name="seed"))
+
+        steps = [
+            AddEntity.tpt(
+                session.model, "Employee", "Person",
+                [Attribute("Department", STRING)], "Emp",
+                attr_map={"Id": "Id", "Department": "Dept"},
+                table_foreign_keys=[ForeignKey(("Id",), "HR", ("Id",))],
+            ),
+        ]
+        session.evolve(steps[0])
+        session.evolve(
+            AddEntity.tpc(
+                session.model, "Customer", "Person",
+                [Attribute("CredScore", INT), Attribute("BillAddr", STRING)],
+                "Client",
+                attr_map={"Id": "Cid", "Name": "Name",
+                          "CredScore": "Score", "BillAddr": "Addr"},
+            )
+        )
+        session.evolve(
+            AddAssociationFK.create(
+                session.model, "Supports", "Customer", "Employee", "Client",
+                {"Customer.Id": "Cid", "Employee.Id": "Eid"},
+                new_foreign_keys=[ForeignKey(("Eid",), "Emp", ("Id",))],
+            )
+        )
+        session.evolve(
+            AddProperty("Employee", Attribute("Title", STRING), "Emp", "Title")
+        )
+        session.evolve(
+            AddEntityTPH.create(
+                session.model, "Robot", "Person", [Attribute("Os", STRING)],
+                "HR", "Kind", "Robot",
+            )
+        )
+        session.evolve(
+            AddEntity.tpt(
+                session.model, "Android", "Robot", [Attribute("Skin", STRING)],
+                "Androids",
+                attr_map={"Id": "Id", "Skin": "Skin"},
+            )
+        )
+
+        # the original seed row survived six schema evolutions
+        people = session.query(EntityQuery("Persons", IsOf("Person")))
+        assert any(e["Name"] == "seed" for e in people)
+
+        with session.edit() as state:
+            state.add_entity(
+                "Persons",
+                Entity.of("Android", Id=9, Name="data", Os="linux", Skin="soft"),
+            )
+            state.add_entity(
+                "Persons",
+                Entity.of("Employee", Id=3, Name="emp", Department="d", Title="t"),
+            )
+            state.add_entity(
+                "Persons",
+                Entity.of("Customer", Id=4, Name="cus", CredScore=5, BillAddr="a"),
+            )
+            state.add_association("Supports", (4,), (3,))
+
+        androids = session.query(EntityQuery("Persons", IsOf("Android")))
+        assert len(androids) == 1
+        assert check_roundtrip(
+            session.model.views, session.load(), session.model.store_schema
+        ).ok
+        _assert_agrees_with_full(session.model)
+
+
+class TestMixedHierarchyQueries:
+    def test_unfolding_on_evolved_tph_mix(self, stage1_compiled):
+        """Query translation through views produced by a TPH conversion."""
+        session = OrmSession.create(stage1_compiled)
+        session.evolve(
+            AddEntityTPH.create(
+                session.model, "Robot", "Person", [Attribute("Os", STRING)],
+                "HR", "Kind", "Robot",
+            )
+        )
+        with session.edit() as state:
+            state.add_entity("Persons", Entity.of("Person", Id=1, Name="hu"))
+            state.add_entity("Persons", Entity.of("Robot", Id=2, Name="r1", Os="lin"))
+            state.add_entity("Persons", Entity.of("Robot", Id=3, Name="r2", Os="win"))
+        linux = session.query(
+            EntityQuery("Persons", Comparison("Os", "=", "lin"))
+        )
+        assert [e["Id"] for e in linux] == [2]
+        humans = session.query(EntityQuery("Persons", IsOf("Person")))
+        assert len(humans) == 3

@@ -1,0 +1,201 @@
+"""Unit tests: mapping fragments, well-formedness, instance semantics."""
+
+import pytest
+
+from repro.algebra import IsNotNull, IsOf, TRUE
+from repro.edm import ClientState, Entity
+from repro.errors import MappingError
+from repro.mapping import (
+    Mapping,
+    MappingFragment,
+    fragment_satisfied,
+    in_mapping,
+    unsatisfied_fragments,
+)
+from repro.mapping.roundtrip import apply_update_views
+from repro.relational import StoreState
+from repro.workloads.paper_example import (
+    fragment_phi1,
+    mapping_stage2,
+    mapping_stage4,
+)
+
+from tests.conftest import figure1_state
+
+
+class TestFragmentBasics:
+    def test_alpha_beta(self):
+        phi1 = fragment_phi1()
+        assert phi1.alpha == ("Id", "Name")
+        assert phi1.beta == ("Id", "Name")
+
+    def test_maps_attr_column(self):
+        phi1 = fragment_phi1()
+        assert phi1.maps_attr("Name") == "Name"
+        assert phi1.maps_attr("Nope") is None
+        assert phi1.maps_column("Id") == "Id"
+
+    def test_queries_have_aligned_outputs(self):
+        """Both sides of the equation project the client attribute names."""
+        from repro.algebra import ClientContext, StoreContext, evaluate_query
+
+        mapping = mapping_stage4()
+        state = figure1_state(mapping.client_schema)
+        for fragment in mapping.fragments:
+            rows = evaluate_query(fragment.client_query(), ClientContext(state))
+            if rows:
+                assert set(rows[0]) == set(fragment.alpha)
+
+
+class TestWellFormedness:
+    def test_stage4_is_well_formed(self):
+        mapping_stage4().check_well_formed()
+
+    def test_missing_table_rejected(self):
+        mapping = mapping_stage2()
+        mapping.add_fragment(
+            MappingFragment("Persons", False, IsOf("Person"), "Nope", TRUE,
+                            (("Id", "Id"),))
+        )
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_missing_column_rejected(self):
+        mapping = mapping_stage2()
+        mapping.add_fragment(
+            MappingFragment("Persons", False, IsOf("Person"), "HR", TRUE,
+                            (("Id", "Id"), ("Name", "Zz")))
+        )
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_key_must_be_projected_client_side(self):
+        mapping = mapping_stage2()
+        mapping.add_fragment(
+            MappingFragment("Persons", False, IsOf("Person"), "HR", TRUE,
+                            (("Name", "Name"), ("Id", "Id")))
+        )
+        mapping.check_well_formed()  # order is irrelevant, key present
+        mapping.replace_fragments(
+            [MappingFragment("Persons", False, IsOf("Person"), "HR", TRUE,
+                             (("Name", "Id"),))]
+        )
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_table_key_must_be_covered(self):
+        mapping = mapping_stage2()
+        # Id -> Name leaves the HR primary key column unmapped
+        mapping.replace_fragments(
+            [MappingFragment("Persons", False, IsOf("Person"), "HR", TRUE,
+                             (("Id", "Name"),))]
+        )
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_non_1to1_attribute_map_rejected(self):
+        mapping = mapping_stage2()
+        mapping.replace_fragments(
+            [MappingFragment("Persons", False, IsOf("Person"), "HR", TRUE,
+                             (("Id", "Id"), ("Name", "Id")))]
+        )
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_type_outside_hierarchy_rejected(self):
+        mapping = mapping_stage2()
+        mapping.add_fragment(
+            MappingFragment("Persons", False, IsOf("Martian"), "HR", TRUE,
+                            (("Id", "Id"), ("Name", "Name")))
+        )
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_association_mentioned_twice_rejected(self):
+        mapping = mapping_stage4()
+        fragment = mapping.fragment_for_association("Supports")
+        mapping.add_fragment(fragment)
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_association_must_project_both_keys(self):
+        mapping = mapping_stage4()
+        fragment = mapping.fragment_for_association("Supports")
+        broken = MappingFragment(
+            fragment.client_source, True, fragment.client_condition,
+            fragment.store_table, fragment.store_condition,
+            (("Customer.Id", "Cid"),),
+        )
+        mapping.replace_fragments(
+            [f for f in mapping.fragments if not f.is_association] + [broken]
+        )
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+    def test_domain_containment_enforced(self):
+        """dom(A) ⊆ dom(f(A)): an int attribute cannot map to a string col."""
+        mapping = mapping_stage4()
+        broken = MappingFragment(
+            "Persons", False, IsOf("Customer"), "Client", TRUE,
+            (("Id", "Cid"), ("Name", "Name"), ("CredScore", "Addr"),
+             ("BillAddr", "Score")),
+        )
+        mapping.replace_fragments(mapping.fragments[:2] + [broken])
+        with pytest.raises(MappingError):
+            mapping.check_well_formed()
+
+
+class TestLookupIndex:
+    def test_fragments_for_table(self):
+        mapping = mapping_stage4()
+        assert len(mapping.fragments_for_table("Client")) == 2  # entity + assoc
+
+    def test_fragments_for_set(self):
+        mapping = mapping_stage4()
+        assert len(mapping.fragments_for_set("Persons")) == 3
+
+    def test_index_invalidation_on_mutation(self):
+        mapping = mapping_stage4()
+        before = mapping.mapped_tables()
+        mapping.add_fragment(
+            MappingFragment("Persons", False, IsOf("Person"), "HR", TRUE,
+                            (("Id", "Id"), ("Name", "Name")))
+        )
+        assert mapping.mapped_tables() == before  # same tables, new fragment
+        assert len(mapping.fragments_for_table("HR")) == 2
+
+    def test_column_is_mapped(self):
+        mapping = mapping_stage4()
+        assert mapping.column_is_mapped("Client", "Cid")
+        assert mapping.column_is_mapped("Client", "Eid")  # via store condition
+        assert not mapping.column_is_mapped("HR", "Zz")
+
+
+class TestInstanceSemantics:
+    def test_pair_in_mapping(self, stage4_compiled):
+        mapping = stage4_compiled.mapping
+        state = figure1_state(mapping.client_schema)
+        store = apply_update_views(stage4_compiled.views, state, mapping.store_schema)
+        assert in_mapping(mapping, state, store)
+
+    def test_pair_not_in_mapping_when_row_missing(self, stage4_compiled):
+        mapping = stage4_compiled.mapping
+        state = figure1_state(mapping.client_schema)
+        store = StoreState(mapping.store_schema)  # empty store
+        bad = unsatisfied_fragments(mapping, state, store)
+        assert bad  # every populated fragment equation is violated
+
+    def test_fragment_satisfied_is_per_fragment(self, stage4_compiled):
+        mapping = stage4_compiled.mapping
+        state = figure1_state(mapping.client_schema)
+        store = apply_update_views(stage4_compiled.views, state, mapping.store_schema)
+        for fragment in mapping.fragments:
+            assert fragment_satisfied(fragment, state, store)
+
+    def test_empty_states_trivially_in_mapping(self, stage4_compiled):
+        mapping = stage4_compiled.mapping
+        assert in_mapping(
+            mapping,
+            ClientState(mapping.client_schema),
+            StoreState(mapping.store_schema),
+        )

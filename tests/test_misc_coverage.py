@@ -1,0 +1,143 @@
+"""Remaining behaviour coverage: error taxonomy, budgets, renderings,
+paper-example stages."""
+
+import time
+
+import pytest
+
+from repro.budget import WorkBudget
+from repro.errors import (
+    CompilationBudgetExceeded,
+    EvaluationError,
+    MappingError,
+    ReproError,
+    SchemaError,
+    SmoError,
+    ValidationError,
+)
+
+
+class TestErrorTaxonomy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            SchemaError,
+            MappingError,
+            ValidationError,
+            SmoError,
+            EvaluationError,
+            CompilationBudgetExceeded,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_validation_error_carries_check(self):
+        err = ValidationError("boom", check="coverage")
+        assert err.check == "coverage"
+        assert ValidationError("boom").check == "validation"
+
+    def test_budget_error_carries_elapsed(self):
+        err = CompilationBudgetExceeded("late", elapsed=1.5)
+        assert err.elapsed == 1.5
+
+
+class TestWorkBudgetClock:
+    def test_wall_clock_budget_trips_after_stride(self):
+        budget = WorkBudget(max_seconds=0.01)
+        time.sleep(0.02)
+        with pytest.raises(CompilationBudgetExceeded):
+            # needs enough ticks to cross the clock-check stride
+            for _ in range(10000):
+                budget.tick()
+
+    def test_bulk_ticks(self):
+        budget = WorkBudget(max_steps=100)
+        budget.tick(50)
+        budget.tick(50)
+        with pytest.raises(CompilationBudgetExceeded):
+            budget.tick(1)
+
+
+class TestRenderings:
+    def test_union_all_sql(self):
+        from repro.algebra import (
+            Project,
+            TableScan,
+            UnionAll,
+            items_from_names,
+            query_to_sql,
+        )
+
+        q = UnionAll(
+            (
+                Project(TableScan("A"), items_from_names(["x"])),
+                Project(TableScan("B"), items_from_names(["x"])),
+            )
+        )
+        text = query_to_sql(q)
+        assert "UNION ALL" in text
+
+    def test_join_sql_keywords(self):
+        from repro.algebra import (
+            FullOuterJoin,
+            Join,
+            LeftOuterJoin,
+            TableScan,
+            query_to_sql,
+        )
+
+        assert "NATURAL JOIN" in query_to_sql(Join(TableScan("A"), TableScan("B")))
+        assert "LEFT OUTER" in query_to_sql(
+            LeftOuterJoin(TableScan("A"), TableScan("B"))
+        )
+        assert "FULL OUTER" in query_to_sql(
+            FullOuterJoin(TableScan("A"), TableScan("B"))
+        )
+
+    def test_literal_booleans(self):
+        from repro.algebra import Comparison, condition_to_sql
+
+        assert condition_to_sql(Comparison("a", "=", True)).endswith("True")
+        assert condition_to_sql(Comparison("a", "=", False)).endswith("False")
+
+    def test_query_node_strs(self):
+        from repro.algebra import Join, LeftOuterJoin, TableScan
+
+        assert "ON" in str(Join(TableScan("A"), TableScan("B"), on=("k",)))
+        assert "⟕" in str(LeftOuterJoin(TableScan("A"), TableScan("B")))
+
+    def test_fragment_str(self, stage4_mapping):
+        rendered = str(stage4_mapping.fragments[0])
+        assert "Persons" in rendered and "HR" in rendered and "=" in rendered
+
+
+class TestPaperExampleStages:
+    @pytest.mark.parametrize("stage", [1, 2, 3])
+    def test_intermediate_stages_compile(self, stage):
+        from repro.compiler import compile_mapping
+        from repro.workloads import paper_example
+
+        mapping = getattr(paper_example, f"mapping_stage{stage}")()
+        result = compile_mapping(mapping)
+        assert result.report is not None
+
+    def test_stage2_original_phi1_still_valid(self):
+        """Σ2 = {ϕ1, ϕ2} with the *unadapted* ϕ1 is valid (Example 1-3):
+        without Customer in the schema, IS OF Person covers exactly
+        Person ∪ Employee."""
+        from repro.compiler import compile_mapping
+        from repro.workloads.paper_example import mapping_stage2
+
+        compile_mapping(mapping_stage2())
+
+
+class TestAssociationAccessors:
+    def test_end_for_role_error(self, stage4_mapping):
+        association = stage4_mapping.client_schema.association("Supports")
+        assert association.end_for_role("Customer").entity_type == "Customer"
+        with pytest.raises(SchemaError):
+            association.end_for_role("Nobody")
+
+    def test_multiplicity_str(self):
+        from repro.edm import Multiplicity
+
+        assert str(Multiplicity.MANY) == "*"
+        assert str(Multiplicity.ZERO_OR_ONE) == "0..1"

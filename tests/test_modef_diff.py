@@ -1,0 +1,185 @@
+"""Unit tests: model diff (Section 1.2) and MoDEF inference (Section 4.1)."""
+
+import pytest
+
+from repro.compiler import compile_mapping
+from repro.edm import (
+    Attribute,
+    ClientSchemaBuilder,
+    ClientState,
+    Entity,
+    INT,
+    STRING,
+)
+from repro.edm.diff import (
+    AddedAssociation,
+    AddedAttribute,
+    AddedEntityType,
+    DroppedAssociation,
+    DroppedEntityType,
+    diff_client_schemas,
+)
+from repro.errors import SchemaError
+from repro.incremental import CompiledModel, IncrementalCompiler
+from repro.mapping import check_roundtrip
+from repro.modef import TPC, TPH, TPT, infer_style, primary_table_of, smos_from_diff
+from repro.workloads.hub_rim import hub_rim_mapping
+from repro.workloads.paper_example import (
+    client_schema_stage1,
+    client_schema_stage4,
+    mapping_stage1,
+    mapping_stage4,
+)
+
+
+class TestDiff:
+    def test_empty_diff(self):
+        schema = client_schema_stage4()
+        assert diff_client_schemas(schema, schema) == []
+
+    def test_added_types_parent_first(self):
+        edits = diff_client_schemas(client_schema_stage1(), client_schema_stage4())
+        added = [e for e in edits if isinstance(e, AddedEntityType)]
+        assert {e.name for e in added} == {"Employee", "Customer"}
+        assoc = [e for e in edits if isinstance(e, AddedAssociation)]
+        assert len(assoc) == 1 and assoc[0].association.name == "Supports"
+
+    def test_drops_before_adds(self):
+        old = client_schema_stage4()
+        new = client_schema_stage1()
+        edits = diff_client_schemas(old, new)
+        kinds = [type(e).__name__ for e in edits]
+        assert kinds.index("DroppedAssociation") < kinds.index("DroppedEntityType")
+
+    def test_leaf_first_drop_order(self):
+        old = (
+            ClientSchemaBuilder()
+            .entity("A", key=[("Id", INT)])
+            .entity("B", parent="A")
+            .entity("C", parent="B")
+            .entity_set("As", "A")
+            .build()
+        )
+        new = (
+            ClientSchemaBuilder()
+            .entity("A", key=[("Id", INT)])
+            .entity_set("As", "A")
+            .build()
+        )
+        edits = diff_client_schemas(old, new)
+        names = [e.name for e in edits if isinstance(e, DroppedEntityType)]
+        assert names == ["C", "B"]
+
+    def test_added_attribute(self):
+        old = client_schema_stage4()
+        new = client_schema_stage4()
+        new.add_attribute("Employee", Attribute("Title", STRING))
+        edits = diff_client_schemas(old, new)
+        assert edits == [AddedAttribute("Employee", Attribute("Title", STRING))]
+
+    def test_attribute_removal_unsupported(self):
+        old = client_schema_stage4()
+        new = (
+            ClientSchemaBuilder()
+            .entity("Person", key=[("Id", INT)])
+            .entity_set("Persons", "Person")
+            .build()
+        )
+        # Person loses Name
+        with pytest.raises(SchemaError):
+            diff_client_schemas(old, new)
+
+    def test_new_root_unsupported(self):
+        old = client_schema_stage1()
+        new = (
+            ClientSchemaBuilder()
+            .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+            .entity("Island", key=[("K", INT)])
+            .entity_set("Persons", "Person")
+            .entity_set("Islands", "Island")
+            .build()
+        )
+        with pytest.raises(SchemaError):
+            diff_client_schemas(old, new)
+
+
+class TestInference:
+    def test_tph_inferred(self):
+        mapping = hub_rim_mapping(2, 1, "TPH")
+        model = CompiledModel(mapping, compile_mapping(mapping).views)
+        inference = infer_style(model, "Hub2")
+        assert inference.style == TPH
+        assert inference.tph_table == "Big"
+        assert inference.discriminator_column == "Disc"
+
+    def test_tpt_inferred(self):
+        mapping = hub_rim_mapping(2, 1, "TPT")
+        model = CompiledModel(mapping, compile_mapping(mapping).views)
+        assert infer_style(model, "Hub2").style == TPT
+
+    def test_tpc_inferred(self, incrementally_evolved):
+        """Customer maps all attributes (inherited included) into Client."""
+        assert infer_style(incrementally_evolved, "Customer").style == TPC
+
+    def test_primary_table(self, incrementally_evolved):
+        assert primary_table_of(incrementally_evolved, "Employee") == "Emp"
+        assert primary_table_of(incrementally_evolved, "Customer") == "Client"
+
+
+class TestSmosFromDiff:
+    def test_full_figure1_evolution(self):
+        mapping = mapping_stage1()
+        model = CompiledModel(mapping, compile_mapping(mapping).views)
+        smos = smos_from_diff(model, client_schema_stage4(),
+                              style_overrides={"Customer": "TPC"})
+        results = IncrementalCompiler().apply_all(model, smos)
+        final = results[-1].model
+        assert final.client_schema.has_association("Supports")
+
+        state = ClientState(final.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        state.add_entity(
+            "Persons", Entity.of("Employee", Id=2, Name="b", Department="d")
+        )
+        state.add_entity(
+            "Persons", Entity.of("Customer", Id=3, Name="c", CredScore=1, BillAddr="x")
+        )
+        state.add_association("Supports", (3,), (2,))
+        assert check_roundtrip(final.views, state, final.store_schema).ok
+
+    def test_round_trip_to_empty_diff(self):
+        """After applying the generated SMOs, diffing again yields nothing."""
+        mapping = mapping_stage1()
+        model = CompiledModel(mapping, compile_mapping(mapping).views)
+        target = client_schema_stage4()
+        smos = smos_from_diff(model, target, style_overrides={"Customer": "TPC"})
+        results = IncrementalCompiler().apply_all(model, smos)
+        final = results[-1].model
+        assert diff_client_schemas(final.client_schema, target) == []
+
+    def test_many_to_many_gets_join_table(self, stage4_compiled):
+        target = stage4_compiled.client_schema.clone()
+        from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
+
+        target.add_association(
+            AssociationSet(
+                "Mentors",
+                AssociationEnd("Employee", Multiplicity.MANY, role="mentor"),
+                AssociationEnd("Employee", Multiplicity.MANY, role="mentee"),
+                "Persons",
+                "Persons",
+            )
+        )
+        smos = smos_from_diff(stage4_compiled, target)
+        results = IncrementalCompiler().apply_all(stage4_compiled, smos)
+        final = results[-1].model
+        assert final.store_schema.has_table("Mentors")
+        assert final.mapping.fragment_for_association("Mentors").store_table == "Mentors"
+
+    def test_dropped_association_generates_drop(self, incrementally_evolved):
+        target = incrementally_evolved.client_schema.clone()
+        target.drop_association("Supports")
+        smos = smos_from_diff(incrementally_evolved, target)
+        results = IncrementalCompiler().apply_all(incrementally_evolved, smos)
+        final = results[-1].model
+        assert not final.client_schema.has_association("Supports")

@@ -1,0 +1,146 @@
+"""Unit tests: model persistence (save/load round-trips, resume sessions)."""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, STRING
+from repro.errors import MappingError
+from repro.incremental import CompiledModel, IncrementalCompiler
+from repro.mapping import check_roundtrip
+from repro.msl import (
+    condition_from_json,
+    condition_to_json,
+    constructor_from_json,
+    constructor_to_json,
+    dumps_model,
+    load_model,
+    loads_model,
+    query_from_json,
+    query_to_json,
+    save_model,
+)
+
+from tests.conftest import employee_smo, figure1_state
+
+
+class TestAstRoundtrips:
+    def test_conditions(self, stage4_compiled):
+        for fragment in stage4_compiled.mapping.fragments:
+            for condition in (fragment.client_condition, fragment.store_condition):
+                data = condition_to_json(condition)
+                json.dumps(data)  # must be JSON-serializable
+                assert condition_from_json(data) == condition
+
+    def test_queries_and_constructors(self, stage4_compiled):
+        views = stage4_compiled.views
+        for view in list(views.query_views.values()) + list(
+            views.update_views.values()
+        ):
+            q = query_to_json(view.query)
+            json.dumps(q)
+            assert query_from_json(q) == view.query
+            c = constructor_to_json(view.constructor)
+            json.dumps(c)
+            assert constructor_from_json(c) == view.constructor
+
+
+class TestModelRoundtrip:
+    def test_save_load_identity(self, stage4_compiled):
+        document = save_model(stage4_compiled)
+        restored = load_model(document)
+        assert [str(f) for f in restored.mapping.fragments] == [
+            str(f) for f in stage4_compiled.mapping.fragments
+        ]
+        assert set(restored.views.query_views) == set(
+            stage4_compiled.views.query_views
+        )
+
+    def test_restored_views_still_roundtrip(self, stage4_compiled):
+        restored = loads_model(dumps_model(stage4_compiled))
+        state = figure1_state(restored.client_schema)
+        assert check_roundtrip(restored.views, state, restored.store_schema).ok
+
+    def test_resume_incremental_session(self, stage4_compiled):
+        """Persist, reload, continue evolving — the Figure 7 workflow."""
+        restored = loads_model(dumps_model(stage4_compiled))
+        smo_factory = __import__(
+            "repro.bench.smo_suite", fromlist=["ae_tpt"]
+        ).ae_tpt("Employee")
+        result = IncrementalCompiler().apply(restored, smo_factory(restored))
+        assert result.model.client_schema.descendants("Employee")
+
+    def test_format_version_checked(self, stage4_compiled):
+        document = save_model(stage4_compiled)
+        document["format"] = 99
+        with pytest.raises(MappingError):
+            load_model(document)
+
+    def test_incrementally_evolved_model_persists(self, incrementally_evolved):
+        restored = loads_model(dumps_model(incrementally_evolved))
+        state = figure1_state(restored.client_schema)
+        assert check_roundtrip(restored.views, state, restored.store_schema).ok
+
+    def test_deep_hierarchy_parent_ordering(self, stage1_compiled):
+        """Deserialization tolerates types listed child-before-parent."""
+        compiler = IncrementalCompiler()
+        model = compiler.apply(stage1_compiled, employee_smo(stage1_compiled)).model
+        document = save_model(model)
+        document["clientSchema"]["entityTypes"].reverse()
+        restored = load_model(document)
+        assert restored.client_schema.has_entity_type("Employee")
+
+    def test_enum_domains_survive(self, stage1_compiled):
+        from repro.edm import enum_domain
+        from repro.incremental import AddEntityPart, Partition
+        from repro.algebra import Comparison
+
+        smo = AddEntityPart(
+            name="G", parent="Person",
+            new_attributes=(Attribute("g", enum_domain("M", "F")),),
+            anchor="Person",
+            partitions=(
+                Partition.of(("Id",), Comparison("g", "=", "M"), "Ms"),
+                Partition.of(("Id",), Comparison("g", "=", "F"), "Fs"),
+            ),
+        )
+        model = IncrementalCompiler().apply(stage1_compiled, smo).model
+        restored = loads_model(dumps_model(model))
+        attribute = restored.client_schema.attribute_of("G", "g")
+        assert attribute.domain.values == frozenset({"M", "F"})
+
+
+class TestWorkloadPersistence:
+    """Serialization round-trips across mapping styles and random models."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_random_mappings_roundtrip(self, seed):
+        from repro.compiler import generate_views
+        from repro.incremental import CompiledModel
+        from repro.workloads.randomgen import random_mapping
+
+        mapping = random_mapping(seed=seed)
+        model = CompiledModel(mapping, generate_views(mapping))
+        restored = loads_model(dumps_model(model))
+        assert [str(f) for f in restored.mapping.fragments] == [
+            str(f) for f in mapping.fragments
+        ]
+        from repro.mapping import check_roundtrip
+        from repro.stategen import random_client_state
+
+        state = random_client_state(restored.client_schema, seed=1,
+                                    entities_per_set=3)
+        assert check_roundtrip(restored.views, state, restored.store_schema).ok
+
+    def test_hub_rim_tph_roundtrip(self):
+        from repro.compiler import generate_views
+        from repro.incremental import CompiledModel
+        from repro.workloads.hub_rim import hub_rim_mapping
+
+        mapping = hub_rim_mapping(2, 2, "TPH")
+        model = CompiledModel(mapping, generate_views(mapping))
+        restored = loads_model(dumps_model(model))
+        # joins with explicit `on` survive
+        view = restored.views.query_views["Hub1"]
+        assert view.query == model.views.query_views["Hub1"].query

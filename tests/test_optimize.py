@@ -1,0 +1,105 @@
+"""Tests: the query-view optimizer (Section 6's FOJ → LOJ/UNION ALL)."""
+
+import pytest
+
+from repro.algebra import LeftOuterJoin, Select, UnionAll
+from repro.compiler import compile_mapping, optimize_views
+from repro.mapping.equivalence import compare_views
+from repro.workloads.hub_rim import hub_rim_mapping
+from repro.workloads.paper_example import mapping_stage4
+
+
+class TestFigure2Shape:
+    def test_foj_becomes_louter_and_union(self, stage4_mapping):
+        result = compile_mapping(stage4_mapping)
+        optimized = optimize_views(stage4_mapping, result.views)
+        query = optimized.query_view("Person").query
+        assert isinstance(query, Select)
+        assert isinstance(query.source, UnionAll)
+        louter_branch = query.source.branches[0]
+        assert isinstance(louter_branch, LeftOuterJoin)
+
+    def test_case_guards_minimized(self, stage4_mapping):
+        """Figure 2: Employee's branch tests only its own flag; Person's
+        tests its flag plus NOT Employee's."""
+        result = compile_mapping(stage4_mapping)
+        optimized = optimize_views(stage4_mapping, result.views)
+        ctor = optimized.query_view("Person").constructor
+        rendered = str(ctor)
+        assert "_from1 = True" in rendered
+        # Customer's branch needs no negatives (nothing extends it)
+        first_branch = ctor.condition
+        assert "NOT" not in str(first_branch)
+
+    def test_optimized_views_equivalent(self, stage4_mapping):
+        result = compile_mapping(stage4_mapping)
+        optimized = optimize_views(stage4_mapping, result.views)
+        comparison = compare_views(stage4_mapping, result.views, optimized)
+        assert comparison.equivalent, str(comparison)
+
+
+class TestWorkloadOptimization:
+    @pytest.mark.parametrize("style", ["TPH", "TPT"])
+    def test_hub_rim_equivalent(self, style):
+        mapping = hub_rim_mapping(2, 2, style)
+        result = compile_mapping(mapping)
+        optimized = optimize_views(mapping, result.views)
+        comparison = compare_views(mapping, result.views, optimized)
+        assert comparison.equivalent, str(comparison)
+
+    def test_tph_all_unions(self):
+        """Pure TPH fragments are pairwise disjoint: the optimized set
+        query is a UNION ALL with no outer joins at all."""
+        mapping = hub_rim_mapping(1, 2, "TPH")
+        result = compile_mapping(mapping, optimize=True)
+        query = result.views.query_view("Hub1").query
+        assert isinstance(query.source, UnionAll)
+        assert not any(
+            isinstance(node, LeftOuterJoin) for node in query.walk()
+        )
+
+    def test_compile_mapping_optimize_flag(self, stage4_mapping):
+        raw = compile_mapping(stage4_mapping)
+        opt = compile_mapping(stage4_mapping, optimize=True)
+        raw_size = sum(1 for _ in raw.views.query_view("Person").query.walk())
+        opt_size = sum(1 for _ in opt.views.query_view("Person").query.walk())
+        assert opt_size <= raw_size
+
+    def test_partitioned_mapping_equivalent(self):
+        """AddEntityPart-style fragments (overlapping conditions) still
+        optimize safely — overlap falls back to a full outer join."""
+        from repro.algebra import Comparison, IsOf, TRUE, and_
+        from repro.edm import ClientSchemaBuilder, INT, STRING
+        from repro.mapping import Mapping, MappingFragment
+        from repro.relational import Column, StoreSchema, Table
+
+        schema = (
+            ClientSchemaBuilder()
+            .entity("R", key=[("id", INT)], attrs=[("v", INT), ("n", STRING)])
+            .entity_set("Rs", "R")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table("Pos", (Column("id", INT, False), Column("v", INT)), ("id",)),
+                Table("Neg", (Column("id", INT, False), Column("v", INT)), ("id",)),
+                Table("Names", (Column("id", INT, False), Column("n", STRING)), ("id",)),
+            ]
+        )
+        mapping = Mapping(
+            schema, store,
+            [
+                MappingFragment("Rs", False,
+                                and_(IsOf("R"), Comparison("v", ">=", 0)),
+                                "Pos", TRUE, (("id", "id"), ("v", "v"))),
+                MappingFragment("Rs", False,
+                                and_(IsOf("R"), Comparison("v", "<", 0)),
+                                "Neg", TRUE, (("id", "id"), ("v", "v"))),
+                MappingFragment("Rs", False, IsOf("R"),
+                                "Names", TRUE, (("id", "id"), ("n", "n"))),
+            ],
+        )
+        result = compile_mapping(mapping)
+        optimized = optimize_views(mapping, result.views)
+        comparison = compare_views(mapping, result.views, optimized)
+        assert comparison.equivalent, str(comparison)

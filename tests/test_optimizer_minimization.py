@@ -1,0 +1,77 @@
+"""Unit tests: CASE-guard minimization in the view optimizer."""
+
+import pytest
+
+from repro.compiler import SetAnalysis
+from repro.compiler.optimize import minimized_branch_condition
+from repro.containment.spaces import ClientConditionSpace
+from repro.workloads.paper_example import mapping_stage4
+
+
+@pytest.fixture
+def figure1_parts():
+    mapping = mapping_stage4()
+    analysis = SetAnalysis(mapping, "Persons")
+    conditions = [f.client_condition for f in analysis.fragments]
+    space = ClientConditionSpace(mapping.client_schema, "Persons", conditions)
+    cells = {c.concrete_type: c for c in analysis.all_cells()}
+    return space, cells, list(cells.values())
+
+
+def test_employee_guard_is_single_positive(figure1_parts):
+    """IS OF Employee implies the widened HR condition, so _from1 alone
+    identifies the Employee cell — Figure 2's `WHEN T5._from2`."""
+    space, cells, all_cells = figure1_parts
+    condition = minimized_branch_condition(cells["Employee"], all_cells, space)
+    rendered = str(condition)
+    assert "_from1" in rendered
+    assert "_from0" not in rendered
+    assert "NOT" not in rendered
+
+
+def test_person_guard_keeps_one_negative(figure1_parts):
+    """Person's signature {0} is extended by Employee's {0,1}: the guard
+    needs _from0 plus NOT _from1 — and nothing about _from2."""
+    space, cells, all_cells = figure1_parts
+    condition = minimized_branch_condition(cells["Person"], all_cells, space)
+    rendered = str(condition)
+    assert "_from0" in rendered
+    assert "NOT (_from1" in rendered
+    assert "_from2" not in rendered
+
+
+def test_customer_guard_needs_no_negatives(figure1_parts):
+    space, cells, all_cells = figure1_parts
+    condition = minimized_branch_condition(cells["Customer"], all_cells, space)
+    rendered = str(condition)
+    assert rendered == "_from2 = True"
+
+
+def test_minimized_guards_still_distinguish_all_cells(figure1_parts):
+    """Every cell satisfies its own minimized guard and no other cell's —
+    the invariant that makes minimization safe."""
+    space, cells, all_cells = figure1_parts
+    from repro.algebra.conditions import evaluate_condition
+
+    class _FlagRow:
+        def __init__(self, signature):
+            self.signature = signature
+
+        def attr_value(self, name):
+            index = int(name.replace("_from", ""))
+            return True if index in self.signature else None
+
+        def is_of(self, type_name, only):  # pragma: no cover
+            raise AssertionError("no type atoms in flag guards")
+
+    guards = {
+        name: minimized_branch_condition(cell, all_cells, space)
+        for name, cell in cells.items()
+    }
+    for name, cell in cells.items():
+        row = _FlagRow(cell.signature)
+        for other_name, guard in guards.items():
+            holds = evaluate_condition(guard, row)
+            assert holds == (other_name == name), (
+                f"cell {name} vs guard {other_name}"
+            )

@@ -1,0 +1,321 @@
+"""End-to-end replay of the paper's worked examples (Sections 2-3).
+
+Examples 1-7 evolve the Figure 1 model step by step; these tests check
+that the incremental compiler produces the documented fragments and views
+and that everything roundtrips, including equivalence with a full
+compilation of the same mapping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    Comparison,
+    IsNotNull,
+    IsOf,
+    IsOfOnly,
+    Join,
+    LeftOuterJoin,
+    Or,
+    Project,
+    Select,
+    UnionAll,
+    evaluate_query,
+    StoreContext,
+    ClientContext,
+)
+from repro.algebra.constructors import EntityCtor, IfCtor
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, ClientState, Entity, INT, STRING
+from repro.errors import ValidationError
+from repro.incremental import (
+    AddAssociationFK,
+    AddEntity,
+    CompiledModel,
+    IncrementalCompiler,
+)
+from repro.mapping import apply_query_views, apply_update_views, check_roundtrip
+from repro.relational import ForeignKey
+
+from tests.conftest import customer_smo, employee_smo, figure1_state, supports_smo
+
+
+class TestExample1And2:
+    """AddEntity(Employee, Person, (Id, Department), Person, Emp, f_E)."""
+
+    def test_new_fragment_phi2(self, stage1_compiled):
+        model = IncrementalCompiler().apply(
+            stage1_compiled, employee_smo(stage1_compiled)
+        ).model
+        phi2 = model.mapping.fragments[-1]
+        assert phi2.client_source == "Persons"
+        assert phi2.client_condition == IsOf("Employee")
+        assert phi2.store_table == "Emp"
+        assert phi2.attribute_map == (("Id", "Id"), ("Department", "Dept"))
+
+    def test_phi1_unchanged(self, stage1_compiled):
+        """ϕ1 has no IS OF (ONLY Person) atom, so it is not rewritten."""
+        model = IncrementalCompiler().apply(
+            stage1_compiled, employee_smo(stage1_compiled)
+        ).model
+        phi1 = model.mapping.fragments[0]
+        assert phi1.client_condition == IsOf("Person")
+
+    def test_employee_query_view_is_join(self, stage1_compiled):
+        """Q2_Employee = Q1_Person ⋈ π_{Id, Dept AS Department}(Emp)."""
+        model = IncrementalCompiler().apply(
+            stage1_compiled, employee_smo(stage1_compiled)
+        ).model
+        view = model.views.query_view("Employee")
+        assert isinstance(view.query, Join)
+        assert isinstance(view.constructor, EntityCtor)
+        assert view.constructor.type_name == "Employee"
+
+    def test_person_query_view_is_louter(self, stage1_compiled):
+        """Q2_Person = Q1_Person ⟕ π_{..., true AS tE}(Emp) with τ an
+        if-then-else over tE (Example 2)."""
+        model = IncrementalCompiler().apply(
+            stage1_compiled, employee_smo(stage1_compiled)
+        ).model
+        view = model.views.query_view("Person")
+        assert isinstance(view.query, LeftOuterJoin)
+        assert isinstance(view.constructor, IfCtor)
+        assert view.constructor.then_ctor.type_name == "Employee"
+        assert view.constructor.else_ctor.constructed_types() == ("Person",)
+
+    def test_validation_runs_fk_check(self, stage1_compiled):
+        """Example 6: the Emp.Id → HR.Id check must run and pass."""
+        smo = employee_smo(stage1_compiled)
+        IncrementalCompiler().apply(stage1_compiled, smo)
+        assert smo.validation_checks == 1
+
+
+class TestExample4And5:
+    """AddEntity(Customer, Person, ..., NIL, Client, f_C) — the TPC case."""
+
+    @pytest.fixture
+    def stage_after_customer(self, stage1_compiled):
+        compiler = IncrementalCompiler()
+        model = compiler.apply(stage1_compiled, employee_smo(stage1_compiled)).model
+        return compiler.apply(model, customer_smo(model)).model
+
+    def test_phi1_rewritten_to_only_or_employee(self, stage_after_customer):
+        """Example 5: IS OF Person becomes IS OF (ONLY Person) ∨ IS OF
+        Employee, excluding the new Customer entities."""
+        phi1 = stage_after_customer.mapping.fragments[0]
+        assert isinstance(phi1.client_condition, Or)
+        operands = set(phi1.client_condition.operands)
+        assert IsOfOnly("Person") in operands
+        assert IsOf("Employee") in operands
+
+    def test_customer_query_view_reads_client_only(self, stage_after_customer):
+        """P = NIL: Q3_Customer is built from Client alone (line 5)."""
+        view = stage_after_customer.views.query_view("Customer")
+        assert not isinstance(view.query, (Join, LeftOuterJoin, UnionAll))
+
+    def test_person_query_view_is_union(self, stage_after_customer):
+        """Lines 17-19: Q3_Person = Q2_Person ∪ Qaux."""
+        view = stage_after_customer.views.query_view("Person")
+        assert isinstance(view.query, UnionAll)
+
+    def test_person_constructor_matches_figure2(self, stage_after_customer):
+        """τ3_Person: if t_C then Customer else if t_E then Employee else
+        Person (Example 4 / Figure 2)."""
+        ctor = stage_after_customer.views.query_view("Person").constructor
+        assert isinstance(ctor, IfCtor)
+        assert ctor.then_ctor.type_name == "Customer"
+        inner = ctor.else_ctor
+        assert isinstance(inner, IfCtor)
+        assert inner.then_ctor.type_name == "Employee"
+        assert inner.else_ctor.type_name == "Person"
+
+    def test_employee_query_view_unchanged(self, stage1_compiled):
+        compiler = IncrementalCompiler()
+        model = compiler.apply(stage1_compiled, employee_smo(stage1_compiled)).model
+        before = model.views.query_view("Employee")
+        model = compiler.apply(model, customer_smo(model)).model
+        assert model.views.query_view("Employee") is before
+
+    def test_hr_update_view_condition_rewritten(self, stage_after_customer):
+        """Example 4: Q3_HR selects IS OF (ONLY Person) ∨ IS OF Employee."""
+        view = stage_after_customer.views.update_view("HR")
+        selects = [n for n in view.query.walk() if isinstance(n, Select)]
+        assert any(isinstance(s.condition, Or) for s in selects)
+
+
+class TestExample7:
+    """AddAssocFK(Supports, Customer, Employee, [* — 0..1], Client, f_S)."""
+
+    def test_three_validation_scenarios_pass(self, incrementally_evolved):
+        assert incrementally_evolved.client_schema.has_association("Supports")
+        fragment = incrementally_evolved.mapping.fragment_for_association("Supports")
+        assert fragment is not None
+        assert fragment.store_table == "Client"
+        assert fragment.store_condition == IsNotNull("Eid")
+
+    def test_client_update_view_louter_joins_supports(self, incrementally_evolved):
+        view = incrementally_evolved.views.update_view("Client")
+        assert isinstance(view.query, LeftOuterJoin)
+
+    def test_association_query_view(self, incrementally_evolved):
+        view = incrementally_evolved.views.association_view("Supports")
+        selects = [n for n in view.query.walk() if isinstance(n, Select)]
+        assert any(s.condition == IsNotNull("Eid") for s in selects)
+
+
+class TestEndToEndEquivalence:
+    """The incremental views and the full compiler's views are equivalent."""
+
+    def test_incremental_roundtrips(self, incrementally_evolved):
+        state = figure1_state(incrementally_evolved.client_schema)
+        report = check_roundtrip(
+            incrementally_evolved.views, state, incrementally_evolved.store_schema
+        )
+        assert report.ok, str(report)
+
+    def test_full_compile_of_evolved_mapping_roundtrips(self, incrementally_evolved):
+        result = compile_mapping(incrementally_evolved.mapping.clone())
+        state = figure1_state(incrementally_evolved.client_schema)
+        report = check_roundtrip(
+            result.views, state, incrementally_evolved.store_schema
+        )
+        assert report.ok, str(report)
+
+    def test_same_store_state_from_both_compilers(self, incrementally_evolved):
+        """V_incremental(c) == V_full(c): both compilers translate updates
+        identically."""
+        full = compile_mapping(incrementally_evolved.mapping.clone())
+        state = figure1_state(incrementally_evolved.client_schema)
+        store_incremental = apply_update_views(
+            incrementally_evolved.views, state, incrementally_evolved.store_schema
+        )
+        store_full = apply_update_views(
+            full.views, state, incrementally_evolved.store_schema
+        )
+        assert store_incremental.equals(store_full)
+
+    def test_incremental_equals_stage4_reference(
+        self, incrementally_evolved, stage4_mapping
+    ):
+        """The incrementally evolved fragments define the same mapping as
+        the hand-written Σ4 of Figure 1: same store state for any client
+        state (checked on a representative one)."""
+        reference = compile_mapping(stage4_mapping)
+        state = figure1_state(stage4_mapping.client_schema)
+        store_reference = apply_update_views(
+            reference.views, state, stage4_mapping.store_schema
+        )
+        state2 = figure1_state(incrementally_evolved.client_schema)
+        store_incremental = apply_update_views(
+            incrementally_evolved.views, state2, incrementally_evolved.store_schema
+        )
+        assert store_reference.equals(store_incremental)
+
+
+class TestFigure6Rejection:
+    """The TPC foreign-key violation scenario of Figure 6 must abort.
+
+    E' and association A exist; A's endpoint keys live in table R with a
+    foreign key to E''s key table S.  Adding E as TPC to a fresh table T
+    moves E's keys out of S, so an E entity participating in A would
+    dangle — validation check 1/2 of Section 3.1.4 must fail.
+    """
+
+    @pytest.fixture
+    def base_model(self):
+        from repro.algebra.conditions import TRUE
+        from repro.edm import ClientSchemaBuilder
+        from repro.mapping import Mapping, MappingFragment
+        from repro.relational import Column, StoreSchema, Table
+
+        schema = (
+            ClientSchemaBuilder()
+            .entity("EPrime", key=[("Id", INT)], attrs=[("Name", STRING)])
+            .entity("Other", key=[("Oid", INT)])
+            .entity_set("EPrimes", "EPrime")
+            .entity_set("Others", "Other")
+            .association("A", "Other", "EPrime", mult1="*", mult2="0..1")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table(
+                    "S",
+                    (Column("Id", INT, False), Column("Name", STRING)),
+                    ("Id",),
+                ),
+                Table(
+                    "R",
+                    (
+                        Column("Oid", INT, False),
+                        Column("EKey", INT, True),
+                    ),
+                    ("Oid",),
+                    (ForeignKey(("EKey",), "S", ("Id",)),),
+                ),
+            ]
+        )
+        fragments = [
+            # E' entities into S
+            MappingFragment(
+                "EPrimes", False, IsOf("EPrime"), "S", TRUE,
+                (("Id", "Id"), ("Name", "Name")),
+            ),
+            # Other entities into R
+            MappingFragment(
+                "Others", False, IsOf("Other"), "R", TRUE, (("Oid", "Oid"),),
+            ),
+            # association A into R's EKey foreign-key column
+            MappingFragment(
+                "A", True, TRUE, "R", IsNotNull("EKey"),
+                (("Other.Oid", "Oid"), ("EPrime.Id", "EKey")),
+            ),
+        ]
+        from repro.mapping import Mapping as M
+
+        mapping = M(schema, store, fragments)
+        result = compile_mapping(mapping)
+        return CompiledModel(mapping, result.views)
+
+    def test_tpc_addition_rejected(self, base_model):
+        smo = AddEntity.tpc(
+            base_model,
+            "E",
+            "EPrime",
+            [Attribute("Extra", STRING)],
+            "T",
+            attr_map={"Id": "Id", "Name": "Name", "Extra": "Extra"},
+        )
+        with pytest.raises(ValidationError):
+            IncrementalCompiler().apply(base_model, smo)
+
+    def test_input_model_untouched_after_abort(self, base_model):
+        smo = AddEntity.tpc(
+            base_model,
+            "E",
+            "EPrime",
+            [Attribute("Extra", STRING)],
+            "T",
+            attr_map={"Id": "Id", "Name": "Name", "Extra": "Extra"},
+        )
+        with pytest.raises(ValidationError):
+            IncrementalCompiler().apply(base_model, smo)
+        assert not base_model.client_schema.has_entity_type("E")
+        assert not base_model.store_schema.has_table("T")
+        assert len(base_model.mapping.fragments) == 3
+
+    def test_tpt_addition_accepted(self, base_model):
+        """The same evolution mapped TPT keeps E keys flowing into S, so
+        it validates."""
+        smo = AddEntity.tpt(
+            base_model,
+            "E",
+            "EPrime",
+            [Attribute("Extra", STRING)],
+            "T",
+            attr_map={"Id": "Id", "Extra": "Extra"},
+            table_foreign_keys=[ForeignKey(("Id",), "S", ("Id",))],
+        )
+        evolved = IncrementalCompiler().apply(base_model, smo).model
+        assert evolved.client_schema.has_entity_type("E")

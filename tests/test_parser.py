@@ -1,0 +1,185 @@
+"""Unit tests: the Entity-SQL fragment parser (Figure 5 syntax)."""
+
+import pytest
+
+from repro.algebra import (
+    Comparison,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Or,
+    TRUE,
+)
+from repro.algebra.parser import parse_fragment, parse_fragments
+from repro.compiler import compile_mapping
+from repro.errors import MappingError
+from repro.mapping import Mapping
+from repro.workloads.paper_example import client_schema_stage4, store_schema
+
+FIGURE5_FIRST = """
+SELECT p.Id, p.Name
+FROM Persons p
+WHERE p IS OF Person
+=
+SELECT Id, Name
+FROM HR
+"""
+
+FIGURE5_SECOND = """
+SELECT e.Id, e.Department
+FROM Persons e
+WHERE e IS OF Employee
+=
+SELECT Id, Dept
+FROM Emp
+"""
+
+
+class TestParseFragment:
+    def test_figure5_first_fragment(self):
+        fragment = parse_fragment(FIGURE5_FIRST)
+        assert fragment.client_source == "Persons"
+        assert fragment.client_condition == IsOf("Person")
+        assert fragment.store_table == "HR"
+        assert fragment.store_condition == TRUE
+        assert fragment.attribute_map == (("Id", "Id"), ("Name", "Name"))
+
+    def test_figure5_second_fragment_renames(self):
+        fragment = parse_fragment(FIGURE5_SECOND)
+        assert fragment.attribute_map == (("Id", "Id"), ("Department", "Dept"))
+
+    def test_only_syntax(self):
+        fragment = parse_fragment(
+            "SELECT p.Id FROM Persons p WHERE p IS OF (ONLY Person) = "
+            "SELECT Id FROM HR"
+        )
+        assert fragment.client_condition == IsOfOnly("Person")
+
+    def test_or_and_combination(self):
+        fragment = parse_fragment(
+            "SELECT p.Id FROM Persons p "
+            "WHERE p IS OF (ONLY Person) OR p IS OF Employee AND p.Id > 3 = "
+            "SELECT Id FROM HR"
+        )
+        assert isinstance(fragment.client_condition, Or)
+
+    def test_parenthesised_condition(self):
+        fragment = parse_fragment(
+            "SELECT p.Id FROM Persons p WHERE (p IS OF Person) = "
+            "SELECT Id FROM HR"
+        )
+        assert fragment.client_condition == IsOf("Person")
+
+    def test_comparison_literals(self):
+        fragment = parse_fragment(
+            "SELECT p.Id FROM Persons p WHERE p.CredScore >= 700 = "
+            "SELECT Cid FROM Client"
+        )
+        assert fragment.client_condition == Comparison("CredScore", ">=", 700)
+
+    def test_string_literal_with_quote(self):
+        fragment = parse_fragment(
+            "SELECT p.Id FROM Persons p WHERE p.Name = 'O''Hara' = "
+            "SELECT Id FROM HR"
+        )
+        assert fragment.client_condition == Comparison("Name", "=", "O'Hara")
+
+    def test_null_tests(self):
+        fragment = parse_fragment(
+            "SELECT c.Cid FROM Client c WHERE c.Eid IS NOT NULL = "
+            "SELECT Cid FROM Client WHERE Eid IS NOT NULL"
+        )
+        assert fragment.store_condition == IsNotNull("Eid")
+
+    def test_store_side_condition(self):
+        fragment = parse_fragment(
+            "SELECT v.Id FROM Vehicles v WHERE v IS OF Car = "
+            "SELECT Id FROM V WHERE Disc = 'Car'"
+        )
+        assert fragment.store_condition == Comparison("Disc", "=", "Car")
+
+    def test_neq_spelling_variants(self):
+        f1 = parse_fragment(
+            "SELECT p.Id FROM Ps p WHERE p.X <> 1 = SELECT Id FROM T"
+        )
+        f2 = parse_fragment(
+            "SELECT p.Id FROM Ps p WHERE p.X != 1 = SELECT Id FROM T"
+        )
+        assert f1.client_condition == f2.client_condition == Comparison("X", "!=", 1)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(MappingError):
+            parse_fragment("SELECT p.Id, p.Name FROM Ps p = SELECT Id FROM T")
+
+    def test_is_of_on_store_side_rejected(self):
+        with pytest.raises(MappingError):
+            parse_fragment(
+                "SELECT p.Id FROM Ps p = SELECT Id FROM T WHERE IS OF X"
+            )
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(MappingError):
+            parse_fragment("SELECT p.Id FROM Ps p")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(MappingError):
+            parse_fragment("SELECT p.Id FROM Ps p = SELECT Id FROM T extra stuff")
+
+    def test_garbage_tokens_rejected(self):
+        with pytest.raises(MappingError):
+            parse_fragment("SELECT p.Id FROM Ps p = SELECT Id FROM T WHERE @")
+
+
+class TestParseFragments:
+    FULL_MAPPING = """
+    -- the Figure 1 mapping, in Figure 5 syntax
+    SELECT p.Id, p.Name
+    FROM Persons p
+    WHERE p IS OF (ONLY Person) OR p IS OF Employee
+    =
+    SELECT Id, Name
+    FROM HR
+
+    SELECT e.Id, e.Department
+    FROM Persons e
+    WHERE e IS OF Employee
+    =
+    SELECT Id, Dept
+    FROM Emp
+
+    SELECT c.Id, c.Name, c.CredScore, c.BillAddr
+    FROM Persons c
+    WHERE c IS OF Customer
+    =
+    SELECT Cid, Name, Score, Addr
+    FROM Client
+
+    SELECT s.Customer.Id, s.Employee.Id
+    FROM Supports s
+    =
+    SELECT Cid, Eid
+    FROM Client
+    WHERE Eid IS NOT NULL
+    """
+
+    def test_blocks_split_on_blank_lines(self):
+        fragments = parse_fragments(self.FULL_MAPPING)
+        assert len(fragments) == 4
+
+    def test_association_detected_by_qualified_attrs(self):
+        fragments = parse_fragments(self.FULL_MAPPING)
+        assert [f.is_association for f in fragments] == [False, False, False, True]
+
+    def test_parsed_mapping_compiles_and_validates(self):
+        """The textual Figure 1 mapping is exactly Σ4: it full-compiles."""
+        fragments = parse_fragments(self.FULL_MAPPING)
+        mapping = Mapping(client_schema_stage4(), store_schema(4), fragments)
+        result = compile_mapping(mapping)
+        assert result.report is not None
+
+    def test_comments_ignored(self):
+        fragments = parse_fragments(
+            "-- comment only\n" + FIGURE5_FIRST
+        )
+        assert len(fragments) == 1

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis).
+
+The properties tie the symbolic machinery to instance-level ground truth:
+
+* compiled mappings roundtrip on *arbitrary* legal client states, for the
+  full compiler and the incremental compiler alike, and both translate
+  updates identically;
+* the condition-space decision procedures (satisfiability, implication)
+  agree with brute-force evaluation on random entities;
+* structural simplification preserves semantics;
+* a positive containment verdict is never contradicted by a random state.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import (
+    ClientContext,
+    Col,
+    Comparison,
+    Condition,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Not,
+    ProjItem,
+    Project,
+    Select,
+    SetScan,
+    and_,
+    evaluate_condition,
+    evaluate_query,
+    or_,
+    simplify,
+)
+from repro.compiler import compile_mapping
+from repro.containment import ClientConditionSpace, check_containment
+from repro.edm import ClientState, Entity
+from repro.mapping import apply_update_views, check_roundtrip
+from repro.workloads.paper_example import client_schema_stage4, mapping_stage4
+
+# ---------------------------------------------------------------------------
+# State strategy over the Figure 1 schema
+# ---------------------------------------------------------------------------
+
+NAMES = st.sampled_from(["ann", "bob", "cid", "dee"])
+SCORES = st.sampled_from([0, 17, 18, 100, 700])
+ADDRS = st.sampled_from(["x", "y", "z"])
+DEPTS = st.sampled_from(["hr", "it"])
+
+
+@st.composite
+def figure1_states(draw):
+    schema = client_schema_stage4()
+    state = ClientState(schema)
+    n = draw(st.integers(min_value=0, max_value=6))
+    employees, customers = [], []
+    for ident in range(1, n + 1):
+        kind = draw(st.sampled_from(["Person", "Employee", "Customer"]))
+        name = draw(NAMES)
+        if kind == "Person":
+            state.add_entity("Persons", Entity.of("Person", Id=ident, Name=name))
+        elif kind == "Employee":
+            state.add_entity(
+                "Persons",
+                Entity.of("Employee", Id=ident, Name=name, Department=draw(DEPTS)),
+            )
+            employees.append(ident)
+        else:
+            state.add_entity(
+                "Persons",
+                Entity.of(
+                    "Customer", Id=ident, Name=name,
+                    CredScore=draw(SCORES), BillAddr=draw(ADDRS),
+                ),
+            )
+            customers.append(ident)
+    # associations: each customer supported by at most one employee
+    for customer in customers:
+        if employees and draw(st.booleans()):
+            state.add_association(
+                "Supports", (customer,), (draw(st.sampled_from(employees)),)
+            )
+    return state
+
+
+@pytest.fixture(scope="module")
+def compiled_pair():
+    """(full views, incremental views) for the same Figure 1 mapping."""
+    mapping = mapping_stage4()
+    full = compile_mapping(mapping)
+
+    from repro.compiler import compile_mapping as cm
+    from repro.incremental import IncrementalCompiler
+    from repro.workloads.paper_example import mapping_stage1
+    from tests.conftest import customer_smo, employee_smo, supports_smo
+    from repro.incremental import CompiledModel
+
+    base = mapping_stage1()
+    model = CompiledModel(base, cm(base).views)
+    compiler = IncrementalCompiler()
+    model = compiler.apply(model, employee_smo(model)).model
+    model = compiler.apply(model, customer_smo(model)).model
+    model = compiler.apply(model, supports_smo(model)).model
+    return mapping, full.views, model
+
+
+class TestRoundtripProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(state=figure1_states())
+    def test_full_compiler_roundtrips(self, compiled_pair, state):
+        mapping, full_views, _ = compiled_pair
+        report = check_roundtrip(full_views, state, mapping.store_schema)
+        assert report.ok, str(report)
+
+    @settings(max_examples=40, deadline=None)
+    @given(state=figure1_states())
+    def test_incremental_compiler_roundtrips(self, compiled_pair, state):
+        _, _, model = compiled_pair
+        embedded = state.embed_into(model.client_schema)
+        report = check_roundtrip(model.views, embedded, model.store_schema)
+        assert report.ok, str(report)
+
+    @settings(max_examples=40, deadline=None)
+    @given(state=figure1_states())
+    def test_both_compilers_same_store_state(self, compiled_pair, state):
+        mapping, full_views, model = compiled_pair
+        store_full = apply_update_views(full_views, state, mapping.store_schema)
+        embedded = state.embed_into(model.client_schema)
+        store_incr = apply_update_views(model.views, embedded, model.store_schema)
+        assert store_full.equals(store_incr)
+
+
+# ---------------------------------------------------------------------------
+# Condition strategies over the Figure 1 hierarchy
+# ---------------------------------------------------------------------------
+
+ATOMS = st.one_of(
+    st.sampled_from(
+        [
+            IsOf("Person"), IsOf("Employee"), IsOf("Customer"),
+            IsOfOnly("Person"), IsOfOnly("Employee"), IsOfOnly("Customer"),
+            IsNull("BillAddr"), IsNotNull("Department"),
+        ]
+    ),
+    st.builds(
+        Comparison,
+        st.sampled_from(["CredScore", "Id"]),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.sampled_from([0, 17, 18, 100]),
+    ),
+)
+
+
+def conditions(depth: int = 2):
+    return st.recursive(
+        ATOMS,
+        lambda inner: st.one_of(
+            st.builds(lambda a, b: and_(a, b), inner, inner),
+            st.builds(lambda a, b: or_(a, b), inner, inner),
+            st.builds(Not, inner),
+        ),
+        max_leaves=6,
+    )
+
+
+class _EntityCtx:
+    def __init__(self, entity: Entity, schema):
+        self.entity = entity
+        self.schema = schema
+
+    def attr_value(self, name):
+        try:
+            return self.entity[name]
+        except Exception:
+            raise KeyError(name)
+
+    def is_of(self, type_name, only):
+        if only:
+            return self.entity.concrete_type == type_name
+        return type_name in self.schema.ancestors_or_self(self.entity.concrete_type)
+
+
+class TestConditionSpaceSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(condition=conditions(), state=figure1_states())
+    def test_unsatisfiable_means_no_entity_satisfies(self, condition, state):
+        schema = state.schema
+        space = ClientConditionSpace(schema, "Persons", [condition])
+        if not space.satisfiable(condition):
+            for entity in state.entities("Persons"):
+                assert not evaluate_condition(
+                    condition, _EntityCtx(entity, schema)
+                ), f"{condition} claimed unsatisfiable but {entity} satisfies it"
+
+    @settings(max_examples=60, deadline=None)
+    @given(c1=conditions(), c2=conditions(), state=figure1_states())
+    def test_implication_sound_on_states(self, c1, c2, state):
+        schema = state.schema
+        space = ClientConditionSpace(schema, "Persons", [c1, c2])
+        if space.implies(c1, c2):
+            for entity in state.entities("Persons"):
+                ctx = _EntityCtx(entity, schema)
+                if evaluate_condition(c1, ctx):
+                    assert evaluate_condition(c2, ctx)
+
+    @settings(max_examples=80, deadline=None)
+    @given(condition=conditions(), state=figure1_states())
+    def test_simplify_preserves_semantics(self, condition, state):
+        schema = state.schema
+        simplified = simplify(condition)
+        for entity in state.entities("Persons"):
+            ctx = _EntityCtx(entity, schema)
+            assert evaluate_condition(condition, ctx) == evaluate_condition(
+                simplified, ctx
+            )
+
+
+class TestContainmentSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(c1=conditions(), c2=conditions(), state=figure1_states())
+    def test_positive_verdicts_never_contradicted(self, c1, c2, state):
+        schema = state.schema
+        q1 = Project(Select(SetScan("Persons"), c1), (ProjItem("Id", Col("Id")),))
+        q2 = Project(Select(SetScan("Persons"), c2), (ProjItem("Id", Col("Id")),))
+        result = check_containment(q1, q2, schema)
+        if result.holds:
+            context = ClientContext(state)
+            rows1 = {r["Id"] for r in evaluate_query(q1, context)}
+            rows2 = {r["Id"] for r in evaluate_query(q2, context)}
+            assert rows1 <= rows2, (
+                f"containment verdict contradicted: {c1} vs {c2}"
+            )

@@ -1,0 +1,231 @@
+"""Unit tests: query AST and its evaluation over states.
+
+Covers the semantics view generation depends on: natural vs explicit-on
+joins, NULL join keys, COALESCE of shared non-join columns, outer join
+padding, UNION ALL padding, set-semantics dedup, heterogeneous set scans.
+"""
+
+import pytest
+
+from repro.algebra import (
+    AssociationScan,
+    ClientContext,
+    Col,
+    Const,
+    FullOuterJoin,
+    IsOf,
+    IsOfOnly,
+    Join,
+    LeftOuterJoin,
+    ProjItem,
+    Project,
+    Select,
+    SetScan,
+    StoreContext,
+    TableScan,
+    UnionAll,
+    evaluate_query,
+    items_from_names,
+    leaf_sources,
+    output_columns,
+    project_select,
+    scanned_names,
+    union_all,
+)
+from repro.edm import ClientSchemaBuilder, ClientState, Entity, INT, STRING
+from repro.errors import EvaluationError
+from repro.relational import Column, StoreSchema, StoreState, Table
+
+
+@pytest.fixture
+def client():
+    schema = (
+        ClientSchemaBuilder()
+        .entity("P", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("E", parent="P", attrs=[("Dept", STRING)])
+        .entity_set("Ps", "P")
+        .association("L", "P", "E", mult1="*", mult2="0..1", role1="src", role2="dst")
+        .build()
+    )
+    state = ClientState(schema)
+    state.add_entity("Ps", Entity.of("P", Id=1, Name="a"))
+    state.add_entity("Ps", Entity.of("E", Id=2, Name="b", Dept="d"))
+    state.add_association("L", (1,), (2,))
+    return ClientContext(state)
+
+
+@pytest.fixture
+def store():
+    schema = StoreSchema(
+        [
+            Table("A", (Column("k", INT, False), Column("x", STRING, True)), ("k",)),
+            Table("B", (Column("k", INT, False), Column("y", STRING, True)), ("k",)),
+        ]
+    )
+    state = StoreState(schema)
+    state.add_row("A", {"k": 1, "x": "x1"})
+    state.add_row("A", {"k": 2, "x": "x2"})
+    state.add_row("B", {"k": 2, "y": "y2"})
+    state.add_row("B", {"k": 3, "y": "y3"})
+    return StoreContext(state)
+
+
+class TestScans:
+    def test_set_scan_heterogeneous(self, client):
+        rows = evaluate_query(SetScan("Ps"), client)
+        assert len(rows) == 2
+        # the E row carries Dept, the P row does not
+        keys = {frozenset(k for k in r if not k.startswith("__")) for r in rows}
+        assert frozenset({"Id", "Name"}) in keys
+        assert frozenset({"Id", "Name", "Dept"}) in keys
+
+    def test_association_scan_role_qualified(self, client):
+        rows = evaluate_query(AssociationScan("L"), client)
+        assert rows == [{"src.Id": 1, "dst.Id": 2}]
+
+    def test_table_scan(self, store):
+        assert len(evaluate_query(TableScan("A"), store)) == 2
+
+    def test_client_context_rejects_table_scan(self, client):
+        with pytest.raises(EvaluationError):
+            evaluate_query(TableScan("A"), client)
+
+    def test_store_context_rejects_set_scan(self, store):
+        with pytest.raises(EvaluationError):
+            evaluate_query(SetScan("Ps"), store)
+
+
+class TestSelectProject:
+    def test_select_with_type_condition(self, client):
+        rows = evaluate_query(Select(SetScan("Ps"), IsOf("E")), client)
+        assert len(rows) == 1
+
+    def test_select_only(self, client):
+        rows = evaluate_query(Select(SetScan("Ps"), IsOfOnly("P")), client)
+        assert len(rows) == 1 and rows[0]["Id"] == 1
+
+    def test_project_renames_and_constants(self, store):
+        q = Project(
+            TableScan("A"),
+            (ProjItem("kk", Col("k")), ProjItem("flag", Const(True))),
+        )
+        rows = evaluate_query(q, store)
+        assert all(set(r) == {"kk", "flag"} and r["flag"] is True for r in rows)
+
+    def test_project_missing_column_raises(self, store):
+        q = Project(TableScan("A"), (ProjItem("z", Col("nope")),))
+        with pytest.raises(EvaluationError):
+            evaluate_query(q, store)
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(EvaluationError):
+            Project(TableScan("A"), (ProjItem("z", Col("a")), ProjItem("z", Col("b"))))
+
+    def test_project_select_builder(self, store):
+        from repro.algebra import TRUE
+
+        q = project_select(TableScan("A"), TRUE, items_from_names(["k"]))
+        assert isinstance(q, Project)
+        assert not isinstance(q.source, Select)  # TRUE select elided
+
+
+class TestJoins:
+    def test_natural_inner(self, store):
+        rows = evaluate_query(Join(TableScan("A"), TableScan("B")), store)
+        assert rows == [{"k": 2, "x": "x2", "y": "y2"}]
+
+    def test_left_outer_pads(self, store):
+        rows = evaluate_query(LeftOuterJoin(TableScan("A"), TableScan("B")), store)
+        by_k = {r["k"]: r for r in rows}
+        assert by_k[1]["y"] is None
+        assert by_k[2]["y"] == "y2"
+
+    def test_full_outer_pads_both(self, store):
+        rows = evaluate_query(FullOuterJoin(TableScan("A"), TableScan("B")), store)
+        by_k = {r["k"]: r for r in rows}
+        assert set(by_k) == {1, 2, 3}
+        assert by_k[3]["x"] is None
+
+    def test_null_join_keys_never_match(self, store):
+        # add a NULL-keyed... keys are non-null; test via projected column
+        qa = Project(TableScan("A"), (ProjItem("j", Col("x")), ProjItem("k", Col("k"))))
+        qb = Project(TableScan("B"), (ProjItem("j", Col("y")), ProjItem("kb", Col("k"))))
+        rows = evaluate_query(Join(qa, qb, on=("j",)), store)
+        assert rows == []  # x values never equal y values
+
+    def test_explicit_on_coalesces_shared(self, store):
+        """Shared non-join columns merge by COALESCE(left, right)."""
+        qa = Project(
+            TableScan("A"),
+            (ProjItem("k", Col("k")), ProjItem("v", Const(None))),
+        )
+        qb = Project(
+            TableScan("B"),
+            (ProjItem("k", Col("k")), ProjItem("v", Col("y"))),
+        )
+        rows = evaluate_query(Join(qa, qb, on=("k",)), store)
+        assert rows == [{"k": 2, "v": "y2"}]
+
+    def test_explicit_on_missing_column_rejected(self, store):
+        with pytest.raises(EvaluationError):
+            evaluate_query(Join(TableScan("A"), TableScan("B"), on=("zz",)), store)
+
+
+class TestUnionAll:
+    def test_pads_missing_columns(self, store):
+        q = UnionAll(
+            (
+                Project(TableScan("A"), items_from_names(["k", "x"])),
+                Project(TableScan("B"), items_from_names(["k", "y"])),
+            )
+        )
+        rows = evaluate_query(q, store)
+        assert all(set(r) == {"k", "x", "y"} for r in rows)
+        assert len(rows) == 4
+
+    def test_dedup_set_semantics(self, store):
+        q = UnionAll(
+            (
+                Project(TableScan("A"), items_from_names(["k"])),
+                Project(TableScan("A"), items_from_names(["k"])),
+            )
+        )
+        assert len(evaluate_query(q, store)) == 2
+
+    def test_needs_two_branches(self):
+        with pytest.raises(EvaluationError):
+            UnionAll((TableScan("A"),))
+
+    def test_union_all_builder_single(self):
+        q = union_all([TableScan("A")])
+        assert isinstance(q, TableScan)
+
+
+class TestIntrospection:
+    def test_output_columns(self, store):
+        q = LeftOuterJoin(TableScan("A"), TableScan("B"))
+        assert output_columns(q, store) == ("k", "x", "y")
+
+    def test_leaf_sources_and_names(self):
+        q = Join(Select(SetScan("Ps"), IsOf("E")), AssociationScan("L"))
+        assert len(leaf_sources(q)) == 2
+        assert scanned_names(q) == ("Ps", "L")
+
+    def test_walk_covers_tree(self, store):
+        q = Project(Select(TableScan("A"), IsOf("X")), items_from_names(["k"]))
+        kinds = [type(n).__name__ for n in q.walk()]
+        assert kinds == ["Project", "Select", "TableScan"]
+
+    def test_transform_conditions(self):
+        from repro.algebra import FALSE, TrueCond
+
+        q = Select(TableScan("A"), IsOf("X"))
+
+        def erase(node):
+            if node == IsOf("X"):
+                return FALSE
+            return node
+
+        q2 = q.transform_conditions(erase)
+        assert q2.condition is FALSE
+        assert q.condition == IsOf("X")

@@ -1,0 +1,137 @@
+"""Tests: query translation by view unfolding (Section 1.1).
+
+The contract: for any client state c and any client query q,
+``run(unfold(q), V(c)) == execute_on_client(q, c)`` — answering object
+queries from the relational data alone.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import Comparison, IsNotNull, IsNull, IsOf, IsOfOnly, Not, and_, or_
+from repro.compiler import compile_mapping, optimize_views
+from repro.edm import ClientState, Entity
+from repro.mapping import apply_update_views
+from repro.query import EntityQuery, execute_on_client, execute_on_store, unfold
+from repro.stategen import random_client_state
+from repro.workloads.paper_example import mapping_stage4
+
+from tests.test_property_based import conditions, figure1_states
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mapping = mapping_stage4()
+    views = compile_mapping(mapping).views
+    return mapping, views
+
+
+def _both(query, state, mapping, views):
+    client = execute_on_client(query, state)
+    store = apply_update_views(views, state, mapping.store_schema)
+    translated = execute_on_store(query, views, store, mapping.client_schema)
+    return client, translated
+
+
+def _as_set(results):
+    out = set()
+    for item in results:
+        if isinstance(item, dict):
+            out.add(tuple(sorted(item.items())))
+        else:
+            out.add(item)
+    return out
+
+
+class TestBasicTranslation:
+    def test_whole_set(self, setup):
+        mapping, views = setup
+        state = random_client_state(mapping.client_schema, seed=1)
+        client, translated = _both(EntityQuery("Persons"), state, mapping, views)
+        assert _as_set(client) == _as_set(translated)
+
+    def test_type_filter(self, setup):
+        mapping, views = setup
+        state = random_client_state(mapping.client_schema, seed=2)
+        query = EntityQuery("Persons", IsOf("Employee"))
+        client, translated = _both(query, state, mapping, views)
+        assert _as_set(client) == _as_set(translated)
+        assert all(e.concrete_type == "Employee" for e in translated)
+
+    def test_only_filter(self, setup):
+        mapping, views = setup
+        state = random_client_state(mapping.client_schema, seed=3)
+        query = EntityQuery("Persons", IsOfOnly("Person"))
+        client, translated = _both(query, state, mapping, views)
+        assert _as_set(client) == _as_set(translated)
+
+    def test_attribute_filter(self, setup):
+        mapping, views = setup
+        state = random_client_state(mapping.client_schema, seed=4)
+        query = EntityQuery(
+            "Persons", and_(IsOf("Customer"), Comparison("CredScore", ">=", 500))
+        )
+        client, translated = _both(query, state, mapping, views)
+        assert _as_set(client) == _as_set(translated)
+
+    def test_projection_pads_subtype_attrs(self, setup):
+        mapping, views = setup
+        state = ClientState(mapping.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        state.add_entity(
+            "Persons", Entity.of("Employee", Id=2, Name="b", Department="d")
+        )
+        query = EntityQuery("Persons", IsOf("Person"), projection=("Id", "Department"))
+        client, translated = _both(query, state, mapping, views)
+        assert _as_set(client) == _as_set(translated)
+        assert {None, "d"} == {row["Department"] for row in translated}
+
+    def test_branch_pruning(self, setup):
+        """A Customer-only query unfolds to a single branch."""
+        mapping, views = setup
+        unfolded = unfold(
+            EntityQuery("Persons", IsOf("Customer")), views, mapping.client_schema
+        )
+        assert len(unfolded.branches) == 1
+        assert unfolded.branches[0].concrete_type == "Customer"
+
+    def test_contradictory_query_unfolds_empty(self, setup):
+        mapping, views = setup
+        unfolded = unfold(
+            EntityQuery("Persons", and_(IsOfOnly("Person"), IsOf("Employee"))),
+            views,
+            mapping.client_schema,
+        )
+        assert unfolded.branches == ()
+        assert "empty" in unfolded.to_sql()
+
+    def test_to_sql_renders(self, setup):
+        mapping, views = setup
+        unfolded = unfold(
+            EntityQuery("Persons", IsOf("Employee")), views, mapping.client_schema
+        )
+        assert "constructs Employee" in unfolded.to_sql()
+
+
+class TestOptimizedViewsTranslation:
+    def test_translation_through_optimized_views(self, setup):
+        mapping, _ = setup
+        views = optimize_views(mapping, compile_mapping(mapping).views)
+        state = random_client_state(mapping.client_schema, seed=5)
+        query = EntityQuery("Persons", or_(IsOfOnly("Person"), IsOf("Customer")))
+        client = execute_on_client(query, state)
+        store = apply_update_views(views, state, mapping.store_schema)
+        translated = execute_on_store(query, views, store, mapping.client_schema)
+        assert _as_set(client) == _as_set(translated)
+
+
+class TestTranslationProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(condition=conditions(), state=figure1_states())
+    def test_equivalence_on_random_queries_and_states(self, setup, condition, state):
+        mapping, views = setup
+        query = EntityQuery("Persons", condition)
+        client = execute_on_client(query, state)
+        store = apply_update_views(views, state, mapping.store_schema)
+        translated = execute_on_store(query, views, store, mapping.client_schema)
+        assert _as_set(client) == _as_set(translated), str(condition)

@@ -1,0 +1,186 @@
+"""Unit tests: store schemas, store states, constraint checking."""
+
+import pytest
+
+from repro.edm.types import INT, STRING
+from repro.errors import SchemaError
+from repro.relational import (
+    Column,
+    ForeignKey,
+    StoreSchema,
+    StoreState,
+    Table,
+    check_all,
+    check_foreign_keys,
+    check_primary_keys,
+    is_consistent,
+    make_row,
+    row_value,
+)
+
+
+def two_tables() -> StoreSchema:
+    return StoreSchema(
+        [
+            Table("Parent", (Column("Id", INT, False), Column("N", STRING)), ("Id",)),
+            Table(
+                "Child",
+                (Column("Id", INT, False), Column("Pid", INT, True)),
+                ("Id",),
+                (ForeignKey(("Pid",), "Parent", ("Id",)),),
+            ),
+        ]
+    )
+
+
+class TestTableDefinition:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("T", (Column("a", INT, False), Column("a", INT)), ("a",))
+
+    def test_missing_pk_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("T", (Column("a", INT, False),), ("b",))
+
+    def test_nullable_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("T", (Column("a", INT, True),), ("a",))
+
+    def test_pk_required(self):
+        with pytest.raises(SchemaError):
+            Table("T", (Column("a", INT, False),), ())
+
+    def test_fk_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a", "b"), "X", ("c",))
+
+    def test_fk_missing_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                "T",
+                (Column("a", INT, False),),
+                ("a",),
+                (ForeignKey(("zz",), "X", ("c",)),),
+            )
+
+
+class TestStoreSchema:
+    def test_duplicate_table_rejected(self):
+        store = two_tables()
+        with pytest.raises(SchemaError):
+            store.add_table(Table("Parent", (Column("Id", INT, False),), ("Id",)))
+
+    def test_validate_fk_target(self):
+        store = StoreSchema(
+            [
+                Table(
+                    "T",
+                    (Column("a", INT, False),),
+                    ("a",),
+                    (ForeignKey(("a",), "Missing", ("x",)),),
+                )
+            ]
+        )
+        with pytest.raises(SchemaError):
+            store.validate()
+
+    def test_validate_fk_must_hit_pk(self):
+        store = StoreSchema(
+            [
+                Table("A", (Column("x", INT, False), Column("y", INT)), ("x",)),
+                Table(
+                    "B",
+                    (Column("z", INT, False),),
+                    ("z",),
+                    (ForeignKey(("z",), "A", ("y",)),),
+                ),
+            ]
+        )
+        with pytest.raises(SchemaError):
+            store.validate()
+
+    def test_drop_table_with_incoming_fk_rejected(self):
+        store = two_tables()
+        with pytest.raises(SchemaError):
+            store.drop_table("Parent")
+
+    def test_drop_leaf_table(self):
+        store = two_tables()
+        store.drop_table("Child")
+        assert not store.has_table("Child")
+
+    def test_clone_independent(self):
+        store = two_tables()
+        copy = store.clone()
+        copy.drop_table("Child")
+        assert store.has_table("Child")
+
+
+class TestStoreState:
+    def test_add_and_dedup(self):
+        state = StoreState(two_tables())
+        state.add_row("Parent", {"Id": 1, "N": "a"})
+        state.add_row("Parent", {"Id": 1, "N": "a"})  # duplicate: set semantics
+        assert len(state.rows("Parent")) == 1
+
+    def test_wrong_columns_rejected(self):
+        state = StoreState(two_tables())
+        with pytest.raises(SchemaError):
+            state.add_row("Parent", {"Id": 1})
+
+    def test_null_in_non_nullable_rejected(self):
+        state = StoreState(two_tables())
+        with pytest.raises(SchemaError):
+            state.add_row("Parent", {"Id": None, "N": "a"})
+
+    def test_domain_violation_rejected(self):
+        state = StoreState(two_tables())
+        with pytest.raises(SchemaError):
+            state.add_row("Parent", {"Id": "one", "N": "a"})
+
+    def test_row_value(self):
+        row = make_row(a=1, b=2)
+        assert row_value(row, "b") == 2
+
+    def test_equals(self):
+        s1, s2 = StoreState(two_tables()), StoreState(two_tables())
+        s1.add_row("Parent", {"Id": 1, "N": "a"})
+        s2.add_row("Parent", {"Id": 1, "N": "a"})
+        assert s1.equals(s2)
+        s2.add_row("Parent", {"Id": 2, "N": "b"})
+        assert not s1.equals(s2)
+
+
+class TestConstraints:
+    def test_consistent_state(self):
+        state = StoreState(two_tables())
+        state.add_row("Parent", {"Id": 1, "N": "a"})
+        state.add_row("Child", {"Id": 10, "Pid": 1})
+        assert is_consistent(state)
+
+    def test_dangling_fk_detected(self):
+        state = StoreState(two_tables())
+        state.add_row("Child", {"Id": 10, "Pid": 99})
+        violations = check_foreign_keys(state)
+        assert len(violations) == 1
+        assert violations[0].kind == "foreign-key"
+
+    def test_null_fk_vacuous(self):
+        state = StoreState(two_tables())
+        state.add_row("Child", {"Id": 10, "Pid": None})
+        assert is_consistent(state)
+
+    def test_duplicate_pk_detected(self):
+        state = StoreState(two_tables())
+        state.add_row("Parent", {"Id": 1, "N": "a"})
+        state.add_row("Parent", {"Id": 1, "N": "b"})  # same key, different row
+        violations = check_primary_keys(state)
+        assert violations and violations[0].kind == "primary-key"
+
+    def test_check_all_combines(self):
+        state = StoreState(two_tables())
+        state.add_row("Parent", {"Id": 1, "N": "a"})
+        state.add_row("Parent", {"Id": 1, "N": "b"})
+        state.add_row("Child", {"Id": 5, "Pid": 42})
+        kinds = {v.kind for v in check_all(state)}
+        assert kinds == {"primary-key", "foreign-key"}

@@ -1,0 +1,146 @@
+"""Unit tests: the Algorithm-2 condition rewrites and simplification."""
+
+import pytest
+
+from repro.algebra import (
+    FALSE,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Not,
+    Or,
+    Select,
+    SetScan,
+    TRUE,
+    and_,
+    or_,
+    rewrite_query,
+    simplify,
+    widen_only_condition,
+)
+from repro.algebra.conditions import Comparison
+from repro.algebra.rewrite import (
+    exclude_new_entity_condition,
+    narrow_table_scans,
+)
+from repro.edm import ClientSchemaBuilder, INT
+
+
+@pytest.fixture
+def deep_schema():
+    """Root ← Mid ← Low, plus Side under Mid (ch_p material)."""
+    return (
+        ClientSchemaBuilder()
+        .entity("Root", key=[("Id", INT)])
+        .entity("Mid", parent="Root")
+        .entity("Low", parent="Mid")
+        .entity("Side", parent="Mid")
+        .entity_set("Roots", "Root")
+        .build()
+    )
+
+
+class TestWidenOnly:
+    def test_rewrites_matching_only(self):
+        t = widen_only_condition("P", "E")
+        c = IsOfOnly("P").transform(t)
+        assert c == or_(IsOfOnly("P"), IsOf("E"))
+
+    def test_leaves_others_alone(self):
+        t = widen_only_condition("P", "E")
+        assert IsOfOnly("Q").transform(t) == IsOfOnly("Q")
+        assert IsOf("P").transform(t) == IsOf("P")
+
+    def test_nested(self):
+        t = widen_only_condition("P", "E")
+        c = and_(IsOfOnly("P"), IsNull("a")).transform(t)
+        assert IsOf("E") in list(c.atoms())
+
+
+class TestExcludeNewEntity:
+    def test_example5_shape(self, deep_schema):
+        """Adding E under Root (P=NIL): IS OF Mid must become
+        IS OF (ONLY Mid) ∨ IS OF Low ∨ IS OF Side when only Mid ∈ p."""
+        # p = proper ancestors of the new type below NIL; emulate p={Mid}
+        t = exclude_new_entity_condition(deep_schema, ["Mid"], "Newbie")
+        c = IsOf("Mid").transform(t)
+        atoms = set(c.atoms())
+        assert IsOfOnly("Mid") in atoms
+        assert IsOf("Low") in atoms
+        assert IsOf("Side") in atoms
+
+    def test_descendants_in_p_expand(self, deep_schema):
+        """With p = {Root, Mid}: IS OF Root expands over both, children
+        outside p (Low, Side) via IS OF."""
+        t = exclude_new_entity_condition(deep_schema, ["Root", "Mid"], "Newbie")
+        c = IsOf("Root").transform(t)
+        atoms = set(c.atoms())
+        assert IsOfOnly("Root") in atoms
+        assert IsOfOnly("Mid") in atoms
+        assert IsOf("Low") in atoms and IsOf("Side") in atoms
+
+    def test_new_type_excluded_from_children(self, deep_schema):
+        schema = deep_schema.clone()
+        from repro.edm.entity import EntityType
+
+        schema.add_entity_type(EntityType("Newbie", parent="Mid"))
+        t = exclude_new_entity_condition(schema, ["Mid"], "Newbie")
+        c = IsOf("Mid").transform(t)
+        assert IsOf("Newbie") not in set(c.atoms())
+
+    def test_types_outside_p_untouched(self, deep_schema):
+        t = exclude_new_entity_condition(deep_schema, ["Mid"], "Newbie")
+        assert IsOf("Root").transform(t) == IsOf("Root")
+
+
+class TestQueryRewrite:
+    def test_rewrite_query_applies_to_selects(self):
+        q = Select(SetScan("Roots"), IsOfOnly("P"))
+        q2 = rewrite_query(q, widen_only_condition("P", "E"))
+        assert IsOf("E") in set(q2.condition.atoms())
+
+    def test_narrow_table_scans(self):
+        from repro.algebra import Project, TableScan, items_from_names
+
+        q = Project(TableScan("T"), items_from_names(["a"]))
+        q2 = narrow_table_scans(q, "T", IsNull("disc"))
+        assert isinstance(q2.source, Select)
+        assert q2.source.condition == IsNull("disc")
+        # other tables untouched
+        q3 = narrow_table_scans(q, "Other", IsNull("disc"))
+        assert q3.source == TableScan("T")
+
+
+class TestSimplify:
+    def test_or_false_removed(self):
+        c = Or((IsOfOnly("P"), FALSE))
+        assert simplify(c) == IsOfOnly("P")
+
+    def test_and_true_removed(self):
+        from repro.algebra.conditions import And
+
+        c = And((IsOfOnly("P"), TRUE))
+        assert simplify(c) == IsOfOnly("P")
+
+    def test_dominating_constants(self):
+        from repro.algebra.conditions import And, Or
+
+        assert simplify(And((IsOf("X"), FALSE))) is FALSE
+        assert simplify(Or((IsOf("X"), TRUE))) is TRUE
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(IsOf("X")))) == IsOf("X")
+
+    def test_not_constants(self):
+        assert simplify(Not(TRUE)) is FALSE
+        assert simplify(Not(FALSE)) is TRUE
+
+    def test_duplicate_operands_removed(self):
+        from repro.algebra.conditions import Or
+
+        c = Or((IsOf("X"), IsOf("X")))
+        assert simplify(c) == IsOf("X")
+
+    def test_atoms_unchanged(self):
+        atom = Comparison("a", "<", 3)
+        assert simplify(atom) is atom

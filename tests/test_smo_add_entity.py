@@ -1,0 +1,236 @@
+"""Unit tests: the AddEntity SMO (Section 3.1) beyond the paper replay."""
+
+import pytest
+
+from repro.algebra import IsOf, LeftOuterJoin, UnionAll
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, ClientState, Entity, INT, STRING
+from repro.errors import SmoError
+from repro.incremental import AddEntity, CompiledModel, IncrementalCompiler
+from repro.mapping import check_roundtrip
+from repro.relational import Column, ForeignKey, Table
+from repro.workloads.paper_example import mapping_stage1
+
+from tests.conftest import employee_smo
+
+
+@pytest.fixture
+def compiler():
+    return IncrementalCompiler()
+
+
+@pytest.fixture
+def base(stage1_compiled):
+    return stage1_compiled
+
+
+class TestPreconditions:
+    def test_existing_type_rejected(self, base):
+        smo = AddEntity.tpt(base, "Person", "Person", [], "X")
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+    def test_unknown_parent_rejected(self, base):
+        from repro.errors import SchemaError
+
+        # the factory already consults the parent's key
+        with pytest.raises((SmoError, SchemaError)):
+            AddEntity.tpt(base, "E", "Nope", [], "X")
+
+    def test_mapped_table_rejected(self, base):
+        """T must not be mentioned in any mapping fragment."""
+        smo = AddEntity.tpt(
+            base, "E", "Person", [Attribute("X", STRING)], "HR",
+            attr_map={"Id": "Id", "X": "Name"},
+        )
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+    def test_alpha_must_contain_key(self, base):
+        smo = AddEntity(
+            name="E", parent="Person", new_attributes=(Attribute("X", STRING),),
+            alpha=("X",), anchor="Person", table="T",
+            attr_map=(("X", "X"),),
+        )
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+    def test_alpha_union_anchor_must_cover(self, base):
+        """α ∪ att(P) = att(E) is required (Section 3.1)."""
+        smo = AddEntity(
+            name="E", parent="Person",
+            new_attributes=(Attribute("X", STRING), Attribute("Y", STRING)),
+            alpha=("Id", "X"), anchor=None, table="T",
+            attr_map=(("Id", "Id"), ("X", "X")),
+        )
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+    def test_shadowing_attribute_rejected(self, base):
+        smo = AddEntity.tpt(
+            base, "E", "Person", [Attribute("Name", STRING)], "T"
+        )
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+    def test_existing_table_key_mismatch_rejected(self, base):
+        base.store_schema.add_table(
+            Table("Pre", (Column("K", INT, False), Column("X", STRING)), ("K",))
+        )
+        smo = AddEntity.tpt(
+            base, "E", "Person", [Attribute("X", STRING)], "Pre",
+            attr_map={"Id": "X", "X": "K"},
+        )
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+    def test_existing_table_unmapped_nonnullable_rejected(self, base):
+        base.store_schema.add_table(
+            Table(
+                "Pre2",
+                (Column("Id", INT, False), Column("X", STRING),
+                 Column("Req", STRING, False)),
+                ("Id",),
+            )
+        )
+        smo = AddEntity.tpt(
+            base, "E", "Person", [Attribute("X", STRING)], "Pre2",
+            attr_map={"Id": "Id", "X": "X"},
+        )
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+    def test_domain_containment_on_existing_table(self, base):
+        base.store_schema.add_table(
+            Table("Pre3", (Column("Id", INT, False), Column("X", INT, True)), ("Id",))
+        )
+        smo = AddEntity.tpt(
+            base, "E", "Person", [Attribute("X", STRING)], "Pre3",
+            attr_map={"Id": "Id", "X": "X"},
+        )
+        with pytest.raises(SmoError):
+            IncrementalCompiler().apply(base, smo)
+
+
+class TestFactories:
+    def test_tpt_alpha(self, base):
+        smo = AddEntity.tpt(base, "E", "Person", [Attribute("D", STRING)], "T")
+        assert set(smo.alpha) == {"Id", "D"}
+        assert smo.anchor == "Person"
+        assert smo.kind == "AE-TPT"
+
+    def test_tpc_alpha(self, base):
+        smo = AddEntity.tpc(base, "E", "Person", [Attribute("D", STRING)], "T")
+        assert set(smo.alpha) == {"Id", "Name", "D"}
+        assert smo.anchor is None
+        assert smo.kind == "AE-TPC"
+
+    def test_attr_map_must_cover_alpha(self, base):
+        with pytest.raises(SmoError):
+            AddEntity.tpt(base, "E", "Person", [Attribute("D", STRING)], "T",
+                          attr_map={"Id": "Id"})
+
+
+class TestTableCreation:
+    def test_table_created_with_pk_and_fks(self, base, compiler):
+        smo = employee_smo(base)
+        model = compiler.apply(base, smo).model
+        table = model.store_schema.table("Emp")
+        assert table.primary_key == ("Id",)
+        assert table.foreign_keys[0].ref_table == "HR"
+        assert not table.column("Id").nullable
+
+    def test_nullable_attribute_gives_nullable_column(self, base, compiler):
+        smo = AddEntity.tpt(
+            base, "E", "Person", [Attribute("D", STRING, nullable=True)], "T"
+        )
+        model = compiler.apply(base, smo).model
+        assert model.store_schema.table("T").column("D").nullable
+
+
+class TestDeepHierarchies:
+    def test_grandchild_tpt(self, base, compiler):
+        """AddEntity twice: Person ← Employee ← Manager, all TPT."""
+        model = compiler.apply(base, employee_smo(base)).model
+        smo = AddEntity.tpt(
+            model, "Manager", "Employee", [Attribute("Level", INT)], "Mgr",
+            table_foreign_keys=[ForeignKey(("Id",), "Emp", ("Id",))],
+        )
+        model = compiler.apply(model, smo).model
+
+        state = ClientState(model.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        state.add_entity(
+            "Persons", Entity.of("Employee", Id=2, Name="b", Department="d")
+        )
+        state.add_entity(
+            "Persons",
+            Entity.of("Manager", Id=3, Name="c", Department="d", Level=4),
+        )
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+
+    def test_grandchild_anchored_at_root(self, base, compiler):
+        """P can be a non-parent ancestor: Manager's α covers everything
+        but att(Person); Employee's part (Department) must be in α."""
+        model = compiler.apply(base, employee_smo(base)).model
+        smo = AddEntity(
+            name="Manager", parent="Employee",
+            new_attributes=(Attribute("Level", INT),),
+            alpha=("Id", "Department", "Level"),
+            anchor="Person",
+            table="MgrWide",
+            attr_map=(("Id", "Id"), ("Department", "Department"), ("Level", "Level")),
+        )
+        model = compiler.apply(model, smo).model
+        # between set = {Employee}: its update view was rewritten
+        state = ClientState(model.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        state.add_entity(
+            "Persons", Entity.of("Employee", Id=2, Name="b", Department="d")
+        )
+        state.add_entity(
+            "Persons",
+            Entity.of("Manager", Id=3, Name="c", Department="dd", Level=4),
+        )
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+        # full recompilation of the evolved mapping agrees
+        full = compile_mapping(model.mapping.clone())
+        assert check_roundtrip(full.views, state, model.store_schema).ok
+
+    def test_query_view_shapes(self, base, compiler):
+        model = compiler.apply(base, employee_smo(base)).model
+        smo = AddEntity.tpc(
+            model, "Contractor", "Employee",
+            [Attribute("Agency", STRING)], "Contr",
+        )
+        model = compiler.apply(model, smo).model
+        # anchor NIL: both Person and Employee are in p — unions
+        assert isinstance(model.views.query_view("Person").query, UnionAll)
+        assert isinstance(model.views.query_view("Employee").query, UnionAll)
+
+    def test_soundness_restriction(self, base, compiler):
+        """For every pre-change state c: V'(f(c)) coincides with V(c) on
+        shared tables — the Section 2.3 soundness restriction."""
+        from repro.mapping import apply_update_views
+
+        state = ClientState(base.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        before = apply_update_views(base.views, state, base.store_schema)
+
+        model = compiler.apply(base, employee_smo(base)).model
+        embedded = state.embed_into(model.client_schema)
+        after = apply_update_views(model.views, embedded, model.store_schema)
+        assert after.rows("HR") == before.rows("HR")
+        assert after.rows("Emp") == ()
+
+
+class TestValidationCounts:
+    def test_tpt_runs_fk_check(self, base, compiler):
+        smo = employee_smo(base)
+        compiler.apply(base, smo)
+        assert smo.validation_checks == 1
+
+    def test_tpc_without_associations_runs_none(self, base, compiler):
+        smo = AddEntity.tpc(base, "C", "Person", [Attribute("S", INT)], "CT")
+        compiler.apply(base, smo)
+        assert smo.validation_checks == 0

@@ -1,0 +1,286 @@
+"""Unit tests: AddProperty, DropEntity, RefactorAssociationToInheritance."""
+
+import pytest
+
+from repro.algebra import IsNotNull, IsOf, IsOfOnly, Or, TRUE
+from repro.compiler import compile_mapping
+from repro.edm import (
+    Attribute,
+    ClientSchemaBuilder,
+    ClientState,
+    Entity,
+    INT,
+    STRING,
+)
+from repro.errors import SmoError, ValidationError
+from repro.incremental import (
+    AddProperty,
+    CompiledModel,
+    DropEntity,
+    IncrementalCompiler,
+    RefactorAssociationToInheritance,
+)
+from repro.mapping import Mapping, MappingFragment, check_roundtrip
+from repro.relational import Column, ForeignKey, StoreSchema, Table
+from repro.workloads.paper_example import mapping_stage3
+
+
+@pytest.fixture
+def compiler():
+    return IncrementalCompiler()
+
+
+@pytest.fixture
+def stage3_compiled():
+    mapping = mapping_stage3()
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+class TestAddProperty:
+    def test_extend_existing_fragment(self, stage3_compiled, compiler):
+        smo = AddProperty("Employee", Attribute("Title", STRING), "Emp", "Title")
+        model = compiler.apply(stage3_compiled, smo).model
+        fragment = next(
+            f for f in model.mapping.fragments_for_set("Persons")
+            if f.store_table == "Emp"
+        )
+        assert fragment.maps_attr("Title") == "Title"
+        assert model.store_schema.table("Emp").has_column("Title")
+
+    def test_vertical_split_new_table(self, stage3_compiled, compiler):
+        smo = AddProperty(
+            "Employee", Attribute("Badge", STRING), "Badges",
+            table_foreign_keys=(ForeignKey(("Id",), "Emp", ("Id",)),),
+        )
+        model = compiler.apply(stage3_compiled, smo).model
+        assert model.store_schema.has_table("Badges")
+        assert len(model.mapping.fragments_for_table("Badges")) == 1
+
+    def test_roundtrip_after_both_cases(self, stage3_compiled, compiler):
+        model = compiler.apply(
+            stage3_compiled,
+            AddProperty("Employee", Attribute("Title", STRING), "Emp", "Title"),
+        ).model
+        model = compiler.apply(
+            model, AddProperty("Person", Attribute("Nick", STRING), "Nicks")
+        ).model
+        state = ClientState(model.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a", Nick="n"))
+        state.add_entity(
+            "Persons",
+            Entity.of("Employee", Id=2, Name="b", Department="d", Title="t", Nick="m"),
+        )
+        state.add_entity(
+            "Persons",
+            Entity.of("Customer", Id=3, Name="c", CredScore=1, BillAddr="x", Nick="o"),
+        )
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+
+    def test_duplicate_attribute_rejected(self, stage3_compiled, compiler):
+        smo = AddProperty("Person", Attribute("Name", STRING), "HR", "Name2")
+        with pytest.raises(SmoError):
+            compiler.apply(stage3_compiled, smo)
+
+    def test_existing_column_rejected(self, stage3_compiled, compiler):
+        smo = AddProperty("Person", Attribute("Fresh", STRING), "HR", "Name")
+        with pytest.raises(SmoError):
+            compiler.apply(stage3_compiled, smo)
+
+    def test_descendant_clash_rejected(self, stage3_compiled, compiler):
+        smo = AddProperty("Person", Attribute("Department", STRING), "HR", "D2")
+        with pytest.raises(SmoError):
+            compiler.apply(stage3_compiled, smo)
+
+    def test_invalid_fk_on_new_table_rejected(self, stage3_compiled, compiler):
+        """Customer keys never reach HR (TPC), so a Person-covering table
+        with an FK into HR does not validate — a real lossy evolution."""
+        smo = AddProperty(
+            "Person", Attribute("Nick", STRING), "Nicks",
+            table_foreign_keys=(ForeignKey(("Id",), "HR", ("Id",)),),
+        )
+        with pytest.raises(ValidationError):
+            compiler.apply(stage3_compiled, smo)
+
+
+class TestDropEntity:
+    def test_drop_leaf_cleans_everything(self, stage3_compiled, compiler):
+        model = compiler.apply(stage3_compiled, DropEntity("Customer")).model
+        assert not model.client_schema.has_entity_type("Customer")
+        assert len(model.mapping.fragments_for_set("Persons")) == 2
+        assert not model.views.has_update_view("Client")
+        assert "Customer" not in model.views.query_views
+        # the adapted phi1' condition still covers Person and Employee
+        state = ClientState(model.client_schema)
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="a"))
+        state.add_entity("Persons", Entity.of("Employee", Id=2, Name="b", Department="d"))
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+
+    def test_orphaned_table_kept_in_store(self, stage3_compiled, compiler):
+        model = compiler.apply(stage3_compiled, DropEntity("Customer")).model
+        assert model.store_schema.has_table("Client")
+
+    def test_drop_root_rejected(self, stage3_compiled, compiler):
+        with pytest.raises(SmoError):
+            compiler.apply(stage3_compiled, DropEntity("Person"))
+
+    def test_drop_non_leaf_rejected(self, compiler, stage3_compiled):
+        # make Employee a non-leaf first
+        from repro.incremental import AddEntity
+
+        smo = AddEntity.tpt(
+            stage3_compiled, "Manager", "Employee", [Attribute("L", INT)], "Mg",
+            table_foreign_keys=[ForeignKey(("Id",), "Emp", ("Id",))],
+        )
+        model = compiler.apply(stage3_compiled, smo).model
+        with pytest.raises(SmoError):
+            compiler.apply(model, DropEntity("Employee"))
+
+    def test_drop_with_association_rejected(self, incrementally_evolved, compiler):
+        with pytest.raises(SmoError):
+            compiler.apply(incrementally_evolved, DropEntity("Customer"))
+
+    def test_drop_then_readd(self, stage3_compiled, compiler):
+        """Dropping and re-adding a type yields a working model again."""
+        from repro.incremental import AddEntity
+
+        model = compiler.apply(stage3_compiled, DropEntity("Customer")).model
+        smo = AddEntity.tpc(
+            model, "Customer", "Person",
+            [Attribute("CredScore", INT), Attribute("BillAddr", STRING)],
+            "Client2",
+        )
+        model = compiler.apply(model, smo).model
+        state = ClientState(model.client_schema)
+        state.add_entity(
+            "Persons",
+            Entity.of("Customer", Id=3, Name="c", CredScore=1, BillAddr="x"),
+        )
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+
+
+class TestRefactor:
+    @pytest.fixture
+    def holds_model(self):
+        schema = (
+            ClientSchemaBuilder()
+            .entity("Person2", key=[("Id", INT)], attrs=[("Name", STRING)])
+            .entity("Passport", key=[("Pno", INT)], attrs=[("Country", STRING)])
+            .entity_set("P2s", "Person2")
+            .entity_set("Passports", "Passport")
+            .association("Holds", "Person2", "Passport", mult1="1", mult2="0..1")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table("P2", (Column("Id", INT, False), Column("Name", STRING)), ("Id",)),
+                Table(
+                    "Pass",
+                    (Column("Pno", INT, False), Column("Country", STRING),
+                     Column("OwnerId", INT, True)),
+                    ("Pno",),
+                    (ForeignKey(("OwnerId",), "P2", ("Id",)),),
+                ),
+            ]
+        )
+        mapping = Mapping(
+            schema, store,
+            [
+                MappingFragment("P2s", False, IsOf("Person2"), "P2", TRUE,
+                                (("Id", "Id"), ("Name", "Name"))),
+                MappingFragment("Passports", False, IsOf("Passport"), "Pass", TRUE,
+                                (("Pno", "Pno"), ("Country", "Country"))),
+                MappingFragment("Holds", True, TRUE, "Pass", IsNotNull("OwnerId"),
+                                (("Passport.Pno", "Pno"), ("Person2.Id", "OwnerId"))),
+            ],
+        )
+        return CompiledModel(mapping, compile_mapping(mapping).views)
+
+    def test_refactor_rekeys_and_derives(self, holds_model, compiler):
+        model = compiler.apply(
+            holds_model, RefactorAssociationToInheritance("Holds")
+        ).model
+        assert model.client_schema.entity_type("Passport").parent == "Person2"
+        assert not model.client_schema.has_association("Holds")
+        assert not model.client_schema.has_entity_set("Passports")
+        assert model.store_schema.table("Pass").primary_key == ("OwnerId",)
+
+    def test_refactor_roundtrips(self, holds_model, compiler):
+        model = compiler.apply(
+            holds_model, RefactorAssociationToInheritance("Holds")
+        ).model
+        state = ClientState(model.client_schema)
+        state.add_entity("P2s", Entity.of("Person2", Id=1, Name="a"))
+        state.add_entity(
+            "P2s", Entity.of("Passport", Id=2, Name="b", Pno=77, Country="CL")
+        )
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+        full = compile_mapping(model.mapping.clone())
+        assert check_roundtrip(full.views, state, model.store_schema).ok
+
+    def test_wrong_cardinality_rejected(self, compiler):
+        schema = (
+            ClientSchemaBuilder()
+            .entity("A", key=[("Id", INT)])
+            .entity("B", key=[("Id", INT)])
+            .entity_set("As", "A")
+            .entity_set("Bs", "B")
+            .association("R", "A", "B", mult1="*", mult2="*")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table("TA", (Column("Id", INT, False),), ("Id",)),
+                Table("TB", (Column("Id", INT, False),), ("Id",)),
+                Table("J", (Column("A", INT, False), Column("B", INT, False)),
+                      ("A", "B")),
+            ]
+        )
+        mapping = Mapping(
+            schema, store,
+            [
+                MappingFragment("As", False, IsOf("A"), "TA", TRUE, (("Id", "Id"),)),
+                MappingFragment("Bs", False, IsOf("B"), "TB", TRUE, (("Id", "Id"),)),
+                MappingFragment("R", True, TRUE, "J", TRUE,
+                                (("A.Id", "A"), ("B.Id", "B"))),
+            ],
+        )
+        model = CompiledModel(mapping, compile_mapping(mapping).views)
+        with pytest.raises(SmoError):
+            compiler.apply(model, RefactorAssociationToInheritance("R"))
+
+    def test_attribute_clash_rejected(self, compiler):
+        schema = (
+            ClientSchemaBuilder()
+            .entity("A", key=[("Id", INT)], attrs=[("Name", STRING)])
+            .entity("B", key=[("Bid", INT)], attrs=[("Name", STRING)])
+            .entity_set("As", "A")
+            .entity_set("Bs", "B")
+            .association("R", "A", "B", mult1="1", mult2="0..1")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table("TA", (Column("Id", INT, False), Column("Name", STRING)), ("Id",)),
+                Table(
+                    "TB",
+                    (Column("Bid", INT, False), Column("Name", STRING),
+                     Column("Aid", INT, True)),
+                    ("Bid",),
+                    (ForeignKey(("Aid",), "TA", ("Id",)),),
+                ),
+            ]
+        )
+        mapping = Mapping(
+            schema, store,
+            [
+                MappingFragment("As", False, IsOf("A"), "TA", TRUE,
+                                (("Id", "Id"), ("Name", "Name"))),
+                MappingFragment("Bs", False, IsOf("B"), "TB", TRUE,
+                                (("Bid", "Bid"), ("Name", "Name"))),
+                MappingFragment("R", True, TRUE, "TB", IsNotNull("Aid"),
+                                (("B.Bid", "Bid"), ("A.Id", "Aid"))),
+            ],
+        )
+        model = CompiledModel(mapping, compile_mapping(mapping).views)
+        with pytest.raises(SmoError):
+            compiler.apply(model, RefactorAssociationToInheritance("R"))

@@ -1,0 +1,300 @@
+"""Unit tests: AddEntityTPH (Section 3.4) and AddEntityPart (Section 3.3)."""
+
+import pytest
+
+from repro.algebra import Comparison, IsNotNull, IsNull, IsOf, IsOfOnly, TRUE, and_
+from repro.compiler import compile_mapping
+from repro.edm import (
+    Attribute,
+    ClientSchemaBuilder,
+    ClientState,
+    Entity,
+    INT,
+    STRING,
+    enum_domain,
+)
+from repro.errors import SmoError, ValidationError
+from repro.incremental import (
+    AddEntityPart,
+    AddEntityTPH,
+    CompiledModel,
+    IncrementalCompiler,
+    Partition,
+)
+from repro.mapping import Mapping, MappingFragment, check_roundtrip
+from repro.relational import Column, StoreSchema, Table
+
+
+@pytest.fixture
+def compiler():
+    return IncrementalCompiler()
+
+
+@pytest.fixture
+def tph_base():
+    """A one-type hierarchy already mapped TPH (with a Disc column)."""
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Vehicle", key=[("Id", INT)], attrs=[("Make", STRING)])
+        .entity_set("Vehicles", "Vehicle")
+        .build()
+    )
+    store = StoreSchema(
+        [
+            Table(
+                "V",
+                (Column("Id", INT, False), Column("Make", STRING),
+                 Column("Disc", STRING, False)),
+                ("Id",),
+            )
+        ]
+    )
+    mapping = Mapping(
+        schema, store,
+        [
+            MappingFragment(
+                "Vehicles", False, IsOf("Vehicle"), "V",
+                Comparison("Disc", "=", "Vehicle"),
+                (("Id", "Id"), ("Make", "Make")),
+            )
+        ],
+    )
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+@pytest.fixture
+def flat_base():
+    """A one-type hierarchy mapped 1:1 with *no* discriminator column."""
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Node", key=[("Id", INT)])
+        .entity_set("Nodes", "Node")
+        .build()
+    )
+    store = StoreSchema([Table("N", (Column("Id", INT, False),), ("Id",))])
+    mapping = Mapping(
+        schema, store,
+        [MappingFragment("Nodes", False, IsOf("Node"), "N", TRUE, (("Id", "Id"),))],
+    )
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+class TestAddEntityTPH:
+    def test_basic_addition(self, tph_base, compiler):
+        smo = AddEntityTPH.create(
+            tph_base, "Car", "Vehicle", [Attribute("Doors", INT)], "V", "Disc", "Car"
+        )
+        model = compiler.apply(tph_base, smo).model
+        fragment = model.mapping.fragments_for_set("Vehicles")[-1]
+        assert fragment.store_condition == Comparison("Disc", "=", "Car")
+        # parent condition narrowed to ONLY
+        parent_fragment = model.mapping.fragments_for_set("Vehicles")[0]
+        assert parent_fragment.client_condition == IsOfOnly("Vehicle")
+
+    def test_duplicate_discriminator_rejected(self, tph_base, compiler):
+        model = compiler.apply(
+            tph_base,
+            AddEntityTPH.create(tph_base, "Car", "Vehicle", [], "V", "Disc", "Car"),
+        ).model
+        smo = AddEntityTPH.create(model, "Truck", "Vehicle", [], "V", "Disc", "Car")
+        with pytest.raises(ValidationError) as err:
+            compiler.apply(model, smo)
+        assert err.value.check == "discriminator"
+
+    def test_new_columns_created_nullable(self, tph_base, compiler):
+        smo = AddEntityTPH.create(
+            tph_base, "Car", "Vehicle", [Attribute("Doors", INT)], "V", "Disc", "Car"
+        )
+        model = compiler.apply(tph_base, smo).model
+        assert model.store_schema.table("V").column("Doors").nullable
+
+    def test_unmapped_table_rejected(self, tph_base, compiler):
+        smo = AddEntityTPH.create(
+            tph_base, "Car", "Vehicle", [], "Other", "Disc", "Car"
+        )
+        with pytest.raises(SmoError):
+            compiler.apply(tph_base, smo)
+
+    def test_inherited_attrs_must_reuse_columns(self, tph_base, compiler):
+        smo = AddEntityTPH.create(
+            tph_base, "Car", "Vehicle", [], "V", "Disc", "Car",
+            attr_map={"Id": "Id", "Make": "Disc"},
+        )
+        with pytest.raises(SmoError):
+            compiler.apply(tph_base, smo)
+
+    def test_three_level_roundtrip(self, tph_base, compiler):
+        model = compiler.apply(
+            tph_base,
+            AddEntityTPH.create(tph_base, "Car", "Vehicle",
+                                [Attribute("Doors", INT)], "V", "Disc", "Car"),
+        ).model
+        model = compiler.apply(
+            model,
+            AddEntityTPH.create(model, "Sports", "Car",
+                                [Attribute("Top", INT)], "V", "Disc", "Sports"),
+        ).model
+        state = ClientState(model.client_schema)
+        state.add_entity("Vehicles", Entity.of("Vehicle", Id=1, Make="m"))
+        state.add_entity("Vehicles", Entity.of("Car", Id=2, Make="m", Doors=4))
+        state.add_entity(
+            "Vehicles", Entity.of("Sports", Id=3, Make="m", Doors=2, Top=300)
+        )
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+        full = compile_mapping(model.mapping.clone())
+        assert check_roundtrip(full.views, state, model.store_schema).ok
+
+
+class TestTphConversion:
+    """AddEntityTPH on a table with no discriminator converts it to TPH:
+    the column is created, existing rows keep disc = NULL."""
+
+    def test_conversion_narrows_parent_fragment(self, flat_base, compiler):
+        smo = AddEntityTPH.create(
+            flat_base, "Special", "Node", [Attribute("X", STRING)], "N", "Kind", "S"
+        )
+        model = compiler.apply(flat_base, smo).model
+        parent_fragment = model.mapping.fragments_for_set("Nodes")[0]
+        assert IsNull("Kind") in list(parent_fragment.store_condition.atoms())
+
+    def test_conversion_roundtrips(self, flat_base, compiler):
+        smo = AddEntityTPH.create(
+            flat_base, "Special", "Node", [Attribute("X", STRING)], "N", "Kind", "S"
+        )
+        model = compiler.apply(flat_base, smo).model
+        state = ClientState(model.client_schema)
+        state.add_entity("Nodes", Entity.of("Node", Id=1))
+        state.add_entity("Nodes", Entity.of("Special", Id=2, X="x"))
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+        full = compile_mapping(model.mapping.clone())
+        assert check_roundtrip(full.views, state, model.store_schema).ok
+
+    def test_int_discriminator_domain(self, flat_base, compiler):
+        smo = AddEntityTPH.create(
+            flat_base, "Special", "Node", [], "N", "KindNum", 7
+        )
+        model = compiler.apply(flat_base, smo).model
+        assert model.store_schema.table("N").column("KindNum").domain.base == "int"
+
+
+class TestAddEntityPart:
+    def test_partition_fragments_created(self, flat_base, compiler):
+        smo = AddEntityPart(
+            name="P", parent="Node",
+            new_attributes=(Attribute("v", INT),),
+            anchor="Node",
+            partitions=(
+                Partition.of(("Id", "v"), Comparison("v", ">=", 0), "Pos"),
+                Partition.of(("Id", "v"), Comparison("v", "<", 0), "Neg"),
+            ),
+        )
+        model = compiler.apply(flat_base, smo).model
+        fragments = model.mapping.fragments_for_set("Nodes")
+        assert len(fragments) == 3
+        assert model.store_schema.has_table("Pos")
+        assert model.store_schema.has_table("Neg")
+        assert smo.kind == "AEP-2p"
+
+    def test_overlapping_partitions_roundtrip(self, flat_base, compiler):
+        """ψ_i may overlap: an entity stored in several tables (the
+        Name-table pattern)."""
+        smo = AddEntityPart(
+            name="P", parent="Node",
+            new_attributes=(Attribute("v", INT), Attribute("n", STRING)),
+            anchor="Node",
+            partitions=(
+                Partition.of(("Id", "v"), Comparison("v", ">=", 0), "Pos"),
+                Partition.of(("Id", "v"), Comparison("v", "<", 0), "Neg"),
+                Partition.of(("Id", "n"), TRUE, "Names"),
+            ),
+        )
+        model = compiler.apply(flat_base, smo).model
+        state = ClientState(model.client_schema)
+        state.add_entity("Nodes", Entity.of("P", Id=1, v=5, n="a"))
+        state.add_entity("Nodes", Entity.of("P", Id=2, v=-5, n="b"))
+        report = check_roundtrip(model.views, state, model.store_schema)
+        assert report.ok, str(report)
+        # row distribution is as mapped
+        from repro.mapping import apply_update_views
+
+        store = apply_update_views(model.views, state, model.store_schema)
+        assert len(store.rows("Pos")) == 1
+        assert len(store.rows("Neg")) == 1
+        assert len(store.rows("Names")) == 2
+
+    def test_incomplete_partition_rejected(self, flat_base, compiler):
+        smo = AddEntityPart(
+            name="P", parent="Node",
+            new_attributes=(Attribute("v", INT),),
+            anchor="Node",
+            partitions=(
+                Partition.of(("Id", "v"), Comparison("v", ">", 0), "Pos"),
+                Partition.of(("Id", "v"), Comparison("v", "<", 0), "Neg"),
+            ),
+        )
+        # v = 0 falls through both partitions
+        with pytest.raises(ValidationError) as err:
+            compiler.apply(flat_base, smo)
+        assert err.value.check == "coverage"
+
+    def test_unsatisfiable_partition_rejected(self, flat_base, compiler):
+        smo = AddEntityPart(
+            name="P", parent="Node",
+            new_attributes=(Attribute("v", INT),),
+            anchor="Node",
+            partitions=(
+                Partition.of(("Id", "v"), TRUE, "All"),
+                Partition.of(
+                    ("Id", "v"),
+                    and_(Comparison("v", ">", 5), Comparison("v", "<", 3)),
+                    "Never",
+                ),
+            ),
+        )
+        with pytest.raises(ValidationError) as err:
+            compiler.apply(flat_base, smo)
+        assert err.value.check == "partition-satisfiable"
+
+    def test_pinned_attribute_reconstructed(self, flat_base, compiler):
+        """Gender-style: the partitioning attribute is never stored."""
+        smo = AddEntityPart(
+            name="M", parent="Node",
+            new_attributes=(Attribute("g", enum_domain("M", "F")),),
+            anchor="Node",
+            partitions=(
+                Partition.of(("Id",), Comparison("g", "=", "M"), "Ms"),
+                Partition.of(("Id",), Comparison("g", "=", "F"), "Fs"),
+            ),
+        )
+        model = compiler.apply(flat_base, smo).model
+        state = ClientState(model.client_schema)
+        state.add_entity("Nodes", Entity.of("M", Id=1, g="M"))
+        state.add_entity("Nodes", Entity.of("M", Id=2, g="F"))
+        assert check_roundtrip(model.views, state, model.store_schema).ok
+
+    def test_duplicate_tables_rejected(self, flat_base, compiler):
+        smo = AddEntityPart(
+            name="P", parent="Node",
+            new_attributes=(Attribute("v", INT),),
+            anchor="Node",
+            partitions=(
+                Partition.of(("Id", "v"), Comparison("v", ">=", 0), "Same"),
+                Partition.of(("Id", "v"), Comparison("v", "<", 0), "Same"),
+            ),
+        )
+        with pytest.raises(SmoError):
+            compiler.apply(flat_base, smo)
+
+    def test_single_trivial_partition_equals_add_entity(self, flat_base, compiler):
+        """Γ = {(α, TRUE, T, f)} behaves exactly like AddEntity."""
+        smo = AddEntityPart(
+            name="P", parent="Node",
+            new_attributes=(Attribute("v", INT),),
+            anchor="Node",
+            partitions=(Partition.of(("Id", "v"), TRUE, "OnlyT"),),
+        )
+        model = compiler.apply(flat_base, smo).model
+        state = ClientState(model.client_schema)
+        state.add_entity("Nodes", Entity.of("Node", Id=1))
+        state.add_entity("Nodes", Entity.of("P", Id=2, v=9))
+        assert check_roundtrip(model.views, state, model.store_schema).ok

@@ -1,0 +1,89 @@
+"""Fuzz tests: random legal states roundtrip on every workload mapping.
+
+The general state generator plus the empirical roundtrip oracle give a
+schema-agnostic correctness sweep: for each workload (paper example,
+chain, hub-and-rim TPH/TPT, customer) and many seeds, compiled views must
+satisfy Q(V(c)) = c.
+"""
+
+import pytest
+
+from repro.compiler import compile_mapping, optimize_views
+from repro.mapping import check_roundtrip
+from repro.stategen import random_client_state
+from repro.workloads import chain_mapping, customer_mapping, hub_rim_mapping
+from repro.workloads.paper_example import mapping_stage4
+
+
+def _roundtrip_many(mapping, views, seeds, set_names=None, entities_per_set=6):
+    for seed in seeds:
+        state = random_client_state(
+            mapping.client_schema, seed=seed, entities_per_set=entities_per_set,
+            set_names=set_names,
+        )
+        report = check_roundtrip(views, state, mapping.store_schema)
+        assert report.ok, f"seed {seed}: {report}"
+
+
+class TestFuzzRoundtrips:
+    def test_figure1(self):
+        mapping = mapping_stage4()
+        views = compile_mapping(mapping).views
+        _roundtrip_many(mapping, views, range(12))
+
+    def test_figure1_optimized_views(self):
+        mapping = mapping_stage4()
+        result = compile_mapping(mapping, optimize=True)
+        _roundtrip_many(mapping, result.views, range(12))
+
+    def test_chain(self):
+        mapping = chain_mapping(8)
+        views = compile_mapping(mapping).views
+        _roundtrip_many(mapping, views, range(6), entities_per_set=3)
+
+    @pytest.mark.parametrize("style", ["TPH", "TPT"])
+    def test_hub_rim(self, style):
+        mapping = hub_rim_mapping(2, 2, style)
+        views = compile_mapping(mapping).views
+        _roundtrip_many(mapping, views, range(6))
+
+    def test_customer(self):
+        mapping = customer_mapping(scale=0.07)
+        views = compile_mapping(mapping).views
+        _roundtrip_many(mapping, views, range(3), entities_per_set=2)
+
+    def test_incrementally_evolved(self, incrementally_evolved):
+        _roundtrip_many(
+            incrementally_evolved.mapping,
+            incrementally_evolved.views,
+            range(12),
+        )
+
+
+class TestGeneratorProperties:
+    def test_deterministic(self):
+        mapping = mapping_stage4()
+        a = random_client_state(mapping.client_schema, seed=5)
+        b = random_client_state(mapping.client_schema, seed=5)
+        assert a.equals(b)
+
+    def test_different_seeds_differ(self):
+        mapping = mapping_stage4()
+        a = random_client_state(mapping.client_schema, seed=5)
+        b = random_client_state(mapping.client_schema, seed=6)
+        assert not a.equals(b)
+
+    def test_every_set_populated(self):
+        mapping = chain_mapping(4)
+        state = random_client_state(mapping.client_schema, seed=1,
+                                    entities_per_set=2)
+        for entity_set in mapping.client_schema.entity_sets:
+            assert state.entities(entity_set.name)
+
+    def test_set_selection(self):
+        mapping = chain_mapping(4)
+        state = random_client_state(
+            mapping.client_schema, seed=1, set_names=["Entities1"]
+        )
+        assert state.entities("Entities1")
+        assert not state.entities("Entities2")

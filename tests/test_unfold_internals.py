@@ -1,0 +1,134 @@
+"""Unit tests: view-unfolding internals and remaining edge paths."""
+
+import pytest
+
+from repro.algebra import (
+    Col,
+    Comparison,
+    Const,
+    FALSE,
+    IsNull,
+    IsNotNull,
+    IsOf,
+    Not,
+    TRUE,
+    and_,
+)
+from repro.algebra.constructors import EntityCtor, IfCtor
+from repro.query.unfold import _ctor_branches, _specialize_condition
+from repro.workloads.paper_example import client_schema_stage4
+
+
+def _leaf(name):
+    return EntityCtor.identity(name, ["Id"])
+
+
+class TestCtorBranches:
+    def test_single_leaf(self):
+        branches = _ctor_branches(_leaf("A"))
+        assert len(branches) == 1
+        assert branches[0][0] == TRUE
+
+    def test_chain_first_match_semantics(self):
+        chain = IfCtor(
+            Comparison("t1", "=", True),
+            _leaf("A"),
+            IfCtor(Comparison("t2", "=", True), _leaf("B"), _leaf("C")),
+        )
+        branches = _ctor_branches(chain)
+        assert [leaf.type_name for _, leaf in branches] == ["A", "B", "C"]
+        # B's path negates A's condition; C's negates both
+        assert "NOT" in str(branches[1][0])
+        assert str(branches[2][0]).count("NOT") == 2
+
+    def test_nested_then_side(self):
+        inner = IfCtor(Comparison("u", "=", True), _leaf("X"), _leaf("Y"))
+        chain = IfCtor(Comparison("t", "=", True), inner, _leaf("Z"))
+        branches = _ctor_branches(chain)
+        assert [leaf.type_name for _, leaf in branches] == ["X", "Y", "Z"]
+
+
+class TestSpecializeCondition:
+    @pytest.fixture
+    def schema(self):
+        return client_schema_stage4()
+
+    def test_type_atoms_fold(self, schema):
+        assignments = {"Id": Col("Id")}
+        c = _specialize_condition(IsOf("Person"), schema, "Employee", assignments)
+        assert c is TRUE
+        c = _specialize_condition(IsOf("Customer"), schema, "Employee", assignments)
+        assert c is FALSE
+
+    def test_foreign_attribute_folds_false(self, schema):
+        c = _specialize_condition(
+            Comparison("CredScore", ">", 1), schema, "Employee", {"Id": Col("Id")}
+        )
+        assert c is FALSE
+
+    def test_pinned_constant_folds(self, schema):
+        assignments = {"Id": Col("Id"), "Name": Const("fixed")}
+        c = _specialize_condition(
+            Comparison("Name", "=", "fixed"), schema, "Person", assignments
+        )
+        assert c is TRUE
+        c = _specialize_condition(
+            Comparison("Name", "=", "other"), schema, "Person", assignments
+        )
+        assert c is FALSE
+
+    def test_pinned_null_tests(self, schema):
+        assignments = {"Id": Col("Id"), "Name": Const(None)}
+        assert _specialize_condition(IsNull("Name"), schema, "Person", assignments) is TRUE
+        assert (
+            _specialize_condition(IsNotNull("Name"), schema, "Person", assignments)
+            is FALSE
+        )
+
+    def test_column_renaming(self, schema):
+        assignments = {"Id": Col("Id"), "Name": Col("HRName")}
+        c = _specialize_condition(
+            Comparison("Name", "=", "x"), schema, "Person", assignments
+        )
+        assert c == Comparison("HRName", "=", "x")
+
+    def test_negation_of_foreign_attribute(self, schema):
+        """NOT over a missing-attribute atom: atom folds FALSE, NOT gives
+        TRUE — matching the client-side missing-attribute semantics."""
+        c = _specialize_condition(
+            Not(Comparison("CredScore", ">", 1)), schema, "Employee",
+            {"Id": Col("Id")},
+        )
+        assert c is TRUE
+
+    def test_compound_simplification(self, schema):
+        c = _specialize_condition(
+            and_(IsOf("Person"), Comparison("Department", "=", "hr")),
+            schema,
+            "Employee",
+            {"Id": Col("Id"), "Department": Col("Dept")},
+        )
+        assert c == Comparison("Dept", "=", "hr")
+
+
+class TestChecksHelpers:
+    def test_fk_check_vacuous_when_columns_unproduced(self, stage4_compiled):
+        """β columns the update view never produces ⇒ 0 checks run."""
+        from repro.incremental.checks import check_fk_preserved
+        from repro.relational import ForeignKey
+
+        from repro.mapping.views import UpdateView
+        from repro.algebra import Project, ProjItem, Col, SetScan
+
+        slim = stage4_compiled.clone()
+        view = slim.views.update_view("HR")
+        reduced = UpdateView(
+            "HR",
+            Project(SetScan("Persons"), (ProjItem("Id", Col("Id")),)),
+            view.constructor,
+        )
+        slim.views.set_update_view(reduced)
+        count = check_fk_preserved(
+            slim, "HR", ForeignKey(("Name",), "Emp", ("Id",)), None
+        )
+        assert count == 0

@@ -1,0 +1,230 @@
+"""Unit tests: full-validation internals (store cells, FK checks,
+roundtrip spot-check scoping) and viewgen helpers."""
+
+import pytest
+
+from repro.algebra import Comparison, IsNotNull, IsOf, IsOfOnly, TRUE
+from repro.compiler import (
+    SetAnalysis,
+    check_all_foreign_keys,
+    check_store_cells,
+    generate_views,
+    roundtrip_spotcheck,
+)
+from repro.compiler.viewgen import (
+    branch_condition,
+    build_set_query,
+    flag_name,
+    fragment_contribution,
+    store_condition_pins,
+)
+from repro.edm import ClientSchemaBuilder, INT, STRING, enum_domain
+from repro.errors import MappingError, ValidationError
+from repro.mapping import Mapping, MappingFragment
+from repro.relational import Column, ForeignKey, StoreSchema, Table
+from repro.workloads.hub_rim import hub_rim_mapping
+from repro.workloads.paper_example import mapping_stage4
+
+
+class TestStoreCells:
+    def test_cell_count_exponential_in_fk_columns(self):
+        """The hub-and-rim engine: with M rim types the Big table has M+1
+        mutually exclusive discriminator conditions (M+2 regions counting
+        "none") and M independent nullable FK conditions — exactly
+        (M+2)·2^M achievable cells, doubling per added association."""
+        for m in (1, 2, 3):
+            mapping = hub_rim_mapping(1, m, "TPH")
+            count = check_store_cells(mapping, "Big", {})
+            assert count == (m + 2) * 2 ** m
+
+    def test_unachievable_client_cell_rejected(self):
+        """A fragment whose store condition can never hold (conflicting
+        pins) strands its client cell."""
+        schema = (
+            ClientSchemaBuilder()
+            .entity("P", key=[("Id", INT)])
+            .entity_set("Ps", "P")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table(
+                    "T",
+                    (Column("Id", INT, False),
+                     Column("D", enum_domain("a"), False)),
+                    ("Id",),
+                )
+            ]
+        )
+        mapping = Mapping(
+            schema, store,
+            [
+                MappingFragment(
+                    "Ps", False, IsOf("P"), "T",
+                    Comparison("D", "=", "zz"),  # outside D's domain {a}
+                    (("Id", "Id"),),
+                )
+            ],
+        )
+        with pytest.raises(ValidationError) as err:
+            check_store_cells(mapping, "T", {})
+        assert err.value.check == "store-cells"
+
+
+class TestForeignKeyChecks:
+    def test_all_fks_checked(self, stage4_mapping):
+        views = generate_views(stage4_mapping)
+        assert check_all_foreign_keys(stage4_mapping, views) == 2
+
+    def test_selected_tables_only(self, stage4_mapping):
+        views = generate_views(stage4_mapping)
+        assert check_all_foreign_keys(stage4_mapping, views, tables=["HR"]) == 0
+        assert check_all_foreign_keys(stage4_mapping, views, tables=["Emp"]) == 1
+
+    def test_fk_into_unmapped_table_rejected(self):
+        schema = (
+            ClientSchemaBuilder()
+            .entity("P", key=[("Id", INT)])
+            .entity_set("Ps", "P")
+            .build()
+        )
+        store = StoreSchema(
+            [
+                Table(
+                    "T",
+                    (Column("Id", INT, False),),
+                    ("Id",),
+                    (ForeignKey(("Id",), "Ghost", ("G",)),),
+                ),
+                Table("Ghost", (Column("G", INT, False),), ("G",)),
+            ]
+        )
+        mapping = Mapping(
+            schema, store,
+            [MappingFragment("Ps", False, IsOf("P"), "T", TRUE, (("Id", "Id"),))],
+        )
+        views = generate_views(mapping)
+        with pytest.raises(ValidationError) as err:
+            check_all_foreign_keys(mapping, views)
+        assert err.value.check == "fk-preservation"
+
+
+class TestRoundtripSpotcheckScoping:
+    def test_selected_sets_only(self, stage4_mapping):
+        views = generate_views(stage4_mapping)
+        states = roundtrip_spotcheck(
+            stage4_mapping, views, set_names=["Persons"]
+        )
+        assert states > 0
+
+    def test_detects_broken_views(self, stage4_mapping):
+        views = generate_views(stage4_mapping)
+        views.drop_update_view("Emp")
+        with pytest.raises(ValidationError) as err:
+            roundtrip_spotcheck(stage4_mapping, views)
+        assert err.value.check == "roundtrip"
+
+
+class TestViewgenHelpers:
+    def test_fragment_contribution_flags(self, stage4_mapping):
+        fragment = stage4_mapping.fragments[1]  # Employee / Emp
+        contribution = fragment_contribution(fragment, 1)
+        from repro.algebra import Project
+
+        assert isinstance(contribution, Project)
+        assert flag_name(1) in contribution.output_names
+
+    def test_build_set_query_joins_on_key(self, stage4_mapping):
+        from repro.algebra import FullOuterJoin
+
+        query = build_set_query(stage4_mapping.entity_fragments(), ("Id",))
+        assert isinstance(query, FullOuterJoin)
+        assert query.on == ("Id",)
+
+    def test_branch_condition_complete(self):
+        condition = branch_condition(frozenset({0, 2}), 3)
+        rendered = str(condition)
+        assert "_from0" in rendered and "_from1" in rendered and "_from2" in rendered
+        assert rendered.count("NOT") == 1
+
+    def test_store_condition_pins_equality(self):
+        fragment = MappingFragment(
+            "Ps", False, IsOf("P"), "T", Comparison("D", "=", "x"), (("Id", "Id"),)
+        )
+        mapping = None  # pins don't need the mapping for equalities
+        pins = store_condition_pins(fragment, mapping)
+        assert pins == {"D": "x"}
+
+    def test_store_condition_pins_is_null(self):
+        from repro.algebra import IsNull
+
+        fragment = MappingFragment(
+            "Ps", False, IsOf("P"), "T", IsNull("D"), (("Id", "Id"),)
+        )
+        pins = store_condition_pins(fragment, None)
+        assert pins == {"D": None}
+
+    def test_uninvertible_condition_raises(self):
+        fragment = MappingFragment(
+            "Ps", False, IsOf("P"), "T", Comparison("D", ">", 5), (("Id", "Id"),)
+        )
+        with pytest.raises(MappingError):
+            store_condition_pins(fragment, None)
+
+    def test_not_null_on_mapped_column_ok(self):
+        fragment = MappingFragment(
+            "A", True, TRUE, "T", IsNotNull("fk"),
+            (("x.Id", "Id"), ("y.Id", "fk")),
+        )
+        assert store_condition_pins(fragment, None) == {}
+
+
+class TestSetAnalysisInternals:
+    def test_cells_cached(self, stage4_mapping):
+        analysis = SetAnalysis(stage4_mapping, "Persons")
+        first = analysis.cells_for_type("Employee")
+        second = analysis.cells_for_type("Employee")
+        assert first is second
+
+    def test_applicable_fragment_indices(self, stage4_mapping):
+        analysis = SetAnalysis(stage4_mapping, "Persons")
+        assert analysis.applicable_fragment_indices("Customer") == frozenset({2})
+        assert analysis.applicable_fragment_indices("Employee") == frozenset({0, 1})
+
+    def test_covered_attributes(self, stage4_mapping):
+        analysis = SetAnalysis(stage4_mapping, "Persons")
+        cell = analysis.cells_for_type("Customer")[0]
+        coverage = analysis.covered_attributes(cell)
+        assert coverage["CredScore"] == "CredScore"
+        assert all(v is not None for v in coverage.values())
+
+    def test_pinned_value_detects_constant(self):
+        from repro.algebra import and_
+        from repro.compiler.analysis import is_unpinned
+
+        schema = (
+            ClientSchemaBuilder()
+            .entity("P", key=[("Id", INT)],
+                    attrs=[("g", enum_domain("M", "F"))])
+            .entity_set("Ps", "P")
+            .build()
+        )
+        store = StoreSchema([
+            Table("Ms", (Column("Id", INT, False),), ("Id",)),
+            Table("Fs", (Column("Id", INT, False),), ("Id",)),
+        ])
+        mapping = Mapping(
+            schema, store,
+            [
+                MappingFragment("Ps", False,
+                                and_(IsOf("P"), Comparison("g", "=", "M")),
+                                "Ms", TRUE, (("Id", "Id"),)),
+                MappingFragment("Ps", False,
+                                and_(IsOf("P"), Comparison("g", "=", "F")),
+                                "Fs", TRUE, (("Id", "Id"),)),
+            ],
+        )
+        analysis = SetAnalysis(mapping, "Ps")
+        cells = analysis.cells_for_type("P")
+        values = {analysis.pinned_value(c, "g") for c in cells}
+        assert values == {"M", "F"}

@@ -1,0 +1,183 @@
+"""Unit tests: the benchmark workload generators."""
+
+import pytest
+
+from repro.compiler import compile_mapping, generate_views
+from repro.edm import ClientState, Entity
+from repro.incremental import CompiledModel
+from repro.mapping import check_roundtrip
+from repro.workloads.chain import (
+    chain_mapping,
+    entity_name,
+    first_assoc,
+    second_assoc,
+    set_name,
+    table_name,
+)
+from repro.workloads.customer import (
+    HIERARCHY_SIZES,
+    _build_hierarchies,
+    customer_mapping,
+)
+from repro.workloads.hub_rim import hub_rim_mapping, type_count
+
+
+class TestChainModel:
+    def test_shape(self):
+        mapping = chain_mapping(10)
+        schema = mapping.client_schema
+        assert len(schema.entity_types) == 10
+        assert len(schema.entity_sets) == 10
+        assert len(schema.associations) == 18  # 2 per adjacent pair
+        assert len(mapping.store_schema.tables) == 10
+
+    def test_figure8_attributes(self):
+        mapping = chain_mapping(3)
+        attrs = mapping.client_schema.attribute_names_of(entity_name(1))
+        assert attrs == ("Id", "EntityAtt2", "EntityAtt3", "EntityAtt4")
+
+    def test_one_to_one_table_mapping(self):
+        mapping = chain_mapping(5)
+        for index in range(1, 6):
+            fragments = mapping.fragments_for_set(set_name(index))
+            assert len(fragments) == 1
+            assert fragments[0].store_table == table_name(index)
+
+    def test_fk_relationship_per_association(self):
+        mapping = chain_mapping(4)
+        table = mapping.store_schema.table(table_name(1))
+        targets = {fk.ref_table for fk in table.foreign_keys}
+        assert targets == {table_name(2)}
+        assert mapping.fragment_for_association(first_assoc(1)).store_table == table_name(1)
+        assert mapping.fragment_for_association(second_assoc(1)).store_table == table_name(1)
+
+    def test_compiles_and_roundtrips(self):
+        mapping = chain_mapping(5)
+        result = compile_mapping(mapping)
+        state = ClientState(mapping.client_schema)
+        for index in (1, 2):
+            state.add_entity(
+                set_name(index),
+                Entity.of(entity_name(index), Id=index, EntityAtt2="a",
+                          EntityAtt3="b", EntityAtt4="c"),
+            )
+        state.add_association(first_assoc(1), (1,), (2,))
+        assert check_roundtrip(result.views, state, mapping.store_schema).ok
+
+
+class TestHubRim:
+    def test_type_count(self):
+        assert type_count(4, 8) == 36  # the paper's 5-hour case
+
+    def test_tph_single_table(self):
+        mapping = hub_rim_mapping(2, 2, "TPH")
+        assert len(mapping.store_schema.tables) == 1
+        assert len(mapping.client_schema.entity_types) == 6
+
+    def test_tph_discriminator_per_type(self):
+        mapping = hub_rim_mapping(2, 1, "TPH")
+        conditions = [
+            str(f.store_condition)
+            for f in mapping.entity_fragments()
+        ]
+        assert len(set(conditions)) == len(conditions)  # distinct values
+
+    def test_tpt_one_table_per_type_plus_join_tables(self):
+        mapping = hub_rim_mapping(2, 2, "TPT")
+        # 6 entity tables + 4 join tables
+        assert len(mapping.store_schema.tables) == 10
+
+    def test_same_client_schema_both_styles(self):
+        tph = hub_rim_mapping(2, 2, "TPH")
+        tpt = hub_rim_mapping(2, 2, "TPT")
+        assert {t.name for t in tph.client_schema.entity_types} == {
+            t.name for t in tpt.client_schema.entity_types
+        }
+
+    def test_roundtrip_tph(self):
+        mapping = hub_rim_mapping(2, 1, "TPH")
+        result = compile_mapping(mapping)
+        state = ClientState(mapping.client_schema)
+        state.add_entity("Hubs", Entity.of("Hub1", Id=1, HubAtt1="h"))
+        state.add_entity(
+            "Hubs", Entity.of("Hub2", Id=2, HubAtt1="h", HubAtt2="g")
+        )
+        state.add_entity(
+            "Hubs", Entity.of("Rim1_1", Id=3, HubAtt1="h", RimAtt1_1="r")
+        )
+        state.add_association("Link1_1", (1,), (3,))
+        assert check_roundtrip(result.views, state, mapping.store_schema).ok
+
+    def test_roundtrip_tpt(self):
+        mapping = hub_rim_mapping(2, 1, "TPT")
+        result = compile_mapping(mapping)
+        state = ClientState(mapping.client_schema)
+        state.add_entity("Hubs", Entity.of("Hub1", Id=1, HubAtt1="h"))
+        state.add_entity(
+            "Hubs", Entity.of("Rim2_1", Id=4, HubAtt1="h", HubAtt2="g", RimAtt2_1="r")
+        )
+        assert check_roundtrip(result.views, state, mapping.store_schema).ok
+
+    def test_bad_parameters_rejected(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            hub_rim_mapping(0, 3)
+        with pytest.raises(SchemaError):
+            hub_rim_mapping(2, 2, "XXX")
+
+
+class TestCustomerModel:
+    def test_published_statistics_at_full_scale(self):
+        mapping = customer_mapping(scale=1.0)
+        schema = mapping.client_schema
+        assert len(schema.entity_types) == 230
+        hierarchies = _build_hierarchies(1.0, __import__("random").Random(7))
+        non_trivial = [h for h in hierarchies if len(h.types) >= 2]
+        assert len(non_trivial) == 18
+        assert max(len(h.types) for h in hierarchies) == 95
+        # deepest hierarchy has at most four levels
+        max_depth = 0
+        for h in hierarchies:
+            for t in h.types:
+                depth = 1
+                cursor = t
+                while h.parents[cursor] is not None:
+                    cursor = h.parents[cursor]
+                    depth += 1
+                max_depth = max(max_depth, depth)
+        assert max_depth == 4
+
+    def test_deterministic(self):
+        a = customer_mapping(scale=0.1, seed=3)
+        b = customer_mapping(scale=0.1, seed=3)
+        assert [str(f) for f in a.fragments] == [str(f) for f in b.fragments]
+        c = customer_mapping(scale=0.1, seed=4)
+        assert [str(f) for f in a.fragments] != [str(f) for f in c.fragments]
+
+    def test_associations_in_non_junction_tables(self):
+        mapping = customer_mapping(scale=0.2)
+        for fragment in mapping.association_fragments():
+            # the table also stores entity data — not a junction table
+            entity_fragments = [
+                f
+                for f in mapping.fragments_for_table(fragment.store_table)
+                if not f.is_association
+            ]
+            assert entity_fragments
+
+    def test_mixed_styles(self):
+        mapping = customer_mapping(scale=0.3)
+        hierarchies = _build_hierarchies(0.3, __import__("random").Random(7))
+        styles = {h.style for h in hierarchies if len(h.types) > 1}
+        assert styles == {"TPT", "TPH"}
+
+    def test_scaled_compiles(self):
+        mapping = customer_mapping(scale=0.07)
+        result = compile_mapping(mapping)
+        assert result.report is not None
+
+    def test_usable_as_compiled_model(self):
+        mapping = customer_mapping(scale=0.07)
+        model = CompiledModel(mapping, generate_views(mapping))
+        assert model.views.query_views
