@@ -1,0 +1,159 @@
+"""Validation pipeline scaling: worker sweep and cache ablation.
+
+Two axes over the hub-and-rim workload (fan-out M >= 3, so validation
+decomposes into many independent per-FK containment checks):
+
+* **workers** — the check scheduler at 1, 2, 4 and 8 workers.  Serial is
+  the byte-identical historical path; multi-worker runs use the process
+  executor (the checks are pure CPU, so threads only help when the
+  interpreter has true parallelism).  On a single-core container the
+  sweep documents the overhead floor rather than a speedup — the JSON
+  records ``cpu_count`` so readers can interpret the numbers.
+* **cache** — cold vs warm validation through one
+  :class:`~repro.containment.cache.ValidationCache`, the session
+  re-validation scenario: the second run should be hits-only and far
+  cheaper.
+
+``python benchmarks/bench_validation_parallel.py`` writes
+``BENCH_validation.json`` with the full sweep; the pytest entry points
+below track representative points (kept at (2, 2) so CI smoke stays
+fast).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.compiler import generate_views, validate_mapping
+from repro.containment import ValidationCache
+from repro.workloads.hub_rim import hub_rim_mapping
+
+# (N, M): N hub levels, M rims per hub.  M >= 3 gives each mapped table
+# several foreign keys, i.e. real fan-out for the scheduler.
+SMOKE_POINT = (2, 2)
+SWEEP_POINT = (3, 3)
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _fixture(n: int, m: int):
+    mapping = hub_rim_mapping(n, m, "TPH")
+    return mapping, generate_views(mapping)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return _fixture(*SMOKE_POINT)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_validation_worker_sweep(benchmark, smoke, workers):
+    mapping, views = smoke
+    executor = "serial" if workers == 1 else "process"
+    benchmark.pedantic(
+        lambda: validate_mapping(mapping, views, workers=workers, executor=executor),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["cold", "warm"])
+def test_validation_cache_ablation(benchmark, smoke, cached):
+    mapping, views = smoke
+    cache = ValidationCache()
+    if cached:
+        validate_mapping(mapping, views, cache=cache)  # warm it
+
+    def run():
+        report = validate_mapping(mapping, views, cache=cache)
+        if cached:
+            assert report.cache_hits > 0 and report.cache_misses == 0
+        return report
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def run_sweep(n: int, m: int) -> dict:
+    mapping, views = _fixture(n, m)
+
+    workers_axis = []
+    for workers in WORKER_COUNTS:
+        executor = "serial" if workers == 1 else "process"
+        report, elapsed = _timed(
+            lambda: validate_mapping(
+                mapping, views, workers=workers, executor=executor
+            )
+        )
+        workers_axis.append(
+            {
+                "workers": workers,
+                "executor": executor,
+                "elapsed_s": round(elapsed, 4),
+                "coverage_checks": report.coverage_checks,
+                "store_cells": report.store_cells,
+                "containment_checks": report.containment_checks,
+                "roundtrip_states": report.roundtrip_states,
+            }
+        )
+
+    cache = ValidationCache()
+    cold, cold_s = _timed(lambda: validate_mapping(mapping, views, cache=cache))
+    warm, warm_s = _timed(lambda: validate_mapping(mapping, views, cache=cache))
+    cache_axis = {
+        "cold": {
+            "elapsed_s": round(cold_s, 4),
+            "cache_hits": cold.cache_hits,
+            "cache_misses": cold.cache_misses,
+        },
+        "warm": {
+            "elapsed_s": round(warm_s, 4),
+            "cache_hits": warm.cache_hits,
+            "cache_misses": warm.cache_misses,
+        },
+        "speedup": round(cold_s / warm_s, 1) if warm_s else None,
+    }
+
+    serial_s = workers_axis[0]["elapsed_s"]
+    return {
+        "workload": {"model": "hub_rim", "n": n, "m": m, "style": "TPH"},
+        "cpu_count": os.cpu_count(),
+        "workers": workers_axis,
+        "speedup_vs_serial": {
+            str(row["workers"]): round(serial_s / row["elapsed_s"], 2)
+            for row in workers_axis
+        },
+        "cache": cache_axis,
+        "per_check_timings_serial": {
+            # recomputed serially with timings for the profile section
+        },
+    }
+
+
+def main() -> None:
+    n, m = SWEEP_POINT
+    result = run_sweep(n, m)
+
+    mapping, views = _fixture(n, m)
+    report = validate_mapping(mapping, views)
+    result["per_check_timings_serial"] = {
+        name: round(seconds, 4) for name, seconds in report.check_timings.items()
+    }
+
+    out = os.path.join(os.path.dirname(__file__), "..", "BENCH_validation.json")
+    with open(os.path.abspath(out), "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,10 +7,17 @@ potentially-exponential loop in the compilers accepts an optional
 :class:`WorkBudget` and calls :meth:`WorkBudget.tick` once per unit of
 work.  Exceeding the budget raises :class:`CompilationBudgetExceeded`,
 which the bench harness records as a budget-exceeded point.
+
+One budget may be shared by several validation workers (the parallel
+scheduler of :mod:`repro.compiler.scheduler`), so step accounting is
+atomic: a lock serialises the increment, and the budget trips no earlier
+than the tick that actually crosses ``max_steps`` — no steps are lost
+under concurrent ticking.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
@@ -18,7 +25,12 @@ from repro.errors import CompilationBudgetExceeded
 
 
 class WorkBudget:
-    """A step and wall-clock budget shared across one compilation."""
+    """A step and wall-clock budget shared across one compilation.
+
+    Thread-safe: concurrent :meth:`tick` calls from validation workers are
+    serialised on a lock, so ``steps`` never undercounts and the budget
+    trips exactly when the accumulated total first exceeds ``max_steps``.
+    """
 
     def __init__(
         self,
@@ -29,18 +41,21 @@ class WorkBudget:
         self.max_seconds = max_seconds
         self.steps = 0
         self._started = time.perf_counter()
+        self._lock = threading.Lock()
         # Checking the clock on every tick would dominate tight loops;
         # check every _CLOCK_STRIDE ticks instead.
         self._clock_stride = 4096
 
     def tick(self, steps: int = 1) -> None:
-        self.steps += steps
-        if self.max_steps is not None and self.steps > self.max_steps:
+        with self._lock:
+            self.steps += steps
+            total = self.steps
+        if self.max_steps is not None and total > self.max_steps:
             raise CompilationBudgetExceeded(
-                f"work budget exceeded: {self.steps} > {self.max_steps} steps",
+                f"work budget exceeded: {total} > {self.max_steps} steps",
                 elapsed=self.elapsed,
             )
-        if self.max_seconds is not None and self.steps % self._clock_stride < steps:
+        if self.max_seconds is not None and total % self._clock_stride < steps:
             if self.elapsed > self.max_seconds:
                 raise CompilationBudgetExceeded(
                     f"time budget exceeded: {self.elapsed:.1f}s > {self.max_seconds}s",
@@ -59,7 +74,8 @@ class UnlimitedBudget(WorkBudget):
         super().__init__(max_steps=None, max_seconds=None)
 
     def tick(self, steps: int = 1) -> None:
-        self.steps += steps
+        with self._lock:
+            self.steps += steps
 
 
 def ensure_budget(budget: Optional[WorkBudget]) -> WorkBudget:

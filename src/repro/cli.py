@@ -61,7 +61,13 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
     model = load_model(_read_json(args.model))
     budget = WorkBudget(max_seconds=args.budget) if args.budget else None
-    report = validate_mapping(model.mapping, model.views, budget)
+    report = validate_mapping(
+        model.mapping,
+        model.views,
+        budget,
+        workers=args.workers,
+        executor=args.executor,
+    )
     print(f"mapping is valid: {report}")
     return 0
 
@@ -134,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="re-validate a compiled model")
     p.add_argument("model")
     p.add_argument("--budget", type=float, default=None)
+    p.add_argument(
+        "--workers", type=int, default=1, help="validation scheduler workers"
+    )
+    p.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="check executor (default: serial for 1 worker, thread otherwise)",
+    )
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser("views", help="print compiled views as Entity SQL")

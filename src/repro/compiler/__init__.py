@@ -12,12 +12,19 @@ from repro.compiler.optimize import (
     build_optimized_query_views_for_set,
     optimize_views,
 )
+from repro.compiler.scheduler import (
+    CheckResult,
+    ValidationCheck,
+    ValidationScheduler,
+)
 from repro.compiler.validation import (
     ValidationReport,
+    build_validation_checks,
     check_all_foreign_keys,
     check_foreign_key_preserved,
     check_store_cells,
     roundtrip_spotcheck,
+    run_coverage_check,
     validate_mapping,
 )
 from repro.compiler.viewgen import (
@@ -28,14 +35,18 @@ from repro.compiler.viewgen import (
 )
 
 __all__ = [
+    "CheckResult",
     "CompilationResult",
     "SetAnalysis",
     "TypeCell",
+    "ValidationCheck",
     "ValidationReport",
+    "ValidationScheduler",
     "build_association_view",
     "build_optimized_query_views_for_set",
     "build_query_views_for_set",
     "build_update_view",
+    "build_validation_checks",
     "check_all_foreign_keys",
     "check_coverage",
     "check_disambiguation",
@@ -45,5 +56,6 @@ __all__ = [
     "generate_views",
     "optimize_views",
     "roundtrip_spotcheck",
+    "run_coverage_check",
     "validate_mapping",
 ]

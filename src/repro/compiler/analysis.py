@@ -28,6 +28,7 @@ from repro.algebra.conditions import (
     and_,
 )
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.containment.spaces import ClientConditionSpace
 from repro.edm.schema import ClientSchema
 from repro.errors import ValidationError
@@ -57,12 +58,14 @@ class SetAnalysis:
         mapping: Mapping,
         set_name: str,
         budget: Optional[WorkBudget] = None,
+        cache: Optional[ValidationCache] = None,
     ) -> None:
         self.mapping = mapping
         self.schema: ClientSchema = mapping.client_schema
         self.set_name = set_name
         self.fragments: Tuple[MappingFragment, ...] = mapping.fragments_for_set(set_name)
         self.budget = budget
+        self.cache = cache
         self._cells: Dict[str, Tuple[TypeCell, ...]] = {}
 
     # ------------------------------------------------------------------
@@ -80,7 +83,7 @@ class SetAnalysis:
         space = ClientConditionSpace(
             self.schema, self.set_name, conditions, types=(type_name,)
         )
-        vectors = space.truth_vectors(conditions, self.budget)
+        vectors = space.truth_vectors(conditions, self.budget, self.cache)
         cells: List[TypeCell] = []
         for vector, witness in sorted(vectors.items(), key=lambda kv: kv[0], reverse=True):
             signature = frozenset(i for i, bit in enumerate(vector) if bit)

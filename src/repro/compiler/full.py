@@ -17,6 +17,7 @@ from repro.budget import WorkBudget
 from repro.compiler.analysis import SetAnalysis
 from repro.compiler.validation import ValidationReport, validate_mapping
 from repro.compiler.viewgen import generate_views
+from repro.containment.cache import ValidationCache
 from repro.mapping.fragments import Mapping
 from repro.mapping.views import CompiledViews
 
@@ -40,6 +41,10 @@ def compile_mapping(
     budget: Optional[WorkBudget] = None,
     validate: bool = True,
     optimize: bool = False,
+    *,
+    workers: int = 1,
+    executor: Optional[str] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> CompilationResult:
     """Compile *mapping* into query and update views.
 
@@ -48,6 +53,8 @@ def compile_mapping(
     compilation.  ``validate=False`` generates views only — used by the
     view-reuse ablation benchmark.  ``optimize=True`` additionally rewrites
     the query views into the cheaper LOJ/UNION ALL shapes (Section 6).
+    ``workers``/``executor``/``cache`` configure the validation scheduler
+    and memo (see :func:`repro.compiler.validation.validate_mapping`).
     """
     started = time.perf_counter()
     mapping.check_well_formed()
@@ -55,7 +62,15 @@ def compile_mapping(
     views = generate_views(mapping, budget)
     report: Optional[ValidationReport] = None
     if validate:
-        report = validate_mapping(mapping, views, budget, analyses)
+        report = validate_mapping(
+            mapping,
+            views,
+            budget,
+            analyses,
+            workers=workers,
+            executor=executor,
+            cache=cache,
+        )
     if optimize:
         from repro.compiler.optimize import optimize_views
 

@@ -1,0 +1,305 @@
+"""A per-table/per-set scheduler for validation checks.
+
+Full-mapping validation (Algorithm 1 of [13]) decomposes into many
+*independent* units of exponential work: one cell enumeration per store
+table, one containment check per foreign key, one coverage check and one
+roundtrip batch per entity set.  The serial baseline runs them one after
+another; this module executes the same units through an explicit DAG of
+:class:`ValidationCheck` nodes so independent checks can run concurrently.
+
+Three executors:
+
+* ``"serial"`` — run checks in declaration order on the calling thread.
+  Byte-identical behaviour (work order, budget ticks, first error raised)
+  to the pre-scheduler validation loop; the default for ``workers <= 1``.
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  sharing the budget and cache directly.  Under a GIL interpreter this
+  adds no CPU parallelism for the pure-Python checks, but it preserves
+  exact budget/cache semantics and overlaps any releases of the GIL; the
+  default for ``workers > 1``.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` for
+  real CPU parallelism on GIL builds.  The mapping and views are shipped
+  to each worker once (pool initializer); every worker enforces its own
+  copy of the budget limits and reports consumed steps back, which the
+  parent re-accounts into the shared budget as results arrive.  Budget
+  trips are therefore detected at check granularity rather than at single
+  ticks, and the per-session cache is not shared across processes.
+
+Error determinism: in parallel modes, every scheduled check runs (or is
+skipped because a dependency failed) and the error of the *earliest
+failing check in declaration order* is raised — the same error a serial
+run would surface first.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.budget import WorkBudget, ensure_budget
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass
+class ValidationCheck:
+    """One schedulable unit of validation work.
+
+    ``run`` executes the check in-process and returns its counters
+    (e.g. ``{"store_cells": 12}``); a failing check raises.  ``deps`` name
+    checks that must complete first (e.g. store-cell reasoning reads the
+    set analyses the coverage checks build).  ``spec`` is a small picklable
+    ``(kind, *args)`` tuple from which a process worker can re-run the
+    check against its own copy of the mapping and views.
+    """
+
+    name: str
+    kind: str
+    run: Callable[[], Dict[str, int]]
+    deps: Tuple[str, ...] = ()
+    spec: Optional[Tuple[object, ...]] = None
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one executed check."""
+
+    name: str
+    kind: str
+    counters: Dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+
+class ValidationScheduler:
+    """Executes a list of :class:`ValidationCheck` units."""
+
+    def __init__(self, workers: int = 1, executor: Optional[str] = None) -> None:
+        self.workers = max(1, int(workers))
+        if executor is None:
+            executor = "serial" if self.workers == 1 else "thread"
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown validation executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.workers == 1 and executor == "thread":
+            executor = "serial"  # one thread is the serial path, minus the pool
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        checks: Sequence[ValidationCheck],
+        mapping=None,
+        views=None,
+        budget: Optional[WorkBudget] = None,
+    ) -> List[CheckResult]:
+        """Execute all *checks*; return results in declaration order.
+
+        Raises the (deterministically chosen) first error when any check
+        fails.  ``mapping``/``views``/``budget`` are only required by the
+        process executor, which re-materialises them per worker.
+        """
+        checks = list(checks)
+        if self.executor == "serial":
+            return self._run_serial(checks)
+        if self.executor == "thread":
+            return self._run_threads(checks)
+        return self._run_processes(checks, mapping, views, budget)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, checks: List[ValidationCheck]) -> List[CheckResult]:
+        results: List[CheckResult] = []
+        for check in checks:
+            started = time.perf_counter()
+            counters = check.run()
+            results.append(
+                CheckResult(
+                    name=check.name,
+                    kind=check.kind,
+                    counters=counters,
+                    elapsed=time.perf_counter() - started,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_threads(self, checks: List[ValidationCheck]) -> List[CheckResult]:
+        by_name = {check.name: check for check in checks}
+        waiting: Dict[str, Set[str]] = {
+            check.name: {dep for dep in check.deps if dep in by_name}
+            for check in checks
+        }
+        dependents: Dict[str, List[str]] = {}
+        for check in checks:
+            for dep in check.deps:
+                if dep in by_name:
+                    dependents.setdefault(dep, []).append(check.name)
+
+        results: Dict[str, CheckResult] = {}
+        errors: Dict[str, BaseException] = {}
+        submitted: Set[str] = set()
+
+        def timed(check: ValidationCheck) -> CheckResult:
+            started = time.perf_counter()
+            counters = check.run()
+            return CheckResult(
+                name=check.name,
+                kind=check.kind,
+                counters=counters,
+                elapsed=time.perf_counter() - started,
+            )
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures: Dict[Future, str] = {}
+
+            def submit_ready() -> None:
+                for name, deps in waiting.items():
+                    if not deps and name not in submitted:
+                        submitted.add(name)
+                        futures[pool.submit(timed, by_name[name])] = name
+
+            submit_ready()
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = futures.pop(future)
+                    try:
+                        results[name] = future.result()
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        errors[name] = exc
+                        continue
+                    for dependent in dependents.get(name, ()):
+                        waiting[dependent].discard(name)
+                submit_ready()
+
+        self._raise_first_error(checks, errors)
+        return [results[c.name] for c in checks if c.name in results]
+
+    # ------------------------------------------------------------------
+    def _run_processes(
+        self,
+        checks: List[ValidationCheck],
+        mapping,
+        views,
+        budget: Optional[WorkBudget],
+    ) -> List[CheckResult]:
+        if mapping is None or views is None:
+            raise ValueError("the process executor needs the mapping and views")
+        budget = ensure_budget(budget)
+        payload = pickle.dumps(
+            (mapping, views, budget.max_steps, budget.max_seconds)
+        )
+        specs = [check.spec for check in checks]
+        if any(spec is None for spec in specs):
+            raise ValueError("every check needs a picklable spec for process mode")
+
+        results: Dict[str, CheckResult] = {}
+        errors: Dict[str, BaseException] = {}
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_process_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = {
+                pool.submit(_run_check_spec, check.spec): check for check in checks
+            }
+            for future in list(futures):
+                check = futures[future]
+                try:
+                    counters, steps, elapsed = future.result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors[check.name] = exc
+                    continue
+                results[check.name] = CheckResult(
+                    name=check.name,
+                    kind=check.kind,
+                    counters=counters,
+                    elapsed=elapsed,
+                )
+                if steps:
+                    try:
+                        budget.tick(steps)  # re-account worker steps globally
+                    except BaseException as exc:  # CompilationBudgetExceeded
+                        errors.setdefault(check.name, exc)
+
+        self._raise_first_error(checks, errors)
+        return [results[c.name] for c in checks if c.name in results]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _raise_first_error(
+        checks: Sequence[ValidationCheck], errors: Dict[str, BaseException]
+    ) -> None:
+        if not errors:
+            return
+        for check in checks:  # declaration order == serial surfacing order
+            if check.name in errors:
+                raise errors[check.name]
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side
+# ---------------------------------------------------------------------------
+
+_WORKER_CONTEXT: Optional[dict] = None
+
+
+def _init_process_worker(payload: bytes) -> None:
+    """Materialise mapping/views/budget/cache once per worker process."""
+    global _WORKER_CONTEXT
+    from repro.containment.cache import ValidationCache
+
+    mapping, views, max_steps, max_seconds = pickle.loads(payload)
+    if max_steps is None and max_seconds is None:
+        budget = ensure_budget(None)
+    else:
+        budget = WorkBudget(max_steps=max_steps, max_seconds=max_seconds)
+    _WORKER_CONTEXT = {
+        "mapping": mapping,
+        "views": views,
+        "budget": budget,
+        "analyses": {},
+        "cache": ValidationCache(),
+    }
+
+
+def _run_check_spec(spec: Tuple[object, ...]) -> Tuple[Dict[str, int], int, float]:
+    """Run one check inside a worker; return (counters, steps, elapsed)."""
+    from repro.compiler import validation as V
+
+    assert _WORKER_CONTEXT is not None, "worker used before initialisation"
+    context = _WORKER_CONTEXT
+    mapping, views = context["mapping"], context["views"]
+    budget, analyses, cache = context["budget"], context["analyses"], context["cache"]
+    kind, args = spec[0], spec[1:]
+    steps_before = budget.steps
+    started = time.perf_counter()
+    if kind == "coverage":
+        counters = V.run_coverage_check(mapping, args[0], analyses, budget, cache)
+    elif kind == "store-cells":
+        cells = V.check_store_cells(mapping, args[0], analyses, budget, cache)
+        counters = {"store_cells": cells}
+    elif kind == "fk-preservation":
+        table_name, index = args
+        foreign_key = mapping.store_schema.table(table_name).foreign_keys[index]
+        V.check_foreign_key_preserved(
+            mapping, views, table_name, foreign_key, budget, cache
+        )
+        counters = {"containment_checks": 1}
+    elif kind == "roundtrip":
+        states = V.roundtrip_spotcheck(
+            mapping, views, budget, set_names=[args[0]], cache=cache
+        )
+        counters = {"roundtrip_states": states}
+    else:
+        raise ValueError(f"unknown check kind {kind!r}")
+    return counters, budget.steps - steps_before, time.perf_counter() - started

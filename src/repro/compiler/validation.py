@@ -14,19 +14,35 @@ Steps 3-5 are the exponential work the incremental compiler avoids: store
 cell enumeration is exponential in the number of independent store
 conditions per table (the hub-and-rim blow-up of Figure 4), and each
 containment / roundtrip check enumerates canonical states.
+
+The steps decompose into independent per-set / per-table / per-foreign-key
+check units, declared through :func:`build_validation_checks` and executed
+by :class:`repro.compiler.scheduler.ValidationScheduler` — serially by
+default (bit-for-bit the behaviour of the historical sequential loop), or
+concurrently with ``workers > 1``.  Every check unit can additionally be
+memoised in a :class:`~repro.containment.cache.ValidationCache` keyed by
+structural fingerprints of exactly the inputs it reads, which makes
+re-validation after an SMO that left a neighborhood untouched a cache hit.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.conditions import IsNotNull, and_
 from repro.algebra.queries import ProjItem, Project, Query, Select, Col
 from repro.budget import WorkBudget, ensure_budget
 from repro.compiler.analysis import SetAnalysis, check_coverage, check_disambiguation
+from repro.compiler.scheduler import ValidationCheck, ValidationScheduler
 from repro.compiler.viewgen import _produced_columns
+from repro.containment.cache import (
+    ValidationCache,
+    client_slice_tokens,
+    fingerprint,
+    store_table_tokens,
+)
 from repro.containment.checker import (
     canonical_client_states,
     check_containment,
@@ -47,6 +63,11 @@ class ValidationReport:
     containment_checks: int = 0
     roundtrip_states: int = 0
     elapsed: float = 0.0
+    workers: int = 1
+    executor: str = "serial"
+    cache_hits: int = 0
+    cache_misses: int = 0
+    check_timings: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "ValidationReport") -> None:
         self.coverage_checks += other.coverage_checks
@@ -54,13 +75,26 @@ class ValidationReport:
         self.containment_checks += other.containment_checks
         self.roundtrip_states += other.roundtrip_states
         self.elapsed += other.elapsed
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.check_timings.update(other.check_timings)
+
+    def apply_counters(self, counters: Dict[str, int]) -> None:
+        """Accumulate one check's counters (keys match field names)."""
+        for name, value in counters.items():
+            setattr(self, name, getattr(self, name) + value)
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"ValidationReport(coverage={self.coverage_checks}, "
             f"cells={self.store_cells}, containments={self.containment_checks}, "
-            f"roundtrip_states={self.roundtrip_states}, elapsed={self.elapsed:.3f}s)"
+            f"roundtrip_states={self.roundtrip_states}, elapsed={self.elapsed:.3f}s"
         )
+        if self.workers != 1 or self.executor != "serial":
+            text += f", workers={self.workers}, executor={self.executor}"
+        if self.cache_hits or self.cache_misses:
+            text += f", cache={self.cache_hits}h/{self.cache_misses}m"
+        return text + ")"
 
 
 def validate_mapping(
@@ -68,41 +102,195 @@ def validate_mapping(
     views: CompiledViews,
     budget: Optional[WorkBudget] = None,
     analyses: Optional[Dict[str, SetAnalysis]] = None,
+    *,
+    workers: int = 1,
+    executor: Optional[str] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> ValidationReport:
-    """Run all five validation steps; raise ValidationError on failure."""
+    """Run all five validation steps; raise ValidationError on failure.
+
+    ``workers``/``executor`` select how the independent check units run
+    (see :class:`~repro.compiler.scheduler.ValidationScheduler`); the
+    default serial path is behaviour-identical to the historical
+    sequential loop.  ``cache`` memoises check units and their containment
+    / cell-enumeration subproblems across validations.
+    """
     budget = ensure_budget(budget)
     report = ValidationReport()
     started = time.perf_counter()
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
 
-    # Step 1: structural well-formedness.
+    # Step 1: structural well-formedness (cheap, always in-process).
     mapping.check_well_formed()
 
-    # Step 2: per-set coverage and disambiguation.
     if analyses is None:
         analyses = {}
-    for entity_set in mapping.client_schema.entity_sets:
-        if not mapping.fragments_for_set(entity_set.name):
-            continue
-        analysis = analyses.get(entity_set.name)
-        if analysis is None:
-            analysis = SetAnalysis(mapping, entity_set.name, budget)
-            analyses[entity_set.name] = analysis
-        check_coverage(analysis)
-        check_disambiguation(analysis)
-        report.coverage_checks += len(analysis.all_cells())
 
-    # Step 3: store-cell reasoning per table.
-    for table_name in mapping.mapped_tables():
-        report.store_cells += check_store_cells(mapping, table_name, analyses, budget)
+    # Steps 2-5 as a DAG of independent check units.
+    checks = build_validation_checks(mapping, views, budget, analyses, cache)
+    scheduler = ValidationScheduler(workers=workers, executor=executor)
+    results = scheduler.run(checks, mapping, views, budget)
 
-    # Step 4: foreign-key preservation.
-    report.containment_checks += check_all_foreign_keys(mapping, views, budget)
+    for result in results:
+        report.apply_counters(result.counters)
+        report.check_timings[result.name] = result.elapsed
 
-    # Step 5: roundtrip identity on canonical states.
-    report.roundtrip_states += roundtrip_spotcheck(mapping, views, budget)
-
+    report.workers = scheduler.workers
+    report.executor = scheduler.executor
+    if cache is not None:
+        report.cache_hits = cache.hits - hits_before
+        report.cache_misses = cache.misses - misses_before
     report.elapsed = time.perf_counter() - started
     return report
+
+
+def build_validation_checks(
+    mapping: Mapping,
+    views: CompiledViews,
+    budget: WorkBudget,
+    analyses: Dict[str, SetAnalysis],
+    cache: Optional[ValidationCache] = None,
+) -> List[ValidationCheck]:
+    """Declare validation steps 2-5 as schedulable check units.
+
+    Declaration order is exactly the historical sequential order, so the
+    serial executor reproduces the pre-scheduler behaviour tick for tick:
+    coverage per entity set, store cells per mapped table, one containment
+    per foreign key, one roundtrip batch per entity set.
+    """
+    checks: List[ValidationCheck] = []
+
+    # Step 2: per-set coverage and disambiguation.
+    mapped_sets = [
+        entity_set.name
+        for entity_set in mapping.client_schema.entity_sets
+        if mapping.fragments_for_set(entity_set.name)
+    ]
+    for set_name in mapped_sets:
+        checks.append(
+            ValidationCheck(
+                name=f"coverage:{set_name}",
+                kind="coverage",
+                run=_coverage_runner(mapping, set_name, analyses, budget, cache),
+                spec=("coverage", set_name),
+            )
+        )
+
+    # Step 3: store-cell reasoning per table.  Reads the set analyses the
+    # coverage checks build, so depend on them (shared dict in thread mode).
+    for table_name in mapping.mapped_tables():
+        table_sets = {
+            fragment.client_source
+            for fragment in mapping.fragments_for_table(table_name)
+            if not fragment.is_association
+        }
+        deps = tuple(
+            f"coverage:{set_name}"
+            for set_name in mapped_sets
+            if set_name in table_sets
+        )
+        checks.append(
+            ValidationCheck(
+                name=f"store-cells:{table_name}",
+                kind="store-cells",
+                run=_store_cells_runner(mapping, table_name, analyses, budget, cache),
+                deps=deps,
+                spec=("store-cells", table_name),
+            )
+        )
+
+    # Step 4: foreign-key preservation, one check per foreign key.
+    for table_name in mapping.mapped_tables():
+        table = mapping.store_schema.table(table_name)
+        for index, foreign_key in enumerate(table.foreign_keys):
+            checks.append(
+                ValidationCheck(
+                    name=f"fk:{table_name}:{index}",
+                    kind="fk-preservation",
+                    run=_fk_runner(
+                        mapping, views, table_name, foreign_key, budget, cache
+                    ),
+                    spec=("fk-preservation", table_name, index),
+                )
+            )
+
+    # Step 5: roundtrip identity, one batch per entity-set neighborhood.
+    for set_name in mapped_sets:
+        checks.append(
+            ValidationCheck(
+                name=f"roundtrip:{set_name}",
+                kind="roundtrip",
+                run=_roundtrip_runner(mapping, views, set_name, budget, cache),
+                spec=("roundtrip", set_name),
+            )
+        )
+    return checks
+
+
+def _coverage_runner(mapping, set_name, analyses, budget, cache):
+    return lambda: run_coverage_check(mapping, set_name, analyses, budget, cache)
+
+
+def _store_cells_runner(mapping, table_name, analyses, budget, cache):
+    return lambda: {
+        "store_cells": check_store_cells(mapping, table_name, analyses, budget, cache)
+    }
+
+
+def _fk_runner(mapping, views, table_name, foreign_key, budget, cache):
+    def run() -> Dict[str, int]:
+        check_foreign_key_preserved(
+            mapping, views, table_name, foreign_key, budget, cache
+        )
+        return {"containment_checks": 1}
+
+    return run
+
+
+def _roundtrip_runner(mapping, views, set_name, budget, cache):
+    return lambda: {
+        "roundtrip_states": roundtrip_spotcheck(
+            mapping, views, budget, set_names=[set_name], cache=cache
+        )
+    }
+
+
+# ---------------------------------------------------------------------------
+# Step 2: coverage and disambiguation
+# ---------------------------------------------------------------------------
+
+def run_coverage_check(
+    mapping: Mapping,
+    set_name: str,
+    analyses: Dict[str, SetAnalysis],
+    budget: Optional[WorkBudget] = None,
+    cache: Optional[ValidationCache] = None,
+) -> Dict[str, int]:
+    """Coverage + disambiguation for one entity set; returns its counters.
+
+    Memoised under the set's fragments and client-schema neighborhood: any
+    SMO touching either changes the fingerprint and forces a re-check.
+    """
+
+    def compute() -> Dict[str, int]:
+        analysis = analyses.get(set_name)
+        if analysis is None:
+            analysis = SetAnalysis(mapping, set_name, budget, cache)
+            analyses[set_name] = analysis
+        check_coverage(analysis)
+        check_disambiguation(analysis)
+        return {"coverage_checks": len(analysis.all_cells())}
+
+    if cache is None:
+        return compute()
+    key = fingerprint(
+        "coverage-check",
+        set_name,
+        mapping.fragments_for_set(set_name),
+        client_slice_tokens(mapping.client_schema, sets=[set_name]),
+    )
+    return dict(cache.get_or_compute("validation-check", key, compute))
 
 
 # ---------------------------------------------------------------------------
@@ -114,6 +302,7 @@ def check_store_cells(
     table_name: str,
     analyses: Dict[str, SetAnalysis],
     budget: Optional[WorkBudget] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> int:
     """Enumerate the achievable store cells of *table_name* and check that
     every client cell projects onto an achievable store cell.
@@ -122,10 +311,40 @@ def check_store_cells(
     conditions on the table (e.g. nullable foreign-key columns used by
     association fragments) — the full compiler's case-reasoning cost.
     """
+    if cache is None:
+        return _check_store_cells(mapping, table_name, analyses, budget, cache)
+    sets = sorted(
+        {
+            fragment.client_source
+            for fragment in mapping.fragments_for_table(table_name)
+            if not fragment.is_association
+        }
+    )
+    key = fingerprint(
+        "store-cells",
+        store_table_tokens(mapping.store_schema, table_name),
+        mapping.fragments_for_table(table_name),
+        tuple(mapping.fragments_for_set(set_name) for set_name in sets),
+        client_slice_tokens(mapping.client_schema, sets=sets),
+    )
+    return cache.get_or_compute(
+        "validation-check",
+        key,
+        lambda: _check_store_cells(mapping, table_name, analyses, budget, cache),
+    )
+
+
+def _check_store_cells(
+    mapping: Mapping,
+    table_name: str,
+    analyses: Dict[str, SetAnalysis],
+    budget: Optional[WorkBudget],
+    cache: Optional[ValidationCache],
+) -> int:
     fragments = mapping.fragments_for_table(table_name)
     conditions = [f.store_condition for f in fragments]
     space = StoreConditionSpace(mapping.store_schema, table_name, conditions)
-    vectors = space.truth_vectors(conditions, budget)
+    vectors = space.truth_vectors(conditions, budget, cache)
 
     # Positions of each set's entity fragments within the table fragments.
     by_set: Dict[str, List[Tuple[int, MappingFragment]]] = {}
@@ -136,7 +355,7 @@ def check_store_cells(
     for set_name, positioned in by_set.items():
         analysis = analyses.get(set_name)
         if analysis is None:
-            analysis = SetAnalysis(mapping, set_name, budget)
+            analysis = SetAnalysis(mapping, set_name, budget, cache)
             analyses[set_name] = analysis
         # position of each per-set fragment index within this table
         table_position: Dict[int, int] = {}
@@ -172,6 +391,7 @@ def check_all_foreign_keys(
     views: CompiledViews,
     budget: Optional[WorkBudget] = None,
     tables: Optional[Sequence[str]] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> int:
     """One containment check per foreign key of every (selected) mapped table."""
     checks = 0
@@ -180,7 +400,7 @@ def check_all_foreign_keys(
         table = mapping.store_schema.table(table_name)
         for foreign_key in table.foreign_keys:
             check_foreign_key_preserved(
-                mapping, views, table_name, foreign_key, budget
+                mapping, views, table_name, foreign_key, budget, cache
             )
             checks += 1
     return checks
@@ -192,6 +412,7 @@ def check_foreign_key_preserved(
     table_name: str,
     foreign_key,
     budget: Optional[WorkBudget] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> None:
     """Check ``π_β(Q_T) ⊆ π_γ(Q_S)`` on non-null β values (Section 1.1)."""
     update_view = views.update_view(table_name)
@@ -220,7 +441,7 @@ def check_foreign_key_preserved(
         tuple(ProjItem(gamma, Col(gamma)) for gamma in foreign_key.ref_columns),
     )
 
-    result = check_containment(lhs, rhs, mapping.client_schema, budget)
+    result = check_containment(lhs, rhs, mapping.client_schema, budget, cache)
     if not result.holds:
         raise ValidationError(
             f"update views violate foreign key {foreign_key} of table "
@@ -238,6 +459,7 @@ def roundtrip_spotcheck(
     views: CompiledViews,
     budget: Optional[WorkBudget] = None,
     set_names: Optional[Sequence[str]] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> int:
     """Check ``Q(V(c)) = c`` on canonical states, one neighborhood at a time.
 
@@ -254,13 +476,37 @@ def roundtrip_spotcheck(
         s.name for s in schema.entity_sets if mapping.fragments_for_set(s.name)
     ]
     for set_name in names:
-        sets, assocs = _neighborhood_sources(mapping, set_name)
-        relevant = _relevant_views(mapping, views, sets, assocs)
-        conditions = [
-            f.client_condition
-            for name in sets
-            for f in mapping.fragments_for_set(name)
-        ]
+        states_checked += _roundtrip_one_neighborhood(
+            mapping, views, set_name, budget, cache
+        )
+    return states_checked
+
+
+def _roundtrip_one_neighborhood(
+    mapping: Mapping,
+    views: CompiledViews,
+    set_name: str,
+    budget: WorkBudget,
+    cache: Optional[ValidationCache],
+) -> int:
+    """Roundtrip the canonical states of one entity-set neighborhood.
+
+    Memoised under everything the check reads: the neighborhood's schema
+    slice, the fragment conditions seeding the canonical states, the query
+    / association / update views applied, and the store tables whose
+    constraints :func:`check_roundtrip` enforces.
+    """
+    schema = mapping.client_schema
+    sets, assocs = _neighborhood_sources(mapping, set_name)
+    relevant = _relevant_views(mapping, views, sets, assocs)
+    conditions = [
+        f.client_condition
+        for name in sets
+        for f in mapping.fragments_for_set(name)
+    ]
+
+    def compute() -> int:
+        states_checked = 0
         for state in canonical_client_states(schema, sets, assocs, conditions, budget):
             states_checked += 1
             outcome = check_roundtrip(relevant, state, mapping.store_schema)
@@ -270,7 +516,26 @@ def roundtrip_spotcheck(
                     f"{outcome}",
                     check="roundtrip",
                 )
-    return states_checked
+        return states_checked
+
+    if cache is None:
+        return compute()
+    key = fingerprint(
+        "roundtrip",
+        set_name,
+        tuple(sets),
+        tuple(assocs),
+        client_slice_tokens(schema, sets=sets, assocs=assocs),
+        tuple(conditions),
+        tuple(sorted(relevant.query_views.items())),
+        tuple(sorted(relevant.association_views.items())),
+        tuple(sorted(relevant.update_views.items())),
+        tuple(
+            store_table_tokens(mapping.store_schema, table_name)
+            for table_name in sorted(relevant.update_views)
+        ),
+    )
+    return cache.get_or_compute("validation-check", key, compute)
 
 
 def _neighborhood_sources(

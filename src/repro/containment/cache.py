@@ -1,0 +1,209 @@
+"""Structural fingerprints and a fingerprint-keyed validation cache.
+
+The incremental compiler's whole premise (Section 1.2) is that most of a
+mapping survives each SMO unchanged, so most validation work is
+re-derivable from earlier compilations.  This module supplies the
+machinery for *memoised* validation: a stable structural **fingerprint**
+for the inputs of a check (algebra ASTs, conditions, mapping fragments and
+the schema neighborhood they read) and a thread-safe cache keyed by those
+fingerprints.  A check whose complete input fingerprint is unchanged since
+a previous run is a cache hit; any mutation of a fragment, condition,
+view or referenced schema element changes the fingerprint and forces a
+recomputation — stale results can never be served across a mutation.
+
+The cache is deliberately *value-based*: keys are content hashes, not
+object identities, so a structurally identical subproblem posed through
+freshly rebuilt condition/query objects (as every SMO re-validation does)
+still hits the entry of the original.
+
+Used for :func:`repro.containment.checker.check_containment` results,
+:class:`repro.compiler.analysis.SetAnalysis` cell enumerations,
+:meth:`repro.containment.spaces.ConditionSpace.truth_vectors`, and the
+per-check memos of :mod:`repro.compiler.validation`.  One
+:class:`ValidationCache` is held by an ORM session so that re-validation
+of untouched neighborhoods across a sequence of SMOs becomes a hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints
+# ---------------------------------------------------------------------------
+
+def _token(obj: object) -> bytes:
+    """A canonical byte string for *obj*: equal structures → equal tokens.
+
+    Handles the value types that appear in validation inputs: primitives,
+    enums, (frozen) dataclasses — conditions, query nodes, fragments,
+    schema elements, views — plus tuples/lists, sets and dicts.  Unknown
+    types raise instead of falling back to an unstable ``repr``.
+    """
+    if obj is None:
+        return b"null"
+    if isinstance(obj, bool):  # before int: bool is an int subclass
+        return b"b1" if obj else b"b0"
+    if isinstance(obj, int):
+        return b"i" + repr(obj).encode("ascii")
+    if isinstance(obj, float):
+        return b"f" + repr(obj).encode("ascii")
+    if isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        return b"s%d:" % len(encoded) + encoded
+    if isinstance(obj, bytes):
+        return b"y%d:" % len(obj) + obj
+    if isinstance(obj, Enum):
+        return b"e" + type(obj).__name__.encode("utf-8") + b":" + _token(obj.value)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        parts = [b"d" + type(obj).__qualname__.encode("utf-8")]
+        parts.extend(_token(getattr(obj, f.name)) for f in fields(obj))
+        return b"(" + b";".join(parts) + b")"
+    if isinstance(obj, (tuple, list)):
+        return b"(t" + b";".join(_token(item) for item in obj) + b")"
+    if isinstance(obj, (set, frozenset)):
+        return b"(S" + b";".join(sorted(_token(item) for item in obj)) + b")"
+    if isinstance(obj, dict):
+        items = sorted((_token(k), _token(v)) for k, v in obj.items())
+        return b"(m" + b";".join(k + b"=" + v for k, v in items) + b")"
+    raise TypeError(f"cannot fingerprint {type(obj).__name__!r} value {obj!r}")
+
+
+def fingerprint(*objects: object) -> str:
+    """A stable hex digest over the canonical structure of *objects*."""
+    digest = hashlib.sha256()
+    for obj in objects:
+        digest.update(_token(obj))
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def store_table_tokens(store_schema, table_name: str) -> Tuple[object, ...]:
+    """Everything a per-table check reads from the store schema."""
+    return ("table", store_schema.table(table_name))
+
+
+def client_slice_tokens(
+    schema,
+    sets: Sequence[str] = (),
+    assocs: Sequence[str] = (),
+    types: Sequence[str] = (),
+) -> Tuple[object, ...]:
+    """The schema *neighborhood* a client-side check depends on.
+
+    Covers the named entity sets (with their concrete types), the named
+    associations, every association constraining a named set (canonical
+    state legality depends on their multiplicity lower bounds), and the
+    full attribute chains of every type reached — so any schema mutation
+    visible to the check changes the fingerprint.
+    """
+    set_names = sorted(set(sets))
+    type_names = set(types)
+    for set_name in set_names:
+        type_names.update(schema.concrete_types_of_set(set_name))
+    assoc_names = set(assocs)
+    for association in schema.associations:
+        if association.entity_set1 in set_names or association.entity_set2 in set_names:
+            assoc_names.add(association.name)
+    for name in sorted(assoc_names):
+        association = schema.association(name)
+        type_names.add(association.end1.entity_type)
+        type_names.add(association.end2.entity_type)
+
+    tokens: list = []
+    for set_name in set_names:
+        entity_set = schema.entity_set(set_name)
+        tokens.append(("set", entity_set, schema.concrete_types_of_set(set_name)))
+    for name in sorted(assoc_names):
+        tokens.append(("assoc", schema.association(name)))
+    for type_name in sorted(type_names):
+        tokens.append(
+            (
+                "type",
+                type_name,
+                schema.ancestors_or_self(type_name),
+                schema.attributes_of(type_name),
+                schema.key_of(type_name),
+                schema.entity_type(type_name).abstract,
+            )
+        )
+    return tuple(tokens)
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters plus current entry count."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+    def __str__(self) -> str:
+        return f"CacheStats(hits={self.hits}, misses={self.misses}, entries={self.entries})"
+
+
+class ValidationCache:
+    """A thread-safe, fingerprint-keyed memo for validation subproblems.
+
+    Entries are namespaced (``"containment"``, ``"truth-vectors"``,
+    ``"validation-check"``, ...) so unrelated result types never collide.
+    Failed computations (raised exceptions) are never cached: a check that
+    fails is always recomputed, and a mutation that *would make* a check
+    fail necessarily changes its fingerprint, so a stale success can never
+    mask a new failure.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], object] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(
+        self, namespace: str, key: str, compute: Callable[[], T]
+    ) -> T:
+        """Return the cached value for (namespace, key), computing on miss.
+
+        ``compute`` runs outside the lock so concurrent workers are never
+        serialised on each other's computations; on a race both compute
+        and the last write wins (results are deterministic, so the values
+        are equal).
+        """
+        full_key = (namespace, key)
+        with self._lock:
+            if full_key in self._entries:
+                self.hits += 1
+                return self._entries[full_key]  # type: ignore[return-value]
+        value = compute()
+        with self._lock:
+            self.misses += 1
+            self._entries[full_key] = value
+        return value
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self.hits, misses=self.misses, entries=len(self._entries)
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __str__(self) -> str:
+        return f"ValidationCache({self.stats()})"

@@ -41,6 +41,11 @@ from repro.algebra.queries import (
 )
 from repro.budget import WorkBudget, ensure_budget
 from repro.containment.atoms import collect_constants, default_value, value_candidates
+from repro.containment.cache import (
+    ValidationCache,
+    client_slice_tokens,
+    fingerprint,
+)
 from repro.edm.instances import ClientState, Entity
 from repro.edm.schema import ClientSchema
 from repro.errors import EvaluationError, SchemaError
@@ -272,13 +277,39 @@ def check_containment(
     q2: Query,
     schema: ClientSchema,
     budget: Optional[WorkBudget] = None,
+    cache: Optional[ValidationCache] = None,
 ) -> ContainmentResult:
     """Decide ``Q1 ⊆ Q2`` over all legal client states of *schema*.
 
     Both queries must have the same static output columns (the validation
     code aligns them with renaming projections, as the paper does with
     ``π_{β AS γ}``).
+
+    With a *cache*, the result is memoised under a fingerprint of both
+    query trees and the schema neighborhood they scan (including every
+    association whose multiplicity bounds constrain the canonical states),
+    so any mutation that could change the verdict changes the key.
     """
+    if cache is not None:
+        sets, assocs = _sources_of([q1, q2])
+        key = fingerprint(
+            "containment",
+            q1,
+            q2,
+            client_slice_tokens(schema, sets=sets, assocs=assocs),
+        )
+        return cache.get_or_compute(
+            "containment", key, lambda: _check_containment(q1, q2, schema, budget)
+        )
+    return _check_containment(q1, q2, schema, budget)
+
+
+def _check_containment(
+    q1: Query,
+    q2: Query,
+    schema: ClientSchema,
+    budget: Optional[WorkBudget] = None,
+) -> ContainmentResult:
     budget = ensure_budget(budget)
     sets, assocs = _sources_of([q1, q2])
     conditions = _conditions_of(q1) + _conditions_of(q2)

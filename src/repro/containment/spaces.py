@@ -32,6 +32,11 @@ from repro.algebra.conditions import (
 )
 from repro.budget import WorkBudget, ensure_budget
 from repro.containment.atoms import collect_constants, default_value, value_candidates
+from repro.containment.cache import (
+    ValidationCache,
+    client_slice_tokens,
+    fingerprint,
+)
 from repro.edm.schema import ClientSchema
 from repro.errors import SchemaError
 from repro.relational.schema import StoreSchema
@@ -129,6 +134,7 @@ class ConditionSpace:
         self,
         conditions: Sequence[Condition],
         budget: Optional[WorkBudget] = None,
+        cache: Optional["ValidationCache"] = None,
     ) -> Dict[Tuple[bool, ...], Assignment]:
         """All achievable truth vectors over *conditions*, with witnesses.
 
@@ -136,13 +142,39 @@ class ConditionSpace:
         k fragments whose store conditions are independent (e.g. nullable
         foreign-key columns from associations), up to 2^k vectors are
         achievable and each assignment visit costs k evaluations.
+
+        With a *cache*, the enumeration is memoised under a structural
+        fingerprint of the space and the conditions (spaces that cannot
+        describe their inputs return no token and are never cached).
         """
+        conditions = tuple(conditions)
+        if cache is not None:
+            token = self._cache_token(conditions)
+            if token is not None:
+                return cache.get_or_compute(
+                    "truth-vectors",
+                    fingerprint(*token),
+                    lambda: self._compute_truth_vectors(conditions, budget),
+                )
+        return self._compute_truth_vectors(conditions, budget)
+
+    def _compute_truth_vectors(
+        self,
+        conditions: Tuple[Condition, ...],
+        budget: Optional[WorkBudget],
+    ) -> Dict[Tuple[bool, ...], Assignment]:
         vectors: Dict[Tuple[bool, ...], Assignment] = {}
         for assignment in self.assignments(budget):
             vector = tuple(assignment.satisfies(c) for c in conditions)
             if vector not in vectors:
                 vectors[vector] = assignment
         return vectors
+
+    def _cache_token(
+        self, conditions: Tuple[Condition, ...]
+    ) -> Optional[Tuple[object, ...]]:
+        """Fingerprint parts identifying this space, or None (no caching)."""
+        return None
 
 
 class StoreConditionSpace(ConditionSpace):
@@ -180,6 +212,11 @@ class StoreConditionSpace(ConditionSpace):
             values = dict(self._defaults)
             values.update(zip(self._mentioned, combo))
             yield Assignment(None, values, None)
+
+    def _cache_token(
+        self, conditions: Tuple[Condition, ...]
+    ) -> Optional[Tuple[object, ...]]:
+        return ("store-space", self.table, self.conditions, conditions)
 
 
 class ClientConditionSpace(ConditionSpace):
@@ -235,6 +272,18 @@ class ClientConditionSpace(ConditionSpace):
                 values = dict(defaults)
                 values.update(zip(mentioned, combo))
                 yield Assignment(type_name, values, self.schema)
+
+    def _cache_token(
+        self, conditions: Tuple[Condition, ...]
+    ) -> Optional[Tuple[object, ...]]:
+        return (
+            "client-space",
+            self.set_name,
+            self.types,
+            client_slice_tokens(self.schema, types=self.types),
+            self.conditions,
+            conditions,
+        )
 
     def assignments_for_type(
         self, type_name: str, budget: Optional[WorkBudget] = None

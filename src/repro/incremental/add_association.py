@@ -35,6 +35,7 @@ from repro.algebra.queries import (
     TableScan,
 )
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.containment.checker import check_containment
 from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
 from repro.errors import SmoError, ValidationError
@@ -256,7 +257,12 @@ class AddAssociationFK(Smo):
         )
 
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         self.validation_checks = 0
         schema = model.client_schema
         mapping = model.mapping
@@ -291,7 +297,7 @@ class AddAssociationFK(Smo):
             tuple(ProjItem(q, Col(self._f(q))) for q in key1),
         )
         self.validation_checks += 1
-        result = check_containment(lhs, rhs, schema, budget)
+        result = check_containment(lhs, rhs, schema, budget, cache)
         if not result.holds:
             raise ValidationError(
                 f"endpoint {self.end1_type!r} of {self.name!r} cannot be entirely "
@@ -329,7 +335,7 @@ class AddAssociationFK(Smo):
                 tuple(ProjItem(out, Col(out)) for out, _ in projection),
             )
             self.validation_checks += 1
-            result = check_containment(lhs3, rhs3, schema, budget)
+            result = check_containment(lhs3, rhs3, schema, budget, cache)
             if not result.holds:
                 raise ValidationError(
                     f"association {self.name!r} violates foreign key {foreign_key} "
@@ -506,7 +512,12 @@ class AddAssociationJT(Smo):
         )
 
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         self.validation_checks = 0
         schema = model.client_schema
         key1, key2 = self._qualified_keys(model)
@@ -542,7 +553,7 @@ class AddAssociationJT(Smo):
                     ),
                 )
                 self.validation_checks += 1
-                result = check_containment(lhs, rhs, schema, budget)
+                result = check_containment(lhs, rhs, schema, budget, cache)
                 if not result.holds:
                     raise ValidationError(
                         f"join table {self.table!r} violates {foreign_key}\n"

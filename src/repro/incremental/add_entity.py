@@ -44,6 +44,7 @@ from repro.algebra.rewrite import (
     widen_only_condition,
 )
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.containment.checker import check_containment
 from repro.edm.entity import EntityType
 from repro.edm.types import Attribute
@@ -378,7 +379,12 @@ class AddEntity(Smo):
     # ------------------------------------------------------------------
     # Section 3.1.4: validation
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         self.validation_checks = 0
         schema = model.client_schema
         between = set(self._between(model))
@@ -395,7 +401,7 @@ class AddEntity(Smo):
                 if key_owner not in between:
                     continue
                 self._check_association_endpoint(
-                    model, association.name, fragment, end, budget
+                    model, association.name, fragment, end, budget, cache
                 )
 
         # Check 3: foreign keys of T touching mapped columns.
@@ -404,10 +410,10 @@ class AddEntity(Smo):
         for foreign_key in table.foreign_keys:
             if not set(foreign_key.columns) & mapped_columns:
                 continue
-            self._check_foreign_key(model, self.table, foreign_key, budget)
+            self._check_foreign_key(model, self.table, foreign_key, budget, cache)
 
     def _check_association_endpoint(
-        self, model, assoc_name, fragment, end, budget
+        self, model, assoc_name, fragment, end, budget, cache=None
     ) -> None:
         """Checks 1 and 2 for one association endpoint F ∈ p."""
         schema = model.client_schema
@@ -437,7 +443,7 @@ class AddEntity(Smo):
             update_view.query, tuple(ProjItem(b, Col(b)) for b in beta)
         )
         self.validation_checks += 1
-        result = check_containment(lhs, rhs, schema, budget)
+        result = check_containment(lhs, rhs, schema, budget, cache)
         if not result.holds:
             raise ValidationError(
                 f"adding {self.name!r} breaks association {assoc_name!r}: keys of "
@@ -451,9 +457,9 @@ class AddEntity(Smo):
         for foreign_key in table.foreign_keys:
             if not set(foreign_key.columns) & set(beta):
                 continue
-            self._check_foreign_key(model, table_name, foreign_key, budget)
+            self._check_foreign_key(model, table_name, foreign_key, budget, cache)
 
-    def _check_foreign_key(self, model, table_name, foreign_key, budget) -> None:
+    def _check_foreign_key(self, model, table_name, foreign_key, budget, cache=None) -> None:
         """The containment ``π_{β AS β'}(Q_T) ⊆ π_{β'}(Q_{T'})`` (check 3)."""
         if not model.mapping.table_is_mapped(foreign_key.ref_table):
             raise ValidationError(
@@ -476,7 +482,7 @@ class AddEntity(Smo):
             tuple(ProjItem(g, Col(g)) for g in foreign_key.ref_columns),
         )
         self.validation_checks += 1
-        result = check_containment(lhs, rhs, model.client_schema, budget)
+        result = check_containment(lhs, rhs, model.client_schema, budget, cache)
         if not result.holds:
             raise ValidationError(
                 f"adding {self.name!r} violates foreign key {foreign_key} of "

@@ -58,6 +58,7 @@ from repro.algebra.rewrite import (
     widen_only_condition,
 )
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.containment.spaces import ClientConditionSpace
 from repro.edm.entity import EntityType
 from repro.edm.types import Attribute
@@ -306,7 +307,12 @@ class AddEntityPart(Smo):
                 )
 
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         self.validation_checks = 0
         schema = model.client_schema
         set_name = self._entity_set(model)
@@ -359,7 +365,7 @@ class AddEntityPart(Smo):
             for end in association.ends:
                 if end.entity_type in between:
                     self.validation_checks += check_association_endpoint_storable(
-                        model, association.name, fragment, end, budget
+                        model, association.name, fragment, end, budget, cache=cache
                     )
 
         # One foreign-key check per new table (the 2ⁿ cost of AEP-np-TPT).
@@ -369,7 +375,7 @@ class AddEntityPart(Smo):
             for foreign_key in table.foreign_keys:
                 if set(foreign_key.columns) & mapped:
                     self.validation_checks += check_fk_preserved(
-                        model, partition.table, foreign_key, budget
+                        model, partition.table, foreign_key, budget, cache=cache
                     )
 
     def _pins(self, schema, set_name, condition, attr, budget) -> bool:

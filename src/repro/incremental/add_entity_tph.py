@@ -45,6 +45,7 @@ from repro.algebra.queries import (
 )
 from repro.algebra.rewrite import narrow_table_scans, rewrite_query
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.containment.checker import check_containment
 from repro.containment.spaces import StoreConditionSpace
 from repro.edm.entity import EntityType
@@ -306,7 +307,12 @@ class AddEntityTPH(Smo):
                 )
 
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         self.validation_checks = 0
         mapping = model.mapping
 
@@ -342,9 +348,9 @@ class AddEntityTPH(Smo):
         for foreign_key in table.foreign_keys:
             if not set(foreign_key.columns) & new_columns:
                 continue
-            self._check_foreign_key(model, foreign_key, budget)
+            self._check_foreign_key(model, foreign_key, budget, cache)
 
-    def _check_foreign_key(self, model, foreign_key, budget) -> None:
+    def _check_foreign_key(self, model, foreign_key, budget, cache=None) -> None:
         if not model.mapping.table_is_mapped(foreign_key.ref_table):
             raise ValidationError(
                 f"foreign key {foreign_key} references unmapped table "
@@ -366,7 +372,7 @@ class AddEntityTPH(Smo):
             tuple(ProjItem(g, Col(g)) for g in foreign_key.ref_columns),
         )
         self.validation_checks += 1
-        result = check_containment(lhs, rhs, model.client_schema, budget)
+        result = check_containment(lhs, rhs, model.client_schema, budget, cache)
         if not result.holds:
             raise ValidationError(
                 f"adding {self.name!r} violates {foreign_key} of {self.table!r}\n"

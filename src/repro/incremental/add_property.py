@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 from repro.algebra.conditions import IsOf, TRUE
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.compiler.analysis import SetAnalysis, check_coverage, check_disambiguation
 from repro.compiler.viewgen import build_query_views_for_set, build_update_view
 from repro.containment.spaces import ClientConditionSpace
@@ -198,9 +199,14 @@ class AddProperty(Smo):
         model.views.set_update_view(build_update_view(model.mapping, self.table))
 
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         self.validation_checks = 0
-        analysis = SetAnalysis(model.mapping, self._entity_set(model), budget)
+        analysis = SetAnalysis(model.mapping, self._entity_set(model), budget, cache)
         check_coverage(analysis)
         check_disambiguation(analysis)
         table = model.store_schema.table(self.table)
@@ -209,12 +215,12 @@ class AddProperty(Smo):
                 self.table
             ):
                 self.validation_checks += check_fk_preserved(
-                    model, self.table, foreign_key, budget
+                    model, self.table, foreign_key, budget, cache=cache
                 )
             elif set(foreign_key.columns) <= set(table.primary_key):
                 # new table: its key FK must also be checked
                 self.validation_checks += check_fk_preserved(
-                    model, self.table, foreign_key, budget
+                    model, self.table, foreign_key, budget, cache=cache
                 )
 
     # ------------------------------------------------------------------

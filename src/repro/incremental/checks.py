@@ -12,6 +12,7 @@ from typing import Optional
 from repro.algebra.conditions import IsNotNull, and_
 from repro.algebra.queries import AssociationScan, Col, ProjItem, Project, Select
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.containment.checker import check_containment
 from repro.errors import ValidationError
 from repro.incremental.model import CompiledModel
@@ -24,6 +25,7 @@ def check_fk_preserved(
     foreign_key,
     budget: Optional[WorkBudget],
     context: str = "",
+    cache: Optional[ValidationCache] = None,
 ) -> int:
     """``π_{β AS β'}(σ_{β NOT NULL}(Q_T)) ⊆ π_{β'}(Q_{T'})`` or raise.
 
@@ -55,7 +57,7 @@ def check_fk_preserved(
         target_view.query,
         tuple(ProjItem(g, Col(g)) for g in foreign_key.ref_columns),
     )
-    result = check_containment(lhs, rhs, mapping.client_schema, budget)
+    result = check_containment(lhs, rhs, mapping.client_schema, budget, cache)
     if not result.holds:
         raise ValidationError(
             f"update views violate foreign key {foreign_key} of table "
@@ -72,6 +74,7 @@ def check_association_endpoint_storable(
     end,
     budget: Optional[WorkBudget],
     context: str = "",
+    cache: Optional[ValidationCache] = None,
 ) -> int:
     """Check 1 of Section 3.1.4: ``π_{PK_F AS β}(A) ⊆ π_β(Q_R)``.
 
@@ -100,7 +103,7 @@ def check_association_endpoint_storable(
     )
     rhs = Project(update_view.query, tuple(ProjItem(b, Col(b)) for b in beta))
     checks = 1
-    result = check_containment(lhs, rhs, schema, budget)
+    result = check_containment(lhs, rhs, schema, budget, cache)
     if not result.holds:
         raise ValidationError(
             f"keys of new-entity participants in association {assoc_name!r} "
@@ -112,5 +115,7 @@ def check_association_endpoint_storable(
     table = model.store_schema.table(table_name)
     for foreign_key in table.foreign_keys:
         if set(foreign_key.columns) & set(beta):
-            checks += check_fk_preserved(model, table_name, foreign_key, budget, context)
+            checks += check_fk_preserved(
+                model, table_name, foreign_key, budget, context, cache
+            )
     return checks

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.compiler.viewgen import build_update_view
 from repro.errors import SmoError
 from repro.incremental.checks import check_fk_preserved
@@ -58,7 +59,12 @@ class DropAssociation(Smo):
             model.views.drop_update_view(table_name)
 
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         """Foreign keys into the orphaned join table must stay satisfiable."""
         self.validation_checks = 0
         table_name = self._fragment.store_table
@@ -75,6 +81,7 @@ class DropAssociation(Smo):
                         foreign_key,
                         budget,
                         context=f" after dropping {self.name!r}",
+                        cache=cache,
                     )
 
     # ------------------------------------------------------------------

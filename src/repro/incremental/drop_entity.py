@@ -30,6 +30,7 @@ from repro.algebra.conditions import (
 from repro.algebra.queries import scanned_names
 from repro.algebra.simplify import simplify
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.compiler.viewgen import build_query_views_for_set
 from repro.containment.spaces import ClientConditionSpace
 from repro.errors import SmoError
@@ -132,7 +133,12 @@ class DropEntity(Smo):
                 )
 
     # ------------------------------------------------------------------
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         """Check foreign keys pointing *into* tables that lost their data.
 
         A mapped table R with a foreign key into an orphaned table would
@@ -151,6 +157,7 @@ class DropEntity(Smo):
                         foreign_key,
                         budget,
                         context=f" after dropping {self.name!r}",
+                        cache=cache,
                     )
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from typing import Dict, Optional
 
 from repro.algebra.conditions import IsNotNull
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.edm.association import Multiplicity
 from repro.edm.types import Attribute
 from repro.errors import SmoError
@@ -229,8 +230,13 @@ class RefactorAssociationToInheritance(Smo):
     def adapt_update_views(self, model: CompiledModel) -> None:
         self._delegate.adapt_update_views(model)
 
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
-        self._delegate.validate(model, budget)
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
+        self._delegate.validate(model, budget, cache)
         self.validation_checks = self._delegate.validation_checks
 
     def adapt_query_views(self, model: CompiledModel) -> None:

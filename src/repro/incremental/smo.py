@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.budget import WorkBudget
+from repro.containment.cache import ValidationCache
 from repro.errors import ValidationError
 from repro.incremental.model import CompiledModel
 
@@ -42,7 +43,12 @@ class Smo:
     def adapt_update_views(self, model: CompiledModel) -> None:
         raise NotImplementedError
 
-    def validate(self, model: CompiledModel, budget: Optional[WorkBudget]) -> None:
+    def validate(
+        self,
+        model: CompiledModel,
+        budget: Optional[WorkBudget],
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         raise NotImplementedError
 
     def adapt_query_views(self, model: CompiledModel) -> None:
@@ -75,8 +81,13 @@ class IncrementalCompiler:
     an exception" behaviour of Section 4.1.
     """
 
-    def __init__(self, budget: Optional[WorkBudget] = None) -> None:
+    def __init__(
+        self,
+        budget: Optional[WorkBudget] = None,
+        cache: Optional[ValidationCache] = None,
+    ) -> None:
         self.budget = budget
+        self.cache = cache
 
     def apply(self, model: CompiledModel, smo: Smo) -> IncrementalResult:
         started = time.perf_counter()
@@ -85,7 +96,7 @@ class IncrementalCompiler:
         smo.evolve_schemas(evolved)
         smo.adapt_fragments(evolved)
         smo.adapt_update_views(evolved)
-        smo.validate(evolved, self.budget)
+        smo.validate(evolved, self.budget, self.cache)
         smo.adapt_query_views(evolved)
         elapsed = time.perf_counter() - started
         return IncrementalResult(model=evolved, smo=smo, elapsed=elapsed)

@@ -102,8 +102,8 @@ class _Deferred(Smo):
     def adapt_update_views(self, model):
         self._smo.adapt_update_views(model)
 
-    def validate(self, model, budget):
-        self._smo.validate(model, budget)
+    def validate(self, model, budget, cache=None):
+        self._smo.validate(model, budget, cache)
         self.validation_checks = getattr(self._smo, "validation_checks", 0)
 
     def adapt_query_views(self, model):

@@ -30,6 +30,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, List
 
+from typing import Optional
+
+from repro.budget import WorkBudget
+from repro.compiler.validation import ValidationReport, validate_mapping
+from repro.containment.cache import CacheStats, ValidationCache
 from repro.edm.instances import ClientState, Entity
 from repro.errors import ValidationError
 from repro.incremental.model import CompiledModel
@@ -48,7 +53,11 @@ class OrmSession:
     def __init__(self, model: CompiledModel, store_state: StoreState) -> None:
         self.model = model
         self.store_state = store_state
-        self._compiler = IncrementalCompiler()
+        # One fingerprint-keyed memo for the whole session: validation work
+        # for neighborhoods untouched by successive SMOs is re-served from
+        # here instead of being recomputed (the Section 1.2 premise).
+        self.validation_cache = ValidationCache()
+        self._compiler = IncrementalCompiler(cache=self.validation_cache)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -133,6 +142,34 @@ class OrmSession:
         self.model = evolved
         self.store_state = new_store
         return delta
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        budget: Optional[WorkBudget] = None,
+        workers: int = 1,
+        executor: Optional[str] = None,
+    ) -> ValidationReport:
+        """Fully validate the current model through the session cache.
+
+        Repeated calls (and SMO validations in between) share one
+        :class:`ValidationCache`, so re-validating an unchanged or locally
+        changed model is dominated by cache hits — the report's
+        ``cache_hits`` / ``cache_misses`` show the split.
+        """
+        return validate_mapping(
+            self.model.mapping,
+            self.model.views,
+            budget,
+            workers=workers,
+            executor=executor,
+            cache=self.validation_cache,
+        )
+
+    def cache_stats(self) -> CacheStats:
+        return self.validation_cache.stats()
 
     # ------------------------------------------------------------------
     def __str__(self) -> str:

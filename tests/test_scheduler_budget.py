@@ -1,0 +1,181 @@
+"""Unit tests: the validation scheduler and thread-safe work budgets."""
+
+import threading
+
+import pytest
+
+from repro.budget import CompilationBudgetExceeded, WorkBudget
+from repro.compiler import (
+    ValidationCheck,
+    ValidationScheduler,
+    build_validation_checks,
+    generate_views,
+    validate_mapping,
+)
+from repro.budget import ensure_budget
+from repro.errors import ValidationError
+from repro.workloads.hub_rim import hub_rim_mapping
+
+
+class TestThreadSafeBudget:
+    def test_no_ticks_lost_under_contention(self):
+        """N workers ticking concurrently must account every step."""
+        budget = WorkBudget()
+        workers, per_worker = 8, 10_000
+        barrier = threading.Barrier(workers)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_worker):
+                budget.tick()
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert budget.steps == workers * per_worker
+
+    def test_trip_without_losing_steps(self):
+        """When the limit trips under concurrency, the recorded total is at
+        least max_steps — no worker's steps vanished on the way."""
+        max_steps = 5_000
+        budget = WorkBudget(max_steps=max_steps)
+        workers = 8
+        barrier = threading.Barrier(workers)
+        tripped = []
+
+        def worker():
+            barrier.wait()
+            try:
+                while True:
+                    budget.tick()
+            except CompilationBudgetExceeded:
+                tripped.append(True)
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tripped, "budget never tripped"
+        assert budget.steps >= max_steps
+
+    def test_bulk_ticks_counted_exactly(self):
+        budget = WorkBudget()
+        budget.tick(7)
+        budget.tick(5)
+        assert budget.steps == 12
+
+
+class TestScheduler:
+    def _counting_checks(self, names, log):
+        def make(name):
+            def run():
+                log.append(name)
+                return {"coverage_checks": 1}
+
+            return run
+
+        return [ValidationCheck(name=n, kind="coverage", run=make(n)) for n in names]
+
+    def test_serial_runs_in_declaration_order(self):
+        log = []
+        checks = self._counting_checks(["a", "b", "c"], log)
+        results = ValidationScheduler(workers=1).run(checks)
+        assert log == ["a", "b", "c"]
+        assert [r.name for r in results] == ["a", "b", "c"]
+
+    def test_thread_results_in_declaration_order(self):
+        log = []
+        checks = self._counting_checks(["a", "b", "c", "d"], log)
+        results = ValidationScheduler(workers=4, executor="thread").run(checks)
+        assert [r.name for r in results] == ["a", "b", "c", "d"]
+        assert sorted(log) == ["a", "b", "c", "d"]
+
+    def test_dependencies_respected(self):
+        log = []
+        checks = self._counting_checks(["a", "b"], log)
+        checks[1].deps = ("a",)
+        ValidationScheduler(workers=4, executor="thread").run(checks)
+        assert log.index("a") < log.index("b")
+
+    def test_first_error_in_declaration_order(self):
+        """Even when a later-declared check fails first, the error raised
+        is the earliest failing check's — matching serial behaviour."""
+        import time
+
+        def slow_fail():
+            time.sleep(0.05)
+            raise ValidationError("early", check="first")
+
+        def fast_fail():
+            raise ValidationError("late", check="second")
+
+        checks = [
+            ValidationCheck(name="a", kind="coverage", run=slow_fail),
+            ValidationCheck(name="b", kind="coverage", run=fast_fail),
+        ]
+        with pytest.raises(ValidationError) as err:
+            ValidationScheduler(workers=2, executor="thread").run(checks)
+        assert err.value.check == "first"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationScheduler(workers=2, executor="fiber")
+
+
+class TestParallelValidation:
+    @pytest.fixture(scope="class")
+    def hub22(self):
+        mapping = hub_rim_mapping(2, 2, "TPH")
+        return mapping, generate_views(mapping)
+
+    def test_thread_counters_equal_serial(self, hub22):
+        mapping, views = hub22
+        serial = validate_mapping(mapping, views)
+        threaded = validate_mapping(mapping, views, workers=4)
+        for field in (
+            "coverage_checks",
+            "store_cells",
+            "containment_checks",
+            "roundtrip_states",
+        ):
+            assert getattr(threaded, field) == getattr(serial, field)
+        assert threaded.check_timings.keys() == serial.check_timings.keys()
+
+    def test_process_counters_equal_serial(self, hub22):
+        mapping, views = hub22
+        serial = validate_mapping(mapping, views)
+        processed = validate_mapping(mapping, views, workers=2, executor="process")
+        for field in (
+            "coverage_checks",
+            "store_cells",
+            "containment_checks",
+            "roundtrip_states",
+        ):
+            assert getattr(processed, field) == getattr(serial, field)
+
+    def test_budget_trips_under_parallel_validation(self, hub22):
+        mapping, views = hub22
+        with pytest.raises(CompilationBudgetExceeded):
+            validate_mapping(mapping, views, WorkBudget(max_steps=200), workers=4)
+
+    def test_parallel_budget_accounts_all_steps(self, hub22):
+        """Thread workers share one budget: the final step total equals the
+        serial total (same checks, same enumerations)."""
+        mapping, views = hub22
+        serial_budget = ensure_budget(WorkBudget())
+        validate_mapping(mapping, views, serial_budget)
+        parallel_budget = ensure_budget(WorkBudget())
+        validate_mapping(mapping, views, parallel_budget, workers=4)
+        assert parallel_budget.steps == serial_budget.steps
+
+    def test_build_validation_checks_shape(self, hub22):
+        mapping, views = hub22
+        checks = build_validation_checks(mapping, views, WorkBudget(), {})
+        kinds = [c.kind for c in checks]
+        assert kinds == sorted(kinds, key=["coverage", "store-cells", "fk-preservation", "roundtrip"].index)
+        assert all(c.spec is not None for c in checks)
+        names = [c.name for c in checks]
+        assert len(names) == len(set(names))
