@@ -9,7 +9,6 @@ a full Algorithm-1-of-[13] validation of the evolved mapping.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import smo_suite
 from repro.compiler import validate_mapping

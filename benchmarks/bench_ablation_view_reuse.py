@@ -12,11 +12,10 @@ difference is purely view construction).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import smo_suite
 from repro.compiler import generate_views
-from repro.incremental import CompiledModel, IncrementalCompiler
+from repro.incremental import IncrementalCompiler
 from repro.workloads.chain import entity_name
 
 COMPILER = IncrementalCompiler()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.compiler import compile_mapping, generate_views, optimize_views
+from repro.compiler import generate_views, optimize_views
 from repro.edm import ClientState, Entity
 from repro.mapping import apply_query_views, apply_update_views
 from repro.workloads.paper_example import mapping_stage4

@@ -7,7 +7,6 @@ foreign key constraints, one for each new table."
 
 from __future__ import annotations
 
-import time
 
 import pytest
 

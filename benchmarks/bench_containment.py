@@ -14,7 +14,6 @@ from __future__ import annotations
 import pytest
 
 from repro.algebra.conditions import IsNotNull
-from repro.budget import WorkBudget
 from repro.containment.spaces import StoreConditionSpace
 from repro.edm.types import INT
 from repro.relational.schema import Column, StoreSchema, Table

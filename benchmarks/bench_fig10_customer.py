@@ -7,11 +7,9 @@ figure-shaped table comes from ``python -m repro.bench.fig10``.
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
-from repro.bench import smo_suite
 from repro.bench.fig10 import suite_for
 from repro.compiler import compile_mapping
 from repro.errors import ValidationError

@@ -1,0 +1,159 @@
+"""Batched vs sequential SMO application: scheduler work and wall time.
+
+The delta layer's acceptance claim: compiling N non-overlapping SMOs as
+one :meth:`~repro.incremental.smo.IncrementalCompiler.compile_batch`
+validates the *union* neighborhood of the composed delta once, so the
+scheduler runs strictly fewer checks than N sequential
+:meth:`~repro.session.OrmSession.evolve` calls (each of which validates
+its own neighborhood).
+
+Two workloads, both evolved by a batch of K fresh TPT subtypes of the
+workload's root type:
+
+* **hub_rim** — the Figure 4 stress model (TPT style so the base compile
+  stays cheap while the schema is wide);
+* **customer** — the Figure 10 realistic customer-like model.
+
+``python benchmarks/bench_smo_batch.py`` writes ``BENCH_smo_batch.json``;
+the pytest entries below keep a fast smoke point for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, INT
+from repro.incremental import AddEntity, CompiledModel
+from repro.session import OrmSession
+from repro.workloads.customer import customer_mapping
+from repro.workloads.hub_rim import hub_rim_mapping
+
+SMOKE = ("hub_rim", {"n": 1, "m": 2}, 3)
+SWEEP = [
+    ("hub_rim", {"n": 2, "m": 2}, 5),
+    ("customer", {"scale": 0.15, "seed": 7}, 5),
+]
+
+
+def _base_model(workload: str, params: dict) -> CompiledModel:
+    if workload == "hub_rim":
+        mapping = hub_rim_mapping(params["n"], params["m"], "TPT")
+    else:
+        mapping = customer_mapping(params["scale"], seed=params["seed"])
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+def _subtype_smos(model: CompiledModel, count: int):
+    """K non-overlapping SMOs: fresh TPT subtypes of the first root type."""
+    root = model.client_schema.entity_sets[0].root_type
+    return [
+        AddEntity.tpt(
+            model,
+            f"BatchSub{index}",
+            root,
+            [Attribute(f"X{index}", INT)],
+            f"BatchSub{index}T",
+        )
+        for index in range(count)
+    ]
+
+
+def _run_sequential(model: CompiledModel, count: int) -> dict:
+    session = OrmSession.create(model)
+    started = time.perf_counter()
+    for index in range(count):
+        session.evolve(_subtype_smos(session.model, index + 1)[index])
+    elapsed = time.perf_counter() - started
+    return {
+        "evolutions": len(session.journal),
+        "scheduled_checks": sum(e.scheduled_checks for e in session.journal),
+        "elapsed_s": round(elapsed, 4),
+        "fingerprint": session.model.fingerprint(),
+    }
+
+
+def _run_batched(model: CompiledModel, count: int) -> dict:
+    session = OrmSession.create(model)
+    started = time.perf_counter()
+    session.evolve_many(_subtype_smos(session.model, count))
+    elapsed = time.perf_counter() - started
+    entry = session.journal[-1]
+    return {
+        "evolutions": len(session.journal),
+        "scheduled_checks": entry.scheduled_checks,
+        "elapsed_s": round(elapsed, 4),
+        "fingerprint": session.model.fingerprint(),
+    }
+
+
+def _compare(workload: str, params: dict, count: int) -> dict:
+    model = _base_model(workload, params)
+    sequential = _run_sequential(model, count)
+    batched = _run_batched(model, count)
+    assert batched["fingerprint"] == sequential["fingerprint"]
+    assert batched["scheduled_checks"] < sequential["scheduled_checks"], (
+        f"{workload}: batch must schedule strictly fewer checks "
+        f"({batched['scheduled_checks']} vs {sequential['scheduled_checks']})"
+    )
+    for row in (sequential, batched):
+        row.pop("fingerprint")
+    return {
+        "workload": workload,
+        "params": params,
+        "smos": count,
+        "sequential": sequential,
+        "batched": batched,
+        "check_reduction": round(
+            1 - batched["scheduled_checks"] / sequential["scheduled_checks"], 3
+        ),
+        "speedup": round(
+            sequential["elapsed_s"] / batched["elapsed_s"], 2
+        ) if batched["elapsed_s"] else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke entries (CI)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["sequential", "batched"])
+def test_smo_batch_smoke(benchmark, mode):
+    workload, params, count = SMOKE
+    model = _base_model(workload, params)
+    run = _run_sequential if mode == "sequential" else _run_batched
+    benchmark.pedantic(lambda: run(model, count), rounds=1, iterations=1)
+
+
+def test_batch_schedules_fewer_checks():
+    workload, params, count = SMOKE
+    result = _compare(workload, params, count)
+    assert result["check_reduction"] > 0
+
+
+# ---------------------------------------------------------------------------
+# JSON driver
+# ---------------------------------------------------------------------------
+
+def main() -> None:
+    result = {
+        "claim": "one batched neighborhood validation schedules strictly "
+        "fewer checks than per-SMO validation",
+        "points": [
+            _compare(workload, params, count)
+            for workload, params, count in SWEEP
+        ],
+    }
+    out = os.path.join(os.path.dirname(__file__), "..", "BENCH_smo_batch.json")
+    with open(os.path.abspath(out), "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    main()

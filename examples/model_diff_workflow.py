@@ -15,14 +15,7 @@ from __future__ import annotations
 
 from repro.algebra.conditions import IsOf, TRUE
 from repro.compiler import compile_mapping
-from repro.edm import (
-    Attribute,
-    ClientSchemaBuilder,
-    ClientState,
-    Entity,
-    INT,
-    STRING,
-)
+from repro.edm import ClientSchemaBuilder, ClientState, Entity, INT, STRING
 from repro.incremental import CompiledModel, IncrementalCompiler
 from repro.mapping import Mapping, MappingFragment, check_roundtrip
 from repro.modef import infer_style, smos_from_diff

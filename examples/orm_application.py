@@ -15,7 +15,7 @@ from repro.algebra import Comparison, IsOf, and_
 from repro.algebra.conditions import TRUE
 from repro.compiler import compile_mapping
 from repro.edm import Attribute, ClientSchemaBuilder, Entity, INT, STRING
-from repro.incremental import AddEntity, CompiledModel
+from repro.incremental import CompiledModel
 from repro.mapping import Mapping, MappingFragment
 from repro.modef import generate_add_entity
 from repro.query import EntityQuery

@@ -24,7 +24,7 @@ from repro.incremental import (
     CompiledModel,
     IncrementalCompiler,
 )
-from repro.mapping import apply_query_views, apply_update_views, check_roundtrip
+from repro.mapping import apply_update_views, check_roundtrip
 from repro.relational import ForeignKey
 from repro.workloads.paper_example import mapping_stage1, mapping_stage4
 

@@ -34,7 +34,6 @@ from repro.algebra.constructors import (
 from repro.algebra.queries import (
     AssociationScan,
     Col,
-    Const,
     FullOuterJoin,
     Join,
     LeftOuterJoin,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.algebra.conditions import Condition, TupleContext, evaluate_condition
+from repro.algebra.conditions import TupleContext, evaluate_condition
 from repro.algebra.queries import (
     AssociationScan,
     Const,

@@ -4,6 +4,8 @@
     python -m repro validate compiled.json
     python -m repro views compiled.json [NAME]
     python -m repro evolve compiled.json target-schema.json -o next.json
+    python -m repro evolve compiled.json target-schema.json --batch -o next.json
+    python -m repro plan compiled.json target-schema.json
     python -m repro bench {fig4,fig9,fig10}
 
 Model documents are the JSON format of :mod:`repro.msl`; ``fragments``
@@ -90,7 +92,8 @@ def cmd_views(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_evolve(args: argparse.Namespace) -> int:
+def _diffed_smos(args: argparse.Namespace):
+    """(model, smos) for the evolve/plan verbs: diff model against target."""
     from repro.modef import smos_from_diff
 
     model = load_model(_read_json(args.model))
@@ -102,14 +105,45 @@ def cmd_evolve(args: argparse.Namespace) -> int:
         pair.split("=", 1) for pair in (args.style or [])
     )
     smos = smos_from_diff(model, target, style_overrides=overrides or None)
+    return model, smos
+
+
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.compiler.scheduler import describe_checks
+
+    model, smos = _diffed_smos(args)
     compiler = IncrementalCompiler(
         budget=WorkBudget(max_seconds=args.budget) if args.budget else None
     )
-    for result in compiler.apply_all(model, smos):
-        print(f"applied {result}", file=sys.stderr)
-        model = result.model
+    if args.batch:
+        batch = compiler.compile_batch(model, smos)
+        print(f"applied {batch}", file=sys.stderr)
+        print(
+            f"neighborhood {batch.neighborhood}: "
+            f"{describe_checks(batch.check_names)}",
+            file=sys.stderr,
+        )
+        model = batch.model
+    else:
+        for result in compiler.apply_all(model, smos):
+            print(f"applied {result}", file=sys.stderr)
+            model = result.model
     _write(args.output, dumps_model(model))
     return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.compiler.scheduler import describe_checks
+
+    model, smos = _diffed_smos(args)
+    compiler = IncrementalCompiler(
+        budget=WorkBudget(max_seconds=args.budget) if args.budget else None
+    )
+    plan = compiler.plan(model, smos)
+    print(plan.describe())
+    if plan.ok:
+        print(describe_checks(plan.check_names))
+    return 0 if plan.ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -169,7 +203,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="force a mapping style for an added type",
     )
     p.add_argument("--budget", type=float, default=None)
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="compile all diffed SMOs as one batch, validating the union "
+        "neighborhood once",
+    )
     p.set_defaults(fn=cmd_evolve)
+
+    p = sub.add_parser(
+        "plan",
+        help="dry-run the SMOs a target schema implies: delta ops and "
+        "scheduled checks, without writing a model",
+    )
+    p.add_argument("model")
+    p.add_argument("target")
+    p.add_argument(
+        "--style",
+        action="append",
+        metavar="TYPE=TPT|TPC|TPH",
+        help="force a mapping style for an added type",
+    )
+    p.add_argument("--budget", type=float, default=None)
+    p.set_defaults(fn=cmd_plan)
 
     p = sub.add_parser("bench", help="run a figure's benchmark driver")
     p.add_argument("figure", choices=["fig4", "fig9", "fig10"])

@@ -79,6 +79,28 @@ class CheckResult:
     elapsed: float = 0.0
 
 
+def describe_checks(checks: Sequence[object]) -> str:
+    """A one-line ``N check(s): kind xM, ...`` summary.
+
+    Accepts :class:`ValidationCheck` objects or bare check names (the
+    ``kind:qualifier`` strings a :class:`~repro.incremental.smo.BatchResult`
+    or plan reports); used by the ``repro plan`` / ``repro evolve --batch``
+    output.
+    """
+    names = [
+        check.name if isinstance(check, ValidationCheck) else str(check)
+        for check in checks
+    ]
+    if not names:
+        return "0 checks"
+    kinds: Dict[str, int] = {}
+    for name in names:
+        kind = name.split(":", 1)[0]
+        kinds[kind] = kinds.get(kind, 0) + 1
+    summary = ", ".join(f"{kind} x{count}" for kind, count in sorted(kinds.items()))
+    return f"{len(names)} check(s): {summary}"
+
+
 class ValidationScheduler:
     """Executes a list of :class:`ValidationCheck` units."""
 

@@ -145,12 +145,67 @@ def validate_mapping(
     return report
 
 
+def validate_delta_neighborhood(
+    mapping: Mapping,
+    views: CompiledViews,
+    neighborhood,
+    budget: Optional[WorkBudget] = None,
+    *,
+    workers: int = 1,
+    executor: Optional[str] = None,
+    cache: Optional[ValidationCache] = None,
+) -> Tuple[ValidationReport, List[str]]:
+    """Validate only a delta's touched neighborhood (steps 2-5, scoped).
+
+    ``neighborhood`` is a :class:`~repro.incremental.delta.Neighborhood`
+    (anything with ``sets``/``tables`` works).  The same check units as
+    :func:`validate_mapping` are generated, restricted to the touched
+    entity sets and tables, and run through the scheduler — this is the
+    single validation pass a batched evolution pays for its composed
+    delta.  Returns the report plus the names of the checks that ran.
+    """
+    budget = ensure_budget(budget)
+    report = ValidationReport()
+    started = time.perf_counter()
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+
+    mapping.check_well_formed()
+
+    checks = build_validation_checks(
+        mapping,
+        views,
+        budget,
+        {},
+        cache,
+        sets=tuple(neighborhood.sets),
+        tables=tuple(neighborhood.tables),
+    )
+    scheduler = ValidationScheduler(workers=workers, executor=executor)
+    results = scheduler.run(checks, mapping, views, budget)
+
+    for result in results:
+        report.apply_counters(result.counters)
+        report.check_timings[result.name] = result.elapsed
+
+    report.workers = scheduler.workers
+    report.executor = scheduler.executor
+    if cache is not None:
+        report.cache_hits = cache.hits - hits_before
+        report.cache_misses = cache.misses - misses_before
+    report.elapsed = time.perf_counter() - started
+    return report, [check.name for check in checks]
+
+
 def build_validation_checks(
     mapping: Mapping,
     views: CompiledViews,
     budget: WorkBudget,
     analyses: Dict[str, SetAnalysis],
     cache: Optional[ValidationCache] = None,
+    *,
+    sets: Optional[Sequence[str]] = None,
+    tables: Optional[Sequence[str]] = None,
 ) -> List[ValidationCheck]:
     """Declare validation steps 2-5 as schedulable check units.
 
@@ -158,15 +213,31 @@ def build_validation_checks(
     serial executor reproduces the pre-scheduler behaviour tick for tick:
     coverage per entity set, store cells per mapped table, one containment
     per foreign key, one roundtrip batch per entity set.
+
+    ``sets``/``tables`` scope the check DAG to a delta's touched
+    neighborhood (both default to everything the mapping mentions);
+    unmapped names in either are silently dropped, so callers can pass a
+    :class:`~repro.incremental.delta.Neighborhood` verbatim.
     """
     checks: List[ValidationCheck] = []
 
     # Step 2: per-set coverage and disambiguation.
-    mapped_sets = [
-        entity_set.name
-        for entity_set in mapping.client_schema.entity_sets
-        if mapping.fragments_for_set(entity_set.name)
-    ]
+    if sets is None:
+        mapped_sets = [
+            entity_set.name
+            for entity_set in mapping.client_schema.entity_sets
+            if mapping.fragments_for_set(entity_set.name)
+        ]
+    else:
+        mapped_sets = [
+            set_name for set_name in sets if mapping.fragments_for_set(set_name)
+        ]
+    if tables is None:
+        mapped_tables: Tuple[str, ...] = tuple(mapping.mapped_tables())
+    else:
+        mapped_tables = tuple(
+            table_name for table_name in tables if mapping.table_is_mapped(table_name)
+        )
     for set_name in mapped_sets:
         checks.append(
             ValidationCheck(
@@ -179,7 +250,7 @@ def build_validation_checks(
 
     # Step 3: store-cell reasoning per table.  Reads the set analyses the
     # coverage checks build, so depend on them (shared dict in thread mode).
-    for table_name in mapping.mapped_tables():
+    for table_name in mapped_tables:
         table_sets = {
             fragment.client_source
             for fragment in mapping.fragments_for_table(table_name)
@@ -201,7 +272,7 @@ def build_validation_checks(
         )
 
     # Step 4: foreign-key preservation, one check per foreign key.
-    for table_name in mapping.mapped_tables():
+    for table_name in mapped_tables:
         table = mapping.store_schema.table(table_name)
         for index, foreign_key in enumerate(table.foreign_keys):
             checks.append(

@@ -60,7 +60,6 @@ from repro.algebra.queries import (
 from repro.budget import WorkBudget
 from repro.compiler.analysis import SetAnalysis, TypeCell, is_unpinned
 from repro.containment.spaces import ClientConditionSpace
-from repro.edm.schema import ClientSchema
 from repro.errors import MappingError
 from repro.mapping.fragments import Mapping, MappingFragment
 from repro.mapping.views import AssociationView, CompiledViews, QueryView, UpdateView

@@ -30,7 +30,7 @@ import hashlib
 import threading
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
-from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -153,6 +153,25 @@ class CacheStats:
         return f"CacheStats(hits={self.hits}, misses={self.misses}, entries={self.entries})"
 
 
+class CacheTransaction:
+    """Records the keys inserted while one compilation attempt runs.
+
+    Obtained from :meth:`ValidationCache.begin_transaction`; on
+    :meth:`~ValidationCache.rollback` every recorded insertion is evicted.
+    Entries computed against a model that was subsequently *rejected*
+    (validation abort) are fingerprinted against state that never became
+    real — harmless for correctness (a conflicting later model fingerprints
+    differently) but they would occupy the cache forever and could be
+    served to a byte-identical retry of the rejected evolution.  Rolling
+    them back keeps the cache an index over models that actually exist.
+    """
+
+    __slots__ = ("inserted",)
+
+    def __init__(self) -> None:
+        self.inserted: set = set()
+
+
 class ValidationCache:
     """A thread-safe, fingerprint-keyed memo for validation subproblems.
 
@@ -162,11 +181,17 @@ class ValidationCache:
     fails is always recomputed, and a mutation that *would make* a check
     fail necessarily changes its fingerprint, so a stale success can never
     mask a new failure.
+
+    :meth:`begin_transaction` / :meth:`commit` / :meth:`rollback` bracket
+    one compilation attempt: insertions made while a transaction is open
+    are recorded, and a rollback (SMO aborted) evicts them, so the cache
+    never retains entries fingerprinted against a rejected model.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[str, str], object] = {}
         self._lock = threading.Lock()
+        self._transactions: list = []
         self.hits = 0
         self.misses = 0
 
@@ -188,8 +213,32 @@ class ValidationCache:
         value = compute()
         with self._lock:
             self.misses += 1
+            if full_key not in self._entries:
+                for transaction in self._transactions:
+                    transaction.inserted.add(full_key)
             self._entries[full_key] = value
         return value
+
+    # -- transactional bracketing -----------------------------------
+    def begin_transaction(self) -> CacheTransaction:
+        transaction = CacheTransaction()
+        with self._lock:
+            self._transactions.append(transaction)
+        return transaction
+
+    def commit(self, transaction: CacheTransaction) -> None:
+        """Keep the transaction's insertions; stop recording into it."""
+        with self._lock:
+            if transaction in self._transactions:
+                self._transactions.remove(transaction)
+
+    def rollback(self, transaction: CacheTransaction) -> None:
+        """Evict every entry inserted while the transaction was open."""
+        with self._lock:
+            if transaction in self._transactions:
+                self._transactions.remove(transaction)
+            for full_key in transaction.inserted:
+                self._entries.pop(full_key, None)
 
     def stats(self) -> CacheStats:
         with self._lock:

@@ -9,7 +9,7 @@ roundtrip oracle compares ``Q(V(c))`` with ``c`` for equality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.edm.schema import ClientSchema
 from repro.errors import EvaluationError, SchemaError
@@ -199,8 +199,10 @@ class ClientState:
         """The paper's ``f(c)``: the same state read under an evolved schema.
 
         Shared components keep their contents; components new in *schema*
-        are empty.  Components of ``self`` missing from *schema* must be
-        empty, otherwise the embedding is undefined.
+        are empty.  Attributes new in *schema* (AddProperty) are padded
+        with NULL when nullable; the embedding is undefined — and raises —
+        when they are not.  Components of ``self`` missing from *schema*
+        must be empty, otherwise the embedding is undefined.
         """
         result = ClientState(schema)
         for set_name, entities in self._entities.items():
@@ -211,6 +213,20 @@ class ClientState:
                     )
                 continue
             for entity in entities:
+                expected = schema.attribute_names_of(entity.concrete_type)
+                provided = {name for name, _ in entity.values}
+                gained = [
+                    name for name in expected
+                    if name not in provided
+                    and schema.attribute_of(entity.concrete_type, name).nullable
+                ]
+                if gained:
+                    entity = Entity(
+                        entity.concrete_type,
+                        tuple(sorted(
+                            entity.values + tuple((n, None) for n in gained)
+                        )),
+                    )
                 result.add_entity(set_name, entity)
         for assoc_name, pairs in self._associations.items():
             if not schema.has_association(assoc_name):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
+from repro.edm.association import AssociationSet
 from repro.edm.entity import EntitySet, EntityType
 from repro.edm.types import Attribute
 from repro.errors import SchemaError
@@ -119,6 +119,38 @@ class ClientSchema:
         if name not in self._associations:
             raise SchemaError(f"association {name!r} does not exist")
         return self._associations.pop(name)
+
+    def drop_entity_set(self, name: str) -> EntitySet:
+        """Remove an entity set no association references (delta inverses)."""
+        if name not in self._sets:
+            raise SchemaError(f"entity set {name!r} does not exist")
+        for association in self._associations.values():
+            if name in (association.entity_set1, association.entity_set2):
+                raise SchemaError(
+                    f"cannot drop set {name!r}: association "
+                    f"{association.name!r} references it"
+                )
+        return self._sets.pop(name)
+
+    def drop_attribute(self, type_name: str, attr_name: str) -> Attribute:
+        """Remove a non-key attribute declared on ``type_name`` itself."""
+        entity_type = self.entity_type(type_name)
+        if attr_name in entity_type.key:
+            raise SchemaError(f"cannot drop key attribute {attr_name!r} of {type_name!r}")
+        remaining = tuple(a for a in entity_type.attributes if a.name != attr_name)
+        if len(remaining) == len(entity_type.attributes):
+            raise SchemaError(
+                f"attribute {attr_name!r} is not declared on {type_name!r}"
+            )
+        removed = next(a for a in entity_type.attributes if a.name == attr_name)
+        self._types[type_name] = EntityType(
+            name=entity_type.name,
+            parent=entity_type.parent,
+            attributes=remaining,
+            key=entity_type.key,
+            abstract=entity_type.abstract,
+        )
+        return removed
 
     def add_attribute(self, type_name: str, attribute: Attribute) -> None:
         """Add an attribute to an existing entity type (the AddProperty SMO)."""

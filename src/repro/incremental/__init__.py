@@ -5,11 +5,30 @@ from repro.incremental.add_entity import AddEntity
 from repro.incremental.add_entity_part import AddEntityPart, Partition
 from repro.incremental.add_entity_tph import AddEntityTPH
 from repro.incremental.add_property import AddProperty
+from repro.incremental.delta import (
+    DeltaRecorder,
+    MappingDelta,
+    Neighborhood,
+    Touched,
+)
 from repro.incremental.drop_association import DropAssociation
 from repro.incremental.drop_entity import DropEntity
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import (
+    attr_to_column,
+    entity_flag,
+    partition_flag,
+    qualify,
+    resolve_attr_map,
+)
 from repro.incremental.refactor import RefactorAssociationToInheritance
-from repro.incremental.smo import IncrementalCompiler, IncrementalResult, Smo
+from repro.incremental.smo import (
+    BatchResult,
+    EvolutionPlan,
+    IncrementalCompiler,
+    IncrementalResult,
+    Smo,
+)
 
 __all__ = [
     "AddAssociationFK",
@@ -18,12 +37,23 @@ __all__ = [
     "AddEntityPart",
     "AddEntityTPH",
     "AddProperty",
+    "BatchResult",
     "CompiledModel",
+    "DeltaRecorder",
     "DropAssociation",
     "DropEntity",
+    "EvolutionPlan",
     "IncrementalCompiler",
     "IncrementalResult",
+    "MappingDelta",
+    "Neighborhood",
     "Partition",
     "RefactorAssociationToInheritance",
     "Smo",
+    "Touched",
+    "attr_to_column",
+    "entity_flag",
+    "partition_flag",
+    "qualify",
+    "resolve_attr_map",
 ]

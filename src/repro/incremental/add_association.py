@@ -40,16 +40,21 @@ from repro.containment.checker import check_containment
 from repro.edm.association import AssociationEnd, AssociationSet, Multiplicity
 from repro.errors import SmoError, ValidationError
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import (
+    attr_to_column,
+    build_join_table,
+    qualified_keys,
+    resolve_multiplicity,
+    role_names,
+)
 from repro.incremental.smo import Smo
 from repro.mapping.fragments import MappingFragment
 from repro.mapping.views import AssociationView, UpdateView
 from repro.relational.schema import Column, ForeignKey, Table
 
 
-def _resolve_multiplicity(value) -> Multiplicity:
-    if isinstance(value, Multiplicity):
-        return value
-    return {m.value: m for m in Multiplicity}[value]
+# Backwards-compatible alias; the shared helper lives in naming.py now.
+_resolve_multiplicity = resolve_multiplicity
 
 
 @dataclass
@@ -104,23 +109,19 @@ class AddAssociationFK(Smo):
 
     # ------------------------------------------------------------------
     def _roles(self) -> Tuple[str, str]:
-        return (
-            self.role1 if self.role1 else self.end1_type,
-            self.role2 if self.role2 else self.end2_type,
-        )
+        return role_names(self.end1_type, self.end2_type, self.role1, self.role2)
 
     def _qualified_keys(self, model: CompiledModel) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
-        schema = model.client_schema
-        role1, role2 = self._roles()
-        key1 = tuple(f"{role1}.{k}" for k in schema.key_of(self.end1_type))
-        key2 = tuple(f"{role2}.{k}" for k in schema.key_of(self.end2_type))
-        return key1, key2
+        return qualified_keys(
+            model.client_schema,
+            self.end1_type,
+            self.end2_type,
+            self.role1,
+            self.role2,
+        )
 
     def _f(self, attr: str) -> str:
-        for client_attr, column in self.attr_map:
-            if client_attr == attr:
-                return column
-        raise SmoError(f"attribute {attr!r} not covered by f in {self.describe()}")
+        return attr_to_column(self.attr_map, attr, self.describe())
 
     # ------------------------------------------------------------------
     def check_preconditions(self, model: CompiledModel) -> None:
@@ -423,23 +424,19 @@ class AddAssociationJT(Smo):
         return f"{self.kind}({self.name}: {self.end1_type} -- {self.end2_type} -> {self.table})"
 
     def _roles(self) -> Tuple[str, str]:
-        return (
-            self.role1 if self.role1 else self.end1_type,
-            self.role2 if self.role2 else self.end2_type,
-        )
+        return role_names(self.end1_type, self.end2_type, self.role1, self.role2)
 
     def _qualified_keys(self, model: CompiledModel):
-        schema = model.client_schema
-        role1, role2 = self._roles()
-        key1 = tuple(f"{role1}.{k}" for k in schema.key_of(self.end1_type))
-        key2 = tuple(f"{role2}.{k}" for k in schema.key_of(self.end2_type))
-        return key1, key2
+        return qualified_keys(
+            model.client_schema,
+            self.end1_type,
+            self.end2_type,
+            self.role1,
+            self.role2,
+        )
 
     def _f(self, attr: str) -> str:
-        for client_attr, column in self.attr_map:
-            if client_attr == attr:
-                return column
-        raise SmoError(f"attribute {attr!r} not covered by f in {self.describe()}")
+        return attr_to_column(self.attr_map, attr, self.describe())
 
     # ------------------------------------------------------------------
     def check_preconditions(self, model: CompiledModel) -> None:
@@ -475,17 +472,17 @@ class AddAssociationJT(Smo):
             model.store_schema.add_table(self._build_table(model))
 
     def _build_table(self, model: CompiledModel) -> Table:
-        schema = model.client_schema
         key1, key2 = self._qualified_keys(model)
-        columns = []
-        for attr, column_name in self.attr_map:
-            plain = attr.split(".", 1)[1]
-            owner = self.end1_type if attr in key1 else self.end2_type
-            attribute = schema.attribute_of(owner, plain)
-            columns.append(Column(column_name, attribute.domain, nullable=False))
-        primary_key = tuple(self._f(a) for a in key1 + key2)
-        return Table(
-            self.table, tuple(columns), primary_key, tuple(self.table_foreign_keys)
+        return build_join_table(
+            model.client_schema,
+            self.table,
+            self.end1_type,
+            self.end2_type,
+            key1,
+            key2,
+            self.attr_map,
+            self.table_foreign_keys,
+            context=self.describe(),
         )
 
     # ------------------------------------------------------------------

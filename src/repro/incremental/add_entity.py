@@ -50,15 +50,18 @@ from repro.edm.entity import EntityType
 from repro.edm.types import Attribute
 from repro.errors import SmoError, ValidationError
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import (
+    attr_to_column,
+    build_entity_table,
+    entity_flag,
+    resolve_attr_map,
+)
 from repro.incremental.smo import Smo
 from repro.mapping.fragments import MappingFragment
 from repro.mapping.views import QueryView, UpdateView
-from repro.relational.schema import Column, ForeignKey, Table
+from repro.relational.schema import ForeignKey, Table
 
-
-def entity_flag(type_name: str) -> str:
-    """The fresh provenance attribute ``t_E`` of Algorithm 1."""
-    return f"_t{type_name}"
+__all__ = ["AddEntity", "entity_flag"]
 
 
 @dataclass
@@ -169,10 +172,7 @@ class AddEntity(Smo):
         return model.client_schema.types_strictly_between(self.name, self.anchor)
 
     def _f(self, attr: str) -> str:
-        for client_attr, column in self.attr_map:
-            if client_attr == attr:
-                return column
-        raise SmoError(f"attribute {attr!r} is not in α of {self.describe()}")
+        return attr_to_column(self.attr_map, attr, self.describe())
 
     # ------------------------------------------------------------------
     # Preconditions
@@ -269,21 +269,13 @@ class AddEntity(Smo):
             model.store_schema.add_table(self._build_table(model))
 
     def _build_table(self, model: CompiledModel) -> Table:
-        schema = model.client_schema
-        key = set(schema.key_of(self.name))
-        columns = []
-        for attr, column_name in self.attr_map:
-            attribute = schema.attribute_of(self.name, attr)
-            columns.append(
-                Column(
-                    column_name,
-                    attribute.domain,
-                    nullable=attribute.nullable and attr not in key,
-                )
-            )
-        primary_key = tuple(self._f(k) for k in schema.key_of(self.name))
-        return Table(
-            self.table, tuple(columns), primary_key, tuple(self.table_foreign_keys)
+        return build_entity_table(
+            model.client_schema,
+            self.name,
+            self.table,
+            self.attr_map,
+            self.table_foreign_keys,
+            context=self.describe(),
         )
 
     # ------------------------------------------------------------------
@@ -547,12 +539,5 @@ class AddEntity(Smo):
         # Line 21-23: every other view is unchanged.
 
 
-def _resolve_attr_map(
-    alpha: Sequence[str], attr_map: Optional[Dict[str, str]]
-) -> Tuple[Tuple[str, str], ...]:
-    if attr_map is None:
-        return tuple((a, a) for a in alpha)
-    missing = [a for a in alpha if a not in attr_map]
-    if missing:
-        raise SmoError(f"attr_map does not cover attributes {missing}")
-    return tuple((a, attr_map[a]) for a in alpha)
+# Backwards-compatible alias; the shared helper lives in naming.py now.
+_resolve_attr_map = resolve_attr_map

@@ -68,10 +68,15 @@ from repro.incremental.checks import (
     check_fk_preserved,
 )
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import (
+    attr_to_column,
+    build_entity_table,
+    partition_flag,
+)
 from repro.incremental.smo import Smo
 from repro.mapping.fragments import MappingFragment
 from repro.mapping.views import QueryView, UpdateView
-from repro.relational.schema import Column, ForeignKey, Table
+from repro.relational.schema import ForeignKey
 
 
 @dataclass(frozen=True)
@@ -85,10 +90,9 @@ class Partition:
     table_foreign_keys: Tuple[ForeignKey, ...] = ()
 
     def f(self, attr: str) -> str:
-        for client_attr, column in self.attr_map:
-            if client_attr == attr:
-                return column
-        raise SmoError(f"attribute {attr!r} not in α of partition on {self.table!r}")
+        return attr_to_column(
+            self.attr_map, attr, f"partition on {self.table!r}"
+        )
 
     @staticmethod
     def of(
@@ -110,10 +114,6 @@ class Partition:
             tuple((a, attr_map[a]) for a in alpha),
             tuple(table_foreign_keys),
         )
-
-
-def partition_flag(type_name: str, index: int) -> str:
-    return f"_t{type_name}_{index}"
 
 
 @dataclass
@@ -198,29 +198,17 @@ class AddEntityPart(Smo):
                 attributes=tuple(self.new_attributes),
             )
         )
-        key = set(schema.key_of(self.name))
         for partition in self.partitions:
             if model.store_schema.has_table(partition.table):
                 continue
-            columns = []
-            for attr, column_name in partition.attr_map:
-                attribute = schema.attribute_of(self.name, attr)
-                columns.append(
-                    Column(
-                        column_name,
-                        attribute.domain,
-                        nullable=attribute.nullable and attr not in key,
-                    )
-                )
-            primary_key = tuple(
-                partition.f(k) for k in schema.key_of(self.name)
-            )
             model.store_schema.add_table(
-                Table(
+                build_entity_table(
+                    schema,
+                    self.name,
                     partition.table,
-                    tuple(columns),
-                    primary_key,
+                    partition.attr_map,
                     partition.table_foreign_keys,
+                    context=self.describe(),
                 )
             )
 

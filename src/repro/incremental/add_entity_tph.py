@@ -51,8 +51,8 @@ from repro.containment.spaces import StoreConditionSpace
 from repro.edm.entity import EntityType
 from repro.edm.types import Attribute, INT, STRING
 from repro.errors import SmoError, ValidationError
-from repro.incremental.add_entity import entity_flag
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import attr_to_column, entity_flag
 from repro.incremental.smo import Smo
 from repro.mapping.fragments import MappingFragment
 from repro.mapping.views import QueryView, UpdateView
@@ -131,10 +131,7 @@ class AddEntityTPH(Smo):
         return model.client_schema.set_of_type(self.parent).name
 
     def _f(self, attr: str) -> str:
-        for client_attr, column in self.attr_map:
-            if client_attr == attr:
-                return column
-        raise SmoError(f"attribute {attr!r} not covered by f in {self.describe()}")
+        return attr_to_column(self.attr_map, attr, self.describe())
 
     def _disc_condition(self) -> Condition:
         return Comparison(self.discriminator_column, "=", self.discriminator_value)

@@ -32,6 +32,7 @@ from repro.edm.types import Attribute
 from repro.errors import SmoError
 from repro.incremental.checks import check_fk_preserved
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import build_entity_table
 from repro.incremental.smo import Smo
 from repro.mapping.fragments import MappingFragment
 from repro.relational.schema import Column, ForeignKey, Table
@@ -140,18 +141,17 @@ class AddProperty(Smo):
                 )
             )
         else:
-            key = schema.key_of(self.entity_type)
-            key_columns = tuple(
-                Column(k, schema.attribute_of(self.entity_type, k).domain, False)
-                for k in key
-            )
+            attr_map = tuple(
+                (k, k) for k in schema.key_of(self.entity_type)
+            ) + ((self.attribute.name, self._column()),)
             model.store_schema.add_table(
-                Table(
+                build_entity_table(
+                    schema,
+                    self.entity_type,
                     self.table,
-                    key_columns
-                    + (Column(self._column(), self.attribute.domain, self.attribute.nullable),),
-                    tuple(key),
-                    tuple(self.table_foreign_keys),
+                    attr_map,
+                    self.table_foreign_keys,
+                    context=self.describe(),
                 )
             )
 

@@ -16,6 +16,7 @@ from repro.containment.cache import ValidationCache
 from repro.containment.checker import check_containment
 from repro.errors import ValidationError
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import qualify
 from repro.mapping.fragments import MappingFragment
 
 
@@ -84,7 +85,7 @@ def check_association_endpoint_storable(
     """
     schema = model.client_schema
     key = schema.key_of(end.entity_type)
-    qualified = tuple(f"{end.role_name}.{k}" for k in key)
+    qualified = qualify(end.role_name, key)
     beta = []
     for attr in qualified:
         column = fragment.maps_attr(attr)

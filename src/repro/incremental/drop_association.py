@@ -46,9 +46,12 @@ class DropAssociation(Smo):
 
     # ------------------------------------------------------------------
     def adapt_fragments(self, model: CompiledModel) -> None:
-        model.mapping.replace_fragments(
-            [f for f in model.mapping.fragments if f is not self._fragment]
-        )
+        # Value-based removal, matching RemoveFragmentOp's semantics (an
+        # association is mapped by at most one fragment, so equality is
+        # unambiguous here).
+        fragments = list(model.mapping.fragments)
+        fragments.remove(self._fragment)
+        model.mapping.replace_fragments(fragments)
 
     # ------------------------------------------------------------------
     def adapt_update_views(self, model: CompiledModel) -> None:

@@ -13,6 +13,11 @@ E-branches woven through joins, unions and constructor chains, so they
 are regenerated for the affected entity set — still neighborhood-scoped
 work.  Tables that stored only E data stay in the store schema (dropping
 persistent data is not a compiler decision) but lose their update views.
+
+Under the delta recorder these rewrites land as ``DropEntityTypeOp`` (which
+remembers the removed entity sets so the inverse restores them),
+``ReplaceFragmentsOp`` and per-table ``PutUpdateViewOp`` entries, making a
+drop fully invertible by the session journal.
 """
 
 from __future__ import annotations

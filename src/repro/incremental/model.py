@@ -10,11 +10,15 @@ gives the abort-and-undo behaviour of Section 4.1 for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.edm.schema import ClientSchema
 from repro.mapping.fragments import Mapping
 from repro.mapping.views import CompiledViews
 from repro.relational.schema import StoreSchema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.incremental.delta import MappingDelta
 
 
 @dataclass
@@ -34,6 +38,39 @@ class CompiledModel:
 
     def clone(self) -> "CompiledModel":
         return CompiledModel(self.mapping.clone(), self.views.clone())
+
+    def apply(self, delta: "MappingDelta") -> "CompiledModel":
+        """Replay a delta on a copy-on-write clone — the single mutation point.
+
+        The clone shares every immutable leaf (types, tables, fragments,
+        views) with ``self``; only the containers the ops touch diverge.
+        ``self`` is never mutated, so a failing op leaves it intact.
+        """
+        evolved = self.clone()
+        for op in delta.ops:
+            op.apply(evolved)
+        return evolved
+
+    def fingerprint(self) -> str:
+        """Canonical structural hash (order-insensitive where order is noise).
+
+        Used by the session journal and ``plan()`` to prove non-mutation,
+        and by tests to assert inverse-delta roundtrips.
+        """
+        from repro.containment.cache import fingerprint as _fingerprint
+
+        schema = self.client_schema
+        store = self.store_schema
+        return _fingerprint(
+            tuple(sorted(schema.entity_types, key=lambda t: t.name)),
+            tuple(sorted(schema.entity_sets, key=lambda s: s.name)),
+            tuple(sorted(schema.associations, key=lambda a: a.name)),
+            tuple(sorted(store.tables, key=lambda t: t.name)),
+            tuple(self.mapping.fragments),
+            tuple(sorted(self.views.query_views.items())),
+            tuple(sorted(self.views.association_views.items())),
+            tuple(sorted(self.views.update_views.items())),
+        )
 
     def __str__(self) -> str:
         return (

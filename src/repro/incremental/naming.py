@@ -1,0 +1,136 @@
+"""Shared naming, flag and attribute-map helpers for the SMO modules.
+
+Every SMO carries a partial 1-1 function ``f`` from client attributes to
+store columns, mints provenance flags for Algorithm 1, qualifies key
+attributes by association role, and (when the store co-evolves) builds
+fresh tables from ``f``.  These used to be copy-pasted per module; they
+live here so the delta layer and the SMOs agree on one vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.edm.association import Multiplicity
+from repro.errors import SmoError
+from repro.relational.schema import Column, ForeignKey, Table
+
+
+def entity_flag(type_name: str) -> str:
+    """The fresh provenance attribute ``t_E`` of Algorithm 1."""
+    return f"_t{type_name}"
+
+
+def partition_flag(type_name: str, index: int) -> str:
+    """Provenance flag for partition *index* of a horizontally split type."""
+    return f"_t{type_name}_{index}"
+
+
+def attr_to_column(
+    attr_map: Sequence[Tuple[str, str]], attr: str, context: str = ""
+) -> str:
+    """Apply the 1-1 function ``f`` to one client attribute."""
+    for client_attr, column in attr_map:
+        if client_attr == attr:
+            return column
+    suffix = f" of {context}" if context else ""
+    raise SmoError(f"attribute {attr!r} is not covered by f{suffix}")
+
+
+def resolve_attr_map(
+    alpha: Sequence[str], attr_map: Optional[Dict[str, str]]
+) -> Tuple[Tuple[str, str], ...]:
+    """Materialise ``f`` over exactly α; ``None`` means the identity map."""
+    if attr_map is None:
+        return tuple((a, a) for a in alpha)
+    missing = [a for a in alpha if a not in attr_map]
+    if missing:
+        raise SmoError(f"attr_map does not cover attributes {missing}")
+    return tuple((a, attr_map[a]) for a in alpha)
+
+
+def role_names(
+    end1_type: str,
+    end2_type: str,
+    role1: Optional[str] = None,
+    role2: Optional[str] = None,
+) -> Tuple[str, str]:
+    """Association end roles, defaulting to the endpoint type names."""
+    return (role1 if role1 else end1_type, role2 if role2 else end2_type)
+
+
+def qualify(role: str, attrs: Sequence[str]) -> Tuple[str, ...]:
+    """Qualify attribute names by an association role (``Customer.Id``)."""
+    return tuple(f"{role}.{a}" for a in attrs)
+
+
+def qualified_keys(
+    schema,
+    end1_type: str,
+    end2_type: str,
+    role1: Optional[str] = None,
+    role2: Optional[str] = None,
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Role-qualified primary keys of both association endpoints."""
+    r1, r2 = role_names(end1_type, end2_type, role1, role2)
+    return (
+        qualify(r1, schema.key_of(end1_type)),
+        qualify(r2, schema.key_of(end2_type)),
+    )
+
+
+def resolve_multiplicity(value) -> Multiplicity:
+    """Accept ``Multiplicity`` members or their string spellings."""
+    if isinstance(value, Multiplicity):
+        return value
+    return {m.value: m for m in Multiplicity}[value]
+
+
+def build_entity_table(
+    schema,
+    type_name: str,
+    table_name: str,
+    attr_map: Sequence[Tuple[str, str]],
+    foreign_keys: Sequence[ForeignKey] = (),
+    context: str = "",
+) -> Table:
+    """A fresh entity table with columns ``f(α)``, keyed by ``f(PK)``."""
+    key = set(schema.key_of(type_name))
+    columns = []
+    for attr, column_name in attr_map:
+        attribute = schema.attribute_of(type_name, attr)
+        columns.append(
+            Column(
+                column_name,
+                attribute.domain,
+                nullable=attribute.nullable and attr not in key,
+            )
+        )
+    primary_key = tuple(
+        attr_to_column(attr_map, k, context) for k in schema.key_of(type_name)
+    )
+    return Table(table_name, tuple(columns), primary_key, tuple(foreign_keys))
+
+
+def build_join_table(
+    schema,
+    table_name: str,
+    end1_type: str,
+    end2_type: str,
+    key1: Sequence[str],
+    key2: Sequence[str],
+    attr_map: Sequence[Tuple[str, str]],
+    foreign_keys: Sequence[ForeignKey] = (),
+    context: str = "",
+) -> Table:
+    """A fresh join table over ``f(PK1 ∪ PK2)``, keyed by the full set."""
+    columns = []
+    for attr, column_name in attr_map:
+        plain = attr.split(".", 1)[1]
+        owner = end1_type if attr in tuple(key1) else end2_type
+        attribute = schema.attribute_of(owner, plain)
+        columns.append(Column(column_name, attribute.domain, nullable=False))
+    primary_key = tuple(
+        attr_to_column(attr_map, a, context) for a in tuple(key1) + tuple(key2)
+    )
+    return Table(table_name, tuple(columns), primary_key, tuple(foreign_keys))

@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.algebra.conditions import IsNotNull
 from repro.budget import WorkBudget
 from repro.containment.cache import ValidationCache
 from repro.edm.association import Multiplicity
@@ -36,8 +35,8 @@ from repro.edm.types import Attribute
 from repro.errors import SmoError
 from repro.incremental.add_entity import AddEntity
 from repro.incremental.model import CompiledModel
+from repro.incremental.naming import qualify
 from repro.incremental.smo import Smo
-from repro.mapping.fragments import MappingFragment
 from repro.relational.schema import Column, Table
 
 
@@ -137,8 +136,7 @@ class RefactorAssociationToInheritance(Smo):
         ).role_name
         # link columns: where A stored E1's key in T2
         link_columns = {}
-        for k in e1_key:
-            qualified = f"{e1_role}.{k}"
+        for k, qualified in zip(e1_key, qualify(e1_role, e1_key)):
             column = fragment_a.maps_attr(qualified)
             if column is None:
                 raise SmoError(

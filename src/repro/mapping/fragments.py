@@ -15,12 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.algebra.conditions import (
-    Condition,
-    IsOf,
-    referenced_attrs,
-    referenced_types,
-)
+from repro.algebra.conditions import Condition, referenced_attrs, referenced_types
 from repro.algebra.queries import (
     AssociationScan,
     Col,

@@ -30,9 +30,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.algebra.conditions import Comparison, Condition, IsNull, And
-from repro.compiler import compile_mapping, generate_views
+from repro.compiler import generate_views
 from repro.edm.schema import ClientSchema
-from repro.edm.types import Attribute
 from repro.errors import SmoError
 from repro.incremental.add_association import AddAssociationFK, AddAssociationJT
 from repro.incremental.add_entity import AddEntity

@@ -44,7 +44,6 @@ from repro.algebra.entity_sql import query_to_sql
 from repro.algebra.evaluate import StoreContext, evaluate_query
 from repro.algebra.queries import Col, Const, Query, Select
 from repro.algebra.simplify import simplify
-from repro.edm.instances import Entity
 from repro.edm.schema import ClientSchema
 from repro.errors import EvaluationError
 from repro.mapping.views import CompiledViews

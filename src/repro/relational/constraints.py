@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.relational.instances import StoreState, row_value
-from repro.relational.schema import Table
 
 
 @dataclass(frozen=True)

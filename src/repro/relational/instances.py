@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.errors import EvaluationError, SchemaError
-from repro.relational.schema import StoreSchema, Table
+from repro.relational.schema import StoreSchema
 
 Row = Tuple[Tuple[str, object], ...]
 

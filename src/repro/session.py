@@ -23,12 +23,16 @@ Example::
         state.add_entity("Persons", Entity.of("Person", Id=1, Name="ann"))
     session.query(EntityQuery("Persons"))
     session.evolve(AddEntity.tpt(...))      # schema + data migrate together
+    plan = session.plan([smo1, smo2])       # dry-run: delta + checks, no mutation
+    session.evolve_many([smo1, smo2])       # one batch, one neighborhood validation
+    session.undo()                          # inverse delta + data snapshot restore
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
 
 from typing import Optional
 
@@ -36,15 +40,46 @@ from repro.budget import WorkBudget
 from repro.compiler.validation import ValidationReport, validate_mapping
 from repro.containment.cache import CacheStats, ValidationCache
 from repro.edm.instances import ClientState, Entity
-from repro.errors import ValidationError
+from repro.errors import SmoError, ValidationError
+from repro.incremental.delta import MappingDelta
 from repro.incremental.model import CompiledModel
-from repro.incremental.smo import IncrementalCompiler, Smo
+from repro.incremental.smo import EvolutionPlan, IncrementalCompiler, Smo
 from repro.mapping.roundtrip import apply_query_views, apply_update_views
 from repro.query.dml import StoreDelta, apply_delta, diff_store_states
 from repro.query.language import EntityQuery
 from repro.query.unfold import unfold
 from repro.relational.constraints import check_all
 from repro.relational.instances import StoreState
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One committed evolution in the session's transactional journal.
+
+    Records everything needed to report on — and to *undo* — the step:
+    the declarative :class:`MappingDelta` the batch emitted (whose
+    ``inverse()`` replays the model back), a snapshot of the store state
+    from before the migration, and the neighborhood checks the batch
+    scheduled (used by the benchmarks to compare sequential vs batched
+    validation work).
+    """
+
+    label: str
+    smos: Tuple[Smo, ...]
+    delta: MappingDelta
+    store_delta: "StoreDelta"
+    store_before: StoreState
+    check_names: Tuple[str, ...]
+
+    @property
+    def scheduled_checks(self) -> int:
+        return len(self.check_names)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {len(self.delta)} delta op(s), "
+            f"{self.scheduled_checks} check(s)"
+        )
 
 
 class OrmSession:
@@ -58,6 +93,8 @@ class OrmSession:
         # here instead of being recomputed (the Section 1.2 premise).
         self.validation_cache = ValidationCache()
         self._compiler = IncrementalCompiler(cache=self.validation_cache)
+        #: committed evolutions, oldest first; ``undo`` pops from the end
+        self.journal: List[JournalEntry] = []
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -123,25 +160,72 @@ class OrmSession:
     # Evolution
     # ------------------------------------------------------------------
     def evolve(self, smo: Smo) -> StoreDelta:
-        """Apply an SMO incrementally and migrate the stored data.
+        """Apply one SMO incrementally and migrate the stored data.
 
-        Migration = read the data through the *old* query views, embed
-        the resulting client state into the evolved schema (the paper's
-        ``f(c)``), and store it through the *new* update views.  The
-        soundness restriction of Section 2.3 guarantees this changes
-        nothing for pre-existing data.
+        A batch of one: see :meth:`evolve_many` for the mechanics and the
+        journal entry this leaves behind.
         """
+        return self.evolve_many([smo], label=smo.describe())
+
+    def evolve_many(
+        self, smos: Sequence[Smo], label: Optional[str] = None
+    ) -> StoreDelta:
+        """Apply a batch of SMOs as one transaction and migrate the data.
+
+        The whole batch compiles through
+        :meth:`~repro.incremental.smo.IncrementalCompiler.compile_batch`,
+        so the scheduler validates the *union* neighborhood of the
+        composed delta once instead of once per SMO.  Migration = read
+        the data through the *old* query views, embed the resulting
+        client state into the evolved schema (the paper's ``f(c)``), and
+        store it through the *new* update views; the Section 2.3
+        soundness restriction guarantees this changes nothing for
+        pre-existing data.  On success a :class:`JournalEntry` is
+        appended (making the step :meth:`undo`-able); on a validation
+        abort the session — model, data, journal, cache — is untouched.
+        """
+        smos = tuple(smos)
         old_client = self.load()
-        result = self._compiler.apply(self.model, smo)
-        evolved = result.model
+        batch = self._compiler.compile_batch(self.model, smos)
+        evolved = batch.model
         migrated_client = old_client.embed_into(evolved.client_schema)
         new_store = apply_update_views(
             evolved.views, migrated_client, evolved.store_schema
         )
         delta = diff_store_states(self.store_state, new_store)
+        entry = JournalEntry(
+            label=label or "; ".join(smo.describe() for smo in smos),
+            smos=batch.smos,
+            delta=batch.delta,
+            store_delta=delta,
+            store_before=self.store_state,
+            check_names=batch.check_names,
+        )
         self.model = evolved
         self.store_state = new_store
+        self.journal.append(entry)
         return delta
+
+    def plan(self, smos: Sequence[Smo]) -> EvolutionPlan:
+        """Dry-run a batch: the delta it would emit and the checks it
+        would schedule, without touching the session's model or data."""
+        return self._compiler.plan(self.model, smos)
+
+    def undo(self) -> JournalEntry:
+        """Roll back the most recent :meth:`evolve` / :meth:`evolve_many`.
+
+        The model is restored by replaying the journal entry's *inverse*
+        delta (not from a snapshot — exercising the invertibility of the
+        recorded ops), and the store state from the entry's pre-migration
+        snapshot.  Object-level edits saved *after* the evolution are
+        rolled back with it.
+        """
+        if not self.journal:
+            raise SmoError("nothing to undo: the session journal is empty")
+        entry = self.journal.pop()
+        self.model = self.model.apply(entry.delta.inverse())
+        self.store_state = entry.store_before
+        return entry
 
     # ------------------------------------------------------------------
     # Validation

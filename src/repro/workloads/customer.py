@@ -20,7 +20,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.algebra.conditions import Comparison, IsNotNull, IsOf, IsOfOnly, TRUE
 from repro.edm.builder import ClientSchemaBuilder
-from repro.edm.schema import ClientSchema
 from repro.edm.types import INT, STRING
 from repro.mapping.fragments import Mapping, MappingFragment
 from repro.relational.schema import Column, ForeignKey, StoreSchema, Table

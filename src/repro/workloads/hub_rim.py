@@ -18,7 +18,6 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.algebra.conditions import Comparison, IsNotNull, IsOf, IsOfOnly, TRUE
-from repro.edm.association import Multiplicity
 from repro.edm.builder import ClientSchemaBuilder
 from repro.edm.schema import ClientSchema
 from repro.edm.types import INT, STRING

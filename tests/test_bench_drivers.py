@@ -1,6 +1,5 @@
 """Tests: the figure drivers produce well-formed results on tiny inputs."""
 
-import pytest
 
 from repro.bench import fig4, fig9, fig10
 from repro.bench.harness import Measurement

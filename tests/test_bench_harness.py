@@ -1,6 +1,5 @@
 """Unit tests: the benchmark harness (measurement, censoring, rendering)."""
 
-import pytest
 
 from repro.bench.harness import (
     Measurement,

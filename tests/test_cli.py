@@ -6,11 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.msl import FORMAT_VERSION, client_schema_to_json, save_model, store_schema_to_json
-from repro.workloads.paper_example import (
-    client_schema_stage4,
-    mapping_stage4,
-    store_schema,
-)
+from repro.workloads.paper_example import client_schema_stage4, store_schema
 
 
 @pytest.fixture

@@ -3,14 +3,7 @@ validation) on valid and deliberately broken mappings."""
 
 import pytest
 
-from repro.algebra import (
-    Comparison,
-    IsNotNull,
-    IsOf,
-    IsOfOnly,
-    TRUE,
-    or_,
-)
+from repro.algebra import Comparison, IsOf, IsOfOnly, TRUE, or_
 from repro.budget import WorkBudget
 from repro.compiler import (
     SetAnalysis,
@@ -19,9 +12,8 @@ from repro.compiler import (
     check_disambiguation,
     compile_mapping,
     generate_views,
-    validate_mapping,
 )
-from repro.edm import ClientSchemaBuilder, ClientState, Entity, INT, STRING
+from repro.edm import ClientSchemaBuilder, INT, STRING
 from repro.errors import (
     CompilationBudgetExceeded,
     MappingError,
@@ -29,7 +21,7 @@ from repro.errors import (
 )
 from repro.mapping import Mapping, MappingFragment, check_roundtrip
 from repro.relational import Column, ForeignKey, StoreSchema, Table
-from repro.workloads.paper_example import mapping_stage3, mapping_stage4
+from repro.workloads.paper_example import mapping_stage3
 
 from tests.conftest import figure1_state
 

@@ -28,7 +28,6 @@ from repro.containment import (
 )
 from repro.containment.checker import canonical_client_states
 from repro.edm import ClientSchemaBuilder, INT, STRING, enum_domain
-from repro.edm.types import Domain
 from repro.errors import CompilationBudgetExceeded, EvaluationError
 from repro.relational import Column, StoreSchema, Table
 

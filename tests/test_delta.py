@@ -1,0 +1,372 @@
+"""Delta semantics: composition, inverses, abort-safety, plan purity.
+
+The tentpole guarantees of the MappingDelta layer:
+
+* every SMO kind emits a delta whose ``inverse()`` replays the evolved
+  model back to the original, bit-for-bit by structural fingerprint;
+* composition is plain concatenation, hence associative, and replaying a
+  composed delta equals replaying the parts in order;
+* an aborted SMO leaves the input model untouched — for every kind;
+* ``plan()`` provably performs no mutation.
+"""
+
+import pytest
+
+from tests.conftest import customer_smo, employee_smo, supports_smo
+from repro.algebra import Comparison, IsNotNull, IsOf, TRUE, and_
+from repro.compiler import compile_mapping
+from repro.edm import (
+    Attribute,
+    ClientSchemaBuilder,
+    INT,
+    STRING,
+)
+from repro.errors import ReproError, SmoError, ValidationError
+from repro.incremental import (
+    AddAssociationFK,
+    AddAssociationJT,
+    AddEntity,
+    AddEntityPart,
+    AddEntityTPH,
+    AddProperty,
+    CompiledModel,
+    DropAssociation,
+    DropEntity,
+    IncrementalCompiler,
+    MappingDelta,
+    Partition,
+    RefactorAssociationToInheritance,
+)
+from repro.mapping import Mapping, MappingFragment
+from repro.relational import Column, ForeignKey, StoreSchema, Table
+from repro.workloads.paper_example import mapping_stage3
+
+
+@pytest.fixture
+def compiler():
+    return IncrementalCompiler()
+
+
+@pytest.fixture
+def stage3_compiled():
+    mapping = mapping_stage3()
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+@pytest.fixture
+def tph_base():
+    """A one-type hierarchy already mapped TPH (with a Disc column)."""
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Vehicle", key=[("Id", INT)], attrs=[("Make", STRING)])
+        .entity_set("Vehicles", "Vehicle")
+        .build()
+    )
+    store = StoreSchema(
+        [
+            Table(
+                "V",
+                (Column("Id", INT, False), Column("Make", STRING),
+                 Column("Disc", STRING, False)),
+                ("Id",),
+            )
+        ]
+    )
+    mapping = Mapping(
+        schema, store,
+        [
+            MappingFragment(
+                "Vehicles", False, IsOf("Vehicle"), "V",
+                Comparison("Disc", "=", "Vehicle"),
+                (("Id", "Id"), ("Make", "Make")),
+            )
+        ],
+    )
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+@pytest.fixture
+def flat_base():
+    """A one-type hierarchy mapped 1:1 with no discriminator column."""
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Node", key=[("Id", INT)])
+        .entity_set("Nodes", "Node")
+        .build()
+    )
+    store = StoreSchema([Table("N", (Column("Id", INT, False),), ("Id",))])
+    mapping = Mapping(
+        schema, store,
+        [MappingFragment("Nodes", False, IsOf("Node"), "N", TRUE, (("Id", "Id"),))],
+    )
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+@pytest.fixture
+def holds_model():
+    """Person2 --(Holds, 1 - 0..1)--> Passport, FK-mapped into Pass."""
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Person2", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Passport", key=[("Pno", INT)], attrs=[("Country", STRING)])
+        .entity_set("P2s", "Person2")
+        .entity_set("Passports", "Passport")
+        .association("Holds", "Person2", "Passport", mult1="1", mult2="0..1")
+        .build()
+    )
+    store = StoreSchema(
+        [
+            Table("P2", (Column("Id", INT, False), Column("Name", STRING)), ("Id",)),
+            Table(
+                "Pass",
+                (Column("Pno", INT, False), Column("Country", STRING),
+                 Column("OwnerId", INT, True)),
+                ("Pno",),
+                (ForeignKey(("OwnerId",), "P2", ("Id",)),),
+            ),
+        ]
+    )
+    mapping = Mapping(
+        schema, store,
+        [
+            MappingFragment("P2s", False, IsOf("Person2"), "P2", TRUE,
+                            (("Id", "Id"), ("Name", "Name"))),
+            MappingFragment("Passports", False, IsOf("Passport"), "Pass", TRUE,
+                            (("Pno", "Pno"), ("Country", "Country"))),
+            MappingFragment("Holds", True, TRUE, "Pass", IsNotNull("OwnerId"),
+                            (("Passport.Pno", "Pno"), ("Person2.Id", "OwnerId"))),
+        ],
+    )
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+def knows_jt_smo(model):
+    return AddAssociationJT.create(
+        model, "Knows", "Customer", "Employee", "KnowsJT",
+        {"Customer.Id": "CustId", "Employee.Id": "EmpId"},
+        mult1="*", mult2="*",
+        table_foreign_keys=[
+            ForeignKey(("CustId",), "Client", ("Cid",)),
+            ForeignKey(("EmpId",), "Emp", ("Id",)),
+        ],
+    )
+
+
+def part_smo():
+    return AddEntityPart(
+        name="P", parent="Node",
+        new_attributes=(Attribute("v", INT),),
+        anchor="Node",
+        partitions=(
+            Partition.of(("Id", "v"), Comparison("v", ">=", 0), "Pos"),
+            Partition.of(("Id", "v"), Comparison("v", "<", 0), "Neg"),
+        ),
+    )
+
+
+# Every SMO kind as (base fixture name, factory over the base model).
+ALL_KINDS = [
+    ("ae-tpt", "stage1_compiled", employee_smo),
+    ("ae-tpc", "stage1_compiled", customer_smo),
+    ("ae-tph", "tph_base",
+     lambda m: AddEntityTPH.create(m, "Car", "Vehicle", [], "V", "Disc", "Car")),
+    ("aep", "flat_base", lambda m: part_smo()),
+    ("ap", "stage3_compiled",
+     lambda m: AddProperty("Employee", Attribute("Title", STRING), "Emp", "Title")),
+    ("aa-fk", "stage3_compiled", supports_smo),
+    ("aa-jt", "stage3_compiled", knows_jt_smo),
+    ("de", "stage3_compiled", lambda m: DropEntity("Customer")),
+    ("da", "holds_model", lambda m: DropAssociation("Holds")),
+    ("rf", "holds_model",
+     lambda m: RefactorAssociationToInheritance("Holds")),
+]
+
+
+@pytest.mark.parametrize(
+    "fixture_name,factory", [(f, fac) for _, f, fac in ALL_KINDS],
+    ids=[kind for kind, _, _ in ALL_KINDS],
+)
+class TestInverseRoundtrip:
+    def test_apply_then_inverse_restores_fingerprint(
+        self, fixture_name, factory, compiler, request
+    ):
+        model = request.getfixturevalue(fixture_name)
+        baseline = model.fingerprint()
+        result = compiler.apply(model, factory(model))
+
+        assert not result.delta.is_empty
+        # the input model was never touched
+        assert model.fingerprint() == baseline
+        # the evolution actually changed something
+        assert result.model.fingerprint() != baseline
+        # replaying the inverse restores the original, structurally
+        restored = result.model.apply(result.delta.inverse())
+        assert restored.fingerprint() == baseline
+
+    def test_replaying_delta_reproduces_evolution(
+        self, fixture_name, factory, compiler, request
+    ):
+        """apply(delta) on the base model == the compiler's own result."""
+        model = request.getfixturevalue(fixture_name)
+        result = compiler.apply(model, factory(model))
+        replayed = model.apply(result.delta)
+        assert replayed.fingerprint() == result.model.fingerprint()
+
+
+class TestComposition:
+    def test_compose_is_associative_and_replays(self, stage1_compiled, compiler):
+        model = stage1_compiled
+        r1 = compiler.apply(model, employee_smo(model))
+        r2 = compiler.apply(r1.model, customer_smo(r1.model))
+        r3 = compiler.apply(r2.model, supports_smo(r2.model))
+        d1, d2, d3 = r1.delta, r2.delta, r3.delta
+
+        left = d1.compose(d2).compose(d3)
+        right = d1.compose(d2.compose(d3))
+        assert left.ops == right.ops
+        assert len(left) == len(d1) + len(d2) + len(d3)
+
+        # replaying the composition equals the step-by-step evolution
+        assert model.apply(left).fingerprint() == r3.model.fingerprint()
+        # and its inverse unwinds all three steps at once
+        assert (
+            r3.model.apply(left.inverse()).fingerprint() == model.fingerprint()
+        )
+
+    def test_empty_delta_is_identity(self, stage3_compiled):
+        empty = MappingDelta()
+        assert empty.is_empty
+        composed = empty.compose(empty)
+        assert composed.is_empty
+        assert (
+            stage3_compiled.apply(empty).fingerprint()
+            == stage3_compiled.fingerprint()
+        )
+
+
+class TestTouchedNeighborhood:
+    def test_tpt_neighborhood_names_set_and_tables(self, stage1_compiled, compiler):
+        result = compiler.apply(stage1_compiled, employee_smo(stage1_compiled))
+        neighborhood = result.delta.touched_neighborhood(result.model.mapping)
+        assert "Persons" in neighborhood.sets
+        # only the touched table — the unchanged HR stays out of the region
+        assert "Emp" in neighborhood.tables
+        assert "HR" not in neighborhood.tables
+        # but the new table's FK into HR is still re-checked
+        assert ("Emp", 0) in neighborhood.foreign_keys
+
+    def test_dropped_table_not_in_neighborhood(self, stage3_compiled, compiler):
+        result = compiler.apply(stage3_compiled, DropEntity("Customer"))
+        neighborhood = result.delta.touched_neighborhood(result.model.mapping)
+        # Client lost its only fragment: no longer mapped, so not validated
+        assert "Client" not in neighborhood.tables
+        assert "Persons" in neighborhood.sets
+
+
+def _failing_smos():
+    return [
+        ("ae-mapped-table", "stage3_compiled", SmoError,
+         lambda m: AddEntity.tpt(
+             m, "Manager", "Employee", [Attribute("L", INT)], "HR")),
+        ("aep-coverage", "flat_base", ValidationError,
+         lambda m: AddEntityPart(
+             name="P", parent="Node",
+             new_attributes=(Attribute("v", INT),),
+             anchor="Node",
+             partitions=(
+                 Partition.of(("Id", "v"), Comparison("v", ">", 0), "Pos"),
+                 Partition.of(("Id", "v"), Comparison("v", "<", 0), "Neg"),
+             ))),
+        ("aep-unsat", "flat_base", ValidationError,
+         lambda m: AddEntityPart(
+             name="P", parent="Node",
+             new_attributes=(Attribute("v", INT),),
+             anchor="Node",
+             partitions=(
+                 Partition.of(("Id", "v"), TRUE, "All"),
+                 Partition.of(
+                     ("Id", "v"),
+                     and_(Comparison("v", ">", 5), Comparison("v", "<", 3)),
+                     "Never"),
+             ))),
+        ("ap-duplicate", "stage3_compiled", SmoError,
+         lambda m: AddProperty("Person", Attribute("Name", STRING), "HR", "N2")),
+        ("aa-fk-many-many", "stage3_compiled", SmoError,
+         lambda m: AddAssociationFK.create(
+             m, "S", "Customer", "Employee", "Client",
+             {"Customer.Id": "Cid", "Employee.Id": "Eid"},
+             mult1="*", mult2="*")),
+        ("aa-jt-mapped-table", "stage3_compiled", SmoError,
+         lambda m: AddAssociationJT.create(
+             m, "Knows", "Customer", "Employee", "Client",
+             {"Customer.Id": "CustId", "Employee.Id": "EmpId"})),
+        ("de-root", "stage3_compiled", SmoError,
+         lambda m: DropEntity("Person")),
+        ("da-missing", "stage3_compiled", SmoError,
+         lambda m: DropAssociation("Nope")),
+        ("rf-bad-cardinality", "stage3_compiled", SmoError,
+         lambda m: RefactorAssociationToInheritance("Nope2")),
+    ]
+
+
+@pytest.mark.parametrize(
+    "fixture_name,exception,factory",
+    [(f, e, fac) for _, f, e, fac in _failing_smos()],
+    ids=[kind for kind, _, _, _ in _failing_smos()],
+)
+def test_abort_leaves_original_untouched(
+    fixture_name, exception, factory, compiler, request
+):
+    """A failing hook — precondition or validation — mutates nothing."""
+    model = request.getfixturevalue(fixture_name)
+    baseline = model.fingerprint()
+    with pytest.raises(exception):
+        compiler.apply(model, factory(model))
+    assert model.fingerprint() == baseline
+
+
+def test_tph_stale_discriminator_abort(tph_base, compiler):
+    """Mid-pipeline validation failure: the already-evolved working copy
+    is discarded with the delta, the input model survives."""
+    model = compiler.apply(
+        tph_base, AddEntityTPH.create(tph_base, "Car", "Vehicle", [], "V", "Disc", "Car")
+    ).model
+    baseline = model.fingerprint()
+    smo = AddEntityTPH.create(model, "Truck", "Vehicle", [], "V", "Disc", "Car")
+    with pytest.raises(ValidationError):
+        compiler.apply(model, smo)
+    assert model.fingerprint() == baseline
+
+
+class TestPlanPurity:
+    def test_plan_performs_no_mutation(self, stage3_compiled, compiler):
+        baseline = stage3_compiled.fingerprint()
+        plan = compiler.plan(
+            stage3_compiled,
+            [AddProperty("Employee", Attribute("Title", STRING), "Emp", "Title")],
+        )
+        assert plan.ok
+        assert not plan.delta.is_empty
+        assert plan.check_names
+        assert stage3_compiled.fingerprint() == baseline
+
+    def test_failing_plan_reports_error_without_mutation(
+        self, stage3_compiled, compiler
+    ):
+        baseline = stage3_compiled.fingerprint()
+        plan = compiler.plan(stage3_compiled, [DropEntity("Person")])
+        assert not plan.ok
+        assert isinstance(plan.error, ReproError)
+        assert plan.check_names == ()
+        assert "ABORT" in plan.describe()
+        assert stage3_compiled.fingerprint() == baseline
+
+    def test_plan_matches_batch(self, stage3_compiled, compiler):
+        """The dry-run names exactly the checks the real batch schedules."""
+        smos = [
+            AddProperty("Employee", Attribute("Title", STRING), "Emp", "Title")
+        ]
+        plan = compiler.plan(stage3_compiled, smos)
+        batch = compiler.compile_batch(stage3_compiled, smos)
+        assert set(plan.check_names) == set(batch.check_names)
+        assert plan.delta.summary() == batch.delta.summary()

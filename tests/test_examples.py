@@ -4,7 +4,6 @@ expected landmarks."""
 import runpy
 import sys
 
-import pytest
 
 
 def _run(path: str, capsys, argv=None) -> str:

@@ -8,7 +8,6 @@ generation, optimization and the Entity-SQL printer at once.
 
 import pathlib
 
-import pytest
 
 from repro.compiler import compile_mapping
 from repro.workloads.paper_example import mapping_stage4

@@ -4,19 +4,12 @@ budgets, and the roundtrip oracle's failure diagnostics."""
 import pytest
 
 from repro.budget import UnlimitedBudget, WorkBudget, ensure_budget
-from repro.compiler import compile_mapping
-from repro.edm import Attribute, ClientState, Entity, INT, STRING
+from repro.edm import Attribute, STRING
 from repro.errors import CompilationBudgetExceeded, ValidationError
-from repro.incremental import (
-    AddEntity,
-    CompiledModel,
-    IncrementalCompiler,
-    IncrementalResult,
-)
-from repro.mapping import CompiledViews, check_roundtrip
-from repro.relational import ForeignKey
+from repro.incremental import AddEntity, IncrementalCompiler, IncrementalResult
+from repro.mapping import check_roundtrip
 
-from tests.conftest import customer_smo, employee_smo, figure1_state, supports_smo
+from tests.conftest import employee_smo, figure1_state
 
 
 class TestPipeline:

@@ -6,7 +6,6 @@ recompilation of its evolved mapping, and keep its data through an
 OrmSession.
 """
 
-import pytest
 
 from repro.algebra import Comparison, IsOf
 from repro.compiler import compile_mapping
@@ -16,7 +15,6 @@ from repro.incremental import (
     AddEntity,
     AddEntityTPH,
     AddProperty,
-    CompiledModel,
     IncrementalCompiler,
 )
 from repro.mapping import check_roundtrip
@@ -25,7 +23,6 @@ from repro.query import EntityQuery
 from repro.relational import ForeignKey
 from repro.session import OrmSession
 from repro.stategen import random_client_state
-from repro.workloads.paper_example import mapping_stage1
 
 COMPILER = IncrementalCompiler()
 

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.algebra import IsNotNull, IsOf, TRUE
-from repro.edm import ClientState, Entity
+from repro.algebra import IsOf, TRUE
+from repro.edm import ClientState
 from repro.errors import MappingError
 from repro.mapping import (
-    Mapping,
     MappingFragment,
     fragment_satisfied,
     in_mapping,

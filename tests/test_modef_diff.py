@@ -28,7 +28,6 @@ from repro.workloads.paper_example import (
     client_schema_stage1,
     client_schema_stage4,
     mapping_stage1,
-    mapping_stage4,
 )
 
 

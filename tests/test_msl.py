@@ -4,8 +4,7 @@ import json
 
 import pytest
 
-from repro.compiler import compile_mapping
-from repro.edm import Attribute, STRING
+from repro.edm import Attribute
 from repro.errors import MappingError
 from repro.incremental import CompiledModel, IncrementalCompiler
 from repro.mapping import check_roundtrip

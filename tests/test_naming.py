@@ -1,0 +1,168 @@
+"""Unit tests: the shared naming/flag/attr-map helpers of the SMO modules."""
+
+import pytest
+
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, ClientSchemaBuilder, INT, STRING
+from repro.edm.association import Multiplicity
+from repro.errors import SmoError
+from repro.incremental import CompiledModel
+from repro.incremental.naming import (
+    attr_to_column,
+    build_entity_table,
+    build_join_table,
+    entity_flag,
+    partition_flag,
+    qualified_keys,
+    qualify,
+    resolve_attr_map,
+    resolve_multiplicity,
+    role_names,
+)
+from repro.workloads.paper_example import mapping_stage3
+
+
+@pytest.fixture
+def schema():
+    return (
+        ClientSchemaBuilder()
+        .entity("Person", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Tag", key=[("Tid", INT)])
+        .entity_set("Persons", "Person")
+        .entity_set("Tags", "Tag")
+        .build()
+    )
+
+
+class TestFlags:
+    def test_entity_flag(self):
+        assert entity_flag("Employee") == "_tEmployee"
+
+    def test_partition_flag(self):
+        assert partition_flag("P", 0) == "_tP_0"
+        assert partition_flag("P", 2) == "_tP_2"
+
+    def test_flags_disjoint_per_type(self):
+        assert entity_flag("A") != entity_flag("B")
+        assert partition_flag("A", 0) != partition_flag("A", 1)
+
+
+class TestAttrToColumn:
+    def test_lookup(self):
+        assert attr_to_column((("Id", "Cid"), ("Name", "N")), "Name") == "N"
+
+    def test_missing_raises_with_context(self):
+        with pytest.raises(SmoError, match="of AE-TPT"):
+            attr_to_column((("Id", "Cid"),), "Name", "AE-TPT(x)")
+
+    def test_missing_raises_without_context(self):
+        with pytest.raises(SmoError):
+            attr_to_column((), "Name")
+
+
+class TestResolveAttrMap:
+    def test_none_is_identity(self):
+        assert resolve_attr_map(("Id", "Name"), None) == (
+            ("Id", "Id"),
+            ("Name", "Name"),
+        )
+
+    def test_ordered_by_alpha(self):
+        resolved = resolve_attr_map(("Name", "Id"), {"Id": "I", "Name": "N"})
+        assert resolved == (("Name", "N"), ("Id", "I"))
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(SmoError, match="does not cover"):
+            resolve_attr_map(("Id", "Name"), {"Id": "I"})
+
+
+class TestRolesAndKeys:
+    def test_default_roles_are_type_names(self):
+        assert role_names("Customer", "Employee") == ("Customer", "Employee")
+
+    def test_explicit_roles_win(self):
+        assert role_names("C", "E", role1="buyer", role2=None) == ("buyer", "E")
+
+    def test_qualify(self):
+        assert qualify("Customer", ("Id",)) == ("Customer.Id",)
+
+    def test_qualified_keys(self, schema):
+        key1, key2 = qualified_keys(schema, "Person", "Tag")
+        assert key1 == ("Person.Id",)
+        assert key2 == ("Tag.Tid",)
+
+
+class TestResolveMultiplicity:
+    def test_passthrough(self):
+        assert resolve_multiplicity(Multiplicity.ONE) is Multiplicity.ONE
+
+    def test_string_spellings(self):
+        assert resolve_multiplicity("*") is Multiplicity.MANY
+        assert resolve_multiplicity("0..1") is Multiplicity.ZERO_OR_ONE
+
+    def test_unknown_spelling(self):
+        with pytest.raises(KeyError):
+            resolve_multiplicity("2..3")
+
+
+class TestBuildEntityTable:
+    def test_columns_key_and_nullability(self, schema):
+        table = build_entity_table(
+            schema, "Person", "T", (("Id", "PId"), ("Name", "PName"))
+        )
+        assert table.name == "T"
+        assert table.primary_key == ("PId",)
+        assert not table.column("PId").nullable
+        # non-key attributes keep their declared nullability
+        assert table.column("PName").nullable == schema.attribute_of(
+            "Person", "Name"
+        ).nullable
+
+    def test_key_not_in_map_rejected(self, schema):
+        with pytest.raises(SmoError):
+            build_entity_table(schema, "Person", "T", (("Name", "N"),))
+
+
+class TestBuildJoinTable:
+    def test_pk_is_both_keys_and_columns_not_null(self, schema):
+        table = build_join_table(
+            schema,
+            "JT",
+            "Person",
+            "Tag",
+            ("Person.Id",),
+            ("Tag.Tid",),
+            (("Person.Id", "pid"), ("Tag.Tid", "tid")),
+        )
+        assert set(table.primary_key) == {"pid", "tid"}
+        assert not table.column("pid").nullable
+        assert not table.column("tid").nullable
+
+
+class TestSmoDelegation:
+    """The SMO modules resolve f through the shared helpers."""
+
+    def test_add_entity_reexports_flag(self):
+        from repro.incremental.add_entity import entity_flag as reexported
+
+        assert reexported is entity_flag
+
+    def test_tpt_tables_built_through_helper(self):
+        from repro.edm import Attribute
+        from repro.incremental import AddEntity, IncrementalCompiler
+        from repro.relational import ForeignKey
+
+        mapping = mapping_stage3()
+        model = CompiledModel(mapping, compile_mapping(mapping).views)
+        smo = AddEntity.tpt(
+            model,
+            "Manager",
+            "Employee",
+            [Attribute("Level", INT)],
+            "Mg",
+            table_foreign_keys=[ForeignKey(("Id",), "Emp", ("Id",))],
+        )
+        evolved = IncrementalCompiler().apply(model, smo).model
+        table = evolved.store_schema.table("Mg")
+        assert table.primary_key == ("Id",)
+        assert not table.column("Id").nullable

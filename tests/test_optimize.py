@@ -6,7 +6,6 @@ from repro.algebra import LeftOuterJoin, Select, UnionAll
 from repro.compiler import compile_mapping, optimize_views
 from repro.mapping.equivalence import compare_views
 from repro.workloads.hub_rim import hub_rim_mapping
-from repro.workloads.paper_example import mapping_stage4
 
 
 class TestFigure2Shape:

@@ -11,34 +11,24 @@ from __future__ import annotations
 import pytest
 
 from repro.algebra import (
-    Comparison,
     IsNotNull,
     IsOf,
     IsOfOnly,
     Join,
     LeftOuterJoin,
     Or,
-    Project,
     Select,
     UnionAll,
-    evaluate_query,
-    StoreContext,
-    ClientContext,
 )
 from repro.algebra.constructors import EntityCtor, IfCtor
 from repro.compiler import compile_mapping
-from repro.edm import Attribute, ClientState, Entity, INT, STRING
+from repro.edm import Attribute, INT, STRING
 from repro.errors import ValidationError
-from repro.incremental import (
-    AddAssociationFK,
-    AddEntity,
-    CompiledModel,
-    IncrementalCompiler,
-)
-from repro.mapping import apply_query_views, apply_update_views, check_roundtrip
+from repro.incremental import AddEntity, CompiledModel, IncrementalCompiler
+from repro.mapping import apply_update_views, check_roundtrip
 from repro.relational import ForeignKey
 
-from tests.conftest import customer_smo, employee_smo, figure1_state, supports_smo
+from tests.conftest import customer_smo, employee_smo, figure1_state
 
 
 class TestExample1And2:

@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.algebra import (
-    Comparison,
-    IsNotNull,
-    IsNull,
-    IsOf,
-    IsOfOnly,
-    Or,
-    TRUE,
-)
+from repro.algebra import Comparison, IsNotNull, IsOf, IsOfOnly, Or, TRUE
 from repro.algebra.parser import parse_fragment, parse_fragments
 from repro.compiler import compile_mapping
 from repro.errors import MappingError

@@ -20,7 +20,6 @@ from repro.algebra import (
     ClientContext,
     Col,
     Comparison,
-    Condition,
     IsNotNull,
     IsNull,
     IsOf,

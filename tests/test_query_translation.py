@@ -8,7 +8,7 @@ queries from the relational data alone.
 import pytest
 from hypothesis import given, settings
 
-from repro.algebra import Comparison, IsNotNull, IsNull, IsOf, IsOfOnly, Not, and_, or_
+from repro.algebra import Comparison, IsOf, IsOfOnly, and_, or_
 from repro.compiler import compile_mapping, optimize_views
 from repro.edm import ClientState, Entity
 from repro.mapping import apply_update_views

@@ -7,7 +7,7 @@ compilation of the original mapping.
 
 import pytest
 
-from repro.modef import ReconstructionError, reconstruct, replay, verify_reconstruction
+from repro.modef import reconstruct, replay, verify_reconstruction
 from repro.workloads import chain_mapping, customer_mapping, hub_rim_mapping
 from repro.workloads.paper_example import mapping_stage4
 

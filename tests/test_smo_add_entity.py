@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.algebra import IsOf, LeftOuterJoin, UnionAll
+from repro.algebra import UnionAll
 from repro.compiler import compile_mapping
 from repro.edm import Attribute, ClientState, Entity, INT, STRING
 from repro.errors import SmoError
-from repro.incremental import AddEntity, CompiledModel, IncrementalCompiler
+from repro.incremental import AddEntity, IncrementalCompiler
 from repro.mapping import check_roundtrip
 from repro.relational import Column, ForeignKey, Table
-from repro.workloads.paper_example import mapping_stage1
 
 from tests.conftest import employee_smo
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import IsNotNull, IsOf, IsOfOnly, Or, TRUE
+from repro.algebra import IsNotNull, IsOf, TRUE
 from repro.compiler import compile_mapping
 from repro.edm import (
     Attribute,

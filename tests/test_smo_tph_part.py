@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import Comparison, IsNotNull, IsNull, IsOf, IsOfOnly, TRUE, and_
+from repro.algebra import Comparison, IsNull, IsOf, IsOfOnly, TRUE, and_
 from repro.compiler import compile_mapping
 from repro.edm import (
     Attribute,

@@ -8,7 +8,7 @@ satisfy Q(V(c)) = c.
 
 import pytest
 
-from repro.compiler import compile_mapping, optimize_views
+from repro.compiler import compile_mapping
 from repro.mapping import check_roundtrip
 from repro.stategen import random_client_state
 from repro.workloads import chain_mapping, customer_mapping, hub_rim_mapping

@@ -16,7 +16,6 @@ from repro.errors import ValidationError
 from repro.mapping import Mapping, MappingFragment
 from repro.relational import Column, StoreSchema, Table
 from repro.workloads.hub_rim import hub_rim_mapping
-from repro.workloads.paper_example import mapping_stage4
 
 
 def _schema(age_domain):

@@ -3,7 +3,7 @@ roundtrip spot-check scoping) and viewgen helpers."""
 
 import pytest
 
-from repro.algebra import Comparison, IsNotNull, IsOf, IsOfOnly, TRUE
+from repro.algebra import Comparison, IsNotNull, IsOf, TRUE
 from repro.compiler import (
     SetAnalysis,
     check_all_foreign_keys,
@@ -18,12 +18,11 @@ from repro.compiler.viewgen import (
     fragment_contribution,
     store_condition_pins,
 )
-from repro.edm import ClientSchemaBuilder, INT, STRING, enum_domain
+from repro.edm import ClientSchemaBuilder, INT, enum_domain
 from repro.errors import MappingError, ValidationError
 from repro.mapping import Mapping, MappingFragment
 from repro.relational import Column, ForeignKey, StoreSchema, Table
 from repro.workloads.hub_rim import hub_rim_mapping
-from repro.workloads.paper_example import mapping_stage4
 
 
 class TestStoreCells:

@@ -14,11 +14,7 @@ from repro.workloads.chain import (
     set_name,
     table_name,
 )
-from repro.workloads.customer import (
-    HIERARCHY_SIZES,
-    _build_hierarchies,
-    customer_mapping,
-)
+from repro.workloads.customer import _build_hierarchies, customer_mapping
 from repro.workloads.hub_rim import hub_rim_mapping, type_count
 
 
