@@ -39,7 +39,7 @@ from repro.algebra.queries import (
 from repro.edm.instances import ClientState
 from repro.edm.schema import ClientSchema
 from repro.errors import EvaluationError
-from repro.relational.instances import StoreState
+from repro.relational.instances import StoreState, row_map
 from repro.relational.schema import StoreSchema
 
 TYPE_TAG = "__type__"
@@ -112,7 +112,9 @@ class StoreContext(EvaluationContext):
 
     def scan_rows(self, leaf: Query) -> List[RowDict]:
         if isinstance(leaf, TableScan):
-            return [dict(row) for row in self.state.rows(leaf.table_name)]
+            # row_map reuses the memoized dict view of each row — table
+            # scans sit under every view evaluation's inner loop.
+            return [row_map(row) for row in self.state.rows(leaf.table_name)]
         raise EvaluationError(f"store context cannot scan {leaf!r}")
 
     def scan_columns(self, leaf: Query) -> Tuple[str, ...]:

@@ -1,0 +1,39 @@
+"""Pluggable store backends: where compiled views meet a real engine."""
+
+from repro.backend.base import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    StoreBackend,
+    create_backend,
+    default_backend_name,
+)
+from repro.backend.ddl import (
+    create_table_sql,
+    drop_table_sql,
+    schema_ddl,
+    schema_ddl_text,
+)
+from repro.backend.memory import MemoryBackend
+from repro.backend.migrate import MigrationScript, MigrationStep, plan_migration
+from repro.backend.sqlgen import CompiledSql, SqlCompiler, compile_query
+from repro.backend.sqlite import SqliteBackend
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "CompiledSql",
+    "MemoryBackend",
+    "MigrationScript",
+    "MigrationStep",
+    "SqlCompiler",
+    "SqliteBackend",
+    "StoreBackend",
+    "compile_query",
+    "create_backend",
+    "create_table_sql",
+    "default_backend_name",
+    "drop_table_sql",
+    "plan_migration",
+    "schema_ddl",
+    "schema_ddl_text",
+]

@@ -1,0 +1,77 @@
+"""The in-memory store backend: the original interpreter behind the
+:class:`~repro.backend.base.StoreBackend` protocol.
+
+Queries evaluate with :mod:`repro.algebra.evaluate` (the reference
+semantics every other backend must match); constraint checking runs the
+concrete PK/FK checks of :mod:`repro.relational.constraints`.  State
+swaps are whole-object replacements, never in-place mutation, so
+snapshots held by the session journal stay valid forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.algebra.evaluate import StoreContext, evaluate_query
+from repro.algebra.queries import Query
+from repro.backend.base import StoreBackend
+from repro.errors import ValidationError
+from repro.query.dml import StoreDelta, apply_delta
+from repro.relational.constraints import ConstraintViolation, check_all
+from repro.relational.instances import Row, StoreState
+from repro.relational.schema import StoreSchema
+
+
+class MemoryBackend(StoreBackend):
+    """Rows live in a :class:`StoreState`; queries run in the interpreter."""
+
+    name = "memory"
+
+    def __init__(self, store_state: StoreState) -> None:
+        self._state = store_state
+
+    @property
+    def schema(self) -> StoreSchema:
+        return self._state.schema
+
+    # -- reading -------------------------------------------------------
+    def rows(self, table_name: str) -> Tuple[Row, ...]:
+        return self._state.rows(table_name)
+
+    def run_query(self, query: Query) -> List[Dict[str, object]]:
+        return evaluate_query(query, StoreContext(self._state))
+
+    def to_store_state(self) -> StoreState:
+        return self._state
+
+    def row_count(self) -> int:
+        return self._state.row_count()
+
+    # -- writing -------------------------------------------------------
+    def apply_delta(self, delta: StoreDelta) -> None:
+        candidate = apply_delta(self._state, delta)
+        violations = check_all(candidate)
+        if violations:
+            detail = "; ".join(str(v) for v in violations[:5])
+            raise ValidationError(
+                f"update would violate store constraints: {detail}",
+                check="save-changes",
+            )
+        self._state = candidate
+
+    def migrate(self, script, new_schema: StoreSchema, target: StoreState) -> None:
+        # The interpreter needs no DDL: the migrated state was computed
+        # through the views, so the script's net effect *is* `target`
+        # (the differential suite holds SQLite's execution of the same
+        # script to this answer).
+        self._state = target
+
+    def replace_contents(self, state: StoreState) -> None:
+        self._state = state
+
+    # -- integrity -----------------------------------------------------
+    def check_constraints(self) -> List[ConstraintViolation]:
+        return check_all(self._state)
+
+    def __str__(self) -> str:
+        return f"MemoryBackend({self._state.row_count()} rows)"

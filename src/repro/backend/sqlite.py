@@ -1,0 +1,284 @@
+"""The SQLite store backend: a live database behind the protocol.
+
+Queries unfolded from the client run as generated SQL *inside the
+engine* (:mod:`repro.backend.sqlgen`); SaveChanges deltas and migration
+scripts execute inside a single transaction with foreign-key checking
+deferred to commit, so a failed batch rolls back to exactly the prior
+state; and PK/FK constraint checking is delegated to SQLite's native
+enforcement — the runtime no longer re-verifies what the engine
+guarantees (Section 1's division of labour between the ORM and the
+DBMS).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.queries import Query
+from repro.backend.base import StoreBackend
+from repro.backend.ddl import (
+    create_table_sql,
+    creation_order,
+    drop_order,
+    schema_ddl,
+)
+from repro.backend.sqlgen import (
+    SqlCompiler,
+    decode_value,
+    delta_statements,
+    quote,
+)
+from repro.errors import SchemaError, SmoError, ValidationError
+from repro.query.dml import StoreDelta
+from repro.relational.constraints import ConstraintViolation
+from repro.relational.instances import Row, StoreState
+from repro.relational.schema import StoreSchema
+
+#: FULL OUTER JOIN needs SQLite >= 3.39 (2022); guard with a clear error.
+SUPPORTS_FULL_OUTER_JOIN = sqlite3.sqlite_version_info >= (3, 39, 0)
+
+
+class SqliteBackend(StoreBackend):
+    """Store schema + rows held by a SQLite connection."""
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        schema: StoreSchema,
+        db_path: Optional[str] = None,
+        connection: Optional[sqlite3.Connection] = None,
+    ) -> None:
+        self._schema = schema
+        self.db_path = db_path or ":memory:"
+        self._conn = connection or sqlite3.connect(self.db_path)
+        self._conn.isolation_level = None  # explicit BEGIN/COMMIT below
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._state_cache: Optional[StoreState] = None
+        self._ensure_tables()
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> StoreSchema:
+        return self._schema
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._conn
+
+    def _existing_tables(self) -> set:
+        cursor = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+        return {row[0] for row in cursor.fetchall()}
+
+    def _ensure_tables(self) -> None:
+        """Create any schema table the database file does not yet hold.
+
+        Attaching to a pre-existing database keeps its data; tables are
+        matched by name (the DDL generator is deterministic, so a file
+        produced by this backend always matches).
+        """
+        existing = self._existing_tables()
+        missing = [t for t in self._schema.tables if t.name not in existing]
+        if not missing:
+            return
+        with self._transaction("initialize schema"):
+            for table in creation_order(missing):
+                self._conn.execute(create_table_sql(table))
+
+    # -- transactions --------------------------------------------------
+    def _transaction(self, label: str) -> "_Transaction":
+        return _Transaction(self._conn, label)
+
+    def _invalidate(self) -> None:
+        self._state_cache = None
+
+    # -- reading -------------------------------------------------------
+    def rows(self, table_name: str) -> Tuple[Row, ...]:
+        table = self._schema.table(table_name)
+        bases = {c.name: c.domain.base for c in table.columns}
+        names = table.column_names
+        select_list = ", ".join(quote(c) for c in names)
+        cursor = self._conn.execute(
+            f"SELECT {select_list} FROM {quote(table_name)}"
+        )
+        result: List[Row] = []
+        for values in cursor.fetchall():
+            decoded = tuple(
+                sorted(
+                    (name, decode_value(value, bases[name]))
+                    for name, value in zip(names, values)
+                )
+            )
+            result.append(decoded)
+        return tuple(result)
+
+    def run_query(self, query: Query) -> List[Dict[str, object]]:
+        if not SUPPORTS_FULL_OUTER_JOIN and _has_full_outer(query):
+            raise SchemaError(
+                "this SQLite lacks FULL OUTER JOIN (needs >= 3.39); "
+                "use the memory backend for partitioned views"
+            )
+        compiled = SqlCompiler(self._schema).compile(query)
+        cursor = self._conn.execute(compiled.text, compiled.params)
+        typing = compiled.decoders()
+        columns = compiled.columns
+        seen = set()
+        unique: List[Dict[str, object]] = []
+        for values in cursor.fetchall():
+            row = {
+                name: decode_value(value, typing.get(name))
+                for name, value in zip(columns, values)
+            }
+            key = tuple(sorted(row.items()))
+            if key not in seen:  # set semantics, like evaluate_query
+                seen.add(key)
+                unique.append(row)
+        return unique
+
+    def to_store_state(self) -> StoreState:
+        if self._state_cache is None:
+            state = StoreState(self._schema)
+            for table in self._schema.tables:
+                for row in self.rows(table.name):
+                    state.add_row(table.name, row)
+            self._state_cache = state
+        return self._state_cache
+
+    # -- writing -------------------------------------------------------
+    def apply_delta(self, delta: StoreDelta) -> None:
+        statements = delta_statements(delta, self._schema)
+        try:
+            with self._transaction("save-changes"):
+                for statement in statements:
+                    self._conn.execute(statement.text, statement.params)
+        except sqlite3.IntegrityError as exc:
+            raise ValidationError(
+                f"update would violate store constraints: {exc}",
+                check="save-changes",
+            ) from exc
+        self._invalidate()
+
+    def migrate(self, script, new_schema: StoreSchema, target: StoreState) -> None:
+        # Table rebuilds (drop parent + rename twin) defeat SQLite's
+        # deferred-FK counters, so this follows SQLite's documented
+        # schema-change procedure instead: FK enforcement off for the
+        # transaction, an explicit whole-database ``foreign_key_check``
+        # before COMMIT, and rollback if anything dangles.
+        self._conn.execute("PRAGMA foreign_keys = OFF")
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                for step in script.steps:
+                    self._conn.execute(
+                        step.statement.text, step.statement.params
+                    )
+                dangling = self._conn.execute(
+                    "PRAGMA foreign_key_check"
+                ).fetchall()
+                if dangling:
+                    table, rowid, ref_table, _ = dangling[0]
+                    raise sqlite3.IntegrityError(
+                        f"FOREIGN KEY constraint failed "
+                        f"({table} row {rowid} -> {ref_table})"
+                    )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        except sqlite3.IntegrityError as exc:
+            raise ValidationError(
+                f"migration would violate store constraints: {exc}",
+                check="migration",
+            ) from exc
+        except sqlite3.Error as exc:
+            raise SmoError(f"migration script failed: {exc}") from exc
+        finally:
+            self._conn.execute("PRAGMA foreign_keys = ON")
+        self._schema = new_schema
+        self._invalidate()
+
+    def replace_contents(self, state: StoreState) -> None:
+        """Reset the database to exactly *state* (schema included)."""
+        # FK enforcement cannot be toggled mid-transaction; drops are
+        # ordered instead so enforcement can stay on throughout.
+        with self._transaction("reset"):
+            existing = self._existing_tables()
+            known = [t for t in self._schema.tables if t.name in existing]
+            for table in drop_order(known):
+                self._conn.execute(f"DROP TABLE {quote(table.name)}")
+                existing.discard(table.name)
+            for name in sorted(existing):  # tables of an older schema
+                self._conn.execute(f"DROP TABLE {quote(name)}")
+            for statement in schema_ddl(state.schema):
+                self._conn.execute(statement)
+            for table in creation_order(state.schema.tables):
+                rows = state.rows(table.name)
+                if not rows:
+                    continue
+                names = [name for name, _ in rows[0]]
+                columns = ", ".join(quote(n) for n in names)
+                marks = ", ".join("?" for _ in names)
+                self._conn.executemany(
+                    f"INSERT INTO {quote(table.name)} ({columns}) "
+                    f"VALUES ({marks})",
+                    [tuple(value for _, value in row) for row in rows],
+                )
+        self._schema = state.schema
+        self._invalidate()
+
+    # -- integrity -----------------------------------------------------
+    def check_constraints(self) -> List[ConstraintViolation]:
+        """Native enforcement means a live database is always clean; this
+        surfaces violations only for databases edited out-of-band."""
+        violations: List[ConstraintViolation] = []
+        cursor = self._conn.execute("PRAGMA foreign_key_check")
+        for table, rowid, ref_table, _fk_index in cursor.fetchall():
+            violations.append(
+                ConstraintViolation(
+                    table,
+                    "foreign-key",
+                    f"row {rowid} dangles into {ref_table}",
+                )
+            )
+        return violations
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __str__(self) -> str:
+        return f"SqliteBackend({self.db_path!r})"
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` + deferred FK checking; rollback on any error."""
+
+    def __init__(self, conn: sqlite3.Connection, label: str) -> None:
+        self.conn = conn
+        self.label = label
+
+    def __enter__(self) -> sqlite3.Connection:
+        self.conn.execute("BEGIN IMMEDIATE")
+        # re-check all foreign keys at COMMIT instead of per statement:
+        # migration scripts drop+rename parent tables mid-transaction.
+        self.conn.execute("PRAGMA defer_foreign_keys = ON")
+        return self.conn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            try:
+                self.conn.execute("COMMIT")
+            except sqlite3.Error:
+                self.conn.execute("ROLLBACK")
+                raise
+            return False
+        self.conn.execute("ROLLBACK")
+        return False
+
+
+def _has_full_outer(query: Query) -> bool:
+    from repro.algebra.queries import FullOuterJoin
+
+    return any(isinstance(node, FullOuterJoin) for node in query.walk())

@@ -4,12 +4,19 @@
     python -m repro validate compiled.json
     python -m repro views compiled.json [NAME]
     python -m repro evolve compiled.json target-schema.json -o next.json
-    python -m repro evolve compiled.json target-schema.json --batch -o next.json
+    python -m repro evolve compiled.json target.json --backend sqlite --db app.db
     python -m repro plan compiled.json target-schema.json
+    python -m repro query compiled.json Persons --where "Id>1" --db app.db
+    python -m repro ddl compiled.json [--target target-schema.json]
     python -m repro bench {fig4,fig9,fig10}
 
 Model documents are the JSON format of :mod:`repro.msl`; ``fragments``
 may alternatively be a string of Figure-5 Entity-SQL fragment equations.
+
+The data-bearing verbs (``query``, ``evolve``, ``ddl``) accept
+``--backend {memory,sqlite}`` (default: ``$REPRO_BACKEND`` or memory)
+and ``--db PATH`` to attach a SQLite database file; ``evolve`` then
+migrates the stored data alongside the mapping.
 """
 
 from __future__ import annotations
@@ -29,6 +36,39 @@ from repro.msl import (
     load_mapping,
     load_model,
 )
+
+
+def _open_session(args: argparse.Namespace, model: CompiledModel):
+    """A session over the backend the flags select (memory by default,
+    ``$REPRO_BACKEND`` respected, ``--db`` attaching a SQLite file)."""
+    from repro.backend import create_backend
+    from repro.errors import SchemaError
+    from repro.session import OrmSession
+
+    backend_name = getattr(args, "backend", None)
+    db_path = getattr(args, "db", None)
+    if db_path and (backend_name or "sqlite") != "sqlite":
+        raise SchemaError("--db requires --backend sqlite")
+    if db_path:
+        backend_name = "sqlite"
+    backend = create_backend(backend_name, model.store_schema, db_path=db_path)
+    budget = WorkBudget(max_seconds=args.budget) if getattr(args, "budget", None) else None
+    return OrmSession(model, backend=backend, budget=budget)
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default=None,
+        help="store engine (default: $REPRO_BACKEND or memory)",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="SQLite database file to attach (implies --backend sqlite)",
+    )
 
 
 def _read_json(path: str) -> dict:
@@ -112,23 +152,26 @@ def cmd_evolve(args: argparse.Namespace) -> int:
     from repro.compiler.scheduler import describe_checks
 
     model, smos = _diffed_smos(args)
-    compiler = IncrementalCompiler(
-        budget=WorkBudget(max_seconds=args.budget) if args.budget else None
-    )
-    if args.batch:
-        batch = compiler.compile_batch(model, smos)
-        print(f"applied {batch}", file=sys.stderr)
-        print(
-            f"neighborhood {batch.neighborhood}: "
-            f"{describe_checks(batch.check_names)}",
-            file=sys.stderr,
-        )
-        model = batch.model
-    else:
-        for result in compiler.apply_all(model, smos):
-            print(f"applied {result}", file=sys.stderr)
-            model = result.model
-    _write(args.output, dumps_model(model))
+    session = _open_session(args, model)
+    try:
+        if args.batch:
+            session.evolve_many(smos)
+            entry = session.journal[-1]
+            print(f"applied {entry}", file=sys.stderr)
+            print(describe_checks(entry.check_names), file=sys.stderr)
+        else:
+            for smo in smos:
+                session.evolve(smo)
+                print(f"applied {session.journal[-1]}", file=sys.stderr)
+        if session.backend.name == "sqlite":
+            print(
+                f"migrated store at {session.backend.db_path} "
+                f"({session.backend.row_count()} rows)",
+                file=sys.stderr,
+            )
+        _write(args.output, dumps_model(session.model))
+    finally:
+        session.backend.close()
     return 0
 
 
@@ -143,7 +186,101 @@ def cmd_plan(args: argparse.Namespace) -> int:
     print(plan.describe())
     if plan.ok:
         print(describe_checks(plan.check_names))
+        if args.backend or args.db:
+            # also preview the store-side migration the batch implies
+            session = _open_session(args, model)
+            try:
+                script = session.migration_script(smos)
+                print(script.summary())
+            finally:
+                session.backend.close()
     return 0 if plan.ok else 1
+
+
+_WHERE_PATTERN = r"^\s*(\w+)\s*(=|!=|<=|>=|<|>)\s*(.+?)\s*$"
+
+
+def _parse_where(text: str):
+    """A single comparison atom: ``Attr OP literal`` (ints, quoted or
+    bare strings, ``null``)."""
+    import re
+
+    from repro.algebra.conditions import Comparison, IsNotNull, IsNull
+    from repro.errors import SchemaError
+
+    match = re.match(_WHERE_PATTERN, text)
+    if not match:
+        raise SchemaError(
+            f"cannot parse --where {text!r}: expected 'Attr OP literal'"
+        )
+    attr, op, literal = match.groups()
+    if literal.lower() == "null":
+        if op == "=":
+            return IsNull(attr)
+        if op == "!=":
+            return IsNotNull(attr)
+        raise SchemaError(f"cannot order-compare against null: {text!r}")
+    if (literal.startswith("'") and literal.endswith("'")) or (
+        literal.startswith('"') and literal.endswith('"')
+    ):
+        return Comparison(attr, op, literal[1:-1])
+    try:
+        return Comparison(attr, op, int(literal))
+    except ValueError:
+        return Comparison(attr, op, literal)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.algebra.conditions import TRUE
+    from repro.query import EntityQuery
+    from repro.query.unfold import unfold
+
+    model = load_model(_read_json(args.model))
+    condition = _parse_where(args.where) if args.where else TRUE
+    projection = tuple(args.project.split(",")) if args.project else None
+    query = EntityQuery(args.set_name, condition, projection)
+    session = _open_session(args, model)
+    try:
+        if args.explain:
+            if session.backend.name == "sqlite":
+                from repro.backend import SqlCompiler
+
+                unfolded = unfold(query, model.views, model.client_schema)
+                compiler = SqlCompiler(model.store_schema)
+                for branch in unfolded.branches:
+                    compiled = compiler.compile(branch.store_query)
+                    print(f"-- constructs {branch.concrete_type}")
+                    print(compiled.text + ";")
+                    if compiled.params:
+                        print(f"-- params: {list(compiled.params)}")
+            else:
+                print(session.explain(query))
+            return 0
+        results = sorted(session.query(query), key=repr)
+        for result in results:
+            print(result)
+        print(f"{len(results)} result(s)", file=sys.stderr)
+        return 0
+    finally:
+        session.backend.close()
+
+
+def cmd_ddl(args: argparse.Namespace) -> int:
+    from repro.backend import schema_ddl_text
+
+    if not args.target:
+        model = load_model(_read_json(args.model))
+        print(schema_ddl_text(model.store_schema))
+        return 0
+    model, smos = _diffed_smos(args)
+    session = _open_session(args, model)
+    try:
+        script = session.migration_script(smos)
+        print(script.summary(), file=sys.stderr)
+        print(script.to_sql())
+        return 0
+    finally:
+        session.backend.close()
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -209,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile all diffed SMOs as one batch, validating the union "
         "neighborhood once",
     )
+    _add_backend_flags(p)
     p.set_defaults(fn=cmd_evolve)
 
     p = sub.add_parser(
@@ -225,7 +363,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="force a mapping style for an added type",
     )
     p.add_argument("--budget", type=float, default=None)
+    _add_backend_flags(p)
     p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser(
+        "query", help="run an entity query against a store backend"
+    )
+    p.add_argument("model")
+    p.add_argument("set_name", help="entity set to query")
+    p.add_argument(
+        "--where", default=None, metavar="COND", help="e.g. \"Id>1\", \"Name='ann'\""
+    )
+    p.add_argument(
+        "--project", default=None, metavar="ATTRS", help="comma-separated attributes"
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the unfolded store plan (generated SQL on sqlite) "
+        "instead of running it",
+    )
+    _add_backend_flags(p)
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "ddl",
+        help="print the store schema's CREATE TABLE script, or (with "
+        "--target) the DDL+DML migration script a planned batch implies",
+    )
+    p.add_argument("model")
+    p.add_argument(
+        "--target", default=None, help="target client schema to diff against"
+    )
+    p.add_argument(
+        "--style",
+        action="append",
+        metavar="TYPE=TPT|TPC|TPH",
+        help="force a mapping style for an added type",
+    )
+    _add_backend_flags(p)
+    p.set_defaults(fn=cmd_ddl)
 
     p = sub.add_parser("bench", help="run a figure's benchmark driver")
     p.add_argument("figure", choices=["fig4", "fig9", "fig10"])

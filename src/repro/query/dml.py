@@ -22,7 +22,7 @@ from typing import Dict, List, Set, Tuple
 from repro.edm.instances import ClientState
 from repro.mapping.roundtrip import apply_update_views
 from repro.mapping.views import CompiledViews
-from repro.relational.instances import Row, StoreState, row_value
+from repro.relational.instances import Row, StoreState, row_values
 from repro.relational.schema import StoreSchema
 
 
@@ -94,7 +94,7 @@ def diff_store_states(old: StoreState, new: StoreState) -> StoreDelta:
         fresh = new_rows - old_rows
 
         def key_of(row: Row) -> Tuple[object, ...]:
-            return tuple(row_value(row, c) for c in table.primary_key)
+            return row_values(row, table.primary_key)
 
         gone_by_key = {key_of(r): r for r in gone}
         table_delta = TableDelta(table_name)

@@ -78,12 +78,25 @@ class UnfoldedQuery:
         return "\n\nUNION ALL\n\n".join(blocks) if blocks else "-- empty query"
 
     def run(self, store_state: StoreState) -> List[object]:
-        """Execute against the store; returns entities or projected rows."""
+        """Execute against a concrete store state with the interpreter."""
         context = StoreContext(store_state)
+        return self._construct_all(
+            lambda branch: evaluate_query(branch.store_query, context)
+        )
+
+    def run_on(self, backend) -> List[object]:
+        """Execute on a :class:`~repro.backend.base.StoreBackend` — the
+        interpreter for the memory backend, generated SQL inside the
+        engine for SQLite."""
+        return self._construct_all(
+            lambda branch: backend.run_query(branch.store_query)
+        )
+
+    def _construct_all(self, rows_of) -> List[object]:
         results: List[object] = []
         projection = self.source.projection
         for branch in self.branches:
-            for row in evaluate_query(branch.store_query, context):
+            for row in rows_of(branch):
                 if projection is None:
                     results.append(branch.constructor.construct(row))
                 else:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.relational.instances import StoreState, row_value
+from repro.relational.instances import StoreState, row_values
 
 
 @dataclass(frozen=True)
@@ -32,7 +32,7 @@ def check_primary_keys(state: StoreState) -> List[ConstraintViolation]:
     for table in state.populated_tables():
         seen = {}
         for row in state.rows(table.name):
-            key = tuple(row_value(row, c) for c in table.primary_key)
+            key = row_values(row, table.primary_key)
             if any(v is None for v in key):
                 violations.append(
                     ConstraintViolation(table.name, "not-null", f"null in key {key!r}")
@@ -53,11 +53,11 @@ def check_foreign_keys(state: StoreState) -> List[ConstraintViolation]:
     for table in state.populated_tables():
         for foreign_key in table.foreign_keys:
             target_keys = {
-                tuple(row_value(r, c) for c in foreign_key.ref_columns)
+                row_values(r, foreign_key.ref_columns)
                 for r in state.rows(foreign_key.ref_table)
             }
             for row in state.rows(table.name):
-                value = tuple(row_value(row, c) for c in foreign_key.columns)
+                value = row_values(row, foreign_key.columns)
                 if any(v is None for v in value):
                     continue  # null foreign keys are vacuously satisfied
                 if value not in target_keys:

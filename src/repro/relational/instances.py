@@ -8,6 +8,7 @@ constraint-preservation checks.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.errors import EvaluationError, SchemaError
@@ -25,15 +26,40 @@ def row_from_mapping(values: Mapping[str, object]) -> Row:
     return tuple(sorted(values.items()))
 
 
+@lru_cache(maxsize=65536)
+def _row_dict(row: Row) -> Dict[str, object]:
+    """The dict view of a row, memoized by the (hashable) row itself.
+
+    ``row_value`` sits in every evaluation and constraint-check inner
+    loop; a linear scan per access made key extraction O(columns) per
+    column.  Rows are immutable and repeatedly revisited (constraint
+    checks touch each row once per key/FK column, diffs once per key
+    column), so one cached dict per distinct row makes every subsequent
+    access O(1).  Callers must never mutate the returned dict — use
+    :func:`row_map` for a private copy.
+    """
+    return dict(row)
+
+
 def row_value(row: Row, column: str) -> object:
-    for name, value in row:
-        if name == column:
-            return value
-    raise EvaluationError(f"row has no column {column!r}: {row}")
+    try:
+        return _row_dict(row)[column]
+    except KeyError:
+        raise EvaluationError(f"row has no column {column!r}: {row}") from None
+
+
+def row_values(row: Row, columns: Tuple[str, ...]) -> Tuple[object, ...]:
+    """Extract several columns with a single cached-dict lookup."""
+    values = _row_dict(row)
+    try:
+        return tuple(values[c] for c in columns)
+    except KeyError as exc:
+        raise EvaluationError(f"row has no column {exc.args[0]!r}: {row}") from None
 
 
 def row_map(row: Row) -> Dict[str, object]:
-    return dict(row)
+    """A fresh, caller-owned dict of the row (safe to mutate)."""
+    return _row_dict(row).copy()
 
 
 class StoreState:

@@ -16,9 +16,17 @@ downstream application would use it:
   mappings agree on all pre-existing client states (the Section 2.3
   soundness restriction).
 
+The session talks to the relational data exclusively through a
+:class:`~repro.backend.base.StoreBackend`: the in-memory interpreter, or
+a live SQLite database that executes the generated SQL/DDL itself
+(``backend="sqlite"``; the ``REPRO_BACKEND`` environment variable picks
+the default).  Query, SaveChanges, evolve and undo behave identically on
+either engine.
+
 Example::
 
-    session = OrmSession.create(model)
+    session = OrmSession.create(model)                      # in-memory
+    session = OrmSession.create(model, backend="sqlite")    # live SQLite
     with session.edit() as state:
         state.add_entity("Persons", Entity.of("Person", Id=1, Name="ann"))
     session.query(EntityQuery("Persons"))
@@ -36,19 +44,21 @@ from typing import Iterator, List, Sequence, Tuple
 
 from typing import Optional
 
+from repro.backend.base import StoreBackend, create_backend
+from repro.backend.memory import MemoryBackend
+from repro.backend.migrate import plan_migration
 from repro.budget import WorkBudget
 from repro.compiler.validation import ValidationReport, validate_mapping
 from repro.containment.cache import CacheStats, ValidationCache
 from repro.edm.instances import ClientState, Entity
-from repro.errors import SmoError, ValidationError
+from repro.errors import SmoError
 from repro.incremental.delta import MappingDelta
 from repro.incremental.model import CompiledModel
 from repro.incremental.smo import EvolutionPlan, IncrementalCompiler, Smo
 from repro.mapping.roundtrip import apply_query_views, apply_update_views
-from repro.query.dml import StoreDelta, apply_delta, diff_store_states
+from repro.query.dml import StoreDelta, diff_store_states
 from repro.query.language import EntityQuery
 from repro.query.unfold import unfold
-from repro.relational.constraints import check_all
 from repro.relational.instances import StoreState
 
 
@@ -85,22 +95,61 @@ class JournalEntry:
 class OrmSession:
     """A compiled model plus the relational data it maps."""
 
-    def __init__(self, model: CompiledModel, store_state: StoreState) -> None:
+    def __init__(
+        self,
+        model: CompiledModel,
+        store_state: Optional[StoreState] = None,
+        backend: Optional[StoreBackend] = None,
+        budget: Optional[WorkBudget] = None,
+    ) -> None:
         self.model = model
-        self.store_state = store_state
+        if backend is None:
+            # bare StoreState (or nothing): the historical in-memory session
+            backend = MemoryBackend(
+                store_state
+                if store_state is not None
+                else StoreState(model.store_schema)
+            )
+        elif store_state is not None:
+            raise SmoError("pass either store_state or backend, not both")
+        #: the store engine every read and write goes through
+        self.backend = backend
         # One fingerprint-keyed memo for the whole session: validation work
         # for neighborhoods untouched by successive SMOs is re-served from
         # here instead of being recomputed (the Section 1.2 premise).
         self.validation_cache = ValidationCache()
-        self._compiler = IncrementalCompiler(cache=self.validation_cache)
+        self._compiler = IncrementalCompiler(
+            budget=budget, cache=self.validation_cache
+        )
         #: committed evolutions, oldest first; ``undo`` pops from the end
         self.journal: List[JournalEntry] = []
 
     # ------------------------------------------------------------------
     @staticmethod
-    def create(model: CompiledModel) -> "OrmSession":
-        """A session over an empty database."""
-        return OrmSession(model, StoreState(model.store_schema))
+    def create(
+        model: CompiledModel,
+        backend: Optional[str] = None,
+        db_path: Optional[str] = None,
+    ) -> "OrmSession":
+        """A session over an empty database.
+
+        *backend* names the store engine (``"memory"`` / ``"sqlite"``);
+        when ``None`` the ``REPRO_BACKEND`` environment variable decides
+        (defaulting to memory).  *db_path* puts a SQLite store on disk
+        instead of in ``:memory:``.
+        """
+        engine = create_backend(backend, model.store_schema, db_path=db_path)
+        return OrmSession(model, backend=engine)
+
+    # ------------------------------------------------------------------
+    @property
+    def store_state(self) -> StoreState:
+        """The backend's contents as a (possibly cached) StoreState."""
+        return self.backend.to_store_state()
+
+    @store_state.setter
+    def store_state(self, state: StoreState) -> None:
+        self.backend.replace_contents(state)
 
     # ------------------------------------------------------------------
     # Reading
@@ -114,7 +163,7 @@ class OrmSession:
     def query(self, query: EntityQuery) -> List[object]:
         """Answer an object query from the relational data alone."""
         unfolded = unfold(query, self.model.views, self.model.client_schema)
-        return unfolded.run(self.store_state)
+        return unfolded.run_on(self.backend)
 
     def explain(self, query: EntityQuery) -> str:
         """The store-level plan a query unfolds to (Entity-SQL text)."""
@@ -126,23 +175,16 @@ class OrmSession:
     def save(self, new_state: ClientState) -> StoreDelta:
         """SaveChanges: persist *new_state* as the object view.
 
-        Computes the minimal row delta (via the update views), verifies
-        the resulting store state satisfies all constraints, applies it,
-        and returns the delta.  On a constraint violation nothing is
-        applied.
+        Computes the minimal row delta (via the update views) and hands
+        it to the backend, which applies it transactionally — the
+        interpreter checks PK/FK explicitly, SQLite enforces them
+        natively.  On a constraint violation nothing is applied.
         """
         target = apply_update_views(
             self.model.views, new_state, self.model.store_schema
         )
-        violations = check_all(target)
-        if violations:
-            detail = "; ".join(str(v) for v in violations[:5])
-            raise ValidationError(
-                f"update would violate store constraints: {detail}",
-                check="save-changes",
-            )
         delta = diff_store_states(self.store_state, target)
-        self.store_state = apply_delta(self.store_state, delta)
+        self.backend.apply_delta(delta)
         return delta
 
     @contextmanager
@@ -192,17 +234,25 @@ class OrmSession:
         new_store = apply_update_views(
             evolved.views, migrated_client, evolved.store_schema
         )
-        delta = diff_store_states(self.store_state, new_store)
+        store_before = self.store_state
+        delta = diff_store_states(store_before, new_store)
+        # Lower the store-side evolution to an ordered DDL + DML script
+        # and let the backend execute it as one transaction (the memory
+        # backend short-circuits to the computed target; SQLite runs the
+        # script for real and must land on the same state).
+        script = plan_migration(
+            self.model.store_schema, evolved.store_schema, store_before, new_store
+        )
         entry = JournalEntry(
             label=label or "; ".join(smo.describe() for smo in smos),
             smos=batch.smos,
             delta=batch.delta,
             store_delta=delta,
-            store_before=self.store_state,
+            store_before=store_before,
             check_names=batch.check_names,
         )
+        self.backend.migrate(script, evolved.store_schema, new_store)
         self.model = evolved
-        self.store_state = new_store
         self.journal.append(entry)
         return delta
 
@@ -210,6 +260,22 @@ class OrmSession:
         """Dry-run a batch: the delta it would emit and the checks it
         would schedule, without touching the session's model or data."""
         return self._compiler.plan(self.model, smos)
+
+    def migration_script(self, smos: Sequence[Smo]):
+        """Dry-run the *store-side* migration of a batch: the ordered
+        DDL + DML :class:`~repro.backend.migrate.MigrationScript` that
+        :meth:`evolve_many` would execute, without mutating anything."""
+        smos = tuple(smos)
+        old_client = self.load()
+        batch = self._compiler.compile_batch(self.model, smos)
+        evolved = batch.model
+        migrated_client = old_client.embed_into(evolved.client_schema)
+        target = apply_update_views(
+            evolved.views, migrated_client, evolved.store_schema
+        )
+        return plan_migration(
+            self.model.store_schema, evolved.store_schema, self.store_state, target
+        )
 
     def undo(self) -> JournalEntry:
         """Roll back the most recent :meth:`evolve` / :meth:`evolve_many`.
@@ -224,7 +290,7 @@ class OrmSession:
             raise SmoError("nothing to undo: the session journal is empty")
         entry = self.journal.pop()
         self.model = self.model.apply(entry.delta.inverse())
-        self.store_state = entry.store_before
+        self.backend.replace_contents(entry.store_before)
         return entry
 
     # ------------------------------------------------------------------

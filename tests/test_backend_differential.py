@@ -1,0 +1,377 @@
+"""Differential harness: the memory and SQLite backends must be
+observationally identical.
+
+Every scenario drives two sessions — one per backend — through the same
+seeded workload and asserts byte-identical observations at each step:
+the same store snapshots, the same query answers (sorted by repr), the
+same post-migration states.  Coverage spans the paper's running example,
+hub-and-rim (TPH and TPT), the customer-scale generator, random
+mappings, and all eight SMO kinds.
+"""
+
+import pytest
+
+from tests.conftest import customer_smo, employee_smo, supports_smo
+from repro.algebra import Comparison, IsNotNull, IsOf, TRUE
+from repro.backend import MemoryBackend, SqliteBackend
+from repro.compiler import compile_mapping
+from repro.edm import Attribute, ClientSchemaBuilder, ClientState, Entity, INT, STRING
+from repro.incremental import (
+    AddAssociationJT,
+    AddEntityPart,
+    AddEntityTPH,
+    AddProperty,
+    CompiledModel,
+    DropAssociation,
+    DropEntity,
+    Partition,
+    RefactorAssociationToInheritance,
+)
+from repro.mapping import Mapping, MappingFragment
+from repro.query import EntityQuery
+from repro.relational import Column, ForeignKey, StoreSchema, StoreState, Table
+from repro.session import OrmSession
+from repro.stategen import random_client_state
+from repro.workloads import customer_mapping, hub_rim_mapping
+from repro.workloads.paper_example import mapping_stage1, mapping_stage3, mapping_stage4
+from repro.workloads.randomgen import random_mapping
+
+
+def compiled(mapping: Mapping) -> CompiledModel:
+    return CompiledModel(mapping, compile_mapping(mapping).views)
+
+
+def dual_sessions(model: CompiledModel):
+    memory = OrmSession(model, backend=MemoryBackend(StoreState(model.store_schema)))
+    sqlite = OrmSession(model, backend=SqliteBackend(model.store_schema))
+    return memory, sqlite
+
+
+def populate_both(memory, sqlite, seed=0, entities_per_set=5):
+    state = random_client_state(
+        memory.model.client_schema, seed=seed, entities_per_set=entities_per_set
+    )
+    memory.save(state)
+    sqlite.save(state)
+    return state
+
+
+def canon(results):
+    return sorted(repr(r) for r in results)
+
+
+def assert_equivalent(memory, sqlite):
+    """Snapshots and every whole-set query answer must coincide."""
+    assert sqlite.backend.snapshot() == memory.backend.snapshot()
+    assert sqlite.model.fingerprint() == memory.model.fingerprint()
+    for entity_set in memory.model.client_schema.entity_sets:
+        query = EntityQuery(entity_set.name)
+        assert canon(sqlite.query(query)) == canon(memory.query(query)), (
+            f"query answers diverge on {entity_set.name}"
+        )
+
+
+WORKLOADS = [
+    ("paper-stage4", lambda: mapping_stage4()),
+    ("hub-rim-tph", lambda: hub_rim_mapping(2, 2, "TPH")),
+    ("hub-rim-tpt", lambda: hub_rim_mapping(2, 2, "TPT")),
+    ("customer", lambda: customer_mapping(scale=0.05)),
+    ("random-0", lambda: random_mapping(seed=0)),
+    ("random-3", lambda: random_mapping(seed=3)),
+]
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[name for name, _ in WORKLOADS]
+)
+class TestWorkloadEquivalence:
+    def test_populate_and_query(self, factory):
+        model = compiled(factory())
+        memory, sqlite = dual_sessions(model)
+        try:
+            populate_both(memory, sqlite, seed=11)
+            assert_equivalent(memory, sqlite)
+        finally:
+            sqlite.backend.close()
+
+    def test_incremental_edits_stay_in_lockstep(self, factory):
+        model = compiled(factory())
+        memory, sqlite = dual_sessions(model)
+        try:
+            populate_both(memory, sqlite, seed=1)
+            # a second, different state diffs against the first: deletes,
+            # updates and inserts all travel through apply_delta
+            replacement = random_client_state(
+                model.client_schema, seed=2, entities_per_set=3
+            )
+            memory.save(replacement)
+            sqlite.save(replacement)
+            assert_equivalent(memory, sqlite)
+        finally:
+            sqlite.backend.close()
+
+
+# ---------------------------------------------------------------------------
+# All eight SMO kinds, each as (base model factory, smo factory)
+# ---------------------------------------------------------------------------
+
+def tph_base_model() -> CompiledModel:
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Vehicle", key=[("Id", INT)], attrs=[("Make", STRING)])
+        .entity_set("Vehicles", "Vehicle")
+        .build()
+    )
+    store = StoreSchema(
+        [
+            Table(
+                "V",
+                (Column("Id", INT, False), Column("Make", STRING),
+                 Column("Disc", STRING, False)),
+                ("Id",),
+            )
+        ]
+    )
+    mapping = Mapping(
+        schema, store,
+        [
+            MappingFragment(
+                "Vehicles", False, IsOf("Vehicle"), "V",
+                Comparison("Disc", "=", "Vehicle"),
+                (("Id", "Id"), ("Make", "Make")),
+            )
+        ],
+    )
+    return compiled(mapping)
+
+
+def flat_base_model() -> CompiledModel:
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Node", key=[("Id", INT)])
+        .entity_set("Nodes", "Node")
+        .build()
+    )
+    store = StoreSchema([Table("N", (Column("Id", INT, False),), ("Id",))])
+    mapping = Mapping(
+        schema, store,
+        [MappingFragment("Nodes", False, IsOf("Node"), "N", TRUE, (("Id", "Id"),))],
+    )
+    return compiled(mapping)
+
+
+def holds_model() -> CompiledModel:
+    schema = (
+        ClientSchemaBuilder()
+        .entity("Person2", key=[("Id", INT)], attrs=[("Name", STRING)])
+        .entity("Passport", key=[("Pno", INT)], attrs=[("Country", STRING)])
+        .entity_set("P2s", "Person2")
+        .entity_set("Passports", "Passport")
+        .association("Holds", "Person2", "Passport", mult1="1", mult2="0..1")
+        .build()
+    )
+    store = StoreSchema(
+        [
+            Table("P2", (Column("Id", INT, False), Column("Name", STRING)), ("Id",)),
+            Table(
+                "Pass",
+                (Column("Pno", INT, False), Column("Country", STRING),
+                 Column("OwnerId", INT, True)),
+                ("Pno",),
+                (ForeignKey(("OwnerId",), "P2", ("Id",)),),
+            ),
+        ]
+    )
+    mapping = Mapping(
+        schema, store,
+        [
+            MappingFragment("P2s", False, IsOf("Person2"), "P2", TRUE,
+                            (("Id", "Id"), ("Name", "Name"))),
+            MappingFragment("Passports", False, IsOf("Passport"), "Pass", TRUE,
+                            (("Pno", "Pno"), ("Country", "Country"))),
+            MappingFragment("Holds", True, TRUE, "Pass", IsNotNull("OwnerId"),
+                            (("Passport.Pno", "Pno"), ("Person2.Id", "OwnerId"))),
+        ],
+    )
+    return compiled(mapping)
+
+
+def stage1_model() -> CompiledModel:
+    return compiled(mapping_stage1())
+
+
+def stage3_model() -> CompiledModel:
+    return compiled(mapping_stage3())
+
+
+def _random_pop(model: CompiledModel) -> ClientState:
+    return random_client_state(model.client_schema, seed=7, entities_per_set=5)
+
+
+def _no_customers_pop(model: CompiledModel) -> ClientState:
+    """Drop-Entity(Customer) can only migrate data with no Customers."""
+    state = ClientState(model.client_schema)
+    state.add_entity("Persons", Entity.of("Person", Id=1, Name="ann"))
+    state.add_entity(
+        "Persons", Entity.of("Employee", Id=2, Name="bob", Department="hr")
+    )
+    return state
+
+
+def _no_holds_pop(model: CompiledModel) -> ClientState:
+    """Drop-Association(Holds) needs the association empty."""
+    state = ClientState(model.client_schema)
+    state.add_entity("P2s", Entity.of("Person2", Id=1, Name="ann"))
+    state.add_entity("P2s", Entity.of("Person2", Id=2, Name="bob"))
+    state.add_entity("Passports", Entity.of("Passport", Pno=10, Country="fr"))
+    return state
+
+
+def _no_passports_pop(model: CompiledModel) -> ClientState:
+    """The refactor drops the Passports set; it must be empty."""
+    state = ClientState(model.client_schema)
+    state.add_entity("P2s", Entity.of("Person2", Id=1, Name="ann"))
+    state.add_entity("P2s", Entity.of("Person2", Id=2, Name="bob"))
+    return state
+
+
+SMO_KINDS = [
+    ("ae-tpt", stage1_model, employee_smo, _random_pop),
+    ("ae-tpc", stage1_model, customer_smo, _random_pop),
+    (
+        "ae-tph",
+        tph_base_model,
+        lambda m: AddEntityTPH.create(m, "Car", "Vehicle", [], "V", "Disc", "Car"),
+        _random_pop,
+    ),
+    (
+        "aep",
+        flat_base_model,
+        lambda m: AddEntityPart(
+            name="P", parent="Node",
+            new_attributes=(Attribute("v", INT),),
+            anchor="Node",
+            partitions=(
+                Partition.of(("Id", "v"), Comparison("v", ">=", 0), "Pos"),
+                Partition.of(("Id", "v"), Comparison("v", "<", 0), "Neg"),
+            ),
+        ),
+        _random_pop,
+    ),
+    (
+        "ap",
+        stage3_model,
+        lambda m: AddProperty(
+            "Employee", Attribute("Title", STRING, nullable=True), "Emp", "Title"
+        ),
+        _random_pop,
+    ),
+    ("aa-fk", stage3_model, supports_smo, _random_pop),
+    (
+        "aa-jt",
+        stage3_model,
+        lambda m: AddAssociationJT.create(
+            m, "Knows", "Customer", "Employee", "KnowsJT",
+            {"Customer.Id": "CustId", "Employee.Id": "EmpId"},
+            mult1="*", mult2="*",
+            table_foreign_keys=[
+                ForeignKey(("CustId",), "Client", ("Cid",)),
+                ForeignKey(("EmpId",), "Emp", ("Id",)),
+            ],
+        ),
+        _random_pop,
+    ),
+    ("de", stage3_model, lambda m: DropEntity("Customer"), _no_customers_pop),
+    ("da", holds_model, lambda m: DropAssociation("Holds"), _no_holds_pop),
+    (
+        "rf",
+        holds_model,
+        lambda m: RefactorAssociationToInheritance("Holds"),
+        _no_passports_pop,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "base_factory,smo_factory,pop",
+    [(b, s, p) for _, b, s, p in SMO_KINDS],
+    ids=[kind for kind, _, _, _ in SMO_KINDS],
+)
+class TestSmoMigrationEquivalence:
+    def test_post_migration_states_identical(self, base_factory, smo_factory, pop):
+        """Acceptance: each SMO kind migrates both backends to the same
+        schema and the same bytes, and queries agree afterwards."""
+        model = base_factory()
+        memory, sqlite = dual_sessions(model)
+        try:
+            state = pop(model)
+            memory.save(state)
+            sqlite.save(state)
+            assert_equivalent(memory, sqlite)
+            smo = smo_factory(model)
+            memory.evolve(smo)
+            sqlite.evolve(smo)
+            assert_equivalent(memory, sqlite)
+        finally:
+            sqlite.backend.close()
+
+    def test_undo_restores_both_to_same_state(self, base_factory, smo_factory, pop):
+        model = base_factory()
+        memory, sqlite = dual_sessions(model)
+        try:
+            state = pop(model)
+            memory.save(state)
+            sqlite.save(state)
+            before = memory.backend.snapshot()
+            smo = smo_factory(model)
+            memory.evolve(smo)
+            sqlite.evolve(smo)
+            memory.undo()
+            sqlite.undo()
+            assert memory.backend.snapshot() == before
+            assert_equivalent(memory, sqlite)
+        finally:
+            sqlite.backend.close()
+
+
+class TestBatchedEvolutionEquivalence:
+    def test_paper_example_batch(self):
+        """Examples 1-7 as one batch on both engines."""
+        model = stage1_model()
+        memory, sqlite = dual_sessions(model)
+        try:
+            populate_both(memory, sqlite, seed=3)
+            smos = [employee_smo(model)]
+            memory.evolve_many(smos)
+            sqlite.evolve_many(smos)
+            smos2 = [customer_smo(memory.model), supports_smo(memory.model)]
+            memory.evolve_many(smos2)
+            sqlite.evolve_many(smos2)
+            assert_equivalent(memory, sqlite)
+            # and unwind both batches
+            memory.undo()
+            sqlite.undo()
+            memory.undo()
+            sqlite.undo()
+            assert_equivalent(memory, sqlite)
+        finally:
+            sqlite.backend.close()
+
+    def test_conditional_queries_agree_after_evolution(self):
+        model = stage3_model()
+        memory, sqlite = dual_sessions(model)
+        try:
+            populate_both(memory, sqlite, seed=5)
+            smo = AddProperty(
+                "Employee", Attribute("Title", STRING, nullable=True), "Emp", "Title"
+            )
+            memory.evolve(smo)
+            sqlite.evolve(smo)
+            for query in (
+                EntityQuery("Persons", IsOf("Employee")),
+                EntityQuery("Persons", Comparison("Id", ">", 1)),
+                EntityQuery("Persons", projection=("Id", "Name", "Title")),
+            ):
+                assert canon(sqlite.query(query)) == canon(memory.query(query))
+        finally:
+            sqlite.backend.close()

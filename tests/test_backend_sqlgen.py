@@ -1,0 +1,416 @@
+"""Unit tests: the view-algebra -> SQL compiler, the DDL generator, and
+the migration planner.
+
+The in-memory evaluator is the reference semantics; every compiled query
+here is executed by a real SQLite engine and must return exactly the
+evaluator's rows — including the places where SQL would naturally
+diverge (three-valued logic under NOT, bools stored as 0/1, missing
+columns, NULL join keys).
+"""
+
+import pytest
+
+from repro.algebra import (
+    Col,
+    Comparison,
+    Const,
+    FullOuterJoin,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    Join,
+    LeftOuterJoin,
+    Not,
+    Or,
+    Project,
+    ProjItem,
+    Select,
+    StoreContext,
+    TableScan,
+    UnionAll,
+    and_,
+    evaluate_query,
+    items_from_names,
+)
+from repro.backend import (
+    MigrationScript,
+    SqliteBackend,
+    compile_query,
+    create_table_sql,
+    drop_table_sql,
+    plan_migration,
+    schema_ddl_text,
+)
+from repro.backend.ddl import creation_order, drop_order
+from repro.backend.sqlgen import (
+    SqlCompiler,
+    decode_value,
+    delta_statements,
+    quote,
+    script_text,
+)
+from repro.edm.types import BOOL, Domain, INT, STRING
+from repro.errors import EvaluationError
+from repro.query.dml import diff_store_states
+from repro.relational import Column, ForeignKey, StoreSchema, StoreState, Table
+
+
+@pytest.fixture
+def schema():
+    return StoreSchema(
+        [
+            Table(
+                "People",
+                (
+                    Column("Id", INT, False),
+                    Column("Name", STRING),
+                    Column("Active", BOOL),
+                    Column("Score", INT),
+                ),
+                ("Id",),
+            ),
+            Table(
+                "Orders",
+                (
+                    Column("Oid", INT, False),
+                    Column("Id", INT),
+                    Column("Item", STRING),
+                ),
+                ("Oid",),
+                (ForeignKey(("Id",), "People", ("Id",)),),
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def state(schema):
+    state = StoreState(schema)
+    state.add_row("People", dict(Id=1, Name="ann", Active=True, Score=10))
+    state.add_row("People", dict(Id=2, Name="bob", Active=False, Score=None))
+    state.add_row("People", dict(Id=3, Name=None, Active=None, Score=7))
+    state.add_row("Orders", dict(Oid=100, Id=1, Item="x"))
+    state.add_row("Orders", dict(Oid=101, Id=1, Item="y"))
+    state.add_row("Orders", dict(Oid=102, Id=None, Item="z"))
+    return state
+
+
+@pytest.fixture
+def backend(schema, state):
+    backend = SqliteBackend(schema)
+    backend.replace_contents(state)
+    yield backend
+    backend.close()
+
+
+def canon(rows):
+    # sort by repr: values may mix None, bools and ints
+    return sorted((tuple(sorted(r.items())) for r in rows), key=repr)
+
+
+def assert_same_answer(query, backend, state):
+    """The engine's answer must equal the interpreter's, value-identically."""
+    expected = evaluate_query(query, StoreContext(state))
+    actual = backend.run_query(query)
+    assert canon(actual) == canon(expected)
+
+
+class TestQueryCompilation:
+    def test_table_scan(self, backend, state):
+        assert_same_answer(TableScan("People"), backend, state)
+
+    def test_bools_round_trip_as_python_bools(self, backend):
+        rows = backend.run_query(TableScan("People"))
+        actives = {r["Id"]: r["Active"] for r in rows}
+        assert actives[1] is True
+        assert actives[2] is False
+        assert actives[3] is None
+
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            Comparison("Score", ">", 5),
+            Comparison("Name", "=", "ann"),
+            Comparison("Name", "!=", "ann"),
+            Not(Comparison("Score", ">", 5)),  # NULL score: 2VL, not UNKNOWN
+            Not(Comparison("Name", "=", "ann")),
+            IsNull("Score"),
+            IsNotNull("Name"),
+            Or((Comparison("Score", ">", 100), IsNull("Name"))),
+            and_(Comparison("Active", "=", True), Comparison("Score", ">=", 10)),
+            Comparison("Name", "!=", None),
+            Comparison("Name", "=", None),
+            Comparison("Missing", "=", 1),  # missing column folds to FALSE
+            Not(Comparison("Missing", "=", 1)),
+            IsNull("Missing"),
+        ],
+        ids=lambda c: str(c),
+    )
+    def test_conditions_match_two_valued_evaluator(self, condition, backend, state):
+        assert_same_answer(Select(TableScan("People"), condition), backend, state)
+
+    def test_projection_with_constants(self, backend, state):
+        query = Project(
+            TableScan("People"),
+            (
+                ProjItem("K", Col("Id")),
+                ProjItem("Tag", Const("p")),
+                ProjItem("Flag", Const(True)),
+            ),
+        )
+        assert_same_answer(query, backend, state)
+        # the constant True decodes back to a Python bool
+        assert all(r["Flag"] is True for r in backend.run_query(query))
+
+    def test_projection_missing_column_raises(self, schema):
+        query = Project(TableScan("People"), items_from_names(("Nope",)))
+        with pytest.raises(EvaluationError, match="missing column"):
+            compile_query(query, schema)
+
+    def test_natural_join_null_keys_never_match(self, backend, state):
+        # Orders row 102 has Id=NULL: it must not join (and People row 3
+        # joins nothing — inner join drops it)
+        query = Join(TableScan("Orders"), TableScan("People"), on=("Id",))
+        assert_same_answer(query, backend, state)
+        ids = {r["Oid"] for r in backend.run_query(query)}
+        assert ids == {100, 101}
+
+    def test_left_outer_join_pads_right_side(self, backend, state):
+        query = LeftOuterJoin(TableScan("Orders"), TableScan("People"), on=("Id",))
+        assert_same_answer(query, backend, state)
+        rows = {r["Oid"]: r for r in backend.run_query(query)}
+        assert rows[102]["Name"] is None
+
+    def test_full_outer_join(self, backend, state):
+        query = FullOuterJoin(TableScan("Orders"), TableScan("People"), on=("Id",))
+        assert_same_answer(query, backend, state)
+        rows = backend.run_query(query)
+        # People 2 and 3 have no orders: they surface with Oid NULL
+        unmatched = {r["Id"] for r in rows if r["Oid"] is None}
+        assert unmatched == {2, 3}
+
+    def test_join_coalesces_shared_non_join_columns(self, schema, backend, state):
+        # project both sides so they share "Name" without joining on it
+        left = Project(
+            TableScan("People"),
+            (ProjItem("Id", Col("Id")), ProjItem("Name", Col("Name"))),
+        )
+        right = Project(
+            TableScan("People"),
+            (ProjItem("Id", Col("Id")), ProjItem("Name", Const("fixed"))),
+        )
+        query = Join(left, right, on=("Id",))
+        assert_same_answer(query, backend, state)
+        rows = {r["Id"]: r for r in backend.run_query(query)}
+        # row 3's NULL name coalesces to the right side's constant
+        assert rows[3]["Name"] == "fixed"
+        assert rows[1]["Name"] == "ann"
+
+    def test_union_all_pads_to_column_union(self, backend, state):
+        left = Project(
+            TableScan("People"), (ProjItem("Id", Col("Id")), ProjItem("A", Col("Name")))
+        )
+        right = Project(
+            TableScan("Orders"), (ProjItem("Id", Col("Oid")), ProjItem("B", Col("Item")))
+        )
+        query = UnionAll((left, right))
+        assert_same_answer(query, backend, state)
+        for row in backend.run_query(query):
+            assert set(row) == {"Id", "A", "B"}
+
+    def test_select_over_join_over_union(self, backend, state):
+        inner = UnionAll(
+            (
+                Project(TableScan("People"), items_from_names(("Id", "Score"))),
+                Project(TableScan("Orders"), items_from_names(("Id", "Item"))),
+            )
+        )
+        query = Select(
+            Join(inner, TableScan("People"), on=("Id",)),
+            Comparison("Score", ">", 5),
+        )
+        assert_same_answer(query, backend, state)
+
+    def test_set_semantics_deduplicate(self, backend, state):
+        # projecting Orders down to Id makes rows 100/101 collide
+        query = Project(TableScan("Orders"), items_from_names(("Id",)))
+        assert_same_answer(query, backend, state)
+        assert len(backend.run_query(query)) == 2  # {1, None}
+
+    def test_is_of_atoms_cannot_compile(self, schema):
+        query = Select(TableScan("People"), IsOf("Person"))
+        with pytest.raises(EvaluationError, match="IS OF"):
+            compile_query(query, schema)
+
+    def test_parameters_not_inlined(self, schema):
+        compiled = compile_query(
+            Select(TableScan("People"), Comparison("Name", "=", "o'hara")), schema
+        )
+        assert "o'hara" not in compiled.text
+        assert "o'hara" in compiled.params
+
+    def test_decode_value_bool_only(self):
+        assert decode_value(1, "bool") is True
+        assert decode_value(0, "bool") is False
+        assert decode_value(1, "int") == 1
+        assert decode_value(None, "bool") is None
+
+
+class TestDdl:
+    def test_create_table_with_pk_fk_not_null(self, schema):
+        sql = create_table_sql(schema.table("Orders"))
+        assert '"Oid" INTEGER NOT NULL' in sql
+        assert 'PRIMARY KEY ("Oid")' in sql
+        assert 'FOREIGN KEY ("Id") REFERENCES "People" ("Id")' in sql
+
+    def test_finite_domain_becomes_check_constraint(self):
+        gender = Domain("string", frozenset({"M", "F"}))
+        table = Table(
+            "T", (Column("Id", INT, False), Column("G", gender)), ("Id",)
+        )
+        sql = create_table_sql(table)
+        assert "CHECK" in sql
+        assert "'F'" in sql and "'M'" in sql
+
+    def test_creation_order_respects_foreign_keys(self, schema):
+        ordered = [t.name for t in creation_order(schema.tables)]
+        assert ordered.index("People") < ordered.index("Orders")
+        reversed_ = [t.name for t in drop_order(schema.tables)]
+        assert reversed_.index("Orders") < reversed_.index("People")
+
+    def test_schema_ddl_is_executable(self, schema, state):
+        backend = SqliteBackend(schema)  # __init__ runs the generated DDL
+        try:
+            assert backend.row_count() == 0
+            text = schema_ddl_text(schema)
+            assert text.count("CREATE TABLE") == 2
+        finally:
+            backend.close()
+
+    def test_drop_table_sql(self):
+        assert drop_table_sql("A b") == 'DROP TABLE "A b"'
+
+    def test_quote_escapes_embedded_quotes(self):
+        assert quote('we"ird') == '"we""ird"'
+
+
+class TestMigrationPlanner:
+    def _widened(self, schema):
+        """People gains a nullable column; Orders is unchanged."""
+        people = schema.table("People")
+        widened = Table(
+            "People",
+            people.columns + (Column("Extra", STRING),),
+            people.primary_key,
+            people.foreign_keys,
+        )
+        return StoreSchema([widened, schema.table("Orders")])
+
+    def test_add_column_becomes_rebuild(self, schema, state):
+        new_schema = self._widened(schema)
+        target = StoreState(new_schema)
+        for row in state.rows("People"):
+            target.add_row("People", dict(row, Extra=None))
+        for row in state.rows("Orders"):
+            target.add_row("Orders", row)
+        script = plan_migration(schema, new_schema, state, target)
+        kinds = [step.kind for step in script.steps]
+        assert kinds == ["create", "copy", "drop", "rename"]
+        assert "__migrate__People" in script.steps[0].statement.text
+        # NULL-padding the new column is the INSERT..SELECT itself: no
+        # residual DML remains
+        assert not script.dml_steps()
+
+    def test_drop_and_create_tables(self, schema, state):
+        extra = Table("Log", (Column("Id", INT, False),), ("Id",))
+        new_schema = StoreSchema([schema.table("People"), extra])
+        target = StoreState(new_schema)
+        for row in state.rows("People"):
+            target.add_row("People", row)
+        script = plan_migration(schema, new_schema, state, target)
+        drops = [s for s in script.steps if s.kind == "drop"]
+        creates = [s for s in script.steps if s.kind == "create"]
+        assert any("Orders" in s.statement.text for s in drops)
+        assert any("Log" in s.statement.text for s in creates)
+
+    def test_residual_dml_reaches_target(self, schema, state):
+        # same schema, different rows: the whole migration is DML
+        target = StoreState(schema)
+        target.add_row("People", dict(Id=1, Name="ANN", Active=True, Score=10))
+        target.add_row("People", dict(Id=9, Name="new", Active=False, Score=1))
+        script = plan_migration(schema, schema, state, target)
+        kinds = {step.kind for step in script.steps}
+        assert kinds <= {"delete", "update", "insert"}
+        assert script.dml_steps() == script.steps
+
+    def test_sqlite_executes_script_to_exact_target(self, schema, state):
+        """Acceptance: running the planned script on a real database lands
+        on precisely the view-computed target state."""
+        new_schema = self._widened(schema)
+        target = StoreState(new_schema)
+        for row in state.rows("People"):
+            target.add_row("People", dict(row, Extra="pad"))
+        target.add_row("Orders", dict(Oid=103, Id=1, Item="w"))
+        for row in state.rows("Orders"):
+            target.add_row("Orders", row)
+        script = plan_migration(schema, new_schema, state, target)
+        backend = SqliteBackend(schema)
+        try:
+            backend.replace_contents(state)
+            backend.migrate(script, new_schema, target)
+            assert backend.to_store_state().equals(target)
+            assert backend.schema is new_schema
+        finally:
+            backend.close()
+
+    def test_empty_migration_is_empty(self, schema, state):
+        script = plan_migration(schema, schema, state, state)
+        assert script.is_empty
+        assert script.to_sql() == "BEGIN;\nCOMMIT;"
+
+    def test_to_sql_frames_a_transaction(self, schema, state):
+        target = StoreState(schema)
+        script = plan_migration(schema, schema, state, target)
+        text = script.to_sql()
+        assert text.startswith("BEGIN;")
+        assert text.endswith("COMMIT;")
+        assert isinstance(script, MigrationScript)
+        assert "steps" in script.summary() or "step" in script.summary()
+
+
+class TestDmlStatements:
+    def test_delta_statement_order_and_params(self, schema, state):
+        target = StoreState(schema)
+        target.add_row("People", dict(Id=1, Name="ann2", Active=True, Score=10))
+        target.add_row("Orders", dict(Oid=100, Id=1, Item="x"))
+        delta = diff_store_states(state, target)
+        statements = delta_statements(delta, schema)
+        verbs = [s.text.split()[0] for s in statements]
+        # all deletes strictly before updates before inserts
+        assert verbs == sorted(verbs, key=["DELETE", "UPDATE", "INSERT"].index)
+        update = next(s for s in statements if s.text.startswith("UPDATE"))
+        assert 'WHERE "Id" = ?' in update.text
+
+    def test_delete_matches_null_values(self, schema, state):
+        target = StoreState(schema)
+        delta = diff_store_states(state, target)
+        deletes = [
+            s for s in delta_statements(delta, schema) if s.text.startswith("DELETE")
+        ]
+        assert all("IS ?" in s.text for s in deletes)
+
+    def test_script_text_inlines_literals(self, schema, state):
+        target = StoreState(schema)
+        delta = diff_store_states(state, target)
+        text = script_text(delta_statements(delta, schema))
+        assert "?" not in text
+        assert "'ann'" in text
+
+    def test_compiler_reusable_across_compiles(self, schema):
+        compiler = SqlCompiler(schema)
+        first = compiler.compile(
+            Select(TableScan("People"), Comparison("Id", "=", 1))
+        )
+        second = compiler.compile(TableScan("Orders"))
+        assert first.params == (1,)
+        assert second.params == ()

@@ -109,3 +109,181 @@ def test_missing_file_reports_error(capsys):
 
 def test_uncompiled_document_rejected_by_views(mapping_document):
     assert main(["views", str(mapping_document)]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Backend-aware verbs: query, ddl, evolve --db
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def compiled_model_path(mapping_document, tmp_path):
+    out = tmp_path / "compiled.json"
+    main(["compile", str(mapping_document), "-o", str(out)])
+    return out
+
+
+def _populated_db(compiled_model_path, tmp_path):
+    """A SQLite file holding the Figure 1 data for the compiled model."""
+    from tests.conftest import figure1_state
+    from repro.msl import load_model
+    from repro.session import OrmSession
+
+    model = load_model(json.loads(compiled_model_path.read_text()))
+    db_path = str(tmp_path / "app.db")
+    session = OrmSession.create(model, backend="sqlite", db_path=db_path)
+    session.save(figure1_state(model.client_schema))
+    session.backend.close()
+    return db_path
+
+
+def test_ddl_prints_schema_script(compiled_model_path, capsys):
+    assert main(["ddl", str(compiled_model_path)]) == 0
+    text = capsys.readouterr().out
+    assert text.count("CREATE TABLE") >= 3
+    assert '"HR"' in text
+    assert "PRIMARY KEY" in text
+
+
+def test_ddl_with_target_prints_migration_script(tmp_path, stage1_compiled, capsys):
+    model_path = tmp_path / "model.json"
+    model_path.write_text(json.dumps(save_model(stage1_compiled)))
+    target_path = tmp_path / "target.json"
+    target_path.write_text(
+        json.dumps({"clientSchema": client_schema_to_json(client_schema_stage4())})
+    )
+    code = main(
+        [
+            "ddl", str(model_path), "--target", str(target_path),
+            "--style", "Customer=TPC",
+        ]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert text.startswith("BEGIN;")
+    assert "CREATE TABLE" in text
+    assert text.rstrip().endswith("COMMIT;")
+
+
+def test_query_runs_on_sqlite_db(compiled_model_path, tmp_path, capsys):
+    db_path = _populated_db(compiled_model_path, tmp_path)
+    capsys.readouterr()
+    code = main(
+        [
+            "query", str(compiled_model_path), "Persons",
+            "--where", "Id>1", "--db", db_path,
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "3 result(s)" in captured.err
+    assert "Employee" in captured.out
+
+
+def test_query_projection_and_string_literal(compiled_model_path, tmp_path, capsys):
+    db_path = _populated_db(compiled_model_path, tmp_path)
+    capsys.readouterr()
+    code = main(
+        [
+            "query", str(compiled_model_path), "Persons",
+            "--where", "Name='ann'", "--project", "Id,Name",
+            "--db", db_path,
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "1 result(s)" in captured.err
+    assert "'ann'" in captured.out
+
+
+def test_query_explain_prints_generated_sql(compiled_model_path, capsys):
+    code = main(
+        [
+            "query", str(compiled_model_path), "Persons",
+            "--explain", "--backend", "sqlite",
+        ]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "SELECT" in text
+    assert "-- constructs" in text
+
+
+def test_query_explain_memory_prints_entity_sql(compiled_model_path, capsys):
+    code = main(
+        [
+            "query", str(compiled_model_path), "Persons",
+            "--explain", "--backend", "memory",
+        ]
+    )
+    assert code == 0
+    assert "UNION ALL" in capsys.readouterr().out
+
+
+def test_query_bad_where_reports_error(compiled_model_path, capsys):
+    code = main(
+        ["query", str(compiled_model_path), "Persons", "--where", "!!!"]
+    )
+    assert code == 2
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_db_without_sqlite_backend_rejected(compiled_model_path, capsys):
+    code = main(
+        [
+            "query", str(compiled_model_path), "Persons",
+            "--backend", "memory", "--db", "x.db",
+        ]
+    )
+    assert code == 2
+    assert "--db requires" in capsys.readouterr().err
+
+
+def test_evolve_migrates_sqlite_data(tmp_path, stage1_compiled, capsys):
+    from repro.edm import Entity
+    from repro.session import OrmSession
+
+    model_path = tmp_path / "model.json"
+    model_path.write_text(json.dumps(save_model(stage1_compiled)))
+    db_path = str(tmp_path / "app.db")
+    session = OrmSession.create(stage1_compiled, backend="sqlite", db_path=db_path)
+    with session.edit() as state:
+        state.add_entity("Persons", Entity.of("Person", Id=1, Name="ann"))
+        state.add_entity("Persons", Entity.of("Person", Id=2, Name="bob"))
+    session.backend.close()
+
+    target_path = tmp_path / "target.json"
+    target_path.write_text(
+        json.dumps({"clientSchema": client_schema_to_json(client_schema_stage4())})
+    )
+    out = tmp_path / "evolved.json"
+    code = main(
+        [
+            "evolve", str(model_path), str(target_path),
+            "-o", str(out), "--style", "Customer=TPC",
+            "--batch", "--db", db_path,
+        ]
+    )
+    assert code == 0
+    assert "migrated store" in capsys.readouterr().err
+    # the data survived the schema evolution inside the database file
+    capsys.readouterr()
+    assert main(["query", str(out), "Persons", "--db", db_path]) == 0
+    captured = capsys.readouterr()
+    assert "2 result(s)" in captured.err
+
+
+def test_plan_with_backend_previews_migration(tmp_path, stage1_compiled, capsys):
+    model_path = tmp_path / "model.json"
+    model_path.write_text(json.dumps(save_model(stage1_compiled)))
+    target_path = tmp_path / "target.json"
+    target_path.write_text(
+        json.dumps({"clientSchema": client_schema_to_json(client_schema_stage4())})
+    )
+    code = main(
+        [
+            "plan", str(model_path), str(target_path),
+            "--style", "Customer=TPC", "--backend", "sqlite",
+        ]
+    )
+    assert code == 0
+    assert "MigrationScript" in capsys.readouterr().out
