@@ -1,15 +1,27 @@
 """The NP-hard core in isolation: containment/cell-enumeration cost.
 
-Two sweeps over the machinery the compilers are built on:
+Three sweeps over the machinery the compilers are built on:
 
 * store-cell enumeration vs the number of independent (nullable-column)
   conditions on one table — doubling per condition, the engine behind
   Figure 4's TPH curve;
 * canonical-state containment vs the number of association sources in the
-  update view being checked.
+  update view being checked;
+* the layered symbolic fast path vs the pure enumerator: full-mapping
+  validation with ``symbolic=False`` (the PR-1 baseline), cold symbolic,
+  and warm (cache-hit) re-validation, per workload.
+
+``python benchmarks/bench_containment.py`` writes
+``BENCH_containment.json`` with the symbolic sweep (discharge rate,
+enumeration states avoided, cold/warm wall time); the pytest entry points
+run the same comparisons at smoke scale for CI.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
 
 import pytest
 
@@ -68,3 +80,123 @@ def test_containment_vs_association_sources(benchmark, m):
         return result.states_checked
 
     benchmark(check)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic fast path vs the pure enumerator
+# ---------------------------------------------------------------------------
+
+#: customer scale for the CI smoke entries (fast) vs the JSON sweep
+#: (large enough that check compute dominates fingerprint overhead, which
+#: is what warm re-validation actually saves).
+CUSTOMER_SCALE_SMOKE = 0.07
+CUSTOMER_SCALE_SWEEP = 0.25
+
+
+def _workloads(customer_scale: float = CUSTOMER_SCALE_SMOKE) -> dict:
+    from repro.workloads import customer_mapping, hub_rim_mapping
+
+    return {
+        "hub_rim_tpt": lambda: hub_rim_mapping(2, 2, "TPT"),
+        "hub_rim_tph": lambda: hub_rim_mapping(2, 2, "TPH"),
+        "customer": lambda: customer_mapping(scale=customer_scale),
+    }
+
+
+def _validation_stats(report) -> dict:
+    return {
+        "containment_checks": report.containment_checks,
+        "symbolic_discharged": report.symbolic_discharged,
+        "branches_discharged": report.branches_discharged,
+        "branches_pruned": report.branches_pruned,
+        "containment_states": report.containment_states,
+        "counterexample_replays": report.counterexample_replays,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+    }
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def run_workload(build_mapping) -> dict:
+    """Baseline enumerator vs cold/warm symbolic validation of one mapping."""
+    from repro.compiler import generate_views, validate_mapping
+    from repro.containment import ValidationCache
+
+    mapping = build_mapping()
+    views = generate_views(mapping)
+
+    baseline, baseline_s = _timed(
+        lambda: validate_mapping(mapping, views, symbolic=False)
+    )
+    cache = ValidationCache()
+    cold, cold_s = _timed(
+        lambda: validate_mapping(mapping, views, cache=cache, symbolic=True)
+    )
+    warm, warm_s = _timed(
+        lambda: validate_mapping(mapping, views, cache=cache, symbolic=True)
+    )
+    assert warm.cache_misses == 0, "warm re-validation must be hits-only"
+
+    checks = cold.containment_checks or 1
+    return {
+        "enumerator_baseline": dict(
+            _validation_stats(baseline), elapsed_s=round(baseline_s, 4)
+        ),
+        "symbolic_cold": dict(_validation_stats(cold), elapsed_s=round(cold_s, 4)),
+        "symbolic_warm": dict(_validation_stats(warm), elapsed_s=round(warm_s, 4)),
+        "discharge_rate": round(cold.symbolic_discharged / checks, 3),
+        "states_avoided": baseline.containment_states - cold.containment_states,
+        "cold_speedup_vs_enumerator": round(baseline_s / cold_s, 2) if cold_s else None,
+        "warm_speedup_vs_cold": round(cold_s / warm_s, 1) if warm_s else None,
+    }
+
+
+def run_sweep() -> dict:
+    from repro.algebra.conditions import intern_stats
+
+    sweep = {
+        name: run_workload(build)
+        for name, build in _workloads(CUSTOMER_SCALE_SWEEP).items()
+    }
+    return {
+        "workloads": sweep,
+        "condition_interning": intern_stats(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@pytest.mark.parametrize("workload", sorted(_workloads()))
+def test_symbolic_vs_enumerator_smoke(benchmark, workload):
+    """Smoke entry for CI: identical verdicts, states never exceed the
+    baseline, and the TPT/customer workloads discharge symbolically."""
+    result = benchmark.pedantic(
+        lambda: run_workload(_workloads()[workload]), rounds=1, iterations=1
+    )
+    cold = result["symbolic_cold"]
+    baseline = result["enumerator_baseline"]
+    assert cold["containment_checks"] == baseline["containment_checks"]
+    assert cold["containment_states"] <= baseline["containment_states"]
+    assert result["symbolic_warm"]["cache_misses"] == 0
+    if workload in ("hub_rim_tpt", "customer"):
+        assert cold["symbolic_discharged"] > 0
+        assert result["states_avoided"] > 0
+
+
+def main() -> None:
+    result = run_sweep()
+    out = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_containment.json"
+    )
+    with open(os.path.abspath(out), "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    main()

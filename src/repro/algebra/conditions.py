@@ -8,20 +8,140 @@ the ``ch_p`` rewrite of Algorithm 2) and the constants TRUE/FALSE.
 
 All nodes are immutable and hashable so conditions can live inside view
 trees that are compared, cached and rewritten.
+
+Nodes are **hash-consed**: construction consults a process-wide interning
+table, so structurally identical trees built from interned parts come back
+as the *same* object, equality usually short-circuits on identity, and the
+structural hash of a node is computed once (children contribute their own
+precomputed hashes, so hashing a composite is O(#children), not
+O(subtree)).  The containment engine relies on this to share bitset truth
+vectors by node identity.  Interning is best-effort: unpickled or
+hand-built duplicates are merely unshared, never incorrect, because
+equality and hashing stay fully structural.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterator, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, Tuple
 
 from repro.errors import EvaluationError
 
 COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
 
 
+# ---------------------------------------------------------------------------
+# Hash-consing machinery
+# ---------------------------------------------------------------------------
+
+_INTERN_LOCK = threading.Lock()
+#: intern key -> canonical node.  Values are held weakly so conditions that
+#: fall out of use do not pin the table forever; a live entry's key can only
+#: reference live children (the entry's node holds them), so the ``id``-based
+#: child keys below can never alias a collected object.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+_INTERN_STATS = {"hits": 0, "misses": 0, "bypassed": 0}
+
+
+def _intern_part(value: object) -> object:
+    """One component of an intern key.
+
+    Child conditions key by *identity* (bottom-up construction makes equal
+    subtrees identical objects, and identity never conflates values that
+    compare equal but differ in type, e.g. ``1`` vs ``1.0``); primitives are
+    type-tagged for the same reason.
+    """
+    if isinstance(value, Condition):
+        return ("c", id(value))
+    if isinstance(value, tuple):
+        return ("t",) + tuple(_intern_part(v) for v in value)
+    return (type(value), value)
+
+
+def intern_stats() -> Dict[str, int]:
+    """Hit/miss/bypass counters of the condition interning table."""
+    with _INTERN_LOCK:
+        return dict(_INTERN_STATS)
+
+
 class Condition:
-    """Base class for condition nodes."""
+    """Base class for condition nodes.
+
+    Subclasses are frozen dataclasses declared with ``eq=False`` so the
+    identity-first ``__eq__``/``__hash__`` defined here apply; ``__new__``
+    interns every construction with arguments.
+    """
+
+    def __new__(cls, *args, **kwargs):
+        if not args and not kwargs:
+            # TRUE/FALSE construction and pickle/deepcopy reconstruction
+            # (``cls.__new__(cls)``): never intern — unpickling initialises
+            # fields *after* __new__, so an interned hit here could alias an
+            # uninitialised or unrelated instance.
+            return super().__new__(cls)
+        try:
+            key = (cls,) + tuple(_intern_part(a) for a in args) + tuple(
+                (name, _intern_part(kwargs[name])) for name in sorted(kwargs)
+            )
+            with _INTERN_LOCK:
+                existing = _INTERN.get(key)
+                if existing is not None:
+                    _INTERN_STATS["hits"] += 1
+                    # dataclass __init__ re-sets the same field values on the
+                    # returned instance; harmless by key construction.
+                    return existing
+        except TypeError:  # unhashable argument: skip interning
+            with _INTERN_LOCK:
+                _INTERN_STATS["bypassed"] += 1
+            return super().__new__(cls)
+        node = super().__new__(cls)
+        with _INTERN_LOCK:
+            _INTERN_STATS["misses"] += 1
+            _INTERN[key] = node
+        return node
+
+    # -- precomputed structural hash ------------------------------------
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_shash", self._structural_hash())
+
+    def _structural_hash(self) -> int:
+        parts = [self.__class__.__name__]
+        parts.extend(getattr(self, name) for name in self.__dataclass_fields__)
+        return hash(tuple(parts))
+
+    def __hash__(self) -> int:
+        try:
+            return self._shash  # type: ignore[attr-defined]
+        except AttributeError:  # unpickled / copied instance: compute lazily
+            value = self._structural_hash()
+            object.__setattr__(self, "_shash", value)
+            return value
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__dataclass_fields__
+        )
+
+    def __getstate__(self):
+        # The structural hash uses Python's per-process salted string hash;
+        # shipping it across a process boundary (the process executor
+        # pickles mappings and views) would break dict invariants in the
+        # worker.  Drop it; __hash__ recomputes lazily.
+        state = dict(self.__dict__)
+        state.pop("_shash", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
     def atoms(self) -> Iterator["Condition"]:
         """Yield every atomic condition in this tree (with duplicates)."""
@@ -46,13 +166,13 @@ class Condition:
         return Not(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class TrueCond(Condition):
     def __str__(self) -> str:
         return "TRUE"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class FalseCond(Condition):
     def __str__(self) -> str:
         return "FALSE"
@@ -62,7 +182,7 @@ TRUE = TrueCond()
 FALSE = FalseCond()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class IsOf(Condition):
     """``IS OF E``: satisfied by entities of type E and derived types."""
 
@@ -72,7 +192,7 @@ class IsOf(Condition):
         return f"IS OF {self.type_name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class IsOfOnly(Condition):
     """``IS OF (ONLY E)``: satisfied by entities of exactly type E."""
 
@@ -82,7 +202,7 @@ class IsOfOnly(Condition):
         return f"IS OF (ONLY {self.type_name})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class IsNull(Condition):
     attr: str
 
@@ -90,7 +210,7 @@ class IsNull(Condition):
         return f"{self.attr} IS NULL"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class IsNotNull(Condition):
     attr: str
 
@@ -98,7 +218,7 @@ class IsNotNull(Condition):
         return f"{self.attr} IS NOT NULL"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Comparison(Condition):
     """``A θ c`` for a comparison operator θ and constant c.
 
@@ -113,12 +233,13 @@ class Comparison(Condition):
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
             raise EvaluationError(f"unknown comparison operator {self.op!r}")
+        super().__post_init__()
 
     def __str__(self) -> str:
         return f"{self.attr} {self.op} {self.const!r}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class And(Condition):
     operands: Tuple[Condition, ...]
 
@@ -133,7 +254,7 @@ class And(Condition):
         return "(" + " AND ".join(str(op) for op in self.operands) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Or(Condition):
     operands: Tuple[Condition, ...]
 
@@ -148,7 +269,7 @@ class Or(Condition):
         return "(" + " OR ".join(str(op) for op in self.operands) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Not(Condition):
     operand: Condition
 

@@ -26,8 +26,26 @@ from repro.algebra.conditions import (
 )
 
 
+# Hash-consing makes conditions cheap dict keys (identity-first equality,
+# precomputed hash), so simplification is memoized across the whole
+# process: rewrites re-simplify the same shared subtrees constantly.
+_SIMPLIFY_MEMO: dict = {}
+_SIMPLIFY_MEMO_LIMIT = 4096
+
+
 def simplify(condition: Condition) -> Condition:
     """Return a structurally simplified, semantically equivalent condition."""
+    cached = _SIMPLIFY_MEMO.get(condition)
+    if cached is not None:
+        return cached
+    result = _simplify(condition)
+    if len(_SIMPLIFY_MEMO) >= _SIMPLIFY_MEMO_LIMIT:
+        _SIMPLIFY_MEMO.clear()
+    _SIMPLIFY_MEMO[condition] = result
+    return result
+
+
+def _simplify(condition: Condition) -> Condition:
     if isinstance(condition, And):
         operands = _dedup([simplify(op) for op in condition.operands])
         if any(isinstance(op, FalseCond) for op in operands):

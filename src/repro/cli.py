@@ -109,8 +109,28 @@ def cmd_validate(args: argparse.Namespace) -> int:
         budget,
         workers=args.workers,
         executor=args.executor,
+        symbolic=not args.no_symbolic,
     )
     print(f"mapping is valid: {report}")
+    if args.stats:
+        print("containment fast path:")
+        print(
+            f"  symbolic discharged : {report.symbolic_discharged}"
+            f"/{report.containment_checks} containment checks"
+        )
+        print(
+            f"  branches            : {report.branches_discharged} discharged,"
+            f" {report.branches_pruned} pruned unsat"
+        )
+        print(f"  states enumerated   : {report.containment_states}")
+        print(f"  counterexample replays: {report.counterexample_replays}")
+        if report.check_timings:
+            print("slowest checks:")
+            ranked = sorted(
+                report.check_timings.items(), key=lambda item: -item[1]
+            )
+            for name, elapsed in ranked[:10]:
+                print(f"  {name:<40s} {elapsed * 1000.0:8.2f} ms")
     return 0
 
 
@@ -319,6 +339,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread", "process"],
         default=None,
         help="check executor (default: serial for 1 worker, thread otherwise)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-check timings and symbolic-containment counters",
+    )
+    p.add_argument(
+        "--no-symbolic",
+        action="store_true",
+        help="disable the symbolic containment fast path (pure enumeration)",
     )
     p.set_defaults(fn=cmd_validate)
 

@@ -123,19 +123,24 @@ class ValidationScheduler:
         mapping=None,
         views=None,
         budget: Optional[WorkBudget] = None,
+        symbolic: bool = True,
     ) -> List[CheckResult]:
         """Execute all *checks*; return results in declaration order.
 
         Raises the (deterministically chosen) first error when any check
         fails.  ``mapping``/``views``/``budget`` are only required by the
-        process executor, which re-materialises them per worker.
+        process executor, which re-materialises them per worker;
+        ``symbolic`` is shipped to process workers so their re-run of a
+        check spec uses the same containment fast-path setting as the
+        in-process runners (serial/thread runners have it baked into
+        their closures already).
         """
         checks = list(checks)
         if self.executor == "serial":
             return self._run_serial(checks)
         if self.executor == "thread":
             return self._run_threads(checks)
-        return self._run_processes(checks, mapping, views, budget)
+        return self._run_processes(checks, mapping, views, budget, symbolic)
 
     # ------------------------------------------------------------------
     def _run_serial(self, checks: List[ValidationCheck]) -> List[CheckResult]:
@@ -213,12 +218,13 @@ class ValidationScheduler:
         mapping,
         views,
         budget: Optional[WorkBudget],
+        symbolic: bool = True,
     ) -> List[CheckResult]:
         if mapping is None or views is None:
             raise ValueError("the process executor needs the mapping and views")
         budget = ensure_budget(budget)
         payload = pickle.dumps(
-            (mapping, views, budget.max_steps, budget.max_seconds)
+            (mapping, views, budget.max_steps, budget.max_seconds, symbolic)
         )
         specs = [check.spec for check in checks]
         if any(spec is None for spec in specs):
@@ -280,7 +286,7 @@ def _init_process_worker(payload: bytes) -> None:
     global _WORKER_CONTEXT
     from repro.containment.cache import ValidationCache
 
-    mapping, views, max_steps, max_seconds = pickle.loads(payload)
+    mapping, views, max_steps, max_seconds, symbolic = pickle.loads(payload)
     if max_steps is None and max_seconds is None:
         budget = ensure_budget(None)
     else:
@@ -291,6 +297,7 @@ def _init_process_worker(payload: bytes) -> None:
         "budget": budget,
         "analyses": {},
         "cache": ValidationCache(),
+        "symbolic": symbolic,
     }
 
 
@@ -313,15 +320,20 @@ def _run_check_spec(spec: Tuple[object, ...]) -> Tuple[Dict[str, int], int, floa
     elif kind == "fk-preservation":
         table_name, index = args
         foreign_key = mapping.store_schema.table(table_name).foreign_keys[index]
-        V.check_foreign_key_preserved(
-            mapping, views, table_name, foreign_key, budget, cache
+        counters = V.check_foreign_key_preserved(
+            mapping,
+            views,
+            table_name,
+            foreign_key,
+            budget,
+            cache,
+            symbolic=context["symbolic"],
         )
-        counters = {"containment_checks": 1}
     elif kind == "roundtrip":
-        states = V.roundtrip_spotcheck(
-            mapping, views, budget, set_names=[args[0]], cache=cache
+        counters = {}
+        counters["roundtrip_states"] = V.roundtrip_spotcheck(
+            mapping, views, budget, set_names=[args[0]], cache=cache, counters=counters
         )
-        counters = {"roundtrip_states": states}
     else:
         raise ValueError(f"unknown check kind {kind!r}")
     return counters, budget.steps - steps_before, time.perf_counter() - started

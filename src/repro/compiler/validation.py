@@ -44,6 +44,7 @@ from repro.containment.cache import (
     store_table_tokens,
 )
 from repro.containment.checker import (
+    _rebuild_state as _rebuild_counterexample,
     canonical_client_states,
     check_containment,
 )
@@ -67,6 +68,16 @@ class ValidationReport:
     executor: str = "serial"
     cache_hits: int = 0
     cache_misses: int = 0
+    #: containment checks settled purely by branch subsumption (0 states)
+    symbolic_discharged: int = 0
+    #: Q1 branches covered by an implied Q2 branch across all containments
+    branches_discharged: int = 0
+    #: Q1 branches dropped as unsatisfiable before any enumeration
+    branches_pruned: int = 0
+    #: persisted counterexample states screened before fresh enumeration
+    counterexample_replays: int = 0
+    #: canonical states actually enumerated by containment checks
+    containment_states: int = 0
     check_timings: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "ValidationReport") -> None:
@@ -77,6 +88,11 @@ class ValidationReport:
         self.elapsed += other.elapsed
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.symbolic_discharged += other.symbolic_discharged
+        self.branches_discharged += other.branches_discharged
+        self.branches_pruned += other.branches_pruned
+        self.counterexample_replays += other.counterexample_replays
+        self.containment_states += other.containment_states
         self.check_timings.update(other.check_timings)
 
     def apply_counters(self, counters: Dict[str, int]) -> None:
@@ -94,6 +110,14 @@ class ValidationReport:
             text += f", workers={self.workers}, executor={self.executor}"
         if self.cache_hits or self.cache_misses:
             text += f", cache={self.cache_hits}h/{self.cache_misses}m"
+        if self.symbolic_discharged or self.branches_discharged or self.branches_pruned:
+            text += (
+                f", symbolic={self.symbolic_discharged}/{self.containment_checks}"
+                f" (branches {self.branches_discharged}+{self.branches_pruned}p,"
+                f" {self.containment_states} states)"
+            )
+        if self.counterexample_replays:
+            text += f", replays={self.counterexample_replays}"
         return text + ")"
 
 
@@ -106,6 +130,7 @@ def validate_mapping(
     workers: int = 1,
     executor: Optional[str] = None,
     cache: Optional[ValidationCache] = None,
+    symbolic: bool = True,
 ) -> ValidationReport:
     """Run all five validation steps; raise ValidationError on failure.
 
@@ -113,7 +138,10 @@ def validate_mapping(
     (see :class:`~repro.compiler.scheduler.ValidationScheduler`); the
     default serial path is behaviour-identical to the historical
     sequential loop.  ``cache`` memoises check units and their containment
-    / cell-enumeration subproblems across validations.
+    / cell-enumeration subproblems across validations.  ``symbolic``
+    enables the layered containment fast path (subsumption before state
+    enumeration, counterexample replay); ``symbolic=False`` restores the
+    pure enumerator baseline with identical verdicts.
     """
     budget = ensure_budget(budget)
     report = ValidationReport()
@@ -128,9 +156,11 @@ def validate_mapping(
         analyses = {}
 
     # Steps 2-5 as a DAG of independent check units.
-    checks = build_validation_checks(mapping, views, budget, analyses, cache)
+    checks = build_validation_checks(
+        mapping, views, budget, analyses, cache, symbolic=symbolic
+    )
     scheduler = ValidationScheduler(workers=workers, executor=executor)
-    results = scheduler.run(checks, mapping, views, budget)
+    results = scheduler.run(checks, mapping, views, budget, symbolic=symbolic)
 
     for result in results:
         report.apply_counters(result.counters)
@@ -154,6 +184,7 @@ def validate_delta_neighborhood(
     workers: int = 1,
     executor: Optional[str] = None,
     cache: Optional[ValidationCache] = None,
+    symbolic: bool = True,
 ) -> Tuple[ValidationReport, List[str]]:
     """Validate only a delta's touched neighborhood (steps 2-5, scoped).
 
@@ -180,9 +211,10 @@ def validate_delta_neighborhood(
         cache,
         sets=tuple(neighborhood.sets),
         tables=tuple(neighborhood.tables),
+        symbolic=symbolic,
     )
     scheduler = ValidationScheduler(workers=workers, executor=executor)
-    results = scheduler.run(checks, mapping, views, budget)
+    results = scheduler.run(checks, mapping, views, budget, symbolic=symbolic)
 
     for result in results:
         report.apply_counters(result.counters)
@@ -206,6 +238,7 @@ def build_validation_checks(
     *,
     sets: Optional[Sequence[str]] = None,
     tables: Optional[Sequence[str]] = None,
+    symbolic: bool = True,
 ) -> List[ValidationCheck]:
     """Declare validation steps 2-5 as schedulable check units.
 
@@ -280,7 +313,7 @@ def build_validation_checks(
                     name=f"fk:{table_name}:{index}",
                     kind="fk-preservation",
                     run=_fk_runner(
-                        mapping, views, table_name, foreign_key, budget, cache
+                        mapping, views, table_name, foreign_key, budget, cache, symbolic
                     ),
                     spec=("fk-preservation", table_name, index),
                 )
@@ -309,22 +342,22 @@ def _store_cells_runner(mapping, table_name, analyses, budget, cache):
     }
 
 
-def _fk_runner(mapping, views, table_name, foreign_key, budget, cache):
-    def run() -> Dict[str, int]:
-        check_foreign_key_preserved(
-            mapping, views, table_name, foreign_key, budget, cache
-        )
-        return {"containment_checks": 1}
-
-    return run
+def _fk_runner(mapping, views, table_name, foreign_key, budget, cache, symbolic):
+    return lambda: check_foreign_key_preserved(
+        mapping, views, table_name, foreign_key, budget, cache, symbolic=symbolic
+    )
 
 
 def _roundtrip_runner(mapping, views, set_name, budget, cache):
-    return lambda: {
-        "roundtrip_states": roundtrip_spotcheck(
-            mapping, views, budget, set_names=[set_name], cache=cache
+    def run() -> Dict[str, int]:
+        counters: Dict[str, int] = {}
+        counters["roundtrip_states"] = roundtrip_spotcheck(
+            mapping, views, budget, set_names=[set_name], cache=cache,
+            counters=counters,
         )
-    }
+        return counters
+
+    return run
 
 
 # ---------------------------------------------------------------------------
@@ -463,6 +496,7 @@ def check_all_foreign_keys(
     budget: Optional[WorkBudget] = None,
     tables: Optional[Sequence[str]] = None,
     cache: Optional[ValidationCache] = None,
+    symbolic: bool = True,
 ) -> int:
     """One containment check per foreign key of every (selected) mapped table."""
     checks = 0
@@ -471,7 +505,8 @@ def check_all_foreign_keys(
         table = mapping.store_schema.table(table_name)
         for foreign_key in table.foreign_keys:
             check_foreign_key_preserved(
-                mapping, views, table_name, foreign_key, budget, cache
+                mapping, views, table_name, foreign_key, budget, cache,
+                symbolic=symbolic,
             )
             checks += 1
     return checks
@@ -484,12 +519,20 @@ def check_foreign_key_preserved(
     foreign_key,
     budget: Optional[WorkBudget] = None,
     cache: Optional[ValidationCache] = None,
-) -> None:
-    """Check ``π_β(Q_T) ⊆ π_γ(Q_S)`` on non-null β values (Section 1.1)."""
+    *,
+    symbolic: bool = True,
+) -> Dict[str, int]:
+    """Check ``π_β(Q_T) ⊆ π_γ(Q_S)`` on non-null β values (Section 1.1).
+
+    Returns the check's :class:`ValidationReport` counters: always
+    ``containment_checks: 1`` plus the symbolic-layer statistics of the
+    underlying :func:`~repro.containment.checker.check_containment`.
+    """
     update_view = views.update_view(table_name)
     produced = set(_produced_columns(update_view.query))
     if not set(foreign_key.columns) <= produced:
-        return  # β columns are always NULL: the constraint holds vacuously
+        # β columns are always NULL: the constraint holds vacuously
+        return {"containment_checks": 1}
 
     not_null = and_(*[IsNotNull(column) for column in foreign_key.columns])
     lhs: Query = Project(
@@ -512,13 +555,23 @@ def check_foreign_key_preserved(
         tuple(ProjItem(gamma, Col(gamma)) for gamma in foreign_key.ref_columns),
     )
 
-    result = check_containment(lhs, rhs, mapping.client_schema, budget, cache)
+    result = check_containment(
+        lhs, rhs, mapping.client_schema, budget, cache, symbolic=symbolic
+    )
     if not result.holds:
         raise ValidationError(
             f"update views violate foreign key {foreign_key} of table "
             f"{table_name!r}:\n{result.explain()}",
             check="fk-preservation",
         )
+    return {
+        "containment_checks": 1,
+        "symbolic_discharged": 1 if result.discharged else 0,
+        "branches_discharged": result.branches_discharged,
+        "branches_pruned": result.branches_pruned,
+        "counterexample_replays": result.replayed,
+        "containment_states": result.states_checked,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -531,6 +584,7 @@ def roundtrip_spotcheck(
     budget: Optional[WorkBudget] = None,
     set_names: Optional[Sequence[str]] = None,
     cache: Optional[ValidationCache] = None,
+    counters: Optional[Dict[str, int]] = None,
 ) -> int:
     """Check ``Q(V(c)) = c`` on canonical states, one neighborhood at a time.
 
@@ -538,7 +592,9 @@ def roundtrip_spotcheck(
     sets touching it, and their other endpoints; only the update views of
     tables reachable through fragments and foreign keys are applied, so the
     cost is local to the neighborhood times the (possibly exponential)
-    number of canonical states.
+    number of canonical states.  When *counters* is given, the number of
+    persisted failing states replayed first is accumulated into its
+    ``counterexample_replays`` entry.
     """
     budget = ensure_budget(budget)
     schema = mapping.client_schema
@@ -548,7 +604,7 @@ def roundtrip_spotcheck(
     ]
     for set_name in names:
         states_checked += _roundtrip_one_neighborhood(
-            mapping, views, set_name, budget, cache
+            mapping, views, set_name, budget, cache, counters
         )
     return states_checked
 
@@ -559,13 +615,19 @@ def _roundtrip_one_neighborhood(
     set_name: str,
     budget: WorkBudget,
     cache: Optional[ValidationCache],
+    counters: Optional[Dict[str, int]] = None,
 ) -> int:
     """Roundtrip the canonical states of one entity-set neighborhood.
 
     Memoised under everything the check reads: the neighborhood's schema
     slice, the fragment conditions seeding the canonical states, the query
     / association / update views applied, and the store tables whose
-    constraints :func:`check_roundtrip` enforces.
+    constraints :func:`check_roundtrip` enforces.  A state that failed the
+    roundtrip before is persisted in the cache under this check's key and
+    replayed *first* on re-validation, so a still-broken neighborhood
+    fails in O(1) states instead of re-enumerating (the cache's rollback
+    evicts the memoised result after an aborted SMO, but never the
+    counterexample pool).
     """
     schema = mapping.client_schema
     sets, assocs = _neighborhood_sources(mapping, set_name)
@@ -575,37 +637,61 @@ def _roundtrip_one_neighborhood(
         for name in sets
         for f in mapping.fragments_for_set(name)
     ]
+    key: Optional[str] = None
+    if cache is not None:
+        key = fingerprint(
+            "roundtrip",
+            set_name,
+            tuple(sets),
+            tuple(assocs),
+            client_slice_tokens(schema, sets=sets, assocs=assocs),
+            tuple(conditions),
+            tuple(sorted(relevant.query_views.items())),
+            tuple(sorted(relevant.association_views.items())),
+            tuple(sorted(relevant.update_views.items())),
+            tuple(
+                store_table_tokens(mapping.store_schema, table_name)
+                for table_name in sorted(relevant.update_views)
+            ),
+        )
+
+    def fail(state, outcome) -> None:
+        if cache is not None and key is not None:
+            cache.record_counterexample(key, sets, assocs, state)
+        raise ValidationError(
+            f"mapping does not roundtrip (neighborhood of {set_name!r}):\n"
+            f"{outcome}",
+            check="roundtrip",
+        )
 
     def compute() -> int:
+        # Replay persisted failing states first (per-key pool only: a
+        # state from another neighborhood could populate sets this check
+        # has no views for, and would mis-roundtrip vacuously).
+        if cache is not None and key is not None:
+            for sets_r, assocs_r, state in cache.counterexamples(
+                key, include_recent=False
+            ):
+                rebuilt = _rebuild_counterexample(schema, sets_r, assocs_r, state)
+                if rebuilt is None:
+                    continue
+                if counters is not None:
+                    counters["counterexample_replays"] = (
+                        counters.get("counterexample_replays", 0) + 1
+                    )
+                outcome = check_roundtrip(relevant, rebuilt, mapping.store_schema)
+                if not outcome.ok:
+                    fail(rebuilt, outcome)
         states_checked = 0
         for state in canonical_client_states(schema, sets, assocs, conditions, budget):
             states_checked += 1
             outcome = check_roundtrip(relevant, state, mapping.store_schema)
             if not outcome.ok:
-                raise ValidationError(
-                    f"mapping does not roundtrip (neighborhood of {set_name!r}):\n"
-                    f"{outcome}",
-                    check="roundtrip",
-                )
+                fail(state, outcome)
         return states_checked
 
     if cache is None:
         return compute()
-    key = fingerprint(
-        "roundtrip",
-        set_name,
-        tuple(sets),
-        tuple(assocs),
-        client_slice_tokens(schema, sets=sets, assocs=assocs),
-        tuple(conditions),
-        tuple(sorted(relevant.query_views.items())),
-        tuple(sorted(relevant.association_views.items())),
-        tuple(sorted(relevant.update_views.items())),
-        tuple(
-            store_table_tokens(mapping.store_schema, table_name)
-            for table_name in sorted(relevant.update_views)
-        ),
-    )
     return cache.get_or_compute("validation-check", key, compute)
 
 

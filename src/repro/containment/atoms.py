@@ -22,16 +22,45 @@ from repro.edm.types import Domain
 FRESH = "⁑fresh⁑"
 
 
+def fold_constant(value: object) -> object:
+    """Canonicalise numerically equal constants (``2.0`` → ``2``).
+
+    ``2 == 2.0`` already dedupes inside a set, but *which* spelling
+    survives depends on insertion order; folding integral floats to ints
+    makes the representative — and therefore candidate enumeration order
+    and cache fingerprints — deterministic.
+    """
+    if (
+        isinstance(value, float)
+        and not isinstance(value, bool)
+        and value.is_integer()
+    ):
+        return int(value)
+    return value
+
+
+def _candidate_sort_key(value: object) -> Tuple[int, object, str]:
+    """Total order over mixed-type candidates: numerics first (by value),
+    then everything else by ``repr``."""
+    if not isinstance(value, bool) and isinstance(value, (int, float)):
+        return (0, value, "")
+    return (1, 0, repr(value))
+
+
 def collect_constants(conditions: Iterable[Condition]) -> dict:
-    """Map attribute name → sorted list of constants mentioned for it."""
+    """Map attribute name → deduped, sorted, constant-folded list of the
+    constants mentioned for it."""
     constants: dict = {}
     for condition in conditions:
         for atom in condition.atoms():
             if isinstance(atom, Comparison):
-                constants.setdefault(atom.attr, set()).add(atom.const)
+                constants.setdefault(atom.attr, set()).add(fold_constant(atom.const))
             elif isinstance(atom, (IsNull, IsNotNull)):
                 constants.setdefault(atom.attr, set())
-    return {attr: sorted(values, key=repr) for attr, values in constants.items()}
+    return {
+        attr: sorted(values, key=_candidate_sort_key)
+        for attr, values in constants.items()
+    }
 
 
 def value_candidates(
@@ -45,42 +74,48 @@ def value_candidates(
     returned set realises every such region that the domain permits.
     """
     candidates: List[object] = []
+    seen: set = set()
+
+    def add(value: object) -> None:
+        value = fold_constant(value)
+        if value not in seen:
+            seen.add(value)
+            candidates.append(value)
 
     if domain.values is not None:
-        candidates.extend(sorted(domain.values, key=repr))
+        for value in sorted(domain.values, key=repr):
+            add(value)
     elif domain.base in ("int", "decimal"):
-        numeric = sorted(c for c in constants if isinstance(c, (int, float)))
+        numeric = sorted(
+            {fold_constant(c) for c in constants if isinstance(c, (int, float))}
+        )
         for constant in numeric:
-            for candidate in (constant - 1, constant, constant + 1):
-                if candidate not in candidates:
-                    candidates.append(candidate)
+            add(constant - 1)
+            add(constant)
+            add(constant + 1)
         if not numeric:
-            candidates.append(0)
+            add(0)
         else:
-            low, high = numeric[0] - 2, numeric[-1] + 2
-            for candidate in (low, high):
-                if candidate not in candidates:
-                    candidates.append(candidate)
+            add(numeric[0] - 2)
+            add(numeric[-1] + 2)
             # midpoints between adjacent integer constants with a gap
             for left, right in zip(numeric, numeric[1:]):
                 if isinstance(left, int) and isinstance(right, int) and right - left > 1:
-                    mid = left + (right - left) // 2
-                    if mid not in candidates:
-                        candidates.append(mid)
+                    add(left + (right - left) // 2)
+        candidates.sort(key=_candidate_sort_key)
     else:
         # Equality-only comparable domains (strings, dates, bools):
         # mentioned constants plus one fresh value. Ordered comparisons on
         # strings are rare in mappings; we still include FRESH which sorts
         # arbitrarily — tests for ordered string predicates use enum domains.
         for constant in constants:
-            if constant not in candidates:
-                candidates.append(constant)
+            add(constant)
         if domain.base == "bool":
-            for candidate in (True, False):
-                if candidate not in candidates:
-                    candidates.append(candidate)
+            add(True)
+            add(False)
         else:
-            candidates.append(FRESH)
+            add(FRESH)
+        candidates.sort(key=_candidate_sort_key)
 
     if nullable:
         candidates.append(None)

@@ -30,7 +30,7 @@ import hashlib
 import threading
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
-from typing import Callable, Dict, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -188,10 +188,23 @@ class ValidationCache:
     never retains entries fingerprinted against a rejected model.
     """
 
+    #: bound on persisted failing states per check fingerprint
+    COUNTEREXAMPLES_PER_KEY = 4
+    #: bound on the global most-recent pool shared across checks
+    RECENT_COUNTEREXAMPLES = 8
+
     def __init__(self) -> None:
         self._entries: Dict[Tuple[str, str], object] = {}
         self._lock = threading.Lock()
         self._transactions: list = []
+        # Failing states per check fingerprint + a small global recency
+        # pool.  Deliberately *not* transaction-tracked: a counterexample
+        # found while validating a rejected evolution is still genuine
+        # evidence (replay re-verifies legality against the live schema),
+        # and surviving the rollback is what makes a retried bad SMO
+        # fail-fast instead of re-enumerating.
+        self._counterexamples: Dict[str, list] = {}
+        self._recent_counterexamples: list = []
         self.hits = 0
         self.misses = 0
 
@@ -239,6 +252,52 @@ class ValidationCache:
                 self._transactions.remove(transaction)
             for full_key in transaction.inserted:
                 self._entries.pop(full_key, None)
+
+    # -- counterexample persistence ----------------------------------
+    def record_counterexample(
+        self, key: str, sets: Sequence[str], assocs: Sequence[str], state: object
+    ) -> None:
+        """Persist a failing client state for the check fingerprinted *key*.
+
+        ``sets``/``assocs`` name the sources the state populates so replay
+        can re-materialise it under a possibly evolved schema.  Newest
+        states sit first; per-key and global pools are bounded.
+        """
+        record = (tuple(sets), tuple(assocs), state)
+        with self._lock:
+            pool = self._counterexamples.setdefault(key, [])
+            pool[:] = [r for r in pool if r[2] is not state]
+            pool.insert(0, record)
+            del pool[self.COUNTEREXAMPLES_PER_KEY:]
+            recent = self._recent_counterexamples
+            recent[:] = [r for r in recent if r[2] is not state]
+            recent.insert(0, record)
+            del recent[self.RECENT_COUNTEREXAMPLES:]
+
+    def counterexamples(
+        self, key: str, include_recent: bool = True
+    ) -> List[Tuple[Tuple[str, ...], Tuple[str, ...], object]]:
+        """Persisted failing states to replay for *key*, most recent first:
+        the key's own states, then (with *include_recent*) the global pool
+        — states from *other* checks; a schema-legal state failing one FK
+        often fails several.  Checks whose failure predicate is not
+        state-intrinsic (e.g. roundtrip, which needs the right views in
+        scope) should pass ``include_recent=False``."""
+        with self._lock:
+            own = list(self._counterexamples.get(key, ()))
+            if not include_recent:
+                return own
+            seen = {id(record[2]) for record in own}
+            extra = [
+                record
+                for record in self._recent_counterexamples
+                if id(record[2]) not in seen
+            ]
+        return own + extra
+
+    def counterexample_count(self) -> int:
+        with self._lock:
+            return sum(len(pool) for pool in self._counterexamples.values())
 
     def stats(self) -> CacheStats:
         with self._lock:

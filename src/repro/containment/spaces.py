@@ -24,10 +24,11 @@ import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.algebra.conditions import (
+    And,
     Condition,
     Not,
+    Or,
     TupleContext,
-    and_,
     evaluate_condition,
 )
 from repro.budget import WorkBudget, ensure_budget
@@ -93,29 +94,94 @@ class Assignment:
 
 
 class ConditionSpace:
-    """Base: finite assignment enumeration + decision procedures."""
+    """Base: finite assignment enumeration + bitset decision procedures.
+
+    The space's assignments are materialised once (ticking the budget per
+    point, exactly like the old per-call sweeps) and every condition is
+    lowered to a *truth mask*: one Python int whose bit *i* is set iff
+    assignment *i* satisfies the condition.  Atoms cost one evaluation
+    per assignment; ``AND``/``OR``/``NOT`` are single bitwise ops on the
+    children's masks.  Masks are memoised per condition node — and since
+    condition nodes are hash-consed, structurally equal subtrees share
+    one memo entry no matter where they came from.
+    """
+
+    def __init__(self) -> None:
+        self._points: Optional[List[Assignment]] = None
+        self._full_mask = 0
+        self._masks: Dict[Condition, int] = {}
 
     def assignments(self, budget: Optional[WorkBudget] = None) -> Iterator[Assignment]:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Bitset truth-vector engine
+    # ------------------------------------------------------------------
+    def points(self, budget: Optional[WorkBudget] = None) -> List[Assignment]:
+        """The materialised assignment list (built once per space)."""
+        if self._points is None:
+            points = list(self.assignments(budget))
+            self._points = points
+            self._full_mask = (1 << len(points)) - 1
+        return self._points
+
+    def mask(self, condition: Condition, budget: Optional[WorkBudget] = None) -> int:
+        """Truth mask of *condition*: bit i set iff point i satisfies it."""
+        points = self.points(budget)
+        return self._mask(condition, points, ensure_budget(budget))
+
+    def _mask(
+        self,
+        condition: Condition,
+        points: List[Assignment],
+        budget: WorkBudget,
+    ) -> int:
+        cached = self._masks.get(condition)
+        if cached is not None:
+            return cached
+        if isinstance(condition, And):
+            result = self._full_mask
+            for operand in condition.operands:
+                budget.tick()
+                result &= self._mask(operand, points, budget)
+        elif isinstance(condition, Or):
+            result = 0
+            for operand in condition.operands:
+                budget.tick()
+                result |= self._mask(operand, points, budget)
+        elif isinstance(condition, Not):
+            budget.tick()
+            result = self._mask(condition.operand, points, budget) ^ self._full_mask
+        else:
+            result = 0
+            bit = 1
+            for assignment in points:
+                budget.tick()
+                if assignment.satisfies(condition):
+                    result |= bit
+                bit <<= 1
+        self._masks[condition] = result
+        return result
+
+    # ------------------------------------------------------------------
     def satisfiable(
         self, condition: Condition, budget: Optional[WorkBudget] = None
     ) -> bool:
-        return self.witness(condition, budget) is not None
+        return self.mask(condition, budget) != 0
 
     def witness(
         self, condition: Condition, budget: Optional[WorkBudget] = None
     ) -> Optional[Assignment]:
-        for assignment in self.assignments(budget):
-            if assignment.satisfies(condition):
-                return assignment
-        return None
+        truth = self.mask(condition, budget)
+        if truth == 0:
+            return None
+        # lowest set bit = first satisfying assignment in enumeration order
+        return self.points()[(truth & -truth).bit_length() - 1]
 
     def tautology(
         self, condition: Condition, budget: Optional[WorkBudget] = None
     ) -> bool:
-        return not self.satisfiable(Not(condition), budget)
+        return self.mask(condition, budget) == self._full_mask
 
     def implies(
         self,
@@ -123,12 +189,14 @@ class ConditionSpace:
         conclusion: Condition,
         budget: Optional[WorkBudget] = None,
     ) -> bool:
-        return not self.satisfiable(and_(premise, Not(conclusion)), budget)
+        premise_mask = self.mask(premise, budget)
+        conclusion_mask = self.mask(conclusion, budget)
+        return premise_mask & (conclusion_mask ^ self._full_mask) == 0
 
     def equivalent(
         self, left: Condition, right: Condition, budget: Optional[WorkBudget] = None
     ) -> bool:
-        return self.implies(left, right, budget) and self.implies(right, left, budget)
+        return self.mask(left, budget) == self.mask(right, budget)
 
     def truth_vectors(
         self,
@@ -163,9 +231,13 @@ class ConditionSpace:
         conditions: Tuple[Condition, ...],
         budget: Optional[WorkBudget],
     ) -> Dict[Tuple[bool, ...], Assignment]:
+        ticking = ensure_budget(budget)
+        points = self.points(budget)
+        masks = [self._mask(c, points, ticking) for c in conditions]
         vectors: Dict[Tuple[bool, ...], Assignment] = {}
-        for assignment in self.assignments(budget):
-            vector = tuple(assignment.satisfies(c) for c in conditions)
+        for i, assignment in enumerate(points):
+            ticking.tick()
+            vector = tuple(bool(m >> i & 1) for m in masks)
             if vector not in vectors:
                 vectors[vector] = assignment
         return vectors
@@ -186,6 +258,7 @@ class StoreConditionSpace(ConditionSpace):
         table_name: str,
         conditions: Iterable[Condition],
     ) -> None:
+        super().__init__()
         self.table = store_schema.table(table_name)
         self.conditions = tuple(conditions)
         constants = collect_constants(self.conditions)
@@ -234,6 +307,8 @@ class ClientConditionSpace(ConditionSpace):
         conditions: Iterable[Condition],
         types: Optional[Sequence[str]] = None,
     ) -> None:
+        super().__init__()
+        self._type_masks: Dict[str, int] = {}
         self.schema = client_schema
         self.set_name = set_name
         self.conditions = tuple(conditions)
@@ -309,7 +384,26 @@ class ClientConditionSpace(ConditionSpace):
         tautology, and for the gender example that
         ``gender = M ∨ gender = F`` is one (via the enum domain).
         """
-        for assignment in self.assignments_for_type(type_name, budget):
-            if not assignment.satisfies(condition):
-                return False
-        return True
+        if type_name not in self.types:
+            # the type is outside this space's points: sweep it directly
+            for assignment in self.assignments_for_type(type_name, budget):
+                if not assignment.satisfies(condition):
+                    return False
+            return True
+        type_mask = self._mask_for_type(type_name, budget)
+        return type_mask & (self.mask(condition, budget) ^ self._full_mask) == 0
+
+    def _mask_for_type(
+        self, type_name: str, budget: Optional[WorkBudget] = None
+    ) -> int:
+        cached = self._type_masks.get(type_name)
+        if cached is not None:
+            return cached
+        result = 0
+        bit = 1
+        for assignment in self.points(budget):
+            if assignment.concrete_type == type_name:
+                result |= bit
+            bit <<= 1
+        self._type_masks[type_name] = result
+        return result

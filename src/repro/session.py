@@ -301,13 +301,16 @@ class OrmSession:
         budget: Optional[WorkBudget] = None,
         workers: int = 1,
         executor: Optional[str] = None,
+        symbolic: bool = True,
     ) -> ValidationReport:
         """Fully validate the current model through the session cache.
 
         Repeated calls (and SMO validations in between) share one
         :class:`ValidationCache`, so re-validating an unchanged or locally
         changed model is dominated by cache hits — the report's
-        ``cache_hits`` / ``cache_misses`` show the split.
+        ``cache_hits`` / ``cache_misses`` show the split.  ``symbolic``
+        toggles the layered containment fast path (branch subsumption and
+        counterexample replay before state enumeration).
         """
         return validate_mapping(
             self.model.mapping,
@@ -316,6 +319,7 @@ class OrmSession:
             workers=workers,
             executor=executor,
             cache=self.validation_cache,
+            symbolic=symbolic,
         )
 
     def cache_stats(self) -> CacheStats:

@@ -64,6 +64,24 @@ def test_compile_then_validate(mapping_document, tmp_path):
     assert main(["validate", str(out)]) == 0
 
 
+def test_validate_stats(mapping_document, tmp_path, capsys):
+    out = tmp_path / "compiled.json"
+    main(["compile", str(mapping_document), "-o", str(out)])
+    assert main(["validate", str(out), "--stats"]) == 0
+    printed = capsys.readouterr().out
+    assert "containment fast path:" in printed
+    assert "symbolic discharged" in printed
+    assert "slowest checks:" in printed
+
+
+def test_validate_no_symbolic(mapping_document, tmp_path, capsys):
+    out = tmp_path / "compiled.json"
+    main(["compile", str(mapping_document), "-o", str(out)])
+    assert main(["validate", str(out), "--no-symbolic", "--stats"]) == 0
+    printed = capsys.readouterr().out
+    assert "symbolic discharged : 0/" in printed
+
+
 def test_views_command(mapping_document, tmp_path, capsys):
     out = tmp_path / "compiled.json"
     main(["compile", str(mapping_document), "-o", str(out)])
