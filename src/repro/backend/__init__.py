@@ -15,8 +15,13 @@ from repro.backend.ddl import (
 )
 from repro.backend.memory import MemoryBackend
 from repro.backend.migrate import MigrationScript, MigrationStep, plan_migration
-from repro.backend.sqlgen import CompiledSql, SqlCompiler, compile_query
-from repro.backend.sqlite import SqliteBackend
+from repro.backend.sqlgen import (
+    CompiledSql,
+    SqlCompiler,
+    compile_query,
+    grouped_delta_statements,
+)
+from repro.backend.sqlite import SqliteBackend, StatementCache, StatementCacheStats
 
 __all__ = [
     "BACKEND_ENV",
@@ -27,6 +32,9 @@ __all__ = [
     "MigrationStep",
     "SqlCompiler",
     "SqliteBackend",
+    "StatementCache",
+    "StatementCacheStats",
+    "grouped_delta_statements",
     "StoreBackend",
     "compile_query",
     "create_backend",

@@ -48,6 +48,10 @@ class StoreBackend:
 
     #: short engine name ("memory" / "sqlite")
     name: str = "?"
+    #: True for engines that execute compiled parameterized SQL — cached
+    #: plans then call ``run_compiled(compiled, params)`` instead of
+    #: handing over algebra trees, reusing prepared statements.
+    prepares_sql: bool = False
 
     @property
     def schema(self) -> StoreSchema:

@@ -400,6 +400,25 @@ def delta_statements(delta, schema: StoreSchema) -> List[CompiledSql]:
     return statements
 
 
+def grouped_delta_statements(
+    delta, schema: StoreSchema
+) -> List[Tuple[str, List[Tuple[object, ...]]]]:
+    """Delta statements as order-preserving ``(text, [params, ...])`` groups.
+
+    Consecutive statements with identical SQL text (the per-table delete /
+    update / insert runs of :func:`delta_statements`) collapse into one
+    group, so the backend can hand each group to ``executemany`` — one
+    prepared statement per table per verb instead of one per row.
+    """
+    groups: List[Tuple[str, List[Tuple[object, ...]]]] = []
+    for statement in delta_statements(delta, schema):
+        if groups and groups[-1][0] == statement.text:
+            groups[-1][1].append(statement.params)
+        else:
+            groups.append((statement.text, [statement.params]))
+    return groups
+
+
 def script_text(statements: Sequence[CompiledSql]) -> str:
     """Human-readable rendering of a statement list (params inlined)."""
     lines = []

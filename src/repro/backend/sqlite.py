@@ -13,7 +13,9 @@ DBMS).
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.queries import Query
 from repro.backend.base import StoreBackend
@@ -24,9 +26,10 @@ from repro.backend.ddl import (
     schema_ddl,
 )
 from repro.backend.sqlgen import (
+    CompiledSql,
     SqlCompiler,
     decode_value,
-    delta_statements,
+    grouped_delta_statements,
     quote,
 )
 from repro.errors import SchemaError, SmoError, ValidationError
@@ -39,16 +42,94 @@ from repro.relational.schema import StoreSchema
 SUPPORTS_FULL_OUTER_JOIN = sqlite3.sqlite_version_info >= (3, 39, 0)
 
 
+@dataclass
+class StatementCacheStats:
+    """Hit/miss/eviction counters of the prepared-statement cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"StatementCacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, entries={self.entries})"
+        )
+
+
+class StatementCache:
+    """A bounded LRU of live cursors, keyed by SQL text.
+
+    Each cursor keeps its most recent statement prepared, so re-executing
+    a cached text skips cursor allocation and lets ``sqlite3`` reuse the
+    compiled statement; SQLite transparently re-prepares after a schema
+    change, and the backend clears the cache outright on migrations.
+    Statements run strictly sequentially on one connection (fetchall
+    before reuse), so cursor sharing per text is safe.
+    """
+
+    def __init__(self, connection: sqlite3.Connection, capacity: int = 128) -> None:
+        self._conn = connection
+        self.capacity = capacity
+        self._cursors: "OrderedDict[str, sqlite3.Cursor]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _cursor(self, text: str) -> sqlite3.Cursor:
+        cursor = self._cursors.get(text)
+        if cursor is not None:
+            self.hits += 1
+            self._cursors.move_to_end(text)
+            return cursor
+        self.misses += 1
+        cursor = self._conn.cursor()
+        self._cursors[text] = cursor
+        while len(self._cursors) > self.capacity:
+            _, evicted = self._cursors.popitem(last=False)
+            evicted.close()
+            self.evictions += 1
+        return cursor
+
+    def execute(self, text: str, params: Sequence[object] = ()) -> sqlite3.Cursor:
+        cursor = self._cursor(text)
+        cursor.execute(text, tuple(params))
+        return cursor
+
+    def executemany(
+        self, text: str, rows: Sequence[Sequence[object]]
+    ) -> sqlite3.Cursor:
+        cursor = self._cursor(text)
+        cursor.executemany(text, rows)
+        return cursor
+
+    def clear(self) -> None:
+        for cursor in self._cursors.values():
+            cursor.close()
+        self._cursors.clear()
+
+    def stats(self) -> StatementCacheStats:
+        return StatementCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._cursors),
+        )
+
+
 class SqliteBackend(StoreBackend):
     """Store schema + rows held by a SQLite connection."""
 
     name = "sqlite"
+    prepares_sql = True
 
     def __init__(
         self,
         schema: StoreSchema,
         db_path: Optional[str] = None,
         connection: Optional[sqlite3.Connection] = None,
+        statement_cache_size: int = 128,
     ) -> None:
         self._schema = schema
         self.db_path = db_path or ":memory:"
@@ -56,6 +137,7 @@ class SqliteBackend(StoreBackend):
         self._conn.isolation_level = None  # explicit BEGIN/COMMIT below
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._state_cache: Optional[StoreState] = None
+        self._statements = StatementCache(self._conn, statement_cache_size)
         self._ensure_tables()
 
     # ------------------------------------------------------------------
@@ -122,7 +204,16 @@ class SqliteBackend(StoreBackend):
                 "use the memory backend for partitioned views"
             )
         compiled = SqlCompiler(self._schema).compile(query)
-        cursor = self._conn.execute(compiled.text, compiled.params)
+        return self.run_compiled(compiled, compiled.params)
+
+    def run_compiled(
+        self, compiled: CompiledSql, params: Optional[Tuple[object, ...]] = None
+    ) -> List[Dict[str, object]]:
+        """Execute an already-compiled SELECT (cached plans re-enter here
+        with fresh parameter bindings) through the statement cache."""
+        cursor = self._statements.execute(
+            compiled.text, compiled.params if params is None else params
+        )
         typing = compiled.decoders()
         columns = compiled.columns
         seen = set()
@@ -138,6 +229,9 @@ class SqliteBackend(StoreBackend):
                 unique.append(row)
         return unique
 
+    def statement_cache_stats(self) -> StatementCacheStats:
+        return self._statements.stats()
+
     def to_store_state(self) -> StoreState:
         if self._state_cache is None:
             state = StoreState(self._schema)
@@ -149,11 +243,16 @@ class SqliteBackend(StoreBackend):
 
     # -- writing -------------------------------------------------------
     def apply_delta(self, delta: StoreDelta) -> None:
-        statements = delta_statements(delta, self._schema)
+        # Identical-text runs (per-table deletes/updates/inserts) execute
+        # as one prepared statement via executemany instead of per row.
+        groups = grouped_delta_statements(delta, self._schema)
         try:
             with self._transaction("save-changes"):
-                for statement in statements:
-                    self._conn.execute(statement.text, statement.params)
+                for text, rows in groups:
+                    if len(rows) == 1:
+                        self._statements.execute(text, rows[0])
+                    else:
+                        self._statements.executemany(text, rows)
         except sqlite3.IntegrityError as exc:
             raise ValidationError(
                 f"update would violate store constraints: {exc}",
@@ -198,6 +297,7 @@ class SqliteBackend(StoreBackend):
         finally:
             self._conn.execute("PRAGMA foreign_keys = ON")
         self._schema = new_schema
+        self._statements.clear()  # prepared statements may span DDL'd tables
         self._invalidate()
 
     def replace_contents(self, state: StoreState) -> None:
@@ -227,6 +327,7 @@ class SqliteBackend(StoreBackend):
                     [tuple(value for _, value in row) for row in rows],
                 )
         self._schema = state.schema
+        self._statements.clear()
         self._invalidate()
 
     # -- integrity -----------------------------------------------------
@@ -246,6 +347,7 @@ class SqliteBackend(StoreBackend):
         return violations
 
     def close(self) -> None:
+        self._statements.clear()
         self._conn.close()
 
     def __str__(self) -> str:

@@ -7,6 +7,8 @@
     python -m repro evolve compiled.json target.json --backend sqlite --db app.db
     python -m repro plan compiled.json target-schema.json
     python -m repro query compiled.json Persons --where "Id>1" --db app.db
+    python -m repro query compiled.json Persons --repeat 500 --stats
+    python -m repro stats compiled.json --db app.db
     python -m repro ddl compiled.json [--target target-schema.json]
     python -m repro bench {fig4,fig9,fig10}
 
@@ -253,7 +255,6 @@ def _parse_where(text: str):
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.algebra.conditions import TRUE
     from repro.query import EntityQuery
-    from repro.query.unfold import unfold
 
     model = load_model(_read_json(args.model))
     condition = _parse_where(args.where) if args.where else TRUE
@@ -262,24 +263,49 @@ def cmd_query(args: argparse.Namespace) -> int:
     session = _open_session(args, model)
     try:
         if args.explain:
+            # both forms read the session's plan cache, so what explain
+            # prints is provably the plan `query` would execute
             if session.backend.name == "sqlite":
-                from repro.backend import SqlCompiler
-
-                unfolded = unfold(query, model.views, model.client_schema)
-                compiler = SqlCompiler(model.store_schema)
-                for branch in unfolded.branches:
-                    compiled = compiler.compile(branch.store_query)
-                    print(f"-- constructs {branch.concrete_type}")
-                    print(compiled.text + ";")
-                    if compiled.params:
-                        print(f"-- params: {list(compiled.params)}")
+                for concrete_type, text, params in session.explain_sql(query):
+                    print(f"-- constructs {concrete_type}")
+                    print(text + ";")
+                    if params:
+                        print(f"-- params: {list(params)}")
             else:
                 print(session.explain(query))
             return 0
-        results = sorted(session.query(query), key=repr)
+        repeat = max(1, args.repeat)
+        for _ in range(repeat):
+            results = session.query(query)
+        results = sorted(results, key=repr)
         for result in results:
             print(result)
-        print(f"{len(results)} result(s)", file=sys.stderr)
+        print(
+            f"{len(results)} result(s)"
+            + (f" x {repeat} repeat(s)" if repeat > 1 else ""),
+            file=sys.stderr,
+        )
+        if args.stats:
+            print(session.serving_stats(), file=sys.stderr)
+        return 0
+    finally:
+        session.backend.close()
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Exercise every entity set twice and print the serving counters —
+    a quick view of plan/statement cache behaviour on a given store."""
+    from repro.query import EntityQuery
+
+    model = load_model(_read_json(args.model))
+    session = _open_session(args, model)
+    try:
+        for entity_set in model.client_schema.entity_sets:
+            query = EntityQuery(entity_set.name)
+            for _ in range(max(1, args.repeat)):
+                session.query(query)
+        print(session.serving_stats())
+        print(f"validation cache: {session.cache_stats()}")
         return 0
     finally:
         session.backend.close()
@@ -410,11 +436,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--explain",
         action="store_true",
-        help="print the unfolded store plan (generated SQL on sqlite) "
+        help="print the cached store plan (generated SQL on sqlite) "
         "instead of running it",
+    )
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the query N times (warm-plan serving; results printed once)",
+    )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print plan/statement cache counters after running",
     )
     _add_backend_flags(p)
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "stats",
+        help="query every entity set --repeat times and print plan/"
+        "statement/validation cache counters",
+    )
+    p.add_argument("model")
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        metavar="N",
+        help="runs per entity set (default 2: one miss, then hits)",
+    )
+    _add_backend_flags(p)
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser(
         "ddl",

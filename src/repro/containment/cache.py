@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
-from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -143,14 +144,18 @@ def client_slice_tokens(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters plus current entry count."""
+    """Hit/miss/eviction counters plus current entry count."""
 
     hits: int = 0
     misses: int = 0
     entries: int = 0
+    evictions: int = 0
 
     def __str__(self) -> str:
-        return f"CacheStats(hits={self.hits}, misses={self.misses}, entries={self.entries})"
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"entries={self.entries}, evictions={self.evictions})"
+        )
 
 
 class CacheTransaction:
@@ -186,15 +191,27 @@ class ValidationCache:
     one compilation attempt: insertions made while a transaction is open
     are recorded, and a rollback (SMO aborted) evicts them, so the cache
     never retains entries fingerprinted against a rejected model.
+
+    The memo is LRU-bounded (*max_entries*, default generous): long-lived
+    sessions under sustained SMO traffic shed their least recently touched
+    entries instead of growing without limit; ``evictions`` in
+    :class:`CacheStats` counts what the bound discarded.
     """
 
     #: bound on persisted failing states per check fingerprint
     COUNTEREXAMPLES_PER_KEY = 4
     #: bound on the global most-recent pool shared across checks
     RECENT_COUNTEREXAMPLES = 8
+    #: default LRU bound — generous (a full customer-scale validation is
+    #: a few thousand entries) but finite, so sessions under sustained
+    #: SMO traffic cannot grow without limit
+    DEFAULT_MAX_ENTRIES = 16384
 
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple[str, str], object] = {}
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self.max_entries = (
+            self.DEFAULT_MAX_ENTRIES if max_entries is None else max_entries
+        )
+        self._entries: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
         self._lock = threading.Lock()
         self._transactions: list = []
         # Failing states per check fingerprint + a small global recency
@@ -207,6 +224,7 @@ class ValidationCache:
         self._recent_counterexamples: list = []
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get_or_compute(
         self, namespace: str, key: str, compute: Callable[[], T]
@@ -222,6 +240,7 @@ class ValidationCache:
         with self._lock:
             if full_key in self._entries:
                 self.hits += 1
+                self._entries.move_to_end(full_key)
                 return self._entries[full_key]  # type: ignore[return-value]
         value = compute()
         with self._lock:
@@ -230,6 +249,10 @@ class ValidationCache:
                 for transaction in self._transactions:
                     transaction.inserted.add(full_key)
             self._entries[full_key] = value
+            self._entries.move_to_end(full_key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return value
 
     # -- transactional bracketing -----------------------------------
@@ -302,7 +325,10 @@ class ValidationCache:
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
-                hits=self.hits, misses=self.misses, entries=len(self._entries)
+                hits=self.hits,
+                misses=self.misses,
+                entries=len(self._entries),
+                evictions=self.evictions,
             )
 
     def clear(self) -> None:

@@ -8,6 +8,14 @@ from repro.query.dml import (
     translate_update,
 )
 from repro.query.language import EntityQuery, execute_on_client
+from repro.query.plancache import (
+    CachedPlan,
+    Param,
+    PlanCache,
+    PlanCacheStats,
+    ServingStats,
+    parameterize,
+)
 from repro.query.unfold import (
     UnfoldedBranch,
     UnfoldedQuery,
@@ -16,7 +24,13 @@ from repro.query.unfold import (
 )
 
 __all__ = [
+    "CachedPlan",
     "EntityQuery",
+    "Param",
+    "PlanCache",
+    "PlanCacheStats",
+    "ServingStats",
+    "parameterize",
     "StoreDelta",
     "TableDelta",
     "apply_delta",

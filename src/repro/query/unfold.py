@@ -23,7 +23,7 @@ property the tests check.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.conditions import (
     Comparison,
@@ -93,25 +93,40 @@ class UnfoldedQuery:
         )
 
     def _construct_all(self, rows_of) -> List[object]:
-        results: List[object] = []
-        projection = self.source.projection
-        for branch in self.branches:
-            for row in rows_of(branch):
-                if projection is None:
-                    results.append(branch.constructor.construct(row))
-                else:
-                    assigned = dict(branch.constructor.assignments)
-                    out: Dict[str, object] = {}
-                    for attr in projection:
-                        expr = assigned.get(attr)
-                        if expr is None:
-                            out[attr] = None
-                        elif isinstance(expr, Const):
-                            out[attr] = expr.value
-                        else:
-                            out[attr] = row.get(expr.name)
-                    results.append(out)
-        return results
+        return construct_results(
+            self.source.projection,
+            ((branch, rows_of(branch)) for branch in self.branches),
+        )
+
+
+def construct_results(
+    projection: Optional[Tuple[str, ...]],
+    branch_rows: Iterable[Tuple[UnfoldedBranch, Iterable[Dict[str, object]]]],
+) -> List[object]:
+    """Turn per-branch store rows into entities or projected row dicts.
+
+    Shared by :meth:`UnfoldedQuery.run`/:meth:`UnfoldedQuery.run_on` and the
+    plan cache's prepared execution path, so cached plans construct results
+    byte-identically to a fresh unfold.
+    """
+    results: List[object] = []
+    for branch, rows in branch_rows:
+        for row in rows:
+            if projection is None:
+                results.append(branch.constructor.construct(row))
+            else:
+                assigned = dict(branch.constructor.assignments)
+                out: Dict[str, object] = {}
+                for attr in projection:
+                    expr = assigned.get(attr)
+                    if expr is None:
+                        out[attr] = None
+                    elif isinstance(expr, Const):
+                        out[attr] = expr.value
+                    else:
+                        out[attr] = row.get(expr.name)
+                results.append(out)
+    return results
 
 
 def _ctor_branches(constructor: Constructor) -> List[Tuple[Condition, EntityCtor]]:

@@ -58,7 +58,7 @@ from repro.incremental.smo import EvolutionPlan, IncrementalCompiler, Smo
 from repro.mapping.roundtrip import apply_query_views, apply_update_views
 from repro.query.dml import StoreDelta, diff_store_states
 from repro.query.language import EntityQuery
-from repro.query.unfold import unfold
+from repro.query.plancache import PlanCache, ServingStats
 from repro.relational.instances import StoreState
 
 
@@ -121,6 +121,11 @@ class OrmSession:
         self._compiler = IncrementalCompiler(
             budget=budget, cache=self.validation_cache
         )
+        # One plan per query *shape*: repeated queries skip unfolding (and,
+        # on SQLite, SQL generation) entirely.  Every model mutation goes
+        # through evolve/undo below, which invalidate exactly the plans the
+        # composed delta can affect.
+        self.plan_cache = PlanCache()
         #: committed evolutions, oldest first; ``undo`` pops from the end
         self.journal: List[JournalEntry] = []
 
@@ -161,13 +166,38 @@ class OrmSession:
         )
 
     def query(self, query: EntityQuery) -> List[object]:
-        """Answer an object query from the relational data alone."""
-        unfolded = unfold(query, self.model.views, self.model.client_schema)
-        return unfolded.run_on(self.backend)
+        """Answer an object query from the relational data alone.
+
+        Served through the session's :class:`PlanCache`: the query is
+        split into a constant-free shape plus a parameter vector, and
+        structurally identical queries reuse one unfolded (and, on
+        SQLite, SQL-compiled) plan.
+        """
+        plan, values = self.plan_cache.plan_for(self.model, query)
+        return plan.execute(self.backend, values)
 
     def explain(self, query: EntityQuery) -> str:
-        """The store-level plan a query unfolds to (Entity-SQL text)."""
-        return unfold(query, self.model.views, self.model.client_schema).to_sql()
+        """The store-level plan a query unfolds to (Entity-SQL text).
+
+        Routed through the same plan cache as :meth:`query`, so explain
+        shows — and warms — exactly the plan execution will use.
+        """
+        plan, values = self.plan_cache.plan_for(self.model, query)
+        return plan.explain(values)
+
+    def explain_sql(
+        self, query: EntityQuery
+    ) -> List[Tuple[str, str, Tuple[object, ...]]]:
+        """Per-branch ``(constructed type, SQL text, bound parameters)``
+        of the cached plan — the statements :meth:`query` executes on a
+        SQL backend."""
+        plan, values = self.plan_cache.plan_for(self.model, query)
+        return [
+            (branch.concrete_type, compiled.text, params)
+            for branch, compiled, params in plan.bound_sql(
+                self.model.store_schema, values
+            )
+        ]
 
     # ------------------------------------------------------------------
     # Writing
@@ -254,6 +284,10 @@ class OrmSession:
         self.backend.migrate(script, evolved.store_schema, new_store)
         self.model = evolved
         self.journal.append(entry)
+        # Delta-scoped plan invalidation: only plans whose entity set or
+        # scanned tables the batch touched are evicted; shapes over
+        # untouched sets keep serving from cache across the evolution.
+        self.plan_cache.invalidate(batch.delta, evolved.mapping)
         return delta
 
     def plan(self, smos: Sequence[Smo]) -> EvolutionPlan:
@@ -289,8 +323,12 @@ class OrmSession:
         if not self.journal:
             raise SmoError("nothing to undo: the session journal is empty")
         entry = self.journal.pop()
-        self.model = self.model.apply(entry.delta.inverse())
+        inverse = entry.delta.inverse()
+        self.model = self.model.apply(inverse)
         self.backend.replace_contents(entry.store_before)
+        # The inverse delta touches the same neighborhood as the original
+        # evolution; plans outside it are still valid and survive the undo.
+        self.plan_cache.invalidate(inverse, self.model.mapping)
         return entry
 
     # ------------------------------------------------------------------
@@ -324,6 +362,15 @@ class OrmSession:
 
     def cache_stats(self) -> CacheStats:
         return self.validation_cache.stats()
+
+    def serving_stats(self) -> ServingStats:
+        """Hit/miss/eviction counters of the query-serving fast path."""
+        statement_stats = getattr(self.backend, "statement_cache_stats", None)
+        return ServingStats(
+            backend=self.backend.name,
+            plans=self.plan_cache.stats(),
+            statements=statement_stats() if statement_stats else None,
+        )
 
     # ------------------------------------------------------------------
     def __str__(self) -> str:

@@ -305,3 +305,37 @@ def test_plan_with_backend_previews_migration(tmp_path, stage1_compiled, capsys)
     )
     assert code == 0
     assert "MigrationScript" in capsys.readouterr().out
+
+
+def test_query_repeat_and_stats(compiled_model_path, tmp_path, capsys):
+    db_path = _populated_db(compiled_model_path, tmp_path)
+    capsys.readouterr()
+    code = main(
+        [
+            "query", str(compiled_model_path), "Persons",
+            "--where", "Id>1", "--repeat", "5", "--stats", "--db", db_path,
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "3 result(s) x 5 repeat(s)" in captured.err
+    assert "plan cache" in captured.err
+    assert "hits=4" in captured.err
+    assert "statement cache" in captured.err
+
+
+def test_stats_verb_prints_cache_counters(compiled_model_path, tmp_path, capsys):
+    db_path = _populated_db(compiled_model_path, tmp_path)
+    capsys.readouterr()
+    assert main(["stats", str(compiled_model_path), "--db", db_path]) == 0
+    printed = capsys.readouterr().out
+    assert "plan cache" in printed
+    assert "statement cache" in printed
+    assert "validation cache" in printed
+
+
+def test_stats_verb_on_memory_backend(compiled_model_path, capsys):
+    assert main(["stats", str(compiled_model_path), "--backend", "memory"]) == 0
+    printed = capsys.readouterr().out
+    assert "serving on memory" in printed
+    assert "statement cache" not in printed

@@ -1,0 +1,121 @@
+"""Differential harness for the serving fast path: answers from cached
+plans must be byte-identical to fresh unfolding, on both backends,
+across workloads and after every SMO kind.
+
+Reuses the workload matrix and SMO kinds of
+:mod:`tests.test_backend_differential`; here the comparison is not
+memory-vs-sqlite but cached-vs-uncached on *each* backend — a cached
+plan that survives an invalidation boundary it should not have survived
+shows up as a divergence from the freshly unfolded answer.
+"""
+
+import pytest
+
+from tests.test_backend_differential import (
+    SMO_KINDS,
+    WORKLOADS,
+    canon,
+    compiled,
+    dual_sessions,
+    populate_both,
+)
+from repro.algebra import Comparison
+from repro.query import EntityQuery
+from repro.query.unfold import unfold
+
+
+def _probe_queries(schema):
+    """Whole-set scans plus key-equality probes for every entity set."""
+    queries = []
+    for entity_set in schema.entity_sets:
+        queries.append(EntityQuery(entity_set.name))
+        key = schema.key_of(entity_set.root_type)[0]
+        for value in (1, 2):
+            queries.append(
+                EntityQuery(entity_set.name, Comparison(key, "=", value))
+            )
+    return queries
+
+
+def _assert_cached_matches_fresh(session):
+    """Every probe query answered twice from the session (second answer
+    from a cached plan) must match a direct, uncached unfold."""
+    model = session.model
+    for query in _probe_queries(model.client_schema):
+        fresh = canon(
+            unfold(query, model.views, model.client_schema).run_on(
+                session.backend
+            )
+        )
+        assert canon(session.query(query)) == fresh
+        assert canon(session.query(query)) == fresh, (
+            f"warm cached answer diverges on {query.set_name}"
+        )
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[name for name, _ in WORKLOADS]
+)
+def test_cached_answers_match_fresh_unfold(factory):
+    model = compiled(factory())
+    memory, sqlite = dual_sessions(model)
+    try:
+        populate_both(memory, sqlite, seed=23)
+        for session in (memory, sqlite):
+            _assert_cached_matches_fresh(session)
+            assert session.plan_cache.stats().hits > 0
+    finally:
+        sqlite.backend.close()
+
+
+@pytest.mark.parametrize(
+    "base_factory,smo_factory,pop",
+    [(b, s, p) for _, b, s, p in SMO_KINDS],
+    ids=[kind for kind, _, _, _ in SMO_KINDS],
+)
+def test_no_stale_plan_served_after_smo(base_factory, smo_factory, pop):
+    """Warm every plan, evolve, then require post-SMO answers to match a
+    fresh unfold of the *evolved* model — a stale plan surviving the
+    invalidation would diverge here."""
+    model = base_factory()
+    memory, sqlite = dual_sessions(model)
+    try:
+        state = pop(model)
+        memory.save(state)
+        sqlite.save(state)
+        for session in (memory, sqlite):
+            for query in _probe_queries(model.client_schema):
+                session.query(query)  # build + cache plans pre-SMO
+        smo = smo_factory(model)
+        memory.evolve(smo)
+        sqlite.evolve(smo)
+        for session in (memory, sqlite):
+            _assert_cached_matches_fresh(session)
+    finally:
+        sqlite.backend.close()
+
+
+@pytest.mark.parametrize(
+    "base_factory,smo_factory,pop",
+    [(b, s, p) for _, b, s, p in SMO_KINDS],
+    ids=[kind for kind, _, _, _ in SMO_KINDS],
+)
+def test_no_stale_plan_served_after_undo(base_factory, smo_factory, pop):
+    model = base_factory()
+    memory, sqlite = dual_sessions(model)
+    try:
+        state = pop(model)
+        memory.save(state)
+        sqlite.save(state)
+        smo = smo_factory(model)
+        memory.evolve(smo)
+        sqlite.evolve(smo)
+        for session in (memory, sqlite):
+            for query in _probe_queries(session.model.client_schema):
+                session.query(query)  # warm plans over the evolved model
+        memory.undo()
+        sqlite.undo()
+        for session in (memory, sqlite):
+            _assert_cached_matches_fresh(session)
+    finally:
+        sqlite.backend.close()

@@ -211,3 +211,42 @@ class TestSessionCache:
         assert second.cache_hits > 0 and second.cache_misses == 0
         assert second.elapsed < first.elapsed
         assert session.cache_stats().entries > 0
+
+
+class TestLruBound:
+    def test_eviction_over_max_entries(self):
+        cache = ValidationCache(max_entries=2)
+        for i in range(3):
+            cache.get_or_compute("ns", f"k{i}", lambda i=i: i)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.evictions == 1
+        # the oldest entry is gone: recomputed on next ask
+        calls = []
+        assert cache.get_or_compute("ns", "k0", lambda: calls.append(1) or 9) == 9
+        assert calls
+
+    def test_hit_refreshes_lru_order(self):
+        cache = ValidationCache(max_entries=2)
+        cache.get_or_compute("ns", "a", lambda: 1)
+        cache.get_or_compute("ns", "b", lambda: 2)
+        cache.get_or_compute("ns", "a", lambda: -1)  # hit refreshes "a"
+        cache.get_or_compute("ns", "c", lambda: 3)   # evicts "b", not "a"
+        calls = []
+        assert cache.get_or_compute("ns", "a", lambda: calls.append(1) or -1) == 1
+        assert not calls
+        cache.get_or_compute("ns", "b", lambda: calls.append(1) or 2)
+        assert calls
+
+    def test_default_bound_is_generous(self):
+        cache = ValidationCache()
+        assert cache.max_entries == ValidationCache.DEFAULT_MAX_ENTRIES
+        for i in range(100):
+            cache.get_or_compute("ns", f"k{i}", lambda i=i: i)
+        assert cache.stats().evictions == 0
+
+    def test_stats_string_mentions_evictions(self):
+        cache = ValidationCache(max_entries=1)
+        cache.get_or_compute("ns", "a", lambda: 1)
+        cache.get_or_compute("ns", "b", lambda: 2)
+        assert "evictions=1" in str(cache.stats())
