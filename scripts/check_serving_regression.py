@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regression gate over BENCH_query_serving.json.
+
+Fails (exit 1) if the serving fast path regressed below the uncached
+pipeline where the cache is the whole story: the memory backend's warm
+hit path must be at least as fast as uncached serving at the
+translation-bound point (``warm_over_uncached >= 1.0``).  PR 5 shipped
+with 0.67x there — the plan cache made the memory backend *slower* —
+and the compiled physical-plan layer exists to keep that from coming
+back.
+
+Usage: python scripts/check_serving_regression.py [path-to-json]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_query_serving.json"
+    with open(path) as handle:
+        data = json.load(handle)
+
+    point = data["serving"]["translation_bound"]["memory"]
+    ratio = point["warm_over_uncached"]
+    print(
+        f"memory backend at translation_bound: warm_over_uncached={ratio} "
+        f"(warm {point['warm_qps']} qps vs uncached {point['uncached_qps']} qps)"
+    )
+    if ratio is None or ratio < 1.0:
+        print(
+            "FAIL: warm plan-cache hits are slower than the uncached "
+            "pipeline on the memory backend — the compiled-plan fast "
+            "path has regressed",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: warm serving beats the uncached pipeline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -405,6 +405,17 @@ def evaluate_condition(condition: Condition, context: TupleContext) -> bool:
     raise EvaluationError(f"unknown condition node {condition!r}")
 
 
+def compare_values(value: object, op: str, const: object) -> bool:
+    """The comparison kernel: ``value θ const`` with SQL error semantics.
+
+    Shared by the interpreter (via :func:`evaluate_condition`) and the
+    compiled predicates of :mod:`repro.backend.physical`, so both paths
+    agree on operator meaning and on raising :class:`EvaluationError`
+    for incomparable operands.  ``value`` must already be non-NULL.
+    """
+    return _compare(value, op, const)
+
+
 def _compare(value: object, op: str, const: object) -> bool:
     try:
         if op == "=":

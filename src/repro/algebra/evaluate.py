@@ -20,7 +20,8 @@ Semantics notes:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algebra.conditions import TupleContext, evaluate_condition
 from repro.algebra.queries import (
@@ -233,11 +234,44 @@ def _evaluate(query: Query, context: EvaluationContext) -> List[RowDict]:
 def _join(query, context: EvaluationContext, left_outer: bool, full_outer: bool) -> List[RowDict]:
     left_rows = _evaluate(query.left, context)
     right_rows = _evaluate(query.right, context)
-    left_columns = output_columns(query.left, context)
-    right_columns = output_columns(query.right, context)
+    spec = join_spec(
+        output_columns(query.left, context),
+        output_columns(query.right, context),
+        query.on,
+    )
+    return join_rows(
+        left_rows, right_rows, spec, left_pad=left_outer, right_pad=full_outer
+    )
+
+
+# ---------------------------------------------------------------------------
+# The join kernel, shared by the interpreter and the compiled physical
+# plans (:mod:`repro.backend.physical`).  Keeping one implementation of
+# the natural-join / COALESCE / NULL-padding semantics is what licenses
+# the compiled path's byte-identical-answers guarantee.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Static column structure of one natural join, computed once."""
+
+    left_columns: Tuple[str, ...]
+    shared: Tuple[str, ...]
+    join_columns: Tuple[str, ...]
+    #: shared non-join columns, merged by COALESCE(left, right)
+    coalesced: Tuple[str, ...]
+    left_only: Tuple[str, ...]
+    right_only: Tuple[str, ...]
+
+
+def join_spec(
+    left_columns: Tuple[str, ...],
+    right_columns: Tuple[str, ...],
+    on: Optional[Tuple[str, ...]],
+) -> JoinSpec:
     shared = tuple(c for c in left_columns if c in right_columns)
-    if query.on is not None:
-        join_columns = query.on
+    if on is not None:
+        join_columns = on
         missing = [c for c in join_columns if c not in shared]
         if missing:
             raise EvaluationError(
@@ -245,28 +279,66 @@ def _join(query, context: EvaluationContext, left_outer: bool, full_outer: bool)
             )
     else:
         join_columns = shared
-    # shared columns that are not join columns are merged by COALESCE
-    coalesced = tuple(c for c in shared if c not in join_columns)
-    right_only = tuple(c for c in right_columns if c not in shared)
-    left_only = tuple(c for c in left_columns if c not in shared)
+    return JoinSpec(
+        left_columns=left_columns,
+        shared=shared,
+        join_columns=join_columns,
+        coalesced=tuple(c for c in shared if c not in join_columns),
+        left_only=tuple(c for c in left_columns if c not in shared),
+        right_only=tuple(c for c in right_columns if c not in shared),
+    )
 
-    def join_key(row: RowDict) -> Optional[Tuple[object, ...]]:
-        values = tuple(row.get(c) for c in join_columns)
-        if any(v is None for v in values):
-            return None  # NULL never joins
-        return values
 
+def join_key(
+    row: RowDict, join_columns: Tuple[str, ...]
+) -> Optional[Tuple[object, ...]]:
+    """The row's join-key tuple, or None if any component is NULL."""
+    values = tuple(row.get(c) for c in join_columns)
+    if any(v is None for v in values):
+        return None  # NULL never joins
+    return values
+
+
+def build_join_index(
+    rows: Sequence[RowDict], join_columns: Tuple[str, ...]
+) -> Dict[Tuple[object, ...], List[RowDict]]:
+    """Hash rows by join key; NULL-keyed rows are left out (never match)."""
     index: Dict[Tuple[object, ...], List[RowDict]] = {}
-    for row in right_rows:
-        key = join_key(row)
+    for row in rows:
+        key = join_key(row, join_columns)
         if key is not None:
             index.setdefault(key, []).append(row)
+    return index
 
+
+def join_rows(
+    left_rows: Sequence[RowDict],
+    right_rows: Sequence[RowDict],
+    spec: JoinSpec,
+    left_pad: bool,
+    right_pad: bool,
+    index: Optional[Dict[Tuple[object, ...], List[RowDict]]] = None,
+) -> List[RowDict]:
+    """Join two row lists under *spec*.
+
+    ``left_pad`` emits unmatched left rows with NULL right-only columns
+    (left outer); ``right_pad`` emits unmatched right rows with NULL
+    left-only columns (the full-outer tail).  A prebuilt *index* of the
+    right rows by join key may be supplied (compiled plans reuse backend
+    indexes); it must have been built by :func:`build_join_index` over
+    exactly ``right_rows``.
+    """
+    join_columns = spec.join_columns
+    if index is None:
+        index = build_join_index(right_rows, join_columns)
+    left_columns = spec.left_columns
+    coalesced = spec.coalesced
+    right_only = spec.right_only
     result: List[RowDict] = []
     matched_right: set = set()
     for left_row in left_rows:
-        key = join_key(left_row)
-        matches = index.get(key, []) if key is not None else []
+        key = join_key(left_row, join_columns)
+        matches = index.get(key, ()) if key is not None else ()
         if matches:
             for right_row in matches:
                 combined = {c: left_row.get(c) for c in left_columns}
@@ -277,18 +349,18 @@ def _join(query, context: EvaluationContext, left_outer: bool, full_outer: bool)
                     combined[column] = right_row.get(column)
                 result.append(combined)
             matched_right.add(key)
-        elif left_outer:
+        elif left_pad:
             combined = {c: left_row.get(c) for c in left_columns}
             for column in right_only:
                 combined[column] = None
             result.append(combined)
-    if full_outer:
+    if right_pad:
         for right_row in right_rows:
-            key = join_key(right_row)
+            key = join_key(right_row, join_columns)
             if key is not None and key in matched_right:
                 continue
-            combined = {c: None for c in left_only}
-            for column in shared:
+            combined = {c: None for c in spec.left_only}
+            for column in spec.shared:
                 combined[column] = right_row.get(column)
             for column in right_only:
                 combined[column] = right_row.get(column)

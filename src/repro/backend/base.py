@@ -52,6 +52,11 @@ class StoreBackend:
     #: plans then call ``run_compiled(compiled, params)`` instead of
     #: handing over algebra trees, reusing prepared statements.
     prepares_sql: bool = False
+    #: True for engines that execute compiled *physical plans*
+    #: (:mod:`repro.backend.physical`) — cached plans then call
+    #: ``run_compiled_plan(plan_set, params)`` instead of re-interpreting
+    #: the algebra per request, symmetric with ``prepares_sql``.
+    compiles_plans: bool = False
 
     @property
     def schema(self) -> StoreSchema:
@@ -68,6 +73,12 @@ class StoreBackend:
 
     def to_store_state(self) -> StoreState:
         """Materialize (and possibly cache) the contents as a StoreState."""
+        raise NotImplementedError
+
+    def run_compiled_plan(self, plan_set, params: Tuple[object, ...]):
+        """Execute a compiled :class:`~repro.backend.physical.PhysicalPlanSet`
+        against bound parameters, returning per-branch row lists.  Only
+        engines advertising ``compiles_plans`` implement this."""
         raise NotImplementedError
 
     def snapshot(self) -> Dict[str, FrozenSet[Row]]:

@@ -1,34 +1,78 @@
 """The in-memory store backend: the original interpreter behind the
 :class:`~repro.backend.base.StoreBackend` protocol.
 
-Queries evaluate with :mod:`repro.algebra.evaluate` (the reference
-semantics every other backend must match); constraint checking runs the
-concrete PK/FK checks of :mod:`repro.relational.constraints`.  State
-swaps are whole-object replacements, never in-place mutation, so
-snapshots held by the session journal stay valid forever.
+Ad-hoc queries evaluate with :mod:`repro.algebra.evaluate` (the reference
+semantics every other backend must match); *cached* plans run through the
+compiled physical-plan path (``compiles_plans``,
+:mod:`repro.backend.physical`), which feeds on two serving caches this
+backend maintains:
+
+* per-table **row views** — the shared memoized dict form of each row,
+  built once per state instead of per scan;
+* per-``(table, columns)`` **hash indexes** — join-key and probe-key maps
+  (:func:`~repro.algebra.evaluate.build_join_index`), so compiled scans
+  and joins are O(matches) rather than O(rows).
+
+Both caches are invalidated wholesale on every write
+(``apply_delta`` / ``migrate`` / ``replace_contents``): state swaps are
+whole-object replacements, never in-place mutation, so snapshots held by
+the session journal stay valid forever and a stale cache is impossible
+by construction.  Constraint checking on SaveChanges is *delta-scoped*
+(:func:`~repro.relational.constraints.check_delta`): only tables and
+rows the delta touches are re-verified, exact because the pre-state is
+always consistent.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.algebra.evaluate import StoreContext, evaluate_query
+from repro.algebra.evaluate import (
+    RowDict,
+    StoreContext,
+    build_join_index,
+    evaluate_query,
+)
 from repro.algebra.queries import Query
 from repro.backend.base import StoreBackend
 from repro.errors import ValidationError
 from repro.query.dml import StoreDelta, apply_delta
-from repro.relational.constraints import ConstraintViolation, check_all
-from repro.relational.instances import Row, StoreState
+from repro.relational.constraints import (
+    ConstraintViolation,
+    check_all,
+    check_delta,
+)
+from repro.relational.instances import Row, StoreState, row_view
 from repro.relational.schema import StoreSchema
 
 
+@dataclass(frozen=True)
+class IndexStats:
+    """Serving-cache counters of one :class:`MemoryBackend`."""
+
+    builds: int
+    hits: int
+    invalidations: int
+    entries: int
+    compiled_runs: int
+
+
 class MemoryBackend(StoreBackend):
-    """Rows live in a :class:`StoreState`; queries run in the interpreter."""
+    """Rows live in a :class:`StoreState`; queries run in the interpreter,
+    cached plans through compiled physical plans."""
 
     name = "memory"
+    compiles_plans = True
 
     def __init__(self, store_state: StoreState) -> None:
         self._state = store_state
+        self._row_views: Dict[str, List[RowDict]] = {}
+        self._indexes: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
+        self._index_builds = 0
+        self._index_hits = 0
+        self._index_invalidations = 0
+        self._compiled_runs = 0
 
     @property
     def schema(self) -> StoreSchema:
@@ -47,10 +91,56 @@ class MemoryBackend(StoreBackend):
     def row_count(self) -> int:
         return self._state.row_count()
 
+    # -- compiled serving path -----------------------------------------
+    def physical_rows(self, table_name: str) -> List[RowDict]:
+        """Shared dict views of one table's rows, cached per state.
+
+        Consumers (compiled plans) must treat rows as immutable."""
+        views = self._row_views.get(table_name)
+        if views is None:
+            views = [row_view(r) for r in self._state.rows(table_name)]
+            self._row_views[table_name] = views
+        return views
+
+    def index_for(
+        self, table_name: str, columns: Tuple[str, ...]
+    ) -> Dict[Tuple[object, ...], List[RowDict]]:
+        """The hash index of *table_name* keyed by *columns*, built on
+        first use and reused until the next write."""
+        key = (table_name, columns)
+        index = self._indexes.get(key)
+        if index is None:
+            index = build_join_index(self.physical_rows(table_name), columns)
+            self._indexes[key] = index
+            self._index_builds += 1
+        else:
+            self._index_hits += 1
+        return index
+
+    def run_compiled_plan(self, plan_set, params: Tuple[object, ...]):
+        self._compiled_runs += 1
+        return plan_set.execute(self, params)
+
+    def clear_caches(self) -> None:
+        """Drop row-view and index caches (every write path calls this)."""
+        if self._row_views or self._indexes:
+            self._index_invalidations += 1
+        self._row_views = {}
+        self._indexes = {}
+
+    def index_stats(self) -> IndexStats:
+        return IndexStats(
+            builds=self._index_builds,
+            hits=self._index_hits,
+            invalidations=self._index_invalidations,
+            entries=len(self._indexes),
+            compiled_runs=self._compiled_runs,
+        )
+
     # -- writing -------------------------------------------------------
     def apply_delta(self, delta: StoreDelta) -> None:
         candidate = apply_delta(self._state, delta)
-        violations = check_all(candidate)
+        violations = check_delta(self._state, candidate, delta)
         if violations:
             detail = "; ".join(str(v) for v in violations[:5])
             raise ValidationError(
@@ -58,6 +148,7 @@ class MemoryBackend(StoreBackend):
                 check="save-changes",
             )
         self._state = candidate
+        self.clear_caches()
 
     def migrate(self, script, new_schema: StoreSchema, target: StoreState) -> None:
         # The interpreter needs no DDL: the migrated state was computed
@@ -65,9 +156,11 @@ class MemoryBackend(StoreBackend):
         # (the differential suite holds SQLite's execution of the same
         # script to this answer).
         self._state = target
+        self.clear_caches()
 
     def replace_contents(self, state: StoreState) -> None:
         self._state = state
+        self.clear_caches()
 
     # -- integrity -----------------------------------------------------
     def check_constraints(self) -> List[ConstraintViolation]:

@@ -44,17 +44,29 @@ SUPPORTS_FULL_OUTER_JOIN = sqlite3.sqlite_version_info >= (3, 39, 0)
 
 @dataclass
 class StatementCacheStats:
-    """Hit/miss/eviction counters of the prepared-statement cache."""
+    """Hit/miss/eviction counters of the prepared-statement cache.
+
+    Totals are split by traffic class: SELECTs (query serving) versus
+    DML (SaveChanges deltas).  A steady-state warm serving workload
+    should show near-100% SELECT hits; DML misses are the one-time
+    preparation of each distinct per-table statement text.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     entries: int = 0
+    select_hits: int = 0
+    select_misses: int = 0
+    dml_hits: int = 0
+    dml_misses: int = 0
 
     def __str__(self) -> str:
         return (
             f"StatementCacheStats(hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions}, entries={self.entries})"
+            f"evictions={self.evictions}, entries={self.entries}, "
+            f"select={self.select_hits}/{self.select_hits + self.select_misses}, "
+            f"dml={self.dml_hits}/{self.dml_hits + self.dml_misses})"
         )
 
 
@@ -76,14 +88,26 @@ class StatementCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.select_hits = 0
+        self.select_misses = 0
+        self.dml_hits = 0
+        self.dml_misses = 0
 
-    def _cursor(self, text: str) -> sqlite3.Cursor:
+    def _cursor(self, text: str, kind: str) -> sqlite3.Cursor:
         cursor = self._cursors.get(text)
         if cursor is not None:
             self.hits += 1
+            if kind == "dml":
+                self.dml_hits += 1
+            else:
+                self.select_hits += 1
             self._cursors.move_to_end(text)
             return cursor
         self.misses += 1
+        if kind == "dml":
+            self.dml_misses += 1
+        else:
+            self.select_misses += 1
         cursor = self._conn.cursor()
         self._cursors[text] = cursor
         while len(self._cursors) > self.capacity:
@@ -92,15 +116,17 @@ class StatementCache:
             self.evictions += 1
         return cursor
 
-    def execute(self, text: str, params: Sequence[object] = ()) -> sqlite3.Cursor:
-        cursor = self._cursor(text)
+    def execute(
+        self, text: str, params: Sequence[object] = (), kind: str = "select"
+    ) -> sqlite3.Cursor:
+        cursor = self._cursor(text, kind)
         cursor.execute(text, tuple(params))
         return cursor
 
     def executemany(
-        self, text: str, rows: Sequence[Sequence[object]]
+        self, text: str, rows: Sequence[Sequence[object]], kind: str = "dml"
     ) -> sqlite3.Cursor:
-        cursor = self._cursor(text)
+        cursor = self._cursor(text, kind)
         cursor.executemany(text, rows)
         return cursor
 
@@ -109,12 +135,22 @@ class StatementCache:
             cursor.close()
         self._cursors.clear()
 
+    def reset_stats(self) -> None:
+        """Zero all counters (benchmarks isolate steady-state phases)."""
+        self.hits = self.misses = self.evictions = 0
+        self.select_hits = self.select_misses = 0
+        self.dml_hits = self.dml_misses = 0
+
     def stats(self) -> StatementCacheStats:
         return StatementCacheStats(
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
             entries=len(self._cursors),
+            select_hits=self.select_hits,
+            select_misses=self.select_misses,
+            dml_hits=self.dml_hits,
+            dml_misses=self.dml_misses,
         )
 
 
@@ -250,9 +286,9 @@ class SqliteBackend(StoreBackend):
             with self._transaction("save-changes"):
                 for text, rows in groups:
                     if len(rows) == 1:
-                        self._statements.execute(text, rows[0])
+                        self._statements.execute(text, rows[0], kind="dml")
                     else:
-                        self._statements.executemany(text, rows)
+                        self._statements.executemany(text, rows, kind="dml")
         except sqlite3.IntegrityError as exc:
             raise ValidationError(
                 f"update would violate store constraints: {exc}",

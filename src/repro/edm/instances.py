@@ -63,6 +63,11 @@ class ClientState:
         # populated lazily: a 1000-set schema must not pay O(sets) per state
         self._entities: Dict[str, List[Entity]] = {}
         self._associations: Dict[str, List[Tuple[object, ...]]] = {}
+        # parallel key indexes: bulk loads (10^5-entity benchmark states)
+        # must not pay O(entities) per-insert duplicate/lookup scans
+        self._entity_keys: Dict[str, Dict[Tuple[object, ...], Entity]] = {}
+        self._assoc_pairs: Dict[str, set] = {}
+        self._assoc_ends: Dict[str, Tuple[set, set]] = {}
 
     # ------------------------------------------------------------------
     # Population
@@ -72,6 +77,7 @@ class ClientState:
             if not self.schema.has_entity_set(set_name):
                 raise SchemaError(f"unknown entity set {set_name!r}")
             self._entities[set_name] = []
+            self._entity_keys[set_name] = {}
         entity_set = self.schema.entity_set(set_name)
         if entity.concrete_type not in self.schema.descendants_or_self(entity_set.root_type):
             raise SchemaError(
@@ -100,13 +106,15 @@ class ClientState:
                     f"value {value!r} outside domain of {entity.concrete_type}.{name}"
                 )
         key = self.schema.key_of(entity.concrete_type)
-        key_value = entity.key_tuple(key)
-        for existing in self._entities[set_name]:
-            if existing.key_tuple(key) == key_value:
-                raise SchemaError(
-                    f"duplicate key {key_value!r} in entity set {set_name!r}"
-                )
+        values = entity.value_map
+        key_value = tuple(values[k] for k in key)
+        keyed = self._entity_keys[set_name]
+        if key_value in keyed:
+            raise SchemaError(
+                f"duplicate key {key_value!r} in entity set {set_name!r}"
+            )
         self._entities[set_name].append(entity)
+        keyed[key_value] = entity
         return entity
 
     def add_association(self, assoc_name: str, key1: Tuple[object, ...], key2: Tuple[object, ...]) -> None:
@@ -114,6 +122,8 @@ class ClientState:
             if not self.schema.has_association(assoc_name):
                 raise SchemaError(f"unknown association {assoc_name!r}")
             self._associations[assoc_name] = []
+            self._assoc_pairs[assoc_name] = set()
+            self._assoc_ends[assoc_name] = (set(), set())
         association = self.schema.association(assoc_name)
         end1_entity = self._find_by_key(association.entity_set1, key1)
         end2_entity = self._find_by_key(association.entity_set2, key2)
@@ -128,35 +138,35 @@ class ClientState:
                     f"in association {assoc_name!r}"
                 )
         pair = tuple(key1) + tuple(key2)
-        if pair in self._associations[assoc_name]:
+        if pair in self._assoc_pairs[assoc_name]:
             raise SchemaError(f"duplicate association tuple {pair!r} in {assoc_name!r}")
         self._check_multiplicity(association, key1, key2)
         self._associations[assoc_name].append(pair)
+        self._assoc_pairs[assoc_name].add(pair)
+        end1_keys, end2_keys = self._assoc_ends[assoc_name]
+        end1_keys.add(tuple(key1))
+        end2_keys.add(tuple(key2))
 
     def _check_multiplicity(self, association, key1, key2) -> None:
         key1, key2 = tuple(key1), tuple(key2)
-        len1 = len(key1)
-        existing = self._associations.get(association.name, [])
+        end1_keys, end2_keys = self._assoc_ends.get(
+            association.name, (frozenset(), frozenset())
+        )
         if association.end2.multiplicity.at_most_one():
-            if any(pair[:len1] == key1 for pair in existing):
+            if key1 in end1_keys:
                 raise SchemaError(
                     f"multiplicity {association.end2.multiplicity} violated on end "
                     f"{association.end2.role_name!r} of {association.name!r}"
                 )
         if association.end1.multiplicity.at_most_one():
-            if any(pair[len1:] == key2 for pair in existing):
+            if key2 in end2_keys:
                 raise SchemaError(
                     f"multiplicity {association.end1.multiplicity} violated on end "
                     f"{association.end1.role_name!r} of {association.name!r}"
                 )
 
     def _find_by_key(self, set_name: str, key_value: Tuple[object, ...]) -> Optional[Entity]:
-        entity_set = self.schema.entity_set(set_name)
-        key = self.schema.key_of(entity_set.root_type)
-        for entity in self._entities.get(set_name, []):
-            if entity.key_tuple(key) == tuple(key_value):
-                return entity
-        return None
+        return self._entity_keys.get(set_name, {}).get(tuple(key_value))
 
     # ------------------------------------------------------------------
     # Access

@@ -150,6 +150,7 @@ class CachedPlan:
     tables: FrozenSet[str]
     executions: int = 0
     _sql: Optional[Tuple[CompiledSql, ...]] = field(default=None, repr=False)
+    _physical: Optional[object] = field(default=None, repr=False)
 
     def bind(self, values: Tuple[object, ...]) -> UnfoldedQuery:
         """The concrete :class:`UnfoldedQuery` for one parameter vector."""
@@ -191,6 +192,21 @@ class CachedPlan:
             )
         return self._sql
 
+    def physical(self, schema: StoreSchema):
+        """The compiled physical-plan set for interpreter-style backends
+        (``compiles_plans``), lowered once per plan and reused across
+        bindings — :class:`Param` placeholders compile into the predicate
+        closures, so binding is just passing the vector along.
+        """
+        if self._physical is None:
+            from repro.backend.physical import compile_plan
+
+            self._physical = compile_plan(
+                [branch.store_query for branch in self.unfolded.branches],
+                schema,
+            )
+        return self._physical
+
     def bound_sql(
         self, schema: StoreSchema, values: Tuple[object, ...]
     ) -> List[Tuple[UnfoldedBranch, CompiledSql, Tuple[object, ...]]]:
@@ -212,8 +228,10 @@ class CachedPlan:
         """Run the plan on *backend* with *values* bound.
 
         Backends that prepare SQL (``prepares_sql``) execute the cached
-        parameterized statements through their statement cache; the
-        interpreter path binds the branch conditions and evaluates.
+        parameterized statements through their statement cache; backends
+        that compile physical plans (``compiles_plans``) run the lowered
+        closure plan; the fallback binds the branch conditions and
+        re-interprets the algebra.
         """
         self.executions += 1
         if getattr(backend, "prepares_sql", False):
@@ -225,6 +243,18 @@ class CachedPlan:
                         backend.schema, values
                     )
                 ),
+            )
+        if getattr(backend, "compiles_plans", False):
+            if len(values) != self.param_count:
+                raise EvaluationError(
+                    f"plan expects {self.param_count} parameter(s), "
+                    f"got {len(values)}"
+                )
+            plan_set = self.physical(backend.schema)
+            branch_rows = backend.run_compiled_plan(plan_set, values)
+            return construct_results(
+                self.shape.projection,
+                zip(self.unfolded.branches, branch_rows),
             )
         return self.bind(values).run_on(backend)
 
@@ -262,6 +292,7 @@ class ServingStats:
     backend: str
     plans: PlanCacheStats
     statements: Optional[object] = None  # StatementCacheStats on SQLite
+    indexes: Optional[object] = None  # IndexStats on the memory backend
 
     def __str__(self) -> str:
         lines = [
@@ -276,6 +307,23 @@ class ServingStats:
             lines.append(
                 f"  statement cache : hits={s.hits} misses={s.misses}"
                 f" evictions={s.evictions} entries={s.entries}"
+            )
+            select_hits = getattr(s, "select_hits", None)
+            if select_hits is not None:
+                lines.append(
+                    f"    select        : hits={s.select_hits}"
+                    f" misses={s.select_misses}"
+                )
+                lines.append(
+                    f"    dml           : hits={s.dml_hits}"
+                    f" misses={s.dml_misses}"
+                )
+        if self.indexes is not None:
+            i = self.indexes
+            lines.append(
+                f"  physical indexes: builds={i.builds} hits={i.hits}"
+                f" invalidations={i.invalidations} entries={i.entries}"
+                f" compiled_runs={i.compiled_runs}"
             )
         return "\n".join(lines)
 

@@ -10,9 +10,9 @@ tests enforce that agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Set, Tuple
 
-from repro.relational.instances import StoreState, row_values
+from repro.relational.instances import Row, StoreState, row_values
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,122 @@ def check_foreign_keys(state: StoreState) -> List[ConstraintViolation]:
 def check_all(state: StoreState) -> List[ConstraintViolation]:
     """All primary-key and foreign-key violations of *state*."""
     return check_primary_keys(state) + check_foreign_keys(state)
+
+
+def check_delta(
+    base: StoreState, candidate: StoreState, delta
+) -> List[ConstraintViolation]:
+    """Violations of *candidate* (= *base* + *delta*), checking only what
+    the delta touches.
+
+    Exact — same violations as ``check_all(candidate)``, up to order —
+    whenever *base* itself is consistent, which every backend write path
+    guarantees (a violating delta is rejected, so the stored state is
+    always consistent).  Under that invariant:
+
+    * a **primary-key** violation can only appear in a table receiving
+      rows, so only those tables are re-scanned;
+    * an **outgoing foreign-key** violation can only dangle from a new
+      row, so only new rows are checked (against lazily-built referenced
+      key sets);
+    * an **incoming foreign-key** violation can only arise when a
+      referenced key is removed, so referring tables are scanned only
+      for keys that actually left the store (new rows are skipped — the
+      outgoing pass already covered them).
+
+    Cost is O(delta + affected tables), not O(store).
+    """
+    schema = candidate.schema
+    new_rows: Dict[str, List[Row]] = {}
+    removed_rows: Dict[str, List[Row]] = {}
+    for table_name, table_delta in delta.tables.items():
+        fresh = list(table_delta.inserts) + [new for _, new in table_delta.updates]
+        if fresh:
+            new_rows[table_name] = fresh
+        gone = list(table_delta.deletes) + [old for _, old in table_delta.updates]
+        if gone:
+            removed_rows[table_name] = gone
+
+    violations: List[ConstraintViolation] = []
+
+    # primary keys: full per-table check, but only for touched tables
+    for table_name in new_rows:
+        table = schema.table(table_name)
+        seen: Dict[Tuple[object, ...], Row] = {}
+        for row in candidate.rows(table_name):
+            key = row_values(row, table.primary_key)
+            if any(v is None for v in key):
+                violations.append(
+                    ConstraintViolation(table.name, "not-null", f"null in key {key!r}")
+                )
+                continue
+            if key in seen and seen[key] != row:
+                violations.append(
+                    ConstraintViolation(
+                        table.name, "primary-key", f"duplicate key {key!r}"
+                    )
+                )
+            seen[key] = row
+
+    ref_key_cache: Dict[Tuple[str, Tuple[str, ...]], Set] = {}
+
+    def ref_keys(foreign_key) -> Set[Tuple[object, ...]]:
+        cache_key = (foreign_key.ref_table, foreign_key.ref_columns)
+        cached = ref_key_cache.get(cache_key)
+        if cached is None:
+            cached = {
+                row_values(r, foreign_key.ref_columns)
+                for r in candidate.rows(foreign_key.ref_table)
+            }
+            ref_key_cache[cache_key] = cached
+        return cached
+
+    # outgoing foreign keys of new rows
+    new_row_sets = {name: set(rows) for name, rows in new_rows.items()}
+    for table_name, rows in new_rows.items():
+        table = schema.table(table_name)
+        for foreign_key in table.foreign_keys:
+            targets = ref_keys(foreign_key)
+            for row in rows:
+                value = row_values(row, foreign_key.columns)
+                if any(v is None for v in value):
+                    continue  # null foreign keys are vacuously satisfied
+                if value not in targets:
+                    violations.append(
+                        ConstraintViolation(
+                            table_name,
+                            "foreign-key",
+                            f"{foreign_key} dangles for value {value!r}",
+                        )
+                    )
+
+    # incoming foreign keys: keys that left the store may strand old rows
+    for table in candidate.populated_tables():
+        fresh_set = new_row_sets.get(table.name, set())
+        for foreign_key in table.foreign_keys:
+            removed = removed_rows.get(foreign_key.ref_table)
+            if not removed:
+                continue
+            gone_keys = {
+                row_values(r, foreign_key.ref_columns) for r in removed
+            } - ref_keys(foreign_key)
+            if not gone_keys:
+                continue
+            for row in candidate.rows(table.name):
+                if row in fresh_set:
+                    continue  # the outgoing pass already checked it
+                value = row_values(row, foreign_key.columns)
+                if any(v is None for v in value):
+                    continue
+                if value in gone_keys:
+                    violations.append(
+                        ConstraintViolation(
+                            table.name,
+                            "foreign-key",
+                            f"{foreign_key} dangles for value {value!r}",
+                        )
+                    )
+    return violations
 
 
 def is_consistent(state: StoreState) -> bool:

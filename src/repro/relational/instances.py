@@ -62,6 +62,16 @@ def row_map(row: Row) -> Dict[str, object]:
     return _row_dict(row).copy()
 
 
+def row_view(row: Row) -> Dict[str, object]:
+    """The *shared*, memoized dict view of the row.
+
+    Compiled table scans hand these straight to predicate and join
+    kernels, skipping :func:`row_map`'s per-scan copy.  Callers must
+    treat the result as immutable.
+    """
+    return _row_dict(row)
+
+
 class StoreState:
     """An instance of a :class:`StoreSchema`: a bag of rows per table.
 
@@ -73,12 +83,16 @@ class StoreState:
         self.schema = schema
         # populated lazily: large store schemas must not pay O(tables)
         self._rows: Dict[str, List[Row]] = {}
+        # parallel membership sets: bulk loads (10^5-row benchmark
+        # stores) must not pay O(rows) per-row list-membership dedup
+        self._row_sets: Dict[str, set] = {}
 
     def add_row(self, table_name: str, row: Mapping[str, object] | Row) -> Row:
         if table_name not in self._rows:
             if not self.schema.has_table(table_name):
                 raise SchemaError(f"unknown table {table_name!r}")
             self._rows[table_name] = []
+            self._row_sets[table_name] = set()
         table = self.schema.table(table_name)
         canonical = row_from_mapping(row) if isinstance(row, Mapping) else row
         provided = {name for name, _ in canonical}
@@ -99,8 +113,9 @@ class StoreState:
                 raise SchemaError(
                     f"value {value!r} outside domain of {table_name}.{name}"
                 )
-        if canonical not in self._rows[table_name]:
+        if canonical not in self._row_sets[table_name]:
             self._rows[table_name].append(canonical)
+            self._row_sets[table_name].add(canonical)
         return canonical
 
     def rows(self, table_name: str) -> Tuple[Row, ...]:

@@ -366,10 +366,12 @@ class OrmSession:
     def serving_stats(self) -> ServingStats:
         """Hit/miss/eviction counters of the query-serving fast path."""
         statement_stats = getattr(self.backend, "statement_cache_stats", None)
+        index_stats = getattr(self.backend, "index_stats", None)
         return ServingStats(
             backend=self.backend.name,
             plans=self.plan_cache.stats(),
             statements=statement_stats() if statement_stats else None,
+            indexes=index_stats() if index_stats else None,
         )
 
     # ------------------------------------------------------------------

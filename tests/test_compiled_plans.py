@@ -1,0 +1,312 @@
+"""Differential suite for the compiled physical-plan path.
+
+The memory backend serves cached plans through
+:mod:`repro.backend.physical` — conditions compiled to predicate
+closures, pushdown into index probes, prebuilt join indexes.  Every
+answer must be byte-identical to the interpreter's
+(:mod:`repro.algebra.evaluate`), which these tests enforce three ways:
+
+* the workload matrix and every SMO kind (+ undo) of
+  :mod:`tests.test_backend_differential`, compiled-vs-interpreter on the
+  memory backend;
+* property tests sweeping random condition trees (the seed harness of
+  :mod:`tests.test_symbolic_containment`) through both paths;
+* a differential check that delta-scoped constraint checking
+  (:func:`~repro.relational.constraints.check_delta`) reports exactly
+  the violations of a full :func:`check_all`.
+"""
+
+import random
+
+import pytest
+
+from tests.test_backend_differential import SMO_KINDS, WORKLOADS, canon, compiled
+from tests.test_serving_differential import _probe_queries
+from repro.algebra import (
+    Comparison,
+    IsNotNull,
+    IsNull,
+    IsOf,
+    IsOfOnly,
+    Not,
+    and_,
+    or_,
+)
+from repro.algebra.conditions import TRUE
+from repro.backend.memory import MemoryBackend
+from repro.edm import INT, STRING
+from repro.query import EntityQuery
+from repro.query.dml import apply_delta, diff_store_states
+from repro.query.unfold import unfold
+from repro.relational import Column, ForeignKey, StoreSchema, StoreState, Table
+from repro.relational.constraints import check_all, check_delta
+from repro.session import OrmSession
+from repro.stategen import random_client_state
+from repro.workloads.paper_example import mapping_stage4
+
+
+def memory_session(model) -> OrmSession:
+    return OrmSession(model, backend=MemoryBackend(StoreState(model.store_schema)))
+
+
+def interpreter_answer(session, query):
+    """The uncached reference pipeline: fresh unfold, algebra interpreter."""
+    model = session.model
+    return canon(
+        unfold(query, model.views, model.client_schema).run_on(session.backend)
+    )
+
+
+def assert_compiled_matches_interpreter(session, queries):
+    assert session.backend.compiles_plans
+    for query in queries:
+        reference = interpreter_answer(session, query)
+        assert canon(session.query(query)) == reference  # cold plan
+        assert canon(session.query(query)) == reference, (
+            f"warm compiled answer diverges on {query.set_name}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Workloads × SMO kinds + undo
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[name for name, _ in WORKLOADS]
+)
+def test_compiled_answers_match_interpreter(factory):
+    model = compiled(factory())
+    session = memory_session(model)
+    state = random_client_state(model.client_schema, seed=31, entities_per_set=6)
+    session.save(state)
+    assert_compiled_matches_interpreter(
+        session, _probe_queries(model.client_schema)
+    )
+    stats = session.backend.index_stats()
+    assert stats.compiled_runs > 0, "compiled path was not exercised"
+
+
+@pytest.mark.parametrize(
+    "base_factory,smo_factory,pop",
+    [(b, s, p) for _, b, s, p in SMO_KINDS],
+    ids=[kind for kind, _, _, _ in SMO_KINDS],
+)
+def test_compiled_answers_survive_smo_and_undo(base_factory, smo_factory, pop):
+    """Each SMO kind: compiled answers match the interpreter before the
+    evolution, after it, and after undoing it (plans recompile against
+    the current model at every stage)."""
+    model = base_factory()
+    session = memory_session(model)
+    session.save(pop(model))
+    assert_compiled_matches_interpreter(
+        session, _probe_queries(model.client_schema)
+    )
+    session.evolve(smo_factory(model))
+    assert_compiled_matches_interpreter(
+        session, _probe_queries(session.model.client_schema)
+    )
+    session.undo()
+    assert_compiled_matches_interpreter(
+        session, _probe_queries(session.model.client_schema)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random condition trees (the seed harness of
+# tests/test_symbolic_containment.py, over the Figure 1 Persons set)
+# ---------------------------------------------------------------------------
+
+def _random_atom(rng):
+    kind = rng.randrange(8)
+    if kind == 0:
+        return Comparison("Id", rng.choice(["=", "!=", "<", "<=", ">", ">="]),
+                          rng.choice([1, 2, 4]))
+    if kind == 1:
+        return Comparison("Name", rng.choice(["=", "!="]),
+                          rng.choice(["p1", "e2", "c3"]))
+    if kind == 2:
+        return Comparison("CredScore", rng.choice(["<", ">="]),
+                          rng.choice([0, 100]))
+    if kind == 3:
+        return Comparison("Department", "=", rng.choice(["HR", "R&D"]))
+    if kind == 4:
+        return rng.choice([IsNull("Department"), IsNotNull("Department")])
+    if kind == 5:
+        return IsOf(rng.choice(["Person", "Employee", "Customer"]))
+    if kind == 6:
+        return IsOfOnly(rng.choice(["Person", "Employee", "Customer"]))
+    return rng.choice([TRUE, IsNotNull("Id"), IsNull("CredScore")])
+
+
+def _random_condition(rng, depth=0):
+    roll = rng.random()
+    if depth >= 3 or roll < 0.5:
+        return _random_atom(rng)
+    if roll < 0.72:
+        return and_(_random_condition(rng, depth + 1),
+                    _random_condition(rng, depth + 1))
+    if roll < 0.92:
+        return or_(_random_condition(rng, depth + 1),
+                   _random_condition(rng, depth + 1))
+    return Not(_random_condition(rng, depth + 1))
+
+
+@pytest.fixture(scope="module")
+def figure1_session():
+    model = compiled(mapping_stage4())
+    session = memory_session(model)
+    state = random_client_state(model.client_schema, seed=13, entities_per_set=8)
+    session.save(state)
+    return session
+
+
+class TestRandomConditionDifferential:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_compiled_agrees_with_interpreter(self, figure1_session, seed):
+        rng = random.Random(seed)
+        condition = _random_condition(rng)
+        for query in (
+            EntityQuery("Persons", condition),
+            EntityQuery("Persons", condition, projection=("Id", "Name")),
+        ):
+            reference = interpreter_answer(figure1_session, query)
+            assert canon(figure1_session.query(query)) == reference, (
+                f"seed {seed}: compiled diverges on {condition}"
+            )
+
+    def test_one_plan_serves_many_bindings(self, figure1_session):
+        """Key probes of different constants share one compiled plan; each
+        binding's answer matches the interpreter and the probes hit the
+        backend's hash index."""
+        session = figure1_session
+        hits_before = session.plan_cache.stats().hits
+        for value in range(6):
+            query = EntityQuery("Persons", Comparison("Id", "=", value))
+            assert canon(session.query(query)) == interpreter_answer(
+                session, query
+            )
+        assert session.plan_cache.stats().hits >= hits_before + 5
+        stats = session.backend.index_stats()
+        assert stats.builds > 0, "no index was built for the key probes"
+        assert stats.hits > 0, "warm probes did not reuse the index"
+
+    def test_serving_stats_report_physical_indexes(self, figure1_session):
+        report = str(figure1_session.serving_stats())
+        assert "plan cache" in report
+        assert "physical indexes" in report
+
+
+# ---------------------------------------------------------------------------
+# Delta-scoped constraint checking ≡ full re-check
+# ---------------------------------------------------------------------------
+
+def _fk_schema() -> StoreSchema:
+    return StoreSchema(
+        [
+            Table("T", (Column("K", INT, False), Column("V", STRING)), ("K",)),
+            Table(
+                "R",
+                (Column("K2", INT, False), Column("Ref", INT, True)),
+                ("K2",),
+                (ForeignKey(("Ref",), "T", ("K",)),),
+            ),
+        ]
+    )
+
+
+def _base_state(schema: StoreSchema) -> StoreState:
+    state = StoreState(schema)
+    for k in (1, 2, 3):
+        state.add_row("T", {"K": k, "V": f"v{k}"})
+    state.add_row("R", {"K2": 10, "Ref": 1})
+    state.add_row("R", {"K2": 11, "Ref": None})
+    return state
+
+
+def _mutate(schema, base, edit):
+    """Target = a fresh state with *edit* applied to base's rows."""
+    target = StoreState(schema)
+    rows = {name: [dict(r) for r in base.rows(name)] for name in ("T", "R")}
+    edit(rows)
+    for name, table_rows in rows.items():
+        for row in table_rows:
+            target.add_row(name, row)
+    return target
+
+
+DELTA_SCENARIOS = [
+    (
+        "consistent-edit",
+        lambda rows: (
+            rows["T"].append({"K": 4, "V": "v4"}),
+            rows["R"].remove({"K2": 11, "Ref": None}),
+            rows["R"][0].update(Ref=2),
+        ),
+    ),
+    (
+        "dangling-insert",
+        lambda rows: rows["R"].append({"K2": 12, "Ref": 99}),
+    ),
+    (
+        "delete-referenced",
+        lambda rows: rows["T"].remove({"K": 1, "V": "v1"}),
+    ),
+    (
+        "duplicate-key-insert",
+        lambda rows: rows["T"].append({"K": 1, "V": "other"}),
+    ),
+    (
+        "update-moves-referenced-key",
+        lambda rows: rows["T"][0].update(K=9),
+    ),
+    (
+        "mixed",
+        lambda rows: (
+            rows["T"].remove({"K": 2, "V": "v2"}),
+            rows["R"].append({"K2": 13, "Ref": 2}),
+            rows["T"].append({"K": 3, "V": "dup"}),
+        ),
+    ),
+]
+
+
+class TestDeltaScopedConstraintChecking:
+    @pytest.mark.parametrize(
+        "edit", [e for _, e in DELTA_SCENARIOS],
+        ids=[name for name, _ in DELTA_SCENARIOS],
+    )
+    def test_same_violations_as_full_check(self, edit):
+        schema = _fk_schema()
+        base = _base_state(schema)
+        assert not check_all(base)  # the exactness precondition
+        target = _mutate(schema, base, edit)
+        delta = diff_store_states(base, target)
+        candidate = apply_delta(base, delta)
+        scoped = sorted(str(v) for v in check_delta(base, candidate, delta))
+        full = sorted(str(v) for v in check_all(candidate))
+        assert scoped == full
+
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in WORKLOADS], ids=[name for name, _ in WORKLOADS]
+    )
+    def test_workload_saves_agree(self, factory):
+        """Random client-state transitions on every workload: the scoped
+        checker and the full checker agree on the resulting deltas."""
+        from repro.mapping.roundtrip import apply_update_views
+
+        model = compiled(factory())
+        before = apply_update_views(
+            model.views,
+            random_client_state(model.client_schema, seed=41, entities_per_set=5),
+            model.store_schema,
+        )
+        after = apply_update_views(
+            model.views,
+            random_client_state(model.client_schema, seed=42, entities_per_set=4),
+            model.store_schema,
+        )
+        delta = diff_store_states(before, after)
+        candidate = apply_delta(before, delta)
+        scoped = sorted(str(v) for v in check_delta(before, candidate, delta))
+        full = sorted(str(v) for v in check_all(candidate))
+        assert scoped == full
