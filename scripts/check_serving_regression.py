@@ -1,26 +1,48 @@
 #!/usr/bin/env python
-"""Regression gate over BENCH_query_serving.json.
+"""Regression gates over the serving benchmarks.
 
-Fails (exit 1) if the serving fast path regressed below the uncached
-pipeline where the cache is the whole story: the memory backend's warm
-hit path must be at least as fast as uncached serving at the
-translation-bound point (``warm_over_uncached >= 1.0``).  PR 5 shipped
-with 0.67x there — the plan cache made the memory backend *slower* —
-and the compiled physical-plan layer exists to keep that from coming
-back.
+Two JSON reports, two gates:
 
-Usage: python scripts/check_serving_regression.py [path-to-json]
+**BENCH_query_serving.json** — fails (exit 1) if the serving fast path
+regressed below the uncached pipeline where the cache is the whole
+story: the memory backend's warm hit path must be at least as fast as
+uncached serving at the translation-bound point
+(``warm_over_uncached >= 1.0``).  PR 5 shipped with 0.67x there — the
+plan cache made the memory backend *slower* — and the compiled
+physical-plan layer exists to keep that from coming back.
+
+**BENCH_serving_concurrent.json** — the epoch-engine gates:
+
+* ``torn_reads`` and ``torn_reads_served_counter`` must be 0 on every
+  backend — a single response inconsistent with its epoch fingerprint
+  is a correctness bug, not a regression;
+* untouched-set plans must survive the churn
+  (``untouched_plans_survived``);
+* churn p99 latency must stay within FACTOR× of the concurrency
+  baseline.  The baseline is ``max(query_only p99, single_warm p99 ×
+  clients)`` rather than the raw single-threaded warm latency: on
+  CPython, N reader threads time-slice one interpreter, so per-request
+  p99 inflates roughly N× from scheduling alone, writer or no writer —
+  gating on raw single-thread latency would fail even with the writer
+  idle.  What the factor actually bounds is the *additional* tail the
+  writer's publication windows add on top of thread scheduling.  FACTOR
+  defaults to 2 and can be overridden with ``REPRO_CHURN_P99_FACTOR``.
+
+Usage::
+
+    python scripts/check_serving_regression.py [query.json] [concurrent.json]
 """
 
 import json
+import os
 import sys
 
+DEFAULT_FACTOR = 2.0
 
-def main() -> int:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_query_serving.json"
+
+def check_query_serving(path: str) -> int:
     with open(path) as handle:
         data = json.load(handle)
-
     point = data["serving"]["translation_bound"]["memory"]
     ratio = point["warm_over_uncached"]
     print(
@@ -37,6 +59,71 @@ def main() -> int:
         return 1
     print("OK: warm serving beats the uncached pipeline")
     return 0
+
+
+def check_concurrent(path: str) -> int:
+    with open(path) as handle:
+        data = json.load(handle)
+    factor = float(os.environ.get("REPRO_CHURN_P99_FACTOR", DEFAULT_FACTOR))
+    failures = 0
+    for backend, result in data["backends"].items():
+        torn = result["torn_reads"] + result["torn_reads_served_counter"]
+        single_p99 = result["single_warm"]["p99_ms"]
+        query_only_p99 = result["query_only"]["p99_ms"]
+        churn_p99 = result["churn"]["p99_ms"]
+        clients = result["clients"]
+        baseline = max(query_only_p99, single_p99 * clients)
+        budget = factor * baseline
+        survived = result["plan_cache"]["untouched_plans_survived"]
+        print(
+            f"{backend}: torn={torn} churn_p99={churn_p99}ms "
+            f"baseline={round(baseline, 3)}ms budget={round(budget, 3)}ms "
+            f"(factor {factor}) retries={result['read_retries']} "
+            f"serialized={result['serialized_reads']} "
+            f"plans_survived={survived}"
+        )
+        if torn != 0:
+            print(
+                f"FAIL [{backend}]: {torn} torn read(s) — a response was "
+                "not consistent with exactly one epoch fingerprint",
+                file=sys.stderr,
+            )
+            failures += 1
+        if not survived:
+            print(
+                f"FAIL [{backend}]: untouched-set plans did not survive "
+                "the evolution churn — successor carry-over is broken",
+                file=sys.stderr,
+            )
+            failures += 1
+        if churn_p99 > budget:
+            print(
+                f"FAIL [{backend}]: churn p99 {churn_p99}ms exceeds "
+                f"{factor}x the concurrency baseline {round(baseline, 3)}ms",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        return 1
+    print("OK: zero torn reads, plans survived, churn p99 within budget")
+    return 0
+
+
+def main() -> int:
+    query_path = (
+        sys.argv[1] if len(sys.argv) > 1 else "BENCH_query_serving.json"
+    )
+    concurrent_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else "BENCH_serving_concurrent.json"
+    )
+    status = check_query_serving(query_path)
+    if os.path.exists(concurrent_path):
+        status = check_concurrent(concurrent_path) or status
+    else:
+        print(f"({concurrent_path} not present; concurrent gates skipped)")
+    return status
 
 
 if __name__ == "__main__":

@@ -29,7 +29,8 @@ Contract highlights:
 from __future__ import annotations
 
 import os
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.algebra.queries import Query
 from repro.errors import SchemaError
@@ -57,6 +58,12 @@ class StoreBackend:
     #: ``run_compiled_plan(plan_set, params)`` instead of re-interpreting
     #: the algebra per request, symmetric with ``prepares_sql``.
     compiles_plans: bool = False
+    #: True for engines whose :meth:`read_view` pins an immutable data
+    #: snapshot: a reader holding such a view observes one consistent
+    #: store state forever, regardless of concurrent writes.  Engines
+    #: without snapshot reads serve live data, and the epoch engine
+    #: detects write/read overlap with its seqlock and retries.
+    snapshot_reads: bool = False
 
     @property
     def schema(self) -> StoreSchema:
@@ -108,8 +115,57 @@ class StoreBackend:
         natively — they cannot reach a violating state)."""
         raise NotImplementedError
 
+    # -- concurrent reading --------------------------------------------
+    def read_view(self) -> "ReadView":
+        """A handle the epoch engine publishes for concurrent readers.
+
+        The returned view quacks like enough of a backend for the
+        query-serving path (``schema``, capability flags, ``run_query``
+        and the compiled-execution entry points).  Engines with
+        ``snapshot_reads`` return a view pinned to the data as of this
+        call; others return a live view whose :meth:`ReadView.acquire`
+        leases whatever per-reader resources (a pooled connection) one
+        request needs.  The default serializes readers on the backend
+        itself — correct, but concurrency-free.
+        """
+        return DirectReadView(self)
+
     def close(self) -> None:
         """Release engine resources (no-op by default)."""
+
+
+class ReadView:
+    """Protocol of what :meth:`StoreBackend.read_view` returns.
+
+    ``snapshot`` mirrors the backend's ``snapshot_reads``: when True the
+    view is immutable and a reader needs no further coordination; when
+    False the engine brackets each read with its seqlock.
+    """
+
+    snapshot: bool = False
+
+    @contextmanager
+    def acquire(self) -> Iterator[StoreBackend]:
+        """Lease a backend-shaped reader for one request."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def release(self) -> None:
+        """Drop per-view resources when the owning epoch is replaced
+        (no-op by default; views over pooled engines hold nothing)."""
+
+
+class DirectReadView(ReadView):
+    """Fallback view: every reader runs on the backend itself."""
+
+    snapshot = False
+
+    def __init__(self, backend: StoreBackend) -> None:
+        self._backend = backend
+
+    @contextmanager
+    def acquire(self) -> Iterator[StoreBackend]:
+        yield self._backend
 
 
 def default_backend_name() -> str:
@@ -128,8 +184,14 @@ def create_backend(
     schema: StoreSchema,
     store_state: Optional[StoreState] = None,
     db_path: Optional[str] = None,
+    pool_size: int = 0,
 ) -> StoreBackend:
-    """Build a backend by name (``None`` -> the environment default)."""
+    """Build a backend by name (``None`` -> the environment default).
+
+    *pool_size* > 0 provisions a reader-connection pool for engines with
+    thread-affine connections (SQLite); the memory backend ignores it —
+    its snapshot views need no pooling.
+    """
     from repro.backend.memory import MemoryBackend
     from repro.backend.sqlite import SqliteBackend
 
@@ -137,7 +199,7 @@ def create_backend(
     if resolved == "memory":
         return MemoryBackend(store_state or StoreState(schema))
     if resolved == "sqlite":
-        backend = SqliteBackend(schema, db_path=db_path)
+        backend = SqliteBackend(schema, db_path=db_path, pool_size=pool_size)
         if store_state is not None and store_state.row_count():
             backend.replace_contents(store_state)
         return backend

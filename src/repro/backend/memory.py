@@ -4,8 +4,7 @@
 Ad-hoc queries evaluate with :mod:`repro.algebra.evaluate` (the reference
 semantics every other backend must match); *cached* plans run through the
 compiled physical-plan path (``compiles_plans``,
-:mod:`repro.backend.physical`), which feeds on two serving caches this
-backend maintains:
+:mod:`repro.backend.physical`), which feeds on two serving caches:
 
 * per-table **row views** — the shared memoized dict form of each row,
   built once per state instead of per scan;
@@ -13,11 +12,14 @@ backend maintains:
   (:func:`~repro.algebra.evaluate.build_join_index`), so compiled scans
   and joins are O(matches) rather than O(rows).
 
-Both caches are invalidated wholesale on every write
-(``apply_delta`` / ``migrate`` / ``replace_contents``): state swaps are
-whole-object replacements, never in-place mutation, so snapshots held by
-the session journal stay valid forever and a stale cache is impossible
-by construction.  Constraint checking on SaveChanges is *delta-scoped*
+Both caches live on a :class:`MemoryReadView` pinned to one immutable
+store state.  The backend always holds the view over its *current* state
+and replaces it wholesale on every write (``apply_delta`` / ``migrate``
+/ ``replace_contents``): state swaps are whole-object replacements,
+never in-place mutation, so the epoch engine can publish a view as a
+snapshot and readers on an old epoch keep byte-identical answers forever
+while writers move the backend on — a stale cache is impossible by
+construction.  Constraint checking on SaveChanges is *delta-scoped*
 (:func:`~repro.relational.constraints.check_delta`): only tables and
 rows the delta touches are re-verified, exact because the pre-state is
 always consistent.
@@ -25,8 +27,10 @@ always consistent.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.algebra.evaluate import (
     RowDict,
@@ -35,7 +39,7 @@ from repro.algebra.evaluate import (
     evaluate_query,
 )
 from repro.algebra.queries import Query
-from repro.backend.base import StoreBackend
+from repro.backend.base import ReadView, StoreBackend
 from repro.errors import ValidationError
 from repro.query.dml import StoreDelta, apply_delta
 from repro.relational.constraints import (
@@ -58,21 +62,111 @@ class IndexStats:
     compiled_runs: int
 
 
-class MemoryBackend(StoreBackend):
-    """Rows live in a :class:`StoreState`; queries run in the interpreter,
-    cached plans through compiled physical plans."""
+class MemoryReadView(ReadView):
+    """An immutable snapshot of one store state plus its serving caches.
+
+    State objects are never mutated in place, so a view holding the
+    state reference is a true snapshot: readers on an old epoch keep
+    their world while writers publish new views.  The view quacks like a
+    backend for the serving path (``schema``, ``compiles_plans``,
+    ``run_query``, ``physical_rows`` / ``index_for`` for compiled plans);
+    caches build lazily under a lock so concurrent readers share one
+    build.  Counters are reported through the owning backend (when any)
+    so serving stats stay continuous across epochs.
+    """
 
     name = "memory"
     compiles_plans = True
+    prepares_sql = False
+    snapshot = True
 
-    def __init__(self, store_state: StoreState) -> None:
-        self._state = store_state
+    def __init__(
+        self, state: StoreState, backend: Optional["MemoryBackend"] = None
+    ) -> None:
+        self._state = state
+        self._backend = backend
         self._row_views: Dict[str, List[RowDict]] = {}
         self._indexes: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def schema(self) -> StoreSchema:
+        return self._state.schema
+
+    @contextmanager
+    def acquire(self) -> Iterator["MemoryReadView"]:
+        yield self
+
+    def to_store_state(self) -> StoreState:
+        return self._state
+
+    def rows(self, table_name: str) -> Tuple[Row, ...]:
+        return self._state.rows(table_name)
+
+    def run_query(self, query: Query) -> List[Dict[str, object]]:
+        return evaluate_query(query, StoreContext(self._state))
+
+    def physical_rows(self, table_name: str) -> List[RowDict]:
+        """Shared dict views of one table's rows, cached per state.
+
+        Consumers (compiled plans) must treat rows as immutable."""
+        with self._lock:
+            views = self._row_views.get(table_name)
+            if views is None:
+                views = [row_view(r) for r in self._state.rows(table_name)]
+                self._row_views[table_name] = views
+            return views
+
+    def index_for(
+        self, table_name: str, columns: Tuple[str, ...]
+    ) -> Dict[Tuple[object, ...], List[RowDict]]:
+        """The hash index of *table_name* keyed by *columns*, built on
+        first use and reused for the lifetime of this snapshot."""
+        key = (table_name, columns)
+        with self._lock:
+            index = self._indexes.get(key)
+        backend = self._backend
+        if index is not None:
+            if backend is not None:
+                backend._index_hits += 1
+            return index
+        rows = self.physical_rows(table_name)
+        built = build_join_index(rows, columns)
+        with self._lock:
+            # last write wins on a build race; builds are deterministic
+            # over the pinned state, so the values agree
+            self._indexes[key] = built
+            index = self._indexes[key]
+        if backend is not None:
+            backend._index_builds += 1
+        return index
+
+    def run_compiled_plan(self, plan_set, params: Tuple[object, ...]):
+        if self._backend is not None:
+            self._backend._compiled_runs += 1
+        return plan_set.execute(self, params)
+
+    def cache_entries(self) -> int:
+        with self._lock:
+            return len(self._indexes)
+
+
+class MemoryBackend(StoreBackend):
+    """Rows live in a :class:`StoreState`; queries run in the interpreter,
+    cached plans through compiled physical plans on the current
+    :class:`MemoryReadView`."""
+
+    name = "memory"
+    compiles_plans = True
+    snapshot_reads = True
+
+    def __init__(self, store_state: StoreState) -> None:
         self._index_builds = 0
         self._index_hits = 0
         self._index_invalidations = 0
         self._compiled_runs = 0
+        self._state = store_state
+        self._view = MemoryReadView(store_state, self)
 
     @property
     def schema(self) -> StoreSchema:
@@ -93,47 +187,36 @@ class MemoryBackend(StoreBackend):
 
     # -- compiled serving path -----------------------------------------
     def physical_rows(self, table_name: str) -> List[RowDict]:
-        """Shared dict views of one table's rows, cached per state.
-
-        Consumers (compiled plans) must treat rows as immutable."""
-        views = self._row_views.get(table_name)
-        if views is None:
-            views = [row_view(r) for r in self._state.rows(table_name)]
-            self._row_views[table_name] = views
-        return views
+        return self._view.physical_rows(table_name)
 
     def index_for(
         self, table_name: str, columns: Tuple[str, ...]
     ) -> Dict[Tuple[object, ...], List[RowDict]]:
-        """The hash index of *table_name* keyed by *columns*, built on
-        first use and reused until the next write."""
-        key = (table_name, columns)
-        index = self._indexes.get(key)
-        if index is None:
-            index = build_join_index(self.physical_rows(table_name), columns)
-            self._indexes[key] = index
-            self._index_builds += 1
-        else:
-            self._index_hits += 1
-        return index
+        return self._view.index_for(table_name, columns)
 
     def run_compiled_plan(self, plan_set, params: Tuple[object, ...]):
-        self._compiled_runs += 1
-        return plan_set.execute(self, params)
+        return self._view.run_compiled_plan(plan_set, params)
+
+    def read_view(self) -> MemoryReadView:
+        """The view over the *current* state — published as an epoch
+        snapshot by the engine; write paths replace it wholesale, so a
+        published view is immutable from that moment on."""
+        return self._view
 
     def clear_caches(self) -> None:
-        """Drop row-view and index caches (every write path calls this)."""
-        if self._row_views or self._indexes:
+        """Swap in a fresh view over the current state (every write path
+        calls this); old views — and the epochs holding them — are
+        untouched."""
+        if self._view._row_views or self._view._indexes:
             self._index_invalidations += 1
-        self._row_views = {}
-        self._indexes = {}
+        self._view = MemoryReadView(self._state, self)
 
     def index_stats(self) -> IndexStats:
         return IndexStats(
             builds=self._index_builds,
             hits=self._index_hits,
             invalidations=self._index_invalidations,
-            entries=len(self._indexes),
+            entries=self._view.cache_entries(),
             compiled_runs=self._compiled_runs,
         )
 

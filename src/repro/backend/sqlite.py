@@ -12,13 +12,17 @@ DBMS).
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.algebra.queries import Query
-from repro.backend.base import StoreBackend
+from repro.backend.base import ReadView, StoreBackend
+from repro.backend.pool import ConnectionPool, PooledConnection, ReadWriteGate
 from repro.backend.ddl import (
     create_table_sql,
     creation_order,
@@ -40,6 +44,9 @@ from repro.relational.schema import StoreSchema
 
 #: FULL OUTER JOIN needs SQLite >= 3.39 (2022); guard with a clear error.
 SUPPORTS_FULL_OUTER_JOIN = sqlite3.sqlite_version_info >= (3, 39, 0)
+
+#: distinguishes shared-cache in-memory databases across backends
+_MEMORY_DB_IDS = itertools.count(1)
 
 
 @dataclass
@@ -132,7 +139,10 @@ class StatementCache:
 
     def clear(self) -> None:
         for cursor in self._cursors.values():
-            cursor.close()
+            try:
+                cursor.close()
+            except sqlite3.ProgrammingError:
+                pass  # connection already closed; cursor died with it
         self._cursors.clear()
 
     def reset_stats(self) -> None:
@@ -155,7 +165,20 @@ class StatementCache:
 
 
 class SqliteBackend(StoreBackend):
-    """Store schema + rows held by a SQLite connection."""
+    """Store schema + rows held by a SQLite connection.
+
+    Thread model: the *main* connection (the writer's) is guarded by an
+    internal re-entrant lock — concurrent callers of any mutating or
+    main-connection method serialize on it (``check_same_thread`` is off
+    so the epoch engine's writer thread may differ from the constructing
+    thread).  With ``pool_size`` > 0 the backend additionally owns a
+    reader-connection pool: :meth:`read_view` leases one pooled
+    connection (with its private statement cache) per request, so
+    readers never touch the main connection and never share cursors.
+    Pooled in-memory databases use SQLite's shared-cache URI form so
+    every connection sees the same data; the main connection anchors the
+    database for its whole lifetime.
+    """
 
     name = "sqlite"
     prepares_sql = True
@@ -166,14 +189,48 @@ class SqliteBackend(StoreBackend):
         db_path: Optional[str] = None,
         connection: Optional[sqlite3.Connection] = None,
         statement_cache_size: int = 128,
+        pool_size: int = 0,
     ) -> None:
         self._schema = schema
         self.db_path = db_path or ":memory:"
-        self._conn = connection or sqlite3.connect(self.db_path)
+        self.pool_size = pool_size
+        self._uri: Optional[str] = None
+        if connection is not None:
+            self._conn = connection
+        else:
+            if self.db_path == ":memory:" and pool_size:
+                # a plain :memory: database is private per connection;
+                # pooled readers need the shared-cache URI form
+                self._uri = (
+                    f"file:repro-mem-{next(_MEMORY_DB_IDS)}"
+                    "?mode=memory&cache=shared"
+                )
+                self._conn = sqlite3.connect(
+                    self._uri, uri=True, check_same_thread=False
+                )
+            else:
+                self._conn = sqlite3.connect(
+                    self.db_path, check_same_thread=False
+                )
         self._conn.isolation_level = None  # explicit BEGIN/COMMIT below
         self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.execute("PRAGMA busy_timeout = 10000")
+        #: serializes every use of the main connection (writers, loads)
+        self._conn_lock = threading.RLock()
+        #: drains in-flight pooled readers before mutations (shared-cache
+        #: SQLite raises non-retryable SQLITE_LOCKED on DDL vs reader races)
+        self._gate = ReadWriteGate()
+        self._closed = False
         self._state_cache: Optional[StoreState] = None
         self._statements = StatementCache(self._conn, statement_cache_size)
+        self._statement_cache_size = statement_cache_size
+        self._pool: Optional[ConnectionPool] = (
+            ConnectionPool(
+                self._make_reader, self._close_reader, max_size=pool_size
+            )
+            if pool_size
+            else None
+        )
         self._ensure_tables()
 
     # ------------------------------------------------------------------
@@ -184,6 +241,31 @@ class SqliteBackend(StoreBackend):
     @property
     def connection(self) -> sqlite3.Connection:
         return self._conn
+
+    # -- reader pool ---------------------------------------------------
+    def _make_reader(self) -> PooledConnection:
+        if self._uri is not None:
+            conn = sqlite3.connect(self._uri, uri=True, check_same_thread=False)
+        elif self.db_path == ":memory:":
+            raise SchemaError(
+                "cannot pool readers over a private :memory: database; "
+                "construct the backend with pool_size > 0"
+            )
+        else:
+            conn = sqlite3.connect(self.db_path, check_same_thread=False)
+        conn.isolation_level = None
+        conn.execute("PRAGMA busy_timeout = 10000")
+        return PooledConnection(
+            conn, StatementCache(conn, self._statement_cache_size)
+        )
+
+    @staticmethod
+    def _close_reader(leased: PooledConnection) -> None:
+        leased.statements.clear()
+        leased.connection.close()
+
+    def read_view(self) -> "SqliteReadView":
+        return SqliteReadView(self)
 
     def _existing_tables(self) -> set:
         cursor = self._conn.execute(
@@ -219,11 +301,13 @@ class SqliteBackend(StoreBackend):
         bases = {c.name: c.domain.base for c in table.columns}
         names = table.column_names
         select_list = ", ".join(quote(c) for c in names)
-        cursor = self._conn.execute(
-            f"SELECT {select_list} FROM {quote(table_name)}"
-        )
+        with self._conn_lock:
+            cursor = self._conn.execute(
+                f"SELECT {select_list} FROM {quote(table_name)}"
+            )
+            fetched = cursor.fetchall()
         result: List[Row] = []
-        for values in cursor.fetchall():
+        for values in fetched:
             decoded = tuple(
                 sorted(
                     (name, decode_value(value, bases[name]))
@@ -247,56 +331,49 @@ class SqliteBackend(StoreBackend):
     ) -> List[Dict[str, object]]:
         """Execute an already-compiled SELECT (cached plans re-enter here
         with fresh parameter bindings) through the statement cache."""
-        cursor = self._statements.execute(
-            compiled.text, compiled.params if params is None else params
-        )
-        typing = compiled.decoders()
-        columns = compiled.columns
-        seen = set()
-        unique: List[Dict[str, object]] = []
-        for values in cursor.fetchall():
-            row = {
-                name: decode_value(value, typing.get(name))
-                for name, value in zip(columns, values)
-            }
-            key = tuple(sorted(row.items()))
-            if key not in seen:  # set semantics, like evaluate_query
-                seen.add(key)
-                unique.append(row)
-        return unique
+        with self._conn_lock:
+            return execute_compiled(self._statements, compiled, params)
 
     def statement_cache_stats(self) -> StatementCacheStats:
         return self._statements.stats()
 
     def to_store_state(self) -> StoreState:
-        if self._state_cache is None:
-            state = StoreState(self._schema)
-            for table in self._schema.tables:
-                for row in self.rows(table.name):
-                    state.add_row(table.name, row)
-            self._state_cache = state
-        return self._state_cache
+        with self._conn_lock:
+            if self._state_cache is None:
+                state = StoreState(self._schema)
+                for table in self._schema.tables:
+                    for row in self.rows(table.name):
+                        state.add_row(table.name, row)
+                self._state_cache = state
+            return self._state_cache
 
     # -- writing -------------------------------------------------------
     def apply_delta(self, delta: StoreDelta) -> None:
         # Identical-text runs (per-table deletes/updates/inserts) execute
         # as one prepared statement via executemany instead of per row.
         groups = grouped_delta_statements(delta, self._schema)
-        try:
-            with self._transaction("save-changes"):
-                for text, rows in groups:
-                    if len(rows) == 1:
-                        self._statements.execute(text, rows[0], kind="dml")
-                    else:
-                        self._statements.executemany(text, rows, kind="dml")
-        except sqlite3.IntegrityError as exc:
-            raise ValidationError(
-                f"update would violate store constraints: {exc}",
-                check="save-changes",
-            ) from exc
-        self._invalidate()
+        with self._gate.write(), self._conn_lock:
+            try:
+                with self._transaction("save-changes"):
+                    for text, rows in groups:
+                        if len(rows) == 1:
+                            self._statements.execute(text, rows[0], kind="dml")
+                        else:
+                            self._statements.executemany(text, rows, kind="dml")
+            except sqlite3.IntegrityError as exc:
+                raise ValidationError(
+                    f"update would violate store constraints: {exc}",
+                    check="save-changes",
+                ) from exc
+            self._invalidate()
 
     def migrate(self, script, new_schema: StoreSchema, target: StoreState) -> None:
+        with self._gate.write(), self._conn_lock:
+            self._migrate_locked(script, new_schema, target)
+
+    def _migrate_locked(
+        self, script, new_schema: StoreSchema, target: StoreState
+    ) -> None:
         # Table rebuilds (drop parent + rename twin) defeat SQLite's
         # deferred-FK counters, so this follows SQLite's documented
         # schema-change procedure instead: FK enforcement off for the
@@ -338,6 +415,10 @@ class SqliteBackend(StoreBackend):
 
     def replace_contents(self, state: StoreState) -> None:
         """Reset the database to exactly *state* (schema included)."""
+        with self._gate.write(), self._conn_lock:
+            self._replace_contents_locked(state)
+
+    def _replace_contents_locked(self, state: StoreState) -> None:
         # FK enforcement cannot be toggled mid-transaction; drops are
         # ordered instead so enforcement can stay on throughout.
         with self._transaction("reset"):
@@ -371,8 +452,10 @@ class SqliteBackend(StoreBackend):
         """Native enforcement means a live database is always clean; this
         surfaces violations only for databases edited out-of-band."""
         violations: List[ConstraintViolation] = []
-        cursor = self._conn.execute("PRAGMA foreign_key_check")
-        for table, rowid, ref_table, _fk_index in cursor.fetchall():
+        with self._conn_lock:
+            cursor = self._conn.execute("PRAGMA foreign_key_check")
+            dangling = cursor.fetchall()
+        for table, rowid, ref_table, _fk_index in dangling:
             violations.append(
                 ConstraintViolation(
                     table,
@@ -383,11 +466,120 @@ class SqliteBackend(StoreBackend):
         return violations
 
     def close(self) -> None:
-        self._statements.clear()
-        self._conn.close()
+        """Release the pool and the main connection; safe to call twice
+        (the service tier closes backends on shutdown *and* on tenant
+        eviction, whichever comes first)."""
+        with self._conn_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._pool is not None:
+                self._pool.close()
+            self._statements.clear()
+            self._conn.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __str__(self) -> str:
         return f"SqliteBackend({self.db_path!r})"
+
+
+def execute_compiled(
+    statements: StatementCache,
+    compiled: CompiledSql,
+    params: Optional[Tuple[object, ...]] = None,
+) -> List[Dict[str, object]]:
+    """Run one compiled SELECT through a statement cache and decode rows
+    with evaluator semantics (shared by the main connection and every
+    pooled reader, so both decode byte-identically)."""
+    cursor = statements.execute(
+        compiled.text, compiled.params if params is None else params
+    )
+    typing = compiled.decoders()
+    columns = compiled.columns
+    seen = set()
+    unique: List[Dict[str, object]] = []
+    for values in cursor.fetchall():
+        row = {
+            name: decode_value(value, typing.get(name))
+            for name, value in zip(columns, values)
+        }
+        key = tuple(sorted(row.items()))
+        if key not in seen:  # set semantics, like evaluate_query
+            seen.add(key)
+            unique.append(row)
+    return unique
+
+
+class _LeasedReader:
+    """A backend-shaped reader over one leased pooled connection.
+
+    Lives exactly as long as one request; ``prepares_sql`` routes cached
+    plans through :meth:`run_compiled` on the private connection, and the
+    ad-hoc :meth:`run_query` fallback compiles on the fly.  The schema is
+    read from the owning backend *live* — if a migration swaps it while
+    this reader is in flight, the epoch engine's seqlock detects the
+    overlap and retries the request.
+    """
+
+    name = "sqlite"
+    prepares_sql = True
+    compiles_plans = False
+
+    def __init__(self, backend: SqliteBackend, leased: PooledConnection) -> None:
+        self._backend = backend
+        self._leased = leased
+
+    @property
+    def schema(self) -> StoreSchema:
+        return self._backend.schema
+
+    def run_compiled(
+        self, compiled: CompiledSql, params: Optional[Tuple[object, ...]] = None
+    ) -> List[Dict[str, object]]:
+        return execute_compiled(self._leased.statements, compiled, params)
+
+    def run_query(self, query: Query) -> List[Dict[str, object]]:
+        if not SUPPORTS_FULL_OUTER_JOIN and _has_full_outer(query):
+            raise SchemaError(
+                "this SQLite lacks FULL OUTER JOIN (needs >= 3.39); "
+                "use the memory backend for partitioned views"
+            )
+        compiled = SqlCompiler(self.schema).compile(query)
+        return self.run_compiled(compiled, compiled.params)
+
+
+class SqliteReadView(ReadView):
+    """Live read view over a :class:`SqliteBackend`.
+
+    Not a snapshot: SQLite serves whatever is committed.  With a pool,
+    :meth:`acquire` leases one pooled connection per request (check-in
+    clears its statement cache, so cursors never migrate between worker
+    threads); without one, readers serialize on the main connection
+    under the backend's lock.
+    """
+
+    snapshot = False
+
+    def __init__(self, backend: SqliteBackend) -> None:
+        self._backend = backend
+
+    @contextmanager
+    def acquire(self) -> Iterator[object]:
+        backend = self._backend
+        pool = backend._pool
+        if pool is None:
+            with backend._conn_lock:
+                yield backend
+            return
+        with backend._gate.read():
+            leased = pool.checkout()
+            try:
+                yield _LeasedReader(backend, leased)
+            finally:
+                pool.checkin(leased)
 
 
 class _Transaction:

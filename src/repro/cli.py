@@ -10,6 +10,7 @@
     python -m repro query compiled.json Persons --repeat 500 --stats
     python -m repro stats compiled.json --db app.db
     python -m repro ddl compiled.json [--target target-schema.json]
+    python -m repro serve --model compiled.json --port 8123
     python -m repro bench {fig4,fig9,fig10}
 
 Model documents are the JSON format of :mod:`repro.msl`; ``fragments``
@@ -219,37 +220,12 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0 if plan.ok else 1
 
 
-_WHERE_PATTERN = r"^\s*(\w+)\s*(=|!=|<=|>=|<|>)\s*(.+?)\s*$"
-
-
 def _parse_where(text: str):
-    """A single comparison atom: ``Attr OP literal`` (ints, quoted or
-    bare strings, ``null``)."""
-    import re
+    """A single comparison atom: ``Attr OP literal`` — the service wire
+    format's condition syntax (one parser for CLI and HTTP)."""
+    from repro.service.wire import parse_condition
 
-    from repro.algebra.conditions import Comparison, IsNotNull, IsNull
-    from repro.errors import SchemaError
-
-    match = re.match(_WHERE_PATTERN, text)
-    if not match:
-        raise SchemaError(
-            f"cannot parse --where {text!r}: expected 'Attr OP literal'"
-        )
-    attr, op, literal = match.groups()
-    if literal.lower() == "null":
-        if op == "=":
-            return IsNull(attr)
-        if op == "!=":
-            return IsNotNull(attr)
-        raise SchemaError(f"cannot order-compare against null: {text!r}")
-    if (literal.startswith("'") and literal.endswith("'")) or (
-        literal.startswith('"') and literal.endswith('"')
-    ):
-        return Comparison(attr, op, literal[1:-1])
-    try:
-        return Comparison(attr, op, int(literal))
-    except ValueError:
-        return Comparison(attr, op, literal)
+    return parse_condition(text)
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -327,6 +303,32 @@ def cmd_ddl(args: argparse.Namespace) -> int:
         return 0
     finally:
         session.backend.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant HTTP session service."""
+    from repro.service import SessionService
+    from repro.service.http import serve
+
+    backend_name = getattr(args, "backend", None)
+    if getattr(args, "db_dir", None):
+        backend_name = "sqlite"
+    service = SessionService(
+        default_backend=backend_name,
+        db_dir=args.db_dir,
+        pool_size=args.pool_size,
+    )
+    if args.model:
+        result = service.create_tenant(
+            args.tenant, _read_json(args.model)
+        )
+        print(
+            f"tenant {result['tenant']!r} ready on {result['backend']} "
+            f"(epoch {result['epoch']})",
+            file=sys.stderr,
+        )
+    serve(service, host=args.host, port=args.port)
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -487,6 +489,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_flags(p)
     p.set_defaults(fn=cmd_ddl)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP session service (query/save/"
+        "evolve/undo/stats over JSON; one epoch-engine session per tenant)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123)
+    p.add_argument(
+        "--model",
+        default=None,
+        help="compiled model document to preload as a tenant",
+    )
+    p.add_argument(
+        "--tenant",
+        default="default",
+        metavar="NAME",
+        help="tenant name for --model (default: 'default')",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default=None,
+        help="default store engine for new tenants",
+    )
+    p.add_argument(
+        "--db-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for per-tenant SQLite files (implies sqlite)",
+    )
+    p.add_argument(
+        "--pool-size",
+        type=int,
+        default=4,
+        metavar="N",
+        help="reader connections per SQLite tenant (default 4)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("bench", help="run a figure's benchmark driver")
     p.add_argument("figure", choices=["fig4", "fig9", "fig10"])

@@ -1,0 +1,527 @@
+"""The epoch-based serving engine: concurrent queries, serialized writers.
+
+The paper's incremental compiler exists so a *live* ORM can evolve its
+schema without stopping the world.  This module is the runtime half of
+that claim: an :class:`OrmSession` is split into an immutable
+:class:`Epoch` value (compiled model + structural fingerprint + the plan
+cache slice valid for it + a data read view) and a :class:`SessionEngine`
+that coordinates readers and writers around it.
+
+**Reader protocol** — :meth:`SessionEngine.query` is lock-free.  A reader
+grabs the current epoch reference (one attribute read, atomic under the
+GIL), resolves its plan from the epoch's own plan cache, and executes:
+
+* on engines with **snapshot reads** (memory: store states are replaced
+  wholesale, never mutated) the epoch's view pins one immutable state, so
+  the response is consistent with that epoch *by construction* — even if
+  a writer publishes ten epochs mid-flight, this reader finishes on its
+  own;
+* on **live engines** (SQLite: the data is in the database, one version
+  at a time) reads are validated with a seqlock: the engine's version
+  counter is odd while a writer mutates, and a reader whose counter
+  observation changed across its execution — or whose statements raced a
+  table rebuild and failed — retries on the fresh epoch.  A bounded
+  number of retries falls back to running under the writer lock, which
+  cannot race.  Either way **no torn response is ever served**: every
+  answer is consistent with exactly one epoch.
+
+**Writer protocol** — ``save`` / ``evolve`` / ``evolve_many`` / ``undo`` /
+``replace_contents`` serialize on one re-entrant writer lock.  A writer
+builds everything off to the side (compile the batch, compute the
+migrated store, derive the successor plan cache with delta-scoped
+invalidation), then publishes in a short critical window::
+
+    version += 1        (odd: live readers will retry)
+    backend mutation    (transactional: all or nothing)
+    epoch = next_epoch  (THE atomic swap)
+    version += 1        (even: readers are clean again)
+
+In-flight snapshot readers finish on the old epoch; new readers land on
+the new one.  On a validation abort nothing was published and the old
+epoch stands untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.backend.base import ReadView, StoreBackend
+from repro.backend.migrate import plan_migration
+from repro.budget import WorkBudget
+from repro.compiler.validation import ValidationReport, validate_mapping
+from repro.containment.cache import ValidationCache
+from repro.edm.instances import ClientState
+from repro.errors import EvaluationError, SmoError
+from repro.incremental.delta import MappingDelta
+from repro.incremental.model import CompiledModel
+from repro.incremental.smo import EvolutionPlan, IncrementalCompiler, Smo
+from repro.mapping.roundtrip import apply_query_views, apply_update_views
+from repro.query.dml import StoreDelta, diff_store_states
+from repro.query.language import EntityQuery
+from repro.query.plancache import CachedPlan, PlanCache
+from repro.relational.instances import StoreState
+
+try:  # the engines raise these when a read races a migration
+    import sqlite3
+
+    _RETRYABLE_READ_ERRORS: Tuple[type, ...] = (
+        sqlite3.OperationalError,
+        sqlite3.ProgrammingError,
+    )
+except ImportError:  # pragma: no cover
+    _RETRYABLE_READ_ERRORS = ()
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One committed evolution in the session's transactional journal.
+
+    Records everything needed to report on — and to *undo* — the step:
+    the declarative :class:`MappingDelta` the batch emitted (whose
+    ``inverse()`` replays the model back), a snapshot of the store state
+    from before the migration, and the neighborhood checks the batch
+    scheduled (used by the benchmarks to compare sequential vs batched
+    validation work).
+    """
+
+    label: str
+    smos: Tuple[Smo, ...]
+    delta: MappingDelta
+    store_delta: "StoreDelta"
+    store_before: StoreState
+    check_names: Tuple[str, ...]
+
+    @property
+    def scheduled_checks(self) -> int:
+        return len(self.check_names)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {len(self.delta)} delta op(s), "
+            f"{self.scheduled_checks} check(s)"
+        )
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One immutable serving generation.
+
+    Everything a reader needs travels together and is published with a
+    single reference swap: the compiled model, its structural
+    fingerprint (the identity a response is 'consistent with'), the plan
+    cache slice valid for exactly this model, and the data read view.
+    Nothing here is ever mutated after publication — the plan cache
+    object accepts new *entries* (memoization is monotone; a plan cached
+    late is the plan that would have been built early), but its keyed
+    contents can only describe this epoch's model.
+    """
+
+    epoch_id: int
+    model: CompiledModel
+    fingerprint: str
+    plan_cache: PlanCache
+    view: ReadView
+
+    def __str__(self) -> str:
+        return f"Epoch({self.epoch_id}, {self.fingerprint[:12]}…)"
+
+
+@dataclass
+class EngineStats:
+    """Reader/writer coordination counters."""
+
+    epoch_id: int
+    epochs_published: int
+    queries: int = 0
+    #: reads that observed a concurrent write and re-executed
+    read_retries: int = 0
+    #: reads that exhausted retries and ran under the writer lock
+    serialized_reads: int = 0
+    #: responses served despite failing validation — must stay 0;
+    #: anything else is a bug, and the concurrent benchmark asserts on it
+    torn_reads_served: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"EngineStats(epoch={self.epoch_id}, "
+            f"published={self.epochs_published}, queries={self.queries}, "
+            f"retries={self.read_retries}, "
+            f"serialized={self.serialized_reads}, "
+            f"torn_served={self.torn_reads_served})"
+        )
+
+
+class SessionEngine:
+    """Epoch-coordinated core of an ORM session.
+
+    One engine owns one backend, one validation cache, one journal, and
+    the chain of epochs it publishes.  All public readers are safe from
+    any thread; all writers serialize internally — callers never manage
+    locks.
+    """
+
+    #: live-view reads retry this many times before serializing
+    MAX_READ_RETRIES = 16
+
+    def __init__(
+        self,
+        model: CompiledModel,
+        backend: StoreBackend,
+        budget: Optional[WorkBudget] = None,
+    ) -> None:
+        self.backend = backend
+        self.validation_cache = ValidationCache()
+        self._compiler = IncrementalCompiler(
+            budget=budget, cache=self.validation_cache
+        )
+        #: committed evolutions, oldest first; ``undo`` pops from the end
+        self.journal: List[JournalEntry] = []
+        self._writer_lock = threading.RLock()
+        #: seqlock: odd while a writer is inside its publication window
+        self._version = 0
+        self._epoch_counter = 0
+        self._epochs_published = 0
+        self._queries = 0
+        self._read_retries = 0
+        self._serialized_reads = 0
+        self._torn_reads_served = 0
+        self._epoch = self._next_epoch(model, PlanCache())
+
+    # ------------------------------------------------------------------
+    # Epoch plumbing
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> Epoch:
+        """The current epoch (atomic to read; grab once per request)."""
+        return self._epoch
+
+    def _next_epoch(
+        self,
+        model: CompiledModel,
+        plan_cache: PlanCache,
+        fingerprint: Optional[str] = None,
+    ) -> Epoch:
+        self._epoch_counter += 1
+        self._epochs_published += 1
+        return Epoch(
+            epoch_id=self._epoch_counter,
+            model=model,
+            fingerprint=(
+                fingerprint if fingerprint is not None else model.fingerprint()
+            ),
+            plan_cache=plan_cache,
+            view=self.backend.read_view(),
+        )
+
+    def _commit(
+        self,
+        mutate: Callable[[], object],
+        model: CompiledModel,
+        plan_cache: PlanCache,
+        fingerprint: Optional[str] = None,
+    ):
+        """The publication window (writer lock held by the caller).
+
+        Backend mutations are transactional, so an exception means the
+        data is unchanged and the *old* epoch remains exactly right —
+        only the seqlock is restored.  On success the new epoch becomes
+        visible with one reference assignment.
+        """
+        old_view = self._epoch.view
+        self._version += 1  # odd: live readers back off
+        try:
+            result = mutate()
+        except BaseException:
+            self._version += 1  # even again; nothing was published
+            raise
+        self._epoch = self._next_epoch(model, plan_cache, fingerprint)
+        self._version += 1  # even: publication complete
+        old_view.release()
+        return result
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def query(self, query: EntityQuery) -> List[object]:
+        """Answer an object query; safe from any thread, lock-free on
+        snapshot backends."""
+        rows, _ = self.query_with_epoch(query)
+        return rows
+
+    def query_with_epoch(
+        self, query: EntityQuery
+    ) -> Tuple[List[object], Epoch]:
+        """(rows, the epoch the response is consistent with).
+
+        The returned epoch's fingerprint is the consistency token: the
+        serving benchmark asserts every concurrent response matches
+        exactly one published fingerprint.
+        """
+        self._queries += 1
+        epoch = self._epoch
+        if epoch.view.snapshot:
+            return self.query_on(epoch, query), epoch
+
+        for _ in range(self.MAX_READ_RETRIES):
+            before = self._version
+            if before & 1:  # writer mid-publication; brief yield
+                self._read_retries += 1
+                time.sleep(0.0005)
+                continue
+            epoch = self._epoch
+            try:
+                rows = self.query_on(epoch, query)
+            except _RETRYABLE_READ_ERRORS:
+                # a migration rebuilt a table under this read
+                rows = None
+            except EvaluationError:
+                # a stale plan bound against a swapped schema slice
+                rows = None
+            if rows is not None and self._version == before:
+                return rows, epoch
+            self._read_retries += 1
+        # Sustained churn: serialize this one read against writers.
+        with self._writer_lock:
+            self._serialized_reads += 1
+            epoch = self._epoch
+            return self.query_on(epoch, query), epoch
+
+    def query_on(self, epoch: Epoch, query: EntityQuery) -> List[object]:
+        """Execute *query* against a specific epoch.
+
+        On snapshot backends this is how a reader stays pinned: an old
+        epoch keeps answering from its own immutable state while newer
+        epochs serve fresh traffic.  On live backends the data under the
+        view may have moved on — use :meth:`query_with_epoch` unless you
+        are inside its validation loop.
+        """
+        plan, values = epoch.plan_cache.plan_for(epoch.model, query)
+        with epoch.view.acquire() as reader:
+            return plan.execute(reader, values)
+
+    def plan_for(
+        self, query: EntityQuery
+    ) -> Tuple[CachedPlan, Tuple[object, ...], Epoch]:
+        """The cached plan for *query* under the current epoch (explain
+        paths want the plan itself, not its results)."""
+        epoch = self._epoch
+        plan, values = epoch.plan_cache.plan_for(epoch.model, query)
+        return plan, values, epoch
+
+    def load(self) -> ClientState:
+        """Materialise the whole object view of the database (Q)."""
+        epoch = self._epoch
+        if epoch.view.snapshot:
+            with epoch.view.acquire() as reader:
+                state = reader.to_store_state()
+            return apply_query_views(
+                epoch.model.views, state, epoch.model.client_schema
+            )
+        # live backends: a whole-database read must not interleave a
+        # migration; take the writer lock (loads are rare and heavy)
+        with self._writer_lock:
+            epoch = self._epoch
+            return apply_query_views(
+                epoch.model.views,
+                self.backend.to_store_state(),
+                epoch.model.client_schema,
+            )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(self, new_state: ClientState) -> StoreDelta:
+        """SaveChanges: persist *new_state* as the object view.
+
+        Data-only: the epoch's model and plans carry over unchanged, but
+        a fresh epoch (same fingerprint) is still published so snapshot
+        readers see the new data atomically.
+        """
+        with self._writer_lock:
+            epoch = self._epoch
+            target = apply_update_views(
+                epoch.model.views, new_state, epoch.model.store_schema
+            )
+            delta = diff_store_states(self.backend.to_store_state(), target)
+            self._commit(
+                lambda: self.backend.apply_delta(delta),
+                epoch.model,
+                epoch.plan_cache,
+                fingerprint=epoch.fingerprint,
+            )
+            return delta
+
+    def evolve_many(
+        self, smos: Sequence[Smo], label: Optional[str] = None
+    ) -> StoreDelta:
+        """Apply a batch of SMOs as one transaction and migrate the data.
+
+        The whole batch compiles through
+        :meth:`~repro.incremental.smo.IncrementalCompiler.compile_batch`,
+        so the scheduler validates the *union* neighborhood of the
+        composed delta once instead of once per SMO.  Migration = read
+        the data through the *old* query views, embed the resulting
+        client state into the evolved schema (the paper's ``f(c)``), and
+        store it through the *new* update views; the Section 2.3
+        soundness restriction guarantees this changes nothing for
+        pre-existing data.  Everything — evolved model, migrated store,
+        successor plan cache — is built *before* the publication window,
+        so readers only ever race the short transactional commit.  On
+        success a :class:`JournalEntry` is appended (making the step
+        :meth:`undo`-able); on a validation abort nothing is published.
+        """
+        with self._writer_lock:
+            smos = tuple(smos)
+            epoch = self._epoch
+            model = epoch.model
+            old_client = self.load()
+            batch = self._compiler.compile_batch(model, smos)
+            evolved = batch.model
+            migrated_client = old_client.embed_into(evolved.client_schema)
+            new_store = apply_update_views(
+                evolved.views, migrated_client, evolved.store_schema
+            )
+            store_before = self.backend.to_store_state()
+            delta = diff_store_states(store_before, new_store)
+            script = plan_migration(
+                model.store_schema,
+                evolved.store_schema,
+                store_before,
+                new_store,
+            )
+            entry = JournalEntry(
+                label=label or "; ".join(smo.describe() for smo in smos),
+                smos=batch.smos,
+                delta=batch.delta,
+                store_delta=delta,
+                store_before=store_before,
+                check_names=batch.check_names,
+            )
+            # Delta-scoped carry-over: the successor cache keeps every
+            # plan the batch cannot affect, so untouched sets stay hot
+            # across the swap (the neighborhood principle, serving side).
+            next_plans = epoch.plan_cache.successor(
+                batch.delta, evolved.mapping
+            )
+            self._commit(
+                lambda: self.backend.migrate(
+                    script, evolved.store_schema, new_store
+                ),
+                evolved,
+                next_plans,
+            )
+            self.journal.append(entry)
+            return delta
+
+    def evolve(self, smo: Smo) -> StoreDelta:
+        """A batch of one: see :meth:`evolve_many`."""
+        return self.evolve_many([smo], label=smo.describe())
+
+    def undo(self) -> JournalEntry:
+        """Roll back the most recent :meth:`evolve` / :meth:`evolve_many`.
+
+        The model is restored by replaying the journal entry's *inverse*
+        delta (not from a snapshot — exercising the invertibility of the
+        recorded ops), and the store state from the entry's pre-migration
+        snapshot.  Readers pinned on the undone epoch finish there;
+        everyone else lands on the rolled-back epoch after one swap.
+        """
+        with self._writer_lock:
+            if not self.journal:
+                raise SmoError(
+                    "nothing to undo: the session journal is empty"
+                )
+            epoch = self._epoch
+            entry = self.journal[-1]
+            inverse = entry.delta.inverse()
+            restored = epoch.model.apply(inverse)
+            next_plans = epoch.plan_cache.successor(
+                inverse, restored.mapping
+            )
+            self._commit(
+                lambda: self.backend.replace_contents(entry.store_before),
+                restored,
+                next_plans,
+            )
+            self.journal.pop()
+            return entry
+
+    def replace_contents(self, state: StoreState) -> None:
+        """Reset schema and data wholesale (bulk loads, tests).  The
+        model is unchanged but every cached plan is dropped — a wholesale
+        reset may swap the store schema under the plans' feet."""
+        with self._writer_lock:
+            epoch = self._epoch
+            self._commit(
+                lambda: self.backend.replace_contents(state),
+                epoch.model,
+                PlanCache(epoch.plan_cache.max_plans),
+                fingerprint=epoch.fingerprint,
+            )
+
+    # ------------------------------------------------------------------
+    # Dry runs and validation
+    # ------------------------------------------------------------------
+    def plan(self, smos: Sequence[Smo]) -> EvolutionPlan:
+        """Dry-run a batch: the delta it would emit and the checks it
+        would schedule, without touching the engine's model or data."""
+        return self._compiler.plan(self._epoch.model, smos)
+
+    def migration_script(self, smos: Sequence[Smo]):
+        """Dry-run the *store-side* migration of a batch, without
+        mutating anything."""
+        with self._writer_lock:
+            smos = tuple(smos)
+            model = self._epoch.model
+            old_client = self.load()
+            batch = self._compiler.compile_batch(model, smos)
+            evolved = batch.model
+            migrated_client = old_client.embed_into(evolved.client_schema)
+            target = apply_update_views(
+                evolved.views, migrated_client, evolved.store_schema
+            )
+            return plan_migration(
+                model.store_schema,
+                evolved.store_schema,
+                self.backend.to_store_state(),
+                target,
+            )
+
+    def validate(
+        self,
+        budget: Optional[WorkBudget] = None,
+        workers: int = 1,
+        executor: Optional[str] = None,
+        symbolic: bool = True,
+    ) -> ValidationReport:
+        """Fully validate the current model through the engine cache."""
+        model = self._epoch.model
+        return validate_mapping(
+            model.mapping,
+            model.views,
+            budget,
+            workers=workers,
+            executor=executor,
+            cache=self.validation_cache,
+            symbolic=symbolic,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            epoch_id=self._epoch.epoch_id,
+            epochs_published=self._epochs_published,
+            queries=self._queries,
+            read_retries=self._read_retries,
+            serialized_reads=self._serialized_reads,
+            torn_reads_served=self._torn_reads_served,
+        )
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __str__(self) -> str:
+        return f"SessionEngine({self._epoch}, {self.backend.name})"

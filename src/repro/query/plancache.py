@@ -293,6 +293,7 @@ class ServingStats:
     plans: PlanCacheStats
     statements: Optional[object] = None  # StatementCacheStats on SQLite
     indexes: Optional[object] = None  # IndexStats on the memory backend
+    epoch: Optional[object] = None  # EngineStats from the epoch engine
 
     def __str__(self) -> str:
         lines = [
@@ -324,6 +325,14 @@ class ServingStats:
                 f"  physical indexes: builds={i.builds} hits={i.hits}"
                 f" invalidations={i.invalidations} entries={i.entries}"
                 f" compiled_runs={i.compiled_runs}"
+            )
+        if self.epoch is not None:
+            e = self.epoch
+            lines.append(
+                f"  epoch engine    : epoch={e.epoch_id}"
+                f" published={e.epochs_published} queries={e.queries}"
+                f" retries={e.read_retries}"
+                f" serialized={e.serialized_reads} torn={e.torn_reads_served}"
             )
         return "\n".join(lines)
 
@@ -459,6 +468,30 @@ class PlanCache:
                 self._prune_index()
             self.invalidations += evicted
         return evicted
+
+    def successor(self, delta=None, mapping=None) -> "PlanCache":
+        """The next epoch's cache: surviving plans carried over.
+
+        Copies every entry (plans are shared — :class:`CachedPlan` lazy
+        compilation races are benign because results are deterministic)
+        into a fresh cache, carries the cumulative counters forward so
+        hit rates across epochs stay observable, then applies
+        delta-scoped invalidation for the evolution being published.
+        The *source* cache is left untouched: readers still serving the
+        old epoch keep hitting their own plans.
+        """
+        clone = PlanCache(self.max_plans)
+        with self._lock:
+            clone._plans = OrderedDict(self._plans)
+            clone._set_meta = dict(self._set_meta)
+            clone._shape_index = dict(self._shape_index)
+            clone.hits = self.hits
+            clone.misses = self.misses
+            clone.evictions = self.evictions
+            clone.invalidations = self.invalidations
+        if delta is not None:
+            clone.invalidate(delta, mapping)
+        return clone
 
     def clear(self) -> None:
         with self._lock:

@@ -1,0 +1,12 @@
+"""The multi-tenant session service: one epoch-engine session per
+tenant database behind a stdlib HTTP/JSON facade.
+
+:mod:`repro.service.core` is the thread-safe registry + verb surface,
+:mod:`repro.service.wire` the JSON wire format, and
+:mod:`repro.service.http` the ``ThreadingHTTPServer`` facade the CLI's
+``serve`` verb runs.
+"""
+
+from repro.service.core import SessionService, UnknownTenant
+
+__all__ = ["SessionService", "UnknownTenant"]

@@ -1,0 +1,178 @@
+"""A thin HTTP/JSON facade over :class:`~repro.service.core.SessionService`.
+
+Stdlib only (:mod:`http.server`): a ``ThreadingHTTPServer`` gives every
+request its own thread, which is exactly the concurrency the epoch
+engine is built for — queries from many threads race evolutions safely,
+and SQLite tenants serve reads through the backend's connection pool.
+
+Routes (all bodies and responses are JSON):
+
+====== ============================== ==========================================
+GET    ``/health``                    liveness + registered tenants
+PUT    ``/tenants/<t>``               register/replace a tenant; body carries
+                                      ``model`` (compiled or mapping document),
+                                      optional ``backend`` / ``pool_size``
+DELETE ``/tenants/<t>``               drop a tenant, close its backend
+POST   ``/tenants/<t>/query``         ``{"set", "where"?, "project"?}``
+POST   ``/tenants/<t>/load``          whole object view
+POST   ``/tenants/<t>/save``          ``{"state": ..., "merge"?}``
+POST   ``/tenants/<t>/evolve``        ``{"target": <client schema>, "style"?}``
+POST   ``/tenants/<t>/undo``          roll back the last evolution
+GET    ``/tenants/<t>/stats``         serving / engine / cache counters
+====== ============================== ==========================================
+
+Every data response carries ``epoch`` and ``fingerprint`` — the
+consistency token the concurrent benchmark asserts on.  Errors map to
+status codes: unknown tenant → 404, malformed payload or a
+:class:`~repro.errors.ReproError` → 400, anything else → 500.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.service.core import SessionService, UnknownTenant
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One HTTP endpoint bound to one :class:`SessionService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: SessionService) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet by default; stats are the observability surface
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ReproError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[Optional[str], Optional[str]]:
+        """(tenant, verb) from ``/tenants/<t>[/verb]``; (None, None)
+        otherwise."""
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if len(parts) >= 2 and parts[0] == "tenants":
+            tenant = parts[1]
+            verb = parts[2] if len(parts) > 2 else None
+            return tenant, verb
+        return None, None
+
+    def _dispatch(self, handler) -> None:
+        try:
+            self._reply(200, handler())
+        except UnknownTenant as exc:
+            self._reply(404, {"error": str(exc)})
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — facade boundary
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- verbs ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        service = self.server.service
+        if self.path.split("?", 1)[0] in ("/health", "/"):
+            self._dispatch(
+                lambda: {"ok": True, "tenants": service.tenants()}
+            )
+            return
+        tenant, verb = self._route()
+        if tenant and verb == "stats":
+            self._dispatch(lambda: service.stats(tenant))
+            return
+        self._reply(404, {"error": f"no route for GET {self.path}"})
+
+    def do_PUT(self) -> None:  # noqa: N802
+        tenant, verb = self._route()
+        if tenant and verb is None:
+            service = self.server.service
+
+            def create():
+                payload = self._body()
+                model = payload.get("model", payload)
+                return service.create_tenant(
+                    tenant,
+                    model,
+                    backend=payload.get("backend"),
+                    pool_size=payload.get("pool_size"),
+                )
+
+            self._dispatch(create)
+            return
+        self._reply(404, {"error": f"no route for PUT {self.path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        tenant, verb = self._route()
+        if tenant and verb is None:
+            service = self.server.service
+            self._dispatch(lambda: service.drop_tenant(tenant))
+            return
+        self._reply(404, {"error": f"no route for DELETE {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        tenant, verb = self._route()
+        service = self.server.service
+        if tenant and verb == "query":
+            self._dispatch(lambda: service.query(tenant, self._body()))
+        elif tenant and verb == "load":
+            self._dispatch(lambda: service.load(tenant))
+        elif tenant and verb == "save":
+            self._dispatch(lambda: service.save(tenant, self._body()))
+        elif tenant and verb == "evolve":
+            self._dispatch(lambda: service.evolve(tenant, self._body()))
+        elif tenant and verb == "undo":
+            self._dispatch(lambda: service.undo(tenant))
+        else:
+            self._reply(404, {"error": f"no route for POST {self.path}"})
+
+
+def make_server(
+    service: SessionService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """A bound (not yet serving) server; ``port=0`` picks a free port —
+    the tests and the bench harness read ``server.server_address``."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve(
+    service: SessionService, host: str = "127.0.0.1", port: int = 8123
+) -> None:
+    """Serve until interrupted (the CLI ``serve`` verb)."""
+    server = make_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro session service on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()

@@ -1,0 +1,165 @@
+"""The JSON wire format of the session service.
+
+Everything the HTTP facade reads or writes goes through here, so the
+encoding is defined exactly once and the CLI (``--where`` parsing) and
+the service agree on it:
+
+* **conditions** are the CLI's one-atom syntax (``Attr OP literal``);
+* **queries** are ``{"set": ..., "where": ..., "project": [...]}``;
+* **entities** travel as ``{"type": ..., "values": {...}}``;
+* **client states** (the ``save`` payload) as
+  ``{"entities": {set: [entity, ...]}, "associations": {name: [[key1,
+  key2], ...]}}`` — association keys are role-ordered lists, split/joined
+  with the schema's key lengths;
+* **stats** dataclasses are flattened recursively to plain dicts.
+
+Wire decoding raises :class:`~repro.errors.SchemaError` on malformed
+payloads, which the HTTP layer maps to a 400.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.algebra.conditions import (
+    TRUE,
+    Comparison,
+    Condition,
+    IsNotNull,
+    IsNull,
+)
+from repro.edm.instances import ClientState, Entity
+from repro.edm.schema import ClientSchema
+from repro.errors import SchemaError
+from repro.query.language import EntityQuery
+
+_WHERE_PATTERN = r"^\s*(\w+)\s*(=|!=|<=|>=|<|>)\s*(.+?)\s*$"
+
+
+def parse_condition(text: str) -> Condition:
+    """A single comparison atom: ``Attr OP literal`` (ints, quoted or
+    bare strings, ``null``)."""
+    match = re.match(_WHERE_PATTERN, text)
+    if not match:
+        raise SchemaError(
+            f"cannot parse condition {text!r}: expected 'Attr OP literal'"
+        )
+    attr, op, literal = match.groups()
+    if literal.lower() == "null":
+        if op == "=":
+            return IsNull(attr)
+        if op == "!=":
+            return IsNotNull(attr)
+        raise SchemaError(f"cannot order-compare against null: {text!r}")
+    if (literal.startswith("'") and literal.endswith("'")) or (
+        literal.startswith('"') and literal.endswith('"')
+    ):
+        return Comparison(attr, op, literal[1:-1])
+    try:
+        return Comparison(attr, op, int(literal))
+    except ValueError:
+        return Comparison(attr, op, literal)
+
+
+def query_from_json(payload: Dict[str, Any]) -> EntityQuery:
+    """``{"set": "Persons", "where": "Id>1", "project": ["Name"]}``."""
+    if not isinstance(payload, dict) or "set" not in payload:
+        raise SchemaError("query payload must be an object with a 'set' key")
+    condition = TRUE
+    where = payload.get("where")
+    if where:
+        condition = parse_condition(where)
+    projection = payload.get("project")
+    if projection is not None:
+        projection = tuple(projection)
+    return EntityQuery(payload["set"], condition, projection)
+
+
+def entity_to_json(entity: Entity) -> Dict[str, Any]:
+    return {"type": entity.concrete_type, "values": entity.value_map}
+
+
+def entity_from_json(payload: Dict[str, Any]) -> Entity:
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise SchemaError(
+            "entity payload must be an object with 'type' and 'values'"
+        )
+    return Entity.of(payload["type"], **payload.get("values", {}))
+
+
+def encode_result(result: object) -> object:
+    """One query-response row: an entity or a projected attribute dict."""
+    if isinstance(result, Entity):
+        return entity_to_json(result)
+    return result
+
+
+def _key_width(schema: ClientSchema, set_name: str) -> int:
+    root = schema.entity_set(set_name).root_type
+    return len(schema.entity_type(root).key)
+
+
+def client_state_to_json(state: ClientState) -> Dict[str, Any]:
+    schema = state.schema
+    entities = {
+        entity_set.name: [
+            entity_to_json(e) for e in state.entities(entity_set.name)
+        ]
+        for entity_set in schema.entity_sets
+    }
+    associations: Dict[str, List[List[List[object]]]] = {}
+    for association in schema.associations:
+        width = _key_width(schema, association.entity_set1)
+        pairs = []
+        for flat in state.associations(association.name):
+            pairs.append([list(flat[:width]), list(flat[width:])])
+        associations[association.name] = pairs
+    return {"entities": entities, "associations": associations}
+
+
+def client_state_from_json(
+    schema: ClientSchema, payload: Dict[str, Any]
+) -> ClientState:
+    if not isinstance(payload, dict):
+        raise SchemaError("state payload must be an object")
+    state = ClientState(schema)
+    for set_name, entities in (payload.get("entities") or {}).items():
+        for entity in entities:
+            state.add_entity(set_name, entity_from_json(entity))
+    for assoc_name, pairs in (payload.get("associations") or {}).items():
+        for pair in pairs:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise SchemaError(
+                    f"association tuple in {assoc_name!r} must be a "
+                    f"[key1, key2] pair"
+                )
+            state.add_association(assoc_name, tuple(pair[0]), tuple(pair[1]))
+    return state
+
+
+def stats_to_json(stats: object) -> object:
+    """Flatten the nested stats dataclasses to JSON-able dicts."""
+    if dataclasses.is_dataclass(stats) and not isinstance(stats, type):
+        return {
+            field.name: stats_to_json(getattr(stats, field.name))
+            for field in dataclasses.fields(stats)
+        }
+    if isinstance(stats, dict):
+        return {str(k): stats_to_json(v) for k, v in stats.items()}
+    if isinstance(stats, (list, tuple)):
+        return [stats_to_json(v) for v in stats]
+    if stats is None or isinstance(stats, (bool, int, float, str)):
+        return stats
+    return str(stats)
+
+
+def style_overrides(payload: Dict[str, Any]) -> Optional[Dict[str, str]]:
+    """The evolve payload's optional ``{"style": {"Type": "TPT"}}``."""
+    overrides = payload.get("style")
+    if overrides is None:
+        return None
+    if not isinstance(overrides, dict):
+        raise SchemaError("'style' must map type names to TPT|TPC|TPH")
+    return {str(k): str(v) for k, v in overrides.items()}

@@ -16,6 +16,15 @@ downstream application would use it:
   mappings agree on all pre-existing client states (the Section 2.3
   soundness restriction).
 
+The session is a thin facade over a :class:`~repro.engine.SessionEngine`
+— the epoch-based serving core that makes ``query`` safe (and lock-free
+on snapshot backends) from any thread while ``evolve`` / ``save`` /
+``undo`` serialize through a writer path and publish each change as a
+new immutable :class:`~repro.engine.Epoch` with one atomic swap.  The
+attributes historical code relies on (``model``, ``plan_cache``,
+``journal``, ``backend``, ``validation_cache``) remain available here as
+views onto the engine's current epoch.
+
 The session talks to the relational data exclusively through a
 :class:`~repro.backend.base.StoreBackend`: the in-memory interpreter, or
 a live SQLite database that executes the generated SQL/DDL itself
@@ -39,57 +48,24 @@ Example::
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
-
-from typing import Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.backend.base import StoreBackend, create_backend
 from repro.backend.memory import MemoryBackend
-from repro.backend.migrate import plan_migration
 from repro.budget import WorkBudget
-from repro.compiler.validation import ValidationReport, validate_mapping
+from repro.compiler.validation import ValidationReport
 from repro.containment.cache import CacheStats, ValidationCache
-from repro.edm.instances import ClientState, Entity
+from repro.edm.instances import ClientState
+from repro.engine import Epoch, JournalEntry, SessionEngine
 from repro.errors import SmoError
-from repro.incremental.delta import MappingDelta
 from repro.incremental.model import CompiledModel
-from repro.incremental.smo import EvolutionPlan, IncrementalCompiler, Smo
-from repro.mapping.roundtrip import apply_query_views, apply_update_views
-from repro.query.dml import StoreDelta, diff_store_states
+from repro.incremental.smo import EvolutionPlan, Smo
+from repro.query.dml import StoreDelta
 from repro.query.language import EntityQuery
 from repro.query.plancache import PlanCache, ServingStats
 from repro.relational.instances import StoreState
 
-
-@dataclass(frozen=True)
-class JournalEntry:
-    """One committed evolution in the session's transactional journal.
-
-    Records everything needed to report on — and to *undo* — the step:
-    the declarative :class:`MappingDelta` the batch emitted (whose
-    ``inverse()`` replays the model back), a snapshot of the store state
-    from before the migration, and the neighborhood checks the batch
-    scheduled (used by the benchmarks to compare sequential vs batched
-    validation work).
-    """
-
-    label: str
-    smos: Tuple[Smo, ...]
-    delta: MappingDelta
-    store_delta: "StoreDelta"
-    store_before: StoreState
-    check_names: Tuple[str, ...]
-
-    @property
-    def scheduled_checks(self) -> int:
-        return len(self.check_names)
-
-    def __str__(self) -> str:
-        return (
-            f"{self.label}: {len(self.delta)} delta op(s), "
-            f"{self.scheduled_checks} check(s)"
-        )
+__all__ = ["OrmSession", "JournalEntry", "Epoch", "SessionEngine"]
 
 
 class OrmSession:
@@ -102,7 +78,6 @@ class OrmSession:
         backend: Optional[StoreBackend] = None,
         budget: Optional[WorkBudget] = None,
     ) -> None:
-        self.model = model
         if backend is None:
             # bare StoreState (or nothing): the historical in-memory session
             backend = MemoryBackend(
@@ -112,22 +87,8 @@ class OrmSession:
             )
         elif store_state is not None:
             raise SmoError("pass either store_state or backend, not both")
-        #: the store engine every read and write goes through
-        self.backend = backend
-        # One fingerprint-keyed memo for the whole session: validation work
-        # for neighborhoods untouched by successive SMOs is re-served from
-        # here instead of being recomputed (the Section 1.2 premise).
-        self.validation_cache = ValidationCache()
-        self._compiler = IncrementalCompiler(
-            budget=budget, cache=self.validation_cache
-        )
-        # One plan per query *shape*: repeated queries skip unfolding (and,
-        # on SQLite, SQL generation) entirely.  Every model mutation goes
-        # through evolve/undo below, which invalidate exactly the plans the
-        # composed delta can affect.
-        self.plan_cache = PlanCache()
-        #: committed evolutions, oldest first; ``undo`` pops from the end
-        self.journal: List[JournalEntry] = []
+        #: the epoch engine every read and write goes through
+        self.engine = SessionEngine(model, backend, budget=budget)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -135,46 +96,74 @@ class OrmSession:
         model: CompiledModel,
         backend: Optional[str] = None,
         db_path: Optional[str] = None,
+        pool_size: int = 0,
     ) -> "OrmSession":
         """A session over an empty database.
 
         *backend* names the store engine (``"memory"`` / ``"sqlite"``);
         when ``None`` the ``REPRO_BACKEND`` environment variable decides
         (defaulting to memory).  *db_path* puts a SQLite store on disk
-        instead of in ``:memory:``.
+        instead of in ``:memory:``; *pool_size* > 0 provisions a reader
+        connection pool for concurrent serving.
         """
-        engine = create_backend(backend, model.store_schema, db_path=db_path)
+        engine = create_backend(
+            backend, model.store_schema, db_path=db_path, pool_size=pool_size
+        )
         return OrmSession(model, backend=engine)
 
     # ------------------------------------------------------------------
+    # Epoch views (compatibility surface — these read the current epoch)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> Epoch:
+        """The current immutable serving epoch."""
+        return self.engine.epoch
+
+    @property
+    def model(self) -> CompiledModel:
+        return self.engine.epoch.model
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self.engine.epoch.plan_cache
+
+    @property
+    def journal(self) -> List[JournalEntry]:
+        return self.engine.journal
+
+    @property
+    def backend(self) -> StoreBackend:
+        return self.engine.backend
+
+    @property
+    def validation_cache(self) -> ValidationCache:
+        return self.engine.validation_cache
+
     @property
     def store_state(self) -> StoreState:
         """The backend's contents as a (possibly cached) StoreState."""
-        return self.backend.to_store_state()
+        return self.engine.backend.to_store_state()
 
     @store_state.setter
     def store_state(self, state: StoreState) -> None:
-        self.backend.replace_contents(state)
+        self.engine.replace_contents(state)
 
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     def load(self) -> ClientState:
         """Materialise the whole object view of the database (Q)."""
-        return apply_query_views(
-            self.model.views, self.store_state, self.model.client_schema
-        )
+        return self.engine.load()
 
     def query(self, query: EntityQuery) -> List[object]:
         """Answer an object query from the relational data alone.
 
-        Served through the session's :class:`PlanCache`: the query is
-        split into a constant-free shape plus a parameter vector, and
+        Served through the current epoch's :class:`PlanCache`: the query
+        is split into a constant-free shape plus a parameter vector, and
         structurally identical queries reuse one unfolded (and, on
-        SQLite, SQL-compiled) plan.
+        SQLite, SQL-compiled) plan.  Safe to call from any thread.
         """
-        plan, values = self.plan_cache.plan_for(self.model, query)
-        return plan.execute(self.backend, values)
+        return self.engine.query(query)
 
     def explain(self, query: EntityQuery) -> str:
         """The store-level plan a query unfolds to (Entity-SQL text).
@@ -182,7 +171,7 @@ class OrmSession:
         Routed through the same plan cache as :meth:`query`, so explain
         shows — and warms — exactly the plan execution will use.
         """
-        plan, values = self.plan_cache.plan_for(self.model, query)
+        plan, values, _ = self.engine.plan_for(query)
         return plan.explain(values)
 
     def explain_sql(
@@ -191,11 +180,11 @@ class OrmSession:
         """Per-branch ``(constructed type, SQL text, bound parameters)``
         of the cached plan — the statements :meth:`query` executes on a
         SQL backend."""
-        plan, values = self.plan_cache.plan_for(self.model, query)
+        plan, values, epoch = self.engine.plan_for(query)
         return [
             (branch.concrete_type, compiled.text, params)
             for branch, compiled, params in plan.bound_sql(
-                self.model.store_schema, values
+                epoch.model.store_schema, values
             )
         ]
 
@@ -210,12 +199,7 @@ class OrmSession:
         interpreter checks PK/FK explicitly, SQLite enforces them
         natively.  On a constraint violation nothing is applied.
         """
-        target = apply_update_views(
-            self.model.views, new_state, self.model.store_schema
-        )
-        delta = diff_store_states(self.store_state, target)
-        self.backend.apply_delta(delta)
-        return delta
+        return self.engine.save(new_state)
 
     @contextmanager
     def edit(self) -> Iterator[ClientState]:
@@ -237,79 +221,31 @@ class OrmSession:
         A batch of one: see :meth:`evolve_many` for the mechanics and the
         journal entry this leaves behind.
         """
-        return self.evolve_many([smo], label=smo.describe())
+        return self.engine.evolve(smo)
 
     def evolve_many(
         self, smos: Sequence[Smo], label: Optional[str] = None
     ) -> StoreDelta:
         """Apply a batch of SMOs as one transaction and migrate the data.
 
-        The whole batch compiles through
-        :meth:`~repro.incremental.smo.IncrementalCompiler.compile_batch`,
-        so the scheduler validates the *union* neighborhood of the
-        composed delta once instead of once per SMO.  Migration = read
-        the data through the *old* query views, embed the resulting
-        client state into the evolved schema (the paper's ``f(c)``), and
-        store it through the *new* update views; the Section 2.3
-        soundness restriction guarantees this changes nothing for
-        pre-existing data.  On success a :class:`JournalEntry` is
-        appended (making the step :meth:`undo`-able); on a validation
-        abort the session — model, data, journal, cache — is untouched.
+        See :meth:`SessionEngine.evolve_many`: the batch validates one
+        union neighborhood, the evolved model + migrated store + surviving
+        plan-cache slice are built off to the side, and the new epoch is
+        published with a single atomic swap — concurrent queries never
+        observe a half-applied delta.
         """
-        smos = tuple(smos)
-        old_client = self.load()
-        batch = self._compiler.compile_batch(self.model, smos)
-        evolved = batch.model
-        migrated_client = old_client.embed_into(evolved.client_schema)
-        new_store = apply_update_views(
-            evolved.views, migrated_client, evolved.store_schema
-        )
-        store_before = self.store_state
-        delta = diff_store_states(store_before, new_store)
-        # Lower the store-side evolution to an ordered DDL + DML script
-        # and let the backend execute it as one transaction (the memory
-        # backend short-circuits to the computed target; SQLite runs the
-        # script for real and must land on the same state).
-        script = plan_migration(
-            self.model.store_schema, evolved.store_schema, store_before, new_store
-        )
-        entry = JournalEntry(
-            label=label or "; ".join(smo.describe() for smo in smos),
-            smos=batch.smos,
-            delta=batch.delta,
-            store_delta=delta,
-            store_before=store_before,
-            check_names=batch.check_names,
-        )
-        self.backend.migrate(script, evolved.store_schema, new_store)
-        self.model = evolved
-        self.journal.append(entry)
-        # Delta-scoped plan invalidation: only plans whose entity set or
-        # scanned tables the batch touched are evicted; shapes over
-        # untouched sets keep serving from cache across the evolution.
-        self.plan_cache.invalidate(batch.delta, evolved.mapping)
-        return delta
+        return self.engine.evolve_many(smos, label=label)
 
     def plan(self, smos: Sequence[Smo]) -> EvolutionPlan:
         """Dry-run a batch: the delta it would emit and the checks it
         would schedule, without touching the session's model or data."""
-        return self._compiler.plan(self.model, smos)
+        return self.engine.plan(smos)
 
     def migration_script(self, smos: Sequence[Smo]):
         """Dry-run the *store-side* migration of a batch: the ordered
         DDL + DML :class:`~repro.backend.migrate.MigrationScript` that
         :meth:`evolve_many` would execute, without mutating anything."""
-        smos = tuple(smos)
-        old_client = self.load()
-        batch = self._compiler.compile_batch(self.model, smos)
-        evolved = batch.model
-        migrated_client = old_client.embed_into(evolved.client_schema)
-        target = apply_update_views(
-            evolved.views, migrated_client, evolved.store_schema
-        )
-        return plan_migration(
-            self.model.store_schema, evolved.store_schema, self.store_state, target
-        )
+        return self.engine.migration_script(smos)
 
     def undo(self) -> JournalEntry:
         """Roll back the most recent :meth:`evolve` / :meth:`evolve_many`.
@@ -320,16 +256,7 @@ class OrmSession:
         snapshot.  Object-level edits saved *after* the evolution are
         rolled back with it.
         """
-        if not self.journal:
-            raise SmoError("nothing to undo: the session journal is empty")
-        entry = self.journal.pop()
-        inverse = entry.delta.inverse()
-        self.model = self.model.apply(inverse)
-        self.backend.replace_contents(entry.store_before)
-        # The inverse delta touches the same neighborhood as the original
-        # evolution; plans outside it are still valid and survive the undo.
-        self.plan_cache.invalidate(inverse, self.model.mapping)
-        return entry
+        return self.engine.undo()
 
     # ------------------------------------------------------------------
     # Validation
@@ -350,28 +277,24 @@ class OrmSession:
         toggles the layered containment fast path (branch subsumption and
         counterexample replay before state enumeration).
         """
-        return validate_mapping(
-            self.model.mapping,
-            self.model.views,
-            budget,
-            workers=workers,
-            executor=executor,
-            cache=self.validation_cache,
-            symbolic=symbolic,
+        return self.engine.validate(
+            budget=budget, workers=workers, executor=executor, symbolic=symbolic
         )
 
     def cache_stats(self) -> CacheStats:
-        return self.validation_cache.stats()
+        return self.engine.validation_cache.stats()
 
     def serving_stats(self) -> ServingStats:
         """Hit/miss/eviction counters of the query-serving fast path."""
-        statement_stats = getattr(self.backend, "statement_cache_stats", None)
-        index_stats = getattr(self.backend, "index_stats", None)
+        backend = self.engine.backend
+        statement_stats = getattr(backend, "statement_cache_stats", None)
+        index_stats = getattr(backend, "index_stats", None)
         return ServingStats(
-            backend=self.backend.name,
+            backend=backend.name,
             plans=self.plan_cache.stats(),
             statements=statement_stats() if statement_stats else None,
             indexes=index_stats() if index_stats else None,
+            epoch=self.engine.stats(),
         )
 
     # ------------------------------------------------------------------

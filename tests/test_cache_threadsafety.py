@@ -1,0 +1,186 @@
+"""Multi-thread stress for the serving caches.
+
+The epoch engine promises lock-free reads, which means the PlanCache and
+ValidationCache bookkeeping (LRU order, hit/miss/eviction counters,
+shape index) must tolerate many threads planning, hitting and evicting
+at once without corruption — and the ``successor`` snapshot taken by a
+writer must be consistent while readers keep inserting.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.algebra.conditions import Comparison
+from repro.compiler import compile_mapping
+from repro.containment.cache import ValidationCache
+from repro.incremental import CompiledModel
+from repro.query import EntityQuery
+from repro.query.plancache import PlanCache
+from repro.workloads.chain import chain_mapping, set_name
+
+THREADS = 8
+ROUNDS = 50
+CHAIN_TYPES = 6
+
+
+@pytest.fixture(scope="module")
+def chain_model() -> CompiledModel:
+    mapping = chain_mapping(CHAIN_TYPES)
+    return CompiledModel(mapping, compile_mapping(mapping, validate=False).views)
+
+
+def _run_threads(worker) -> list:
+    errors: list = []
+
+    def wrapped(index: int) -> None:
+        try:
+            worker(index)
+        except Exception as exc:  # noqa: BLE001 — collected for assertion
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+class TestPlanCacheThreadSafety:
+    def test_concurrent_plan_for_counts_every_request(self, chain_model):
+        cache = PlanCache()
+        queries = [
+            EntityQuery(set_name(1 + (i % CHAIN_TYPES)))
+            for i in range(CHAIN_TYPES)
+        ]
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                query = queries[(index + round_number) % len(queries)]
+                plan, values = cache.plan_for(chain_model, query)
+                assert plan is not None
+                assert values == ()
+
+        errors = _run_threads(worker)
+        assert not errors, errors[0]
+        stats = cache.stats()
+        assert stats.hits + stats.misses == THREADS * ROUNDS
+        assert stats.entries == CHAIN_TYPES
+        # duplicate compilations on a miss race are tolerated, but the
+        # cache must not under-count distinct shapes
+        assert stats.misses >= CHAIN_TYPES
+
+    def test_concurrent_eviction_pressure_stays_bounded(self, chain_model):
+        cache = PlanCache(max_plans=2)
+        conditions = [Comparison("Id", "=", value) for value in range(5)]
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                chosen = (index + round_number) % CHAIN_TYPES
+                query = EntityQuery(
+                    set_name(1 + chosen),
+                    conditions[round_number % len(conditions)],
+                )
+                cache.plan_for(chain_model, query)
+
+        errors = _run_threads(worker)
+        assert not errors, errors[0]
+        stats = cache.stats()
+        assert stats.entries <= 2
+        assert stats.evictions > 0
+        assert stats.hits + stats.misses == THREADS * ROUNDS
+
+    def test_successor_snapshot_during_concurrent_inserts(self, chain_model):
+        cache = PlanCache()
+        stop = threading.Event()
+        successors: list = []
+
+        def inserter(index: int) -> None:
+            if index == 0:
+                # one thread repeatedly takes successor snapshots
+                for _ in range(20):
+                    successors.append(cache.successor())
+                stop.set()
+                return
+            round_number = 0
+            while not stop.is_set():
+                query = EntityQuery(
+                    set_name(1 + (round_number % CHAIN_TYPES)),
+                    Comparison("Id", "=", round_number % 7),
+                )
+                cache.plan_for(chain_model, query)
+                round_number += 1
+
+        errors = _run_threads(inserter)
+        assert not errors, errors[0]
+        assert len(successors) == 20
+        for successor in successors:
+            # a successor is a coherent cache: counters carried over and
+            # every entry resolvable
+            stats = successor.stats()
+            assert stats.entries == len(successor)
+            assert stats.hits + stats.misses >= 0
+
+
+class TestValidationCacheThreadSafety:
+    def test_get_or_compute_from_many_threads(self):
+        cache = ValidationCache()
+        computed = []
+        lock = threading.Lock()
+
+        def compute_for(key: str):
+            def compute():
+                with lock:
+                    computed.append(key)
+                return f"value-{key}"
+
+            return compute
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                key = f"k{(index + round_number) % 10}"
+                value = cache.get_or_compute("test", key, compute_for(key))
+                assert value == f"value-{key}"
+
+        errors = _run_threads(worker)
+        assert not errors, errors[0]
+        stats = cache.stats()
+        assert stats.hits + stats.misses == THREADS * ROUNDS
+        assert len(cache) == 10
+
+    def test_eviction_under_concurrent_load(self):
+        cache = ValidationCache(max_entries=4)
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                key = f"k{(index * ROUNDS + round_number) % 16}"
+                cache.get_or_compute("test", key, lambda k=key: f"v-{k}")
+
+        errors = _run_threads(worker)
+        assert not errors, errors[0]
+        assert len(cache) <= 4
+        assert cache.stats().evictions > 0
+
+    def test_transactions_race_inserts(self):
+        cache = ValidationCache()
+
+        def worker(index: int) -> None:
+            for round_number in range(ROUNDS):
+                transaction = cache.begin_transaction()
+                cache.get_or_compute(
+                    "txn", f"{index}-{round_number}", lambda: round_number
+                )
+                if round_number % 2:
+                    cache.commit(transaction)
+                else:
+                    cache.rollback(transaction)
+
+        errors = _run_threads(worker)
+        assert not errors, errors[0]
+        # rolled-back insertions are gone, committed ones are present
+        assert 0 < len(cache) <= THREADS * ROUNDS
