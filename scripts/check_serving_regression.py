@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Regression gates over the serving benchmarks.
 
-Two JSON reports, two gates:
+Three JSON reports, three gates:
 
 **BENCH_query_serving.json** — fails (exit 1) if the serving fast path
 regressed below the uncached pipeline where the cache is the whole
@@ -28,9 +28,22 @@ physical-plan layer exists to keep that from coming back.
   writer's publication windows add on top of thread scheduling.  FACTOR
   defaults to 2 and can be overridden with ``REPRO_CHURN_P99_FACTOR``.
 
+**BENCH_incremental_writes.json** — the incremental-write (IVM) gates:
+
+* every measured size must report ``equivalent: true`` — the
+  incrementally-maintained store byte-identical to a whole-state
+  lowering — and ``ivm_fallbacks == 0`` (a fallback means a delta shape
+  the writeplan compiler should handle was silently re-materialized);
+* at the 10^5-row tier, ``save_delta`` must beat the whole-state save
+  by at least MIN_SPEEDUP× on every backend.  That is the whole point
+  of the incremental write path: O(|delta|) instead of O(|state|) per
+  save.  MIN_SPEEDUP defaults to 5 and can be overridden with
+  ``REPRO_INCREMENTAL_MIN_SPEEDUP``.
+
 Usage::
 
-    python scripts/check_serving_regression.py [query.json] [concurrent.json]
+    python scripts/check_serving_regression.py [query.json] [concurrent.json] \
+        [incremental.json]
 """
 
 import json
@@ -38,6 +51,8 @@ import os
 import sys
 
 DEFAULT_FACTOR = 2.0
+DEFAULT_MIN_SPEEDUP = 5.0
+GATED_SIZE = "100000"
 
 
 def check_query_serving(path: str) -> int:
@@ -109,6 +124,61 @@ def check_concurrent(path: str) -> int:
     return 0
 
 
+def check_incremental(path: str) -> int:
+    with open(path) as handle:
+        data = json.load(handle)
+    min_speedup = float(
+        os.environ.get("REPRO_INCREMENTAL_MIN_SPEEDUP", DEFAULT_MIN_SPEEDUP)
+    )
+    failures = 0
+    for backend, result in data["backends"].items():
+        for size, point in result["sizes"].items():
+            print(
+                f"{backend} @ {size} rows: whole={point['whole_state_ms']}ms "
+                f"incremental={point['incremental_ms']}ms "
+                f"speedup={point['speedup']}x "
+                f"equivalent={point['equivalent']} "
+                f"fallbacks={point['ivm_fallbacks']}"
+            )
+            if not point["equivalent"]:
+                print(
+                    f"FAIL [{backend} @ {size}]: incremental store diverged "
+                    "from the whole-state lowering — the IVM delta rules "
+                    "are wrong",
+                    file=sys.stderr,
+                )
+                failures += 1
+            if point["ivm_fallbacks"]:
+                print(
+                    f"FAIL [{backend} @ {size}]: {point['ivm_fallbacks']} "
+                    "IVM fallback(s) — a supported delta shape was "
+                    "re-materialized whole",
+                    file=sys.stderr,
+                )
+                failures += 1
+        gated = result["sizes"].get(GATED_SIZE)
+        if gated is None:
+            print(
+                f"({backend}: no {GATED_SIZE}-row tier; speedup gate skipped)"
+            )
+            continue
+        if gated["speedup"] is None or gated["speedup"] < min_speedup:
+            print(
+                f"FAIL [{backend}]: save_delta speedup {gated['speedup']}x "
+                f"at {GATED_SIZE} rows is below the {min_speedup}x floor — "
+                "the incremental write path no longer pays for itself",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        return 1
+    print(
+        f"OK: incremental saves equivalent, no fallbacks, >= {min_speedup}x "
+        f"at {GATED_SIZE} rows"
+    )
+    return 0
+
+
 def main() -> int:
     query_path = (
         sys.argv[1] if len(sys.argv) > 1 else "BENCH_query_serving.json"
@@ -118,11 +188,20 @@ def main() -> int:
         if len(sys.argv) > 2
         else "BENCH_serving_concurrent.json"
     )
+    incremental_path = (
+        sys.argv[3]
+        if len(sys.argv) > 3
+        else "BENCH_incremental_writes.json"
+    )
     status = check_query_serving(query_path)
     if os.path.exists(concurrent_path):
         status = check_concurrent(concurrent_path) or status
     else:
         print(f"({concurrent_path} not present; concurrent gates skipped)")
+    if os.path.exists(incremental_path):
+        status = check_incremental(incremental_path) or status
+    else:
+        print(f"({incremental_path} not present; incremental gates skipped)")
     return status
 
 

@@ -181,6 +181,17 @@ def evaluate_query(query: Query, context: EvaluationContext) -> List[RowDict]:
     return unique
 
 
+def evaluate_query_bag(query: Query, context: EvaluationContext) -> List[RowDict]:
+    """Bag-semantics evaluation (no dedup).
+
+    The incremental write path (:mod:`repro.ivm`) maintains per-row
+    multiplicity counts whose support must equal :func:`evaluate_query`'s
+    deduplicated output; seeding them from the raw bag keeps both paths
+    reading the same operator semantics.
+    """
+    return _evaluate(query, context)
+
+
 def _evaluate(query: Query, context: EvaluationContext) -> List[RowDict]:
     if isinstance(query, (SetScan, AssociationScan, TableScan)):
         return context.scan_rows(query)

@@ -382,21 +382,34 @@ def update_statement(table: Table, old_row: Row, new_row: Row) -> CompiledSql:
 def delta_statements(delta, schema: StoreSchema) -> List[CompiledSql]:
     """Lower a :class:`~repro.query.dml.StoreDelta` to ordered statements.
 
-    Deletes first, then updates, then inserts — with foreign-key checking
-    deferred to commit, this order is safe for any mix of tables.
+    Deletes first, then updates, then inserts — and within each verb the
+    tables run in foreign-key topology order (deletes visit referrers
+    before referees, inserts referees before referrers).  Foreign-key
+    checking is deferred to commit anyway, but the topological order
+    keeps every intermediate point of the script consistent too, so the
+    same script replays safely on engines without deferred checking.
+    Tables whose :class:`~repro.query.dml.TableDelta` is empty contribute
+    nothing (the incremental write path records touched tables even when
+    their net row change cancels out).
     """
+    # late import: ddl builds on this module's quoting helpers
+    from repro.backend.ddl import creation_order, drop_order
+
+    touched = [
+        schema.table(name)
+        for name in sorted(delta.tables)
+        if not delta.tables[name].empty
+    ]
     statements: List[CompiledSql] = []
-    for table_name in sorted(delta.tables):
-        table_delta = delta.tables[table_name]
-        for row in table_delta.deletes:
-            statements.append(delete_statement(table_name, row))
-    for table_name in sorted(delta.tables):
-        table = schema.table(table_name)
-        for old_row, new_row in delta.tables[table_name].updates:
+    for table in drop_order(touched):
+        for row in delta.tables[table.name].deletes:
+            statements.append(delete_statement(table.name, row))
+    for table in creation_order(touched):
+        for old_row, new_row in delta.tables[table.name].updates:
             statements.append(update_statement(table, old_row, new_row))
-    for table_name in sorted(delta.tables):
-        for row in delta.tables[table_name].inserts:
-            statements.append(insert_statement(table_name, row))
+    for table in creation_order(touched):
+        for row in delta.tables[table.name].inserts:
+            statements.append(insert_statement(table.name, row))
     return statements
 
 
@@ -408,7 +421,9 @@ def grouped_delta_statements(
     Consecutive statements with identical SQL text (the per-table delete /
     update / insert runs of :func:`delta_statements`) collapse into one
     group, so the backend can hand each group to ``executemany`` — one
-    prepared statement per table per verb instead of one per row.
+    prepared statement per table per verb instead of one per row.  Groups
+    are never empty: a table with no net changes emits no statements at
+    all rather than an empty parameter batch.
     """
     groups: List[Tuple[str, List[Tuple[object, ...]]]] = []
     for statement in delta_statements(delta, schema):
@@ -416,7 +431,7 @@ def grouped_delta_statements(
             groups[-1][1].append(statement.params)
         else:
             groups.append((statement.text, [statement.params]))
-    return groups
+    return [group for group in groups if group[1]]
 
 
 def script_text(statements: Sequence[CompiledSql]) -> str:

@@ -38,6 +38,7 @@ from repro.backend.sqlgen import (
 )
 from repro.errors import SchemaError, SmoError, ValidationError
 from repro.query.dml import StoreDelta
+from repro.query.dml import apply_delta as apply_store_delta
 from repro.relational.constraints import ConstraintViolation
 from repro.relational.instances import Row, StoreState
 from repro.relational.schema import StoreSchema
@@ -365,7 +366,12 @@ class SqliteBackend(StoreBackend):
                     f"update would violate store constraints: {exc}",
                     check="save-changes",
                 ) from exc
-            self._invalidate()
+            # maintain the state cache incrementally: an applied delta
+            # touches exactly the rows it names, so the cached state can
+            # absorb it without re-reading the database (the incremental
+            # write path would otherwise pay a full scan per save here)
+            if self._state_cache is not None:
+                self._state_cache = apply_store_delta(self._state_cache, delta)
 
     def migrate(self, script, new_schema: StoreSchema, target: StoreState) -> None:
         with self._gate.write(), self._conn_lock:

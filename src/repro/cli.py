@@ -8,6 +8,7 @@
     python -m repro plan compiled.json target-schema.json
     python -m repro query compiled.json Persons --where "Id>1" --db app.db
     python -m repro query compiled.json Persons --repeat 500 --stats
+    python -m repro save-delta compiled.json delta.json --db app.db
     python -m repro stats compiled.json --db app.db
     python -m repro ddl compiled.json [--target target-schema.json]
     python -m repro serve --model compiled.json --port 8123
@@ -268,6 +269,27 @@ def cmd_query(args: argparse.Namespace) -> int:
         session.backend.close()
 
 
+def cmd_save_delta(args: argparse.Namespace) -> int:
+    """Apply a delta-script document through the incremental write path."""
+    from repro.service.wire import delta_script_from_json
+
+    model = load_model(_read_json(args.model))
+    script = delta_script_from_json(_read_json(args.delta))
+    session = _open_session(args, model)
+    try:
+        delta = session.save_delta(script)
+        print(delta)
+        print(
+            f"{len(script)} op(s) -> {delta.statement_count()} statement(s)",
+            file=sys.stderr,
+        )
+        if args.stats:
+            print(session.serving_stats(), file=sys.stderr)
+        return 0
+    finally:
+        session.backend.close()
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Exercise every entity set twice and print the serving counters —
     a quick view of plan/statement cache behaviour on a given store."""
@@ -457,6 +479,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser(
+        "save-delta",
+        help="apply a delta-script document (wire {'ops': [...]}) through "
+        "the incremental write path",
+    )
+    p.add_argument("model")
+    p.add_argument("delta", help="delta-script JSON document")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print serving counters (incl. write plans) after applying",
+    )
+    _add_backend_flags(p)
+    p.set_defaults(fn=cmd_save_delta)
+
+    p = sub.add_parser(
         "stats",
         help="query every entity set --repeat times and print plan/"
         "statement/validation cache counters",
@@ -493,7 +530,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="run the multi-tenant HTTP session service (query/save/"
-        "evolve/undo/stats over JSON; one epoch-engine session per tenant)",
+        "save_delta/evolve/undo/stats over JSON; one epoch-engine session "
+        "per tenant)",
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8123)

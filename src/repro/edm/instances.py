@@ -54,30 +54,53 @@ class Entity:
 class ClientState:
     """An instance of a :class:`ClientSchema`.
 
-    Entities are stored per entity set; associations per association set as
-    tuples of role-qualified key values.
+    Entities are stored per entity set, keyed by their key tuple (dicts
+    preserve insertion order, and key-addressed storage makes update and
+    removal O(1) — the incremental write path edits large states in
+    place); associations per association set as tuples of role-qualified
+    key values, with per-end indexes for delta-propagation probes.
+
+    A :class:`~repro.ivm.clientdelta.ClientDelta` (or anything with the
+    same ``record_entity`` / ``record_association`` methods) can be
+    attached with :meth:`record_into`; every mutation is then reported to
+    it as a net change.
     """
 
     def __init__(self, schema: ClientSchema) -> None:
         self.schema = schema
         # populated lazily: a 1000-set schema must not pay O(sets) per state
-        self._entities: Dict[str, List[Entity]] = {}
-        self._associations: Dict[str, List[Tuple[object, ...]]] = {}
-        # parallel key indexes: bulk loads (10^5-entity benchmark states)
-        # must not pay O(entities) per-insert duplicate/lookup scans
-        self._entity_keys: Dict[str, Dict[Tuple[object, ...], Entity]] = {}
-        self._assoc_pairs: Dict[str, set] = {}
-        self._assoc_ends: Dict[str, Tuple[set, set]] = {}
+        self._entities: Dict[str, Dict[Tuple[object, ...], Entity]] = {}
+        # ordered set of flat (key1 + key2) tuples per association
+        self._associations: Dict[str, Dict[Tuple[object, ...], None]] = {}
+        # per-end probe indexes: end-key tuple -> list of flat pairs
+        self._assoc_by_end: Dict[
+            str,
+            Tuple[
+                Dict[Tuple[object, ...], List[Tuple[object, ...]]],
+                Dict[Tuple[object, ...], List[Tuple[object, ...]]],
+            ],
+        ] = {}
+        self._recorder: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_into(self, recorder: object) -> None:
+        """Report every subsequent mutation as a net change to *recorder*."""
+        self._recorder = recorder
+
+    def stop_recording(self) -> None:
+        self._recorder = None
 
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
-    def add_entity(self, set_name: str, entity: Entity) -> Entity:
-        if set_name not in self._entities:
-            if not self.schema.has_entity_set(set_name):
-                raise SchemaError(f"unknown entity set {set_name!r}")
-            self._entities[set_name] = []
-            self._entity_keys[set_name] = {}
+    def entity_key(self, entity: Entity) -> Tuple[object, ...]:
+        """The entity's key tuple (hierarchies share the root's key)."""
+        return entity.key_tuple(self.schema.key_of(entity.concrete_type))
+
+    def _validate_entity(self, set_name: str, entity: Entity) -> Tuple[object, ...]:
+        """Schema-check one entity against *set_name*; returns its key."""
         entity_set = self.schema.entity_set(set_name)
         if entity.concrete_type not in self.schema.descendants_or_self(entity_set.root_type):
             raise SchemaError(
@@ -105,26 +128,68 @@ class ClientState:
                 raise SchemaError(
                     f"value {value!r} outside domain of {entity.concrete_type}.{name}"
                 )
-        key = self.schema.key_of(entity.concrete_type)
-        values = entity.value_map
-        key_value = tuple(values[k] for k in key)
-        keyed = self._entity_keys[set_name]
+        return self.entity_key(entity)
+
+    def add_entity(self, set_name: str, entity: Entity) -> Entity:
+        if set_name not in self._entities:
+            if not self.schema.has_entity_set(set_name):
+                raise SchemaError(f"unknown entity set {set_name!r}")
+            self._entities[set_name] = {}
+        key_value = self._validate_entity(set_name, entity)
+        keyed = self._entities[set_name]
         if key_value in keyed:
             raise SchemaError(
                 f"duplicate key {key_value!r} in entity set {set_name!r}"
             )
-        self._entities[set_name].append(entity)
         keyed[key_value] = entity
+        if self._recorder is not None:
+            self._recorder.record_entity(set_name, key_value, None, entity)
         return entity
+
+    def update_entity(self, set_name: str, entity: Entity) -> Entity:
+        """Replace the entity with *entity*'s key by *entity* in place."""
+        if set_name not in self._entities:
+            if not self.schema.has_entity_set(set_name):
+                raise SchemaError(f"unknown entity set {set_name!r}")
+            self._entities[set_name] = {}
+        key_value = self._validate_entity(set_name, entity)
+        keyed = self._entities[set_name]
+        old = keyed.get(key_value)
+        if old is None:
+            raise SchemaError(
+                f"no entity with key {key_value!r} in entity set {set_name!r}"
+            )
+        keyed[key_value] = entity
+        if self._recorder is not None:
+            self._recorder.record_entity(set_name, key_value, old, entity)
+        return entity
+
+    def remove_entity(self, set_name: str, key_value: Tuple[object, ...]) -> Entity:
+        """Remove and return the entity with key *key_value*.
+
+        Associations referencing the entity are left in place (like FK
+        checking, referential consistency is enforced at save time).
+        """
+        key_value = tuple(key_value)
+        old = self._entities.get(set_name, {}).pop(key_value, None)
+        if old is None:
+            if not self.schema.has_entity_set(set_name):
+                raise SchemaError(f"unknown entity set {set_name!r}")
+            raise SchemaError(
+                f"no entity with key {key_value!r} in entity set {set_name!r}"
+            )
+        if self._recorder is not None:
+            self._recorder.record_entity(set_name, key_value, old, None)
+        return old
 
     def add_association(self, assoc_name: str, key1: Tuple[object, ...], key2: Tuple[object, ...]) -> None:
         if assoc_name not in self._associations:
             if not self.schema.has_association(assoc_name):
                 raise SchemaError(f"unknown association {assoc_name!r}")
-            self._associations[assoc_name] = []
-            self._assoc_pairs[assoc_name] = set()
-            self._assoc_ends[assoc_name] = (set(), set())
+            self._associations[assoc_name] = {}
+            self._assoc_by_end[assoc_name] = ({}, {})
         association = self.schema.association(assoc_name)
+        key1, key2 = tuple(key1), tuple(key2)
         end1_entity = self._find_by_key(association.entity_set1, key1)
         end2_entity = self._find_by_key(association.entity_set2, key2)
         if end1_entity is None or end2_entity is None:
@@ -137,36 +202,55 @@ class ClientState:
                     f"entity {entity} cannot participate as {end.role_name!r} "
                     f"in association {assoc_name!r}"
                 )
-        pair = tuple(key1) + tuple(key2)
-        if pair in self._assoc_pairs[assoc_name]:
+        pair = key1 + key2
+        if pair in self._associations[assoc_name]:
             raise SchemaError(f"duplicate association tuple {pair!r} in {assoc_name!r}")
         self._check_multiplicity(association, key1, key2)
-        self._associations[assoc_name].append(pair)
-        self._assoc_pairs[assoc_name].add(pair)
-        end1_keys, end2_keys = self._assoc_ends[assoc_name]
-        end1_keys.add(tuple(key1))
-        end2_keys.add(tuple(key2))
+        self._associations[assoc_name][pair] = None
+        by_end1, by_end2 = self._assoc_by_end[assoc_name]
+        by_end1.setdefault(key1, []).append(pair)
+        by_end2.setdefault(key2, []).append(pair)
+        if self._recorder is not None:
+            self._recorder.record_association(assoc_name, pair, +1)
+
+    def remove_association(self, assoc_name: str, key1: Tuple[object, ...], key2: Tuple[object, ...]) -> None:
+        key1, key2 = tuple(key1), tuple(key2)
+        pair = key1 + key2
+        pairs = self._associations.get(assoc_name, {})
+        if pair not in pairs:
+            if not self.schema.has_association(assoc_name):
+                raise SchemaError(f"unknown association {assoc_name!r}")
+            raise SchemaError(
+                f"association tuple {pair!r} not present in {assoc_name!r}"
+            )
+        del pairs[pair]
+        by_end1, by_end2 = self._assoc_by_end[assoc_name]
+        by_end1[key1].remove(pair)
+        if not by_end1[key1]:
+            del by_end1[key1]
+        by_end2[key2].remove(pair)
+        if not by_end2[key2]:
+            del by_end2[key2]
+        if self._recorder is not None:
+            self._recorder.record_association(assoc_name, pair, -1)
 
     def _check_multiplicity(self, association, key1, key2) -> None:
-        key1, key2 = tuple(key1), tuple(key2)
-        end1_keys, end2_keys = self._assoc_ends.get(
-            association.name, (frozenset(), frozenset())
-        )
+        by_end1, by_end2 = self._assoc_by_end.get(association.name, ({}, {}))
         if association.end2.multiplicity.at_most_one():
-            if key1 in end1_keys:
+            if key1 in by_end1:
                 raise SchemaError(
                     f"multiplicity {association.end2.multiplicity} violated on end "
                     f"{association.end2.role_name!r} of {association.name!r}"
                 )
         if association.end1.multiplicity.at_most_one():
-            if key2 in end2_keys:
+            if key2 in by_end2:
                 raise SchemaError(
                     f"multiplicity {association.end1.multiplicity} violated on end "
                     f"{association.end1.role_name!r} of {association.name!r}"
                 )
 
     def _find_by_key(self, set_name: str, key_value: Tuple[object, ...]) -> Optional[Entity]:
-        return self._entity_keys.get(set_name, {}).get(tuple(key_value))
+        return self._entities.get(set_name, {}).get(tuple(key_value))
 
     # ------------------------------------------------------------------
     # Access
@@ -176,7 +260,13 @@ class ClientState:
             if not self.schema.has_entity_set(set_name):
                 raise SchemaError(f"unknown entity set {set_name!r}")
             return ()
-        return tuple(self._entities[set_name])
+        return tuple(self._entities[set_name].values())
+
+    def entity_by_key(self, set_name: str, key_value: Tuple[object, ...]) -> Optional[Entity]:
+        """Keyed lookup (the incremental write path's probe primitive)."""
+        if set_name not in self._entities and not self.schema.has_entity_set(set_name):
+            raise SchemaError(f"unknown entity set {set_name!r}")
+        return self._find_by_key(set_name, key_value)
 
     def associations(self, assoc_name: str) -> Tuple[Tuple[object, ...], ...]:
         if assoc_name not in self._associations:
@@ -184,6 +274,18 @@ class ClientState:
                 raise SchemaError(f"unknown association {assoc_name!r}")
             return ()
         return tuple(self._associations[assoc_name])
+
+    def associations_with_end(
+        self, assoc_name: str, end: int, key_value: Tuple[object, ...]
+    ) -> Tuple[Tuple[object, ...], ...]:
+        """All pairs of *assoc_name* whose end ``end`` (0 or 1) equals
+        *key_value* — the association-side probe index."""
+        if assoc_name not in self._associations:
+            if not self.schema.has_association(assoc_name):
+                raise SchemaError(f"unknown association {assoc_name!r}")
+            return ()
+        index = self._assoc_by_end[assoc_name][end]
+        return tuple(index.get(tuple(key_value), ()))
 
     def entity_count(self) -> int:
         return sum(len(v) for v in self._entities.values())
@@ -196,7 +298,7 @@ class ClientState:
         result: Dict[str, FrozenSet] = {}
         for set_name, entities in self._entities.items():
             if entities:
-                result[f"set:{set_name}"] = frozenset(entities)
+                result[f"set:{set_name}"] = frozenset(entities.values())
         for assoc_name, pairs in self._associations.items():
             if pairs:
                 result[f"assoc:{assoc_name}"] = frozenset(pairs)
@@ -222,7 +324,7 @@ class ClientState:
                         f"cannot embed: entity set {set_name!r} dropped but non-empty"
                     )
                 continue
-            for entity in entities:
+            for entity in entities.values():
                 expected = schema.attribute_names_of(entity.concrete_type)
                 provided = {name for name, _ in entity.values}
                 gained = [
@@ -254,7 +356,7 @@ class ClientState:
     def __str__(self) -> str:
         lines = ["ClientState:"]
         for set_name, entities in self._entities.items():
-            lines.append(f"  {set_name}: {[str(e) for e in entities]}")
+            lines.append(f"  {set_name}: {[str(e) for e in entities.values()]}")
         for assoc_name, pairs in self._associations.items():
-            lines.append(f"  {assoc_name}: {pairs}")
+            lines.append(f"  {assoc_name}: {list(pairs)}")
         return "\n".join(lines)

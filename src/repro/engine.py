@@ -45,8 +45,9 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.backend.base import ReadView, StoreBackend
 from repro.backend.migrate import plan_migration
@@ -54,10 +55,18 @@ from repro.budget import WorkBudget
 from repro.compiler.validation import ValidationReport, validate_mapping
 from repro.containment.cache import ValidationCache
 from repro.edm.instances import ClientState
-from repro.errors import EvaluationError, SmoError
+from repro.errors import EvaluationError, IvmError, SmoError
 from repro.incremental.delta import MappingDelta
 from repro.incremental.model import CompiledModel
 from repro.incremental.smo import EvolutionPlan, IncrementalCompiler, Smo
+from repro.ivm import (
+    ClientDelta,
+    DeltaScript,
+    IncrementalWriteState,
+    WriteplanCache,
+    push_client_delta,
+    seed_counts,
+)
 from repro.mapping.roundtrip import apply_query_views, apply_update_views
 from repro.query.dml import StoreDelta, diff_store_states
 from repro.query.language import EntityQuery
@@ -143,6 +152,9 @@ class EngineStats:
     #: responses served despite failing validation — must stay 0;
     #: anything else is a bug, and the concurrent benchmark asserts on it
     torn_reads_served: int = 0
+    #: incremental saves that hit an IvmError and fell back to a
+    #: whole-state save (correct, just not incremental)
+    ivm_fallbacks: int = 0
 
     def __str__(self) -> str:
         return (
@@ -150,7 +162,8 @@ class EngineStats:
             f"published={self.epochs_published}, queries={self.queries}, "
             f"retries={self.read_retries}, "
             f"serialized={self.serialized_reads}, "
-            f"torn_served={self.torn_reads_served})"
+            f"torn_served={self.torn_reads_served}, "
+            f"ivm_fallbacks={self.ivm_fallbacks})"
         )
 
 
@@ -188,6 +201,13 @@ class SessionEngine:
         self._read_retries = 0
         self._serialized_reads = 0
         self._torn_reads_served = 0
+        self._ivm_fallbacks = 0
+        #: compiled write plans survive across epochs (delta-scoped
+        #: invalidation on evolution, like the read-side PlanCache)
+        self.writeplans = WriteplanCache()
+        #: lazily-materialized client view + view-row counts backing the
+        #: incremental write path; None = must reseed from the backend
+        self._incremental: Optional[IncrementalWriteState] = None
         self._epoch = self._next_epoch(model, PlanCache())
 
     # ------------------------------------------------------------------
@@ -341,6 +361,7 @@ class SessionEngine:
         readers see the new data atomically.
         """
         with self._writer_lock:
+            self._incremental = None  # state replaced wholesale; reseed lazily
             epoch = self._epoch
             target = apply_update_views(
                 epoch.model.views, new_state, epoch.model.store_schema
@@ -353,6 +374,132 @@ class SessionEngine:
                 fingerprint=epoch.fingerprint,
             )
             return delta
+
+    # ------------------------------------------------------------------
+    # Incremental writing (IVM)
+    # ------------------------------------------------------------------
+    def _incremental_write_state(self) -> IncrementalWriteState:
+        """The cached client view + view-row counts (writer lock held).
+
+        Seeded on first use (or after anything that replaced the data or
+        the model out from under it) by one whole-database load plus one
+        bag evaluation of every update view — the last full-cost
+        materialization an uninterrupted run of incremental saves pays.
+        """
+        if self._incremental is None:
+            state = self.load()
+            counts = seed_counts(self._epoch.model, state)
+            self._incremental = IncrementalWriteState(state, counts)
+        return self._incremental
+
+    def apply_script(self, script: DeltaScript) -> StoreDelta:
+        """Apply a :class:`DeltaScript` incrementally (the wire verb).
+
+        The script replays onto the engine's cached client view with
+        recording on; the captured :class:`ClientDelta` then pushes
+        through the compiled writeplans.  Validation errors raised by the
+        replay leave the cached state only partially mutated, so any
+        failure drops the cache — the next incremental save reseeds.
+        """
+        with self._writer_lock:
+            inc = self._incremental_write_state()
+            recorder = ClientDelta()
+            inc.client_state.record_into(recorder)
+            try:
+                script.apply_to(inc.client_state)
+            except BaseException:
+                self._incremental = None
+                raise
+            finally:
+                inc.client_state.stop_recording()
+            return self._push_delta(inc, recorder)
+
+    @contextmanager
+    def incremental_edit(self) -> Iterator[ClientState]:
+        """Context manager yielding the cached client view with recording
+        on; mutations made inside the block are pushed incrementally on
+        exit.  An exception inside the block drops the cache (the state
+        may be partially mutated) and propagates."""
+        with self._writer_lock:
+            inc = self._incremental_write_state()
+            recorder = ClientDelta()
+            inc.client_state.record_into(recorder)
+            try:
+                yield inc.client_state
+            except BaseException:
+                self._incremental = None
+                raise
+            finally:
+                inc.client_state.stop_recording()
+            self._push_delta(inc, recorder)
+
+    def apply_client_delta(self, delta: ClientDelta) -> StoreDelta:
+        """Push an externally-recorded :class:`ClientDelta`.
+
+        The delta must describe mutations *already applied* to the
+        engine's cached client view (record with
+        :meth:`incremental_edit`, or :meth:`ClientState.record_into` on
+        the state returned by a prior load that the engine adopted).
+        """
+        with self._writer_lock:
+            inc = self._incremental_write_state()
+            return self._push_delta(inc, recorder=delta)
+
+    def _push_delta(
+        self, inc: IncrementalWriteState, recorder: ClientDelta
+    ) -> StoreDelta:
+        """Compile *recorder* into store DML and publish (lock held).
+
+        :class:`~repro.errors.IvmError` (an update-view shape or a count
+        invariant the delta rules cannot maintain exactly) falls back to
+        a whole-state save of the already-mutated cached view — always
+        correct, never an error surfaced to the caller.  Backend failures
+        drop the cache so counts cannot drift from the store.
+        """
+        if recorder.empty:
+            return StoreDelta()
+        epoch = self._epoch
+        try:
+            store_delta, pending = push_client_delta(
+                epoch.model, recorder, inc, self.writeplans
+            )
+        except IvmError:
+            self._ivm_fallbacks += 1
+            return self._fallback_save(inc)
+        try:
+            if not store_delta.empty:
+                self._commit(
+                    lambda: self.backend.apply_delta(store_delta),
+                    epoch.model,
+                    epoch.plan_cache,
+                    fingerprint=epoch.fingerprint,
+                )
+        except BaseException:
+            self._incremental = None
+            raise
+        inc.commit(pending)
+        return store_delta
+
+    def _fallback_save(self, inc: IncrementalWriteState) -> StoreDelta:
+        """Whole-state save of the mutated cached view, then reseed counts."""
+        epoch = self._epoch
+        try:
+            target = apply_update_views(
+                epoch.model.views, inc.client_state, epoch.model.store_schema
+            )
+            delta = diff_store_states(self.backend.to_store_state(), target)
+            if not delta.empty:
+                self._commit(
+                    lambda: self.backend.apply_delta(delta),
+                    epoch.model,
+                    epoch.plan_cache,
+                    fingerprint=epoch.fingerprint,
+                )
+            inc.counts = seed_counts(epoch.model, inc.client_state)
+        except BaseException:
+            self._incremental = None
+            raise
+        return delta
 
     def evolve_many(
         self, smos: Sequence[Smo], label: Optional[str] = None
@@ -413,6 +560,12 @@ class SessionEngine:
                 evolved,
                 next_plans,
             )
+            # writeplans for sets/assocs/tables the batch touched are
+            # stale; untouched ones stay hot (write-side neighborhood
+            # principle).  The cached counts key on constructed rows of
+            # the *old* views, so they always reseed.
+            self.writeplans.invalidate(batch.delta, evolved.mapping)
+            self._incremental = None
             self.journal.append(entry)
             return delta
 
@@ -446,6 +599,8 @@ class SessionEngine:
                 restored,
                 next_plans,
             )
+            self.writeplans.invalidate(inverse, restored.mapping)
+            self._incremental = None
             self.journal.pop()
             return entry
 
@@ -454,6 +609,7 @@ class SessionEngine:
         model is unchanged but every cached plan is dropped — a wholesale
         reset may swap the store schema under the plans' feet."""
         with self._writer_lock:
+            self._incremental = None
             epoch = self._epoch
             self._commit(
                 lambda: self.backend.replace_contents(state),
@@ -518,6 +674,7 @@ class SessionEngine:
             read_retries=self._read_retries,
             serialized_reads=self._serialized_reads,
             torn_reads_served=self._torn_reads_served,
+            ivm_fallbacks=self._ivm_fallbacks,
         )
 
     def close(self) -> None:

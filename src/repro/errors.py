@@ -58,6 +58,15 @@ class EvaluationError(ReproError):
     """A query or view could not be evaluated over an instance."""
 
 
+class IvmError(ReproError):
+    """Incremental delta propagation hit a shape or invariant it cannot
+    maintain exactly.
+
+    Never escapes the engine: the incremental save path catches it and
+    falls back to a whole-state save, which is always correct.
+    """
+
+
 class CompilationBudgetExceeded(ReproError):
     """Full compilation exceeded its configured work budget.
 

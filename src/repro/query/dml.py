@@ -80,6 +80,31 @@ def translate_update(
     return diff_store_states(old_store, new_store)
 
 
+def classify_rows(table, fresh, gone) -> TableDelta:
+    """Classify changed rows of one table into inserts/deletes/updates.
+
+    Rows of *fresh* and *gone* sharing a primary key become update pairs.
+    Shared by :func:`diff_store_states` and the incremental write path
+    (:mod:`repro.ivm.writeplan`), so both produce identically classified
+    and ordered DML for the same row changes.
+    """
+
+    def key_of(row: Row) -> Tuple[object, ...]:
+        return row_values(row, table.primary_key)
+
+    gone_by_key = {key_of(r): r for r in gone}
+    table_delta = TableDelta(table.name)
+    # sort by repr: rows may mix None with values of any type
+    for row in sorted(fresh, key=repr):
+        old_row = gone_by_key.pop(key_of(row), None)
+        if old_row is not None:
+            table_delta.updates.append((old_row, row))
+        else:
+            table_delta.inserts.append(row)
+    table_delta.deletes.extend(sorted(gone_by_key.values(), key=repr))
+    return table_delta
+
+
 def diff_store_states(old: StoreState, new: StoreState) -> StoreDelta:
     """Per-table row diff, pairing rows that share a primary key."""
     delta = StoreDelta()
@@ -90,41 +115,33 @@ def diff_store_states(old: StoreState, new: StoreState) -> StoreDelta:
         table = new.schema.table(table_name)
         old_rows: Set[Row] = set(old.rows(table_name))
         new_rows: Set[Row] = set(new.rows(table_name))
-        gone = old_rows - new_rows
-        fresh = new_rows - old_rows
-
-        def key_of(row: Row) -> Tuple[object, ...]:
-            return row_values(row, table.primary_key)
-
-        gone_by_key = {key_of(r): r for r in gone}
-        table_delta = TableDelta(table_name)
-        # sort by repr: rows may mix None with values of any type
-        for row in sorted(fresh, key=repr):
-            old_row = gone_by_key.pop(key_of(row), None)
-            if old_row is not None:
-                table_delta.updates.append((old_row, row))
-            else:
-                table_delta.inserts.append(row)
-        table_delta.deletes.extend(sorted(gone_by_key.values(), key=repr))
+        table_delta = classify_rows(table, new_rows - old_rows, old_rows - new_rows)
         if not table_delta.empty:
             delta.tables[table_name] = table_delta
     return delta
 
 
 def apply_delta(store_state: StoreState, delta: StoreDelta) -> StoreState:
-    """A new store state with *delta* applied (deletes, updates, inserts)."""
+    """A new store state with *delta* applied (deletes, updates, inserts).
+
+    Cost is O(|delta| + touched tables' rows): tables the delta does not
+    touch share the input state's row storage by reference (see
+    :meth:`StoreState.adopt_table`) instead of being copied row by row —
+    that copy was the hidden O(n) that made incremental saves pay full
+    re-materialization just to maintain the backend's state cache.
+    """
     result = StoreState(store_state.schema)
-    removed: Dict[str, Set[Row]] = {}
-    for table_name, table_delta in delta.tables.items():
-        dead = removed.setdefault(table_name, set())
-        dead.update(table_delta.deletes)
-        dead.update(old for old, _ in table_delta.updates)
+    touched = {name for name, td in delta.tables.items() if not td.empty}
     for table in store_state.populated_tables():
-        dead = removed.get(table.name, set())
-        for row in store_state.rows(table.name):
-            if row not in dead:
-                result.add_row(table.name, row)
-    for table_name, table_delta in delta.tables.items():
+        if table.name not in touched:
+            result.adopt_table(store_state, table.name)
+    for table_name in sorted(touched):
+        table_delta = delta.tables[table_name]
+        dead: Set[Row] = set(table_delta.deletes)
+        dead.update(old for old, _ in table_delta.updates)
+        # surviving rows were validated when first added; only the
+        # delta's new rows go through add_row's domain checks
+        result.carry_rows(store_state, table_name, dead)
         for row in table_delta.inserts:
             result.add_row(table_name, row)
         for _, row in table_delta.updates:

@@ -294,6 +294,7 @@ class ServingStats:
     statements: Optional[object] = None  # StatementCacheStats on SQLite
     indexes: Optional[object] = None  # IndexStats on the memory backend
     epoch: Optional[object] = None  # EngineStats from the epoch engine
+    writeplans: Optional[object] = None  # WriteplanCacheStats (IVM writes)
 
     def __str__(self) -> str:
         lines = [
@@ -333,6 +334,13 @@ class ServingStats:
                 f" published={e.epochs_published} queries={e.queries}"
                 f" retries={e.read_retries}"
                 f" serialized={e.serialized_reads} torn={e.torn_reads_served}"
+            )
+        if self.writeplans is not None:
+            w = self.writeplans
+            lines.append(
+                f"  write plans     : hits={w.hits} misses={w.misses}"
+                f" compiled={w.compiled}"
+                f" invalidations={w.invalidations} entries={w.entries}"
             )
         return "\n".join(lines)
 

@@ -10,7 +10,7 @@ tests enforce that agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List
 
 from repro.relational.instances import Row, StoreState, row_values
 
@@ -87,17 +87,19 @@ def check_delta(
     guarantees (a violating delta is rejected, so the stored state is
     always consistent).  Under that invariant:
 
-    * a **primary-key** violation can only appear in a table receiving
-      rows, so only those tables are re-scanned;
+    * a **primary-key** violation must involve a new row (old rows were
+      mutually consistent), so only new rows probe the key index;
     * an **outgoing foreign-key** violation can only dangle from a new
-      row, so only new rows are checked (against lazily-built referenced
-      key sets);
+      row, so only new rows probe the referenced-key index;
     * an **incoming foreign-key** violation can only arise when a
-      referenced key is removed, so referring tables are scanned only
-      for keys that actually left the store (new rows are skipped — the
-      outgoing pass already covered them).
+      referenced key is removed, so only keys that actually left the
+      store probe the referrers' foreign-key index (new rows are
+      skipped — the outgoing pass already covered them).
 
-    Cost is O(delta + affected tables), not O(store).
+    All probes go through :meth:`StoreState.key_index`, which successor
+    states inherit adjusted in O(|delta|) — so a *warm* check costs
+    O(delta); only the first check after a cold load pays one O(rows)
+    index build per (table, key) pair.
     """
     schema = candidate.schema
     new_rows: Dict[str, List[Row]] = {}
@@ -112,44 +114,36 @@ def check_delta(
 
     violations: List[ConstraintViolation] = []
 
-    # primary keys: full per-table check, but only for touched tables
-    for table_name in new_rows:
+    # primary keys: each new row probes the key index for a *different*
+    # row sharing its key (old-vs-old duplicates are impossible when the
+    # base is consistent, and old rows cannot have null keys)
+    for table_name, rows in new_rows.items():
         table = schema.table(table_name)
-        seen: Dict[Tuple[object, ...], Row] = {}
-        for row in candidate.rows(table_name):
+        index = candidate.key_index(table_name, table.primary_key)
+        for row in rows:
             key = row_values(row, table.primary_key)
             if any(v is None for v in key):
                 violations.append(
                     ConstraintViolation(table.name, "not-null", f"null in key {key!r}")
                 )
                 continue
-            if key in seen and seen[key] != row:
-                violations.append(
-                    ConstraintViolation(
-                        table.name, "primary-key", f"duplicate key {key!r}"
+            for other in index.get(key, ()):
+                if other != row:
+                    violations.append(
+                        ConstraintViolation(
+                            table.name, "primary-key", f"duplicate key {key!r}"
+                        )
                     )
-                )
-            seen[key] = row
-
-    ref_key_cache: Dict[Tuple[str, Tuple[str, ...]], Set] = {}
-
-    def ref_keys(foreign_key) -> Set[Tuple[object, ...]]:
-        cache_key = (foreign_key.ref_table, foreign_key.ref_columns)
-        cached = ref_key_cache.get(cache_key)
-        if cached is None:
-            cached = {
-                row_values(r, foreign_key.ref_columns)
-                for r in candidate.rows(foreign_key.ref_table)
-            }
-            ref_key_cache[cache_key] = cached
-        return cached
+                    break
 
     # outgoing foreign keys of new rows
     new_row_sets = {name: set(rows) for name, rows in new_rows.items()}
     for table_name, rows in new_rows.items():
         table = schema.table(table_name)
         for foreign_key in table.foreign_keys:
-            targets = ref_keys(foreign_key)
+            targets = candidate.key_index(
+                foreign_key.ref_table, foreign_key.ref_columns
+            )
             for row in rows:
                 value = row_values(row, foreign_key.columns)
                 if any(v is None for v in value):
@@ -170,18 +164,21 @@ def check_delta(
             removed = removed_rows.get(foreign_key.ref_table)
             if not removed:
                 continue
+            still_present = candidate.key_index(
+                foreign_key.ref_table, foreign_key.ref_columns
+            )
             gone_keys = {
                 row_values(r, foreign_key.ref_columns) for r in removed
-            } - ref_keys(foreign_key)
+            } - still_present.keys()
             if not gone_keys:
                 continue
-            for row in candidate.rows(table.name):
-                if row in fresh_set:
-                    continue  # the outgoing pass already checked it
-                value = row_values(row, foreign_key.columns)
+            referrers = candidate.key_index(table.name, foreign_key.columns)
+            for value in gone_keys:
                 if any(v is None for v in value):
                     continue
-                if value in gone_keys:
+                for row in referrers.get(value, ()):
+                    if row in fresh_set:
+                        continue  # the outgoing pass already checked it
                     violations.append(
                         ConstraintViolation(
                             table.name,

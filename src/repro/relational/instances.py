@@ -86,6 +86,10 @@ class StoreState:
         # parallel membership sets: bulk loads (10^5-row benchmark
         # stores) must not pay O(rows) per-row list-membership dedup
         self._row_sets: Dict[str, set] = {}
+        # lazily-built key indexes, carried across successor states so
+        # delta-scoped constraint checks probe instead of re-scan; bucket
+        # lists are REPLACED, never mutated, because successors share them
+        self._indexes: Dict[Tuple[str, Tuple[str, ...]], Dict[Tuple, List[Row]]] = {}
 
     def add_row(self, table_name: str, row: Mapping[str, object] | Row) -> Row:
         if table_name not in self._rows:
@@ -116,7 +120,91 @@ class StoreState:
         if canonical not in self._row_sets[table_name]:
             self._rows[table_name].append(canonical)
             self._row_sets[table_name].add(canonical)
+            for (indexed, columns), index in self._indexes.items():
+                if indexed == table_name:
+                    values = row_values(canonical, columns)
+                    bucket = index.get(values)
+                    # replace-on-write: buckets may be shared with the
+                    # predecessor state this one was carried from
+                    index[values] = (
+                        [canonical] if bucket is None else bucket + [canonical]
+                    )
         return canonical
+
+    def adopt_table(self, other: "StoreState", table_name: str) -> None:
+        """Share *other*'s row storage for one table.
+
+        For successor states (delta application): tables the delta does
+        not touch are carried over by reference instead of re-validated
+        row by row.  Both states then alias one list, so neither may
+        ``add_row`` into an adopted table afterwards — successor states
+        are immutable once published, which the backends guarantee.
+        """
+        rows = other._rows.get(table_name)
+        if not rows:
+            return
+        self._rows[table_name] = rows
+        self._row_sets[table_name] = other._row_sets[table_name]
+        # the rows are aliased, so the indexes can be too
+        for key, index in other._indexes.items():
+            if key[0] == table_name:
+                self._indexes[key] = index
+
+    def carry_rows(self, other: "StoreState", table_name: str, dead) -> None:
+        """Copy *other*'s rows for one table, minus the rows in *dead*.
+
+        The carried rows were validated when *other* first added them, so
+        this skips :meth:`add_row`'s per-row domain checks — delta
+        application over a large table must cost a C-level filter, not a
+        Python-level re-validation of every surviving row.  Unlike
+        :meth:`adopt_table` the storage is fresh (not aliased), so the
+        caller may keep adding rows to the table afterwards.
+        """
+        if not self.schema.has_table(table_name):
+            raise SchemaError(f"unknown table {table_name!r}")
+        kept = [r for r in other._rows.get(table_name, ()) if r not in dead]
+        self._rows[table_name] = kept
+        self._row_sets[table_name] = set(kept)
+        # derive the predecessor's indexes in O(|dead|): copy the outer
+        # dict, rebuild only the buckets that lost rows
+        for (indexed, columns), index in other._indexes.items():
+            if indexed != table_name:
+                continue
+            derived = dict(index)
+            for row in dead:
+                values = row_values(row, columns)
+                bucket = derived.get(values)
+                if bucket is None:
+                    continue
+                remaining = [r for r in bucket if r not in dead]
+                if remaining:
+                    derived[values] = remaining
+                else:
+                    del derived[values]
+            self._indexes[(indexed, columns)] = derived
+
+    def key_index(
+        self, table_name: str, columns: Tuple[str, ...]
+    ) -> Dict[Tuple, List[Row]]:
+        """The table's rows grouped by their values of *columns*.
+
+        Built lazily (one O(rows) pass), then maintained incrementally:
+        :meth:`add_row` appends to buckets (replace-on-write) and
+        :meth:`carry_rows` / :meth:`adopt_table` hand the index to
+        successor states, adjusted in O(|delta|).  Delta-scoped
+        constraint checking (:func:`repro.relational.constraints.
+        check_delta`) probes these instead of re-scanning tables, which
+        is what keeps incremental saves O(|delta|) warm.  Callers must
+        treat the buckets as immutable.
+        """
+        cache_key = (table_name, columns)
+        index = self._indexes.get(cache_key)
+        if index is None:
+            index = {}
+            for row in self._rows.get(table_name, ()):
+                index.setdefault(row_values(row, columns), []).append(row)
+            self._indexes[cache_key] = index
+        return index
 
     def rows(self, table_name: str) -> Tuple[Row, ...]:
         if table_name not in self._rows:

@@ -195,6 +195,24 @@ class SessionService:
             "fingerprint": epoch.fingerprint,
         }
 
+    def save_delta(
+        self, tenant: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Incremental SaveChanges: the payload's ``ops`` replay onto the
+        tenant's cached object view and push through compiled update-view
+        delta rules — cost proportional to the script, not the database.
+        The response reports the store statements actually emitted."""
+        session = self.session(tenant)
+        script = wire.delta_script_from_json(payload)
+        delta = session.save_delta(script)
+        epoch = session.epoch
+        return {
+            "ops": len(script),
+            "applied": delta.statement_count(),
+            "epoch": epoch.epoch_id,
+            "fingerprint": epoch.fingerprint,
+        }
+
     def evolve(self, tenant: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Evolve a tenant online: diff its model against the payload's
         ``target`` client schema and apply the implied SMOs as one batch

@@ -16,6 +16,7 @@ DELETE ``/tenants/<t>``               drop a tenant, close its backend
 POST   ``/tenants/<t>/query``         ``{"set", "where"?, "project"?}``
 POST   ``/tenants/<t>/load``          whole object view
 POST   ``/tenants/<t>/save``          ``{"state": ..., "merge"?}``
+POST   ``/tenants/<t>/save_delta``    ``{"ops": [...]}`` — incremental save
 POST   ``/tenants/<t>/evolve``        ``{"target": <client schema>, "style"?}``
 POST   ``/tenants/<t>/undo``          roll back the last evolution
 GET    ``/tenants/<t>/stats``         serving / engine / cache counters
@@ -146,6 +147,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._dispatch(lambda: service.load(tenant))
         elif tenant and verb == "save":
             self._dispatch(lambda: service.save(tenant, self._body()))
+        elif tenant and verb == "save_delta":
+            self._dispatch(lambda: service.save_delta(tenant, self._body()))
         elif tenant and verb == "evolve":
             self._dispatch(lambda: service.evolve(tenant, self._body()))
         elif tenant and verb == "undo":

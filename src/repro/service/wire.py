@@ -11,6 +11,9 @@ the service agree on it:
   ``{"entities": {set: [entity, ...]}, "associations": {name: [[key1,
   key2], ...]}}`` — association keys are role-ordered lists, split/joined
   with the schema's key lengths;
+* **delta scripts** (the ``save_delta`` payload) as ``{"ops": [...]}`` —
+  ordered entity/association mutations, entity inserts/updates carrying
+  the entity, deletes carrying only the key;
 * **stats** dataclasses are flattened recursively to plain dicts.
 
 Wire decoding raises :class:`~repro.errors.SchemaError` on malformed
@@ -33,6 +36,7 @@ from repro.algebra.conditions import (
 from repro.edm.instances import ClientState, Entity
 from repro.edm.schema import ClientSchema
 from repro.errors import SchemaError
+from repro.ivm import AssociationOp, DeltaScript, EntityOp
 from repro.query.language import EntityQuery
 
 _WHERE_PATTERN = r"^\s*(\w+)\s*(=|!=|<=|>=|<|>)\s*(.+?)\s*$"
@@ -137,6 +141,66 @@ def client_state_from_json(
                 )
             state.add_association(assoc_name, tuple(pair[0]), tuple(pair[1]))
     return state
+
+
+def delta_script_to_json(script: DeltaScript) -> Dict[str, Any]:
+    """``{"ops": [...]}`` — entity inserts/updates carry the entity,
+    deletes carry the key; association ops carry both end keys."""
+    ops: List[Dict[str, Any]] = []
+    for op in script.ops:
+        if isinstance(op, EntityOp):
+            encoded: Dict[str, Any] = {"op": op.op, "set": op.set_name}
+            if op.entity is not None:
+                encoded["entity"] = entity_to_json(op.entity)
+            if op.key is not None:
+                encoded["key"] = list(op.key)
+            ops.append(encoded)
+        elif isinstance(op, AssociationOp):
+            ops.append(
+                {
+                    "op": op.op,
+                    "assoc": op.assoc_name,
+                    "key1": list(op.key1),
+                    "key2": list(op.key2),
+                }
+            )
+        else:
+            raise SchemaError(f"cannot encode delta op {op!r}")
+    return {"ops": ops}
+
+
+def delta_script_from_json(payload: Dict[str, Any]) -> DeltaScript:
+    if not isinstance(payload, dict) or not isinstance(payload.get("ops"), list):
+        raise SchemaError("delta payload must be an object with an 'ops' list")
+    ops: List[object] = []
+    for encoded in payload["ops"]:
+        if not isinstance(encoded, dict) or "op" not in encoded:
+            raise SchemaError("each delta op must be an object with an 'op' key")
+        if "set" in encoded:
+            entity = encoded.get("entity")
+            key = encoded.get("key")
+            ops.append(
+                EntityOp(
+                    op=str(encoded["op"]),
+                    set_name=str(encoded["set"]),
+                    entity=entity_from_json(entity) if entity is not None else None,
+                    key=tuple(key) if key is not None else None,
+                )
+            )
+        elif "assoc" in encoded:
+            ops.append(
+                AssociationOp(
+                    op=str(encoded["op"]),
+                    assoc_name=str(encoded["assoc"]),
+                    key1=tuple(encoded.get("key1") or ()),
+                    key2=tuple(encoded.get("key2") or ()),
+                )
+            )
+        else:
+            raise SchemaError(
+                "delta op must name a 'set' (entity op) or an 'assoc'"
+            )
+    return DeltaScript(tuple(ops))
 
 
 def stats_to_json(stats: object) -> object:

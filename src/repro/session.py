@@ -60,6 +60,7 @@ from repro.engine import Epoch, JournalEntry, SessionEngine
 from repro.errors import SmoError
 from repro.incremental.model import CompiledModel
 from repro.incremental.smo import EvolutionPlan, Smo
+from repro.ivm import DeltaScript
 from repro.query.dml import StoreDelta
 from repro.query.language import EntityQuery
 from repro.query.plancache import PlanCache, ServingStats
@@ -212,6 +213,31 @@ class OrmSession:
         yield state
         self.save(state)
 
+    def save_delta(self, script: "DeltaScript") -> StoreDelta:
+        """Incremental SaveChanges: apply a recorded edit script.
+
+        Instead of re-materializing every update view over the whole
+        client state (what :meth:`save` does), the script's net
+        :class:`~repro.ivm.ClientDelta` is pushed through compiled
+        per-view delta rules (:mod:`repro.ivm.writeplan`), producing
+        exactly the same store DML at cost proportional to the *change*,
+        not the database.  Shapes the delta rules cannot handle fall back
+        to a whole-state save transparently — the result is always
+        byte-identical to :meth:`save`.
+        """
+        return self.engine.apply_script(script)
+
+    @contextmanager
+    def edit_incremental(self) -> Iterator[ClientState]:
+        """Like :meth:`edit`, but mutations are recorded and saved
+        through the incremental write path on exit::
+
+            with session.edit_incremental() as state:
+                state.update_entity("Persons", changed_person)
+        """
+        with self.engine.incremental_edit() as state:
+            yield state
+
     # ------------------------------------------------------------------
     # Evolution
     # ------------------------------------------------------------------
@@ -295,6 +321,7 @@ class OrmSession:
             statements=statement_stats() if statement_stats else None,
             indexes=index_stats() if index_stats else None,
             epoch=self.engine.stats(),
+            writeplans=self.engine.writeplans.stats(),
         )
 
     # ------------------------------------------------------------------

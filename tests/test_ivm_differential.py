@@ -1,0 +1,347 @@
+"""Differential property suite for the incremental write path (IVM).
+
+The acceptance bar for :mod:`repro.ivm`: an incremental save must be
+*observationally identical* to the whole-state save it replaces — the
+same store snapshots (byte-for-byte), the same epoch fingerprints, the
+same query answers.  This suite drives randomized mutation scripts
+(including no-op and inverse pairs, which must collapse to publishing
+nothing) through both paths in lockstep across the full workload matrix,
+on both backends, and after every SMO kind plus its undo.
+
+Script generation is conservative by construction: every generated op is
+simulated on a scratch state first, so scripts are always *legal* (both
+paths would accept them) and the comparison is about fidelity, never
+about matching error behavior.
+"""
+
+import random
+
+import pytest
+
+from tests.test_backend_differential import SMO_KINDS, WORKLOADS, compiled
+from repro.backend import MemoryBackend, SqliteBackend
+from repro.edm.instances import ClientState
+from repro.errors import SchemaError
+from repro.ivm import AssociationOp, DeltaScript, EntityOp
+from repro.query.language import EntityQuery
+from repro.relational.instances import StoreState
+from repro.session import OrmSession
+from repro.stategen import random_client_state, random_entity
+
+BACKENDS = ["memory", "sqlite"]
+
+
+def make_session(model, backend: str) -> OrmSession:
+    if backend == "memory":
+        return OrmSession(model, backend=MemoryBackend(StoreState(model.store_schema)))
+    return OrmSession(model, backend=SqliteBackend(model.store_schema))
+
+
+def clone(state: ClientState) -> ClientState:
+    return state.embed_into(state.schema)
+
+
+# ---------------------------------------------------------------------------
+# Conservative random scripts: every op is pre-simulated on a scratch state
+# ---------------------------------------------------------------------------
+
+def _required_sets(schema):
+    """Sets where an *unpaired* entity can violate a required association
+    end at save time; inserts skip these."""
+    required = set()
+    for assoc in schema.associations:
+        if assoc.end2.multiplicity.value == "1":
+            required.add(assoc.entity_set1)
+        if assoc.end1.multiplicity.value == "1":
+            required.add(assoc.entity_set2)
+    return required
+
+
+def _is_referenced(schema, state, set_name, entity) -> bool:
+    key = entity.key_tuple(schema.key_of(entity.concrete_type))
+    for assoc in schema.associations:
+        lineage = schema.ancestors_or_self(entity.concrete_type)
+        if assoc.entity_set1 == set_name and assoc.end1.entity_type in lineage:
+            if state.associations_with_end(assoc.name, 0, key):
+                return True
+        if assoc.entity_set2 == set_name and assoc.end2.entity_type in lineage:
+            if state.associations_with_end(assoc.name, 1, key):
+                return True
+    return False
+
+
+def _fresh_key(schema, concrete_type, next_key):
+    key_values = {}
+    for key_attr in schema.key_of(concrete_type):
+        attribute = schema.attribute_of(concrete_type, key_attr)
+        if attribute.domain.base in ("int", "decimal"):
+            key_values[key_attr] = next_key[0]
+        else:
+            key_values[key_attr] = f"nk{next_key[0]}"
+        next_key[0] += 1
+    return key_values
+
+
+def _attempt_op(schema, scratch, rng, next_key, kind):
+    """One random mutation of *kind*, applied to *scratch* and returned
+    as wire ops; None (or SchemaError, caught by the caller) = skip."""
+    sets = [s.name for s in schema.entity_sets]
+    assocs = [a.name for a in schema.associations]
+    if not sets:
+        return None
+
+    if kind == 0:  # insert a fresh entity
+        set_name = rng.choice(sets)
+        if set_name in _required_sets(schema):
+            return None
+        concrete = schema.concrete_types_of_set(set_name)
+        if not concrete:
+            return None
+        concrete_type = rng.choice(concrete)
+        entity = random_entity(
+            schema, concrete_type, _fresh_key(schema, concrete_type, next_key), rng
+        )
+        scratch.add_entity(set_name, entity)
+        return [EntityOp("insert", set_name, entity=entity)]
+
+    if kind == 1:  # rewrite a random entity's non-key attributes
+        set_name = rng.choice(sets)
+        entities = scratch.entities(set_name)
+        if not entities:
+            return None
+        entity = rng.choice(entities)
+        key = schema.key_of(entity.concrete_type)
+        values = dict(entity.values)
+        replacement = random_entity(
+            schema, entity.concrete_type, {k: values[k] for k in key}, rng
+        )
+        scratch.update_entity(set_name, replacement)
+        return [EntityOp("update", set_name, entity=replacement)]
+
+    if kind == 2:  # delete an unreferenced entity
+        set_name = rng.choice(sets)
+        candidates = [
+            e
+            for e in scratch.entities(set_name)
+            if not _is_referenced(schema, scratch, set_name, e)
+        ]
+        if not candidates or set_name in _required_sets(schema):
+            return None
+        entity = rng.choice(candidates)
+        key = entity.key_tuple(schema.key_of(entity.concrete_type))
+        scratch.remove_entity(set_name, key)
+        return [EntityOp("delete", set_name, key=key)]
+
+    if kind == 3:  # link two compatible entities
+        if not assocs:
+            return None
+        assoc_name = rng.choice(assocs)
+        assoc = schema.association(assoc_name)
+        ends = []
+        for end, set_name in (
+            (assoc.end1, assoc.entity_set1),
+            (assoc.end2, assoc.entity_set2),
+        ):
+            candidates = [
+                e
+                for e in scratch.entities(set_name)
+                if end.entity_type in schema.ancestors_or_self(e.concrete_type)
+            ]
+            if not candidates:
+                return None
+            ends.append(rng.choice(candidates))
+        key1 = ends[0].key_tuple(schema.key_of(ends[0].concrete_type))
+        key2 = ends[1].key_tuple(schema.key_of(ends[1].concrete_type))
+        scratch.add_association(assoc_name, key1, key2)  # may raise: dup/mult
+        return [AssociationOp("insert", assoc_name, key1=key1, key2=key2)]
+
+    if kind == 4:  # unlink a pair (only where neither end is required)
+        if not assocs:
+            return None
+        assoc_name = rng.choice(assocs)
+        assoc = schema.association(assoc_name)
+        if "1" in (assoc.end1.multiplicity.value, assoc.end2.multiplicity.value):
+            return None
+        pairs = scratch.associations(assoc_name)
+        if not pairs:
+            return None
+        width = len(schema.key_of(assoc.end1.entity_type))
+        pair = rng.choice(pairs)
+        key1, key2 = pair[:width], pair[width:]
+        scratch.remove_association(assoc_name, key1, key2)
+        return [AssociationOp("delete", assoc_name, key1=key1, key2=key2)]
+
+    # kind == 5: an inverse pair — a fresh entity inserted then deleted.
+    # Net client change is zero; the recorder must collapse it away.
+    set_name = rng.choice(sets)
+    concrete = schema.concrete_types_of_set(set_name)
+    if not concrete:
+        return None
+    concrete_type = rng.choice(concrete)
+    entity = random_entity(
+        schema, concrete_type, _fresh_key(schema, concrete_type, next_key), rng
+    )
+    key = entity.key_tuple(schema.key_of(concrete_type))
+    scratch.add_entity(set_name, entity)
+    scratch.remove_entity(set_name, key)
+    return [
+        EntityOp("insert", set_name, entity=entity),
+        EntityOp("delete", set_name, key=key),
+    ]
+
+
+def random_script(
+    schema, scratch, rng, next_key, n_ops=10, kinds=range(6)
+) -> DeltaScript:
+    """A legal script of ~*n_ops* mutations, simulated on *scratch*."""
+    kinds = list(kinds)
+    ops = []
+    attempts = n_ops * 6
+    while len(ops) < n_ops and attempts > 0:
+        attempts -= 1
+        kind = rng.choice(kinds)
+        try:
+            produced = _attempt_op(schema, scratch, rng, next_key, kind)
+        except SchemaError:
+            continue
+        if produced:
+            ops.extend(produced)
+    return DeltaScript(tuple(ops))
+
+
+def assert_paths_agree(inc: OrmSession, ref: OrmSession):
+    assert inc.backend.snapshot() == ref.backend.snapshot()
+    assert inc.epoch.fingerprint == ref.epoch.fingerprint
+    for entity_set in inc.model.client_schema.entity_sets:
+        query = EntityQuery(entity_set.name)
+        assert sorted(map(repr, inc.query(query))) == sorted(
+            map(repr, ref.query(query))
+        ), f"incremental and whole-state answers diverge on {entity_set.name}"
+
+
+# ---------------------------------------------------------------------------
+# Randomized scripts across the workload matrix, both backends
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[name for name, _ in WORKLOADS]
+)
+class TestRandomizedScriptEquivalence:
+    def test_rounds_of_random_scripts(self, factory, backend):
+        """Three rounds of random mutations: the incremental session's
+        store must track the whole-state reference byte-for-byte."""
+        model = compiled(factory())
+        inc = make_session(model, backend)
+        ref = make_session(model, backend)
+        try:
+            seeded = random_client_state(
+                model.client_schema, seed=5, entities_per_set=6
+            )
+            inc.save(seeded)
+            ref.save(seeded)
+            rng = random.Random(17)
+            next_key = [100000]
+            for _ in range(3):
+                scratch = clone(ref.load())
+                script = random_script(
+                    model.client_schema, scratch, rng, next_key, n_ops=10
+                )
+                ref.save(scratch)
+                inc.save_delta(script)
+                assert_paths_agree(inc, ref)
+        finally:
+            inc.backend.close()
+            ref.backend.close()
+
+    def test_noop_script_publishes_nothing(self, factory, backend):
+        """A script of inverse pairs nets to zero: no store statements,
+        no new epoch."""
+        model = compiled(factory())
+        inc = make_session(model, backend)
+        try:
+            inc.save(
+                random_client_state(model.client_schema, seed=3, entities_per_set=4)
+            )
+            rng = random.Random(23)
+            next_key = [200000]
+            scratch = clone(inc.load())
+            ops = []
+            for _ in range(4):
+                try:
+                    produced = _attempt_op(
+                        model.client_schema, scratch, rng, next_key, 5
+                    )
+                except SchemaError:
+                    continue
+                if produced:
+                    ops.extend(produced)
+            before_epoch = inc.epoch.epoch_id
+            before_snapshot = inc.backend.snapshot()
+            delta = inc.save_delta(DeltaScript(tuple(ops)))
+            assert delta.empty
+            assert inc.epoch.epoch_id == before_epoch
+            assert inc.backend.snapshot() == before_snapshot
+        finally:
+            inc.backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Incremental saves after every SMO kind, and after its undo
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "base_factory,smo_factory,pop",
+    [(b, s, p) for _, b, s, p in SMO_KINDS],
+    ids=[kind for kind, _, _, _ in SMO_KINDS],
+)
+class TestPostSmoIncrementalSaves:
+    def test_incremental_save_after_evolution_and_undo(
+        self, base_factory, smo_factory, pop, backend
+    ):
+        """Writeplans compiled before an evolution must not leak across
+        it: incremental saves after the SMO (and again after undo) still
+        match whole-state saves exactly."""
+        model = base_factory()
+        inc = make_session(model, backend)
+        ref = make_session(model, backend)
+        try:
+            state = pop(model)
+            inc.save(state)
+            ref.save(state)
+            rng = random.Random(31)
+            next_key = [100000]
+
+            # warm the writeplan cache pre-evolution; updates only, so the
+            # SMO's data preconditions (e.g. "no Customers" before a
+            # DropEntity) survive the warm-up
+            scratch = clone(ref.load())
+            script = random_script(
+                model.client_schema, scratch, rng, next_key, n_ops=6, kinds=(1,)
+            )
+            ref.save(scratch)
+            inc.save_delta(script)
+            assert_paths_agree(inc, ref)
+
+            smo = smo_factory(model)
+            inc.evolve(smo)
+            ref.evolve(smo)
+            evolved_schema = inc.model.client_schema
+            scratch = clone(ref.load())
+            script = random_script(evolved_schema, scratch, rng, next_key, n_ops=6)
+            ref.save(scratch)
+            inc.save_delta(script)
+            assert_paths_agree(inc, ref)
+
+            inc.undo()
+            ref.undo()
+            restored_schema = inc.model.client_schema
+            scratch = clone(ref.load())
+            script = random_script(restored_schema, scratch, rng, next_key, n_ops=6)
+            ref.save(scratch)
+            inc.save_delta(script)
+            assert_paths_agree(inc, ref)
+        finally:
+            inc.backend.close()
+            ref.backend.close()
