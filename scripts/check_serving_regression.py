@@ -40,10 +40,26 @@ physical-plan layer exists to keep that from coming back.
   save.  MIN_SPEEDUP defaults to 5 and can be overridden with
   ``REPRO_INCREMENTAL_MIN_SPEEDUP``.
 
+**BENCH_validation.json** — the validation-scaling gates:
+
+* a fresh cache over the warm persistent store must beat the cold
+  compile by at least WARM_DISK_MIN_SPEEDUP× (default 5, override with
+  ``REPRO_WARM_DISK_MIN_SPEEDUP``) — the whole point of the
+  cross-process cache is that the second fleet member never pays the
+  first one's compile;
+* the cross-process child (a real subprocess sharing only the cache
+  directory) is held to the same floor;
+* at 4 workers the process executor must reach parallel efficiency
+  >= 0.5 — speedup >= 2.0× over serial (override with
+  ``REPRO_MULTICORE_MIN_EFFICIENCY``).  Auto-skipped when the recorded
+  ``cpu_count`` is below 2: a single-core container cannot speed
+  anything up by adding workers, and the sweep there documents the
+  overhead floor instead.
+
 Usage::
 
     python scripts/check_serving_regression.py [query.json] [concurrent.json] \
-        [incremental.json]
+        [incremental.json] [validation.json]
 """
 
 import json
@@ -53,6 +69,9 @@ import sys
 DEFAULT_FACTOR = 2.0
 DEFAULT_MIN_SPEEDUP = 5.0
 GATED_SIZE = "100000"
+DEFAULT_WARM_DISK_MIN_SPEEDUP = 5.0
+DEFAULT_MULTICORE_MIN_EFFICIENCY = 0.5
+MULTICORE_GATED_WORKERS = 4
 
 
 def check_query_serving(path: str) -> int:
@@ -179,6 +198,106 @@ def check_incremental(path: str) -> int:
     return 0
 
 
+def check_validation(path: str) -> int:
+    with open(path) as handle:
+        data = json.load(handle)
+    min_speedup = float(
+        os.environ.get(
+            "REPRO_WARM_DISK_MIN_SPEEDUP", DEFAULT_WARM_DISK_MIN_SPEEDUP
+        )
+    )
+    min_efficiency = float(
+        os.environ.get(
+            "REPRO_MULTICORE_MIN_EFFICIENCY", DEFAULT_MULTICORE_MIN_EFFICIENCY
+        )
+    )
+    failures = 0
+
+    cache = data["cache"]
+    warm_disk = cache.get("speedup_warm_disk")
+    print(
+        f"cache hierarchy: cold={cache['cold']['elapsed_s']}s "
+        f"warm_memory={cache['warm_memory']['elapsed_s']}s "
+        f"warm_disk={cache['warm_disk']['elapsed_s']}s "
+        f"(disk speedup {warm_disk}x, floor {min_speedup}x)"
+    )
+    if warm_disk is None or warm_disk < min_speedup:
+        print(
+            f"FAIL: warm-disk validation speedup {warm_disk}x is below the "
+            f"{min_speedup}x floor — a fresh process re-pays the cold "
+            "compile despite the shared persistent cache",
+            file=sys.stderr,
+        )
+        failures += 1
+    if cache["warm_disk"].get("l2_misses"):
+        print(
+            f"FAIL: warm-disk run had {cache['warm_disk']['l2_misses']} L2 "
+            "miss(es) — the persistent store did not hold the full check "
+            "set after a cold validation",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    cross = data.get("cross_process", {})
+    if "error" in cross:
+        print(f"FAIL: cross-process child failed: {cross['error']}", file=sys.stderr)
+        failures += 1
+    elif cross:
+        print(
+            f"cross-process: parent_cold={cross['parent_cold_s']}s "
+            f"child_warm={cross['child_warm_s']}s "
+            f"(speedup {cross['speedup']}x, l2_hits={cross['child_l2_hits']})"
+        )
+        if cross["speedup"] is None or cross["speedup"] < min_speedup:
+            print(
+                f"FAIL: cross-process speedup {cross['speedup']}x is below "
+                f"the {min_speedup}x floor",
+                file=sys.stderr,
+            )
+            failures += 1
+        if not cross["child_l2_hits"]:
+            print(
+                "FAIL: the subprocess recorded zero L2 hits — it is not "
+                "reading the shared cache directory",
+                file=sys.stderr,
+            )
+            failures += 1
+
+    cpu_count = data.get("cpu_count") or 1
+    speedups = data.get("speedup_vs_serial", {})
+    at_gated = speedups.get(str(MULTICORE_GATED_WORKERS))
+    if cpu_count < 2:
+        print(
+            f"(cpu_count={cpu_count}: multicore efficiency gate skipped — "
+            f"recorded {MULTICORE_GATED_WORKERS}-worker speedup "
+            f"{at_gated}x documents the overhead floor)"
+        )
+    else:
+        usable = min(MULTICORE_GATED_WORKERS, cpu_count)
+        floor = min_efficiency * usable
+        print(
+            f"multicore: {MULTICORE_GATED_WORKERS} workers on "
+            f"{cpu_count} cpus -> speedup {at_gated}x (floor {floor}x = "
+            f"{min_efficiency} efficiency over {usable} usable cores)"
+        )
+        if at_gated is None or at_gated < floor:
+            print(
+                f"FAIL: parallel validation speedup {at_gated}x at "
+                f"{MULTICORE_GATED_WORKERS} workers is below {floor}x — "
+                "the work-stealing scheduler is not paying for itself",
+                file=sys.stderr,
+            )
+            failures += 1
+
+    if failures:
+        return 1
+    print(
+        f"OK: warm-disk and cross-process >= {min_speedup}x over cold"
+        + ("" if cpu_count < 2 else ", multicore efficiency met")
+    )
+    return 0
+
+
 def main() -> int:
     query_path = (
         sys.argv[1] if len(sys.argv) > 1 else "BENCH_query_serving.json"
@@ -193,6 +312,9 @@ def main() -> int:
         if len(sys.argv) > 3
         else "BENCH_incremental_writes.json"
     )
+    validation_path = (
+        sys.argv[4] if len(sys.argv) > 4 else "BENCH_validation.json"
+    )
     status = check_query_serving(query_path)
     if os.path.exists(concurrent_path):
         status = check_concurrent(concurrent_path) or status
@@ -202,6 +324,10 @@ def main() -> int:
         status = check_incremental(incremental_path) or status
     else:
         print(f"({incremental_path} not present; incremental gates skipped)")
+    if os.path.exists(validation_path):
+        status = check_validation(validation_path) or status
+    else:
+        print(f"({validation_path} not present; validation gates skipped)")
     return status
 
 

@@ -12,6 +12,9 @@
     python -m repro stats compiled.json --db app.db
     python -m repro ddl compiled.json [--target target-schema.json]
     python -m repro serve --model compiled.json --port 8123
+    python -m repro cache stats --cache-dir /var/cache/repro
+    python -m repro cache warm compiled.json --cache-dir /var/cache/repro
+    python -m repro cache clear --cache-dir /var/cache/repro
     python -m repro bench {fig4,fig9,fig10}
 
 Model documents are the JSON format of :mod:`repro.msl`; ``fragments``
@@ -102,19 +105,41 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_cache(cache_dir: Optional[str]):
+    """A ValidationCache, with the persistent L2 attached when a cache
+    directory is named (flag or ``$REPRO_CACHE_DIR``); None otherwise."""
+    from repro.containment.cache import ValidationCache
+    from repro.containment.persist import (
+        PersistentCacheStore,
+        cache_dir_from_env,
+    )
+
+    resolved = cache_dir if cache_dir is not None else cache_dir_from_env()
+    if not resolved:
+        return None
+    return ValidationCache(store=PersistentCacheStore(resolved))
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.compiler import validate_mapping
 
     model = load_model(_read_json(args.model))
     budget = WorkBudget(max_seconds=args.budget) if args.budget else None
-    report = validate_mapping(
-        model.mapping,
-        model.views,
-        budget,
-        workers=args.workers,
-        executor=args.executor,
-        symbolic=not args.no_symbolic,
-    )
+    cache = _open_cache(args.cache_dir)
+    try:
+        report = validate_mapping(
+            model.mapping,
+            model.views,
+            budget,
+            workers=args.workers,
+            executor=args.executor,
+            symbolic=not args.no_symbolic,
+            cache=cache,
+            shard_size=args.shard_size,
+        )
+    finally:
+        if cache is not None:
+            cache.close()
     print(f"mapping is valid: {report}")
     if args.stats:
         print("containment fast path:")
@@ -327,6 +352,59 @@ def cmd_ddl(args: argparse.Namespace) -> int:
         session.backend.close()
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect, warm, or wipe the persistent validation cache."""
+    from repro.containment.persist import (
+        PersistentCacheStore,
+        cache_dir_from_env,
+    )
+    from repro.errors import SchemaError
+
+    cache_dir = args.cache_dir or cache_dir_from_env()
+    if not cache_dir:
+        raise SchemaError(
+            "no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR"
+        )
+    if args.action == "stats":
+        store = PersistentCacheStore(cache_dir)
+        try:
+            print(store.stats())
+        finally:
+            store.close()
+        return 0
+    if args.action == "clear":
+        store = PersistentCacheStore(cache_dir)
+        try:
+            store.clear()
+            print(f"cleared {store.path}", file=sys.stderr)
+        finally:
+            store.close()
+        return 0
+    # warm: validate the model through the persistent cache so later
+    # processes (CLI or service) start from a hot disk cache
+    if not args.model:
+        raise SchemaError("cache warm needs a MODEL document")
+    from repro.compiler import validate_mapping
+
+    model = load_model(_read_json(args.model))
+    budget = WorkBudget(max_seconds=args.budget) if args.budget else None
+    cache = _open_cache(cache_dir)
+    try:
+        report = validate_mapping(
+            model.mapping,
+            model.views,
+            budget,
+            workers=args.workers,
+            executor=args.executor,
+            cache=cache,
+        )
+        print(f"warmed: {report}")
+        print(cache.store.stats(), file=sys.stderr)
+    finally:
+        cache.close()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant HTTP session service."""
     from repro.service import SessionService
@@ -339,6 +417,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_backend=backend_name,
         db_dir=args.db_dir,
         pool_size=args.pool_size,
+        cache_dir=args.cache_dir,
     )
     if args.model:
         result = service.create_tenant(
@@ -399,6 +478,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-symbolic",
         action="store_true",
         help="disable the symbolic containment fast path (pure enumeration)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent validation cache directory "
+        "(default: $REPRO_CACHE_DIR; omit both for in-memory only)",
+    )
+    p.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="checks per work-stealing shard for parallel executors "
+        "(default: auto, ~4 shards per worker)",
     )
     p.set_defaults(fn=cmd_validate)
 
@@ -565,7 +659,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="reader connections per SQLite tenant (default 4)",
     )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared persistent validation cache directory for all "
+        "tenants (default: $REPRO_CACHE_DIR)",
+    )
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect (stats), pre-populate (warm MODEL), or wipe (clear) "
+        "the persistent cross-process validation cache",
+    )
+    p.add_argument("action", choices=["stats", "warm", "clear"])
+    p.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="compiled model document (required for 'warm')",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    p.add_argument("--budget", type=float, default=None, help="seconds")
+    p.add_argument(
+        "--workers", type=int, default=1, help="validation scheduler workers"
+    )
+    p.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="check executor for 'warm'",
+    )
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("bench", help="run a figure's benchmark driver")
     p.add_argument("figure", choices=["fig4", "fig9", "fig10"])

@@ -17,13 +17,29 @@ Three executors:
   adds no CPU parallelism for the pure-Python checks, but it preserves
   exact budget/cache semantics and overlaps any releases of the GIL; the
   default for ``workers > 1``.
-* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor` for
-  real CPU parallelism on GIL builds.  The mapping and views are shipped
-  to each worker once (pool initializer); every worker enforces its own
-  copy of the budget limits and reports consumed steps back, which the
-  parent re-accounts into the shared budget as results arrive.  Budget
-  trips are therefore detected at check granularity rather than at single
-  ticks, and the per-session cache is not shared across processes.
+* ``"process"`` — real CPU parallelism on GIL builds, via a *persistent*
+  :class:`~concurrent.futures.ProcessPoolExecutor` and **shard
+  stealing**: the check DAG is packed into per-neighborhood shards
+  (:func:`build_shards`) that idle workers pull from the pool's shared
+  queue.  Shards — not single checks — are the unit of stealing, so the
+  cost of shipping the mapping/views payload and rebuilding per-process
+  state amortizes over every check in the shard, and the pool itself is
+  reused across runs (e.g. the batches of an ``evolve_many`` session), so
+  a warm worker often needs no payload at all: contexts are cached
+  worker-side under a digest of the payload, and the parent only ships
+  the bytes when a worker reports it has never seen that digest.
+
+Shard affinity follows the data: a table's store-cell check lands in the
+same shard as the coverage checks of the entity sets it reads (they share
+one ``SetAnalysis``), so the total work a process run performs — and the
+steps it reports into the shared budget — equals the serial run's.
+Workers report consumed steps back per check, *including failed checks*,
+and the parent re-accounts them into the shared budget as results
+arrive; budget trips are therefore detected at check granularity rather
+than at single ticks.  When the parent's validation cache is backed by a
+persistent store, workers attach to the same on-disk store, so their
+subproblem results are shared with the parent, with each other, and with
+every later process.
 
 Error determinism: in parallel modes, every scheduled check runs (or is
 skipped because a dependency failed) and the error of the *earliest
@@ -33,8 +49,11 @@ run would surface first.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -101,10 +120,90 @@ def describe_checks(checks: Sequence[object]) -> str:
     return f"{len(names)} check(s): {summary}"
 
 
+def build_shards(
+    checks: Sequence[ValidationCheck],
+    workers: int,
+    shard_size: Optional[int] = None,
+) -> List[List[ValidationCheck]]:
+    """Pack *checks* into affinity shards for the process executor.
+
+    Grouping rule: a ``store-cells`` check is fused with the ``coverage``
+    checks it depends on (they share the per-set analyses through the
+    worker's context, so co-locating them makes a process run build each
+    :class:`SetAnalysis` exactly once — the same count as a serial run).
+    ``fk`` and ``roundtrip`` checks have no cross-check state and stay
+    individual groups, free to land on any worker.
+
+    Groups are then packed, in declaration order, into shards of at least
+    *shard_size* checks (default: enough shards for every worker to steal
+    a few — ``len(checks) / (workers * 4)``).  A fused group larger than
+    the target becomes its own shard; declaration order is preserved both
+    across and within shards, so intra-shard dependencies always run
+    before their dependents.
+    """
+    checks = list(checks)
+    if not checks:
+        return []
+
+    # Union-find over group labels: coverage:S lives in group ("set", S);
+    # store-cells:T unions the groups of all its coverage dependencies.
+    parent: Dict[object, object] = {}
+
+    def find(label: object) -> object:
+        parent.setdefault(label, label)
+        while parent[label] != label:
+            parent[label] = parent[parent[label]]
+            label = parent[label]
+        return label
+
+    def union(a: object, b: object) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    labels: Dict[str, object] = {}
+    for index, check in enumerate(checks):
+        if check.kind == "coverage":
+            labels[check.name] = ("set", check.name.split(":", 1)[1])
+        elif check.kind == "store-cells":
+            label: object = ("table", check.name.split(":", 1)[1])
+            for dep in check.deps:
+                if dep.startswith("coverage:"):
+                    union(label, ("set", dep.split(":", 1)[1]))
+            labels[check.name] = label
+        else:
+            labels[check.name] = ("solo", index)
+
+    groups: "OrderedDict[object, List[ValidationCheck]]" = OrderedDict()
+    for check in checks:
+        groups.setdefault(find(labels[check.name]), []).append(check)
+
+    if shard_size is None:
+        target = max(1, (len(checks) + workers * 4 - 1) // (workers * 4))
+    else:
+        target = max(1, int(shard_size))
+
+    shards: List[List[ValidationCheck]] = []
+    current: List[ValidationCheck] = []
+    for group in groups.values():
+        current.extend(group)
+        if len(current) >= target:
+            shards.append(current)
+            current = []
+    if current:
+        shards.append(current)
+    return shards
+
+
 class ValidationScheduler:
     """Executes a list of :class:`ValidationCheck` units."""
 
-    def __init__(self, workers: int = 1, executor: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        executor: Optional[str] = None,
+        shard_size: Optional[int] = None,
+    ) -> None:
         self.workers = max(1, int(workers))
         if executor is None:
             executor = "serial" if self.workers == 1 else "thread"
@@ -115,6 +214,8 @@ class ValidationScheduler:
         if self.workers == 1 and executor == "thread":
             executor = "serial"  # one thread is the serial path, minus the pool
         self.executor = executor
+        #: target checks per process shard (None: sized for the pool)
+        self.shard_size = shard_size
 
     # ------------------------------------------------------------------
     def run(
@@ -124,6 +225,7 @@ class ValidationScheduler:
         views=None,
         budget: Optional[WorkBudget] = None,
         symbolic: bool = True,
+        cache=None,
     ) -> List[CheckResult]:
         """Execute all *checks*; return results in declaration order.
 
@@ -133,14 +235,17 @@ class ValidationScheduler:
         ``symbolic`` is shipped to process workers so their re-run of a
         check spec uses the same containment fast-path setting as the
         in-process runners (serial/thread runners have it baked into
-        their closures already).
+        their closures already).  ``cache`` (the parent's
+        :class:`~repro.containment.cache.ValidationCache`) lets process
+        workers mirror its setup — in particular, attach to the same
+        persistent on-disk store when one is configured.
         """
         checks = list(checks)
         if self.executor == "serial":
             return self._run_serial(checks)
         if self.executor == "thread":
             return self._run_threads(checks)
-        return self._run_processes(checks, mapping, views, budget, symbolic)
+        return self._run_processes(checks, mapping, views, budget, symbolic, cache)
 
     # ------------------------------------------------------------------
     def _run_serial(self, checks: List[ValidationCheck]) -> List[CheckResult]:
@@ -219,45 +324,93 @@ class ValidationScheduler:
         views,
         budget: Optional[WorkBudget],
         symbolic: bool = True,
+        cache=None,
     ) -> List[CheckResult]:
-        if mapping is None or views is None:
-            raise ValueError("the process executor needs the mapping and views")
+        missing = [
+            name
+            for name, value in (("mapping", mapping), ("views", views))
+            if value is None
+        ]
+        if missing:
+            raise ValueError(
+                "the process executor re-runs each check from its spec in "
+                "worker processes and needs the compiled inputs to do so: "
+                f"missing required argument(s) {', '.join(repr(m) for m in missing)} "
+                "— pass them to ValidationScheduler.run() (or use the "
+                "'serial'/'thread' executor, which runs the checks' own "
+                "closures)"
+            )
         budget = ensure_budget(budget)
         payload = pickle.dumps(
-            (mapping, views, budget.max_steps, budget.max_seconds, symbolic)
+            (
+                mapping,
+                views,
+                budget.max_steps,
+                budget.max_seconds,
+                symbolic,
+                _cache_spec(cache),
+            )
         )
-        specs = [check.spec for check in checks]
-        if any(spec is None for spec in specs):
+        context_key = hashlib.sha256(payload).hexdigest()
+        if any(check.spec is None for check in checks):
             raise ValueError("every check needs a picklable spec for process mode")
 
+        shards = build_shards(checks, self.workers, self.shard_size)
+        pool = _get_pool(self.workers)
         results: Dict[str, CheckResult] = {}
         errors: Dict[str, BaseException] = {}
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_process_worker,
-            initargs=(payload,),
-        ) as pool:
-            futures = {
-                pool.submit(_run_check_spec, check.spec): check for check in checks
-            }
-            for future in list(futures):
-                check = futures[future]
+
+        futures: Dict[Future, List[ValidationCheck]] = {}
+        # The first wave (one submission per worker) carries the payload so
+        # cold workers can build their context; the rest ship the digest
+        # only, and a worker that turns out not to know it sends the shard
+        # back for resubmission with the bytes attached.
+        for index, shard in enumerate(shards):
+            blob = payload if index < self.workers else None
+            future = pool.submit(
+                _run_shard, context_key, blob, [check.spec for check in shard]
+            )
+            futures[future] = shard
+
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                shard = futures.pop(future)
                 try:
-                    counters, steps, elapsed = future.result()
+                    outcome = future.result()
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
-                    errors[check.name] = exc
-                    continue
-                results[check.name] = CheckResult(
-                    name=check.name,
-                    kind=check.kind,
-                    counters=counters,
-                    elapsed=elapsed,
-                )
-                if steps:
-                    try:
-                        budget.tick(steps)  # re-account worker steps globally
-                    except BaseException as exc:  # CompilationBudgetExceeded
+                    for check in shard:
                         errors.setdefault(check.name, exc)
+                    continue
+                if outcome == _NEED_PAYLOAD:
+                    retry = pool.submit(
+                        _run_shard,
+                        context_key,
+                        payload,
+                        [check.spec for check in shard],
+                    )
+                    futures[retry] = shard
+                    pending.add(retry)
+                    continue
+                for check, (counters, error, steps, elapsed) in zip(shard, outcome):
+                    # Reconcile the worker's consumed steps into the shared
+                    # budget first — failed checks included — so process
+                    # totals match a serial run over the same list.
+                    if steps:
+                        try:
+                            budget.tick(steps)
+                        except BaseException as exc:  # CompilationBudgetExceeded
+                            errors.setdefault(check.name, exc)
+                    if error is not None:
+                        errors.setdefault(check.name, error)
+                    elif counters is not None:
+                        results[check.name] = CheckResult(
+                            name=check.name,
+                            kind=check.kind,
+                            counters=counters,
+                            elapsed=elapsed,
+                        )
 
         self._raise_first_error(checks, errors)
         return [results[c.name] for c in checks if c.name in results]
@@ -275,52 +428,171 @@ class ValidationScheduler:
 
 
 # ---------------------------------------------------------------------------
+# Persistent pool (parent side)
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared process pool for *workers*, created on first use.
+
+    Persistent by design: reusing live workers across validation runs is
+    what lets their cached contexts amortize the payload shipping — the
+    dominant cost of the old per-run pool — across every batch of an
+    ``evolve_many`` session.  ``concurrent.futures`` joins the workers at
+    interpreter exit; :func:`shutdown_pools` releases them earlier.
+    """
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            _POOLS[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent validation pool (tests, benchmarks)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+def _cache_spec(cache) -> Optional[Tuple[str, Optional[str]]]:
+    """How a worker should set up its own validation cache.
+
+    ``None`` (no cache) /  ``("memory", None)`` / ``("disk", directory)``
+    — the last makes every worker attach to the parent's persistent
+    store, so subproblems solved in one process are hits in all others.
+    """
+    if cache is None:
+        return None
+    store = getattr(cache, "store", None)
+    if store is not None and getattr(store, "directory", None):
+        return ("disk", store.directory)
+    return ("memory", None)
+
+
+# ---------------------------------------------------------------------------
 # Process-pool worker side
 # ---------------------------------------------------------------------------
 
-_WORKER_CONTEXT: Optional[dict] = None
+#: marker returned by a worker that was handed a digest it has no context
+#: for (the parent resubmits the shard with the payload bytes attached)
+_NEED_PAYLOAD = "need-payload"
+
+#: per-process context cache: payload digest -> materialized context.
+#: Bounded, LRU — a long-lived pool serving several sessions/models keeps
+#: the few contexts in active rotation and drops the rest.
+_WORKER_CONTEXTS: "OrderedDict[str, dict]" = OrderedDict()
+_WORKER_CONTEXT_BOUND = 4
 
 
-def _init_process_worker(payload: bytes) -> None:
-    """Materialise mapping/views/budget/cache once per worker process."""
-    global _WORKER_CONTEXT
-    from repro.containment.cache import ValidationCache
+def _worker_context(context_key: str, payload: Optional[bytes]) -> Optional[dict]:
+    """The cached context for *context_key*, building it from *payload*.
 
-    mapping, views, max_steps, max_seconds, symbolic = pickle.loads(payload)
+    Returns ``None`` when the context is unknown and no payload came
+    along — the caller answers :data:`_NEED_PAYLOAD`.
+    """
+    context = _WORKER_CONTEXTS.get(context_key)
+    if context is None:
+        if payload is None:
+            return None
+        from repro.containment.cache import ValidationCache
+
+        mapping, views, max_steps, max_seconds, symbolic, cache_spec = (
+            pickle.loads(payload)
+        )
+        cache = None
+        if cache_spec is not None:
+            kind, directory = cache_spec
+            store = None
+            if kind == "disk":
+                from repro.containment.persist import PersistentCacheStore
+
+                store = PersistentCacheStore(directory)
+            cache = ValidationCache(store=store)
+        context = {
+            "mapping": mapping,
+            "views": views,
+            "limits": (max_steps, max_seconds),
+            "symbolic": symbolic,
+            "analyses": {},
+            "cache": cache,
+        }
+        _WORKER_CONTEXTS[context_key] = context
+        while len(_WORKER_CONTEXTS) > _WORKER_CONTEXT_BOUND:
+            _, evicted = _WORKER_CONTEXTS.popitem(last=False)
+            old_cache = evicted.get("cache")
+            if old_cache is not None:
+                old_cache.close()
+    _WORKER_CONTEXTS.move_to_end(context_key)
+    return context
+
+
+def _run_shard(
+    context_key: str,
+    payload: Optional[bytes],
+    specs: List[Tuple[object, ...]],
+):
+    """Run one shard of check specs inside a worker process.
+
+    Returns :data:`_NEED_PAYLOAD`, or a list aligned with *specs* of
+    ``(counters | None, error | None, steps, elapsed)`` — steps are
+    reported even for failing checks, so the parent's budget
+    reconciliation sees every unit of work this worker performed.
+    """
+    context = _worker_context(context_key, payload)
+    if context is None:
+        return _NEED_PAYLOAD
+    max_steps, max_seconds = context["limits"]
     if max_steps is None and max_seconds is None:
         budget = ensure_budget(None)
     else:
+        # Fresh per shard: a worker enforces the run's limits locally (the
+        # parent enforces them globally from the reported step counts).
         budget = WorkBudget(max_steps=max_steps, max_seconds=max_seconds)
-    _WORKER_CONTEXT = {
-        "mapping": mapping,
-        "views": views,
-        "budget": budget,
-        "analyses": {},
-        "cache": ValidationCache(),
-        "symbolic": symbolic,
-    }
+    outcomes = []
+    for spec in specs:
+        steps_before = budget.steps
+        started = time.perf_counter()
+        try:
+            counters = _run_one_spec(context, spec, budget)
+            error: Optional[BaseException] = None
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            counters, error = None, exc
+        outcomes.append(
+            (
+                counters,
+                error,
+                budget.steps - steps_before,
+                time.perf_counter() - started,
+            )
+        )
+    return outcomes
 
 
-def _run_check_spec(spec: Tuple[object, ...]) -> Tuple[Dict[str, int], int, float]:
-    """Run one check inside a worker; return (counters, steps, elapsed)."""
+def _run_one_spec(
+    context: dict, spec: Tuple[object, ...], budget: WorkBudget
+) -> Dict[str, int]:
+    """Re-run one check from its picklable spec against a worker context."""
     from repro.compiler import validation as V
 
-    assert _WORKER_CONTEXT is not None, "worker used before initialisation"
-    context = _WORKER_CONTEXT
     mapping, views = context["mapping"], context["views"]
-    budget, analyses, cache = context["budget"], context["analyses"], context["cache"]
+    analyses, cache = context["analyses"], context["cache"]
     kind, args = spec[0], spec[1:]
-    steps_before = budget.steps
-    started = time.perf_counter()
     if kind == "coverage":
-        counters = V.run_coverage_check(mapping, args[0], analyses, budget, cache)
-    elif kind == "store-cells":
+        return V.run_coverage_check(mapping, args[0], analyses, budget, cache)
+    if kind == "store-cells":
         cells = V.check_store_cells(mapping, args[0], analyses, budget, cache)
-        counters = {"store_cells": cells}
-    elif kind == "fk-preservation":
+        return {"store_cells": cells}
+    if kind == "fk-preservation":
         table_name, index = args
         foreign_key = mapping.store_schema.table(table_name).foreign_keys[index]
-        counters = V.check_foreign_key_preserved(
+        return V.check_foreign_key_preserved(
             mapping,
             views,
             table_name,
@@ -329,11 +601,11 @@ def _run_check_spec(spec: Tuple[object, ...]) -> Tuple[Dict[str, int], int, floa
             cache,
             symbolic=context["symbolic"],
         )
-    elif kind == "roundtrip":
-        counters = {}
+    if kind == "roundtrip":
+        counters: Dict[str, int] = {}
         counters["roundtrip_states"] = V.roundtrip_spotcheck(
-            mapping, views, budget, set_names=[args[0]], cache=cache, counters=counters
+            mapping, views, budget, set_names=[args[0]], cache=cache,
+            counters=counters,
         )
-    else:
-        raise ValueError(f"unknown check kind {kind!r}")
-    return counters, budget.steps - steps_before, time.perf_counter() - started
+        return counters
+    raise ValueError(f"unknown check kind {kind!r}")

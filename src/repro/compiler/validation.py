@@ -68,6 +68,10 @@ class ValidationReport:
     executor: str = "serial"
     cache_hits: int = 0
     cache_misses: int = 0
+    #: L1 misses served from the persistent (cross-process) cache store
+    l2_hits: int = 0
+    #: misses that fell all the way through to a real compute
+    l2_misses: int = 0
     #: containment checks settled purely by branch subsumption (0 states)
     symbolic_discharged: int = 0
     #: Q1 branches covered by an implied Q2 branch across all containments
@@ -88,6 +92,8 @@ class ValidationReport:
         self.elapsed += other.elapsed
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
         self.symbolic_discharged += other.symbolic_discharged
         self.branches_discharged += other.branches_discharged
         self.branches_pruned += other.branches_pruned
@@ -110,6 +116,8 @@ class ValidationReport:
             text += f", workers={self.workers}, executor={self.executor}"
         if self.cache_hits or self.cache_misses:
             text += f", cache={self.cache_hits}h/{self.cache_misses}m"
+        if self.l2_hits or self.l2_misses:
+            text += f", l2={self.l2_hits}h/{self.l2_misses}m"
         if self.symbolic_discharged or self.branches_discharged or self.branches_pruned:
             text += (
                 f", symbolic={self.symbolic_discharged}/{self.containment_checks}"
@@ -131,6 +139,7 @@ def validate_mapping(
     executor: Optional[str] = None,
     cache: Optional[ValidationCache] = None,
     symbolic: bool = True,
+    shard_size: Optional[int] = None,
 ) -> ValidationReport:
     """Run all five validation steps; raise ValidationError on failure.
 
@@ -146,8 +155,7 @@ def validate_mapping(
     budget = ensure_budget(budget)
     report = ValidationReport()
     started = time.perf_counter()
-    hits_before = cache.hits if cache is not None else 0
-    misses_before = cache.misses if cache is not None else 0
+    counters_before = _cache_counters(cache)
 
     # Step 1: structural well-formedness (cheap, always in-process).
     mapping.check_well_formed()
@@ -159,8 +167,12 @@ def validate_mapping(
     checks = build_validation_checks(
         mapping, views, budget, analyses, cache, symbolic=symbolic
     )
-    scheduler = ValidationScheduler(workers=workers, executor=executor)
-    results = scheduler.run(checks, mapping, views, budget, symbolic=symbolic)
+    scheduler = ValidationScheduler(
+        workers=workers, executor=executor, shard_size=shard_size
+    )
+    results = scheduler.run(
+        checks, mapping, views, budget, symbolic=symbolic, cache=cache
+    )
 
     for result in results:
         report.apply_counters(result.counters)
@@ -168,11 +180,28 @@ def validate_mapping(
 
     report.workers = scheduler.workers
     report.executor = scheduler.executor
-    if cache is not None:
-        report.cache_hits = cache.hits - hits_before
-        report.cache_misses = cache.misses - misses_before
+    _apply_cache_counters(report, cache, counters_before)
     report.elapsed = time.perf_counter() - started
     return report
+
+
+def _cache_counters(cache: Optional[ValidationCache]) -> Tuple[int, int, int, int]:
+    if cache is None:
+        return (0, 0, 0, 0)
+    return (cache.hits, cache.misses, cache.l2_hits, cache.l2_misses)
+
+
+def _apply_cache_counters(
+    report: ValidationReport,
+    cache: Optional[ValidationCache],
+    before: Tuple[int, int, int, int],
+) -> None:
+    if cache is None:
+        return
+    report.cache_hits = cache.hits - before[0]
+    report.cache_misses = cache.misses - before[1]
+    report.l2_hits = cache.l2_hits - before[2]
+    report.l2_misses = cache.l2_misses - before[3]
 
 
 def validate_delta_neighborhood(
@@ -185,6 +214,7 @@ def validate_delta_neighborhood(
     executor: Optional[str] = None,
     cache: Optional[ValidationCache] = None,
     symbolic: bool = True,
+    shard_size: Optional[int] = None,
 ) -> Tuple[ValidationReport, List[str]]:
     """Validate only a delta's touched neighborhood (steps 2-5, scoped).
 
@@ -198,8 +228,7 @@ def validate_delta_neighborhood(
     budget = ensure_budget(budget)
     report = ValidationReport()
     started = time.perf_counter()
-    hits_before = cache.hits if cache is not None else 0
-    misses_before = cache.misses if cache is not None else 0
+    counters_before = _cache_counters(cache)
 
     mapping.check_well_formed()
 
@@ -213,8 +242,12 @@ def validate_delta_neighborhood(
         tables=tuple(neighborhood.tables),
         symbolic=symbolic,
     )
-    scheduler = ValidationScheduler(workers=workers, executor=executor)
-    results = scheduler.run(checks, mapping, views, budget, symbolic=symbolic)
+    scheduler = ValidationScheduler(
+        workers=workers, executor=executor, shard_size=shard_size
+    )
+    results = scheduler.run(
+        checks, mapping, views, budget, symbolic=symbolic, cache=cache
+    )
 
     for result in results:
         report.apply_counters(result.counters)
@@ -222,9 +255,7 @@ def validate_delta_neighborhood(
 
     report.workers = scheduler.workers
     report.executor = scheduler.executor
-    if cache is not None:
-        report.cache_hits = cache.hits - hits_before
-        report.cache_misses = cache.misses - misses_before
+    _apply_cache_counters(report, cache, counters_before)
     report.elapsed = time.perf_counter() - started
     return report, [check.name for check in checks]
 

@@ -22,6 +22,15 @@ Used for :func:`repro.containment.checker.check_containment` results,
 per-check memos of :mod:`repro.compiler.validation`.  One
 :class:`ValidationCache` is held by an ORM session so that re-validation
 of untouched neighborhoods across a sequence of SMOs becomes a hit.
+
+The in-memory memo is the **L1**; an optional
+:class:`~repro.containment.persist.PersistentCacheStore` plugs in as a
+write-through **L2** so the memo outlives the process: a fresh session
+(or a second serving process sharing the same ``REPRO_CACHE_DIR``)
+starts warm instead of paying a cold compile.  L2 probes happen only on
+an L1 miss; L2 writes respect :class:`CacheTransaction` bracketing —
+entries computed for a *rejected* candidate model are never flushed to
+disk, exactly as they are evicted from L1 on rollback.
 """
 
 from __future__ import annotations
@@ -144,18 +153,35 @@ def client_slice_tokens(
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters plus current entry count."""
+    """Hit/miss/eviction counters plus current entry count.
+
+    The ``l2_*`` counters cover the optional persistent store: ``l2_hits``
+    are L1 misses answered from disk (also counted in ``hits`` — the
+    caller got a memoised value either way), ``l2_misses`` are computes
+    that really ran, ``l2_writes``/``l2_errors`` mirror the store's own
+    write/failure counters.  All zero when no store is attached.
+    """
 
     hits: int = 0
     misses: int = 0
     entries: int = 0
     evictions: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    l2_writes: int = 0
+    l2_errors: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"entries={self.entries}, evictions={self.evictions})"
+            f"entries={self.entries}, evictions={self.evictions}"
         )
+        if self.l2_hits or self.l2_misses or self.l2_writes or self.l2_errors:
+            text += (
+                f", l2={self.l2_hits}h/{self.l2_misses}m"
+                f"/{self.l2_writes}w/{self.l2_errors}e"
+            )
+        return text + ")"
 
 
 class CacheTransaction:
@@ -169,12 +195,19 @@ class CacheTransaction:
     differently) but they would occupy the cache forever and could be
     served to a byte-identical retry of the rejected evolution.  Rolling
     them back keeps the cache an index over models that actually exist.
+
+    When a persistent L2 store is attached, ``pending`` defers the
+    write-through of entries computed inside the transaction: they are
+    flushed to disk only on commit (merged outward under nesting), and
+    simply discarded on rollback — the on-disk cache indexes only models
+    that were actually accepted.
     """
 
-    __slots__ = ("inserted",)
+    __slots__ = ("inserted", "pending")
 
     def __init__(self) -> None:
         self.inserted: set = set()
+        self.pending: dict = {}
 
 
 class ValidationCache:
@@ -207,7 +240,9 @@ class ValidationCache:
     #: SMO traffic cannot grow without limit
     DEFAULT_MAX_ENTRIES = 16384
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self, max_entries: Optional[int] = None, store=None
+    ) -> None:
         self.max_entries = (
             self.DEFAULT_MAX_ENTRIES if max_entries is None else max_entries
         )
@@ -222,9 +257,16 @@ class ValidationCache:
         # fail-fast instead of re-enumerating.
         self._counterexamples: Dict[str, list] = {}
         self._recent_counterexamples: list = []
+        #: optional persistent L2 (a PersistentCacheStore); probed on L1
+        #: misses, written through on compute (deferred under transactions)
+        self.store = store
+        #: check fingerprints whose persisted counterexamples were loaded
+        self._ce_probed: set = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
 
     def get_or_compute(
         self, namespace: str, key: str, compute: Callable[[], T]
@@ -235,6 +277,14 @@ class ValidationCache:
         serialised on each other's computations; on a race both compute
         and the last write wins (results are deterministic, so the values
         are equal).
+
+        With a persistent store attached, an L1 miss probes the L2 before
+        computing.  An L2 hit counts as a *hit* (the value was memoised,
+        just not in this process) and is promoted into L1 without being
+        transaction-tracked — it is already durable, so a rollback has
+        nothing to undo for it.  A genuine compute is written through to
+        the L2: immediately when no transaction is open, else deferred
+        into the innermost transaction and flushed on commit.
         """
         full_key = (namespace, key)
         with self._lock:
@@ -242,9 +292,24 @@ class ValidationCache:
                 self.hits += 1
                 self._entries.move_to_end(full_key)
                 return self._entries[full_key]  # type: ignore[return-value]
+        if self.store is not None:
+            found, value = self.store.get(namespace, key)
+            if found:
+                with self._lock:
+                    self.hits += 1
+                    self.l2_hits += 1
+                    self._entries[full_key] = value
+                    self._entries.move_to_end(full_key)
+                    while len(self._entries) > self.max_entries:
+                        self._entries.popitem(last=False)
+                        self.evictions += 1
+                return value  # type: ignore[return-value]
         value = compute()
+        flush = False
         with self._lock:
             self.misses += 1
+            if self.store is not None:
+                self.l2_misses += 1
             if full_key not in self._entries:
                 for transaction in self._transactions:
                     transaction.inserted.add(full_key)
@@ -253,6 +318,13 @@ class ValidationCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+            if self.store is not None:
+                if self._transactions:
+                    self._transactions[-1].pending[full_key] = value
+                else:
+                    flush = True
+        if flush:
+            self.store.put(namespace, key, value)
         return value
 
     # -- transactional bracketing -----------------------------------
@@ -263,18 +335,40 @@ class ValidationCache:
         return transaction
 
     def commit(self, transaction: CacheTransaction) -> None:
-        """Keep the transaction's insertions; stop recording into it."""
+        """Keep the transaction's insertions; stop recording into it.
+
+        Deferred L2 writes flush to the store now — unless an enclosing
+        transaction is still open, in which case they merge outward (the
+        outer attempt could still be rolled back)."""
+        flush: dict = {}
         with self._lock:
             if transaction in self._transactions:
                 self._transactions.remove(transaction)
+            if transaction.pending:
+                if self._transactions:
+                    outer = self._transactions[-1].pending
+                    for full_key, value in transaction.pending.items():
+                        outer.setdefault(full_key, value)
+                else:
+                    flush = transaction.pending
+                transaction.pending = {}
+        if flush and self.store is not None:
+            self.store.put_many(
+                (namespace, key, value)
+                for (namespace, key), value in flush.items()
+            )
 
     def rollback(self, transaction: CacheTransaction) -> None:
-        """Evict every entry inserted while the transaction was open."""
+        """Evict every entry inserted while the transaction was open.
+
+        Deferred L2 writes are simply dropped: the disk cache never
+        learns about entries fingerprinted against a rejected model."""
         with self._lock:
             if transaction in self._transactions:
                 self._transactions.remove(transaction)
             for full_key in transaction.inserted:
                 self._entries.pop(full_key, None)
+            transaction.pending = {}
 
     # -- counterexample persistence ----------------------------------
     def record_counterexample(
@@ -285,6 +379,11 @@ class ValidationCache:
         ``sets``/``assocs`` name the sources the state populates so replay
         can re-materialise it under a possibly evolved schema.  Newest
         states sit first; per-key and global pools are bounded.
+
+        Written through to the persistent store immediately — never
+        transaction-deferred, matching the in-memory pools' deliberate
+        rollback survival: a failing state is genuine evidence whichever
+        candidate model surfaced it (replay re-verifies legality).
         """
         record = (tuple(sets), tuple(assocs), state)
         with self._lock:
@@ -296,6 +395,11 @@ class ValidationCache:
             recent[:] = [r for r in recent if r[2] is not state]
             recent.insert(0, record)
             del recent[self.RECENT_COUNTEREXAMPLES:]
+            self._ce_probed.add(key)  # local pool is now authoritative
+        if self.store is not None:
+            self.store.record_counterexample(
+                key, record, self.COUNTEREXAMPLES_PER_KEY
+            )
 
     def counterexamples(
         self, key: str, include_recent: bool = True
@@ -305,7 +409,28 @@ class ValidationCache:
         — states from *other* checks; a schema-legal state failing one FK
         often fails several.  Checks whose failure predicate is not
         state-intrinsic (e.g. roundtrip, which needs the right views in
-        scope) should pass ``include_recent=False``."""
+        scope) should pass ``include_recent=False``.
+
+        The first probe of a key consults the persistent store as well:
+        failing states recorded by *other processes* seed this session's
+        pool, so a fleet member re-validating a known-broken neighborhood
+        fails fast on its very first attempt."""
+        probe_store = False
+        with self._lock:
+            if (
+                self.store is not None
+                and key not in self._ce_probed
+            ):
+                self._ce_probed.add(key)
+                probe_store = True
+        if probe_store:
+            loaded = self.store.counterexamples(key)
+            with self._lock:
+                pool = self._counterexamples.setdefault(key, [])
+                for record in loaded:
+                    if len(pool) >= self.COUNTEREXAMPLES_PER_KEY:
+                        break
+                    pool.append(tuple(record))
         with self._lock:
             own = list(self._counterexamples.get(key, ()))
             if not include_recent:
@@ -323,17 +448,35 @@ class ValidationCache:
             return sum(len(pool) for pool in self._counterexamples.values())
 
     def stats(self) -> CacheStats:
+        store = self.store
         with self._lock:
             return CacheStats(
                 hits=self.hits,
                 misses=self.misses,
                 entries=len(self._entries),
                 evictions=self.evictions,
+                l2_hits=self.l2_hits,
+                l2_misses=self.l2_misses,
+                l2_writes=store.writes if store is not None else 0,
+                l2_errors=store.errors if store is not None else 0,
             )
 
-    def clear(self) -> None:
+    def persistent_stats(self):
+        """The attached store's :class:`PersistentCacheStats`, or None."""
+        return self.store.stats() if self.store is not None else None
+
+    def clear(self, persistent: bool = False) -> None:
+        """Drop every L1 entry; with *persistent*, wipe the L2 file too."""
         with self._lock:
             self._entries.clear()
+            self._ce_probed.clear()
+        if persistent and self.store is not None:
+            self.store.clear()
+
+    def close(self) -> None:
+        """Release the persistent store's connection (L1 stays usable)."""
+        if self.store is not None:
+            self.store.close()
 
     def __len__(self) -> int:
         with self._lock:

@@ -52,8 +52,13 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 from repro.backend.base import ReadView, StoreBackend
 from repro.backend.migrate import plan_migration
 from repro.budget import WorkBudget
-from repro.compiler.validation import ValidationReport, validate_mapping
+from repro.compiler.validation import (
+    ValidationReport,
+    validate_delta_neighborhood,
+    validate_mapping,
+)
 from repro.containment.cache import ValidationCache
+from repro.containment.persist import PersistentCacheStore, cache_dir_from_env
 from repro.edm.instances import ClientState
 from repro.errors import EvaluationError, IvmError, SmoError
 from repro.incremental.delta import MappingDelta
@@ -184,12 +189,28 @@ class SessionEngine:
         model: CompiledModel,
         backend: StoreBackend,
         budget: Optional[WorkBudget] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.backend = backend
-        self.validation_cache = ValidationCache()
+        # The validation cache is the per-process L1; *cache_dir* (or the
+        # REPRO_CACHE_DIR environment variable) attaches the on-disk L2
+        # every process sharing the directory warms and is warmed by.
+        resolved_dir = cache_dir if cache_dir is not None else cache_dir_from_env()
+        store = PersistentCacheStore(resolved_dir) if resolved_dir else None
+        self.validation_cache = ValidationCache(store=store)
         self._compiler = IncrementalCompiler(
             budget=budget, cache=self.validation_cache
         )
+        #: scheduler defaults for batch validation (evolve/evolve_many);
+        #: sessions doing heavy evolution can point these at the process
+        #: executor, whose persistent pool amortizes across batches
+        self.validation_workers = 1
+        self.validation_executor: Optional[str] = None
+        self.validation_shard_size: Optional[int] = None
+        #: composition of every delta committed since the last successful
+        #: validate() — its touched neighborhood is the minimal re-check
+        #: scope after an arbitrarily long SMO history
+        self._unvalidated_delta = MappingDelta()
         #: committed evolutions, oldest first; ``undo`` pops from the end
         self.journal: List[JournalEntry] = []
         self._writer_lock = threading.RLock()
@@ -525,7 +546,13 @@ class SessionEngine:
             epoch = self._epoch
             model = epoch.model
             old_client = self.load()
-            batch = self._compiler.compile_batch(model, smos)
+            batch = self._compiler.compile_batch(
+                model,
+                smos,
+                workers=self.validation_workers,
+                executor=self.validation_executor,
+                shard_size=self.validation_shard_size,
+            )
             evolved = batch.model
             migrated_client = old_client.embed_into(evolved.client_schema)
             new_store = apply_update_views(
@@ -567,6 +594,9 @@ class SessionEngine:
             self.writeplans.invalidate(batch.delta, evolved.mapping)
             self._incremental = None
             self.journal.append(entry)
+            self._unvalidated_delta = self._unvalidated_delta.compose(
+                batch.delta
+            )
             return delta
 
     def evolve(self, smo: Smo) -> StoreDelta:
@@ -602,6 +632,7 @@ class SessionEngine:
             self.writeplans.invalidate(inverse, restored.mapping)
             self._incremental = None
             self.journal.pop()
+            self._unvalidated_delta = self._unvalidated_delta.compose(inverse)
             return entry
 
     def replace_contents(self, state: StoreState) -> None:
@@ -652,18 +683,62 @@ class SessionEngine:
         workers: int = 1,
         executor: Optional[str] = None,
         symbolic: bool = True,
+        scope: str = "full",
+        shard_size: Optional[int] = None,
     ) -> ValidationReport:
-        """Fully validate the current model through the engine cache."""
+        """Validate the current model through the engine cache.
+
+        ``scope="full"`` runs every check of Algorithm 1.
+        ``scope="delta"`` composes the deltas of every evolution (and
+        undo) committed since the last successful ``validate`` — the
+        Arenas-style composition of the journal's SMO history — and
+        re-checks only the touched neighborhood of the *composed* delta:
+        a hundred batches confined to one corner of the schema re-check
+        that corner once, not a hundred times.  Either scope, on
+        success, marks the model validated (the composition restarts
+        empty).
+        """
+        if scope not in ("full", "delta"):
+            raise ValueError(
+                f"unknown validation scope {scope!r}; expected 'full' or 'delta'"
+            )
         model = self._epoch.model
-        return validate_mapping(
-            model.mapping,
-            model.views,
-            budget,
-            workers=workers,
-            executor=executor,
-            cache=self.validation_cache,
-            symbolic=symbolic,
-        )
+        pending = self._unvalidated_delta
+        if scope == "delta":
+            neighborhood = pending.touched_neighborhood(model.mapping)
+            report, _ = validate_delta_neighborhood(
+                model.mapping,
+                model.views,
+                neighborhood,
+                budget,
+                workers=workers,
+                executor=executor,
+                cache=self.validation_cache,
+                symbolic=symbolic,
+                shard_size=shard_size,
+            )
+        else:
+            report = validate_mapping(
+                model.mapping,
+                model.views,
+                budget,
+                workers=workers,
+                executor=executor,
+                cache=self.validation_cache,
+                symbolic=symbolic,
+                shard_size=shard_size,
+            )
+        # Success: everything up to the snapshot we validated is covered.
+        # (A writer that slipped in mid-validation replaced the attribute,
+        # so only reset when our snapshot is still the live composition.)
+        if self._unvalidated_delta is pending:
+            self._unvalidated_delta = MappingDelta()
+        return report
+
+    @property
+    def unvalidated_delta(self) -> MappingDelta:
+        """The composed delta awaiting the next ``validate`` (read-only)."""
+        return self._unvalidated_delta
 
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
@@ -679,6 +754,7 @@ class SessionEngine:
 
     def close(self) -> None:
         self.backend.close()
+        self.validation_cache.close()
 
     def __str__(self) -> str:
         return f"SessionEngine({self._epoch}, {self.backend.name})"

@@ -218,6 +218,7 @@ class IncrementalCompiler:
         *,
         workers: int = 1,
         executor: Optional[str] = None,
+        shard_size: Optional[int] = None,
     ) -> BatchResult:
         """Apply several SMOs, validating the union neighborhood *once*.
 
@@ -259,6 +260,7 @@ class IncrementalCompiler:
                 workers=workers,
                 executor=executor,
                 cache=self.cache,
+                shard_size=shard_size,
             )
         except BaseException:
             if transaction is not None:

@@ -295,6 +295,7 @@ class ServingStats:
     indexes: Optional[object] = None  # IndexStats on the memory backend
     epoch: Optional[object] = None  # EngineStats from the epoch engine
     writeplans: Optional[object] = None  # WriteplanCacheStats (IVM writes)
+    validation: Optional[object] = None  # CacheStats (validation L1 + L2)
 
     def __str__(self) -> str:
         lines = [
@@ -342,6 +343,15 @@ class ServingStats:
                 f" compiled={w.compiled}"
                 f" invalidations={w.invalidations} entries={w.entries}"
             )
+        if self.validation is not None:
+            v = self.validation
+            line = (
+                f"  validation cache: hits={v.hits} misses={v.misses}"
+                f" entries={v.entries}"
+            )
+            if getattr(v, "l2_hits", 0) or getattr(v, "l2_misses", 0):
+                line += f" l2_hits={v.l2_hits} l2_misses={v.l2_misses}"
+            lines.append(line)
         return "\n".join(lines)
 
 

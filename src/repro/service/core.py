@@ -48,10 +48,14 @@ class SessionService:
         default_backend: Optional[str] = None,
         db_dir: Optional[str] = None,
         pool_size: int = 4,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.default_backend = default_backend
         self.db_dir = db_dir
         self.pool_size = pool_size
+        #: shared persistent validation cache for every tenant session
+        #: (None defers to REPRO_CACHE_DIR inside the session)
+        self.cache_dir = cache_dir
         self._tenants: Dict[str, OrmSession] = {}
         self._lock = threading.Lock()
 
@@ -94,6 +98,7 @@ class SessionService:
             backend=backend_name,
             db_path=db_path,
             pool_size=self.pool_size if pool_size is None else pool_size,
+            cache_dir=self.cache_dir,
         )
         with self._lock:
             previous = self._tenants.get(tenant)

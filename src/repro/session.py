@@ -78,6 +78,7 @@ class OrmSession:
         store_state: Optional[StoreState] = None,
         backend: Optional[StoreBackend] = None,
         budget: Optional[WorkBudget] = None,
+        cache_dir: Optional[str] = None,
     ) -> None:
         if backend is None:
             # bare StoreState (or nothing): the historical in-memory session
@@ -89,7 +90,9 @@ class OrmSession:
         elif store_state is not None:
             raise SmoError("pass either store_state or backend, not both")
         #: the epoch engine every read and write goes through
-        self.engine = SessionEngine(model, backend, budget=budget)
+        self.engine = SessionEngine(
+            model, backend, budget=budget, cache_dir=cache_dir
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -98,6 +101,7 @@ class OrmSession:
         backend: Optional[str] = None,
         db_path: Optional[str] = None,
         pool_size: int = 0,
+        cache_dir: Optional[str] = None,
     ) -> "OrmSession":
         """A session over an empty database.
 
@@ -105,12 +109,14 @@ class OrmSession:
         when ``None`` the ``REPRO_BACKEND`` environment variable decides
         (defaulting to memory).  *db_path* puts a SQLite store on disk
         instead of in ``:memory:``; *pool_size* > 0 provisions a reader
-        connection pool for concurrent serving.
+        connection pool for concurrent serving.  *cache_dir* attaches the
+        persistent cross-process validation cache (defaulting to
+        ``REPRO_CACHE_DIR`` when set).
         """
         engine = create_backend(
             backend, model.store_schema, db_path=db_path, pool_size=pool_size
         )
-        return OrmSession(model, backend=engine)
+        return OrmSession(model, backend=engine, cache_dir=cache_dir)
 
     # ------------------------------------------------------------------
     # Epoch views (compatibility surface — these read the current epoch)
@@ -293,18 +299,30 @@ class OrmSession:
         workers: int = 1,
         executor: Optional[str] = None,
         symbolic: bool = True,
+        scope: str = "full",
+        shard_size: Optional[int] = None,
     ) -> ValidationReport:
-        """Fully validate the current model through the session cache.
+        """Validate the current model through the session cache.
 
         Repeated calls (and SMO validations in between) share one
         :class:`ValidationCache`, so re-validating an unchanged or locally
         changed model is dominated by cache hits — the report's
-        ``cache_hits`` / ``cache_misses`` show the split.  ``symbolic``
-        toggles the layered containment fast path (branch subsumption and
-        counterexample replay before state enumeration).
+        ``cache_hits`` / ``cache_misses`` show the split.  When the
+        session's cache has a persistent store attached (``cache_dir`` /
+        ``REPRO_CACHE_DIR``), a fresh process warms from disk the same
+        way (``l2_hits``).  ``symbolic`` toggles the layered containment
+        fast path; ``scope="delta"`` re-checks only the neighborhood of
+        the deltas composed since the last successful validate (see
+        :meth:`SessionEngine.validate`); ``shard_size`` tunes the
+        work-stealing shard granularity of parallel executors.
         """
         return self.engine.validate(
-            budget=budget, workers=workers, executor=executor, symbolic=symbolic
+            budget=budget,
+            workers=workers,
+            executor=executor,
+            symbolic=symbolic,
+            scope=scope,
+            shard_size=shard_size,
         )
 
     def cache_stats(self) -> CacheStats:
@@ -322,6 +340,7 @@ class OrmSession:
             indexes=index_stats() if index_stats else None,
             epoch=self.engine.stats(),
             writeplans=self.engine.writeplans.stats(),
+            validation=self.cache_stats(),
         )
 
     # ------------------------------------------------------------------

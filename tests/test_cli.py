@@ -339,3 +339,41 @@ def test_stats_verb_on_memory_backend(compiled_model_path, capsys):
     printed = capsys.readouterr().out
     assert "serving on memory" in printed
     assert "statement cache" not in printed
+
+
+def test_cache_warm_stats_clear_roundtrip(compiled_model_path, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(
+        ["cache", "warm", str(compiled_model_path), "--cache-dir", cache_dir]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "warmed:" in captured.out
+
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    printed = capsys.readouterr().out
+    assert "PersistentCacheStats" in printed
+    assert "entries=0" not in printed  # warm populated the store
+
+    # a fresh validate through the same directory is served from disk
+    assert main(
+        ["validate", str(compiled_model_path), "--cache-dir", cache_dir]
+    ) == 0
+    assert "l2=" in capsys.readouterr().out
+
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "entries=0" in capsys.readouterr().out
+
+
+def test_cache_warm_requires_model(tmp_path, capsys):
+    code = main(["cache", "warm", "--cache-dir", str(tmp_path / "c")])
+    assert code == 2
+    assert "MODEL" in capsys.readouterr().err
+
+
+def test_cache_requires_a_directory(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    code = main(["cache", "stats"])
+    assert code == 2
+    assert "cache directory" in capsys.readouterr().err

@@ -14,6 +14,7 @@ from repro.compiler import (
 )
 from repro.budget import ensure_budget
 from repro.errors import ValidationError
+from repro.compiler.scheduler import build_shards, shutdown_pools
 from repro.workloads.hub_rim import hub_rim_mapping
 
 
@@ -179,3 +180,117 @@ class TestParallelValidation:
         assert all(c.spec is not None for c in checks)
         names = [c.name for c in checks]
         assert len(names) == len(set(names))
+
+
+class TestShards:
+    @pytest.fixture(scope="class")
+    def hub22_checks(self):
+        mapping = hub_rim_mapping(2, 2, "TPH")
+        views = generate_views(mapping)
+        return build_validation_checks(mapping, views, WorkBudget(), {})
+
+    def test_every_check_lands_in_exactly_one_shard(self, hub22_checks):
+        shards = build_shards(hub22_checks, workers=2)
+        flat = [check for shard in shards for check in shard]
+        assert sorted(c.name for c in flat) == sorted(
+            c.name for c in hub22_checks
+        )
+        assert all(shard for shard in shards)
+
+    def test_store_cells_colocated_with_their_coverage_sets(self, hub22_checks):
+        """A store-cells check shares a shard with the coverage checks of
+        the sets it reads — their SetAnalysis is built once per run, so
+        process step totals match serial."""
+        shards = build_shards(hub22_checks, workers=2)
+        for shard in shards:
+            kinds = {c.kind for c in shard}
+            if "store-cells" in kinds:
+                covered = {
+                    c.name.split(":", 1)[1]
+                    for c in shard
+                    if c.kind == "coverage"
+                }
+                for check in shard:
+                    if check.kind == "store-cells":
+                        for dep in check.deps:
+                            if dep.startswith("coverage:"):
+                                assert dep.split(":", 1)[1] in covered
+
+    def test_explicit_shard_size_bounds_affinity_free_groups(self, hub22_checks):
+        solo = [c for c in hub22_checks if c.kind == "fk-preservation"]
+        shards = build_shards(solo, workers=2, shard_size=1)
+        assert all(len(shard) == 1 for shard in shards)
+        assert len(shards) == len(solo)
+
+    def test_empty_input_yields_no_shards(self):
+        assert build_shards([], workers=4) == []
+
+    def test_declaration_order_preserved_within_shards(self, hub22_checks):
+        shards = build_shards(hub22_checks, workers=2)
+        order = {c.name: i for i, c in enumerate(hub22_checks)}
+        for shard in shards:
+            indices = [order[c.name] for c in shard]
+            assert indices == sorted(indices)
+
+
+class TestProcessExecutor:
+    @pytest.fixture(scope="class")
+    def hub22(self):
+        mapping = hub_rim_mapping(2, 2, "TPH")
+        return mapping, generate_views(mapping)
+
+    def test_missing_args_named_in_error(self):
+        scheduler = ValidationScheduler(workers=2, executor="process")
+        with pytest.raises(ValueError) as excinfo:
+            scheduler.run([], None, None, ensure_budget(WorkBudget()))
+        message = str(excinfo.value)
+        assert "'mapping'" in message and "'views'" in message
+
+    def test_missing_views_only_named(self, hub22):
+        mapping, _ = hub22
+        scheduler = ValidationScheduler(workers=2, executor="process")
+        with pytest.raises(ValueError) as excinfo:
+            scheduler.run([], mapping, None, ensure_budget(WorkBudget()))
+        message = str(excinfo.value)
+        assert "'views'" in message and "'mapping'" not in message
+
+    def test_process_budget_totals_match_serial(self, hub22):
+        """Workers report per-check step counts; the parent replays them
+        into the shared budget, so process totals equal serial exactly.
+        (Fresh pool: a warm pool's memoized per-set analyses would let
+        workers legitimately do — and report — less work.)"""
+        shutdown_pools()
+        mapping, views = hub22
+        serial_budget = ensure_budget(WorkBudget())
+        validate_mapping(mapping, views, serial_budget)
+        process_budget = ensure_budget(WorkBudget())
+        validate_mapping(
+            mapping, views, process_budget, workers=2, executor="process"
+        )
+        assert process_budget.steps == serial_budget.steps
+
+    def test_process_budget_trips(self, hub22):
+        mapping, views = hub22
+        with pytest.raises(CompilationBudgetExceeded):
+            validate_mapping(
+                mapping,
+                views,
+                WorkBudget(max_steps=200),
+                workers=2,
+                executor="process",
+            )
+
+    def test_shard_size_sweep_same_verdict(self, hub22):
+        mapping, views = hub22
+        serial = validate_mapping(mapping, views)
+        for shard_size in (1, 3, 100):
+            report = validate_mapping(
+                mapping, views, workers=2, shard_size=shard_size
+            )
+            for field in (
+                "coverage_checks",
+                "store_cells",
+                "containment_checks",
+                "roundtrip_states",
+            ):
+                assert getattr(report, field) == getattr(serial, field)
