@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Regression gates over the serving benchmarks.
 
-Three JSON reports, three gates:
+Five JSON reports, five gates:
 
 **BENCH_query_serving.json** — fails (exit 1) if the serving fast path
 regressed below the uncached pipeline where the cache is the whole
@@ -56,10 +56,25 @@ physical-plan layer exists to keep that from coming back.
   anything up by adding workers, and the sweep there documents the
   overhead floor instead.
 
+**BENCH_result_cache.json** — the materialized result tier gates:
+
+* ``stale_reads`` must be 0 at every size on every backend — a
+  maintained entry that disagrees with re-execution is a correctness
+  bug, full stop — and so must ``validation_failures`` (an entry served
+  under the wrong model fingerprint);
+* ``fallbacks`` must stay bounded (<= MAX_FALLBACKS, default 5): the
+  chain workload's shapes are all maintainable, so a fallback means the
+  read-side delta compiler stopped recognizing a shape it owns;
+* at the 10^5-row tier, the maintained read rate must beat re-execution
+  by at least RESULT_MIN_SPEEDUP× on at least one backend.  That is the
+  tier's whole point: O(1) warm reads that survive writes instead of
+  O(|state|) re-execution per read.  RESULT_MIN_SPEEDUP defaults to 3
+  and can be overridden with ``REPRO_RESULT_CACHE_MIN_SPEEDUP``.
+
 Usage::
 
     python scripts/check_serving_regression.py [query.json] [concurrent.json] \
-        [incremental.json] [validation.json]
+        [incremental.json] [validation.json] [result_cache.json]
 """
 
 import json
@@ -72,6 +87,8 @@ GATED_SIZE = "100000"
 DEFAULT_WARM_DISK_MIN_SPEEDUP = 5.0
 DEFAULT_MULTICORE_MIN_EFFICIENCY = 0.5
 MULTICORE_GATED_WORKERS = 4
+DEFAULT_RESULT_MIN_SPEEDUP = 3.0
+RESULT_MAX_FALLBACKS = 5
 
 
 def check_query_serving(path: str) -> int:
@@ -298,6 +315,86 @@ def check_validation(path: str) -> int:
     return 0
 
 
+def check_result_cache(path: str) -> int:
+    with open(path) as handle:
+        data = json.load(handle)
+    min_speedup = float(
+        os.environ.get(
+            "REPRO_RESULT_CACHE_MIN_SPEEDUP", DEFAULT_RESULT_MIN_SPEEDUP
+        )
+    )
+    failures = 0
+    best_gated_speedup = None
+    gated_seen = False
+    for backend, result in data["backends"].items():
+        for size, point in result["sizes"].items():
+            stats = point["result_cache"]
+            print(
+                f"{backend} @ {size} rows: maintained="
+                f"{point['maintained_read_qps']}qps reexec="
+                f"{point['reexec_read_qps']}qps "
+                f"speedup={point['read_speedup']}x "
+                f"maintain={point['maintain_ms_per_delta']}ms/delta "
+                f"stale={point['stale_reads']} "
+                f"fallbacks={stats['fallbacks']} "
+                f"validation_failures={stats['validation_failures']}"
+            )
+            if point["stale_reads"]:
+                print(
+                    f"FAIL [{backend} @ {size}]: {point['stale_reads']} "
+                    "stale read(s) — a maintained entry disagreed with "
+                    "re-execution after a write",
+                    file=sys.stderr,
+                )
+                failures += 1
+            if stats["validation_failures"]:
+                print(
+                    f"FAIL [{backend} @ {size}]: "
+                    f"{stats['validation_failures']} fingerprint validation "
+                    "failure(s) — an entry outlived its model",
+                    file=sys.stderr,
+                )
+                failures += 1
+            if stats["fallbacks"] > RESULT_MAX_FALLBACKS:
+                print(
+                    f"FAIL [{backend} @ {size}]: {stats['fallbacks']} "
+                    f"fallback(s) exceed the {RESULT_MAX_FALLBACKS} bound — "
+                    "the read-side delta compiler stopped recognizing a "
+                    "maintainable shape",
+                    file=sys.stderr,
+                )
+                failures += 1
+            if size == GATED_SIZE:
+                gated_seen = True
+                speedup = point["read_speedup"]
+                if speedup is not None and (
+                    best_gated_speedup is None or speedup > best_gated_speedup
+                ):
+                    best_gated_speedup = speedup
+    if not gated_seen:
+        print(f"(no {GATED_SIZE}-row tier; result-cache speedup gate skipped)")
+    elif best_gated_speedup is None or best_gated_speedup < min_speedup:
+        print(
+            f"FAIL: best maintained-read speedup {best_gated_speedup}x at "
+            f"{GATED_SIZE} rows is below the {min_speedup}x floor — the "
+            "result tier no longer pays for itself",
+            file=sys.stderr,
+        )
+        failures += 1
+    if failures:
+        return 1
+    print(
+        f"OK: zero stale reads, fallbacks bounded"
+        + (
+            f", maintained reads >= {min_speedup}x at {GATED_SIZE} rows "
+            f"(best {best_gated_speedup}x)"
+            if gated_seen
+            else ""
+        )
+    )
+    return 0
+
+
 def main() -> int:
     query_path = (
         sys.argv[1] if len(sys.argv) > 1 else "BENCH_query_serving.json"
@@ -315,6 +412,9 @@ def main() -> int:
     validation_path = (
         sys.argv[4] if len(sys.argv) > 4 else "BENCH_validation.json"
     )
+    result_cache_path = (
+        sys.argv[5] if len(sys.argv) > 5 else "BENCH_result_cache.json"
+    )
     status = check_query_serving(query_path)
     if os.path.exists(concurrent_path):
         status = check_concurrent(concurrent_path) or status
@@ -328,6 +428,12 @@ def main() -> int:
         status = check_validation(validation_path) or status
     else:
         print(f"({validation_path} not present; validation gates skipped)")
+    if os.path.exists(result_cache_path):
+        status = check_result_cache(result_cache_path) or status
+    else:
+        print(
+            f"({result_cache_path} not present; result-cache gates skipped)"
+        )
     return status
 
 

@@ -418,6 +418,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         db_dir=args.db_dir,
         pool_size=args.pool_size,
         cache_dir=args.cache_dir,
+        result_cache_budget=args.result_cache_budget,
     )
     if args.model:
         result = service.create_tenant(
@@ -665,6 +666,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="shared persistent validation cache directory for all "
         "tenants (default: $REPRO_CACHE_DIR)",
+    )
+    p.add_argument(
+        "--result-cache-budget",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="materialized result tier budget per tenant in cells "
+        "(rows x width; 0 disables the tier, default 2000000)",
     )
     p.set_defaults(fn=cmd_serve)
 

@@ -76,6 +76,7 @@ from repro.mapping.roundtrip import apply_query_views, apply_update_views
 from repro.query.dml import StoreDelta, diff_store_states
 from repro.query.language import EntityQuery
 from repro.query.plancache import CachedPlan, PlanCache
+from repro.query.resultcache import DEFAULT_RESULT_BUDGET, ResultCache
 from repro.relational.instances import StoreState
 
 try:  # the engines raise these when a read races a migration
@@ -138,6 +139,12 @@ class Epoch:
     fingerprint: str
     plan_cache: PlanCache
     view: ReadView
+    #: the materialized result tier valid for exactly this epoch; like
+    #: the plan cache it accepts new entries (population is monotone
+    #: memoization of this epoch's answers) but is never *maintained* in
+    #: place — write paths derive a successor and publish it with the
+    #: next epoch
+    results: Optional[ResultCache] = None
 
     def __str__(self) -> str:
         return f"Epoch({self.epoch_id}, {self.fingerprint[:12]}…)"
@@ -190,6 +197,7 @@ class SessionEngine:
         backend: StoreBackend,
         budget: Optional[WorkBudget] = None,
         cache_dir: Optional[str] = None,
+        result_cache_budget: Optional[int] = None,
     ) -> None:
         self.backend = backend
         # The validation cache is the per-process L1; *cache_dir* (or the
@@ -229,7 +237,15 @@ class SessionEngine:
         #: lazily-materialized client view + view-row counts backing the
         #: incremental write path; None = must reseed from the backend
         self._incremental: Optional[IncrementalWriteState] = None
-        self._epoch = self._next_epoch(model, PlanCache())
+        #: rows × width cells the result tier may hold; 0 disables it
+        self._result_budget = (
+            result_cache_budget
+            if result_cache_budget is not None
+            else DEFAULT_RESULT_BUDGET
+        )
+        self._epoch = self._next_epoch(
+            model, PlanCache(), results=ResultCache(self._result_budget)
+        )
 
     # ------------------------------------------------------------------
     # Epoch plumbing
@@ -244,6 +260,7 @@ class SessionEngine:
         model: CompiledModel,
         plan_cache: PlanCache,
         fingerprint: Optional[str] = None,
+        results: Optional[ResultCache] = None,
     ) -> Epoch:
         self._epoch_counter += 1
         self._epochs_published += 1
@@ -255,6 +272,11 @@ class SessionEngine:
             ),
             plan_cache=plan_cache,
             view=self.backend.read_view(),
+            results=(
+                results
+                if results is not None
+                else ResultCache(self._result_budget)
+            ),
         )
 
     def _commit(
@@ -263,6 +285,7 @@ class SessionEngine:
         model: CompiledModel,
         plan_cache: PlanCache,
         fingerprint: Optional[str] = None,
+        make_results: Optional[Callable[[], ResultCache]] = None,
     ):
         """The publication window (writer lock held by the caller).
 
@@ -270,6 +293,12 @@ class SessionEngine:
         data is unchanged and the *old* epoch remains exactly right —
         only the seqlock is restored.  On success the new epoch becomes
         visible with one reference assignment.
+
+        *make_results* builds the next epoch's result-tier slice.  It
+        runs after the mutation succeeded (so it can read the post-write
+        store state) and before the swap; if it fails, the tier degrades
+        to an empty successor — dropping cached answers is always
+        correct, serving stale ones never is.
         """
         old_view = self._epoch.view
         self._version += 1  # odd: live readers back off
@@ -278,7 +307,15 @@ class SessionEngine:
         except BaseException:
             self._version += 1  # even again; nothing was published
             raise
-        self._epoch = self._next_epoch(model, plan_cache, fingerprint)
+        try:
+            results = (
+                make_results()
+                if make_results is not None
+                else self._epoch.results.empty_successor()
+            )
+        except Exception:
+            results = self._epoch.results.empty_successor()
+        self._epoch = self._next_epoch(model, plan_cache, fingerprint, results)
         self._version += 1  # even: publication complete
         old_view.release()
         return result
@@ -306,6 +343,17 @@ class SessionEngine:
         if epoch.view.snapshot:
             return self.query_on(epoch, query), epoch
 
+        # Live backends: a result-tier hit touches no backend at all, so
+        # it cannot race a migration — serve it before the seqlock loop.
+        results = epoch.results
+        if results is not None and results.enabled:
+            plan, values, key = epoch.plan_cache.plan_with_key(
+                epoch.model, query
+            )
+            cached = results.lookup(key, values, epoch.fingerprint)
+            if cached is not None:
+                return cached, epoch
+
         for _ in range(self.MAX_READ_RETRIES):
             before = self._version
             if before & 1:  # writer mid-publication; brief yield
@@ -322,13 +370,16 @@ class SessionEngine:
                 # a stale plan bound against a swapped schema slice
                 rows = None
             if rows is not None and self._version == before:
+                self._populate_live(epoch, query, rows, before)
                 return rows, epoch
             self._read_retries += 1
         # Sustained churn: serialize this one read against writers.
         with self._writer_lock:
             self._serialized_reads += 1
             epoch = self._epoch
-            return self.query_on(epoch, query), epoch
+            rows = self.query_on(epoch, query)
+            self._populate_live(epoch, query, rows, self._version)
+            return rows, epoch
 
     def query_on(self, epoch: Epoch, query: EntityQuery) -> List[object]:
         """Execute *query* against a specific epoch.
@@ -339,9 +390,74 @@ class SessionEngine:
         view may have moved on — use :meth:`query_with_epoch` unless you
         are inside its validation loop.
         """
+        results = epoch.results
+        if (
+            results is not None
+            and results.enabled
+            and epoch.view.snapshot
+        ):
+            # Snapshot backends populate inline: the view pins exactly
+            # the state the rows came from, so the materialized bags are
+            # consistent with this epoch by construction.
+            plan, values, key = epoch.plan_cache.plan_with_key(
+                epoch.model, query
+            )
+            cached = results.lookup(key, values, epoch.fingerprint)
+            if cached is not None:
+                return cached
+            with epoch.view.acquire() as reader:
+                rows = plan.execute(reader, values)
+                state = reader.to_store_state()
+            results.populate(
+                key,
+                values,
+                plan,
+                epoch.model.store_schema,
+                state,
+                epoch.fingerprint,
+                executed_rows=rows,
+            )
+            return rows
         plan, values = epoch.plan_cache.plan_for(epoch.model, query)
         with epoch.view.acquire() as reader:
             return plan.execute(reader, values)
+
+    def _populate_live(
+        self, epoch: Epoch, query: EntityQuery, rows: List[object], before: int
+    ) -> None:
+        """Materialize a validated live-backend read into the result tier.
+
+        The seqlock already proved *rows* are consistent with *epoch*;
+        what must still be guarded is the store-state capture the bags
+        are seeded from.  The version counter is monotonic, so observing
+        ``before`` again after :meth:`to_store_state` proves no writer
+        entered its publication window in between — the state is the one
+        the rows were computed on.  Any ambiguity skips the population;
+        the next read simply misses.
+        """
+        results = epoch.results
+        if results is None or not results.enabled:
+            return
+        try:
+            plan, values, key = epoch.plan_cache.plan_with_key(
+                epoch.model, query
+            )
+            if results.has(key, values):
+                return
+            state = self.backend.to_store_state()
+            if self._version != before or self._epoch is not epoch:
+                return
+            results.populate(
+                key,
+                values,
+                plan,
+                epoch.model.store_schema,
+                state,
+                epoch.fingerprint,
+                executed_rows=rows,
+            )
+        except _RETRYABLE_READ_ERRORS:
+            pass  # raced a migration; the entry is simply not cached
 
     def plan_for(
         self, query: EntityQuery
@@ -388,11 +504,20 @@ class SessionEngine:
                 epoch.model.views, new_state, epoch.model.store_schema
             )
             delta = diff_store_states(self.backend.to_store_state(), target)
+            written = [
+                name for name, td in delta.tables.items() if not td.empty
+            ]
             self._commit(
                 lambda: self.backend.apply_delta(delta),
                 epoch.model,
                 epoch.plan_cache,
                 fingerprint=epoch.fingerprint,
+                # whole-state save: no signed DML to propagate, so the
+                # result tier drops exactly the entries scanning a
+                # written table and carries the rest
+                make_results=lambda: epoch.results.successor_for_tables(
+                    written, epoch.fingerprint
+                ),
             )
             return delta
 
@@ -494,6 +619,16 @@ class SessionEngine:
                     epoch.model,
                     epoch.plan_cache,
                     fingerprint=epoch.fingerprint,
+                    # the tentpole path: the signed store DML just
+                    # computed propagates through every touched entry's
+                    # operators — O(|Δ|) per maintained entry; the
+                    # factory runs post-mutation, so to_store_state()
+                    # is the new state the delta rules probe against
+                    make_results=lambda: epoch.results.successor_for_delta(
+                        store_delta,
+                        self.backend.to_store_state(),
+                        epoch.fingerprint,
+                    ),
                 )
         except BaseException:
             self._incremental = None
@@ -510,11 +645,17 @@ class SessionEngine:
             )
             delta = diff_store_states(self.backend.to_store_state(), target)
             if not delta.empty:
+                written = [
+                    name for name, td in delta.tables.items() if not td.empty
+                ]
                 self._commit(
                     lambda: self.backend.apply_delta(delta),
                     epoch.model,
                     epoch.plan_cache,
                     fingerprint=epoch.fingerprint,
+                    make_results=lambda: epoch.results.successor_for_tables(
+                        written, epoch.fingerprint
+                    ),
                 )
             inc.counts = seed_counts(epoch.model, inc.client_state)
         except BaseException:
@@ -580,12 +721,24 @@ class SessionEngine:
             next_plans = epoch.plan_cache.successor(
                 batch.delta, evolved.mapping
             )
+            next_fp = evolved.fingerprint()
+            migration_tables = [
+                name for name, td in delta.tables.items() if not td.empty
+            ]
             self._commit(
                 lambda: self.backend.migrate(
                     script, evolved.store_schema, new_store
                 ),
                 evolved,
                 next_plans,
+                fingerprint=next_fp,
+                # results survive by the same neighborhood argument as
+                # plans, then any table the migration itself rewrote is
+                # dropped on top (Section 2.3 says pre-existing data is
+                # unchanged, but the store delta is the ground truth)
+                make_results=lambda: epoch.results.successor(
+                    batch.delta, evolved.mapping, next_fp
+                ).successor_for_tables(migration_tables, next_fp),
             )
             # writeplans for sets/assocs/tables the batch touched are
             # stale; untouched ones stay hot (write-side neighborhood
@@ -628,6 +781,11 @@ class SessionEngine:
                 lambda: self.backend.replace_contents(entry.store_before),
                 restored,
                 next_plans,
+                # undo restores a *pre-migration data snapshot*: it also
+                # reverts every save committed since, including ones in
+                # tables the SMO batch never touched — no table-scoped
+                # argument keeps an entry valid, so the tier clears
+                make_results=epoch.results.empty_successor,
             )
             self.writeplans.invalidate(inverse, restored.mapping)
             self._incremental = None
@@ -647,6 +805,7 @@ class SessionEngine:
                 epoch.model,
                 PlanCache(epoch.plan_cache.max_plans),
                 fingerprint=epoch.fingerprint,
+                make_results=epoch.results.empty_successor,
             )
 
     # ------------------------------------------------------------------

@@ -296,6 +296,7 @@ class ServingStats:
     epoch: Optional[object] = None  # EngineStats from the epoch engine
     writeplans: Optional[object] = None  # WriteplanCacheStats (IVM writes)
     validation: Optional[object] = None  # CacheStats (validation L1 + L2)
+    results: Optional[object] = None  # ResultCacheStats (materialized tier)
 
     def __str__(self) -> str:
         lines = [
@@ -352,6 +353,15 @@ class ServingStats:
             if getattr(v, "l2_hits", 0) or getattr(v, "l2_misses", 0):
                 line += f" l2_hits={v.l2_hits} l2_misses={v.l2_misses}"
             lines.append(line)
+        if self.results is not None:
+            r = self.results
+            lines.append(
+                f"  result cache    : hits={r.hits} misses={r.misses}"
+                f" maintained={r.maintained} invalidated={r.invalidated}"
+                f" fallbacks={r.fallbacks} evictions={r.evictions}"
+                f" stale={r.validation_failures}"
+                f" entries={r.entries} cost={r.cost}/{r.budget}"
+            )
         return "\n".join(lines)
 
 
@@ -410,6 +420,14 @@ class PlanCache:
     # -- lookup --------------------------------------------------------
     def plan_for(self, model, query: EntityQuery) -> Tuple[CachedPlan, Tuple[object, ...]]:
         """The (possibly cached) plan for *query* plus its bound parameters."""
+        plan, values, _key = self.plan_with_key(model, query)
+        return plan, values
+
+    def plan_with_key(
+        self, model, query: EntityQuery
+    ) -> Tuple[CachedPlan, Tuple[object, ...], Tuple[str, str, str]]:
+        """:meth:`plan_for` plus the full cache key — the result tier keys
+        its entries with it, so both caches invalidate in lockstep."""
         slice_fp, inline_attrs, tables = self._meta(model, query.set_name)
         shape, values = parameterize(query, inline_attrs)
         index_key = (query.set_name, shape.condition, shape.projection)
@@ -420,7 +438,7 @@ class PlanCache:
                 if plan is not None:
                     self.hits += 1
                     self._plans.move_to_end(key)
-                    return plan, values
+                    return plan, values, key
         key = (query.set_name, slice_fp, fingerprint(shape))
         with self._lock:
             plan = self._plans.get(key)
@@ -428,7 +446,7 @@ class PlanCache:
                 self.hits += 1
                 self._plans.move_to_end(key)
                 self._shape_index[index_key] = key
-                return plan, values
+                return plan, values, key
         unfolded = unfold(shape, model.views, model.client_schema)
         plan = CachedPlan(shape, unfolded, len(values), tables)
         with self._lock:
@@ -444,7 +462,7 @@ class PlanCache:
                     self._prune_index()
             plan = self._plans[key]
             self._shape_index[index_key] = key
-        return plan, values
+        return plan, values, key
 
     def _prune_index(self) -> None:
         """Drop shape-index entries whose plan is gone (lock held)."""

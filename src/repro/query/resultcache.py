@@ -1,0 +1,1020 @@
+"""The materialized result tier: cached answers maintained by deltas.
+
+The plan cache (:mod:`repro.query.plancache`) amortizes *translation*;
+this module amortizes *execution*.  A :class:`ResultCache` sits above the
+plan cache and memoizes whole query answers — the constructed entities or
+projected rows of one :class:`~repro.query.plancache.CachedPlan` bound
+with one concrete parameter vector.  Entries are keyed exactly like
+cached plans ((set name, model-slice fingerprint, shape fingerprint))
+plus the bound parameters, so the same invalidation discipline carries
+over verbatim.
+
+What makes the tier worth having is that entries *survive writes*: on an
+incremental save the signed store DML the write path already computed
+(a :class:`~repro.query.dml.StoreDelta`) is propagated through each
+cached plan's branch operators by read-side delta rules mirroring the
+``ivm/writeplan`` counting algebra —
+
+* table scan — the delta's own ±rows (update = −old, +new);
+* select     — filter each signed row by the (bound) condition;
+* project    — map each signed row through the projection items;
+* union-all  — concatenate branch deltas, NULL-padded to the union width;
+* ⋈ on k     — ``ΔL ⋈ R_new + L_old ⋈ ΔR``;
+* ⟕ on k     — the same two terms plus *pad transitions*: at a join key
+  whose right match count crosses 0 ↔ positive, the old left rows at
+  that key lose or gain their NULL-padded row.
+
+Each entry keeps a per-branch bag of store-level output rows with
+multiplicity counts whose support is exactly
+:func:`~repro.algebra.evaluate.evaluate_query`'s deduplicated output, so
+applying the signed stream and re-filtering through the entry's bound
+root predicate reconstructs the fresh answer in O(|Δ|) — probes go
+through :meth:`~repro.relational.instances.StoreState.key_index`, never
+a table scan.  Shapes the rules cannot maintain (full outer joins,
+non-key join probes) mark the entry *unmaintainable*: it still serves
+warm reads, but any write touching its tables invalidates it — always
+correct, never stale.
+
+Lifecycle, mirrored from the epoch engine's write paths:
+
+* **populate** — a read miss executes the plan, bag-evaluates the bound
+  branches over the same pinned state, and stores the entry (snapshot
+  backends populate inline; live backends only after the seqlock
+  validated the read);
+* **maintain** — ``save_delta`` / ``apply_script`` derive the next
+  epoch's cache with :meth:`ResultCache.successor_for_delta`: untouched
+  entries are carried by reference, touched maintainable entries are
+  rebuilt copy-on-write in O(|Δ|), everything else is invalidated.  The
+  source cache is never mutated, so readers pinned to an old epoch keep
+  byte-identical answers;
+* **invalidate** — whole-state ``save`` drops entries by written tables
+  (:meth:`successor_for_tables`), SMOs drop by touched neighborhood
+  exactly as :meth:`PlanCache.invalidate` does (:meth:`successor`), and
+  ``undo`` / ``replace_contents`` clear (data is restored wholesale, so
+  table-scoped reasoning does not apply).
+
+The cache is bounded by a cost-aware LRU: an entry's cost is its rows ×
+width in cells, not its entry count, so one huge scan cannot silently
+evict a hundred cheap probes while looking like a single entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.algebra.conditions import evaluate_condition
+from repro.algebra.evaluate import (
+    RowDict,
+    StoreContext,
+    TYPE_TAG,
+    _RowConditionContext,
+    evaluate_query_bag,
+    join_key,
+    join_rows,
+    join_spec,
+    output_columns,
+)
+from repro.algebra.queries import (
+    Const,
+    Join,
+    LeftOuterJoin,
+    Project,
+    Query,
+    Select,
+    TableScan,
+    UnionAll,
+)
+from repro.errors import EvaluationError, IvmError
+from repro.query.dml import StoreDelta
+from repro.query.unfold import UnfoldedBranch
+from repro.relational.instances import (
+    StoreState,
+    row_values,
+    row_view,
+)
+from repro.relational.schema import StoreSchema
+
+#: default LRU budget in cells (rows × width summed over all entries)
+DEFAULT_RESULT_BUDGET = 2_000_000
+
+Signed = Tuple[int, RowDict]
+Probe = Callable[["_ReadRuntime", Tuple[object, ...], bool], List[RowDict]]
+
+#: the dedup identity of one store-level output row — must match
+#: :func:`~repro.algebra.evaluate.evaluate_query` exactly, because the
+#: bag's support stands in for its deduplicated output
+RowKey = Tuple[Tuple[str, object], ...]
+
+
+def _dedup_key(row: RowDict) -> RowKey:
+    return tuple(sorted((k, v) for k, v in row.items() if k != TYPE_TAG))
+
+
+class _ReadRuntime:
+    """Everything the read-side delta rules consume for one maintenance."""
+
+    __slots__ = ("delta", "state", "context", "touched", "fallback_probes")
+
+    def __init__(self, delta: StoreDelta, state: StoreState) -> None:
+        self.delta = delta
+        #: the *new* store state (the delta has already been applied)
+        self.state = state
+        self.context = StoreContext(state)
+        self.touched: FrozenSet[str] = frozenset(
+            name for name, td in delta.tables.items() if not td.empty
+        )
+        self.fallback_probes = 0
+
+
+def _matches(
+    row: RowDict, columns: Tuple[str, ...], values: Tuple[object, ...]
+) -> bool:
+    return all(row.get(c) == v for c, v in zip(columns, values))
+
+
+def _never_probe(
+    rt: "_ReadRuntime", values: Tuple[object, ...], old: bool
+) -> List[RowDict]:
+    return []
+
+
+class _Node:
+    """One lowered operator: a delta rule plus keyed-probe compilation.
+
+    ``tables`` is the set of store tables under the subtree — a delta
+    touching none of them propagates nothing, which is what lets a
+    maintenance pass skip whole branches without evaluating them.
+    """
+
+    __slots__ = ("columns", "tables")
+
+    def delta(self, rt: _ReadRuntime) -> List[Signed]:
+        raise NotImplementedError
+
+    def make_probe(self, columns: Tuple[str, ...]) -> Probe:
+        raise NotImplementedError
+
+
+class _TableNode(_Node):
+    __slots__ = ("table_name",)
+
+    def __init__(self, table_name: str, columns: Tuple[str, ...]) -> None:
+        self.table_name = table_name
+        self.columns = columns
+        self.tables = frozenset((table_name,))
+
+    def delta(self, rt: _ReadRuntime) -> List[Signed]:
+        td = rt.delta.tables.get(self.table_name)
+        if td is None:
+            return []
+        out: List[Signed] = []
+        for row in td.deletes:
+            out.append((-1, row_view(row)))
+        for row in td.inserts:
+            out.append((+1, row_view(row)))
+        for old_row, new_row in td.updates:
+            out.append((-1, row_view(old_row)))
+            out.append((+1, row_view(new_row)))
+        return out
+
+    def make_probe(self, columns: Tuple[str, ...]) -> Probe:
+        known = set(self.columns)
+        if any(c not in known for c in columns):
+            return _never_probe
+        table_name = self.table_name
+
+        def probe(
+            rt: _ReadRuntime, values: Tuple[object, ...], old: bool
+        ) -> List[RowDict]:
+            # key_index is built lazily once per (table, columns) and
+            # carried across successor states, so the steady state is an
+            # O(1) bucket lookup — the read-side analogue of the
+            # delta-scoped constraint probes.
+            bucket = rt.state.key_index(table_name, columns).get(values, ())
+            if not old:
+                return [row_view(r) for r in bucket]
+            td = rt.delta.tables.get(table_name)
+            if td is None or td.empty:
+                return [row_view(r) for r in bucket]
+            # rewind the new-side bucket to the old side: drop rows the
+            # delta inserted, add back the rows it deleted — O(|Δ_table|)
+            gained = set()
+            back: List = []
+            for row in td.inserts:
+                if row_values(row, columns) == values:
+                    gained.add(row)
+            for row in td.deletes:
+                if row_values(row, columns) == values:
+                    back.append(row)
+            for old_row, new_row in td.updates:
+                if row_values(new_row, columns) == values:
+                    gained.add(new_row)
+                if row_values(old_row, columns) == values:
+                    back.append(old_row)
+            rows = [r for r in bucket if r not in gained]
+            rows.extend(back)
+            return [row_view(r) for r in rows]
+
+        return probe
+
+
+class _SelectNode(_Node):
+    __slots__ = ("source", "condition")
+
+    def __init__(self, source: _Node, condition) -> None:
+        self.source = source
+        self.condition = condition
+        self.columns = source.columns
+        self.tables = source.tables
+
+    def _keep(self, rt: _ReadRuntime, row: RowDict) -> bool:
+        return evaluate_condition(
+            self.condition, _RowConditionContext(row, rt.context)
+        )
+
+    def delta(self, rt: _ReadRuntime) -> List[Signed]:
+        return [(s, r) for s, r in self.source.delta(rt) if self._keep(rt, r)]
+
+    def make_probe(self, columns: Tuple[str, ...]) -> Probe:
+        source_probe = self.source.make_probe(columns)
+
+        def probe(
+            rt: _ReadRuntime, values: Tuple[object, ...], old: bool
+        ) -> List[RowDict]:
+            return [
+                r for r in source_probe(rt, values, old) if self._keep(rt, r)
+            ]
+
+        return probe
+
+
+class _ProjectNode(_Node):
+    __slots__ = ("source", "items")
+
+    def __init__(self, source: _Node, items) -> None:
+        self.source = source
+        self.items = items
+        self.columns = tuple(item.output for item in items)
+        self.tables = source.tables
+
+    def _project(self, row: RowDict) -> RowDict:
+        out: RowDict = {}
+        for item in self.items:
+            if isinstance(item.expr, Const):
+                out[item.output] = item.expr.value
+            else:
+                name = item.expr.name
+                if name not in row:
+                    raise EvaluationError(
+                        f"projection references missing column {name!r} "
+                        f"(row has {sorted(k for k in row if k != TYPE_TAG)})"
+                    )
+                out[item.output] = row[name]
+        return out
+
+    def delta(self, rt: _ReadRuntime) -> List[Signed]:
+        return [(s, self._project(r)) for s, r in self.source.delta(rt)]
+
+    def make_probe(self, columns: Tuple[str, ...]) -> Probe:
+        by_output = {item.output: item for item in self.items}
+        pinned: List[Tuple[int, object]] = []
+        source_columns: List[str] = []
+        source_slots: List[int] = []
+        for i, column in enumerate(columns):
+            item = by_output.get(column)
+            if item is None:
+                return _never_probe
+            if isinstance(item.expr, Const):
+                pinned.append((i, item.expr.value))
+            else:
+                source_columns.append(item.expr.name)
+                source_slots.append(i)
+        source_probe = self.source.make_probe(tuple(source_columns))
+
+        def probe(
+            rt: _ReadRuntime, values: Tuple[object, ...], old: bool
+        ) -> List[RowDict]:
+            for i, pin in pinned:
+                if values[i] != pin:
+                    return []
+            sub_values = tuple(values[i] for i in source_slots)
+            rows = (self._project(r) for r in source_probe(rt, sub_values, old))
+            return [r for r in rows if _matches(r, columns, values)]
+
+        return probe
+
+
+class _UnionNode(_Node):
+    __slots__ = ("branches",)
+
+    def __init__(
+        self, branches: Tuple[_Node, ...], all_columns: Tuple[str, ...]
+    ) -> None:
+        self.branches = branches
+        self.columns = all_columns
+        self.tables = frozenset().union(*(b.tables for b in branches))
+
+    def _pad(self, row: RowDict) -> RowDict:
+        return {column: row.get(column) for column in self.columns}
+
+    def delta(self, rt: _ReadRuntime) -> List[Signed]:
+        out: List[Signed] = []
+        for branch in self.branches:
+            if not (branch.tables & rt.touched):
+                continue
+            out.extend((s, self._pad(r)) for s, r in branch.delta(rt))
+        return out
+
+    def make_probe(self, columns: Tuple[str, ...]) -> Probe:
+        branch_probes = [b.make_probe(columns) for b in self.branches]
+
+        def probe(
+            rt: _ReadRuntime, values: Tuple[object, ...], old: bool
+        ) -> List[RowDict]:
+            out: List[RowDict] = []
+            for bp in branch_probes:
+                padded = (self._pad(r) for r in bp(rt, values, old))
+                out.extend(r for r in padded if _matches(r, columns, values))
+            return out
+
+        return probe
+
+
+class _JoinNode(_Node):
+    """Inner join: ``ΔL ⋈ R_new + L_old ⋈ ΔR`` (no pad terms)."""
+
+    __slots__ = ("left", "right", "on", "spec", "left_probe", "right_probe")
+
+    def __init__(
+        self, left: _Node, right: _Node, on: Optional[Tuple[str, ...]]
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.spec = join_spec(left.columns, right.columns, on)
+        if not self.spec.join_columns:
+            raise IvmError("cannot maintain a cross join incrementally")
+        self.on = self.spec.join_columns
+        self.left_probe = left.make_probe(self.on)
+        self.right_probe = right.make_probe(self.on)
+        self.columns = left.columns + tuple(
+            c for c in right.columns if c not in left.columns
+        )
+        self.tables = left.tables | right.tables
+
+    def delta(self, rt: _ReadRuntime) -> List[Signed]:
+        out: List[Signed] = []
+        spec = self.spec
+        if self.left.tables & rt.touched:
+            for sign, lrow in self.left.delta(rt):
+                key = join_key(lrow, self.on)
+                if key is None:
+                    continue
+                matches = self.right_probe(rt, key, False)
+                for row in join_rows([lrow], matches, spec, False, False):
+                    out.append((sign, row))
+        if self.right.tables & rt.touched:
+            for sign, rrow in self.right.delta(rt):
+                key = join_key(rrow, self.on)
+                if key is None:
+                    continue
+                left_old = self.left_probe(rt, key, True)
+                if not left_old:
+                    continue
+                for row in join_rows(left_old, [rrow], spec, False, False):
+                    out.append((sign, row))
+        return out
+
+    def make_probe(self, columns: Tuple[str, ...]) -> Probe:
+        if tuple(columns) != tuple(self.on):
+            raise IvmError(
+                f"join probe on {columns!r} does not match join key {self.on!r}"
+            )
+
+        def probe(
+            rt: _ReadRuntime, values: Tuple[object, ...], old: bool
+        ) -> List[RowDict]:
+            left_rows = self.left_probe(rt, values, old)
+            if not left_rows:
+                return []
+            right_rows = self.right_probe(rt, values, old)
+            return join_rows(left_rows, right_rows, self.spec, False, False)
+
+        return probe
+
+
+class _LojNode(_Node):
+    """``ΔL ⟕ R_new + L_old ⋈ ΔR`` plus pad transitions — the exact rule
+    of :class:`repro.ivm.writeplan._LojNode`, lowered over table scans."""
+
+    __slots__ = ("left", "right", "on", "spec", "left_probe", "right_probe")
+
+    def __init__(
+        self, left: _Node, right: _Node, on: Optional[Tuple[str, ...]]
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.spec = join_spec(left.columns, right.columns, on)
+        if not self.spec.join_columns:
+            raise IvmError("cannot maintain a padded cross join incrementally")
+        self.on = self.spec.join_columns
+        self.left_probe = left.make_probe(self.on)
+        self.right_probe = right.make_probe(self.on)
+        self.columns = left.columns + tuple(
+            c for c in right.columns if c not in left.columns
+        )
+        self.tables = left.tables | right.tables
+
+    def delta(self, rt: _ReadRuntime) -> List[Signed]:
+        out: List[Signed] = []
+        spec = self.spec
+        if self.left.tables & rt.touched:
+            # ΔL ⟕ R_new: each signed left row matches or NULL-pads
+            for sign, lrow in self.left.delta(rt):
+                key = join_key(lrow, self.on)
+                matches = (
+                    self.right_probe(rt, key, False) if key is not None else []
+                )
+                for row in join_rows([lrow], matches, spec, True, False):
+                    out.append((sign, row))
+        if self.right.tables & rt.touched:
+            by_key: Dict[Tuple[object, ...], List[Signed]] = {}
+            for sign, rrow in self.right.delta(rt):
+                key = join_key(rrow, self.on)
+                if key is None:
+                    continue  # NULL keys never join and LOJ never right-pads
+                by_key.setdefault(key, []).append((sign, rrow))
+            for key, signed_rows in by_key.items():
+                # L_old ⋈ ΔR (term one already covered ΔL against R_new)
+                left_old = self.left_probe(rt, key, True)
+                if not left_old:
+                    continue
+                for sign, rrow in signed_rows:
+                    for row in join_rows(left_old, [rrow], spec, False, False):
+                        out.append((sign, row))
+                # pad transitions: right match count crossing 0 ↔ positive
+                m_new = len(self.right_probe(rt, key, False))
+                m_old = m_new - sum(s for s, _ in signed_rows)
+                if m_old < 0:
+                    raise IvmError(
+                        f"negative right-side multiplicity at join key {key!r}"
+                    )
+                pad_sign = 0
+                if m_old == 0 and m_new > 0:
+                    pad_sign = -1  # old left rows lose their NULL-padded row
+                elif m_old > 0 and m_new == 0:
+                    pad_sign = +1  # old left rows regain the NULL-padded row
+                if pad_sign:
+                    for row in join_rows(left_old, [], spec, True, False):
+                        out.append((pad_sign, row))
+        return out
+
+    def make_probe(self, columns: Tuple[str, ...]) -> Probe:
+        if tuple(columns) != tuple(self.on):
+            raise IvmError(
+                f"left-outer-join probe on {columns!r} does not match "
+                f"join key {self.on!r}"
+            )
+
+        def probe(
+            rt: _ReadRuntime, values: Tuple[object, ...], old: bool
+        ) -> List[RowDict]:
+            left_rows = self.left_probe(rt, values, old)
+            if not left_rows:
+                return []
+            right_rows = self.right_probe(rt, values, old)
+            return join_rows(left_rows, right_rows, self.spec, True, False)
+
+        return probe
+
+
+def _compile(query: Query, context: StoreContext) -> _Node:
+    if isinstance(query, TableScan):
+        return _TableNode(query.table_name, context.scan_columns(query))
+    if isinstance(query, Select):
+        return _SelectNode(_compile(query.source, context), query.condition)
+    if isinstance(query, Project):
+        return _ProjectNode(_compile(query.source, context), query.items)
+    if isinstance(query, UnionAll):
+        return _UnionNode(
+            tuple(_compile(b, context) for b in query.branches),
+            output_columns(query, context),
+        )
+    if isinstance(query, LeftOuterJoin):
+        return _LojNode(
+            _compile(query.left, context),
+            _compile(query.right, context),
+            query.on,
+        )
+    if isinstance(query, Join):
+        return _JoinNode(
+            _compile(query.left, context),
+            _compile(query.right, context),
+            query.on,
+        )
+    raise IvmError(f"no read-side delta rule for {type(query).__name__}")
+
+
+def _construct_row(
+    projection: Optional[Tuple[str, ...]], branch: UnfoldedBranch, row: RowDict
+) -> object:
+    """One row of :func:`~repro.query.unfold.construct_results`, kept in
+    lockstep so maintained entries construct byte-identically."""
+    if projection is None:
+        return branch.constructor.construct(row)
+    assigned = dict(branch.constructor.assignments)
+    out: Dict[str, object] = {}
+    for attr in projection:
+        expr = assigned.get(attr)
+        if expr is None:
+            out[attr] = None
+        elif isinstance(expr, Const):
+            out[attr] = expr.value
+        else:
+            out[attr] = row.get(expr.name)
+    return out
+
+
+class _Entry:
+    """One materialized answer: per-branch row bags plus the constructed
+    results.  Immutable after publication — maintenance builds a copy."""
+
+    __slots__ = (
+        "values",
+        "projection",
+        "branches",
+        "roots",
+        "bags",
+        "constructed",
+        "tables",
+        "fingerprint",
+        "cost",
+        "results",
+        "maintains",
+    )
+
+    def __init__(
+        self,
+        values: Tuple[object, ...],
+        projection: Optional[Tuple[str, ...]],
+        branches: Tuple[UnfoldedBranch, ...],
+        roots: Optional[Tuple[_Node, ...]],
+        bags: List[Dict[RowKey, Tuple[RowDict, int]]],
+        constructed: Dict[Tuple[int, RowKey], object],
+        tables: FrozenSet[str],
+        fingerprint: str,
+        cost: int,
+        results: Optional[List[object]],
+        maintains: int = 0,
+    ) -> None:
+        self.values = values
+        self.projection = projection
+        self.branches = branches
+        #: None = unmaintainable shape; serves warm reads, dies on writes
+        self.roots = roots
+        self.bags = bags
+        self.constructed = constructed
+        self.tables = tables
+        self.fingerprint = fingerprint
+        self.cost = cost
+        self.results = results
+        self.maintains = maintains
+
+    @property
+    def maintainable(self) -> bool:
+        return self.roots is not None
+
+    def rows_view(self) -> List[object]:
+        rows = self.results
+        if rows is None:
+            # benign race: concurrent readers build identical lists over
+            # the (immutable) constructed dict; last assignment wins
+            rows = list(self.constructed.values())
+            self.results = rows
+        return rows
+
+
+def build_entry(
+    plan,
+    values: Tuple[object, ...],
+    schema: StoreSchema,
+    state: StoreState,
+    fingerprint: str,
+    executed_rows: Optional[List[object]],
+) -> _Entry:
+    """Materialize one bound plan over *state*.
+
+    The per-branch bags are seeded by a bag evaluation of the bound
+    branch queries with the reference interpreter — the same operator
+    semantics the delta rules mirror, which is what licenses maintained
+    support to track :func:`evaluate_query`'s dedup exactly.  When the
+    executing backend already produced the constructed rows they are
+    adopted verbatim (*executed_rows*), so a pure-read workload returns
+    lists identical to re-execution.
+    """
+    bound = plan.bind(values)
+    context = StoreContext(state)
+    try:
+        roots: Optional[Tuple[_Node, ...]] = tuple(
+            _compile(branch.store_query, StoreContext(StoreState(schema)))
+            for branch in bound.branches
+        )
+    except IvmError:
+        roots = None
+    projection = plan.shape.projection
+    bags: List[Dict[RowKey, Tuple[RowDict, int]]] = []
+    constructed: Dict[Tuple[int, RowKey], object] = {}
+    cost = 0
+    for bi, branch in enumerate(bound.branches):
+        per: Dict[RowKey, Tuple[RowDict, int]] = {}
+        for row in evaluate_query_bag(branch.store_query, context):
+            key = _dedup_key(row)
+            slot = per.get(key)
+            if slot is None:
+                per[key] = (row, 1)
+            else:
+                per[key] = (slot[0], slot[1] + 1)
+        bags.append(per)
+        for key, (row, _count) in per.items():
+            constructed[(bi, key)] = _construct_row(projection, branch, row)
+            cost += len(row)
+    results = (
+        list(executed_rows)
+        if executed_rows is not None
+        else list(constructed.values())
+    )
+    return _Entry(
+        values=values,
+        projection=projection,
+        branches=bound.branches,
+        roots=roots,
+        bags=bags,
+        constructed=constructed,
+        tables=plan.tables,
+        fingerprint=fingerprint,
+        cost=cost,
+        results=results,
+    )
+
+
+def _maintained_entry(entry: _Entry, rt: _ReadRuntime, fingerprint: str) -> _Entry:
+    """A copy of *entry* with the delta applied — O(|Δ|) plus the
+    copy-on-write of the touched dicts.  Raises :class:`IvmError` when a
+    multiplicity invariant breaks (the caller invalidates instead)."""
+    if entry.roots is None:
+        raise IvmError("entry shape is not maintainable")
+    constructed = dict(entry.constructed)
+    bags: List[Dict[RowKey, Tuple[RowDict, int]]] = []
+    cost = entry.cost
+    projection = entry.projection
+    for bi, (root, bag, branch) in enumerate(
+        zip(entry.roots, entry.bags, entry.branches)
+    ):
+        if not (root.tables & rt.touched):
+            bags.append(bag)  # untouched branch: share the bag
+            continue
+        signed = root.delta(rt)
+        if not signed:
+            bags.append(bag)
+            continue
+        per = dict(bag)
+        for sign, row in signed:
+            key = _dedup_key(row)
+            slot = per.get(key)
+            count = (slot[1] if slot is not None else 0) + sign
+            if count < 0:
+                raise IvmError(
+                    "negative multiplicity in a maintained result bag"
+                )
+            if count == 0:
+                if slot is not None:
+                    del per[key]
+                    constructed.pop((bi, key), None)
+                    cost -= len(slot[0])
+            elif slot is None:
+                per[key] = (row, count)
+                constructed[(bi, key)] = _construct_row(projection, branch, row)
+                cost += len(row)
+            else:
+                per[key] = (slot[0], count)
+        bags.append(per)
+    return _Entry(
+        values=entry.values,
+        projection=projection,
+        branches=entry.branches,
+        roots=entry.roots,
+        bags=bags,
+        constructed=constructed,
+        tables=entry.tables,
+        fingerprint=fingerprint,
+        cost=cost,
+        results=None,  # rebuilt lazily from the constructed dict
+        maintains=entry.maintains + 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ResultCacheStats:
+    """Counters of the result tier's life so far (cumulative across
+    epochs: successors carry them forward like the plan cache does)."""
+
+    hits: int = 0
+    misses: int = 0
+    maintained: int = 0
+    invalidated: int = 0
+    fallbacks: int = 0
+    evictions: int = 0
+    #: reads that found an entry stamped with a different epoch
+    #: fingerprint — must stay 0; the regression gate asserts on it
+    validation_failures: int = 0
+    entries: int = 0
+    cost: int = 0
+    budget: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"ResultCacheStats(hits={self.hits}, misses={self.misses}, "
+            f"maintained={self.maintained}, invalidated={self.invalidated}, "
+            f"fallbacks={self.fallbacks}, evictions={self.evictions}, "
+            f"validation_failures={self.validation_failures}, "
+            f"entries={self.entries}, cost={self.cost}/{self.budget})"
+        )
+
+
+class ResultCache:
+    """Cost-bounded LRU of materialized query answers, one per epoch.
+
+    Thread-safe for concurrent lookups and populations; the write paths
+    never mutate a published cache — they derive a successor
+    (:meth:`successor_for_delta` / :meth:`successor_for_tables` /
+    :meth:`successor`) off to the side and publish it with the epoch
+    swap, exactly like the plan cache.
+    """
+
+    def __init__(self, budget: int = DEFAULT_RESULT_BUDGET) -> None:
+        self.budget = budget
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+        #: plan keys whose shapes failed to materialize (e.g. a query the
+        #: interpreter cannot bag-evaluate); retrying every miss would
+        #: pay the failure cost forever
+        self._unsupported: set = set()
+        self._cost = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.maintained = 0
+        self.invalidated = 0
+        self.fallbacks = 0
+        self.evictions = 0
+        self.validation_failures = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget > 0
+
+    # -- keying --------------------------------------------------------
+    @staticmethod
+    def _full_key(key: Tuple, values: Tuple[object, ...]) -> Optional[Tuple]:
+        full = (key, values)
+        try:
+            hash(full)
+        except TypeError:
+            return None  # unhashable constants: bypass the tier
+        return full
+
+    # -- reading -------------------------------------------------------
+    def lookup(
+        self, key: Tuple, values: Tuple[object, ...], fingerprint: str
+    ) -> Optional[List[object]]:
+        """The cached answer, or None.  Every served answer is validated
+        against the epoch fingerprint — a mismatch can only mean a carry
+        bug, and it is surfaced as a counter, never as a stale read."""
+        if not self.enabled:
+            return None
+        full = self._full_key(key, values)
+        if full is None:
+            return None
+        with self._lock:
+            entry = self._entries.get(full)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.fingerprint != fingerprint:
+                self.validation_failures += 1
+                self.invalidated += 1
+                self.misses += 1
+                del self._entries[full]
+                self._cost -= entry.cost
+                return None
+            self.hits += 1
+            self._entries.move_to_end(full)
+        return list(entry.rows_view())
+
+    def has(self, key: Tuple, values: Tuple[object, ...]) -> bool:
+        full = self._full_key(key, values)
+        if full is None:
+            return False
+        with self._lock:
+            return full in self._entries
+
+    # -- population ----------------------------------------------------
+    def populate(
+        self,
+        key: Tuple,
+        values: Tuple[object, ...],
+        plan,
+        schema: StoreSchema,
+        state: StoreState,
+        fingerprint: str,
+        executed_rows: Optional[List[object]] = None,
+    ) -> bool:
+        """Materialize and insert one entry (no-op when present/disabled)."""
+        if not self.enabled:
+            return False
+        full = self._full_key(key, values)
+        if full is None:
+            return False
+        with self._lock:
+            if full in self._entries or key in self._unsupported:
+                return False
+        try:
+            entry = build_entry(
+                plan, values, schema, state, fingerprint, executed_rows
+            )
+        except (IvmError, EvaluationError):
+            with self._lock:
+                self.fallbacks += 1
+                self._unsupported.add(key)
+            return False
+        if entry.cost > self.budget:
+            with self._lock:
+                self.evictions += 1  # too large to ever hold: count and skip
+            return False
+        with self._lock:
+            if full in self._entries:
+                return False
+            self._entries[full] = entry
+            self._cost += entry.cost
+            self._evict_over_budget()
+        return True
+
+    def _evict_over_budget(self) -> None:
+        while self._cost > self.budget and self._entries:
+            _key, entry = self._entries.popitem(last=False)
+            self._cost -= entry.cost
+            self.evictions += 1
+
+    # -- successors (write paths) --------------------------------------
+    def _clone_empty(self) -> "ResultCache":
+        clone = ResultCache(self.budget)
+        clone.hits = self.hits
+        clone.misses = self.misses
+        clone.maintained = self.maintained
+        clone.invalidated = self.invalidated
+        clone.fallbacks = self.fallbacks
+        clone.evictions = self.evictions
+        clone.validation_failures = self.validation_failures
+        clone._unsupported = set(self._unsupported)
+        return clone
+
+    def empty_successor(self) -> "ResultCache":
+        """A fresh cache carrying the counters: for ``undo`` and
+        ``replace_contents``, where the data moves wholesale and no
+        table-scoped argument can keep any entry valid."""
+        with self._lock:
+            clone = self._clone_empty()
+            clone.invalidated += len(self._entries)
+        return clone
+
+    def successor_for_delta(
+        self, delta: StoreDelta, state: StoreState, fingerprint: str
+    ) -> "ResultCache":
+        """The next epoch's cache after a data-only incremental write.
+
+        Untouched entries are carried by reference; touched maintainable
+        entries are rebuilt copy-on-write through the delta rules;
+        everything else is invalidated.  *state* must be the post-delta
+        store state and *fingerprint* the (unchanged) epoch fingerprint.
+        """
+        with self._lock:
+            clone = self._clone_empty()
+            items = list(self._entries.items())
+        rt = _ReadRuntime(delta, state)
+        touched = rt.touched
+        for full, entry in items:
+            if not (entry.tables & touched):
+                clone._entries[full] = entry
+                clone._cost += entry.cost
+                continue
+            if not entry.maintainable:
+                clone.invalidated += 1
+                continue
+            try:
+                maintained = _maintained_entry(entry, rt, fingerprint)
+            except (IvmError, EvaluationError):
+                clone.fallbacks += 1
+                clone.invalidated += 1
+                continue
+            clone._entries[full] = maintained
+            clone._cost += maintained.cost
+            clone.maintained += 1
+        clone._evict_over_budget()
+        return clone
+
+    def successor_for_tables(
+        self, tables, fingerprint: str
+    ) -> "ResultCache":
+        """The next epoch's cache after a whole-state save: entries whose
+        branches scan a written table are dropped, the rest carry."""
+        written = frozenset(tables)
+        with self._lock:
+            clone = self._clone_empty()
+            for full, entry in self._entries.items():
+                if entry.tables & written or entry.fingerprint != fingerprint:
+                    clone.invalidated += 1
+                    continue
+                clone._entries[full] = entry
+                clone._cost += entry.cost
+        return clone
+
+    def successor(self, delta, mapping, fingerprint: str) -> "ResultCache":
+        """The next epoch's cache after an SMO batch: delta-scoped
+        invalidation by touched sets and tables, exactly the
+        :meth:`PlanCache.invalidate` discipline.  Survivors are restamped
+        with the evolved fingerprint — their sets and tables are provably
+        outside the batch's touched neighborhood, so their data and
+        model slice are unchanged."""
+        raw = delta.touched()
+        hood = delta.touched_neighborhood(mapping)
+        touched_sets = set(raw.sets) | set(hood.sets)
+        touched_tables = set(raw.tables) | set(hood.tables)
+        schema = (
+            mapping.client_schema
+            if hasattr(mapping, "client_schema")
+            else mapping
+        )
+        with self._lock:
+            clone = self._clone_empty()
+            clone._unsupported = set()  # shapes may become maintainable
+            for full, entry in self._entries.items():
+                set_name = full[0][0]
+                if (
+                    set_name in touched_sets
+                    or not schema.has_entity_set(set_name)
+                    or (entry.tables & touched_tables)
+                ):
+                    clone.invalidated += 1
+                    continue
+                if entry.fingerprint != fingerprint:
+                    entry = _Entry(
+                        values=entry.values,
+                        projection=entry.projection,
+                        branches=entry.branches,
+                        roots=entry.roots,
+                        bags=entry.bags,
+                        constructed=entry.constructed,
+                        tables=entry.tables,
+                        fingerprint=fingerprint,
+                        cost=entry.cost,
+                        results=entry.results,
+                        maintains=entry.maintains,
+                    )
+                clone._entries[full] = entry
+                clone._cost += entry.cost
+        return clone
+
+    # -- bookkeeping ---------------------------------------------------
+    def clear(self) -> None:
+        with self._lock:
+            self.invalidated += len(self._entries)
+            self._entries.clear()
+            self._unsupported.clear()
+            self._cost = 0
+
+    def stats(self) -> ResultCacheStats:
+        with self._lock:
+            return ResultCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                maintained=self.maintained,
+                invalidated=self.invalidated,
+                fallbacks=self.fallbacks,
+                evictions=self.evictions,
+                validation_failures=self.validation_failures,
+                entries=len(self._entries),
+                cost=self._cost,
+                budget=self.budget,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __str__(self) -> str:
+        return f"ResultCache({self.stats()})"

@@ -49,6 +49,7 @@ class SessionService:
         db_dir: Optional[str] = None,
         pool_size: int = 4,
         cache_dir: Optional[str] = None,
+        result_cache_budget: Optional[int] = None,
     ) -> None:
         self.default_backend = default_backend
         self.db_dir = db_dir
@@ -56,6 +57,9 @@ class SessionService:
         #: shared persistent validation cache for every tenant session
         #: (None defers to REPRO_CACHE_DIR inside the session)
         self.cache_dir = cache_dir
+        #: per-tenant materialized result tier budget in cells
+        #: (None = session default, 0 = disabled)
+        self.result_cache_budget = result_cache_budget
         self._tenants: Dict[str, OrmSession] = {}
         self._lock = threading.Lock()
 
@@ -99,6 +103,7 @@ class SessionService:
             db_path=db_path,
             pool_size=self.pool_size if pool_size is None else pool_size,
             cache_dir=self.cache_dir,
+            result_cache_budget=self.result_cache_budget,
         )
         with self._lock:
             previous = self._tenants.get(tenant)

@@ -79,6 +79,7 @@ class OrmSession:
         backend: Optional[StoreBackend] = None,
         budget: Optional[WorkBudget] = None,
         cache_dir: Optional[str] = None,
+        result_cache_budget: Optional[int] = None,
     ) -> None:
         if backend is None:
             # bare StoreState (or nothing): the historical in-memory session
@@ -91,7 +92,11 @@ class OrmSession:
             raise SmoError("pass either store_state or backend, not both")
         #: the epoch engine every read and write goes through
         self.engine = SessionEngine(
-            model, backend, budget=budget, cache_dir=cache_dir
+            model,
+            backend,
+            budget=budget,
+            cache_dir=cache_dir,
+            result_cache_budget=result_cache_budget,
         )
 
     # ------------------------------------------------------------------
@@ -102,6 +107,7 @@ class OrmSession:
         db_path: Optional[str] = None,
         pool_size: int = 0,
         cache_dir: Optional[str] = None,
+        result_cache_budget: Optional[int] = None,
     ) -> "OrmSession":
         """A session over an empty database.
 
@@ -111,12 +117,19 @@ class OrmSession:
         instead of in ``:memory:``; *pool_size* > 0 provisions a reader
         connection pool for concurrent serving.  *cache_dir* attaches the
         persistent cross-process validation cache (defaulting to
-        ``REPRO_CACHE_DIR`` when set).
+        ``REPRO_CACHE_DIR`` when set).  *result_cache_budget* bounds the
+        materialized result tier in cells (rows × width); ``0`` disables
+        it, ``None`` uses the default.
         """
         engine = create_backend(
             backend, model.store_schema, db_path=db_path, pool_size=pool_size
         )
-        return OrmSession(model, backend=engine, cache_dir=cache_dir)
+        return OrmSession(
+            model,
+            backend=engine,
+            cache_dir=cache_dir,
+            result_cache_budget=result_cache_budget,
+        )
 
     # ------------------------------------------------------------------
     # Epoch views (compatibility surface — these read the current epoch)
@@ -341,6 +354,7 @@ class OrmSession:
             epoch=self.engine.stats(),
             writeplans=self.engine.writeplans.stats(),
             validation=self.cache_stats(),
+            results=self.engine.epoch.results.stats(),
         )
 
     # ------------------------------------------------------------------

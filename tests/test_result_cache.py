@@ -1,0 +1,628 @@
+"""Differential suite for the materialized result tier.
+
+The acceptance bar: a session serving from the result cache must be
+*observationally identical* to one that re-executes every query — the
+same answers (canonicalized by sorted repr), across the full workload
+matrix, on both backends, through randomized conservative delta scripts
+(including inverse-pair no-ops), after every SMO kind plus its undo, and
+under concurrent read/write stress.  The reference session runs with
+``result_cache_budget=0`` (tier disabled), so every divergence is a
+maintenance bug, never a workload artifact.
+
+Alongside the end-to-end checks, the operator-level delta rules get
+focused unit coverage for the cases the workloads hit only by luck:
+left-outer-join pad transitions (a join key's right match count crossing
+0 ↔ positive) and the invalidate-on-write path for unmaintainable
+shapes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from tests.test_backend_differential import (
+    SMO_KINDS,
+    WORKLOADS,
+    canon,
+    compiled,
+)
+from tests.test_ivm_differential import clone, random_script
+from repro.algebra.conditions import Comparison
+from repro.algebra.evaluate import StoreContext, evaluate_query_bag
+from repro.algebra.queries import FullOuterJoin, LeftOuterJoin, TableScan
+from repro.backend import MemoryBackend, SqliteBackend, create_backend
+from repro.compiler import compile_mapping
+from repro.edm import INT, STRING, Entity
+from repro.errors import IvmError
+from repro.incremental import CompiledModel
+from repro.ivm import DeltaScript, EntityOp
+from repro.query.dml import StoreDelta, TableDelta
+from repro.query.language import EntityQuery
+from repro.query.resultcache import _compile, _ReadRuntime
+from repro.relational.instances import StoreState, row_from_mapping
+from repro.relational.schema import Column, StoreSchema, Table
+from repro.session import OrmSession
+from repro.stategen import random_client_state
+from repro.workloads.chain import chain_mapping, set_name
+from repro.workloads.paper_example import mapping_stage3
+
+BACKENDS = ["memory", "sqlite"]
+
+
+def cached_and_reference(model: CompiledModel, backend: str):
+    """Two sessions over the same backend kind: one with the result tier
+    on, one with it disabled (the re-execution oracle)."""
+    def build(budget):
+        if backend == "memory":
+            engine = MemoryBackend(StoreState(model.store_schema))
+        else:
+            engine = SqliteBackend(model.store_schema)
+        return OrmSession(model, backend=engine, result_cache_budget=budget)
+
+    return build(None), build(0)
+
+
+def probe_queries(schema):
+    """Whole-set scans plus one conditional probe per set — the fixed
+    query mix every differential round replays (fixed so the cache gets
+    real hit traffic rather than one-shot shapes)."""
+    queries = []
+    for entity_set in schema.entity_sets:
+        queries.append(EntityQuery(entity_set.name))
+        key = schema.key_of(entity_set.root_type)
+        if len(key) == 1:
+            attribute = schema.attribute_of(entity_set.root_type, key[0])
+            if attribute.domain.base in ("int", "decimal"):
+                queries.append(
+                    EntityQuery(entity_set.name, Comparison(key[0], ">", 0))
+                )
+    return queries
+
+
+def assert_answers_agree(cached: OrmSession, reference: OrmSession, queries):
+    for query in queries:
+        assert canon(cached.query(query)) == canon(reference.query(query)), (
+            f"cached answer diverges on {query.set_name}"
+        )
+
+
+def result_stats(session: OrmSession):
+    return session.engine.epoch.results.stats()
+
+
+# ---------------------------------------------------------------------------
+# Randomized scripts across the workload matrix, both backends
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "factory", [f for _, f in WORKLOADS], ids=[name for name, _ in WORKLOADS]
+)
+class TestMaintainedAnswersAreExact:
+    def test_rounds_of_random_scripts(self, factory, backend):
+        """Warm the tier, then three rounds of random mutations
+        (inserts/updates/deletes/links/unlinks and inverse-pair no-ops):
+        every maintained answer must match the re-execution oracle, and
+        nothing may be served across a fingerprint mismatch."""
+        model = compiled(factory())
+        cached, reference = cached_and_reference(model, backend)
+        try:
+            seeded = random_client_state(
+                model.client_schema, seed=5, entities_per_set=6
+            )
+            cached.save(seeded)
+            reference.save(seeded)
+            queries = probe_queries(model.client_schema)
+            # two passes: populate, then hit
+            assert_answers_agree(cached, reference, queries)
+            assert_answers_agree(cached, reference, queries)
+            warm = result_stats(cached)
+            assert warm.hits > 0
+
+            rng = random.Random(17)
+            next_key = [300000]
+            for _ in range(3):
+                scratch = clone(reference.load())
+                script = random_script(
+                    model.client_schema, scratch, rng, next_key, n_ops=10
+                )
+                reference.save(scratch)
+                cached.save_delta(script)
+                assert_answers_agree(cached, reference, queries)
+            final = result_stats(cached)
+            assert final.validation_failures == 0
+            # scripts that touched cached tables either maintained the
+            # entries or (on a shape the rules cannot carry) dropped them
+            assert final.maintained + final.invalidated + final.fallbacks > 0
+        finally:
+            cached.backend.close()
+            reference.backend.close()
+
+    def test_inverse_pair_scripts_leave_answers_intact(self, factory, backend):
+        """A script of inverse pairs nets to zero client change; the
+        cached answers must come through untouched (and undisturbed —
+        an empty store delta publishes nothing, so entries keep serving
+        as plain hits)."""
+        model = compiled(factory())
+        cached, reference = cached_and_reference(model, backend)
+        try:
+            seeded = random_client_state(
+                model.client_schema, seed=3, entities_per_set=4
+            )
+            cached.save(seeded)
+            reference.save(seeded)
+            queries = probe_queries(model.client_schema)
+            assert_answers_agree(cached, reference, queries)
+            rng = random.Random(23)
+            next_key = [400000]
+            scratch = clone(cached.load())
+            script = random_script(
+                model.client_schema, scratch, rng, next_key, n_ops=4, kinds=(5,)
+            )
+            delta = cached.save_delta(script)
+            assert delta.empty
+            assert_answers_agree(cached, reference, queries)
+            assert result_stats(cached).validation_failures == 0
+        finally:
+            cached.backend.close()
+            reference.backend.close()
+
+
+# ---------------------------------------------------------------------------
+# After every SMO kind, and after its undo
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "base_factory,smo_factory,pop",
+    [(b, s, p) for _, b, s, p in SMO_KINDS],
+    ids=[kind for kind, _, _, _ in SMO_KINDS],
+)
+class TestResultsSurviveEvolution:
+    def test_answers_exact_after_smo_and_undo(
+        self, base_factory, smo_factory, pop, backend
+    ):
+        """Entries populated before an evolution must never leak stale
+        answers across it: after the SMO (and again after undo) cached
+        reads still match the oracle, and writes in the evolved schema
+        keep maintaining correctly."""
+        model = base_factory()
+        cached, reference = cached_and_reference(model, backend)
+        try:
+            state = pop(model)
+            cached.save(state)
+            reference.save(state)
+            queries = probe_queries(model.client_schema)
+            assert_answers_agree(cached, reference, queries)
+            assert_answers_agree(cached, reference, queries)  # warm hits
+
+            smo = smo_factory(model)
+            cached.evolve(smo)
+            reference.evolve(smo)
+            evolved_queries = probe_queries(cached.model.client_schema)
+            assert_answers_agree(cached, reference, evolved_queries)
+
+            # a post-evolution incremental save must maintain (or drop)
+            # entries populated against the evolved model
+            rng = random.Random(31)
+            next_key = [500000]
+            scratch = clone(reference.load())
+            script = random_script(
+                cached.model.client_schema, scratch, rng, next_key, n_ops=6
+            )
+            reference.save(scratch)
+            cached.save_delta(script)
+            assert_answers_agree(cached, reference, evolved_queries)
+
+            cached.undo()
+            reference.undo()
+            restored_queries = probe_queries(cached.model.client_schema)
+            assert_answers_agree(cached, reference, restored_queries)
+            assert result_stats(cached).validation_failures == 0
+        finally:
+            cached.backend.close()
+            reference.backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Pad transitions: TPT deletes drive a LOJ right side through 0
+# ---------------------------------------------------------------------------
+
+class TestLojPadTransitions:
+    def test_tpt_subtype_delete_and_reinsert(self):
+        """Deleting an Employee removes its Emp row while the delta also
+        removes the P row; re-inserting drives the match count 0 -> 1
+        again.  Stage-3 TPT reconstruction views compile to *full* outer
+        joins, which the read-side delta rules deliberately refuse to
+        maintain — the tier must invalidate those entries on every write
+        and keep serving byte-identical answers by re-execution."""
+        model = compiled(mapping_stage3())
+        cached, reference = cached_and_reference(model, "memory")
+        try:
+            for session in (cached, reference):
+                with session.edit() as state:
+                    state.add_entity(
+                        "Persons", Entity.of("Person", Id=1, Name="ann")
+                    )
+                    state.add_entity(
+                        "Persons",
+                        Entity.of("Employee", Id=2, Name="bob", Department="hr"),
+                    )
+            queries = [
+                EntityQuery("Persons"),
+                EntityQuery("Persons", Comparison("Id", ">", 0)),
+            ]
+            assert_answers_agree(cached, reference, queries)
+            assert_answers_agree(cached, reference, queries)
+
+            # delete the Employee: Emp-side multiplicity 1 -> 0
+            script = DeltaScript(
+                (EntityOp("delete", "Persons", key=(2,)),)
+            )
+            cached.save_delta(script)
+            with reference.edit() as state:
+                state.remove_entity("Persons", (2,))
+            assert_answers_agree(cached, reference, queries)
+
+            # re-insert: 0 -> 1
+            emp = Entity.of("Employee", Id=2, Name="bob", Department="ops")
+            cached.save_delta(
+                DeltaScript((EntityOp("insert", "Persons", entity=emp),))
+            )
+            with reference.edit() as state:
+                state.add_entity("Persons", emp)
+            assert_answers_agree(cached, reference, queries)
+            stats = result_stats(cached)
+            assert stats.validation_failures == 0
+            # full-outer-join shapes are unmaintainable by design: every
+            # write must drop the warm entries instead of patching them
+            assert stats.invalidated > 0
+        finally:
+            cached.backend.close()
+            reference.backend.close()
+
+    def test_loj_delta_rule_pad_terms_directly(self):
+        """White-box: the compiled ⟕ rule over two tables must emit the
+        pad-transition terms so the maintained bag equals a fresh bag
+        evaluation, for right-side deltas crossing 0 in both directions."""
+        schema = StoreSchema(
+            [
+                Table("L", (Column("K", INT, False), Column("A", STRING)), ("K",)),
+                Table("R", (Column("K", INT, False), Column("B", STRING)), ("K",)),
+            ]
+        )
+        query = LeftOuterJoin(TableScan("L"), TableScan("R"), on=("K",))
+        node = _compile(query, StoreContext(StoreState(schema)))
+
+        def state_of(l_rows, r_rows):
+            state = StoreState(schema)
+            for row in l_rows:
+                state.add_row("L", row_from_mapping(row))
+            for row in r_rows:
+                state.add_row("R", row_from_mapping(row))
+            return state
+
+        def bag(state):
+            counts = {}
+            for row in evaluate_query_bag(query, StoreContext(state)):
+                key = tuple(sorted(row.items()))
+                counts[key] = counts.get(key, 0) + 1
+            return counts
+
+        l_rows = [{"K": 1, "A": "x"}, {"K": 2, "A": "y"}]
+        old = state_of(l_rows, [])
+        new_r = [{"K": 1, "B": "p"}]
+        new = state_of(l_rows, new_r)
+        delta = StoreDelta(
+            {"R": TableDelta("R", inserts=[row_from_mapping(new_r[0])])}
+        )
+        maintained = dict(bag(old))
+        for sign, row in node.delta(_ReadRuntime(delta, new)):
+            key = tuple(sorted(row.items()))
+            maintained[key] = maintained.get(key, 0) + sign
+        maintained = {k: c for k, c in maintained.items() if c}
+        assert maintained == bag(new)  # 0 -> 1: pad row for K=1 retired
+
+        # and back: deleting the R row must resurrect the pad row
+        back_delta = StoreDelta(
+            {"R": TableDelta("R", deletes=[row_from_mapping(new_r[0])])}
+        )
+        rewound = dict(bag(new))
+        for sign, row in node.delta(_ReadRuntime(back_delta, old)):
+            key = tuple(sorted(row.items()))
+            rewound[key] = rewound.get(key, 0) + sign
+        rewound = {k: c for k, c in rewound.items() if c}
+        assert rewound == bag(old)
+
+    def test_full_outer_join_is_not_maintainable(self):
+        schema = StoreSchema(
+            [
+                Table("L", (Column("K", INT, False),), ("K",)),
+                Table("R", (Column("K", INT, False),), ("K",)),
+            ]
+        )
+        query = FullOuterJoin(TableScan("L"), TableScan("R"), on=("K",))
+        with pytest.raises(IvmError):
+            _compile(query, StoreContext(StoreState(schema)))
+
+
+# ---------------------------------------------------------------------------
+# Fallback, invalidation, and eviction behavior
+# ---------------------------------------------------------------------------
+
+class TestFallbackAndEviction:
+    def test_disabled_tier_is_pure_reexecution(self):
+        """budget=0: the tier stores nothing, serves nothing, and the
+        session behaves exactly like the pre-tier engine."""
+        model = compiled(mapping_stage3())
+        session = OrmSession(model, result_cache_budget=0)
+        session.save(
+            random_client_state(model.client_schema, seed=9, entities_per_set=5)
+        )
+        queries = probe_queries(model.client_schema)
+        first = [canon(session.query(q)) for q in queries]
+        second = [canon(session.query(q)) for q in queries]
+        assert first == second
+        stats = result_stats(session)
+        assert stats.hits == 0
+        assert stats.entries == 0
+
+    def test_unmaintainable_entry_serves_warm_then_dies_on_write(self):
+        """An entry whose shape the delta rules cannot carry still serves
+        reads, but any write touching its tables must invalidate it —
+        never a stale answer, never an exception."""
+        model = compiled(mapping_stage3())
+        session = OrmSession(model)
+        session.save(
+            random_client_state(model.client_schema, seed=4, entities_per_set=4)
+        )
+        query = EntityQuery("Persons")
+        session.query(query)
+        session.query(query)
+        cache = session.engine.epoch.results
+        assert len(cache) >= 1
+        # force every entry unmaintainable (the FOJ case, white-box)
+        with cache._lock:
+            for entry in cache._entries.values():
+                entry.roots = None
+        before = cache.stats()
+        with session.edit_incremental() as state:
+            # a real mutation: rewrite the first person
+            person = state.entities("Persons")[0]
+            key = model.client_schema.key_of(person.concrete_type)
+            rewritten = Entity.of(
+                person.concrete_type,
+                **{**dict(person.values), "Name": "rewritten"},
+            )
+            state.update_entity("Persons", rewritten)
+        after = result_stats(session)
+        assert after.invalidated > before.invalidated
+        assert after.maintained == before.maintained
+        # and the next read re-executes correctly
+        reference = OrmSession(model, result_cache_budget=0)
+        reference.save(session.load().embed_into(model.client_schema))
+        assert canon(session.query(query)) == canon(reference.query(query))
+
+    def test_lru_evicts_by_cost_not_entry_count(self):
+        """With a budget smaller than the hot set, total cost must stay
+        under the budget while cheap entries keep fitting — one huge
+        entry cannot masquerade as 'just one entry'."""
+        mapping = chain_mapping(4)
+        model = CompiledModel(
+            mapping, compile_mapping(mapping, validate=False).views
+        )
+        session = OrmSession(model, result_cache_budget=120)
+        with session.edit() as state:
+            for index in range(1, 5):
+                for row in range(10):
+                    state.add_entity(
+                        set_name(index),
+                        Entity.of(
+                            f"Entity{index}",
+                            Id=row,
+                            EntityAtt2="a",
+                            EntityAtt3="b",
+                            EntityAtt4="c",
+                        ),
+                    )
+        for index in range(1, 5):
+            session.query(EntityQuery(set_name(index)))
+            # key probes are cheap (one row) and must survive pressure
+            session.query(
+                EntityQuery(set_name(index), Comparison("Id", "=", 1))
+            )
+        stats = result_stats(session)
+        assert stats.cost <= 120
+        assert stats.evictions > 0
+        assert stats.entries >= 1
+
+    def test_oversized_entry_is_never_stored(self):
+        mapping = chain_mapping(4)
+        model = CompiledModel(
+            mapping, compile_mapping(mapping, validate=False).views
+        )
+        session = OrmSession(model, result_cache_budget=10)
+        with session.edit() as state:
+            for row in range(10):
+                state.add_entity(
+                    set_name(1),
+                    Entity.of(
+                        "Entity1",
+                        Id=row,
+                        EntityAtt2="a",
+                        EntityAtt3="b",
+                        EntityAtt4="c",
+                    ),
+                )
+        query = EntityQuery(set_name(1))
+        first = canon(session.query(query))
+        assert canon(session.query(query)) == first
+        stats = result_stats(session)
+        assert stats.entries == 0  # 10 rows x 7 cols >> 10-cell budget
+        assert stats.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# Thread safety: concurrent readers vs an incremental writer
+# ---------------------------------------------------------------------------
+
+THREADS = 8
+READ_ROUNDS = 40
+WRITE_ROUNDS = 12
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_reads_through_writes_stay_exact(backend):
+    """Many readers hammer the tier while a writer streams save_delta
+    rounds: no exceptions, no stale serves, and the final answers equal
+    the re-execution oracle."""
+    mapping = chain_mapping(4)
+    model = CompiledModel(
+        mapping, compile_mapping(mapping, validate=False).views
+    )
+    backend_engine = create_backend(backend, model.store_schema)
+    session = OrmSession(model, backend=backend_engine)
+    per_set = 30
+    with session.edit() as state:
+        for index in range(1, 5):
+            for row in range(per_set):
+                state.add_entity(
+                    set_name(index),
+                    Entity.of(
+                        f"Entity{index}",
+                        Id=row,
+                        EntityAtt2=f"a{row % 3}",
+                        EntityAtt3=f"b{row}",
+                        EntityAtt4="c",
+                    ),
+                )
+    queries = [EntityQuery(set_name(index)) for index in range(1, 5)]
+    errors: list = []
+    stop = threading.Event()
+
+    def reader(index: int) -> None:
+        try:
+            for round_number in range(READ_ROUNDS):
+                query = queries[(index + round_number) % len(queries)]
+                rows = session.query(query)
+                assert len(rows) == per_set
+        except Exception as exc:  # noqa: BLE001 — collected for assertion
+            errors.append(exc)
+
+    def writer() -> None:
+        try:
+            for round_number in range(WRITE_ROUNDS):
+                index = (round_number % 4) + 1
+                row = round_number % per_set
+                entity = Entity.of(
+                    f"Entity{index}",
+                    Id=row,
+                    EntityAtt2=f"w{round_number}",
+                    EntityAtt3=f"b{row}",
+                    EntityAtt4="c",
+                )
+                session.save_delta(
+                    DeltaScript(
+                        (EntityOp("update", set_name(index), entity=entity),)
+                    )
+                )
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    threads = [
+        threading.Thread(target=reader, args=(i,)) for i in range(THREADS)
+    ]
+    write_thread = threading.Thread(target=writer)
+    for thread in threads:
+        thread.start()
+    write_thread.start()
+    for thread in threads:
+        thread.join()
+    write_thread.join()
+    try:
+        assert not errors, errors[0]
+        assert result_stats(session).validation_failures == 0
+        reference = OrmSession(
+            model,
+            backend=create_backend("memory", model.store_schema),
+            result_cache_budget=0,
+        )
+        reference.save(session.load().embed_into(model.client_schema))
+        for query in queries:
+            assert canon(session.query(query)) == canon(reference.query(query))
+    finally:
+        session.backend.close()
+
+
+def test_result_cache_successor_race_with_populations():
+    """A writer taking successors while readers populate: every
+    successor must be a coherent cache (cost equals the sum of its
+    entries, counters monotone)."""
+    mapping = chain_mapping(4)
+    model = CompiledModel(
+        mapping, compile_mapping(mapping, validate=False).views
+    )
+    session = OrmSession(model)
+    with session.edit() as state:
+        for index in range(1, 5):
+            for row in range(5):
+                state.add_entity(
+                    set_name(index),
+                    Entity.of(
+                        f"Entity{index}",
+                        Id=row,
+                        EntityAtt2="a",
+                        EntityAtt3="b",
+                        EntityAtt4="c",
+                    ),
+                )
+    cache = session.engine.epoch.results
+    stop = threading.Event()
+    successors: list = []
+    errors: list = []
+
+    fingerprint = session.epoch.fingerprint
+
+    def snapshotter() -> None:
+        try:
+            for _ in range(20):
+                successors.append(
+                    cache.successor_for_tables((), fingerprint)
+                )
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def populator(index: int) -> None:
+        try:
+            round_number = 0
+            while not stop.is_set() and round_number < 500:
+                query = EntityQuery(
+                    set_name(1 + (round_number + index) % 4),
+                    Comparison("Id", "=", round_number % 5),
+                )
+                session.query(query)
+                round_number += 1
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=snapshotter)] + [
+        threading.Thread(target=populator, args=(i,)) for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors[0]
+    assert len(successors) == 20
+    for successor in successors:
+        with successor._lock:
+            assert successor._cost == sum(
+                entry.cost for entry in successor._entries.values()
+            )

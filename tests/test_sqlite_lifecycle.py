@@ -23,8 +23,10 @@ def stage1_model() -> CompiledModel:
 
 
 def _populated(model: CompiledModel, pool_size: int = 0) -> OrmSession:
+    # result_cache_budget=0: these tests exercise connection lifecycle and
+    # pool sharing, so every query must actually reach the backend
     session = OrmSession.create(
-        model, backend="sqlite", pool_size=pool_size
+        model, backend="sqlite", pool_size=pool_size, result_cache_budget=0
     )
     with session.edit() as state:
         from repro.edm import Entity
